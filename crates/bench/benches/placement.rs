@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the consolidation search (§VI-B): genetic
+//! algorithm vs the greedy baselines on translated case-study workloads.
+//!
+//! The paper reports ~10 minutes of CPU time on a 3.4 GHz Pentium for the
+//! full 26-app exercise; only relative algorithmic cost is meaningful for
+//! the reproduction, so the benchmark uses a 12-app subset and reduced
+//! search options to keep iterations statistically sound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ropus::case_study::{translate_fleet, CaseConfig};
+use ropus_placement::consolidate::{ConsolidationOptions, Consolidator};
+use ropus_placement::ga::Evaluator;
+use ropus_placement::greedy::{place, GreedyStrategy};
+use ropus_placement::server::ServerSpec;
+use ropus_placement::workload::Workload;
+use ropus_trace::gen::{case_study_fleet, FleetConfig};
+
+fn bench_workloads() -> Vec<Workload> {
+    let fleet = case_study_fleet(&FleetConfig {
+        apps: 12,
+        weeks: 2,
+        ..FleetConfig::paper()
+    });
+    translate_fleet(&fleet, &CaseConfig::table1()[2])
+        .expect("translation succeeds")
+        .into_iter()
+        .map(|t| t.workload)
+        .collect()
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let workloads = bench_workloads();
+    let case = CaseConfig::table1()[2];
+    let mut group = c.benchmark_group("greedy_12_apps");
+    for strategy in GreedyStrategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    // A fresh evaluator per iteration so the fit cache does
+                    // not carry over (the cache is the point of reuse in
+                    // production, but here we want the cold cost).
+                    let evaluator = Evaluator::new(
+                        &workloads,
+                        ServerSpec::sixteen_way(),
+                        case.commitments(),
+                        0.1,
+                    );
+                    black_box(place(&evaluator, strategy).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ga(c: &mut Criterion) {
+    let workloads = bench_workloads();
+    let case = CaseConfig::table1()[2];
+    let mut group = c.benchmark_group("consolidation_12_apps");
+    group.sample_size(10);
+    group.bench_function("genetic_algorithm_fast", |b| {
+        b.iter(|| {
+            let consolidator = Consolidator::new(
+                ServerSpec::sixteen_way(),
+                case.commitments(),
+                ConsolidationOptions::fast(7),
+            );
+            black_box(consolidator.consolidate(&workloads).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_ga);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the placement fit simulator (§VI-A): the θ
+//! measurement, the deadline replay, and the required-capacity binary
+//! search that dominate consolidation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ropus::case_study::{translate_fleet, CaseConfig};
+use ropus_bench::paper_fleet;
+use ropus_placement::simulator::{
+    access_probability, deadline_satisfied, evaluate_fit, required_capacity, AggregateLoad,
+};
+use ropus_placement::workload::Workload;
+
+fn loads() -> (Vec<Workload>, AggregateLoad) {
+    let fleet = paper_fleet();
+    let case = CaseConfig::table1()[2];
+    let workloads: Vec<Workload> = translate_fleet(&fleet, &case)
+        .expect("translation succeeds")
+        .into_iter()
+        .map(|t| t.workload)
+        .collect();
+    let refs: Vec<&Workload> = workloads.iter().take(4).collect();
+    let load = AggregateLoad::of(&refs).expect("aligned fleet");
+    (workloads, load)
+}
+
+fn bench_theta_measurement(c: &mut Criterion) {
+    let (_w, load) = loads();
+    c.bench_function("access_probability_4_apps_4_weeks", |b| {
+        b.iter(|| access_probability(black_box(&load), black_box(12.0)))
+    });
+}
+
+fn bench_deadline(c: &mut Criterion) {
+    let (_w, load) = loads();
+    c.bench_function("deadline_replay_4_apps_4_weeks", |b| {
+        b.iter(|| deadline_satisfied(black_box(&load), black_box(12.0), black_box(12)))
+    });
+}
+
+fn bench_fit_and_search(c: &mut Criterion) {
+    let (_w, load) = loads();
+    let commitments = CaseConfig::table1()[2].commitments();
+    let mut group = c.benchmark_group("fit");
+    group.bench_function("evaluate_fit", |b| {
+        b.iter(|| evaluate_fit(black_box(&load), black_box(12.0), &commitments))
+    });
+    for tolerance in [0.5, 0.1, 0.05] {
+        group.bench_with_input(
+            BenchmarkId::new("required_capacity", tolerance),
+            &tolerance,
+            |b, &tol| b.iter(|| required_capacity(black_box(&load), &commitments, 16.0, tol)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let (workloads, _) = loads();
+    let refs: Vec<&Workload> = workloads.iter().collect();
+    c.bench_function("aggregate_26_apps_4_weeks", |b| {
+        b.iter(|| AggregateLoad::of(black_box(&refs)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_theta_measurement,
+    bench_deadline,
+    bench_fit_and_search,
+    bench_aggregation
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the QoS translation (§V): the portfolio
+//! partitioning, the `M_degr` cap, and the iterative `T_degr` analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ropus_bench::paper_fleet;
+use ropus_qos::portfolio::breakpoint;
+use ropus_qos::translation::translate;
+use ropus_qos::{AppQos, CosSpec, DegradationSpec, UtilizationBand};
+
+fn bench_breakpoint(c: &mut Criterion) {
+    let band = UtilizationBand::new(0.5, 0.66).unwrap();
+    let cos2 = CosSpec::new(0.6, 60).unwrap();
+    c.bench_function("breakpoint", |b| {
+        b.iter(|| breakpoint(black_box(band), black_box(&cos2)))
+    });
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let fleet = paper_fleet();
+    let band = UtilizationBand::new(0.5, 0.66).unwrap();
+    // app-14 is a smooth app where the T_degr loop actually iterates.
+    let app = &fleet[13];
+    let mut group = c.benchmark_group("translate_4_weeks");
+    for (label, t_degr) in [("no_time_limit", None), ("t_degr_30min", Some(30))] {
+        let qos = AppQos::new(band, Some(DegradationSpec::new(0.03, 0.9, t_degr).unwrap()));
+        for theta in [0.6, 0.95] {
+            let cos2 = CosSpec::new(theta, 60).unwrap();
+            group.bench_with_input(BenchmarkId::new(label, theta), &cos2, |b, cos2| {
+                b.iter(|| translate(black_box(&app.trace), &qos, cos2).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fleet_translation(c: &mut Criterion) {
+    let fleet = paper_fleet();
+    let qos = AppQos::paper_default(Some(30));
+    let cos2 = CosSpec::new(0.6, 60).unwrap();
+    c.bench_function("translate_whole_fleet_26_apps", |b| {
+        b.iter(|| {
+            for app in &fleet {
+                black_box(translate(&app.trace, &qos, &cos2).unwrap());
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_breakpoint,
+    bench_translate,
+    bench_fleet_translation
+);
+criterion_main!(benches);

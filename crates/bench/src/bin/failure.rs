@@ -1,0 +1,108 @@
+//! §VI-C / §VII failure-mode result: consolidate the fleet under strict
+//! normal-mode QoS (case 4), then check whether every single-server
+//! failure can be absorbed by the surviving servers when the affected
+//! applications fall back to the relaxed failure-mode QoS (case 6) — the
+//! paper's "no spare server needed" conclusion.
+//!
+//! Run with: `cargo run --release -p ropus-bench --bin failure`
+
+use ropus::case_study::{translate_fleet, CaseConfig};
+use ropus_bench::{fmt, paper_fleet, write_tsv};
+use ropus_placement::consolidate::{ConsolidationOptions, Consolidator};
+use ropus_placement::failure::{analyze_single_failures, FailureScope};
+use ropus_placement::server::ServerSpec;
+use ropus_placement::workload::Workload;
+
+fn main() {
+    let fleet = paper_fleet();
+    let normal_case = CaseConfig::table1()[3]; // case 4: strict, θ = 0.95
+    let failure_case = CaseConfig::table1()[5]; // case 6: M_degr 3%, θ = 0.95
+
+    let normal: Vec<Workload> = translate_fleet(&fleet, &normal_case)
+        .expect("translation succeeds")
+        .into_iter()
+        .map(|t| t.workload)
+        .collect();
+    let failure: Vec<Workload> = translate_fleet(&fleet, &failure_case)
+        .expect("translation succeeds")
+        .into_iter()
+        .map(|t| t.workload)
+        .collect();
+
+    let consolidator = Consolidator::new(
+        ServerSpec::sixteen_way(),
+        normal_case.commitments(),
+        ConsolidationOptions::thorough(0x0DE5),
+    );
+    let normal_report = consolidator
+        .consolidate(&normal)
+        .expect("normal placement succeeds");
+    println!(
+        "normal mode (case {} QoS): {} servers, C_requ {:.1}, C_peak {:.1}",
+        normal_case.id,
+        normal_report.servers_used,
+        normal_report.required_capacity_total,
+        normal_report.peak_allocation_total
+    );
+
+    // §VII scope: during the repair window every application runs under
+    // its failure-mode QoS, which is what frees a whole server's capacity.
+    let analysis = analyze_single_failures(
+        &consolidator,
+        &normal_report,
+        &normal,
+        &failure,
+        FailureScope::AllApplications,
+    )
+    .expect("failure sweep succeeds");
+
+    println!(
+        "\nsingle-failure sweep (all apps fall back to case {} QoS during repair):",
+        failure_case.id
+    );
+    let mut rows = Vec::new();
+    for case in &analysis.cases {
+        let (supported, survivors, c_requ) = match &case.placement {
+            Some(p) => (
+                "yes",
+                p.servers_used.to_string(),
+                fmt(p.required_capacity_total, 1),
+            ),
+            None => ("NO", "-".to_string(), "-".to_string()),
+        };
+        println!(
+            "  server {:>2} fails: {:>2} affected apps -> supported: {supported:>3} \
+             (survivors used: {survivors}, C_requ: {c_requ})",
+            case.failed_server,
+            case.affected.len()
+        );
+        rows.push(vec![
+            case.failed_server.to_string(),
+            case.affected.len().to_string(),
+            supported.to_string(),
+            survivors,
+            c_requ,
+        ]);
+    }
+    write_tsv(
+        "failure_single_server_sweep",
+        &[
+            "failed_server",
+            "affected_apps",
+            "supported",
+            "survivor_servers",
+            "survivor_c_requ",
+        ],
+        &rows,
+    );
+
+    if analysis.spare_needed() {
+        println!("\nverdict: a spare server IS needed");
+    } else {
+        println!(
+            "\nverdict: no spare server needed — the {} remaining servers absorb any single \
+             failure under failure-mode QoS (paper's conclusion)",
+            normal_report.servers_used - 1
+        );
+    }
+}

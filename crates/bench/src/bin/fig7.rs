@@ -1,0 +1,65 @@
+//! Figures 7a/7b: per-application reduction in maximum CPU allocation
+//! (`MaxCapReduction`) with `M_degr = 3%` relative to `M_degr = 0%`, under
+//! four time-limits (`T_degr` = none, 2 h, 1 h, 30 min), for θ = 0.95 (a)
+//! and θ = 0.6 (b).
+//!
+//! Run with: `cargo run --release -p ropus-bench --bin fig7`
+
+use ropus_bench::{fmt, paper_fleet, write_tsv};
+use ropus_qos::translation::translate;
+use ropus_qos::{AppQos, CosSpec, DegradationSpec, UtilizationBand};
+
+const LIMITS: [(&str, Option<u32>); 4] = [
+    ("none", None),
+    ("120min", Some(120)),
+    ("60min", Some(60)),
+    ("30min", Some(30)),
+];
+
+fn main() {
+    let fleet = paper_fleet();
+    let band = UtilizationBand::new(0.5, 0.66).expect("paper constants");
+    let bound = 100.0 * (1.0 - 0.66 / 0.9);
+
+    for (panel, theta) in [("a", 0.95), ("b", 0.6)] {
+        let cos2 = CosSpec::new(theta, 60).expect("valid θ");
+        println!("\nFigure 7{panel}: MaxCapReduction (%) per app, θ = {theta}");
+        println!(
+            "{:<8} {:>8} {:>8} {:>8} {:>8}",
+            "app", "none", "2h", "1h", "30min"
+        );
+        let mut rows = Vec::new();
+        for app in &fleet {
+            let strict = translate(&app.trace, &AppQos::strict(band), &cos2)
+                .expect("translation succeeds")
+                .report
+                .peak_allocation;
+            let mut row = vec![app.name.clone()];
+            let mut printed = format!("{:<8}", app.name);
+            for (_, limit) in LIMITS {
+                let qos = AppQos::new(
+                    band,
+                    Some(DegradationSpec::new(0.03, 0.9, limit).expect("paper constants")),
+                );
+                let relaxed = translate(&app.trace, &qos, &cos2)
+                    .expect("translation succeeds")
+                    .report;
+                let reduction = if strict > 0.0 {
+                    100.0 * (1.0 - relaxed.peak_allocation / strict)
+                } else {
+                    0.0
+                };
+                printed.push_str(&format!(" {reduction:>8.1}"));
+                row.push(fmt(reduction, 3));
+            }
+            println!("{printed}");
+            rows.push(row);
+        }
+        write_tsv(
+            &format!("fig7{panel}_maxcapreduction_theta_{theta}"),
+            &["app", "none", "t120", "t60", "t30"],
+            &rows,
+        );
+        println!("(formula-5 upper bound: {bound:.1}%)");
+    }
+}

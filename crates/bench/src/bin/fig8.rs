@@ -1,0 +1,62 @@
+//! Figures 8a/8b: percentage of measurements with degraded performance
+//! (utilization of allocation in `(U_high, U_degr]` under worst-case CoS2
+//! delivery) per application, for the same `T_degr` grid as Fig. 7, for
+//! θ = 0.95 (a) and θ = 0.6 (b).
+//!
+//! Run with: `cargo run --release -p ropus-bench --bin fig8`
+
+use ropus_bench::{fmt, paper_fleet, write_tsv};
+use ropus_qos::translation::translate;
+use ropus_qos::{AppQos, CosSpec, DegradationSpec, UtilizationBand};
+
+const LIMITS: [(&str, Option<u32>); 4] = [
+    ("none", None),
+    ("120min", Some(120)),
+    ("60min", Some(60)),
+    ("30min", Some(30)),
+];
+
+fn main() {
+    let fleet = paper_fleet();
+    let band = UtilizationBand::new(0.5, 0.66).expect("paper constants");
+
+    for (panel, theta) in [("a", 0.95), ("b", 0.6)] {
+        let cos2 = CosSpec::new(theta, 60).expect("valid θ");
+        println!("\nFigure 8{panel}: % of measurements with degraded performance, θ = {theta}");
+        println!(
+            "{:<8} {:>8} {:>8} {:>8} {:>8}",
+            "app", "none", "2h", "1h", "30min"
+        );
+        let mut rows = Vec::new();
+        let mut worst = [0.0f64; 4];
+        for app in &fleet {
+            let mut row = vec![app.name.clone()];
+            let mut printed = format!("{:<8}", app.name);
+            for (i, (_, limit)) in LIMITS.iter().enumerate() {
+                let qos = AppQos::new(
+                    band,
+                    Some(DegradationSpec::new(0.03, 0.9, *limit).expect("paper constants")),
+                );
+                let report = translate(&app.trace, &qos, &cos2)
+                    .expect("translation succeeds")
+                    .report;
+                let pct = 100.0 * report.degraded_fraction;
+                worst[i] = worst[i].max(pct);
+                printed.push_str(&format!(" {pct:>8.2}"));
+                row.push(fmt(pct, 4));
+            }
+            println!("{printed}");
+            rows.push(row);
+        }
+        write_tsv(
+            &format!("fig8{panel}_degraded_pct_theta_{theta}"),
+            &["app", "none", "t120", "t60", "t30"],
+            &rows,
+        );
+        println!(
+            "worst app under T_degr=30min: {:.2}% (paper: <0.5% at θ=0.95, <1.5% at θ=0.6; \
+             3% allowed)",
+            worst[3]
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! A small `--flag value` / `--switch` argument parser.
+//!
+//! The CLI deliberately avoids an argument-parsing dependency: its needs
+//! are a handful of string/number flags per subcommand, and the sanctioned
+//! dependency set is kept minimal.
+
+use std::collections::BTreeMap;
+
+/// Parsed flags of one subcommand invocation.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs and bare `--switch` flags.
+    ///
+    /// A token starting with `--` consumes the following token as its
+    /// value unless that token also starts with `--` (then it is a
+    /// switch). Positional arguments are rejected.
+    pub fn parse(tokens: &[String], known_switches: &[&str]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = tokens.iter().peekable();
+        while let Some(token) = iter.next() {
+            let Some(name) = token.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {token:?}"));
+            };
+            if known_switches.contains(&name) {
+                args.switches.push(name.to_string());
+                continue;
+            }
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked").clone();
+                    if args.values.insert(name.to_string(), value).is_some() {
+                        return Err(format!("flag --{name} given twice"));
+                    }
+                }
+                _ => return Err(format!("flag --{name} expects a value")),
+            }
+        }
+        Ok(args)
+    }
+
+    /// The value of `--name`, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// The value of a required flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message naming the missing flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// A numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag --{name} has invalid value {raw:?}")),
+            None => Ok(default),
+        }
+    }
+
+    /// Whether the bare switch `--name` was given.
+    pub fn has_switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(s: &[&str]) -> Vec<String> {
+        s.iter().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let args = Args::parse(
+            &tokens(&["--apps", "12", "--thorough", "--seed", "7"]),
+            &["thorough"],
+        )
+        .unwrap();
+        assert_eq!(args.get("apps"), Some("12"));
+        assert_eq!(args.get_parsed("seed", 0u64).unwrap(), 7);
+        assert!(args.has_switch("thorough"));
+        assert!(!args.has_switch("fast"));
+        assert_eq!(args.get_parsed("weeks", 4usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn rejects_positional_and_valueless_flags() {
+        assert!(Args::parse(&tokens(&["positional"]), &[]).is_err());
+        assert!(Args::parse(&tokens(&["--out"]), &[]).is_err());
+        assert!(Args::parse(&tokens(&["--out", "--thorough"]), &["thorough"]).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_numbers() {
+        assert!(Args::parse(&tokens(&["--a", "1", "--a", "2"]), &[]).is_err());
+        let args = Args::parse(&tokens(&["--n", "xyz"]), &[]).unwrap();
+        assert!(args.get_parsed("n", 0u32).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing_flag() {
+        let args = Args::parse(&[], &[]).unwrap();
+        let err = args.require("traces").unwrap_err();
+        assert!(err.contains("--traces"));
+    }
+}

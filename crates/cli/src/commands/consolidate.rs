@@ -1,0 +1,74 @@
+//! `ropus consolidate` — the workload placement service from the command
+//! line: translate under the normal-mode QoS, pack onto servers, report.
+
+use ropus_placement::consolidate::{ConsolidationOptions, Consolidator};
+
+use crate::args::Args;
+use crate::commands::{load_traces, translate_all};
+use crate::policy::PolicyFile;
+
+const HELP: &str = "\
+ropus consolidate — pack workloads onto as few servers as possible
+
+OPTIONS:
+    --traces <FILE>    demand-trace CSV (required)
+    --policy <FILE>    policy JSON (required)
+    --seed <N>         search seed (default 0)
+    --fast             use fast search options (tests/previews)
+    --json             emit the placement report as JSON
+    --help             show this message";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns a usage, I/O, translation, or placement error message.
+pub fn run(tokens: &[String]) -> Result<(), String> {
+    if tokens.iter().any(|t| t == "--help") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let args = Args::parse(tokens, &["fast", "json"])?;
+    let policy = PolicyFile::load(args.require("policy")?)?;
+    let traces = load_traces(args.require("traces")?, policy.calendar())?;
+    let seed = args.get_parsed("seed", 0u64)?;
+    let options = if args.has_switch("fast") {
+        ConsolidationOptions::fast(seed)
+    } else {
+        ConsolidationOptions::thorough(seed)
+    };
+
+    let translated = translate_all(&traces, &policy.qos_policy().normal, &policy)?;
+    let workloads: Vec<_> = translated.iter().map(|(_, w, _)| w.clone()).collect();
+    let consolidator = Consolidator::new(policy.server_spec(), policy.pool_commitments(), options);
+    let report = consolidator
+        .consolidate(&workloads)
+        .map_err(|e| format!("consolidation failed: {e}"))?;
+
+    if args.has_switch("json") {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("cannot serialize report: {e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+
+    println!("servers used:     {}", report.servers_used);
+    println!(
+        "C_requ:           {:.1} CPUs",
+        report.required_capacity_total
+    );
+    println!("C_peak:           {:.1} CPUs", report.peak_allocation_total);
+    println!("sharing savings:  {:.1}%", 100.0 * report.sharing_savings());
+    println!("\nper-server packing:");
+    for sp in &report.servers {
+        let names: Vec<&str> = sp.workloads.iter().map(|&i| traces[i].0.as_str()).collect();
+        println!(
+            "  server {:>2}: required {:>6.1} CPUs (U = {:.2})  [{}]",
+            sp.server,
+            sp.required_capacity,
+            sp.utilization,
+            names.join(", ")
+        );
+    }
+    Ok(())
+}

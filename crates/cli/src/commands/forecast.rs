@@ -1,0 +1,119 @@
+//! `ropus forecast` — long-term capacity planning: estimate per-app demand
+//! growth from the trace history and project pool needs forward.
+
+use ropus::planning::estimate_weekly_growth;
+use ropus::prelude::*;
+
+use crate::args::Args;
+use crate::commands::load_traces;
+use crate::policy::PolicyFile;
+
+const HELP: &str = "\
+ropus forecast — project pool needs forward under demand growth
+
+OPTIONS:
+    --traces <FILE>    demand-trace CSV (required; >= 2 whole weeks to
+                       estimate growth from history)
+    --policy <FILE>    policy JSON (required)
+    --growth <F>       weekly growth factor (default: estimated from the
+                       traces, e.g. 1.05 = +5%/week)
+    --horizon <N>      forecast horizon in weeks (default 24)
+    --step <N>         evaluation step in weeks (default 4)
+    --servers <N>      report when a pool of N servers is exhausted
+    --seed <N>         search seed (default 0)
+    --fast             use fast search options
+    --help             show this message";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns a usage, I/O, or pipeline error message.
+pub fn run(tokens: &[String]) -> Result<(), String> {
+    if tokens.iter().any(|t| t == "--help") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let args = Args::parse(tokens, &["fast"])?;
+    let policy = PolicyFile::load(args.require("policy")?)?;
+    let traces = load_traces(args.require("traces")?, policy.calendar())?;
+    let horizon = args.get_parsed("horizon", 24usize)?;
+    let step = args.get_parsed("step", 4usize)?;
+    if step == 0 {
+        return Err("--step must be at least 1".to_string());
+    }
+    let seed = args.get_parsed("seed", 0u64)?;
+    let options = if args.has_switch("fast") {
+        ConsolidationOptions::fast(seed)
+    } else {
+        ConsolidationOptions::thorough(seed)
+    };
+
+    let growth = match args.get("growth") {
+        Some(raw) => {
+            let g: f64 = raw
+                .parse()
+                .map_err(|_| format!("invalid --growth value {raw:?}"))?;
+            if !(g.is_finite() && g > 0.0) {
+                return Err("--growth must be a positive number".to_string());
+            }
+            g
+        }
+        None => {
+            let growths: Vec<f64> = traces
+                .iter()
+                .map(|(_, t)| estimate_weekly_growth(t))
+                .collect();
+            let mean = growths.iter().sum::<f64>() / growths.len() as f64;
+            println!(
+                "estimated weekly growth from history: {:.2}%",
+                (mean - 1.0) * 100.0
+            );
+            mean
+        }
+    };
+
+    let framework = Framework::builder()
+        .server(policy.server_spec())
+        .commitments(policy.pool_commitments())
+        .options(options)
+        .build();
+    let apps: Vec<AppSpec> = traces
+        .into_iter()
+        .map(|(name, trace)| AppSpec::new(name, trace, policy.qos_policy()))
+        .collect();
+    let forecast = framework
+        .forecast(&apps, growth, horizon, step)
+        .map_err(|e| format!("forecast failed: {e}"))?;
+
+    println!(
+        "{:>12} {:>8} {:>12} {:>10}",
+        "weeks ahead", "scale", "servers", "C_requ"
+    );
+    for entry in &forecast.entries {
+        match (entry.servers, entry.required_capacity) {
+            (Some(s), Some(c)) => {
+                println!(
+                    "{:>12} {:>8.2} {:>12} {:>10.1}",
+                    entry.weeks_ahead, entry.scale, s, c
+                )
+            }
+            _ => println!(
+                "{:>12} {:>8.2} {:>12} {:>10}",
+                entry.weeks_ahead, entry.scale, "UNPLACEABLE", "-"
+            ),
+        }
+    }
+    if let Some(available) = args.get("servers") {
+        let available: usize = available
+            .parse()
+            .map_err(|_| "invalid --servers value".to_string())?;
+        match forecast.exhaustion_week(available) {
+            Some(week) => println!(
+                "\na {available}-server pool is exhausted ~{week} weeks out — plan procurement"
+            ),
+            None => println!("\na {available}-server pool lasts the whole horizon"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Subcommand implementations.
+
+pub mod consolidate;
+pub mod forecast;
+pub mod generate;
+pub mod plan;
+pub mod translate;
+pub mod validate;
+
+use ropus_placement::workload::Workload as PlacementWorkload;
+use ropus_qos::translation::translate as qos_translate;
+use ropus_qos::AppQos;
+use ropus_trace::{io::read_csv, Calendar, Trace};
+
+use crate::policy::PolicyFile;
+
+/// Loads named demand traces from a CSV file on the policy's calendar.
+pub(crate) fn load_traces(path: &str, calendar: Calendar) -> Result<Vec<(String, Trace)>, String> {
+    let file =
+        std::fs::File::open(path).map_err(|e| format!("cannot open trace file {path}: {e}"))?;
+    let traces =
+        read_csv(file, calendar).map_err(|e| format!("cannot parse trace file {path}: {e}"))?;
+    if traces.is_empty() {
+        return Err(format!("trace file {path} contains no workloads"));
+    }
+    Ok(traces)
+}
+
+/// Translates every trace under one QoS requirement, producing
+/// placement-ready workloads plus reports.
+pub(crate) fn translate_all(
+    traces: &[(String, Trace)],
+    qos: &AppQos,
+    policy: &PolicyFile,
+) -> Result<
+    Vec<(
+        String,
+        PlacementWorkload,
+        ropus_qos::translation::TranslationReport,
+    )>,
+    String,
+> {
+    traces
+        .iter()
+        .map(|(name, trace)| {
+            let t = qos_translate(trace, qos, &policy.commitments)
+                .map_err(|e| format!("translating {name}: {e}"))?;
+            let report = t.report;
+            Ok((
+                name.clone(),
+                PlacementWorkload::from_translation(name.clone(), t),
+                report,
+            ))
+        })
+        .collect()
+}

@@ -1,0 +1,100 @@
+//! `ropus plan` — the full pipeline: two-mode translation, normal-mode
+//! consolidation, single-failure sweep, spare-server verdict.
+
+use ropus::prelude::*;
+
+use crate::args::Args;
+use crate::commands::load_traces;
+use crate::policy::PolicyFile;
+
+const HELP: &str = "\
+ropus plan — full capacity plan: translate, consolidate, failure sweep
+
+OPTIONS:
+    --traces <FILE>    demand-trace CSV (required)
+    --policy <FILE>    policy JSON (required)
+    --seed <N>         search seed (default 0)
+    --fast             use fast search options (tests/previews)
+    --all-apps-relax   every app falls back to failure-mode QoS after a
+                       failure (the paper's §VII scope); default relaxes
+                       only the affected apps (§VI-C)
+    --json             emit the capacity plan as JSON
+    --help             show this message";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns a usage, I/O, or pipeline error message.
+pub fn run(tokens: &[String]) -> Result<(), String> {
+    if tokens.iter().any(|t| t == "--help") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let args = Args::parse(tokens, &["fast", "json", "all-apps-relax"])?;
+    let policy = PolicyFile::load(args.require("policy")?)?;
+    let traces = load_traces(args.require("traces")?, policy.calendar())?;
+    let seed = args.get_parsed("seed", 0u64)?;
+    let options = if args.has_switch("fast") {
+        ConsolidationOptions::fast(seed)
+    } else {
+        ConsolidationOptions::thorough(seed)
+    };
+    let scope = if args.has_switch("all-apps-relax") {
+        FailureScope::AllApplications
+    } else {
+        FailureScope::AffectedOnly
+    };
+
+    let framework = Framework::builder()
+        .server(policy.server_spec())
+        .commitments(policy.pool_commitments())
+        .options(options)
+        .failure_scope(scope)
+        .build();
+    let apps: Vec<AppSpec> = traces
+        .into_iter()
+        .map(|(name, trace)| AppSpec::new(name, trace, policy.qos_policy()))
+        .collect();
+    let plan = framework
+        .plan(&apps)
+        .map_err(|e| format!("planning failed: {e}"))?;
+
+    if args.has_switch("json") {
+        let json = serde_json::to_string_pretty(&plan)
+            .map_err(|e| format!("cannot serialize plan: {e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+
+    println!("applications:          {}", plan.apps.len());
+    println!("normal-mode servers:   {}", plan.normal_servers());
+    println!(
+        "C_requ:                {:.1} CPUs",
+        plan.normal_placement.required_capacity_total
+    );
+    println!(
+        "C_peak:                {:.1} CPUs",
+        plan.normal_placement.peak_allocation_total
+    );
+    println!(
+        "sharing savings:       {:.1}%",
+        100.0 * plan.normal_placement.sharing_savings()
+    );
+    println!("\nsingle-failure sweep:");
+    for case in &plan.failure_analysis.cases {
+        match &case.placement {
+            Some(p) => println!(
+                "  server {:>2} fails -> re-placed on {} survivors (C_requ {:.1})",
+                case.failed_server, p.servers_used, p.required_capacity_total
+            ),
+            None => println!(
+                "  server {:>2} fails -> CANNOT be re-placed on the survivors",
+                case.failed_server
+            ),
+        }
+    }
+    println!("\nspare server needed:   {}", plan.spare_needed());
+    println!("servers to provision:  {}", plan.servers_to_provision());
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! `ropus translate` — run the QoS translation and report every
+//! intermediate per application.
+
+use crate::args::Args;
+use crate::commands::{load_traces, translate_all};
+use crate::policy::PolicyFile;
+
+const HELP: &str = "\
+ropus translate — map application demands onto the two classes of service
+
+OPTIONS:
+    --traces <FILE>    demand-trace CSV (required)
+    --policy <FILE>    policy JSON (required); normal-mode QoS is used
+    --failure-mode     translate under the failure-mode QoS instead
+    --json             emit machine-readable JSON instead of a table
+    --help             show this message";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns a usage, I/O, or translation error message.
+pub fn run(tokens: &[String]) -> Result<(), String> {
+    if tokens.iter().any(|t| t == "--help") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let args = Args::parse(tokens, &["failure-mode", "json"])?;
+    let policy = PolicyFile::load(args.require("policy")?)?;
+    let traces = load_traces(args.require("traces")?, policy.calendar())?;
+    let qos = if args.has_switch("failure-mode") {
+        policy.qos_policy().failure
+    } else {
+        policy.qos_policy().normal
+    };
+
+    let translated = translate_all(&traces, &qos, &policy)?;
+    if args.has_switch("json") {
+        let reports: Vec<_> = translated
+            .iter()
+            .map(|(name, _, report)| (name, report))
+            .collect();
+        let json = serde_json::to_string_pretty(&reports)
+            .map_err(|e| format!("cannot serialize reports: {e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>12} {:>10} {:>11}",
+        "app", "D_max", "D_new_max", "reduction", "peak alloc", "degraded", "worst-case U"
+    );
+    for (name, _, report) in &translated {
+        println!(
+            "{:<12} {:>8.2} {:>10.2} {:>9.1}% {:>12.2} {:>9.2}% {:>11.3}",
+            name,
+            report.d_max,
+            report.d_new_max,
+            100.0 * report.max_cap_reduction,
+            report.peak_allocation,
+            100.0 * report.degraded_fraction,
+            report.max_worst_case_utilization,
+        );
+    }
+    let total_peak: f64 = translated.iter().map(|(_, _, r)| r.peak_allocation).sum();
+    println!("\nC_peak (sum of peak allocations): {total_peak:.1} CPUs");
+    Ok(())
+}

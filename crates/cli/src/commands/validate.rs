@@ -1,0 +1,97 @@
+//! `ropus validate` — plan capacity, then replay the placement through
+//! the workload-manager host scheduler and audit the QoS each application
+//! actually receives (the paper's "service levels are evaluated" step).
+
+use ropus::prelude::*;
+
+use crate::args::Args;
+use crate::commands::load_traces;
+use crate::policy::PolicyFile;
+
+const HELP: &str = "\
+ropus validate — audit the delivered QoS of a consolidated placement
+
+Plans capacity for the fleet, then replays the raw demand traces through
+the two-priority host scheduler of each placed server and audits every
+application's utilization of allocation against its requirement.
+
+OPTIONS:
+    --traces <FILE>    demand-trace CSV (required)
+    --policy <FILE>    policy JSON (required)
+    --seed <N>         search seed (default 0)
+    --fast             use fast search options
+    --help             show this message";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns a usage, I/O, or pipeline error message.
+pub fn run(tokens: &[String]) -> Result<(), String> {
+    if tokens.iter().any(|t| t == "--help") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let args = Args::parse(tokens, &["fast"])?;
+    let policy = PolicyFile::load(args.require("policy")?)?;
+    let traces = load_traces(args.require("traces")?, policy.calendar())?;
+    let seed = args.get_parsed("seed", 0u64)?;
+    let options = if args.has_switch("fast") {
+        ConsolidationOptions::fast(seed)
+    } else {
+        ConsolidationOptions::thorough(seed)
+    };
+
+    let framework = Framework::builder()
+        .server(policy.server_spec())
+        .commitments(policy.pool_commitments())
+        .options(options)
+        .build();
+    let apps: Vec<AppSpec> = traces
+        .into_iter()
+        .map(|(name, trace)| AppSpec::new(name, trace, policy.qos_policy()))
+        .collect();
+    let plan = framework
+        .plan(&apps)
+        .map_err(|e| format!("planning failed: {e}"))?;
+    let runtime = framework
+        .validate_runtime(&apps, &plan)
+        .map_err(|e| format!("replay failed: {e}"))?;
+
+    println!("placement: {} servers", plan.normal_servers());
+    println!(
+        "{:<12} {:>7} {:>12} {:>12} {:>12} {:>10}",
+        "app", "server", "acceptable", "degraded", "max U", "compliant"
+    );
+    for outcome in &runtime.apps {
+        println!(
+            "{:<12} {:>7} {:>11.1}% {:>11.2}% {:>12.3} {:>10}",
+            outcome.name,
+            outcome.server,
+            100.0 * outcome.audit.acceptable_fraction,
+            100.0 * outcome.audit.degraded_fraction,
+            outcome.audit.max_utilization,
+            if outcome.audit.is_compliant() {
+                "yes"
+            } else {
+                "NO"
+            },
+        );
+    }
+    println!("\nper-server contention:");
+    for s in &runtime.servers {
+        println!(
+            "  server {:>2}: {:>5} contended slots, peak granted {:>6.1}",
+            s.server, s.contended_slots, s.peak_granted
+        );
+    }
+    if runtime.all_compliant() {
+        println!("\nverdict: delivered QoS meets every application's requirement");
+        Ok(())
+    } else {
+        Err(format!(
+            "delivered QoS violates requirements for: {:?}",
+            runtime.violators()
+        ))
+    }
+}

@@ -1,0 +1,64 @@
+//! `ropus` — the R-Opus capacity-management command line.
+//!
+//! Subcommands:
+//!
+//! * `generate`    — synthesize an enterprise demand-trace fleet as CSV;
+//! * `translate`   — map each application's demand onto the two classes of
+//!   service and report the translation intermediates;
+//! * `consolidate` — run the workload placement service and report servers
+//!   used, `C_requ`, `C_peak`, and the per-server packing;
+//! * `plan`        — the full pipeline: translate both QoS modes,
+//!   consolidate, sweep single failures, and decide on a spare server.
+//!
+//! Run `ropus help` (or any subcommand with `--help`) for usage.
+
+mod args;
+mod commands;
+mod policy;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ropus — capacity management for shared resource pools (R-Opus, DSN 2006)
+
+USAGE:
+    ropus <COMMAND> [OPTIONS]
+
+COMMANDS:
+    generate     synthesize a demand-trace fleet as CSV
+    translate    translate demands onto the two classes of service
+    consolidate  pack workloads onto as few servers as possible
+    plan         full pipeline: translate, consolidate, failure sweep
+    forecast     project pool needs forward under demand growth
+    validate     audit the delivered QoS of a consolidated placement
+    help         show this message
+
+Run `ropus <COMMAND> --help` for command options.";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "generate" => commands::generate::run(rest),
+        "translate" => commands::translate::run(rest),
+        "consolidate" => commands::consolidate::run(rest),
+        "plan" => commands::plan::run(rest),
+        "forecast" => commands::forecast::run(rest),
+        "validate" => commands::validate::run(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; run `ropus help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The JSON policy file consumed by `translate`, `consolidate`, and
+//! `plan`: pool configuration plus per-mode application QoS.
+//!
+//! ```json
+//! {
+//!   "slot_minutes": 5,
+//!   "server": { "cpus": 16, "cpu_capacity": 1.0 },
+//!   "commitments": { "theta": 0.95, "deadline_minutes": 60 },
+//!   "normal": {
+//!     "band": { "low": 0.5, "high": 0.66 },
+//!     "degradation": {
+//!       "max_fraction": 0.03, "u_degr": 0.9,
+//!       "time_limit_minutes": 30, "max_epochs_per_week": null
+//!     }
+//!   },
+//!   "failure": { "band": { "low": 0.5, "high": 0.66 }, "degradation": null }
+//! }
+//! ```
+
+use serde::Deserialize;
+
+use ropus::prelude::*;
+use ropus_trace::Calendar;
+
+/// Deserialized policy file.
+#[derive(Debug, Clone, Deserialize)]
+pub struct PolicyFile {
+    /// Observation slot length in minutes (default 5).
+    #[serde(default = "default_slot_minutes")]
+    pub slot_minutes: u32,
+    /// Server shape (default: the paper's 16-way).
+    #[serde(default)]
+    pub server: ServerShape,
+    /// The CoS2 commitment.
+    pub commitments: CosSpec,
+    /// Normal-mode application QoS (applied to every application).
+    pub normal: AppQos,
+    /// Failure-mode application QoS; defaults to `normal` when omitted.
+    #[serde(default)]
+    pub failure: Option<AppQos>,
+}
+
+fn default_slot_minutes() -> u32 {
+    5
+}
+
+/// Server shape as written in the policy file.
+#[derive(Debug, Clone, Copy, Deserialize)]
+pub struct ServerShape {
+    /// CPUs per server.
+    pub cpus: u32,
+    /// Capacity of one CPU in allocation units.
+    #[serde(default = "default_cpu_capacity")]
+    pub cpu_capacity: f64,
+}
+
+fn default_cpu_capacity() -> f64 {
+    1.0
+}
+
+impl Default for ServerShape {
+    fn default() -> Self {
+        ServerShape {
+            cpus: 16,
+            cpu_capacity: 1.0,
+        }
+    }
+}
+
+impl PolicyFile {
+    /// Loads and validates a policy file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on I/O, JSON, or semantic errors.
+    pub fn load(path: &str) -> Result<PolicyFile, String> {
+        let raw = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read policy file {path}: {e}"))?;
+        let policy: PolicyFile =
+            serde_json::from_str(&raw).map_err(|e| format!("invalid policy file {path}: {e}"))?;
+        policy.validate()?;
+        Ok(policy)
+    }
+
+    /// Semantic validation beyond what serde enforces.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        Calendar::new(self.slot_minutes).map_err(|e| format!("invalid slot_minutes: {e}"))?;
+        if self.server.cpus == 0 {
+            return Err("server.cpus must be at least 1".to_string());
+        }
+        if !(self.server.cpu_capacity.is_finite() && self.server.cpu_capacity > 0.0) {
+            return Err("server.cpu_capacity must be positive".to_string());
+        }
+        self.qos_policy()
+            .validate()
+            .map_err(|e| format!("invalid QoS policy: {e}"))
+    }
+
+    /// The trace calendar the policy implies.
+    pub fn calendar(&self) -> Calendar {
+        Calendar::new(self.slot_minutes).expect("validated at load")
+    }
+
+    /// The server spec the policy implies.
+    pub fn server_spec(&self) -> ServerSpec {
+        ServerSpec::new(self.server.cpus, self.server.cpu_capacity)
+    }
+
+    /// The pool commitments the policy implies.
+    pub fn pool_commitments(&self) -> PoolCommitments {
+        PoolCommitments::new(self.commitments)
+    }
+
+    /// The two-mode QoS policy (failure defaults to normal).
+    pub fn qos_policy(&self) -> QosPolicy {
+        QosPolicy {
+            normal: self.normal,
+            failure: self.failure.unwrap_or(self.normal),
+        }
+    }
+}
+
+/// The paper's case-study policy as a ready-to-edit JSON template.
+pub const TEMPLATE: &str = r#"{
+  "slot_minutes": 5,
+  "server": { "cpus": 16, "cpu_capacity": 1.0 },
+  "commitments": { "theta": 0.95, "deadline_minutes": 60 },
+  "normal": {
+    "band": { "low": 0.5, "high": 0.66 },
+    "degradation": {
+      "max_fraction": 0.03,
+      "u_degr": 0.9,
+      "time_limit_minutes": 30,
+      "max_epochs_per_week": null
+    }
+  },
+  "failure": {
+    "band": { "low": 0.5, "high": 0.66 },
+    "degradation": {
+      "max_fraction": 0.03,
+      "u_degr": 0.9,
+      "time_limit_minutes": null,
+      "max_epochs_per_week": null
+    }
+  }
+}"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_parses_and_validates() {
+        let policy: PolicyFile = serde_json::from_str(TEMPLATE).unwrap();
+        policy.validate().unwrap();
+        assert_eq!(policy.slot_minutes, 5);
+        assert_eq!(policy.server_spec().cpus(), 16);
+        assert_eq!(policy.commitments.theta(), 0.95);
+        assert!(policy.qos_policy().normal.degradation().is_some());
+        assert_eq!(
+            policy
+                .qos_policy()
+                .failure
+                .degradation()
+                .unwrap()
+                .time_limit_minutes(),
+            None
+        );
+    }
+
+    #[test]
+    fn failure_defaults_to_normal() {
+        let json = r#"{
+            "commitments": { "theta": 0.6, "deadline_minutes": 60 },
+            "normal": { "band": { "low": 0.5, "high": 0.66 }, "degradation": null }
+        }"#;
+        let policy: PolicyFile = serde_json::from_str(json).unwrap();
+        policy.validate().unwrap();
+        assert_eq!(policy.qos_policy().failure, policy.qos_policy().normal);
+        assert_eq!(
+            policy.server.cpus, 16,
+            "server defaults to the paper's 16-way"
+        );
+    }
+
+    #[test]
+    fn semantic_validation_rejects_bad_slots() {
+        let json = r#"{
+            "slot_minutes": 7,
+            "commitments": { "theta": 0.6, "deadline_minutes": 60 },
+            "normal": { "band": { "low": 0.5, "high": 0.66 }, "degradation": null }
+        }"#;
+        let policy: PolicyFile = serde_json::from_str(json).unwrap();
+        assert!(policy.validate().is_err());
+    }
+
+    #[test]
+    fn serde_rejects_invalid_qos_inside_policy() {
+        let json = r#"{
+            "commitments": { "theta": 1.5, "deadline_minutes": 60 },
+            "normal": { "band": { "low": 0.5, "high": 0.66 }, "degradation": null }
+        }"#;
+        assert!(serde_json::from_str::<PolicyFile>(json).is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! End-to-end tests of the `ropus` binary: generate a small fleet, then
+//! drive every subcommand against it through a real process.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn ropus() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ropus"))
+}
+
+fn run(args: &[&str]) -> Output {
+    ropus().args(args).output().expect("spawn ropus")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).to_string()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).to_string()
+}
+
+/// A per-test scratch directory.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ropus-cli-tests").join(name);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Generates a small fleet + policy template and returns their paths.
+fn generated(name: &str) -> (String, String) {
+    let dir = scratch(name);
+    let traces = dir.join("traces.csv").to_string_lossy().to_string();
+    let policy = dir.join("policy.json").to_string_lossy().to_string();
+    let output = run(&[
+        "generate", "--out", &traces, "--apps", "5", "--weeks", "1", "--policy", &policy,
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    (traces, policy)
+}
+
+#[test]
+fn help_paths() {
+    let output = run(&["help"]);
+    assert!(output.status.success());
+    assert!(stdout(&output).contains("consolidate"));
+
+    let no_args = ropus().output().expect("spawn");
+    assert!(!no_args.status.success());
+
+    let unknown = run(&["frobnicate"]);
+    assert!(!unknown.status.success());
+    assert!(stderr(&unknown).contains("unknown command"));
+
+    for cmd in [
+        "generate",
+        "translate",
+        "consolidate",
+        "plan",
+        "forecast",
+        "validate",
+    ] {
+        let output = run(&[cmd, "--help"]);
+        assert!(output.status.success(), "{cmd} --help failed");
+        assert!(stdout(&output).contains("OPTIONS"));
+    }
+}
+
+#[test]
+fn generate_writes_csv_and_template() {
+    let (traces, policy) = generated("generate");
+    let csv = std::fs::read_to_string(&traces).unwrap();
+    let header = csv.lines().next().unwrap();
+    assert_eq!(header.split(',').count(), 5);
+    // 1 week of 5-minute samples + header.
+    assert_eq!(csv.lines().count(), 2016 + 1);
+    let policy_text = std::fs::read_to_string(&policy).unwrap();
+    assert!(policy_text.contains("\"theta\""));
+}
+
+#[test]
+fn translate_prints_per_app_table_and_json() {
+    let (traces, policy) = generated("translate");
+    let output = run(&["translate", "--traces", &traces, "--policy", &policy]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("app-01"));
+    assert!(text.contains("C_peak"));
+
+    let output = run(&[
+        "translate",
+        "--traces",
+        &traces,
+        "--policy",
+        &policy,
+        "--json",
+    ]);
+    assert!(output.status.success());
+    let json: serde_json::Value = serde_json::from_str(&stdout(&output)).unwrap();
+    assert_eq!(json.as_array().unwrap().len(), 5);
+
+    // Failure-mode translation must not increase any peak allocation.
+    let fail = run(&[
+        "translate",
+        "--traces",
+        &traces,
+        "--policy",
+        &policy,
+        "--failure-mode",
+    ]);
+    assert!(fail.status.success());
+}
+
+#[test]
+fn consolidate_reports_packing() {
+    let (traces, policy) = generated("consolidate");
+    let output = run(&[
+        "consolidate",
+        "--traces",
+        &traces,
+        "--policy",
+        &policy,
+        "--fast",
+        "--seed",
+        "3",
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("servers used"));
+    assert!(text.contains("per-server packing"));
+
+    let output = run(&[
+        "consolidate",
+        "--traces",
+        &traces,
+        "--policy",
+        &policy,
+        "--fast",
+        "--json",
+    ]);
+    assert!(output.status.success());
+    let json: serde_json::Value = serde_json::from_str(&stdout(&output)).unwrap();
+    assert!(json["servers_used"].as_u64().unwrap() >= 1);
+}
+
+#[test]
+fn plan_produces_verdict() {
+    let (traces, policy) = generated("plan");
+    let output = run(&[
+        "plan",
+        "--traces",
+        &traces,
+        "--policy",
+        &policy,
+        "--fast",
+        "--all-apps-relax",
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("spare server needed"));
+    assert!(text.contains("single-failure sweep"));
+
+    let output = run(&[
+        "plan", "--traces", &traces, "--policy", &policy, "--fast", "--json",
+    ]);
+    assert!(output.status.success());
+    let json: serde_json::Value = serde_json::from_str(&stdout(&output)).unwrap();
+    assert_eq!(json["apps"].as_array().unwrap().len(), 5);
+}
+
+#[test]
+fn forecast_projects_server_needs() {
+    let (traces, policy) = generated("forecast");
+    let output = run(&[
+        "forecast",
+        "--traces",
+        &traces,
+        "--policy",
+        &policy,
+        "--fast",
+        "--growth",
+        "1.3",
+        "--horizon",
+        "4",
+        "--step",
+        "2",
+        "--servers",
+        "1",
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("weeks ahead"));
+    assert!(text.contains("1-server pool"));
+
+    // Growth estimated from history when --growth is omitted.
+    let output = run(&[
+        "forecast",
+        "--traces",
+        &traces,
+        "--policy",
+        &policy,
+        "--fast",
+        "--horizon",
+        "2",
+        "--step",
+        "2",
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    assert!(stdout(&output).contains("estimated weekly growth"));
+
+    // Bad growth rejected.
+    let output = run(&[
+        "forecast", "--traces", &traces, "--policy", &policy, "--fast", "--growth", "-2",
+    ]);
+    assert!(!output.status.success());
+}
+
+#[test]
+fn validate_audits_delivered_qos() {
+    let (traces, policy) = generated("validate");
+    let output = run(&[
+        "validate", "--traces", &traces, "--policy", &policy, "--fast",
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("compliant"));
+    assert!(text.contains("per-server contention"));
+    assert!(text.contains("verdict"));
+}
+
+#[test]
+fn missing_and_malformed_inputs_fail_cleanly() {
+    let (traces, _) = generated("errors");
+    let output = run(&["consolidate", "--traces", &traces]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("--policy"));
+
+    let output = run(&[
+        "translate",
+        "--traces",
+        "/nonexistent.csv",
+        "--policy",
+        "/none.json",
+    ]);
+    assert!(!output.status.success());
+
+    // A policy with inverted band must be rejected at load.
+    let dir = scratch("errors");
+    let bad = dir.join("bad.json");
+    std::fs::write(
+        &bad,
+        r#"{"commitments": {"theta": 0.9, "deadline_minutes": 60},
+            "normal": {"band": {"low": 0.9, "high": 0.5}, "degradation": null}}"#,
+    )
+    .unwrap();
+    let output = run(&[
+        "translate",
+        "--traces",
+        &traces,
+        "--policy",
+        &bad.to_string_lossy(),
+    ]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("invalid policy"));
+}

@@ -1,0 +1,86 @@
+use std::fmt;
+
+use ropus_placement::PlacementError;
+use ropus_qos::QosError;
+use ropus_trace::TraceError;
+
+/// Error raised by the end-to-end framework pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FrameworkError {
+    /// A QoS specification or translation failed.
+    Qos(QosError),
+    /// The placement service failed.
+    Placement(PlacementError),
+    /// A demand trace was invalid.
+    Trace(TraceError),
+    /// No applications were supplied.
+    NoApplications,
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::Qos(e) => write!(f, "qos error: {e}"),
+            FrameworkError::Placement(e) => write!(f, "placement error: {e}"),
+            FrameworkError::Trace(e) => write!(f, "trace error: {e}"),
+            FrameworkError::NoApplications => write!(f, "no applications supplied"),
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameworkError::Qos(e) => Some(e),
+            FrameworkError::Placement(e) => Some(e),
+            FrameworkError::Trace(e) => Some(e),
+            FrameworkError::NoApplications => None,
+        }
+    }
+}
+
+impl From<QosError> for FrameworkError {
+    fn from(err: QosError) -> Self {
+        FrameworkError::Qos(err)
+    }
+}
+
+impl From<PlacementError> for FrameworkError {
+    fn from(err: PlacementError) -> Self {
+        FrameworkError::Placement(err)
+    }
+}
+
+impl From<TraceError> for FrameworkError {
+    fn from(err: TraceError) -> Self {
+        FrameworkError::Trace(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let q: FrameworkError = QosError::InvalidAccessProbability { theta: 2.0 }.into();
+        assert!(std::error::Error::source(&q).is_some());
+        let p: FrameworkError = PlacementError::NoWorkloads.into();
+        assert!(std::error::Error::source(&p).is_some());
+        let t: FrameworkError = TraceError::Empty.into();
+        assert!(std::error::Error::source(&t).is_some());
+        assert!(std::error::Error::source(&FrameworkError::NoApplications).is_none());
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(!FrameworkError::NoApplications.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<FrameworkError>();
+    }
+}

@@ -1,0 +1,92 @@
+//! # R-Opus
+//!
+//! A reproduction of **"R-Opus: A Composite Framework for Application
+//! Performability and QoS in Shared Resource Pools"** (Cherkasova & Rolia,
+//! DSN 2006) as a production-quality Rust workspace.
+//!
+//! R-Opus automates capacity management for shared server pools. Four
+//! pieces compose:
+//!
+//! 1. **Application QoS requirements** (`ropus-qos`): per application, an
+//!    acceptable utilization-of-allocation band `(U_low, U_high)` plus a
+//!    bounded, time-limited degradation allowance — specified independently
+//!    for normal operation and for operation while a server failure is
+//!    outstanding.
+//! 2. **Resource pool CoS commitments** (`ropus-qos`): a guaranteed class
+//!    and a statistical class with access probability `θ` and deadline `s`.
+//! 3. **QoS translation** (`ropus-qos::translation`): the portfolio method
+//!    that divides each application's demand across the two classes so its
+//!    QoS holds whenever the pool honours its commitments.
+//! 4. **Workload placement** (`ropus-placement`): a trace-replay fit
+//!    simulator plus a genetic-algorithm consolidation search, with
+//!    single-failure planning.
+//!
+//! This crate is the facade: [`Framework`] runs the whole pipeline
+//! (translate → consolidate → failure sweep), and [`case_study`] packages
+//! the paper's §VII evaluation setup.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ropus::prelude::*;
+//!
+//! # fn main() -> Result<(), ropus::FrameworkError> {
+//! // 1. Synthesize a small fleet (stand-in for monitored demand traces).
+//! let fleet = case_study_fleet(&FleetConfig { apps: 4, weeks: 1, ..FleetConfig::paper() });
+//!
+//! // 2. Describe requirements and pool commitments.
+//! let policy = QosPolicy {
+//!     normal: AppQos::paper_default(Some(30)),
+//!     failure: AppQos::paper_default(None),
+//! };
+//! let commitments = PoolCommitments::new(CosSpec::new(0.9, 60)?);
+//!
+//! // 3. Plan capacity.
+//! let framework = Framework::builder()
+//!     .server(ServerSpec::sixteen_way())
+//!     .commitments(commitments)
+//!     .options(ConsolidationOptions::fast(1))
+//!     .build();
+//! let apps: Vec<AppSpec> = fleet
+//!     .into_iter()
+//!     .map(|app| AppSpec::new(app.name, app.trace, policy))
+//!     .collect();
+//! let plan = framework.plan(&apps)?;
+//! assert!(plan.normal_placement.servers_used >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod framework;
+
+pub mod case_study;
+pub mod lifecycle;
+pub mod planning;
+pub mod runtime;
+
+pub use error::FrameworkError;
+pub use framework::{AppPlan, AppSpec, CapacityPlan, Framework, FrameworkBuilder};
+
+/// One-stop imports for typical R-Opus use.
+pub mod prelude {
+    pub use crate::case_study::{self, CaseConfig, CaseResult};
+    pub use crate::planning::{estimate_weekly_growth, CapacityForecast, ForecastEntry};
+    pub use crate::lifecycle::{EpochOutcome, LifecycleReport};
+    pub use crate::runtime::{AppRuntimeOutcome, PoolRuntimeReport};
+    pub use crate::{AppPlan, AppSpec, CapacityPlan, Framework, FrameworkError};
+    pub use ropus_placement::consolidate::{ConsolidationOptions, Consolidator, PlacementReport};
+    pub use ropus_placement::failure::{FailureAnalysis, FailureScope};
+    pub use ropus_placement::ga::GaOptions;
+    pub use ropus_placement::server::{Pool, ServerSpec};
+    pub use ropus_placement::workload::Workload;
+    pub use ropus_qos::translation::{translate, Translation, TranslationReport};
+    pub use ropus_qos::{
+        AppQos, CosSpec, DegradationSpec, PoolCommitments, QosPolicy, UtilizationBand,
+    };
+    pub use ropus_trace::gen::{case_study_fleet, FleetConfig, WorkloadProfile};
+    pub use ropus_trace::{Calendar, Trace};
+}

@@ -1,0 +1,276 @@
+//! Long-term capacity planning — the leftmost timescale of the paper's
+//! Fig. 1 ("decide when additional capacity is needed for a pool so that
+//! a procurement process can be initiated").
+//!
+//! The paper's medium-term machinery answers *how many servers does this
+//! fleet need today*; this module extrapolates it: estimate each fleet's
+//! demand growth from its trace history, scale the traces forward, and
+//! re-run the translation + consolidation pipeline at each horizon step
+//! until the pool size is known for every future week. The paper notes
+//! that demands "are likely to change slowly (e.g., over several months)"
+//! — exactly the regime where trend extrapolation is sound.
+
+use serde::{Deserialize, Serialize};
+
+use ropus_trace::stats;
+use ropus_trace::Trace;
+
+use crate::framework::{AppSpec, Framework};
+use crate::FrameworkError;
+
+/// Estimates the weekly multiplicative demand growth of a trace.
+///
+/// Fits ordinary least squares to the logarithm of the weekly mean demand
+/// and returns `exp(slope)` — the factor by which demand grows per week.
+/// Returns 1.0 (no growth) when fewer than two whole weeks are available
+/// or when any week has zero mean (no meaningful trend).
+///
+/// # Example
+///
+/// ```
+/// use ropus::planning::estimate_weekly_growth;
+/// use ropus_trace::{Calendar, Trace};
+///
+/// let cal = Calendar::new(60)?;
+/// // Two weeks, the second 10% hotter.
+/// let mut samples = vec![1.0; cal.slots_per_week()];
+/// samples.extend(vec![1.1; cal.slots_per_week()]);
+/// let trace = Trace::from_samples(cal, samples)?;
+/// let growth = estimate_weekly_growth(&trace);
+/// assert!((growth - 1.1).abs() < 1e-9);
+/// # Ok::<(), ropus_trace::TraceError>(())
+/// ```
+pub fn estimate_weekly_growth(trace: &Trace) -> f64 {
+    let weeks = trace.weeks();
+    if weeks < 2 {
+        return 1.0;
+    }
+    let mut log_means = Vec::with_capacity(weeks);
+    for w in 0..weeks {
+        let week = trace.week(w).expect("week index within whole weeks");
+        let mean = stats::mean(week);
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        log_means.push(mean.ln());
+    }
+    // OLS slope of log_means against week index.
+    let n = log_means.len() as f64;
+    let x_mean = (n - 1.0) / 2.0;
+    let y_mean = stats::mean(&log_means);
+    let mut numer = 0.0;
+    let mut denom = 0.0;
+    for (i, &y) in log_means.iter().enumerate() {
+        let dx = i as f64 - x_mean;
+        numer += dx * (y - y_mean);
+        denom += dx * dx;
+    }
+    if denom == 0.0 {
+        return 1.0;
+    }
+    (numer / denom).exp()
+}
+
+/// One step of a capacity forecast.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForecastEntry {
+    /// Weeks from now.
+    pub weeks_ahead: usize,
+    /// Demand scale factor applied (`growth ^ weeks_ahead`).
+    pub scale: f64,
+    /// Servers the scaled fleet needs in normal mode, or `None` when some
+    /// scaled application no longer fits any server at all.
+    pub servers: Option<usize>,
+    /// Sum of per-server required capacities at that point, when placeable.
+    pub required_capacity: Option<f64>,
+}
+
+/// A capacity forecast over a horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityForecast {
+    /// The weekly growth factor used.
+    pub weekly_growth: f64,
+    /// One entry per evaluated step, in increasing horizon order.
+    pub entries: Vec<ForecastEntry>,
+}
+
+impl CapacityForecast {
+    /// The first horizon (weeks ahead) at which the fleet needs more than
+    /// `available` servers (or stops being placeable); `None` if the pool
+    /// suffices for the whole horizon.
+    pub fn exhaustion_week(&self, available: usize) -> Option<usize> {
+        self.entries
+            .iter()
+            .find(|e| e.servers.is_none_or(|s| s > available))
+            .map(|e| e.weeks_ahead)
+    }
+}
+
+impl Framework {
+    /// Forecasts pool needs over `horizon_weeks`, evaluating every
+    /// `step_weeks`, with demand scaled by `weekly_growth` per week.
+    ///
+    /// Growth is applied uniformly; per-application growth can be modelled
+    /// by pre-scaling individual traces. An unplaceable step is recorded
+    /// (servers = `None`) rather than failing the whole forecast.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::NoApplications`] for an empty fleet and
+    /// propagates trace/QoS errors. Growth must be positive and finite.
+    pub fn forecast(
+        &self,
+        apps: &[AppSpec],
+        weekly_growth: f64,
+        horizon_weeks: usize,
+        step_weeks: usize,
+    ) -> Result<CapacityForecast, FrameworkError> {
+        if apps.is_empty() {
+            return Err(FrameworkError::NoApplications);
+        }
+        assert!(
+            weekly_growth.is_finite() && weekly_growth > 0.0,
+            "growth factor must be positive"
+        );
+        assert!(step_weeks > 0, "step must be at least one week");
+
+        let mut entries = Vec::new();
+        let mut week = 0usize;
+        while week <= horizon_weeks {
+            let scale = weekly_growth.powi(week as i32);
+            let scaled: Result<Vec<AppSpec>, FrameworkError> = apps
+                .iter()
+                .map(|app| {
+                    let demand = app.demand().scaled(scale)?;
+                    let spec = AppSpec::new(app.name(), demand, app.policy());
+                    match app.memory() {
+                        // Memory footprints grow with load too, though
+                        // sub-linearly in practice; uniform scaling is the
+                        // conservative choice.
+                        Some(memory) => spec.with_memory(memory.scaled(scale)?),
+                        None => Ok(spec),
+                    }
+                })
+                .collect();
+            let scaled = scaled?;
+            let (servers, required_capacity) = match self.plan_normal_only(&scaled) {
+                Ok(report) => (
+                    Some(report.servers_used),
+                    Some(report.required_capacity_total),
+                ),
+                Err(FrameworkError::Placement(_)) => (None, None),
+                Err(other) => return Err(other),
+            };
+            entries.push(ForecastEntry {
+                weeks_ahead: week,
+                scale,
+                servers,
+                required_capacity,
+            });
+            week += step_weeks;
+        }
+        Ok(CapacityForecast {
+            weekly_growth,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ropus_placement::consolidate::ConsolidationOptions;
+    use ropus_placement::server::ServerSpec;
+    use ropus_qos::{AppQos, CosSpec, PoolCommitments, QosPolicy};
+    use ropus_trace::Calendar;
+
+    fn cal() -> Calendar {
+        Calendar::five_minute()
+    }
+
+    fn framework(seed: u64) -> Framework {
+        Framework::builder()
+            .server(ServerSpec::sixteen_way())
+            .commitments(PoolCommitments::new(CosSpec::new(0.9, 60).unwrap()))
+            .options(ConsolidationOptions::fast(seed))
+            .build()
+    }
+
+    fn app(name: &str, level: f64) -> AppSpec {
+        AppSpec::new(
+            name,
+            Trace::constant(cal(), level, cal().slots_per_week()).unwrap(),
+            QosPolicy::uniform(AppQos::paper_default(None)),
+        )
+    }
+
+    #[test]
+    fn growth_estimation_recovers_known_trend() {
+        let per_week = cal().slots_per_week();
+        let mut samples = Vec::new();
+        for w in 0..4 {
+            samples.extend(vec![2.0 * 1.05f64.powi(w); per_week]);
+        }
+        let trace = Trace::from_samples(cal(), samples).unwrap();
+        let growth = estimate_weekly_growth(&trace);
+        assert!((growth - 1.05).abs() < 1e-9, "growth {growth}");
+    }
+
+    #[test]
+    fn growth_estimation_degenerate_inputs() {
+        let one_week = Trace::constant(cal(), 1.0, cal().slots_per_week()).unwrap();
+        assert_eq!(estimate_weekly_growth(&one_week), 1.0);
+        let zero = Trace::constant(cal(), 0.0, 2 * cal().slots_per_week()).unwrap();
+        assert_eq!(estimate_weekly_growth(&zero), 1.0);
+        let flat = Trace::constant(cal(), 3.0, 3 * cal().slots_per_week()).unwrap();
+        assert!((estimate_weekly_growth(&flat) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forecast_grows_server_needs_until_exhaustion() {
+        // Four 4-CPU apps (allocation 8 each): one 16-way holds two.
+        let apps: Vec<AppSpec> = (0..4).map(|i| app(&format!("a{i}"), 4.0)).collect();
+        // 20% growth per week, forecast 8 weeks at 2-week steps.
+        let forecast = framework(1).forecast(&apps, 1.2, 8, 2).unwrap();
+        assert_eq!(forecast.entries.len(), 5);
+        let servers: Vec<Option<usize>> = forecast.entries.iter().map(|e| e.servers).collect();
+        // Server needs never decrease along the horizon.
+        for pair in servers.windows(2) {
+            match (pair[0], pair[1]) {
+                (Some(a), Some(b)) => assert!(b >= a, "{servers:?}"),
+                (None, Some(_)) => panic!("placeability cannot recover: {servers:?}"),
+                _ => {}
+            }
+        }
+        assert_eq!(servers[0], Some(2));
+        // At 1.2^4 ≈ 2.07x, each app allocates ~16.6 CPUs: nothing fits.
+        assert_eq!(servers[2], None);
+        assert_eq!(servers[4], None);
+        // Exhaustion against a 2-server pool happens as soon as 3+ servers
+        // (or unplaceability) are needed.
+        let week = forecast.exhaustion_week(2).expect("pool must exhaust");
+        assert!((2..=4).contains(&week), "week {week}");
+        assert_eq!(
+            forecast.exhaustion_week(1000),
+            Some(4),
+            "unplaceable step still counts"
+        );
+    }
+
+    #[test]
+    fn no_growth_forecast_is_flat() {
+        let apps: Vec<AppSpec> = (0..2).map(|i| app(&format!("a{i}"), 2.0)).collect();
+        let forecast = framework(2).forecast(&apps, 1.0, 4, 2).unwrap();
+        let first = forecast.entries[0].servers;
+        assert!(forecast.entries.iter().all(|e| e.servers == first));
+        assert_eq!(forecast.exhaustion_week(first.unwrap()), None);
+    }
+
+    #[test]
+    fn empty_fleet_rejected() {
+        assert!(matches!(
+            framework(0).forecast(&[], 1.1, 4, 1),
+            Err(FrameworkError::NoApplications)
+        ));
+    }
+}

@@ -1,0 +1,261 @@
+//! Runtime validation of a capacity plan: replay the placed fleet through
+//! the workload-manager host scheduler and audit the QoS each application
+//! actually receives.
+//!
+//! The translation and placement promise that, as long as the pool honours
+//! its CoS commitments, every application's utilization of allocation
+//! stays inside its acceptable/degraded envelope. This module *checks*
+//! that promise: it instantiates each server of a
+//! [`PlacementReport`](ropus_placement::consolidate::PlacementReport) as a
+//! two-priority [`Host`](ropus_wlm::host::Host), drives it with the raw
+//! demand traces, and audits every application's delivered
+//! utilization-of-allocation series against its requirement. This is the
+//! "service levels are evaluated" step of the paper's medium-term control
+//! loop (§II).
+
+use serde::{Deserialize, Serialize};
+
+use ropus_wlm::host::{Host, HostedWorkload};
+use ropus_wlm::manager::WlmPolicy;
+use ropus_wlm::metrics::{audit, SloAudit};
+
+use crate::framework::{AppSpec, CapacityPlan, Framework};
+use crate::FrameworkError;
+
+/// Delivered-QoS outcome for one application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRuntimeOutcome {
+    /// Application name.
+    pub name: String,
+    /// Server (index in the placement report) hosting the application.
+    pub server: usize,
+    /// The SLO audit of the delivered utilization of allocation.
+    pub audit: SloAudit,
+    /// Fraction of total demand that found no capacity in its slot.
+    pub unmet_demand_fraction: f64,
+}
+
+/// Runtime summary for one server of the plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerRuntimeOutcome {
+    /// Server index in the placement report.
+    pub server: usize,
+    /// Slots in which some allocation request had to be cut.
+    pub contended_slots: usize,
+    /// Peak of the total granted allocation across the replay.
+    pub peak_granted: f64,
+}
+
+/// Whole-pool runtime validation report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolRuntimeReport {
+    /// Per-application delivered-QoS outcomes, in fleet order.
+    pub apps: Vec<AppRuntimeOutcome>,
+    /// Per-server contention summaries.
+    pub servers: Vec<ServerRuntimeOutcome>,
+}
+
+impl PoolRuntimeReport {
+    /// Whether every application's delivered QoS met its requirement.
+    pub fn all_compliant(&self) -> bool {
+        self.apps.iter().all(|a| a.audit.is_compliant())
+    }
+
+    /// Names of applications whose delivered QoS violated the requirement.
+    pub fn violators(&self) -> Vec<&str> {
+        self.apps
+            .iter()
+            .filter(|a| !a.audit.is_compliant())
+            .map(|a| a.name.as_str())
+            .collect()
+    }
+}
+
+impl Framework {
+    /// Replays a capacity plan's normal-mode placement against the raw
+    /// demand traces and audits the delivered QoS per application.
+    ///
+    /// `apps` must be the same fleet (same order) the plan was built from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::NoApplications`] for an empty fleet, a
+    /// trace error for misaligned inputs, and propagates translation
+    /// errors when recomputing the per-workload manager policies.
+    pub fn validate_runtime(
+        &self,
+        apps: &[AppSpec],
+        plan: &CapacityPlan,
+    ) -> Result<PoolRuntimeReport, FrameworkError> {
+        if apps.is_empty() {
+            return Err(FrameworkError::NoApplications);
+        }
+        let mut app_outcomes: Vec<Option<AppRuntimeOutcome>> = vec![None; apps.len()];
+        let mut server_outcomes = Vec::new();
+
+        for server_placement in &plan.normal_placement.servers {
+            let hosted: Vec<HostedWorkload> = server_placement
+                .workloads
+                .iter()
+                .map(|&i| {
+                    let spec = &apps[i];
+                    let policy =
+                        WlmPolicy::from_translation(&spec.policy().normal, &plan.apps[i].normal);
+                    HostedWorkload::new(spec.name(), spec.demand().clone(), policy)
+                })
+                .collect();
+            let host = Host::new(self.server().capacity());
+            let outcome = host.run(&hosted).map_err(FrameworkError::Trace)?;
+
+            for (slot, &app_index) in server_placement.workloads.iter().enumerate() {
+                let wo = &outcome.workloads[slot];
+                let demand_total: f64 = apps[app_index].demand().iter().sum();
+                let unmet_total: f64 = wo.unmet.iter().sum();
+                let unmet_demand_fraction = if demand_total > 0.0 {
+                    unmet_total / demand_total
+                } else {
+                    0.0
+                };
+                app_outcomes[app_index] = Some(AppRuntimeOutcome {
+                    name: wo.name.clone(),
+                    server: server_placement.server,
+                    audit: audit(&wo.utilization, &apps[app_index].policy().normal),
+                    unmet_demand_fraction,
+                });
+            }
+            server_outcomes.push(ServerRuntimeOutcome {
+                server: server_placement.server,
+                contended_slots: outcome.contended_slots,
+                peak_granted: outcome.total_granted.peak(),
+            });
+        }
+
+        let apps_flat: Vec<AppRuntimeOutcome> = app_outcomes
+            .into_iter()
+            .map(|o| o.expect("every application is placed on exactly one server"))
+            .collect();
+        Ok(PoolRuntimeReport {
+            apps: apps_flat,
+            servers: server_outcomes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ropus_placement::consolidate::ConsolidationOptions;
+    use ropus_placement::server::ServerSpec;
+    use ropus_qos::{AppQos, CosSpec, PoolCommitments, QosPolicy};
+    use ropus_trace::gen::{case_study_fleet, FleetConfig};
+    use ropus_trace::{Calendar, Trace};
+
+    fn framework(seed: u64) -> Framework {
+        Framework::builder()
+            .server(ServerSpec::sixteen_way())
+            .commitments(PoolCommitments::new(CosSpec::new(0.9, 60).unwrap()))
+            .options(ConsolidationOptions::fast(seed))
+            .build()
+    }
+
+    fn policy() -> QosPolicy {
+        QosPolicy {
+            normal: AppQos::paper_default(Some(30)),
+            failure: AppQos::paper_default(None),
+        }
+    }
+
+    #[test]
+    fn delivered_qos_is_compliant_for_the_case_study_fleet() {
+        let fleet = case_study_fleet(&FleetConfig {
+            apps: 8,
+            weeks: 1,
+            ..FleetConfig::paper()
+        });
+        let apps: Vec<AppSpec> = fleet
+            .into_iter()
+            .map(|a| AppSpec::new(a.name, a.trace, policy()))
+            .collect();
+        let fw = framework(1);
+        let plan = fw.plan(&apps).unwrap();
+        let runtime = fw.validate_runtime(&apps, &plan).unwrap();
+
+        assert_eq!(runtime.apps.len(), apps.len());
+        assert_eq!(runtime.servers.len(), plan.normal_servers());
+        // The delivered QoS keeps the translation's promise end to end.
+        assert!(
+            runtime.all_compliant(),
+            "violators: {:?}",
+            runtime.violators()
+        );
+        // Grants never exceed server capacity.
+        for s in &runtime.servers {
+            assert!(
+                s.peak_granted <= 16.0 + 1e-9,
+                "server {}: {}",
+                s.server,
+                s.peak_granted
+            );
+        }
+        // Unmet demand is rare: the placement sized capacity for it.
+        for a in &runtime.apps {
+            assert!(
+                a.unmet_demand_fraction < 0.02,
+                "{}: {:.3}% unmet",
+                a.name,
+                100.0 * a.unmet_demand_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn overloaded_plan_is_caught_by_the_runtime_audit() {
+        // Build a plan, then replay it against demand 3x higher than what
+        // the plan was sized for — the audit must flag violations.
+        let cal = Calendar::five_minute();
+        let fleet = case_study_fleet(&FleetConfig {
+            apps: 4,
+            weeks: 1,
+            ..FleetConfig::paper()
+        });
+        let apps: Vec<AppSpec> = fleet
+            .iter()
+            .map(|a| AppSpec::new(a.name.clone(), a.trace.clone(), policy()))
+            .collect();
+        let fw = framework(2);
+        let plan = fw.plan(&apps).unwrap();
+        let inflated: Vec<AppSpec> = fleet
+            .into_iter()
+            .map(|a| {
+                let demand = a.trace.scaled(3.0).unwrap();
+                assert_eq!(demand.calendar(), cal);
+                AppSpec::new(a.name, demand, policy())
+            })
+            .collect();
+        let runtime = fw.validate_runtime(&inflated, &plan).unwrap();
+        assert!(
+            !runtime.all_compliant() || runtime.apps.iter().any(|a| a.unmet_demand_fraction > 0.05),
+            "a 3x overload must be visible in the audit"
+        );
+    }
+
+    #[test]
+    fn empty_fleet_rejected() {
+        let fw = framework(0);
+        let fleet = case_study_fleet(&FleetConfig {
+            apps: 2,
+            weeks: 1,
+            ..FleetConfig::paper()
+        });
+        let apps: Vec<AppSpec> = fleet
+            .into_iter()
+            .map(|a| AppSpec::new(a.name, a.trace, policy()))
+            .collect();
+        let plan = fw.plan(&apps).unwrap();
+        assert!(matches!(
+            fw.validate_runtime(&[], &plan),
+            Err(FrameworkError::NoApplications)
+        ));
+        let _ = Trace::constant(Calendar::five_minute(), 1.0, 1).unwrap();
+    }
+}

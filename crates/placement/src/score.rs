@@ -1,0 +1,190 @@
+//! The consolidation objective function (§VI-B of the paper).
+//!
+//! An assignment's score is the sum over servers of:
+//!
+//! * `+1` for a server that is not used;
+//! * `f(U) = (U^Z)² = U^(2Z)` for a used server whose required capacity
+//!   `R` fits its limit `L`, where `U = R/L`;
+//! * `−N` for an overbooked server, `N` being its workload count.
+//!
+//! The square exaggerates the advantage of high utilization (in a
+//! least-squares sense) and the `Z` exponent demands that servers with more
+//! CPUs run hotter — motivated by the `1/(1 − U^Z)` open-queueing response
+//! time estimate.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's utilization value `f(U) = U^(2Z)` for a server with `Z`
+/// CPUs; `U` is clamped into `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use ropus_placement::score::utilization_value;
+///
+/// // A hot 16-way server scores much higher than a half-idle one.
+/// assert!(utilization_value(0.9, 16) > 100.0 * utilization_value(0.5, 16));
+/// ```
+pub fn utilization_value(utilization: f64, cpus: u32) -> f64 {
+    let u = utilization.clamp(0.0, 1.0);
+    u.powi(2 * cpus as i32)
+}
+
+/// Alternative utilization-value functions for ablating the paper's
+/// choice of `f(U) = U^(2Z)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ScoreModel {
+    /// The paper's `f(U) = U^(2Z)` (default).
+    #[default]
+    PowerTwoZ,
+    /// `f(U) = U²` — keeps the least-squares exaggeration but drops the
+    /// Z-scaling, so big servers are not pushed to run hotter.
+    Quadratic,
+    /// `f(U) = U` — plain utilization; no preference shaping at all.
+    Linear,
+}
+
+impl ScoreModel {
+    /// The utilization value under this model; `U` is clamped to `[0, 1]`.
+    pub fn utilization_value(&self, utilization: f64, cpus: u32) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        match self {
+            ScoreModel::PowerTwoZ => u.powi(2 * cpus as i32),
+            ScoreModel::Quadratic => u * u,
+            ScoreModel::Linear => u,
+        }
+    }
+}
+
+/// Evaluation of one server under an assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServerOutcome {
+    /// No workloads assigned.
+    Unused,
+    /// Workloads fit: required capacity `R <= L`.
+    Fits {
+        /// The required capacity `R`.
+        required: f64,
+        /// `U = R / L`.
+        utilization: f64,
+    },
+    /// Workloads do not fit at the server's capacity limit.
+    Overbooked {
+        /// Number of workloads assigned to the server.
+        workloads: usize,
+    },
+}
+
+impl ServerOutcome {
+    /// The score contribution of this server under the paper's model.
+    pub fn value(&self, cpus: u32) -> f64 {
+        self.value_with(ScoreModel::PowerTwoZ, cpus)
+    }
+
+    /// The score contribution of this server under an explicit model.
+    pub fn value_with(&self, model: ScoreModel, cpus: u32) -> f64 {
+        match self {
+            ServerOutcome::Unused => 1.0,
+            ServerOutcome::Fits { utilization, .. } => model.utilization_value(*utilization, cpus),
+            ServerOutcome::Overbooked { workloads } => -(*workloads as f64),
+        }
+    }
+
+    /// Whether the server satisfies the commitments (unused or fitting).
+    pub fn is_feasible(&self) -> bool {
+        !matches!(self, ServerOutcome::Overbooked { .. })
+    }
+}
+
+/// Total score of an assignment given each server's outcome (paper model).
+pub fn assignment_score(outcomes: &[ServerOutcome], cpus: u32) -> f64 {
+    assignment_score_with(outcomes, ScoreModel::PowerTwoZ, cpus)
+}
+
+/// Total score of an assignment under an explicit utilization model.
+pub fn assignment_score_with(outcomes: &[ServerOutcome], model: ScoreModel, cpus: u32) -> f64 {
+    outcomes.iter().map(|o| o.value_with(model, cpus)).sum()
+}
+
+/// Whether every server in the assignment satisfies the commitments.
+pub fn assignment_feasible(outcomes: &[ServerOutcome]) -> bool {
+    outcomes.iter().all(ServerOutcome::is_feasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_matches_paper_definition() {
+        // f(U) = U^(2Z).
+        assert_eq!(utilization_value(1.0, 16), 1.0);
+        assert_eq!(utilization_value(0.0, 16), 0.0);
+        let u: f64 = 0.8;
+        assert!((utilization_value(u, 4) - u.powi(8)).abs() < 1e-15);
+        assert!((utilization_value(u, 16) - u.powi(32)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn more_cpus_penalize_low_utilization_harder() {
+        // The Z term demands bigger servers run hotter.
+        assert!(utilization_value(0.7, 16) < utilization_value(0.7, 2));
+    }
+
+    #[test]
+    fn out_of_range_utilization_is_clamped() {
+        assert_eq!(utilization_value(1.5, 4), 1.0);
+        assert_eq!(utilization_value(-0.5, 4), 0.0);
+    }
+
+    #[test]
+    fn outcome_values() {
+        assert_eq!(ServerOutcome::Unused.value(16), 1.0);
+        assert_eq!(ServerOutcome::Overbooked { workloads: 5 }.value(16), -5.0);
+        let fits = ServerOutcome::Fits {
+            required: 8.0,
+            utilization: 0.5,
+        };
+        assert!((fits.value(16) - 0.5f64.powi(32)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn unused_beats_poorly_used() {
+        // An empty server is worth more than a barely used one, which is
+        // what drives the search toward consolidation.
+        let poorly_used = ServerOutcome::Fits {
+            required: 1.0,
+            utilization: 1.0 / 16.0,
+        };
+        assert!(ServerOutcome::Unused.value(16) > poorly_used.value(16));
+    }
+
+    #[test]
+    fn score_models_are_ordered_for_low_utilization() {
+        // At U = 0.7 on 16 CPUs: linear > quadratic > U^32.
+        let u = 0.7;
+        let l = ScoreModel::Linear.utilization_value(u, 16);
+        let q = ScoreModel::Quadratic.utilization_value(u, 16);
+        let p = ScoreModel::PowerTwoZ.utilization_value(u, 16);
+        assert!(l > q && q > p, "{l} {q} {p}");
+        // Quadratic and Linear ignore Z.
+        assert_eq!(ScoreModel::Quadratic.utilization_value(u, 2), q);
+        assert_eq!(ScoreModel::Linear.utilization_value(u, 2), l);
+    }
+
+    #[test]
+    fn score_and_feasibility_aggregate() {
+        let outcomes = [
+            ServerOutcome::Unused,
+            ServerOutcome::Fits {
+                required: 12.0,
+                utilization: 0.75,
+            },
+            ServerOutcome::Overbooked { workloads: 3 },
+        ];
+        let score = assignment_score(&outcomes, 16);
+        assert!((score - (1.0 + 0.75f64.powi(32) - 3.0)).abs() < 1e-12);
+        assert!(!assignment_feasible(&outcomes));
+        assert!(assignment_feasible(&outcomes[..2]));
+    }
+}

@@ -1,0 +1,572 @@
+//! The single-server fit simulator (Fig. 4 of the paper).
+//!
+//! Given a set of workloads assigned to one server, the simulator replays
+//! their per-CoS allocation traces against a candidate capacity `L` and
+//! checks the pool's resource access CoS commitments:
+//!
+//! 1. **CoS1 guarantee** — the sum of per-workload *peak* CoS1 allocations
+//!    must not exceed `L` (§IV);
+//! 2. **access probability** — the measured
+//!    `θ = min_w min_t Σ_days min(A,L) / Σ_days A` must reach the committed
+//!    `θ` (§IV's definition, computed per week and slot-of-day);
+//! 3. **deadline** — demand not satisfied on request carries over and must
+//!    be fully served within `s` slots.
+//!
+//! [`required_capacity`] binary-searches the smallest `L` satisfying all
+//! three, which is the per-server `C_requ` contribution in Table I.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use ropus_qos::PoolCommitments;
+use ropus_trace::Calendar;
+
+use crate::workload::{validate_workloads, Workload};
+use crate::PlacementError;
+
+/// Numerical slack for capacity comparisons, absorbing accumulated
+/// floating-point error in trace sums.
+const EPSILON: f64 = 1e-9;
+
+/// Pre-aggregated load of a workload set on one server.
+///
+/// Aggregating once makes each candidate-capacity evaluation O(trace
+/// length) regardless of how many workloads share the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateLoad {
+    calendar: Calendar,
+    cos1: Vec<f64>,
+    cos2: Vec<f64>,
+    cos1_peak_sum: f64,
+    memory_peak: f64,
+}
+
+impl AggregateLoad {
+    /// Aggregates a set of workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlacementError`] if the set is empty, misaligned, or
+    /// does not cover whole weeks.
+    pub fn of(workloads: &[&Workload]) -> Result<Self, PlacementError> {
+        let owned: Vec<Workload> = workloads.iter().map(|&w| w.clone()).collect();
+        let len = validate_workloads(&owned)?;
+        let calendar = workloads[0].cos1().calendar();
+        let mut cos1 = vec![0.0; len];
+        let mut cos2 = vec![0.0; len];
+        let mut memory = vec![0.0; len];
+        let mut cos1_peak_sum = 0.0;
+        let mut any_memory = false;
+        for w in workloads {
+            for (acc, v) in cos1.iter_mut().zip(w.cos1().iter()) {
+                *acc += v;
+            }
+            for (acc, v) in cos2.iter_mut().zip(w.cos2().iter()) {
+                *acc += v;
+            }
+            if let Some(m) = w.memory() {
+                any_memory = true;
+                for (acc, v) in memory.iter_mut().zip(m.iter()) {
+                    *acc += v;
+                }
+            }
+            cos1_peak_sum += w.cos1_peak();
+        }
+        // Memory is not time-shareable, so only its aggregate peak matters.
+        let memory_peak = if any_memory {
+            memory.iter().copied().fold(0.0, f64::max)
+        } else {
+            0.0
+        };
+        Ok(AggregateLoad {
+            calendar,
+            cos1,
+            cos2,
+            cos1_peak_sum,
+            memory_peak,
+        })
+    }
+
+    /// Peak of the aggregate memory footprint (GB); 0 when no workload
+    /// carries a memory trace.
+    pub fn memory_peak(&self) -> f64 {
+        self.memory_peak
+    }
+
+    /// The calendar shared by the aggregated traces.
+    pub fn calendar(&self) -> Calendar {
+        self.calendar
+    }
+
+    /// Sum of per-workload peak CoS1 allocations (the guarantee constraint).
+    pub fn cos1_peak_sum(&self) -> f64 {
+        self.cos1_peak_sum
+    }
+
+    /// Number of aggregated slots.
+    pub fn len(&self) -> usize {
+        self.cos1.len()
+    }
+
+    /// Whether there are no slots (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.cos1.is_empty()
+    }
+
+    /// Total aggregate allocation at a slot.
+    fn total(&self, index: usize) -> f64 {
+        self.cos1[index] + self.cos2[index]
+    }
+
+    /// Peak of the total aggregate allocation trace.
+    pub fn total_peak(&self) -> f64 {
+        (0..self.len()).map(|i| self.total(i)).fold(0.0, f64::max)
+    }
+}
+
+/// Why a workload set does not fit at a candidate capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FitViolation {
+    /// The sum of peak CoS1 allocations exceeds the capacity.
+    Cos1Overflow,
+    /// The aggregate memory footprint exceeds the server's memory.
+    MemoryOverflow,
+    /// The measured access probability fell short of the commitment.
+    ThetaShortfall,
+    /// Carried-over demand was not served within the deadline.
+    DeadlineMissed,
+}
+
+/// Outcome of evaluating one workload set at one candidate capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitReport {
+    /// Whether all commitments are satisfied.
+    pub fits: bool,
+    /// The first violated constraint, when `fits` is false.
+    pub violation: Option<FitViolation>,
+    /// Sum of per-workload peak CoS1 allocations.
+    pub cos1_peak_sum: f64,
+    /// The measured access probability (1.0 when demand never exceeds
+    /// capacity).
+    pub measured_theta: f64,
+    /// Whether every carried-over demand met the deadline.
+    pub deadline_met: bool,
+}
+
+/// Measures the resource access probability `θ` at capacity `capacity`:
+/// the minimum over weeks and slots-of-day of
+/// `Σ_days min(A, L) / Σ_days A` (the paper's §IV definition).
+///
+/// Slots with no demand in any day count as fully satisfied.
+pub fn access_probability(load: &AggregateLoad, capacity: f64) -> f64 {
+    let per_day = load.calendar.slots_per_day();
+    let per_week = load.calendar.slots_per_week();
+    let weeks = load.len() / per_week;
+    let mut theta: f64 = 1.0;
+    for w in 0..weeks {
+        for t in 0..per_day {
+            let mut satisfied = 0.0;
+            let mut requested = 0.0;
+            for day in 0..7 {
+                let idx = w * per_week + day * per_day + t;
+                let a = load.total(idx);
+                satisfied += a.min(capacity);
+                requested += a;
+            }
+            if requested > 0.0 {
+                theta = theta.min(satisfied / requested);
+            }
+        }
+    }
+    theta
+}
+
+/// Checks that every unit of demand unsatisfied on request is served
+/// within `deadline_slots` slots, using surplus capacity in later slots
+/// (oldest shortfall first).
+pub fn deadline_satisfied(load: &AggregateLoad, capacity: f64, deadline_slots: usize) -> bool {
+    let mut backlog: VecDeque<(usize, f64)> = VecDeque::new();
+    for slot in 0..load.len() {
+        let total = load.total(slot);
+        if total > capacity {
+            backlog.push_back((slot, total - capacity));
+        } else {
+            let mut surplus = capacity - total;
+            while surplus > EPSILON {
+                let Some(front) = backlog.front_mut() else {
+                    break;
+                };
+                let served = front.1.min(surplus);
+                front.1 -= served;
+                surplus -= served;
+                if front.1 <= EPSILON {
+                    backlog.pop_front();
+                }
+            }
+        }
+        if let Some(&(arrival, _)) = backlog.front() {
+            if slot >= arrival + deadline_slots {
+                return false;
+            }
+        }
+    }
+    backlog.is_empty()
+}
+
+/// Evaluates the fit constraints at a candidate CPU capacity, with an
+/// unlimited memory attribute. See [`evaluate_fit_with_memory`] for the
+/// multi-attribute form.
+pub fn evaluate_fit(
+    load: &AggregateLoad,
+    capacity: f64,
+    commitments: &PoolCommitments,
+) -> FitReport {
+    evaluate_fit_with_memory(load, capacity, f64::INFINITY, commitments)
+}
+
+/// Evaluates the fit constraints at a candidate CPU capacity and a fixed
+/// memory limit.
+///
+/// Memory is a guaranteed, non-statistical attribute: the aggregate
+/// footprint must stay within `memory_capacity` at every slot (checked
+/// via the aggregate peak). CPU keeps the paper's three constraints.
+pub fn evaluate_fit_with_memory(
+    load: &AggregateLoad,
+    capacity: f64,
+    memory_capacity: f64,
+    commitments: &PoolCommitments,
+) -> FitReport {
+    let cos1_peak_sum = load.cos1_peak_sum();
+    if load.memory_peak() > memory_capacity + EPSILON {
+        return FitReport {
+            fits: false,
+            violation: Some(FitViolation::MemoryOverflow),
+            cos1_peak_sum,
+            measured_theta: 0.0,
+            deadline_met: false,
+        };
+    }
+    if cos1_peak_sum > capacity + EPSILON {
+        return FitReport {
+            fits: false,
+            violation: Some(FitViolation::Cos1Overflow),
+            cos1_peak_sum,
+            measured_theta: 0.0,
+            deadline_met: false,
+        };
+    }
+    let measured_theta = access_probability(load, capacity);
+    let deadline_slots = load
+        .calendar()
+        .slots_in_minutes(commitments.cos2.deadline_minutes());
+    let deadline_met = deadline_satisfied(load, capacity, deadline_slots);
+    let theta_ok = measured_theta + EPSILON >= commitments.cos2.theta();
+    let violation = if !theta_ok {
+        Some(FitViolation::ThetaShortfall)
+    } else if !deadline_met {
+        Some(FitViolation::DeadlineMissed)
+    } else {
+        None
+    };
+    FitReport {
+        fits: violation.is_none(),
+        violation,
+        cos1_peak_sum,
+        measured_theta,
+        deadline_met,
+    }
+}
+
+/// Binary-searches the smallest capacity in `[cos1 peak sum, limit]` that
+/// satisfies the commitments, to within `tolerance` capacity units.
+///
+/// Returns `None` when the workloads do not fit even at `limit` — the
+/// "commitments cannot be satisfied" outcome of Fig. 4.
+///
+/// All three constraints are monotone in capacity, which is what makes the
+/// binary search sound.
+///
+/// # Panics
+///
+/// Panics if `tolerance` is not positive or `limit` is not positive.
+pub fn required_capacity(
+    load: &AggregateLoad,
+    commitments: &PoolCommitments,
+    limit: f64,
+    tolerance: f64,
+) -> Option<f64> {
+    required_capacity_with_memory(load, commitments, limit, f64::INFINITY, tolerance)
+}
+
+/// Multi-attribute form of [`required_capacity`]: the workloads must also
+/// fit the server's `memory_capacity` (a pass/fail attribute — memory is
+/// not time-shareable, so no search is run over it).
+///
+/// # Panics
+///
+/// Panics if `tolerance` is not positive or `limit` is not positive.
+pub fn required_capacity_with_memory(
+    load: &AggregateLoad,
+    commitments: &PoolCommitments,
+    limit: f64,
+    memory_capacity: f64,
+    tolerance: f64,
+) -> Option<f64> {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    assert!(limit > 0.0, "capacity limit must be positive");
+    if !evaluate_fit_with_memory(load, limit, memory_capacity, commitments).fits {
+        return None;
+    }
+    let mut hi = limit;
+    let mut lo = 0.0f64;
+    if evaluate_fit_with_memory(load, lo.max(EPSILON), memory_capacity, commitments).fits {
+        return Some(0.0);
+    }
+    while hi - lo > tolerance {
+        let mid = 0.5 * (hi + lo);
+        if evaluate_fit_with_memory(load, mid, memory_capacity, commitments).fits {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ropus_qos::CosSpec;
+    use ropus_trace::Trace;
+
+    fn cal() -> Calendar {
+        Calendar::five_minute()
+    }
+
+    fn week() -> usize {
+        cal().slots_per_week()
+    }
+
+    fn commitments(theta: f64) -> PoolCommitments {
+        PoolCommitments::new(CosSpec::new(theta, 60).unwrap())
+    }
+
+    fn constant_workload(name: &str, c1: f64, c2: f64) -> Workload {
+        Workload::new(
+            name,
+            Trace::constant(cal(), c1, week()).unwrap(),
+            Trace::constant(cal(), c2, week()).unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// A workload whose CoS2 trace spikes to `spike` for `spike_len` slots
+    /// at the start of each day, and is `base` otherwise.
+    fn spiky_workload(name: &str, base: f64, spike: f64, spike_len: usize) -> Workload {
+        let per_day = cal().slots_per_day();
+        let samples: Vec<f64> = (0..week())
+            .map(|i| if i % per_day < spike_len { spike } else { base })
+            .collect();
+        Workload::new(
+            name,
+            Trace::constant(cal(), 0.0, week()).unwrap(),
+            Trace::from_samples(cal(), samples).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aggregate_sums_and_peaks() {
+        let a = constant_workload("a", 1.0, 2.0);
+        let b = constant_workload("b", 0.5, 1.0);
+        let load = AggregateLoad::of(&[&a, &b]).unwrap();
+        assert_eq!(load.cos1_peak_sum(), 1.5);
+        assert_eq!(load.total_peak(), 4.5);
+        assert_eq!(load.len(), week());
+    }
+
+    #[test]
+    fn cos1_overflow_is_detected() {
+        let a = constant_workload("a", 10.0, 0.0);
+        let b = constant_workload("b", 8.0, 0.0);
+        let load = AggregateLoad::of(&[&a, &b]).unwrap();
+        let report = evaluate_fit(&load, 16.0, &commitments(0.9));
+        assert!(!report.fits);
+        assert_eq!(report.violation, Some(FitViolation::Cos1Overflow));
+    }
+
+    #[test]
+    fn theta_is_one_when_capacity_covers_demand() {
+        let a = constant_workload("a", 2.0, 3.0);
+        let load = AggregateLoad::of(&[&a]).unwrap();
+        assert_eq!(access_probability(&load, 5.0), 1.0);
+        assert_eq!(access_probability(&load, 100.0), 1.0);
+        let report = evaluate_fit(&load, 5.0, &commitments(1.0));
+        assert!(report.fits);
+    }
+
+    #[test]
+    fn theta_measures_overflow_fraction() {
+        // Demand 10 every slot; capacity 8: every slot satisfies 0.8.
+        let a = constant_workload("a", 0.0, 10.0);
+        let load = AggregateLoad::of(&[&a]).unwrap();
+        let theta = access_probability(&load, 8.0);
+        assert!((theta - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_is_min_over_slots() {
+        // One hour per day of demand 10, the rest 1; capacity 5 satisfies
+        // the quiet slots fully, the busy slot at 0.5.
+        let a = spiky_workload("a", 1.0, 10.0, 12);
+        let load = AggregateLoad::of(&[&a]).unwrap();
+        let theta = access_probability(&load, 5.0);
+        assert!((theta - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_requires_backlog_to_drain() {
+        // Spike of 2 slots at 10, then base 1: capacity 6 leaves a backlog
+        // of 8 that drains at 5/slot -> cleared within 2 slots of arrival.
+        let a = spiky_workload("a", 1.0, 10.0, 2);
+        let load = AggregateLoad::of(&[&a]).unwrap();
+        assert!(deadline_satisfied(&load, 6.0, 3));
+        // With deadline 1 slot, the backlog from slot 0 (4 units) cannot be
+        // fully served by slot 1 (slot 1 is also overloaded).
+        assert!(!deadline_satisfied(&load, 6.0, 1));
+    }
+
+    #[test]
+    fn deadline_never_met_when_average_demand_exceeds_capacity() {
+        let a = constant_workload("a", 0.0, 10.0);
+        let load = AggregateLoad::of(&[&a]).unwrap();
+        assert!(!deadline_satisfied(&load, 8.0, 12));
+    }
+
+    #[test]
+    fn evaluate_fit_orders_violations() {
+        let a = spiky_workload("a", 1.0, 30.0, 24);
+        let load = AggregateLoad::of(&[&a]).unwrap();
+        // Capacity 2: theta for the busy slots = tiny -> theta violation.
+        let report = evaluate_fit(&load, 2.0, &commitments(0.9));
+        assert_eq!(report.violation, Some(FitViolation::ThetaShortfall));
+        assert!(report.measured_theta < 0.9);
+    }
+
+    #[test]
+    fn deadline_violation_reported_when_theta_passes() {
+        // 2-hour spike at 10 once per day, base 4, capacity 8: busy-slot
+        // theta = 0.8, so commit theta = 0.75 passes, but the backlog of
+        // 2/slot x 24 slots = 48 drains at 4/slot, needing 12 h >> 60 min.
+        let a = spiky_workload("a", 4.0, 10.0, 24);
+        let load = AggregateLoad::of(&[&a]).unwrap();
+        let report = evaluate_fit(&load, 8.0, &commitments(0.75));
+        assert!(report.measured_theta >= 0.75);
+        assert_eq!(report.violation, Some(FitViolation::DeadlineMissed));
+    }
+
+    #[test]
+    fn required_capacity_matches_known_answer() {
+        // Constant total demand 5.0 with theta = 1.0 commitment: required
+        // capacity is 5.0 (to tolerance).
+        let a = constant_workload("a", 2.0, 3.0);
+        let load = AggregateLoad::of(&[&a]).unwrap();
+        let req = required_capacity(&load, &commitments(1.0), 16.0, 0.01).unwrap();
+        assert!((req - 5.0).abs() < 0.02, "required {req}");
+    }
+
+    #[test]
+    fn required_capacity_with_statistical_theta_is_below_peak() {
+        // 1 hour per day at 10, rest at 1, theta = 0.6: the busy slot only
+        // needs 0.6 coverage, so required capacity sits near 6.
+        let a = spiky_workload("a", 1.0, 10.0, 12);
+        let load = AggregateLoad::of(&[&a]).unwrap();
+        let req = required_capacity(&load, &commitments(0.6), 16.0, 0.01).unwrap();
+        assert!(req < 10.0, "required {req}");
+        assert!(req >= 6.0 - 0.02, "required {req}");
+        // And the result actually fits while tolerance below does not.
+        assert!(evaluate_fit(&load, req, &commitments(0.6)).fits);
+        assert!(!evaluate_fit(&load, req - 0.05, &commitments(0.6)).fits);
+    }
+
+    #[test]
+    fn required_capacity_is_none_when_infeasible() {
+        let a = constant_workload("a", 20.0, 0.0);
+        let load = AggregateLoad::of(&[&a]).unwrap();
+        assert_eq!(
+            required_capacity(&load, &commitments(0.9), 16.0, 0.01),
+            None
+        );
+    }
+
+    #[test]
+    fn required_capacity_zero_demand() {
+        let a = constant_workload("a", 0.0, 0.0);
+        let load = AggregateLoad::of(&[&a]).unwrap();
+        let req = required_capacity(&load, &commitments(0.9), 16.0, 0.01).unwrap();
+        assert_eq!(req, 0.0);
+    }
+
+    #[test]
+    fn higher_theta_commitment_needs_more_capacity() {
+        let a = spiky_workload("a", 1.0, 10.0, 12);
+        let load = AggregateLoad::of(&[&a]).unwrap();
+        let lo = required_capacity(&load, &commitments(0.6), 16.0, 0.01).unwrap();
+        let hi = required_capacity(&load, &commitments(0.95), 16.0, 0.01).unwrap();
+        assert!(hi > lo, "hi {hi} lo {lo}");
+    }
+
+    #[test]
+    fn memory_overflow_is_detected_before_cpu() {
+        let a = constant_workload("a", 1.0, 1.0);
+        let mem = Trace::constant(cal(), 48.0, week()).unwrap();
+        let a = a.with_memory(mem).unwrap();
+        let b = constant_workload("b", 1.0, 1.0)
+            .with_memory(Trace::constant(cal(), 24.0, week()).unwrap())
+            .unwrap();
+        let load = AggregateLoad::of(&[&a, &b]).unwrap();
+        assert_eq!(load.memory_peak(), 72.0);
+        // CPU easily fits, memory (72 > 64) does not.
+        let report = evaluate_fit_with_memory(&load, 16.0, 64.0, &commitments(0.9));
+        assert!(!report.fits);
+        assert_eq!(report.violation, Some(FitViolation::MemoryOverflow));
+        // With enough memory the same set fits.
+        let report = evaluate_fit_with_memory(&load, 16.0, 128.0, &commitments(0.9));
+        assert!(report.fits);
+        // The single-attribute entry point ignores memory entirely.
+        assert!(evaluate_fit(&load, 16.0, &commitments(0.9)).fits);
+    }
+
+    #[test]
+    fn workloads_without_memory_have_zero_footprint() {
+        let a = constant_workload("a", 1.0, 1.0);
+        let load = AggregateLoad::of(&[&a]).unwrap();
+        assert_eq!(load.memory_peak(), 0.0);
+        assert!(evaluate_fit_with_memory(&load, 16.0, 0.5, &commitments(0.9)).fits);
+    }
+
+    #[test]
+    fn required_capacity_with_memory_gates_on_the_memory_attribute() {
+        let a = constant_workload("a", 1.0, 2.0)
+            .with_memory(Trace::constant(cal(), 40.0, week()).unwrap())
+            .unwrap();
+        let load = AggregateLoad::of(&[&a]).unwrap();
+        assert_eq!(
+            required_capacity_with_memory(&load, &commitments(1.0), 16.0, 32.0, 0.05),
+            None
+        );
+        let req = required_capacity_with_memory(&load, &commitments(1.0), 16.0, 64.0, 0.05)
+            .expect("fits with enough memory");
+        // Memory does not change the CPU requirement.
+        assert!((req - 3.0).abs() < 0.1, "required {req}");
+    }
+
+    #[test]
+    fn aggregate_rejects_empty_set() {
+        assert!(matches!(
+            AggregateLoad::of(&[]),
+            Err(PlacementError::NoWorkloads)
+        ));
+    }
+}

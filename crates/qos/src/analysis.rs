@@ -1,0 +1,205 @@
+//! Capacity-saving analysis: the `MaxCapReduction` bound (formulas 4–5)
+//! and aggregate accounting across a fleet of translations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::translation::TranslationReport;
+use crate::{AppQos, QosError};
+
+/// Upper bound on the capacity reduction from allowing degraded
+/// performance (formula 5): `MaxCapReduction <= 1 − U_high / U_degr`.
+///
+/// The bound depends only on `U_high` and `U_degr` — not on `U_low`, `θ`,
+/// or the percentile — which the paper uses to explain the plateau at
+/// ~26.7% in Fig. 7 for `(U_high, U_degr) = (0.66, 0.9)`.
+///
+/// Returns 0 when the requirement has no degradation allowance.
+///
+/// # Example
+///
+/// ```
+/// use ropus_qos::analysis::max_cap_reduction_bound;
+/// use ropus_qos::AppQos;
+///
+/// let qos = AppQos::paper_default(None);
+/// let bound = max_cap_reduction_bound(&qos);
+/// assert!((bound - 0.2667).abs() < 1e-3);
+/// ```
+pub fn max_cap_reduction_bound(qos: &AppQos) -> f64 {
+    match qos.degradation() {
+        Some(degr) => 1.0 - qos.band().high() / degr.u_degr(),
+        None => 0.0,
+    }
+}
+
+/// Verifies that a translation respects its requirement's analytic bounds.
+///
+/// Checks, in order: the realized `MaxCapReduction` does not exceed the
+/// formula-(5) bound; the worst-case degraded fraction does not exceed
+/// `M_degr`; and the worst-case utilization stays at or below `U_degr`
+/// (or `U_high` with no degradation allowance).
+///
+/// # Errors
+///
+/// Returns [`QosError::InvalidDegradation`] describing the first violated
+/// bound. A violation indicates an implementation bug, but capacity
+/// services prefer a diagnosable error over a panic.
+pub fn check_report(qos: &AppQos, report: &TranslationReport) -> Result<(), QosError> {
+    const TOL: f64 = 1e-9;
+    let bound = max_cap_reduction_bound(qos);
+    if report.max_cap_reduction > bound + TOL {
+        return Err(QosError::InvalidDegradation {
+            message: format!(
+                "realized MaxCapReduction {} exceeds formula-5 bound {}",
+                report.max_cap_reduction, bound
+            ),
+        });
+    }
+    let allowed_fraction = qos.degradation().map_or(0.0, |d| d.max_fraction());
+    if report.degraded_fraction > allowed_fraction + TOL {
+        return Err(QosError::InvalidDegradation {
+            message: format!(
+                "degraded fraction {} exceeds allowance {}",
+                report.degraded_fraction, allowed_fraction
+            ),
+        });
+    }
+    let utilization_cap = qos.degradation().map_or(qos.band().high(), |d| d.u_degr());
+    if report.max_worst_case_utilization > utilization_cap + TOL {
+        return Err(QosError::InvalidDegradation {
+            message: format!(
+                "worst-case utilization {} exceeds cap {}",
+                report.max_worst_case_utilization, utilization_cap
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Aggregate statistics over a fleet's translation reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetSavings {
+    /// Number of applications aggregated.
+    pub apps: usize,
+    /// Sum of per-application peak allocations — the paper's `C_peak`.
+    pub total_peak_allocation: f64,
+    /// Mean per-application `MaxCapReduction`.
+    pub mean_cap_reduction: f64,
+    /// Largest per-application `MaxCapReduction`.
+    pub max_cap_reduction: f64,
+    /// Mean worst-case degraded fraction across applications.
+    pub mean_degraded_fraction: f64,
+}
+
+impl FleetSavings {
+    /// Aggregates a slice of reports; all-zero for an empty slice.
+    pub fn aggregate(reports: &[TranslationReport]) -> FleetSavings {
+        if reports.is_empty() {
+            return FleetSavings {
+                apps: 0,
+                total_peak_allocation: 0.0,
+                mean_cap_reduction: 0.0,
+                max_cap_reduction: 0.0,
+                mean_degraded_fraction: 0.0,
+            };
+        }
+        let n = reports.len() as f64;
+        FleetSavings {
+            apps: reports.len(),
+            total_peak_allocation: reports.iter().map(|r| r.peak_allocation).sum(),
+            mean_cap_reduction: reports.iter().map(|r| r.max_cap_reduction).sum::<f64>() / n,
+            max_cap_reduction: reports
+                .iter()
+                .map(|r| r.max_cap_reduction)
+                .fold(0.0, f64::max),
+            mean_degraded_fraction: reports.iter().map(|r| r.degraded_fraction).sum::<f64>() / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translation::translate;
+    use crate::{CosSpec, DegradationSpec, UtilizationBand};
+    use ropus_trace::{Calendar, Trace};
+
+    fn paper_qos() -> AppQos {
+        AppQos::paper_default(None)
+    }
+
+    #[test]
+    fn bound_matches_formula_five() {
+        // 1 - 0.66/0.9 = 0.2666...
+        let bound = max_cap_reduction_bound(&paper_qos());
+        assert!((bound - (1.0 - 0.66 / 0.9)).abs() < 1e-12);
+        assert_eq!(
+            max_cap_reduction_bound(&AppQos::strict(UtilizationBand::paper_default())),
+            0.0
+        );
+    }
+
+    #[test]
+    fn bound_is_independent_of_u_low() {
+        let a = AppQos::new(
+            UtilizationBand::new(0.3, 0.66).unwrap(),
+            Some(DegradationSpec::new(0.05, 0.9, None).unwrap()),
+        );
+        let b = AppQos::new(
+            UtilizationBand::new(0.6, 0.66).unwrap(),
+            Some(DegradationSpec::new(0.01, 0.9, None).unwrap()),
+        );
+        assert_eq!(max_cap_reduction_bound(&a), max_cap_reduction_bound(&b));
+    }
+
+    #[test]
+    fn check_report_passes_for_real_translations() {
+        let samples: Vec<f64> = (0..2016)
+            .map(|i| {
+                if i % 37 == 0 {
+                    8.0
+                } else {
+                    1.0 + (i % 5) as f64 * 0.1
+                }
+            })
+            .collect();
+        let trace = Trace::from_samples(Calendar::five_minute(), samples).unwrap();
+        for theta in [0.3, 0.6, 0.76, 0.95, 1.0] {
+            let cos2 = CosSpec::new(theta, 60).unwrap();
+            let tr = translate(&trace, &paper_qos(), &cos2).unwrap();
+            check_report(&paper_qos(), &tr.report).unwrap();
+        }
+    }
+
+    #[test]
+    fn check_report_catches_violations() {
+        let trace = Trace::constant(Calendar::five_minute(), 1.0, 100).unwrap();
+        let cos2 = CosSpec::new(0.6, 60).unwrap();
+        let tr = translate(&trace, &paper_qos(), &cos2).unwrap();
+        let mut bad = tr.report;
+        bad.max_cap_reduction = 0.5;
+        assert!(check_report(&paper_qos(), &bad).is_err());
+        let mut bad = tr.report;
+        bad.degraded_fraction = 0.5;
+        assert!(check_report(&paper_qos(), &bad).is_err());
+        let mut bad = tr.report;
+        bad.max_worst_case_utilization = 0.99;
+        assert!(check_report(&paper_qos(), &bad).is_err());
+    }
+
+    #[test]
+    fn aggregate_over_empty_and_nonempty() {
+        let empty = FleetSavings::aggregate(&[]);
+        assert_eq!(empty.apps, 0);
+        assert_eq!(empty.total_peak_allocation, 0.0);
+
+        let trace = Trace::constant(Calendar::five_minute(), 2.0, 100).unwrap();
+        let cos2 = CosSpec::new(0.6, 60).unwrap();
+        let r1 = translate(&trace, &paper_qos(), &cos2).unwrap().report;
+        let r2 = r1;
+        let agg = FleetSavings::aggregate(&[r1, r2]);
+        assert_eq!(agg.apps, 2);
+        assert!((agg.total_peak_allocation - 2.0 * r1.peak_allocation).abs() < 1e-12);
+        assert_eq!(agg.mean_cap_reduction, r1.max_cap_reduction);
+    }
+}

@@ -1,0 +1,192 @@
+//! Burst-factor calibration — the analytic stand-in for the paper's
+//! stress-testing exercise (§III).
+//!
+//! The paper determines `(U_low, U_high)` empirically: a synthetic workload
+//! is replayed against the application in a controlled environment while
+//! the burst factor is varied, searching for the factor that gives
+//! *required* responsiveness (→ `U_low`) and the factor that gives barely
+//! *adequate* responsiveness (→ `U_high`). We do not have the proprietary
+//! application, so we model responsiveness with the same open queueing
+//! approximation the paper itself uses to justify its placement score:
+//! a resource with `Z` CPUs serving unit demands has mean response time
+//!
+//! `RT(U) = S / (1 − U^Z)`
+//!
+//! where `S` is the service time and `U` the utilization (of allocation).
+//! Inverting this monotone relationship for a response-time target yields
+//! the utilization bound, exactly what the stress test would estimate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{QosError, UtilizationBand};
+
+/// The queueing responsiveness model `RT(U) = S / (1 − U^Z)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponsivenessModel {
+    /// Mean service time of a request, in arbitrary time units.
+    pub service_time: f64,
+    /// Number of CPUs backing the allocation.
+    pub cpus: u32,
+}
+
+impl ResponsivenessModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service_time <= 0` or `cpus == 0`.
+    pub fn new(service_time: f64, cpus: u32) -> Self {
+        assert!(
+            service_time > 0.0 && service_time.is_finite(),
+            "service time must be positive"
+        );
+        assert!(cpus > 0, "at least one CPU is required");
+        ResponsivenessModel { service_time, cpus }
+    }
+
+    /// Mean response time at utilization `u` (`0 <= u < 1`); infinite at
+    /// saturation.
+    pub fn response_time(&self, u: f64) -> f64 {
+        if u >= 1.0 {
+            return f64::INFINITY;
+        }
+        let u = u.max(0.0);
+        self.service_time / (1.0 - u.powi(self.cpus as i32))
+    }
+
+    /// The utilization at which the mean response time equals `target`:
+    /// `U = (1 − S/target)^(1/Z)`.
+    ///
+    /// Returns 0 when the target is unattainable even when idle
+    /// (`target <= service_time`).
+    pub fn utilization_for(&self, target: f64) -> f64 {
+        if target <= self.service_time {
+            return 0.0;
+        }
+        (1.0 - self.service_time / target).powf(1.0 / self.cpus as f64)
+    }
+}
+
+/// Outcome of a calibration run: the band plus the burst factors it implies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// The calibrated acceptable utilization band.
+    pub band: UtilizationBand,
+    /// Burst factor for ideal performance (`1 / U_low`).
+    pub ideal_burst_factor: f64,
+    /// Burst factor at the adequate edge (`1 / U_high`).
+    pub adequate_burst_factor: f64,
+    /// Model response time at `U_low`.
+    pub response_at_low: f64,
+    /// Model response time at `U_high`.
+    pub response_at_high: f64,
+}
+
+/// Calibrates `(U_low, U_high)` for response-time targets.
+///
+/// `ideal_target` is the responsiveness application users require ("good
+/// but not better than necessary"); `adequate_target` is the worst
+/// responsiveness they tolerate. Both are mean response times in the same
+/// units as the model's service time.
+///
+/// # Errors
+///
+/// Returns [`QosError::InvalidBand`] when the targets do not produce a
+/// valid band — e.g. targets below the service time, equal targets, or an
+/// adequate bound at saturation.
+///
+/// # Example
+///
+/// ```
+/// use ropus_qos::calibration::{calibrate, ResponsivenessModel};
+///
+/// // A 1-CPU container with 100 ms service time: 200 ms ideal, 400 ms worst.
+/// let model = ResponsivenessModel::new(100.0, 1);
+/// let cal = calibrate(&model, 200.0, 400.0)?;
+/// assert!((cal.band.low() - 0.5).abs() < 1e-9);
+/// assert!((cal.band.high() - 0.75).abs() < 1e-9);
+/// # Ok::<(), ropus_qos::QosError>(())
+/// ```
+pub fn calibrate(
+    model: &ResponsivenessModel,
+    ideal_target: f64,
+    adequate_target: f64,
+) -> Result<Calibration, QosError> {
+    let low = model.utilization_for(ideal_target);
+    let high = model.utilization_for(adequate_target);
+    let band = UtilizationBand::new(low, high)?;
+    Ok(Calibration {
+        band,
+        ideal_burst_factor: band.burst_factor(),
+        adequate_burst_factor: 1.0 / band.high(),
+        response_at_low: model.response_time(low),
+        response_at_high: model.response_time(high),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_time_is_monotone_and_saturates() {
+        let m = ResponsivenessModel::new(1.0, 4);
+        let mut last = 0.0;
+        for u in [0.0, 0.2, 0.5, 0.8, 0.95, 0.99] {
+            let rt = m.response_time(u);
+            assert!(rt >= last, "rt({u}) = {rt}");
+            last = rt;
+        }
+        assert_eq!(m.response_time(1.0), f64::INFINITY);
+        assert_eq!(m.response_time(0.0), 1.0);
+    }
+
+    #[test]
+    fn utilization_for_inverts_response_time() {
+        let m = ResponsivenessModel::new(2.0, 8);
+        for target in [2.5, 4.0, 10.0, 100.0] {
+            let u = m.utilization_for(target);
+            let rt = m.response_time(u);
+            assert!(
+                (rt - target).abs() / target < 1e-9,
+                "target {target}: rt {rt}"
+            );
+        }
+        assert_eq!(m.utilization_for(1.0), 0.0);
+    }
+
+    #[test]
+    fn more_cpus_tolerate_higher_utilization() {
+        // The same rationale as the paper's Z-scaled placement score.
+        let small = ResponsivenessModel::new(1.0, 1);
+        let big = ResponsivenessModel::new(1.0, 16);
+        assert!(big.utilization_for(2.0) > small.utilization_for(2.0));
+    }
+
+    #[test]
+    fn calibration_produces_paper_like_band() {
+        let m = ResponsivenessModel::new(100.0, 1);
+        let cal = calibrate(&m, 200.0, 300.0).unwrap();
+        assert!((cal.band.low() - 0.5).abs() < 1e-9);
+        assert!((cal.band.high() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((cal.ideal_burst_factor - 2.0).abs() < 1e-9);
+        assert!((cal.response_at_high - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_targets_are_rejected() {
+        let m = ResponsivenessModel::new(100.0, 1);
+        // Ideal target unattainable: U_low would be 0.
+        assert!(calibrate(&m, 50.0, 300.0).is_err());
+        // Equal targets: empty band.
+        assert!(calibrate(&m, 200.0, 200.0).is_err());
+        // Reversed targets: inverted band.
+        assert!(calibrate(&m, 300.0, 200.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn model_rejects_non_positive_service_time() {
+        ResponsivenessModel::new(0.0, 1);
+    }
+}

@@ -1,0 +1,136 @@
+use serde::{Deserialize, Serialize};
+
+use crate::QosError;
+
+/// A resource access QoS commitment for the pool's statistical class of
+/// service (§IV).
+///
+/// `theta` is the *resource access probability*: the likelihood that a unit
+/// of CoS2 capacity is available for allocation when needed, measured as
+/// the minimum over weeks and slots-of-day of `Σ_days min(A, L) / Σ_days A`.
+/// `deadline_minutes` is the paper's `s`: demand not satisfied on request
+/// must be satisfied within this deadline.
+///
+/// # Example
+///
+/// ```
+/// use ropus_qos::CosSpec;
+///
+/// let cos2 = CosSpec::new(0.95, 60)?;
+/// assert_eq!(cos2.theta(), 0.95);
+/// assert_eq!(cos2.deadline_minutes(), 60);
+/// # Ok::<(), ropus_qos::QosError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "RawCos")]
+pub struct CosSpec {
+    theta: f64,
+    deadline_minutes: u32,
+}
+
+#[derive(Deserialize)]
+struct RawCos {
+    theta: f64,
+    deadline_minutes: u32,
+}
+
+impl TryFrom<RawCos> for CosSpec {
+    type Error = QosError;
+
+    fn try_from(raw: RawCos) -> Result<Self, QosError> {
+        CosSpec::new(raw.theta, raw.deadline_minutes)
+    }
+}
+
+impl CosSpec {
+    /// Creates a commitment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QosError::InvalidAccessProbability`] unless
+    /// `0 < theta <= 1` (the paper's `1 >= θ > 0`).
+    pub fn new(theta: f64, deadline_minutes: u32) -> Result<Self, QosError> {
+        if !(theta.is_finite() && 0.0 < theta && theta <= 1.0) {
+            return Err(QosError::InvalidAccessProbability { theta });
+        }
+        Ok(CosSpec {
+            theta,
+            deadline_minutes,
+        })
+    }
+
+    /// The resource access probability `θ`.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The deadline `s` in minutes.
+    pub fn deadline_minutes(&self) -> u32 {
+        self.deadline_minutes
+    }
+}
+
+/// The pool operator's commitments for both classes of service.
+///
+/// CoS1 is *guaranteed*: per server, the sum of peak CoS1 allocations never
+/// exceeds capacity, so it needs no further parameters. CoS2 carries the
+/// statistical commitment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolCommitments {
+    /// The statistical class of service.
+    pub cos2: CosSpec,
+}
+
+impl PoolCommitments {
+    /// Creates commitments from the CoS2 spec.
+    pub fn new(cos2: CosSpec) -> Self {
+        PoolCommitments { cos2 }
+    }
+
+    /// The case-study's two operating points: `θ = 0.95` and `θ = 0.6`,
+    /// both with a 60-minute deadline (footnote 3 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Never panics; the constants are valid by construction.
+    pub fn paper_defaults() -> (PoolCommitments, PoolCommitments) {
+        let high = PoolCommitments::new(CosSpec::new(0.95, 60).expect("valid constant"));
+        let low = PoolCommitments::new(CosSpec::new(0.6, 60).expect("valid constant"));
+        (high, low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_paper_thetas() {
+        assert!(CosSpec::new(0.95, 60).is_ok());
+        assert!(CosSpec::new(0.6, 60).is_ok());
+        assert!(CosSpec::new(1.0, 0).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_theta() {
+        for theta in [0.0, -0.5, 1.01, f64::NAN, f64::INFINITY] {
+            assert!(CosSpec::new(theta, 60).is_err(), "theta {theta}");
+        }
+    }
+
+    #[test]
+    fn paper_defaults_are_ordered() {
+        let (high, low) = PoolCommitments::paper_defaults();
+        assert!(high.cos2.theta() > low.cos2.theta());
+        assert_eq!(high.cos2.deadline_minutes(), 60);
+    }
+
+    #[test]
+    fn serde_validates() {
+        let bad = r#"{"theta": 2.0, "deadline_minutes": 60}"#;
+        assert!(serde_json::from_str::<CosSpec>(bad).is_err());
+        let good = r#"{"theta": 0.95, "deadline_minutes": 60}"#;
+        let spec: CosSpec = serde_json::from_str(good).unwrap();
+        assert_eq!(spec.theta(), 0.95);
+    }
+}

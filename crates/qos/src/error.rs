@@ -1,0 +1,128 @@
+use std::fmt;
+
+use ropus_trace::TraceError;
+
+/// Error raised when constructing QoS specifications or translating demand.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QosError {
+    /// A utilization bound was outside `(0, 1)` or the band was inverted.
+    InvalidBand {
+        /// The rejected lower bound (`U_low`).
+        low: f64,
+        /// The rejected upper bound (`U_high`).
+        high: f64,
+    },
+    /// A degradation spec was inconsistent (fraction outside `[0, 1)` or
+    /// `U_degr` not in `(0, 1)`).
+    InvalidDegradation {
+        /// Reason the spec was rejected.
+        message: String,
+    },
+    /// The degraded utilization bound must exceed the band's `U_high`.
+    DegradedBelowHigh {
+        /// The band's `U_high`.
+        high: f64,
+        /// The rejected `U_degr`.
+        degraded: f64,
+    },
+    /// A resource access probability was outside `(0, 1]`.
+    InvalidAccessProbability {
+        /// The rejected `θ`.
+        theta: f64,
+    },
+    /// The underlying demand trace was invalid.
+    Trace(TraceError),
+    /// The iterative `T_degr` analysis failed to converge. This indicates a
+    /// logic error rather than bad input; it is kept as an error (not a
+    /// panic) so long-running capacity services can skip the workload.
+    TimeLimitDiverged {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for QosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QosError::InvalidBand { low, high } => {
+                write!(
+                    f,
+                    "utilization band ({low}, {high}) must satisfy 0 < low < high < 1"
+                )
+            }
+            QosError::InvalidDegradation { message } => {
+                write!(f, "invalid degradation spec: {message}")
+            }
+            QosError::DegradedBelowHigh { high, degraded } => {
+                write!(
+                    f,
+                    "degraded utilization {degraded} must exceed the band's high bound {high}"
+                )
+            }
+            QosError::InvalidAccessProbability { theta } => {
+                write!(f, "resource access probability {theta} must be in (0, 1]")
+            }
+            QosError::Trace(e) => write!(f, "trace error: {e}"),
+            QosError::TimeLimitDiverged { iterations } => {
+                write!(f, "time-limited degradation analysis did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QosError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QosError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for QosError {
+    fn from(err: TraceError) -> Self {
+        QosError::Trace(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let errors: Vec<QosError> = vec![
+            QosError::InvalidBand {
+                low: 0.9,
+                high: 0.5,
+            },
+            QosError::InvalidDegradation {
+                message: "fraction 2 out of range".into(),
+            },
+            QosError::DegradedBelowHigh {
+                high: 0.66,
+                degraded: 0.5,
+            },
+            QosError::InvalidAccessProbability { theta: 1.5 },
+            QosError::Trace(TraceError::Empty),
+            QosError::TimeLimitDiverged { iterations: 100 },
+        ];
+        for err in errors {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn trace_error_converts_and_sources() {
+        let err: QosError = TraceError::Empty.into();
+        assert!(matches!(err, QosError::Trace(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<QosError>();
+    }
+}

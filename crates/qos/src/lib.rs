@@ -1,0 +1,57 @@
+//! Application QoS requirements, resource-pool classes of service, and the
+//! portfolio-based QoS translation of the R-Opus framework.
+//!
+//! This crate implements §III–§V of the paper:
+//!
+//! * [`UtilizationBand`], [`DegradationSpec`], [`AppQos`], [`QosPolicy`] —
+//!   the application owner's *normal* and *failure* mode requirements
+//!   (`U_low`, `U_high`, `M_degr`, `U_degr`, `T_degr`);
+//! * [`CosSpec`], [`PoolCommitments`] — the resource pool operator's
+//!   per-class resource access QoS commitments (`θ` and the deadline `s`);
+//! * [`portfolio`] — the breakpoint computation (formula 1) and the
+//!   worst-case utilization-of-allocation model;
+//! * [`translation`] — the full demand-to-allocation mapping including the
+//!   `M_degr` percentile relaxation (formulas 2–3) and the iterative
+//!   `T_degr` trace analysis (formulas 6–11);
+//! * [`analysis`] — the `MaxCapReduction` bound (formulas 4–5) and degraded
+//!   measurement accounting;
+//! * [`calibration`] — an analytic queueing stand-in for the paper's
+//!   stress-testing exercise that picks `(U_low, U_high)`.
+//!
+//! # Example
+//!
+//! ```
+//! use ropus_qos::{AppQos, CosSpec, DegradationSpec, UtilizationBand};
+//! use ropus_qos::translation::translate;
+//! use ropus_trace::{Calendar, Trace};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's running example: U_low = 0.5, U_high = 0.66,
+//! // M_degr = 3%, U_degr = 0.9, T_degr = 30 minutes.
+//! let qos = AppQos::new(
+//!     UtilizationBand::new(0.5, 0.66)?,
+//!     Some(DegradationSpec::new(0.03, 0.9, Some(30))?),
+//! );
+//! let cos2 = CosSpec::new(0.95, 60)?;
+//! let demand = Trace::constant(Calendar::five_minute(), 2.0, 2016)?;
+//! let translation = translate(&demand, &qos, &cos2)?;
+//! assert!(translation.report.breakpoint >= 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cos;
+mod error;
+mod requirements;
+
+pub mod analysis;
+pub mod calibration;
+pub mod portfolio;
+pub mod translation;
+
+pub use cos::{CosSpec, PoolCommitments};
+pub use error::QosError;
+pub use requirements::{AppQos, DegradationSpec, QosPolicy, UtilizationBand};

@@ -1,0 +1,420 @@
+use serde::{Deserialize, Serialize};
+
+use crate::QosError;
+
+/// The acceptable range of *utilization of allocation* for an application
+/// (§III): `U_low <= U_alloc <= U_high`.
+///
+/// `1/U_low` is the burst factor that sizes the ideal allocation; `U_high`
+/// is the threshold beyond which performance is undesirable to users.
+///
+/// # Example
+///
+/// ```
+/// use ropus_qos::UtilizationBand;
+///
+/// let band = UtilizationBand::new(0.5, 0.66)?;
+/// assert_eq!(band.low(), 0.5);
+/// assert_eq!(band.burst_factor(), 2.0);
+/// # Ok::<(), ropus_qos::QosError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "RawBand")]
+pub struct UtilizationBand {
+    low: f64,
+    high: f64,
+}
+
+#[derive(Deserialize)]
+struct RawBand {
+    low: f64,
+    high: f64,
+}
+
+impl TryFrom<RawBand> for UtilizationBand {
+    type Error = QosError;
+
+    fn try_from(raw: RawBand) -> Result<Self, QosError> {
+        UtilizationBand::new(raw.low, raw.high)
+    }
+}
+
+impl UtilizationBand {
+    /// Creates a band.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QosError::InvalidBand`] unless `0 < low < high < 1`.
+    pub fn new(low: f64, high: f64) -> Result<Self, QosError> {
+        let valid = low.is_finite() && high.is_finite() && 0.0 < low && low < high && high < 1.0;
+        if !valid {
+            return Err(QosError::InvalidBand { low, high });
+        }
+        Ok(UtilizationBand { low, high })
+    }
+
+    /// The paper's running example, `(0.5, 0.66)`.
+    pub fn paper_default() -> Self {
+        UtilizationBand {
+            low: 0.5,
+            high: 0.66,
+        }
+    }
+
+    /// `U_low` — utilization of allocation for ideal performance.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// `U_high` — threshold beyond which performance degrades.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+
+    /// The burst factor `1/U_low` that converts demand to ideal allocation.
+    pub fn burst_factor(&self) -> f64 {
+        1.0 / self.low
+    }
+
+    /// `U_low / U_high`, the quantity the breakpoint formula compares to `θ`.
+    pub fn ratio(&self) -> f64 {
+        self.low / self.high
+    }
+}
+
+/// The degraded-performance allowance (§III): at most a fraction
+/// `max_fraction` (the paper's `M_degr`) of measurements may exceed
+/// `U_high`, none may exceed `U_degr`, and optionally no degraded episode
+/// may persist beyond `time_limit_minutes` (the paper's `T_degr`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "RawDegradation")]
+pub struct DegradationSpec {
+    max_fraction: f64,
+    u_degr: f64,
+    time_limit_minutes: Option<u32>,
+    max_epochs_per_week: Option<u32>,
+}
+
+#[derive(Deserialize)]
+struct RawDegradation {
+    max_fraction: f64,
+    u_degr: f64,
+    time_limit_minutes: Option<u32>,
+    #[serde(default)]
+    max_epochs_per_week: Option<u32>,
+}
+
+impl TryFrom<RawDegradation> for DegradationSpec {
+    type Error = QosError;
+
+    fn try_from(raw: RawDegradation) -> Result<Self, QosError> {
+        let spec = DegradationSpec::new(raw.max_fraction, raw.u_degr, raw.time_limit_minutes)?;
+        match raw.max_epochs_per_week {
+            Some(budget) => spec.with_epoch_budget(budget),
+            None => Ok(spec),
+        }
+    }
+}
+
+impl DegradationSpec {
+    /// Creates a degradation spec.
+    ///
+    /// `max_fraction` is the paper's `M_degr` expressed as a fraction
+    /// (0.03 for "3% of measurements"); `u_degr` bounds utilization of
+    /// allocation during degradation; `time_limit_minutes` is `T_degr`
+    /// (`None` = no contiguous-time limit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QosError::InvalidDegradation`] unless
+    /// `0 <= max_fraction < 1` and `0 < u_degr < 1`. The paper requires
+    /// `U_degr < 1` so that demands are satisfied within their measurement
+    /// interval.
+    pub fn new(
+        max_fraction: f64,
+        u_degr: f64,
+        time_limit_minutes: Option<u32>,
+    ) -> Result<Self, QosError> {
+        if !max_fraction.is_finite() || !(0.0..1.0).contains(&max_fraction) {
+            return Err(QosError::InvalidDegradation {
+                message: format!("max fraction {max_fraction} outside [0, 1)"),
+            });
+        }
+        if !(u_degr.is_finite() && 0.0 < u_degr && u_degr < 1.0) {
+            return Err(QosError::InvalidDegradation {
+                message: format!("degraded utilization {u_degr} outside (0, 1)"),
+            });
+        }
+        if time_limit_minutes == Some(0) {
+            return Err(QosError::InvalidDegradation {
+                message: "time limit of zero minutes forbids all degradation; use max_fraction = 0 instead".into(),
+            });
+        }
+        Ok(DegradationSpec {
+            max_fraction,
+            u_degr,
+            time_limit_minutes,
+            max_epochs_per_week: None,
+        })
+    }
+
+    /// Adds a budget on the *number* of degraded epochs per week — the
+    /// enhancement the paper's footnote 2 sketches ("an additional
+    /// constraint on the number of degraded epochs per time period, e.g.,
+    /// per day or week"). An epoch is one maximal contiguous run of
+    /// degraded measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QosError::InvalidDegradation`] for a zero budget with a
+    /// positive `max_fraction` inconsistency (use `max_fraction = 0`
+    /// instead to forbid degradation outright).
+    pub fn with_epoch_budget(mut self, max_epochs_per_week: u32) -> Result<Self, QosError> {
+        if max_epochs_per_week == 0 && self.max_fraction > 0.0 {
+            return Err(QosError::InvalidDegradation {
+                message:
+                    "an epoch budget of zero forbids all degradation; use max_fraction = 0 instead"
+                        .into(),
+            });
+        }
+        self.max_epochs_per_week = Some(max_epochs_per_week);
+        Ok(self)
+    }
+
+    /// The paper's case-study spec: 3% of measurements, `U_degr = 0.9`,
+    /// with the given `T_degr` in minutes.
+    pub fn paper_default(time_limit_minutes: Option<u32>) -> Self {
+        DegradationSpec {
+            max_fraction: 0.03,
+            u_degr: 0.9,
+            time_limit_minutes,
+            max_epochs_per_week: None,
+        }
+    }
+
+    /// `M_degr` as a fraction in `[0, 1)`.
+    pub fn max_fraction(&self) -> f64 {
+        self.max_fraction
+    }
+
+    /// The acceptable-percentile `M` in `[0, 100]` (`M = 100·(1 − M_degr)`).
+    pub fn acceptable_percentile(&self) -> f64 {
+        100.0 * (1.0 - self.max_fraction)
+    }
+
+    /// `U_degr` — the utilization-of-allocation cap during degradation.
+    pub fn u_degr(&self) -> f64 {
+        self.u_degr
+    }
+
+    /// `T_degr` in minutes, if a contiguous-time limit is set.
+    pub fn time_limit_minutes(&self) -> Option<u32> {
+        self.time_limit_minutes
+    }
+
+    /// Maximum number of degraded epochs per week, if budgeted
+    /// (footnote 2 of the paper).
+    pub fn max_epochs_per_week(&self) -> Option<u32> {
+        self.max_epochs_per_week
+    }
+}
+
+/// A complete application QoS requirement for one operating mode:
+/// the acceptable band plus an optional degradation allowance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppQos {
+    band: UtilizationBand,
+    degradation: Option<DegradationSpec>,
+}
+
+impl AppQos {
+    /// Combines a band with an optional degradation allowance.
+    ///
+    /// The cross-field constraint `U_high < U_degr` is checked lazily by
+    /// [`validate`](Self::validate) and by the translation, because `serde`
+    /// constructs the halves independently.
+    pub fn new(band: UtilizationBand, degradation: Option<DegradationSpec>) -> Self {
+        AppQos { band, degradation }
+    }
+
+    /// The paper's case-study requirement: band `(0.5, 0.66)`, 3%
+    /// degradation below 0.9, with the given `T_degr`.
+    pub fn paper_default(time_limit_minutes: Option<u32>) -> Self {
+        AppQos {
+            band: UtilizationBand::paper_default(),
+            degradation: Some(DegradationSpec::paper_default(time_limit_minutes)),
+        }
+    }
+
+    /// A strict requirement with no degradation allowed (`M_degr = 0`).
+    pub fn strict(band: UtilizationBand) -> Self {
+        AppQos {
+            band,
+            degradation: None,
+        }
+    }
+
+    /// The acceptable utilization band.
+    pub fn band(&self) -> UtilizationBand {
+        self.band
+    }
+
+    /// The degradation allowance, if any.
+    pub fn degradation(&self) -> Option<DegradationSpec> {
+        self.degradation
+    }
+
+    /// Checks cross-field consistency (`U_high < U_degr`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QosError::DegradedBelowHigh`] when the degraded bound does
+    /// not exceed the band's high bound.
+    pub fn validate(&self) -> Result<(), QosError> {
+        if let Some(degr) = self.degradation {
+            if degr.u_degr() <= self.band.high() {
+                return Err(QosError::DegradedBelowHigh {
+                    high: self.band.high(),
+                    degraded: degr.u_degr(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-application QoS for both operating modes (§III): *normal* (all
+/// planned resources available) and *failure* (one node down).
+///
+/// Failure-mode requirements are typically weaker, which is what lets the
+/// placement service absorb a failed server's workloads onto the remaining
+/// servers (§VI-C).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosPolicy {
+    /// Requirement when all planned resources are available.
+    pub normal: AppQos,
+    /// Requirement while a single node failure is outstanding.
+    pub failure: AppQos,
+}
+
+impl QosPolicy {
+    /// A policy using the same requirement in both modes.
+    pub fn uniform(qos: AppQos) -> Self {
+        QosPolicy {
+            normal: qos,
+            failure: qos,
+        }
+    }
+
+    /// Checks both modes' cross-field consistency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing mode's error.
+    pub fn validate(&self) -> Result<(), QosError> {
+        self.normal.validate()?;
+        self.failure.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_accepts_paper_values() {
+        let band = UtilizationBand::new(0.5, 0.66).unwrap();
+        assert_eq!(band.low(), 0.5);
+        assert_eq!(band.high(), 0.66);
+        assert_eq!(band.burst_factor(), 2.0);
+        assert!((band.ratio() - 0.757575).abs() < 1e-5);
+    }
+
+    #[test]
+    fn band_rejects_invalid_bounds() {
+        for (low, high) in [
+            (0.0, 0.5),
+            (0.5, 0.5),
+            (0.7, 0.6),
+            (0.5, 1.0),
+            (-0.1, 0.5),
+            (f64::NAN, 0.5),
+            (0.5, f64::INFINITY),
+        ] {
+            assert!(UtilizationBand::new(low, high).is_err(), "({low}, {high})");
+        }
+    }
+
+    #[test]
+    fn degradation_accepts_paper_values() {
+        let spec = DegradationSpec::new(0.03, 0.9, Some(30)).unwrap();
+        assert_eq!(spec.max_fraction(), 0.03);
+        assert_eq!(spec.acceptable_percentile(), 97.0);
+        assert_eq!(spec.u_degr(), 0.9);
+        assert_eq!(spec.time_limit_minutes(), Some(30));
+    }
+
+    #[test]
+    fn degradation_rejects_invalid() {
+        assert!(DegradationSpec::new(1.0, 0.9, None).is_err());
+        assert!(DegradationSpec::new(-0.1, 0.9, None).is_err());
+        assert!(DegradationSpec::new(0.03, 1.0, None).is_err());
+        assert!(DegradationSpec::new(0.03, 0.0, None).is_err());
+        assert!(DegradationSpec::new(0.03, 0.9, Some(0)).is_err());
+    }
+
+    #[test]
+    fn epoch_budget_round_trips() {
+        let spec = DegradationSpec::new(0.03, 0.9, Some(30))
+            .unwrap()
+            .with_epoch_budget(4)
+            .unwrap();
+        assert_eq!(spec.max_epochs_per_week(), Some(4));
+        assert!(DegradationSpec::new(0.03, 0.9, None)
+            .unwrap()
+            .with_epoch_budget(0)
+            .is_err());
+        let json = r#"{"max_fraction": 0.03, "u_degr": 0.9, "time_limit_minutes": 30, "max_epochs_per_week": 2}"#;
+        let parsed: DegradationSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(parsed.max_epochs_per_week(), Some(2));
+        // The field is optional in serialized form.
+        let json = r#"{"max_fraction": 0.03, "u_degr": 0.9, "time_limit_minutes": null}"#;
+        let parsed: DegradationSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(parsed.max_epochs_per_week(), None);
+    }
+
+    #[test]
+    fn app_qos_validates_cross_field() {
+        let band = UtilizationBand::new(0.5, 0.66).unwrap();
+        let good = AppQos::new(band, Some(DegradationSpec::new(0.03, 0.9, None).unwrap()));
+        assert!(good.validate().is_ok());
+        let bad = AppQos::new(band, Some(DegradationSpec::new(0.03, 0.6, None).unwrap()));
+        assert!(matches!(
+            bad.validate(),
+            Err(QosError::DegradedBelowHigh { .. })
+        ));
+        assert!(AppQos::strict(band).validate().is_ok());
+    }
+
+    #[test]
+    fn policy_uniform_and_validate() {
+        let policy = QosPolicy::uniform(AppQos::paper_default(Some(30)));
+        assert!(policy.validate().is_ok());
+        assert_eq!(policy.normal, policy.failure);
+    }
+
+    #[test]
+    fn serde_rejects_invalid_band() {
+        let bad = r#"{"low": 0.9, "high": 0.5}"#;
+        assert!(serde_json::from_str::<UtilizationBand>(bad).is_err());
+        let good = r#"{"low": 0.5, "high": 0.66}"#;
+        let band: UtilizationBand = serde_json::from_str(good).unwrap();
+        assert_eq!(band, UtilizationBand::paper_default());
+    }
+
+    #[test]
+    fn serde_rejects_invalid_degradation() {
+        let bad = r#"{"max_fraction": 1.5, "u_degr": 0.9, "time_limit_minutes": null}"#;
+        assert!(serde_json::from_str::<DegradationSpec>(bad).is_err());
+    }
+}

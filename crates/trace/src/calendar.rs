@@ -1,0 +1,253 @@
+use serde::{Deserialize, Serialize};
+
+use crate::TraceError;
+
+const MINUTES_PER_DAY: u32 = 24 * 60;
+const DAYS_PER_WEEK: usize = 7;
+
+/// Slot/day/week arithmetic for regularly sampled traces.
+///
+/// The paper characterizes workloads with one observation every `m` minutes,
+/// `T` observations per day (`T = 288` for 5-minute sampling) and `W` weeks
+/// of history. A `Calendar` captures `m` and derives everything else.
+///
+/// # Example
+///
+/// ```
+/// use ropus_trace::Calendar;
+///
+/// let cal = Calendar::five_minute();
+/// assert_eq!(cal.slots_per_day(), 288);
+/// assert_eq!(cal.slots_per_week(), 2016);
+/// assert_eq!(cal.slot_minutes(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Calendar {
+    slot_minutes: u32,
+}
+
+impl Calendar {
+    /// Creates a calendar with the given slot length in minutes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidSlotLength`] if `slot_minutes` is zero or
+    /// does not divide 1440 (the number of minutes in a day) evenly.
+    pub fn new(slot_minutes: u32) -> Result<Self, TraceError> {
+        if slot_minutes == 0 || !MINUTES_PER_DAY.is_multiple_of(slot_minutes) {
+            return Err(TraceError::InvalidSlotLength {
+                minutes: slot_minutes,
+            });
+        }
+        Ok(Calendar { slot_minutes })
+    }
+
+    /// The paper's default: one observation every 5 minutes (`T = 288`).
+    pub fn five_minute() -> Self {
+        Calendar { slot_minutes: 5 }
+    }
+
+    /// Length of one slot in minutes.
+    pub fn slot_minutes(&self) -> u32 {
+        self.slot_minutes
+    }
+
+    /// Number of observation slots per day (the paper's `T`).
+    pub fn slots_per_day(&self) -> usize {
+        (MINUTES_PER_DAY / self.slot_minutes) as usize
+    }
+
+    /// Number of observation slots per week.
+    pub fn slots_per_week(&self) -> usize {
+        self.slots_per_day() * DAYS_PER_WEEK
+    }
+
+    /// Number of whole slots covered by `minutes` of wall-clock time.
+    ///
+    /// Used to convert a `T_degr` limit ("no more than 30 minutes of
+    /// degradation") or a CoS deadline into a number of observations.
+    pub fn slots_in_minutes(&self, minutes: u32) -> usize {
+        (minutes / self.slot_minutes) as usize
+    }
+
+    /// Decomposes a flat sample index into (week, day-of-week, slot-of-day).
+    pub fn position(&self, index: usize) -> SlotPosition {
+        let per_day = self.slots_per_day();
+        let per_week = self.slots_per_week();
+        let week = index / per_week;
+        let within_week = index % per_week;
+        let day = DayOfWeek::from_index(within_week / per_day);
+        let slot = within_week % per_day;
+        SlotPosition { week, day, slot }
+    }
+
+    /// Inverse of [`position`](Self::position): the flat index of a position.
+    pub fn index_of(&self, position: SlotPosition) -> usize {
+        position.week * self.slots_per_week()
+            + position.day.index() * self.slots_per_day()
+            + position.slot
+    }
+
+    /// Slot-of-day for a flat index (0 = midnight..first slot).
+    pub fn slot_of_day(&self, index: usize) -> usize {
+        index % self.slots_per_day()
+    }
+
+    /// Day of week for a flat index; week starts on Monday.
+    pub fn day_of_week(&self, index: usize) -> DayOfWeek {
+        DayOfWeek::from_index((index % self.slots_per_week()) / self.slots_per_day())
+    }
+
+    /// Week number for a flat index (the paper's `w`, zero-based).
+    pub fn week_of(&self, index: usize) -> usize {
+        index / self.slots_per_week()
+    }
+
+    /// Fraction of the day elapsed at the *start* of the slot, in `[0, 1)`.
+    pub fn time_of_day_fraction(&self, index: usize) -> f64 {
+        self.slot_of_day(index) as f64 / self.slots_per_day() as f64
+    }
+}
+
+impl Default for Calendar {
+    fn default() -> Self {
+        Calendar::five_minute()
+    }
+}
+
+/// Day of the week; weeks start on Monday as in typical enterprise traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DayOfWeek {
+    /// Monday (index 0).
+    Monday,
+    /// Tuesday (index 1).
+    Tuesday,
+    /// Wednesday (index 2).
+    Wednesday,
+    /// Thursday (index 3).
+    Thursday,
+    /// Friday (index 4).
+    Friday,
+    /// Saturday (index 5).
+    Saturday,
+    /// Sunday (index 6).
+    Sunday,
+}
+
+impl DayOfWeek {
+    /// All seven days, Monday first.
+    pub const ALL: [DayOfWeek; 7] = [
+        DayOfWeek::Monday,
+        DayOfWeek::Tuesday,
+        DayOfWeek::Wednesday,
+        DayOfWeek::Thursday,
+        DayOfWeek::Friday,
+        DayOfWeek::Saturday,
+        DayOfWeek::Sunday,
+    ];
+
+    /// Zero-based index with Monday = 0.
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+
+    /// Day for a zero-based index; indices wrap modulo 7.
+    pub fn from_index(index: usize) -> DayOfWeek {
+        Self::ALL[index % 7]
+    }
+
+    /// Whether the day is Saturday or Sunday.
+    ///
+    /// Enterprise interactive workloads (the paper's motivating class) are
+    /// markedly lighter on weekends; the generator uses this.
+    pub fn is_weekend(&self) -> bool {
+        matches!(self, DayOfWeek::Saturday | DayOfWeek::Sunday)
+    }
+}
+
+/// A sample's position within the weekly pattern: `(week, day, slot)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SlotPosition {
+    /// Zero-based week number (the paper's `w`).
+    pub week: usize,
+    /// Day of the week (the paper's `x`).
+    pub day: DayOfWeek,
+    /// Zero-based slot of the day (the paper's `t`, `0 <= t < T`).
+    pub slot: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_minute_calendar_matches_paper_constants() {
+        let cal = Calendar::five_minute();
+        assert_eq!(cal.slots_per_day(), 288);
+        assert_eq!(cal.slots_per_week(), 2016);
+        assert_eq!(cal.slots_in_minutes(30), 6);
+        assert_eq!(cal.slots_in_minutes(60), 12);
+        assert_eq!(cal.slots_in_minutes(120), 24);
+    }
+
+    #[test]
+    fn rejects_slot_lengths_that_do_not_divide_a_day() {
+        assert!(Calendar::new(0).is_err());
+        assert!(Calendar::new(7).is_err());
+        assert!(Calendar::new(11).is_err());
+        assert!(Calendar::new(1441).is_err());
+        for ok in [1, 5, 10, 15, 30, 60, 1440] {
+            assert!(Calendar::new(ok).is_ok(), "{ok} should be valid");
+        }
+    }
+
+    #[test]
+    fn position_round_trips_through_index() {
+        let cal = Calendar::new(30).unwrap();
+        for index in [0, 1, 47, 48, 100, 336, 500, 1000] {
+            let pos = cal.position(index);
+            assert_eq!(cal.index_of(pos), index);
+        }
+    }
+
+    #[test]
+    fn position_decomposition_is_consistent() {
+        let cal = Calendar::five_minute();
+        // First slot of the second day of week 1.
+        let index = cal.slots_per_week() + cal.slots_per_day();
+        let pos = cal.position(index);
+        assert_eq!(pos.week, 1);
+        assert_eq!(pos.day, DayOfWeek::Tuesday);
+        assert_eq!(pos.slot, 0);
+        assert_eq!(cal.slot_of_day(index), 0);
+        assert_eq!(cal.week_of(index), 1);
+    }
+
+    #[test]
+    fn day_of_week_cycles_weekly() {
+        let cal = Calendar::five_minute();
+        assert_eq!(cal.day_of_week(0), DayOfWeek::Monday);
+        assert_eq!(
+            cal.day_of_week(cal.slots_per_day() * 5),
+            DayOfWeek::Saturday
+        );
+        assert_eq!(cal.day_of_week(cal.slots_per_day() * 6), DayOfWeek::Sunday);
+        assert_eq!(cal.day_of_week(cal.slots_per_week()), DayOfWeek::Monday);
+    }
+
+    #[test]
+    fn weekend_flags() {
+        assert!(DayOfWeek::Saturday.is_weekend());
+        assert!(DayOfWeek::Sunday.is_weekend());
+        assert!(!DayOfWeek::Wednesday.is_weekend());
+    }
+
+    #[test]
+    fn time_of_day_fraction_spans_unit_interval() {
+        let cal = Calendar::five_minute();
+        assert_eq!(cal.time_of_day_fraction(0), 0.0);
+        let last = cal.slots_per_day() - 1;
+        let frac = cal.time_of_day_fraction(last);
+        assert!(frac < 1.0 && frac > 0.99);
+    }
+}

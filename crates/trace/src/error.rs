@@ -1,0 +1,121 @@
+use std::fmt;
+
+/// Error raised when constructing or manipulating a [`Trace`](crate::Trace).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// The sample vector was empty.
+    Empty,
+    /// A sample was negative, NaN, or infinite.
+    InvalidSample {
+        /// Index of the offending sample.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The calendar's slot length does not divide a day evenly.
+    InvalidSlotLength {
+        /// The rejected slot length in minutes.
+        minutes: u32,
+    },
+    /// Two traces that must share a calendar and length did not.
+    Misaligned {
+        /// Length of the left-hand trace.
+        left: usize,
+        /// Length of the right-hand trace.
+        right: usize,
+    },
+    /// An operation required whole weeks of data but the trace has a
+    /// partial trailing week.
+    PartialWeek {
+        /// Number of samples in the trace.
+        len: usize,
+        /// Samples per week required by the calendar.
+        per_week: usize,
+    },
+    /// A malformed record was encountered while parsing trace data.
+    Parse {
+        /// 1-based line number of the malformed record.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "trace has no samples"),
+            TraceError::InvalidSample { index, value } => {
+                write!(
+                    f,
+                    "sample {index} is not a finite non-negative value: {value}"
+                )
+            }
+            TraceError::InvalidSlotLength { minutes } => {
+                write!(
+                    f,
+                    "slot length of {minutes} minutes does not divide a day evenly"
+                )
+            }
+            TraceError::Misaligned { left, right } => {
+                write!(
+                    f,
+                    "traces are misaligned: {left} samples vs {right} samples"
+                )
+            }
+            TraceError::PartialWeek { len, per_week } => {
+                write!(
+                    f,
+                    "trace of {len} samples is not a whole number of {per_week}-sample weeks"
+                )
+            }
+            TraceError::Parse { line, message } => {
+                write!(f, "malformed trace record at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            TraceError::Empty,
+            TraceError::InvalidSample {
+                index: 3,
+                value: f64::NAN,
+            },
+            TraceError::InvalidSlotLength { minutes: 7 },
+            TraceError::Misaligned {
+                left: 10,
+                right: 12,
+            },
+            TraceError::PartialWeek {
+                len: 5,
+                per_week: 2016,
+            },
+            TraceError::Parse {
+                line: 2,
+                message: "bad float".to_string(),
+            },
+        ];
+        for err in errors {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+            assert!(!text.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<TraceError>();
+    }
+}

@@ -1,0 +1,179 @@
+use serde::{Deserialize, Serialize};
+
+/// A smooth time-of-day activity curve for interactive enterprise work.
+///
+/// The curve is a sum of two Gaussian bumps — a morning and an afternoon
+/// peak — which naturally produces the mid-day "lunch dip" seen in
+/// order-entry systems. Its value is normalized to `[0, 1]`, with the
+/// daily maximum at 1.
+///
+/// # Example
+///
+/// ```
+/// use ropus_trace::gen::DiurnalCurve;
+///
+/// let curve = DiurnalCurve::business_hours();
+/// // 10:30 ≈ morning peak, 03:00 ≈ idle.
+/// assert!(curve.value(10.5 / 24.0) > 0.9);
+/// assert!(curve.value(3.0 / 24.0) < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalCurve {
+    morning_peak_hour: f64,
+    afternoon_peak_hour: f64,
+    peak_width_hours: f64,
+    afternoon_relative_height: f64,
+    normalizer: f64,
+}
+
+impl DiurnalCurve {
+    /// The default curve: peaks at 10:30 and 14:30, ~1.8 h wide, afternoon
+    /// peak 95% of the morning one. The generous width gives the broad
+    /// business-hours plateau typical of order-entry systems — several
+    /// contiguous hours per weekday near the daily maximum, which is what
+    /// makes the paper's time-limited-degradation constraint bite.
+    pub fn business_hours() -> Self {
+        Self::with_shape(10.5, 14.5, 1.8, 0.95)
+    }
+
+    /// A curve with custom peak hours; width and relative height keep the
+    /// business-hours defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either hour is outside `[0, 24)`.
+    pub fn with_peaks(morning_hour: f64, afternoon_hour: f64) -> Self {
+        Self::with_shape(morning_hour, afternoon_hour, 1.8, 0.95)
+    }
+
+    /// A fully custom curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a peak hour is outside `[0, 24)`, the width is not
+    /// positive, or the relative height is negative.
+    pub fn with_shape(
+        morning_hour: f64,
+        afternoon_hour: f64,
+        width_hours: f64,
+        afternoon_relative_height: f64,
+    ) -> Self {
+        assert!(
+            (0.0..24.0).contains(&morning_hour),
+            "morning hour out of range"
+        );
+        assert!(
+            (0.0..24.0).contains(&afternoon_hour),
+            "afternoon hour out of range"
+        );
+        assert!(width_hours > 0.0, "peak width must be positive");
+        assert!(
+            afternoon_relative_height >= 0.0,
+            "relative height must be non-negative"
+        );
+        let mut curve = DiurnalCurve {
+            morning_peak_hour: morning_hour,
+            afternoon_peak_hour: afternoon_hour,
+            peak_width_hours: width_hours,
+            afternoon_relative_height,
+            normalizer: 1.0,
+        };
+        // Scan the day at 1-minute resolution for the true maximum; the two
+        // bumps overlap, so the maximum need not sit exactly on a peak hour.
+        let max = (0..24 * 60)
+            .map(|minute| curve.raw(minute as f64 / 60.0))
+            .fold(f64::MIN, f64::max);
+        curve.normalizer = max;
+        curve
+    }
+
+    /// Curve value for a time-of-day fraction in `[0, 1)`; result in `[0, 1]`.
+    pub fn value(&self, time_of_day_fraction: f64) -> f64 {
+        let hour = time_of_day_fraction.rem_euclid(1.0) * 24.0;
+        (self.raw(hour) / self.normalizer).min(1.0)
+    }
+
+    /// Unnormalized curve at an hour-of-day.
+    fn raw(&self, hour: f64) -> f64 {
+        self.bump(hour, self.morning_peak_hour)
+            + self.afternoon_relative_height * self.bump(hour, self.afternoon_peak_hour)
+    }
+
+    /// Gaussian bump centred at `peak` hours, respecting day wrap-around.
+    fn bump(&self, hour: f64, peak: f64) -> f64 {
+        let direct = (hour - peak).abs();
+        let wrapped = 24.0 - direct;
+        let dist = direct.min(wrapped);
+        (-0.5 * (dist / self.peak_width_hours).powi(2)).exp()
+    }
+}
+
+impl Default for DiurnalCurve {
+    fn default() -> Self {
+        Self::business_hours()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let curve = DiurnalCurve::business_hours();
+        for i in 0..288 {
+            let v = curve.value(i as f64 / 288.0);
+            assert!((0.0..=1.0).contains(&v), "value {v} at slot {i}");
+        }
+    }
+
+    #[test]
+    fn reaches_its_maximum() {
+        let curve = DiurnalCurve::business_hours();
+        let max = (0..1440)
+            .map(|m| curve.value(m as f64 / 1440.0))
+            .fold(f64::MIN, f64::max);
+        assert!(max > 0.999, "normalized max {max}");
+    }
+
+    #[test]
+    fn peaks_where_configured() {
+        let curve = DiurnalCurve::business_hours();
+        let morning = curve.value(10.5 / 24.0);
+        let night = curve.value(2.0 / 24.0);
+        let lunch = curve.value(12.5 / 24.0);
+        assert!(morning > 0.9);
+        assert!(night < 0.01);
+        // Lunch dip: lower than the peaks but far from idle.
+        assert!(
+            lunch < morning && lunch > night,
+            "lunch {lunch} morning {morning} night {night}"
+        );
+    }
+
+    #[test]
+    fn custom_peaks_move_the_maximum() {
+        let curve = DiurnalCurve::with_peaks(8.0, 20.0);
+        assert!(curve.value(8.0 / 24.0) > curve.value(12.0 / 24.0));
+        assert!(curve.value(20.0 / 24.0) > curve.value(12.0 / 24.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_peak() {
+        DiurnalCurve::with_peaks(25.0, 14.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn rejects_zero_width() {
+        DiurnalCurve::with_shape(9.0, 15.0, 0.0, 0.9);
+    }
+
+    #[test]
+    fn wraps_around_midnight() {
+        let curve = DiurnalCurve::with_peaks(23.5, 12.0);
+        // 00:30 is one hour from the 23:30 peak through midnight.
+        assert!(curve.value(0.5 / 24.0) > 0.7);
+    }
+}

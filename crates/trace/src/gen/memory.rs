@@ -1,0 +1,158 @@
+use serde::{Deserialize, Serialize};
+
+use crate::rng::Rng;
+use crate::Trace;
+
+/// Model of an application's memory footprint, the second capacity
+/// attribute (§II of the paper lists CPU, memory, and I/O; §IX defers
+/// multi-attribute sharing to future work).
+///
+/// Memory behaves very differently from CPU demand: a resident set has a
+/// static base (code, caches, connection pools) plus a demand-following
+/// component that grows quickly under load but drains slowly (heaps and
+/// caches are sticky). The model is
+///
+/// `mem(t) = (base_gb + per_cpu_gb · s(t)) · noise`,
+///
+/// where `s(t)` follows the CPU demand with an asymmetric exponential
+/// smoother: fast on the way up, slow on the way down.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Static resident set in GB.
+    pub base_gb: f64,
+    /// Demand-following component: GB per CPU of (smoothed) demand.
+    pub per_cpu_gb: f64,
+    /// Smoothing weight applied when demand rises (fast, e.g. 0.5).
+    pub rise_alpha: f64,
+    /// Smoothing weight applied when demand falls (slow, e.g. 0.02).
+    pub fall_alpha: f64,
+    /// CV of the small multiplicative noise on the footprint.
+    pub noise_cv: f64,
+}
+
+impl MemoryModel {
+    /// A typical enterprise-application footprint: 2 GB base plus 3 GB per
+    /// CPU of sustained demand.
+    pub fn typical() -> Self {
+        MemoryModel {
+            base_gb: 2.0,
+            per_cpu_gb: 3.0,
+            rise_alpha: 0.5,
+            fall_alpha: 0.02,
+            noise_cv: 0.02,
+        }
+    }
+
+    /// Generates the footprint trace driven by a CPU demand trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model parameters are negative or the alphas are
+    /// outside `[0, 1]`.
+    pub fn generate(&self, cpu_demand: &Trace, rng: &mut Rng) -> Trace {
+        assert!(
+            self.base_gb >= 0.0 && self.per_cpu_gb >= 0.0,
+            "sizes must be non-negative"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.rise_alpha) && (0.0..=1.0).contains(&self.fall_alpha),
+            "alphas must be in [0, 1]"
+        );
+        let mut smoothed = 0.0f64;
+        let samples: Vec<f64> = cpu_demand
+            .iter()
+            .map(|d| {
+                let alpha = if d > smoothed {
+                    self.rise_alpha
+                } else {
+                    self.fall_alpha
+                };
+                smoothed += alpha * (d - smoothed);
+                (self.base_gb + self.per_cpu_gb * smoothed) * rng.lognormal_unit_mean(self.noise_cv)
+            })
+            .collect();
+        Trace::from_samples(cpu_demand.calendar(), samples)
+            .expect("memory model emits finite non-negative samples")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Calendar;
+
+    fn cal() -> Calendar {
+        Calendar::five_minute()
+    }
+
+    #[test]
+    fn footprint_tracks_demand_with_sticky_decay() {
+        // Demand: quiet, spike, quiet again.
+        let mut demand = vec![0.5; 200];
+        demand[50..60].fill(4.0);
+        let demand = Trace::from_samples(cal(), demand).unwrap();
+        let model = MemoryModel {
+            noise_cv: 0.0,
+            ..MemoryModel::typical()
+        };
+        let mem = model.generate(&demand, &mut Rng::seed_from_u64(1));
+
+        // Before the spike: near base + per_cpu * 0.5.
+        let before = mem.samples()[49];
+        assert!((before - (2.0 + 3.0 * 0.5)).abs() < 0.3, "before {before}");
+        // During the spike the footprint climbs fast.
+        let during = mem.samples()[59];
+        assert!(during > 10.0, "during {during}");
+        // Long after the spike it has barely drained (sticky).
+        let after = mem.samples()[80];
+        assert!(after > 0.5 * during, "after {after} vs during {during}");
+        // But it does decay monotonically once demand drops.
+        assert!(mem.samples()[199] < after);
+    }
+
+    #[test]
+    fn base_only_model_is_flat() {
+        let demand = Trace::constant(cal(), 0.0, 50).unwrap();
+        let model = MemoryModel {
+            base_gb: 8.0,
+            per_cpu_gb: 0.0,
+            noise_cv: 0.0,
+            ..MemoryModel::typical()
+        };
+        let mem = model.generate(&demand, &mut Rng::seed_from_u64(0));
+        assert!(mem.iter().all(|v| (v - 8.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn footprint_correlates_with_smoothed_demand() {
+        use super::super::{generate, WorkloadProfile};
+        let profile = WorkloadProfile::builder("x").mean_demand(2.0).build();
+        let demand = generate(&profile, cal(), 1, &mut Rng::seed_from_u64(3));
+        let model = MemoryModel::typical();
+        let mem = model.generate(&demand, &mut Rng::seed_from_u64(4));
+        let r = crate::stats::correlation(demand.samples(), mem.samples());
+        // The footprint follows demand (through the asymmetric smoother),
+        // so the correlation is strongly positive but below 1.
+        assert!(r > 0.5 && r < 1.0, "correlation {r}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let demand = Trace::constant(cal(), 1.0, 100).unwrap();
+        let model = MemoryModel::typical();
+        let a = model.generate(&demand, &mut Rng::seed_from_u64(9));
+        let b = model.generate(&demand, &mut Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "alphas must be in [0, 1]")]
+    fn rejects_bad_alpha() {
+        let demand = Trace::constant(cal(), 1.0, 10).unwrap();
+        let model = MemoryModel {
+            rise_alpha: 1.5,
+            ..MemoryModel::typical()
+        };
+        model.generate(&demand, &mut Rng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,298 @@
+use serde::{Deserialize, Serialize};
+
+use super::DiurnalCurve;
+
+/// Parameters of a burst-episode process layered on top of the smooth
+/// demand level.
+///
+/// When an episode starts, the level is multiplied by a Pareto-distributed
+/// factor for a geometrically distributed number of slots. This is what
+/// gives the heavy top percentiles of Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstModel {
+    /// Probability that a new episode starts at any slot not already in one.
+    pub start_probability: f64,
+    /// Pareto scale (minimum multiplier) of the episode magnitude.
+    pub magnitude_scale: f64,
+    /// Pareto shape; smaller values give heavier tails.
+    pub magnitude_alpha: f64,
+    /// Mean episode duration in slots (geometric distribution).
+    pub mean_duration_slots: usize,
+    /// Hard cap on the multiplier, bounding physically implausible spikes.
+    pub max_multiplier: f64,
+}
+
+impl BurstModel {
+    /// A moderate burst process: ~0.2% of slots start an episode that is
+    /// 1.8x or more for ~3 slots, capped at 4.5x.
+    pub fn moderate() -> Self {
+        BurstModel {
+            start_probability: 0.002,
+            magnitude_scale: 1.8,
+            magnitude_alpha: 1.4,
+            mean_duration_slots: 3,
+            max_multiplier: 4.5,
+        }
+    }
+
+    /// A rare-but-extreme burst process: ~0.05% of slots start an episode
+    /// of 3x or more, capped at 8x — the two leftmost applications of
+    /// Fig. 6 whose top 0.1% of demand is ~10x the body (the bursts hit
+    /// small-bodied workloads, so the *relative* spike is large even
+    /// though the absolute demand stays server-sized).
+    pub fn extreme() -> Self {
+        BurstModel {
+            start_probability: 0.0005,
+            magnitude_scale: 3.0,
+            magnitude_alpha: 1.1,
+            mean_duration_slots: 2,
+            max_multiplier: 8.0,
+        }
+    }
+}
+
+/// Full description of one synthetic application workload.
+///
+/// Construct with [`WorkloadProfile::builder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    name: String,
+    mean_demand: f64,
+    base_fraction: f64,
+    diurnal_amplitude: f64,
+    curve: DiurnalCurve,
+    weekend_factor: f64,
+    noise_cv: f64,
+    noise_correlation: f64,
+    burst: Option<BurstModel>,
+}
+
+impl WorkloadProfile {
+    /// Starts building a profile for the application called `name`.
+    pub fn builder(name: impl Into<String>) -> WorkloadProfileBuilder {
+        WorkloadProfileBuilder {
+            profile: WorkloadProfile {
+                name: name.into(),
+                mean_demand: 1.0,
+                base_fraction: 0.25,
+                diurnal_amplitude: 1.0,
+                curve: DiurnalCurve::business_hours(),
+                weekend_factor: 0.35,
+                noise_cv: 0.25,
+                noise_correlation: 0.8,
+                burst: None,
+            },
+        }
+    }
+
+    /// Application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Demand scale in CPUs; the business-hours level is roughly
+    /// `mean_demand * (base_fraction + diurnal_amplitude)`.
+    pub fn mean_demand(&self) -> f64 {
+        self.mean_demand
+    }
+
+    /// Always-on fraction of `mean_demand` (background load).
+    pub fn base_fraction(&self) -> f64 {
+        self.base_fraction
+    }
+
+    /// Strength of the diurnal pattern relative to `mean_demand`.
+    pub fn diurnal_amplitude(&self) -> f64 {
+        self.diurnal_amplitude
+    }
+
+    /// The time-of-day shape.
+    pub fn curve(&self) -> &DiurnalCurve {
+        &self.curve
+    }
+
+    /// Multiplier applied on Saturdays and Sundays.
+    pub fn weekend_factor(&self) -> f64 {
+        self.weekend_factor
+    }
+
+    /// Coefficient of variation of the multiplicative lognormal noise.
+    pub fn noise_cv(&self) -> f64 {
+        self.noise_cv
+    }
+
+    /// Lag-1 autocorrelation of the log-noise process in `[0, 1)`.
+    ///
+    /// Real 5-minute utilization samples are strongly correlated — busy
+    /// periods persist for tens of minutes. At 0 the noise is independent
+    /// per slot; at 0.9 excursions have a time constant of roughly 50
+    /// minutes, which is what lets the paper's `T_degr` constraint bite.
+    pub fn noise_correlation(&self) -> f64 {
+        self.noise_correlation
+    }
+
+    /// The burst process, if any.
+    pub fn burst(&self) -> Option<&BurstModel> {
+        self.burst.as_ref()
+    }
+}
+
+/// Builder for [`WorkloadProfile`]; see [`WorkloadProfile::builder`].
+#[derive(Debug, Clone)]
+pub struct WorkloadProfileBuilder {
+    profile: WorkloadProfile,
+}
+
+impl WorkloadProfileBuilder {
+    /// Sets the demand scale in CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is negative or non-finite.
+    pub fn mean_demand(mut self, cpus: f64) -> Self {
+        assert!(
+            cpus.is_finite() && cpus >= 0.0,
+            "mean demand must be finite and non-negative"
+        );
+        self.profile.mean_demand = cpus;
+        self
+    }
+
+    /// Sets the always-on background fraction (default 0.25).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is negative or non-finite.
+    pub fn base_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction.is_finite() && fraction >= 0.0,
+            "base fraction must be finite and non-negative"
+        );
+        self.profile.base_fraction = fraction;
+        self
+    }
+
+    /// Sets the diurnal amplitude (default 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude` is negative or non-finite.
+    pub fn diurnal_amplitude(mut self, amplitude: f64) -> Self {
+        assert!(
+            amplitude.is_finite() && amplitude >= 0.0,
+            "amplitude must be finite and non-negative"
+        );
+        self.profile.diurnal_amplitude = amplitude;
+        self
+    }
+
+    /// Sets the time-of-day shape (default [`DiurnalCurve::business_hours`]).
+    pub fn curve(mut self, curve: DiurnalCurve) -> Self {
+        self.profile.curve = curve;
+        self
+    }
+
+    /// Sets the weekend multiplier (default 0.35).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    pub fn weekend_factor(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "weekend factor must be finite and non-negative"
+        );
+        self.profile.weekend_factor = factor;
+        self
+    }
+
+    /// Sets the multiplicative noise CV (default 0.25).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cv` is negative or non-finite.
+    pub fn noise_cv(mut self, cv: f64) -> Self {
+        assert!(
+            cv.is_finite() && cv >= 0.0,
+            "noise cv must be finite and non-negative"
+        );
+        self.profile.noise_cv = cv;
+        self
+    }
+
+    /// Sets the lag-1 autocorrelation of the log-noise process
+    /// (default 0.8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is outside `[0, 1)`.
+    pub fn noise_correlation(mut self, rho: f64) -> Self {
+        assert!(
+            rho.is_finite() && (0.0..1.0).contains(&rho),
+            "correlation must be in [0, 1)"
+        );
+        self.profile.noise_correlation = rho;
+        self
+    }
+
+    /// Adds a burst process (default none).
+    pub fn burst(mut self, burst: BurstModel) -> Self {
+        self.profile.burst = Some(burst);
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> WorkloadProfile {
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_sensible() {
+        let p = WorkloadProfile::builder("a").build();
+        assert_eq!(p.name(), "a");
+        assert_eq!(p.mean_demand(), 1.0);
+        assert!(p.burst().is_none());
+        assert!(p.weekend_factor() < 1.0);
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let p = WorkloadProfile::builder("b")
+            .mean_demand(3.0)
+            .base_fraction(0.1)
+            .diurnal_amplitude(2.0)
+            .weekend_factor(0.5)
+            .noise_cv(0.4)
+            .noise_correlation(0.9)
+            .burst(BurstModel::moderate())
+            .curve(DiurnalCurve::with_peaks(9.0, 16.0))
+            .build();
+        assert_eq!(p.mean_demand(), 3.0);
+        assert_eq!(p.base_fraction(), 0.1);
+        assert_eq!(p.diurnal_amplitude(), 2.0);
+        assert_eq!(p.weekend_factor(), 0.5);
+        assert_eq!(p.noise_cv(), 0.4);
+        assert_eq!(p.noise_correlation(), 0.9);
+        assert!(p.burst().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn builder_rejects_negative_demand() {
+        WorkloadProfile::builder("c").mean_demand(-1.0);
+    }
+
+    #[test]
+    fn preset_burst_models_are_ordered() {
+        let m = BurstModel::moderate();
+        let e = BurstModel::extreme();
+        assert!(e.magnitude_scale > m.magnitude_scale);
+        assert!(e.start_probability < m.start_probability);
+        assert!(e.max_multiplier > m.max_multiplier);
+    }
+}

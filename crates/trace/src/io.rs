@@ -1,0 +1,208 @@
+//! Plain-text import/export of traces.
+//!
+//! Capacity-management tooling around R-Opus exchanges demand traces as CSV
+//! (one column per workload, one row per observation slot) — the same shape
+//! operators export from monitoring systems. `serde` round-trips of
+//! [`crate::Trace`] handle structured storage; this module handles
+//! the flat interchange format.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::{Calendar, Trace, TraceError};
+
+/// Writes named traces as CSV: a header of names, then one row per slot.
+///
+/// All traces must be aligned (same length); values are written with full
+/// `f64` round-trip precision.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Misaligned`] if trace lengths differ or
+/// [`TraceError::Empty`] if no traces are given; I/O failures are returned
+/// as [`std::io::Error`] wrapped in [`CsvError`].
+pub fn write_csv<W: Write>(mut writer: W, traces: &[(String, &Trace)]) -> Result<(), CsvError> {
+    let first = traces.first().ok_or(CsvError::Trace(TraceError::Empty))?;
+    let len = first.1.len();
+    for (_, trace) in traces {
+        if trace.len() != len {
+            return Err(CsvError::Trace(TraceError::Misaligned {
+                left: len,
+                right: trace.len(),
+            }));
+        }
+    }
+    let header: Vec<&str> = traces.iter().map(|(name, _)| name.as_str()).collect();
+    writeln!(writer, "{}", header.join(",")).map_err(CsvError::Io)?;
+    for row in 0..len {
+        let mut line = String::new();
+        for (i, (_, trace)) in traces.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("{}", trace.samples()[row]));
+        }
+        writeln!(writer, "{line}").map_err(CsvError::Io)?;
+    }
+    Ok(())
+}
+
+/// Reads traces from CSV produced by [`write_csv`] (or any monitoring
+/// export with a name header and one numeric column per workload).
+///
+/// # Errors
+///
+/// Returns [`CsvError::Trace`] with [`TraceError::Parse`] for malformed
+/// rows, ragged rows, or non-finite values, and [`CsvError::Io`] for I/O
+/// failures.
+pub fn read_csv<R: Read>(reader: R, calendar: Calendar) -> Result<Vec<(String, Trace)>, CsvError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+    let (_, header) = lines.next().ok_or(CsvError::Trace(TraceError::Parse {
+        line: 1,
+        message: "missing header".into(),
+    }))?;
+    let header = header.map_err(CsvError::Io)?;
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+
+    for (idx, line) in lines {
+        let line = line.map_err(CsvError::Io)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != names.len() {
+            return Err(CsvError::Trace(TraceError::Parse {
+                line: idx + 1,
+                message: format!("expected {} fields, found {}", names.len(), fields.len()),
+            }));
+        }
+        for (col, field) in fields.iter().enumerate() {
+            let value: f64 = field.trim().parse().map_err(|_| {
+                CsvError::Trace(TraceError::Parse {
+                    line: idx + 1,
+                    message: format!("not a number: {field:?}"),
+                })
+            })?;
+            columns[col].push(value);
+        }
+    }
+
+    names
+        .into_iter()
+        .zip(columns)
+        .map(|(name, samples)| {
+            Trace::from_samples(calendar, samples)
+                .map(|trace| (name, trace))
+                .map_err(CsvError::Trace)
+        })
+        .collect()
+}
+
+/// Error from CSV trace interchange.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CsvError {
+    /// The data violated a trace invariant or was malformed.
+    Trace(TraceError),
+    /// The underlying reader or writer failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Trace(e) => write!(f, "trace error: {e}"),
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Trace(e) => Some(e),
+            CsvError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<TraceError> for CsvError {
+    fn from(err: TraceError) -> Self {
+        CsvError::Trace(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal() -> Calendar {
+        Calendar::five_minute()
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let a = Trace::from_samples(cal(), vec![1.0, 2.5, 0.125]).unwrap();
+        let b = Trace::from_samples(cal(), vec![0.0, 4.0, 9.75]).unwrap();
+        let mut buf = Vec::new();
+        write_csv(
+            &mut buf,
+            &[("alpha".to_string(), &a), ("beta".to_string(), &b)],
+        )
+        .unwrap();
+        let back = read_csv(buf.as_slice(), cal()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].0, "alpha");
+        assert_eq!(back[0].1, a);
+        assert_eq!(back[1].1, b);
+    }
+
+    #[test]
+    fn write_rejects_misaligned_traces() {
+        let a = Trace::from_samples(cal(), vec![1.0]).unwrap();
+        let b = Trace::from_samples(cal(), vec![1.0, 2.0]).unwrap();
+        let err = write_csv(Vec::new(), &[("a".into(), &a), ("b".into(), &b)]).unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::Trace(TraceError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn read_rejects_ragged_rows() {
+        let data = "a,b\n1.0,2.0\n3.0\n";
+        let err = read_csv(data.as_bytes(), cal()).unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::Trace(TraceError::Parse { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn read_rejects_non_numeric() {
+        let data = "a\nxyz\n";
+        let err = read_csv(data.as_bytes(), cal()).unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::Trace(TraceError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn read_rejects_negative_values_via_trace_validation() {
+        let data = "a\n-1.0\n";
+        let err = read_csv(data.as_bytes(), cal()).unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::Trace(TraceError::InvalidSample { .. })
+        ));
+    }
+
+    #[test]
+    fn read_skips_blank_lines() {
+        let data = "a\n1.0\n\n2.0\n";
+        let traces = read_csv(data.as_bytes(), cal()).unwrap();
+        assert_eq!(traces[0].1.samples(), &[1.0, 2.0]);
+    }
+}

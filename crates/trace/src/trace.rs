@@ -1,0 +1,495 @@
+use serde::{Deserialize, Serialize};
+
+use crate::stats;
+use crate::{Calendar, TraceError};
+
+/// A validated, non-negative time series aligned to a [`Calendar`].
+///
+/// `Trace` is the common currency of R-Opus: raw CPU *demand* observations,
+/// per-class *allocation* requirements produced by the QoS translation, and
+/// *delivered* allocations measured by the workload-manager simulation are
+/// all traces. Every sample is guaranteed finite and non-negative.
+///
+/// # Example
+///
+/// ```
+/// use ropus_trace::{Calendar, Trace};
+///
+/// # fn main() -> Result<(), ropus_trace::TraceError> {
+/// let trace = Trace::from_samples(Calendar::five_minute(), vec![1.0, 2.5, 0.5])?;
+/// assert_eq!(trace.peak(), 2.5);
+/// assert_eq!(trace.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "RawTrace")]
+pub struct Trace {
+    calendar: Calendar,
+    samples: Vec<f64>,
+}
+
+/// Unvalidated mirror used so deserialized traces re-run the constructor
+/// checks (serde derive alone would accept NaNs and negatives).
+#[derive(Deserialize)]
+struct RawTrace {
+    calendar: Calendar,
+    samples: Vec<f64>,
+}
+
+impl TryFrom<RawTrace> for Trace {
+    type Error = TraceError;
+
+    fn try_from(raw: RawTrace) -> Result<Self, TraceError> {
+        Trace::from_samples(raw.calendar, raw.samples)
+    }
+}
+
+impl Trace {
+    /// Creates a trace from raw samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Empty`] for an empty vector and
+    /// [`TraceError::InvalidSample`] if any sample is negative, NaN, or
+    /// infinite.
+    pub fn from_samples(calendar: Calendar, samples: Vec<f64>) -> Result<Self, TraceError> {
+        if samples.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        for (index, &value) in samples.iter().enumerate() {
+            if !value.is_finite() || value < 0.0 {
+                return Err(TraceError::InvalidSample { index, value });
+            }
+        }
+        Ok(Trace { calendar, samples })
+    }
+
+    /// Creates a trace where every slot holds the same value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error under the same conditions as
+    /// [`from_samples`](Self::from_samples).
+    pub fn constant(calendar: Calendar, value: f64, len: usize) -> Result<Self, TraceError> {
+        Self::from_samples(calendar, vec![value; len])
+    }
+
+    /// The calendar the samples are aligned to.
+    pub fn calendar(&self) -> Calendar {
+        self.calendar
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace holds no samples. Always `false` for a constructed
+    /// trace; present for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Borrow the samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Sample at `index`, or `None` past the end.
+    pub fn get(&self, index: usize) -> Option<f64> {
+        self.samples.get(index).copied()
+    }
+
+    /// Iterator over samples.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, f64>> {
+        self.samples.iter().copied()
+    }
+
+    /// Consumes the trace, returning the underlying samples.
+    pub fn into_samples(self) -> Vec<f64> {
+        self.samples
+    }
+
+    /// Number of *whole* weeks covered (the paper's `W`). Trailing partial
+    /// weeks are not counted.
+    pub fn weeks(&self) -> usize {
+        self.samples.len() / self.calendar.slots_per_week()
+    }
+
+    /// Checks the trace covers a whole number of weeks.
+    ///
+    /// The paper's resource-access-probability metric (`θ`) is defined per
+    /// week and per slot-of-day, so placement requires whole weeks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::PartialWeek`] otherwise.
+    pub fn require_whole_weeks(&self) -> Result<(), TraceError> {
+        let per_week = self.calendar.slots_per_week();
+        if !self.samples.len().is_multiple_of(per_week) {
+            return Err(TraceError::PartialWeek {
+                len: self.samples.len(),
+                per_week,
+            });
+        }
+        Ok(())
+    }
+
+    /// Largest sample (the paper's `D_max`).
+    pub fn peak(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> f64 {
+        stats::mean(&self.samples)
+    }
+
+    /// The `q`-th percentile of the samples with linear interpolation
+    /// (the paper's `D_M%` uses `q = M`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 100]`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        stats::percentile(&self.samples, q)
+    }
+
+    /// The `q`-th percentile with upper nearest-rank semantics: guarantees
+    /// at most `1 − q/100` of samples are strictly greater. This is the
+    /// definition the `M_degr` demand cap must use (see
+    /// [`stats::percentile_upper`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 100]`.
+    pub fn percentile_upper(&self, q: f64) -> f64 {
+        stats::percentile_upper(&self.samples, q)
+    }
+
+    /// Returns a new trace with every sample transformed by `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidSample`] if `f` produces a negative or
+    /// non-finite value.
+    pub fn map<F>(&self, f: F) -> Result<Trace, TraceError>
+    where
+        F: FnMut(f64) -> f64,
+    {
+        Trace::from_samples(self.calendar, self.samples.iter().copied().map(f).collect())
+    }
+
+    /// Returns a new trace scaled by a non-negative factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidSample`] if `factor` is negative or
+    /// non-finite.
+    pub fn scaled(&self, factor: f64) -> Result<Trace, TraceError> {
+        self.map(|v| v * factor)
+    }
+
+    /// Returns a new trace with samples capped at `limit` (`min(d, limit)`).
+    ///
+    /// This is the translation's demand cap at `D_new_max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidSample`] if `limit` is negative or
+    /// non-finite.
+    pub fn capped(&self, limit: f64) -> Result<Trace, TraceError> {
+        self.map(|v| v.min(limit))
+    }
+
+    /// Element-wise sum of two aligned traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Misaligned`] if lengths differ.
+    pub fn checked_add(&self, other: &Trace) -> Result<Trace, TraceError> {
+        if self.len() != other.len() {
+            return Err(TraceError::Misaligned {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        let samples = self
+            .samples
+            .iter()
+            .zip(other.samples.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Trace::from_samples(self.calendar, samples)
+    }
+
+    /// Sums an iterator of aligned traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Empty`] when the iterator is empty and
+    /// [`TraceError::Misaligned`] when lengths differ.
+    pub fn sum<'a, I>(traces: I) -> Result<Trace, TraceError>
+    where
+        I: IntoIterator<Item = &'a Trace>,
+    {
+        let mut iter = traces.into_iter();
+        let first = iter.next().ok_or(TraceError::Empty)?;
+        let mut acc = first.clone();
+        for trace in iter {
+            acc = acc.checked_add(trace)?;
+        }
+        Ok(acc)
+    }
+
+    /// A new trace holding whole weeks `start..end` (zero-based,
+    /// end-exclusive), or `None` when the range is empty or out of range.
+    pub fn weeks_range(&self, start: usize, end: usize) -> Option<Trace> {
+        if start >= end {
+            return None;
+        }
+        let per_week = self.calendar.slots_per_week();
+        let lo = start.checked_mul(per_week)?;
+        let hi = end.checked_mul(per_week)?;
+        let samples = self.samples.get(lo..hi)?.to_vec();
+        Some(Trace::from_samples(self.calendar, samples).expect("sub-slice of valid samples"))
+    }
+
+    /// The samples of week `w` (zero-based), or `None` if out of range.
+    pub fn week(&self, w: usize) -> Option<&[f64]> {
+        let per_week = self.calendar.slots_per_week();
+        let start = w.checked_mul(per_week)?;
+        let end = start.checked_add(per_week)?;
+        self.samples.get(start..end)
+    }
+
+    /// Fraction of samples strictly greater than `threshold`.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        let count = self.samples.iter().filter(|&&v| v > threshold).count();
+        count as f64 / self.samples.len() as f64
+    }
+
+    /// Aggregates consecutive samples into coarser slots by averaging.
+    ///
+    /// `factor` consecutive samples collapse into one (e.g. 12 turns a
+    /// 5-minute trace into an hourly one); the returned trace uses the
+    /// correspondingly coarser calendar. Utilization measurements average
+    /// naturally, which is exactly how monitoring systems roll traces up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidSlotLength`] when the coarser slot
+    /// length does not divide a day, and [`TraceError::Misaligned`] when
+    /// the trace length is not a multiple of `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn downsample(&self, factor: usize) -> Result<Trace, TraceError> {
+        assert!(factor > 0, "factor must be positive");
+        if factor == 1 {
+            return Ok(self.clone());
+        }
+        if !self.samples.len().is_multiple_of(factor) {
+            return Err(TraceError::Misaligned {
+                left: self.samples.len(),
+                right: factor,
+            });
+        }
+        let coarse = Calendar::new(self.calendar.slot_minutes() * factor as u32)?;
+        let samples: Vec<f64> = self
+            .samples
+            .chunks(factor)
+            .map(|chunk| chunk.iter().sum::<f64>() / factor as f64)
+            .collect();
+        Trace::from_samples(coarse, samples)
+    }
+
+    /// Normalizes samples to percentages of the peak (`0..=100`); a zero
+    /// trace stays zero.
+    pub fn normalized_percent(&self) -> Trace {
+        let peak = self.peak();
+        if peak == 0.0 {
+            return self.clone();
+        }
+        self.map(|v| v / peak * 100.0)
+            .expect("normalizing finite non-negative samples cannot fail")
+    }
+}
+
+impl AsRef<[f64]> for Trace {
+    fn as_ref(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = f64;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, f64>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal() -> Calendar {
+        Calendar::five_minute()
+    }
+
+    #[test]
+    fn rejects_empty_and_invalid_samples() {
+        assert_eq!(Trace::from_samples(cal(), vec![]), Err(TraceError::Empty));
+        assert!(matches!(
+            Trace::from_samples(cal(), vec![1.0, -0.5]),
+            Err(TraceError::InvalidSample { index: 1, .. })
+        ));
+        assert!(matches!(
+            Trace::from_samples(cal(), vec![f64::NAN]),
+            Err(TraceError::InvalidSample { index: 0, .. })
+        ));
+        assert!(matches!(
+            Trace::from_samples(cal(), vec![f64::INFINITY]),
+            Err(TraceError::InvalidSample { .. })
+        ));
+    }
+
+    #[test]
+    fn accepts_zero_samples() {
+        let t = Trace::from_samples(cal(), vec![0.0, 0.0]).unwrap();
+        assert_eq!(t.peak(), 0.0);
+        assert_eq!(t.normalized_percent().samples(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn peak_mean_percentile() {
+        let t = Trace::from_samples(cal(), vec![1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(t.peak(), 4.0);
+        assert_eq!(t.mean(), 2.5);
+        assert_eq!(t.percentile(100.0), 4.0);
+        assert_eq!(t.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn capped_and_scaled() {
+        let t = Trace::from_samples(cal(), vec![1.0, 5.0, 3.0]).unwrap();
+        assert_eq!(t.capped(3.0).unwrap().samples(), &[1.0, 3.0, 3.0]);
+        assert_eq!(t.scaled(2.0).unwrap().samples(), &[2.0, 10.0, 6.0]);
+        assert!(t.scaled(-1.0).is_err());
+    }
+
+    #[test]
+    fn checked_add_requires_alignment() {
+        let a = Trace::from_samples(cal(), vec![1.0, 2.0]).unwrap();
+        let b = Trace::from_samples(cal(), vec![3.0, 4.0]).unwrap();
+        let c = Trace::from_samples(cal(), vec![1.0]).unwrap();
+        assert_eq!(a.checked_add(&b).unwrap().samples(), &[4.0, 6.0]);
+        assert!(matches!(
+            a.checked_add(&c),
+            Err(TraceError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn sum_of_traces() {
+        let a = Trace::from_samples(cal(), vec![1.0, 2.0]).unwrap();
+        let b = Trace::from_samples(cal(), vec![0.5, 0.5]).unwrap();
+        let s = Trace::sum([&a, &b]).unwrap();
+        assert_eq!(s.samples(), &[1.5, 2.5]);
+        let empty: [&Trace; 0] = [];
+        assert_eq!(Trace::sum(empty), Err(TraceError::Empty));
+    }
+
+    #[test]
+    fn whole_weeks_check() {
+        let per_week = cal().slots_per_week();
+        let whole = Trace::constant(cal(), 1.0, per_week * 2).unwrap();
+        assert_eq!(whole.weeks(), 2);
+        assert!(whole.require_whole_weeks().is_ok());
+        let partial = Trace::constant(cal(), 1.0, per_week + 1).unwrap();
+        assert_eq!(partial.weeks(), 1);
+        assert!(matches!(
+            partial.require_whole_weeks(),
+            Err(TraceError::PartialWeek { .. })
+        ));
+    }
+
+    #[test]
+    fn week_slicing() {
+        let per_week = cal().slots_per_week();
+        let mut samples = vec![1.0; per_week];
+        samples.extend(vec![2.0; per_week]);
+        let t = Trace::from_samples(cal(), samples).unwrap();
+        assert_eq!(t.week(0).unwrap()[0], 1.0);
+        assert_eq!(t.week(1).unwrap()[0], 2.0);
+        assert!(t.week(2).is_none());
+    }
+
+    #[test]
+    fn weeks_range_extracts_whole_weeks() {
+        let per_week = cal().slots_per_week();
+        let mut samples = vec![1.0; per_week];
+        samples.extend(vec![2.0; per_week]);
+        samples.extend(vec![3.0; per_week]);
+        let t = Trace::from_samples(cal(), samples).unwrap();
+        let middle = t.weeks_range(1, 2).unwrap();
+        assert_eq!(middle.len(), per_week);
+        assert_eq!(middle.samples()[0], 2.0);
+        let tail = t.weeks_range(1, 3).unwrap();
+        assert_eq!(tail.weeks(), 2);
+        assert!(t.weeks_range(2, 2).is_none());
+        assert!(t.weeks_range(0, 4).is_none());
+    }
+
+    #[test]
+    fn fraction_above_counts_strictly() {
+        let t = Trace::from_samples(cal(), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(t.fraction_above(2.0), 0.5);
+        assert_eq!(t.fraction_above(4.0), 0.0);
+        assert_eq!(t.fraction_above(0.0), 1.0);
+    }
+
+    #[test]
+    fn normalized_percent_peaks_at_100() {
+        let t = Trace::from_samples(cal(), vec![1.0, 2.0, 4.0]).unwrap();
+        let n = t.normalized_percent();
+        assert_eq!(n.samples(), &[25.0, 50.0, 100.0]);
+    }
+
+    #[test]
+    fn serde_round_trip_and_validation() {
+        let t = Trace::from_samples(cal(), vec![1.0, 2.0]).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+        // Deserialization re-runs the invariant checks.
+        let forged = json.replace("2.0", "-2.0");
+        assert!(serde_json::from_str::<Trace>(&forged).is_err());
+    }
+
+    #[test]
+    fn downsample_averages_chunks() {
+        let fine = Trace::from_samples(cal(), vec![1.0, 3.0, 2.0, 4.0, 0.0, 2.0]).unwrap();
+        // 5-minute -> 15-minute slots.
+        let coarse = fine.downsample(3).unwrap();
+        assert_eq!(coarse.samples(), &[2.0, 2.0]);
+        assert_eq!(coarse.calendar().slot_minutes(), 15);
+        // Identity factor.
+        assert_eq!(fine.downsample(1).unwrap(), fine);
+        // Length must divide.
+        assert!(matches!(
+            fine.downsample(4),
+            Err(TraceError::Misaligned { .. })
+        ));
+        // Resulting slot length must divide a day (5 * 7 = 35 does not).
+        let seven = Trace::constant(cal(), 1.0, 7).unwrap();
+        assert!(matches!(
+            seven.downsample(7),
+            Err(TraceError::InvalidSlotLength { .. })
+        ));
+    }
+}

@@ -1,0 +1,307 @@
+//! The two-priority host scheduler.
+//!
+//! "Demands associated with the higher priority are allocated capacity
+//! first; they correspond to the higher CoS. Any remaining capacity is then
+//! allocated to satisfy lower priority demands" (§II). The host replays
+//! each workload's demand trace through its manager, grants CoS1 requests
+//! first (scaled proportionally in the pathological case where even they
+//! exceed capacity), then shares the remaining capacity across CoS2
+//! requests proportionally to their size.
+
+use serde::{Deserialize, Serialize};
+
+use ropus_trace::{Trace, TraceError};
+
+use crate::manager::{WlmPolicy, WorkloadManager};
+
+/// A workload co-located on the host: demand trace plus manager policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostedWorkload {
+    name: String,
+    demand: Trace,
+    policy: WlmPolicy,
+}
+
+impl HostedWorkload {
+    /// Creates a hosted workload.
+    pub fn new(name: impl Into<String>, demand: Trace, policy: WlmPolicy) -> Self {
+        HostedWorkload {
+            name: name.into(),
+            demand,
+            policy,
+        }
+    }
+
+    /// Workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The demand trace driving the simulation.
+    pub fn demand(&self) -> &Trace {
+        &self.demand
+    }
+}
+
+/// Per-workload simulation outputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadOutcome {
+    /// Workload name.
+    pub name: String,
+    /// Capacity granted per slot (CoS1 + CoS2 grants).
+    pub granted: Trace,
+    /// Demand actually served per slot (`min(demand, grant)`).
+    pub served: Trace,
+    /// Demand that found no capacity, per slot.
+    pub unmet: Trace,
+    /// Measured utilization of allocation per slot (`served / granted`,
+    /// 0 where nothing was granted).
+    pub utilization: Trace,
+}
+
+/// Whole-host simulation outputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostOutcome {
+    /// Per-workload outcomes, in input order.
+    pub workloads: Vec<WorkloadOutcome>,
+    /// Total capacity granted per slot across workloads.
+    pub total_granted: Trace,
+    /// Slots where CoS2 requests were not fully granted.
+    pub contended_slots: usize,
+}
+
+/// A host with a fixed capacity running the two-priority scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Host {
+    capacity: f64,
+}
+
+impl Host {
+    /// Creates a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive and finite.
+    pub fn new(capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
+        Host { capacity }
+    }
+
+    /// The host's capacity limit.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Replays the workloads' demand traces through their managers and the
+    /// two-priority scheduler.
+    ///
+    /// The manager reacts to the demand measured in the *current* slot —
+    /// the paper's 5-minute control interval collapses to trace
+    /// granularity. Unserved demand is dropped (interactive work is lost,
+    /// not queued); carry-over behaviour is the placement simulator's
+    /// concern, not the host scheduler's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Misaligned`] when demand traces differ in
+    /// length, or [`TraceError::Empty`] when no workloads are given.
+    pub fn run(&self, workloads: &[HostedWorkload]) -> Result<HostOutcome, TraceError> {
+        let first = workloads.first().ok_or(TraceError::Empty)?;
+        let len = first.demand.len();
+        let calendar = first.demand.calendar();
+        for w in workloads {
+            if w.demand.len() != len {
+                return Err(TraceError::Misaligned {
+                    left: len,
+                    right: w.demand.len(),
+                });
+            }
+        }
+
+        let mut managers: Vec<WorkloadManager> = workloads
+            .iter()
+            .map(|w| WorkloadManager::new(w.policy))
+            .collect();
+        let n = workloads.len();
+        let mut granted = vec![Vec::with_capacity(len); n];
+        let mut served = vec![Vec::with_capacity(len); n];
+        let mut unmet = vec![Vec::with_capacity(len); n];
+        let mut utilization = vec![Vec::with_capacity(len); n];
+        let mut total_granted = Vec::with_capacity(len);
+        let mut contended_slots = 0usize;
+
+        for slot in 0..len {
+            let demands: Vec<f64> = workloads.iter().map(|w| w.demand.samples()[slot]).collect();
+            let requests: Vec<_> = managers
+                .iter_mut()
+                .zip(&demands)
+                .map(|(m, &d)| m.observe(d))
+                .collect();
+
+            // Priority 1: grant CoS1 in full, scaling down proportionally
+            // only if the guarantee was violated upstream.
+            let cos1_sum: f64 = requests.iter().map(|r| r.cos1).sum();
+            let cos1_scale = if cos1_sum > self.capacity {
+                self.capacity / cos1_sum
+            } else {
+                1.0
+            };
+            let remaining = (self.capacity - cos1_sum * cos1_scale).max(0.0);
+
+            // Priority 2: share what is left proportionally to requests.
+            let cos2_sum: f64 = requests.iter().map(|r| r.cos2).sum();
+            let cos2_scale = if cos2_sum > remaining && cos2_sum > 0.0 {
+                remaining / cos2_sum
+            } else {
+                1.0
+            };
+            if cos2_scale < 1.0 || cos1_scale < 1.0 {
+                contended_slots += 1;
+            }
+
+            let mut slot_total = 0.0;
+            for (i, request) in requests.iter().enumerate() {
+                let grant = request.cos1 * cos1_scale + request.cos2 * cos2_scale;
+                let serve = demands[i].min(grant);
+                granted[i].push(grant);
+                served[i].push(serve);
+                unmet[i].push(demands[i] - serve);
+                utilization[i].push(if grant > 0.0 { serve / grant } else { 0.0 });
+                slot_total += grant;
+            }
+            total_granted.push(slot_total);
+        }
+
+        let outcome_for = |i: usize| -> Result<WorkloadOutcome, TraceError> {
+            Ok(WorkloadOutcome {
+                name: workloads[i].name.clone(),
+                granted: Trace::from_samples(calendar, granted[i].clone())?,
+                served: Trace::from_samples(calendar, served[i].clone())?,
+                unmet: Trace::from_samples(calendar, unmet[i].clone())?,
+                utilization: Trace::from_samples(calendar, utilization[i].clone())?,
+            })
+        };
+        let outcomes: Result<Vec<_>, _> = (0..n).map(outcome_for).collect();
+        Ok(HostOutcome {
+            workloads: outcomes?,
+            total_granted: Trace::from_samples(calendar, total_granted)?,
+            contended_slots,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ropus_trace::Calendar;
+
+    fn cal() -> Calendar {
+        Calendar::five_minute()
+    }
+
+    fn policy(cos1_cap: f64, total_cap: f64) -> WlmPolicy {
+        WlmPolicy {
+            burst_factor: 2.0,
+            cos1_cap,
+            total_cap,
+            min_allocation: 0.0,
+            smoothing: 1.0,
+        }
+    }
+
+    fn constant(name: &str, demand: f64, len: usize, p: WlmPolicy) -> HostedWorkload {
+        HostedWorkload::new(name, Trace::constant(cal(), demand, len).unwrap(), p)
+    }
+
+    #[test]
+    fn uncontended_host_grants_full_requests() {
+        let host = Host::new(16.0);
+        let w = constant("a", 2.0, 50, policy(1.0, 100.0));
+        let outcome = host.run(&[w]).unwrap();
+        let o = &outcome.workloads[0];
+        // Request = 2 * 2 = 4, fully granted; demand 2 fully served.
+        assert_eq!(o.granted.samples()[10], 4.0);
+        assert_eq!(o.served.samples()[10], 2.0);
+        assert_eq!(o.unmet.samples()[10], 0.0);
+        assert_eq!(o.utilization.samples()[10], 0.5);
+        assert_eq!(outcome.contended_slots, 0);
+    }
+
+    #[test]
+    fn cos1_is_served_before_cos2() {
+        let host = Host::new(10.0);
+        // Workload A: all CoS1 (cap above request). Workload B: all CoS2.
+        let a = constant("a", 4.0, 20, policy(100.0, 100.0));
+        let b = constant("b", 4.0, 20, policy(0.0, 100.0));
+        let outcome = host.run(&[a, b]).unwrap();
+        // A requests 8 CoS1 -> granted in full; B requests 8 CoS2 but only
+        // 2 remain.
+        assert_eq!(outcome.workloads[0].granted.samples()[5], 8.0);
+        assert_eq!(outcome.workloads[1].granted.samples()[5], 2.0);
+        assert!(outcome.contended_slots > 0);
+        // B's demand 4 only gets 2 served.
+        assert_eq!(outcome.workloads[1].served.samples()[5], 2.0);
+        assert_eq!(outcome.workloads[1].unmet.samples()[5], 2.0);
+    }
+
+    #[test]
+    fn cos2_shares_remaining_capacity_proportionally() {
+        let host = Host::new(12.0);
+        let a = constant("a", 4.0, 10, policy(0.0, 100.0)); // requests 8
+        let b = constant("b", 2.0, 10, policy(0.0, 100.0)); // requests 4
+        let outcome = host.run(&[a, b]).unwrap();
+        // 12 capacity over requests (8, 4): granted in full (sum == 12).
+        assert_eq!(outcome.workloads[0].granted.samples()[0], 8.0);
+        assert_eq!(outcome.workloads[1].granted.samples()[0], 4.0);
+
+        let host = Host::new(6.0);
+        let a = constant("a", 4.0, 10, policy(0.0, 100.0));
+        let b = constant("b", 2.0, 10, policy(0.0, 100.0));
+        let outcome = host.run(&[a, b]).unwrap();
+        // Now only 6 for requests (8, 4): proportional scale 0.5.
+        assert_eq!(outcome.workloads[0].granted.samples()[0], 4.0);
+        assert_eq!(outcome.workloads[1].granted.samples()[0], 2.0);
+    }
+
+    #[test]
+    fn pathological_cos1_overflow_scales_proportionally() {
+        let host = Host::new(8.0);
+        let a = constant("a", 8.0, 5, policy(100.0, 100.0)); // 16 CoS1
+        let outcome = host.run(&[a]).unwrap();
+        assert_eq!(outcome.workloads[0].granted.samples()[0], 8.0);
+        assert!(outcome.contended_slots > 0);
+    }
+
+    #[test]
+    fn total_granted_never_exceeds_capacity() {
+        let host = Host::new(10.0);
+        let ws: Vec<HostedWorkload> = (0..5)
+            .map(|i| constant(&format!("w{i}"), 3.0, 30, policy(1.0, 100.0)))
+            .collect();
+        let outcome = host.run(&ws).unwrap();
+        for &g in outcome.total_granted.samples() {
+            assert!(g <= 10.0 + 1e-9, "granted {g}");
+        }
+    }
+
+    #[test]
+    fn misaligned_and_empty_inputs_rejected() {
+        let host = Host::new(10.0);
+        assert!(matches!(host.run(&[]), Err(TraceError::Empty)));
+        let a = constant("a", 1.0, 10, policy(0.0, 10.0));
+        let b = constant("b", 1.0, 20, policy(0.0, 10.0));
+        assert!(matches!(
+            host.run(&[a, b]),
+            Err(TraceError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn host_rejects_zero_capacity() {
+        Host::new(0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Workload-manager and host-scheduler simulation (§II of the paper).
+//!
+//! The paper assumes each resource runs a *workload manager* (HP-UX WLM /
+//! gWLM class) that periodically sets each resource container's capacity
+//! allocation to `burst factor × recent demand`, and a scheduler that
+//! serves the higher allocation priority (CoS1) before the lower (CoS2).
+//! Those products are proprietary, so this crate simulates their documented
+//! semantics at trace granularity:
+//!
+//! * [`manager`] — the per-workload allocation control loop (burst factor,
+//!   EWMA demand estimate, min/max allocation clamps, per-CoS split);
+//! * [`host`] — a host scheduler that grants CoS1 requests first and
+//!   shares the remaining capacity across CoS2 requests, producing
+//!   delivered-allocation and served-demand traces;
+//! * [`metrics`] — the utilization-of-allocation audit that checks the
+//!   delivered QoS against an [`AppQos`](ropus_qos::AppQos) requirement,
+//!   closing the loop on the translation's promise.
+//!
+//! # Example
+//!
+//! ```
+//! use ropus_qos::{AppQos, CosSpec};
+//! use ropus_qos::translation::translate;
+//! use ropus_trace::{Calendar, Trace};
+//! use ropus_wlm::host::{Host, HostedWorkload};
+//! use ropus_wlm::manager::WlmPolicy;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cal = Calendar::five_minute();
+//! let demand = Trace::constant(cal, 2.0, cal.slots_per_week())?;
+//! let qos = AppQos::paper_default(None);
+//! let cos2 = CosSpec::new(0.9, 60)?;
+//! let translation = translate(&demand, &qos, &cos2)?;
+//! let policy = WlmPolicy::from_translation(&qos, &translation.report);
+//! let host = Host::new(16.0);
+//! let outcome = host.run(&[HostedWorkload::new("app", demand, policy)])?;
+//! assert!(outcome.workloads[0].served.peak() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod host;
+pub mod manager;
+pub mod metrics;

@@ -1,0 +1,90 @@
+//! Long-term capacity planning (Fig. 1's leftmost timescale): estimate
+//! demand growth from trace history, then forecast when the pool runs out
+//! of servers so procurement can start in time.
+//!
+//! Run with: `cargo run --release -p ropus --example capacity_planning`
+
+use ropus::planning::estimate_weekly_growth;
+use ropus::prelude::*;
+
+fn main() -> Result<(), FrameworkError> {
+    // Four weeks of history for a small fleet, with 5% organic growth per
+    // week layered on top of the synthetic traces.
+    let base = case_study_fleet(&FleetConfig {
+        apps: 8,
+        weeks: 4,
+        ..FleetConfig::paper()
+    });
+    let weekly = base[0].trace.calendar().slots_per_week();
+    let grown: Vec<AppSpec> = base
+        .into_iter()
+        .map(|app| {
+            let samples: Vec<f64> = app
+                .trace
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v * 1.05f64.powi((i / weekly) as i32))
+                .collect();
+            let trace = Trace::from_samples(app.trace.calendar(), samples)
+                .expect("scaling keeps samples valid");
+            AppSpec::new(
+                app.name,
+                trace,
+                QosPolicy::uniform(AppQos::paper_default(Some(30))),
+            )
+        })
+        .collect();
+
+    // 1. Estimate growth from the history itself.
+    let growths: Vec<f64> = grown
+        .iter()
+        .map(|app| estimate_weekly_growth(app.demand()))
+        .collect();
+    let mean_growth = growths.iter().sum::<f64>() / growths.len() as f64;
+    println!("estimated weekly demand growth per app:");
+    for (app, g) in grown.iter().zip(&growths) {
+        println!("  {:<10} {:.2}% / week", app.name(), (g - 1.0) * 100.0);
+    }
+    println!(
+        "fleet mean: {:.2}% / week (injected: 5%)",
+        (mean_growth - 1.0) * 100.0
+    );
+
+    // 2. Forecast server needs over the next 24 weeks.
+    let framework = Framework::builder()
+        .server(ServerSpec::sixteen_way())
+        .commitments(PoolCommitments::new(CosSpec::new(0.9, 60)?))
+        .options(ConsolidationOptions::fast(17))
+        .build();
+    let forecast = framework.forecast(&grown, mean_growth, 24, 4)?;
+
+    println!(
+        "\n{:>12} {:>8} {:>10} {:>10}",
+        "weeks ahead", "scale", "servers", "C_requ"
+    );
+    for entry in &forecast.entries {
+        match (entry.servers, entry.required_capacity) {
+            (Some(s), Some(c)) => {
+                println!(
+                    "{:>12} {:>8.2} {:>10} {:>10.1}",
+                    entry.weeks_ahead, entry.scale, s, c
+                )
+            }
+            _ => println!(
+                "{:>12} {:>8.2} {:>10} {:>10}",
+                entry.weeks_ahead, entry.scale, "UNPLACEABLE", "-"
+            ),
+        }
+    }
+
+    let today = forecast.entries[0]
+        .servers
+        .expect("current fleet is placeable");
+    match forecast.exhaustion_week(today) {
+        Some(week) => println!(
+            "\nthe current {today}-server pool is exhausted in ~{week} weeks — start procurement"
+        ),
+        None => println!("\nthe current {today}-server pool lasts the whole horizon"),
+    }
+    Ok(())
+}

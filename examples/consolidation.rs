@@ -1,0 +1,78 @@
+//! Consolidation deep-dive: run one Table-I case on the 26-app fleet and
+//! compare the genetic search against the greedy baselines.
+//!
+//! Run with: `cargo run --release -p ropus --example consolidation`
+
+use ropus::case_study::{translate_fleet, CaseConfig};
+use ropus::prelude::*;
+use ropus_placement::ga::Evaluator;
+use ropus_placement::greedy::{place, servers_used, GreedyStrategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fleet = case_study_fleet(&FleetConfig {
+        weeks: 2,
+        ..FleetConfig::paper()
+    });
+    // Case 2: M_degr = 3%, θ = 0.6, T_degr = 30 min.
+    let case = CaseConfig::table1()[1];
+    println!(
+        "case {}: M_degr = {:.0}%, θ = {}, T_degr = {:?}",
+        case.id,
+        case.m_degr * 100.0,
+        case.theta,
+        case.t_degr
+    );
+
+    let translated = translate_fleet(&fleet, &case)?;
+    let workloads: Vec<Workload> = translated.iter().map(|t| t.workload.clone()).collect();
+
+    // Greedy baselines: how many servers does each packing rule need?
+    println!("\n-- greedy baselines --");
+    for strategy in GreedyStrategy::ALL {
+        let evaluator = Evaluator::new(
+            &workloads,
+            ServerSpec::sixteen_way(),
+            case.commitments(),
+            0.1,
+        );
+        let assignment = place(&evaluator, strategy)?;
+        let n = servers_used(&assignment);
+        let (score, _) = evaluator.evaluate(&assignment, n);
+        println!("{strategy:?}: {n} servers, score {score:.3}");
+    }
+
+    // The R-Opus genetic search.
+    println!("\n-- genetic search --");
+    let consolidator = Consolidator::new(
+        ServerSpec::sixteen_way(),
+        case.commitments(),
+        ConsolidationOptions::thorough(7),
+    );
+    let report = consolidator.consolidate(&workloads)?;
+    println!("servers used:      {}", report.servers_used);
+    println!("score:             {:.3}", report.score);
+    println!(
+        "C_requ:            {:.1} CPUs",
+        report.required_capacity_total
+    );
+    println!(
+        "C_peak:            {:.1} CPUs",
+        report.peak_allocation_total
+    );
+    println!(
+        "sharing savings:   {:.1}%",
+        100.0 * report.sharing_savings()
+    );
+    println!("\nper-server packing:");
+    for sp in &report.servers {
+        let names: Vec<&str> = sp.workloads.iter().map(|&i| workloads[i].name()).collect();
+        println!(
+            "  server {:>2}: required {:>5.1} CPUs (U = {:.2})  [{}]",
+            sp.server,
+            sp.required_capacity,
+            sp.utilization,
+            names.join(", ")
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Failure planning: decide whether the pool needs a spare server.
+//!
+//! Mirrors the paper's §VII conclusion: with normal-mode QoS (case 4,
+//! strict) the fleet needs N servers; if the application owners accept the
+//! weaker failure-mode QoS (case 6: 3% degradation allowed) during a
+//! repair window, any single failure can be absorbed by the surviving
+//! N − 1 servers — so no spare is required.
+//!
+//! Run with: `cargo run --release -p ropus --example failure_planning`
+
+use ropus::case_study::CaseConfig;
+use ropus::prelude::*;
+
+fn main() -> Result<(), FrameworkError> {
+    let fleet = case_study_fleet(&FleetConfig::paper());
+    // Normal mode: strict QoS (case 4). Failure mode: relaxed (case 6).
+    let normal_case = CaseConfig::table1()[3];
+    let failure_case = CaseConfig::table1()[5];
+    let policy = QosPolicy {
+        normal: normal_case.app_qos(),
+        failure: failure_case.app_qos(),
+    };
+
+    let framework = Framework::builder()
+        .server(ServerSpec::sixteen_way())
+        .commitments(normal_case.commitments())
+        .options(ConsolidationOptions::thorough(11))
+        // The paper's §VII argument: during a repair window *every*
+        // application runs under its failure-mode QoS.
+        .failure_scope(FailureScope::AllApplications)
+        .build();
+    let apps: Vec<AppSpec> = fleet
+        .into_iter()
+        .map(|app| AppSpec::new(app.name, app.trace, policy))
+        .collect();
+    let plan = framework.plan(&apps)?;
+
+    println!("normal-mode servers: {}", plan.normal_servers());
+    println!("single-failure sweep:");
+    for case in &plan.failure_analysis.cases {
+        match &case.placement {
+            Some(p) => println!(
+                "  server {:>2} fails -> {} affected app(s) re-placed on {} survivors (C_requ {:.1})",
+                case.failed_server,
+                case.affected.len(),
+                p.servers_used,
+                p.required_capacity_total
+            ),
+            None => println!(
+                "  server {:>2} fails -> {} affected app(s) CANNOT be re-placed",
+                case.failed_server,
+                case.affected.len()
+            ),
+        }
+    }
+    if plan.spare_needed() {
+        println!(
+            "\nverdict: a spare server IS needed ({} total)",
+            plan.servers_to_provision()
+        );
+    } else {
+        println!(
+            "\nverdict: no spare needed — failure-mode QoS lets {} servers absorb any single failure",
+            plan.normal_servers() - 1
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Quickstart: plan capacity for a small fleet end to end.
+//!
+//! Run with: `cargo run --release -p ropus --example quickstart`
+
+use ropus::prelude::*;
+
+fn main() -> Result<(), FrameworkError> {
+    // 1. Demand traces. In production these come from monitoring; here we
+    //    synthesize two weeks for a handful of enterprise-style apps.
+    let fleet = case_study_fleet(&FleetConfig {
+        apps: 8,
+        weeks: 2,
+        ..FleetConfig::paper()
+    });
+
+    // 2. Application QoS: the paper's running example. Normal mode allows
+    //    3% of measurements to degrade (to at most U = 0.9) for no longer
+    //    than 30 minutes at a time; failure mode drops the time limit so
+    //    the fleet can squeeze onto fewer servers while a repair is under
+    //    way.
+    let policy = QosPolicy {
+        normal: AppQos::paper_default(Some(30)),
+        failure: AppQos::paper_default(None),
+    };
+
+    // 3. Pool commitments: CoS2 offers capacity with probability 0.95 and
+    //    a 60-minute deadline for carried-over demand.
+    let commitments = PoolCommitments::new(CosSpec::new(0.95, 60)?);
+
+    // 4. Plan.
+    let framework = Framework::builder()
+        .server(ServerSpec::sixteen_way())
+        .commitments(commitments)
+        .options(ConsolidationOptions::fast(42))
+        .build();
+    let apps: Vec<AppSpec> = fleet
+        .into_iter()
+        .map(|app| AppSpec::new(app.name, app.trace, policy))
+        .collect();
+    let plan = framework.plan(&apps)?;
+
+    println!("== R-Opus capacity plan ==");
+    println!("applications:          {}", plan.apps.len());
+    println!("normal-mode servers:   {}", plan.normal_servers());
+    println!(
+        "C_requ (sum, CPUs):    {:.1}",
+        plan.normal_placement.required_capacity_total
+    );
+    println!(
+        "C_peak (sum, CPUs):    {:.1}",
+        plan.normal_placement.peak_allocation_total
+    );
+    println!(
+        "sharing savings:       {:.1}%",
+        100.0 * plan.normal_placement.sharing_savings()
+    );
+    println!("spare server needed:   {}", plan.spare_needed());
+    println!("servers to provision:  {}", plan.servers_to_provision());
+    println!();
+    println!("per-application translation (normal mode):");
+    println!(
+        "{:<10} {:>8} {:>12} {:>14}",
+        "app", "D_max", "D_new_max", "cap reduction"
+    );
+    for app in &plan.apps {
+        println!(
+            "{:<10} {:>8.2} {:>12.2} {:>13.1}%",
+            app.name,
+            app.normal.d_max,
+            app.normal.d_new_max,
+            100.0 * app.normal.max_cap_reduction
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! End-to-end integration tests of the full R-Opus pipeline:
+//! demand traces → QoS translation → placement → failure sweep.
+
+use ropus::prelude::*;
+
+fn fleet(apps: usize) -> Vec<AppSpec> {
+    let policy = QosPolicy {
+        normal: AppQos::paper_default(Some(30)),
+        failure: AppQos::paper_default(None),
+    };
+    case_study_fleet(&FleetConfig {
+        apps,
+        weeks: 1,
+        ..FleetConfig::paper()
+    })
+    .into_iter()
+    .map(|app| AppSpec::new(app.name, app.trace, policy))
+    .collect()
+}
+
+fn framework(theta: f64, seed: u64) -> Framework {
+    Framework::builder()
+        .server(ServerSpec::sixteen_way())
+        .commitments(PoolCommitments::new(CosSpec::new(theta, 60).unwrap()))
+        .options(ConsolidationOptions::fast(seed))
+        .build()
+}
+
+#[test]
+fn plan_covers_every_application_exactly_once() {
+    let apps = fleet(10);
+    let plan = framework(0.9, 1).plan(&apps).unwrap();
+    assert_eq!(plan.apps.len(), 10);
+    assert_eq!(plan.normal_placement.assignment.len(), 10);
+    // Every app appears on exactly one server of the report.
+    let mut count = vec![0usize; 10];
+    for sp in &plan.normal_placement.servers {
+        for &w in &sp.workloads {
+            count[w] += 1;
+        }
+    }
+    assert!(count.iter().all(|&c| c == 1), "{count:?}");
+}
+
+#[test]
+fn required_capacity_is_within_pool_and_below_peaks() {
+    let apps = fleet(10);
+    let plan = framework(0.9, 2).plan(&apps).unwrap();
+    let report = &plan.normal_placement;
+    for sp in &report.servers {
+        assert!(
+            sp.required_capacity <= 16.0 + 0.2,
+            "server {}: {}",
+            sp.server,
+            sp.required_capacity
+        );
+        assert!(sp.utilization <= 1.0 + 0.02);
+    }
+    // Statistical multiplexing must beat the sum of peaks.
+    assert!(report.required_capacity_total < report.peak_allocation_total);
+}
+
+#[test]
+fn failure_sweep_has_one_case_per_used_server() {
+    let apps = fleet(8);
+    let plan = framework(0.9, 3).plan(&apps).unwrap();
+    assert_eq!(plan.failure_analysis.cases.len(), plan.normal_servers());
+    for case in &plan.failure_analysis.cases {
+        assert!(!case.affected.is_empty());
+        if let Some(p) = &case.placement {
+            assert!(p.servers_used < plan.normal_servers());
+        }
+    }
+}
+
+#[test]
+fn plan_is_deterministic_per_seed() {
+    let apps = fleet(6);
+    let a = framework(0.9, 7).plan(&apps).unwrap();
+    let b = framework(0.9, 7).plan(&apps).unwrap();
+    assert_eq!(a.normal_placement.assignment, b.normal_placement.assignment);
+    assert_eq!(
+        a.normal_placement.required_capacity_total,
+        b.normal_placement.required_capacity_total
+    );
+    assert_eq!(a.failure_analysis, b.failure_analysis);
+}
+
+#[test]
+fn lower_theta_never_reduces_required_capacity() {
+    // θ = 1.0 means CoS2 is effectively guaranteed: required capacity must
+    // cover every aggregate peak. θ = 0.6 permits overbooking.
+    let apps = fleet(8);
+    let strict = framework(1.0, 4).plan(&apps).unwrap();
+    let relaxed = framework(0.6, 4).plan(&apps).unwrap();
+    assert!(
+        relaxed.normal_placement.required_capacity_total
+            <= strict.normal_placement.required_capacity_total + 0.5,
+        "relaxed {} vs strict {}",
+        relaxed.normal_placement.required_capacity_total,
+        strict.normal_placement.required_capacity_total
+    );
+}
+
+#[test]
+fn translation_reports_satisfy_their_own_bounds() {
+    use ropus_qos::analysis::{check_report, max_cap_reduction_bound};
+    let apps = fleet(10);
+    let plan = framework(0.9, 5).plan(&apps).unwrap();
+    let qos = AppQos::paper_default(Some(30));
+    for app in &plan.apps {
+        check_report(&qos, &app.normal).unwrap();
+        assert!(app.normal.max_cap_reduction <= max_cap_reduction_bound(&qos) + 1e-9);
+        // Failure mode (no time limit) can only cap harder (or equal).
+        assert!(app.failure.d_new_max <= app.normal.d_new_max + 1e-9);
+    }
+}
+
+#[test]
+fn savings_aggregate_matches_reports() {
+    let apps = fleet(6);
+    let plan = framework(0.9, 6).plan(&apps).unwrap();
+    let total: f64 = plan.apps.iter().map(|a| a.normal.peak_allocation).sum();
+    assert!((plan.savings.total_peak_allocation - total).abs() < 1e-9);
+    assert_eq!(plan.savings.apps, 6);
+    // And the placement's C_peak equals the translations' peak sum.
+    assert!((plan.normal_placement.peak_allocation_total - total).abs() < 1e-9);
+}

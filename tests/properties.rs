@@ -1,0 +1,254 @@
+//! Property-based tests over the core R-Opus invariants.
+//!
+//! These use an hourly calendar (24 slots/day, 168/week) so each generated
+//! trace stays small while still exercising the weekly θ machinery.
+
+use proptest::prelude::*;
+
+use ropus::prelude::*;
+use ropus_placement::simulator::{
+    access_probability, evaluate_fit, required_capacity, AggregateLoad,
+};
+use ropus_placement::workload::Workload;
+use ropus_qos::portfolio::{breakpoint, split_demand, worst_case_utilization};
+use ropus_qos::translation::translate;
+
+fn hourly() -> Calendar {
+    Calendar::new(60).unwrap()
+}
+
+/// A week of non-negative hourly demand samples.
+fn demand_week() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..20.0, 168)
+}
+
+/// A valid utilization band with visible gaps between the bounds.
+fn band_strategy() -> impl Strategy<Value = UtilizationBand> {
+    (0.05f64..0.7, 0.05f64..0.25)
+        .prop_map(|(low, gap)| UtilizationBand::new(low, (low + gap).min(0.97)).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn breakpoint_is_a_probability_and_monotone_in_theta(
+        band in band_strategy(),
+        theta_lo in 0.01f64..1.0,
+        delta in 0.0f64..0.5,
+    ) {
+        let theta_hi = (theta_lo + delta).min(1.0);
+        let p_lo = breakpoint(band, &CosSpec::new(theta_lo, 60).unwrap());
+        let p_hi = breakpoint(band, &CosSpec::new(theta_hi, 60).unwrap());
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!((0.0..=1.0).contains(&p_hi));
+        prop_assert!(p_hi <= p_lo + 1e-12, "p({theta_hi}) = {p_hi} > p({theta_lo}) = {p_lo}");
+    }
+
+    #[test]
+    fn split_reassembles_capped_demand(
+        demand in 0.0f64..50.0,
+        p in 0.0f64..=1.0,
+        cap in 0.0f64..30.0,
+    ) {
+        let split = split_demand(demand, p, cap);
+        prop_assert!(split.cos1 >= 0.0 && split.cos2 >= 0.0);
+        prop_assert!((split.total() - demand.min(cap)).abs() < 1e-9);
+        prop_assert!(split.cos1 <= p * cap + 1e-9);
+    }
+
+    #[test]
+    fn worst_case_utilization_never_exceeds_u_degr_after_translation(
+        samples in demand_week(),
+        theta in 0.05f64..=1.0,
+        t_degr in prop::option::of(1u32..240),
+    ) {
+        let trace = Trace::from_samples(hourly(), samples).unwrap();
+        let qos = AppQos::new(
+            UtilizationBand::new(0.5, 0.66).unwrap(),
+            Some(DegradationSpec::new(0.03, 0.9, t_degr).unwrap()),
+        );
+        let cos2 = CosSpec::new(theta, 60).unwrap();
+        let t = translate(&trace, &qos, &cos2).unwrap();
+        prop_assert!(t.report.max_worst_case_utilization <= 0.9 + 1e-9);
+        prop_assert!(t.report.degraded_fraction <= 0.03 + 1e-9);
+        prop_assert!(t.report.d_new_max <= t.report.d_max + 1e-9);
+        prop_assert!(t.report.max_cap_reduction >= -1e-12);
+        prop_assert!(t.report.max_cap_reduction <= 1.0 - 0.66 / 0.9 + 1e-9);
+    }
+
+    #[test]
+    fn time_limit_only_raises_the_cap(
+        samples in demand_week(),
+        theta in 0.05f64..=1.0,
+    ) {
+        let trace = Trace::from_samples(hourly(), samples).unwrap();
+        let cos2 = CosSpec::new(theta, 60).unwrap();
+        let free = AppQos::new(
+            UtilizationBand::new(0.5, 0.66).unwrap(),
+            Some(DegradationSpec::new(0.03, 0.9, None).unwrap()),
+        );
+        let limited = AppQos::new(
+            UtilizationBand::new(0.5, 0.66).unwrap(),
+            Some(DegradationSpec::new(0.03, 0.9, Some(120)).unwrap()),
+        );
+        let t_free = translate(&trace, &free, &cos2).unwrap();
+        let t_limited = translate(&trace, &limited, &cos2).unwrap();
+        prop_assert!(t_limited.report.d_new_max >= t_free.report.d_new_max - 1e-9);
+        prop_assert_eq!(
+            t_free.report.d_new_max_before_time_limit,
+            t_limited.report.d_new_max_before_time_limit
+        );
+    }
+
+    #[test]
+    fn translation_respects_u_low_below_breakpoint_share(
+        samples in demand_week(),
+        theta in 0.05f64..=1.0,
+    ) {
+        let trace = Trace::from_samples(hourly(), samples).unwrap();
+        let band = UtilizationBand::new(0.5, 0.66).unwrap();
+        let qos = AppQos::strict(band);
+        let cos2 = CosSpec::new(theta, 60).unwrap();
+        let t = translate(&trace, &qos, &cos2).unwrap();
+        // Strict QoS: cap = D_max, so every observation's worst-case
+        // utilization is at most U_high.
+        for &d in trace.samples() {
+            let u = worst_case_utilization(d, band, &cos2, t.report.d_new_max);
+            if t.report.d_max > 0.0 {
+                prop_assert!(u <= band.high() + 1e-9, "u = {u} for d = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn access_probability_is_monotone_in_capacity(
+        samples in demand_week(),
+        cap_lo in 0.5f64..10.0,
+        extra in 0.0f64..10.0,
+    ) {
+        let trace = Trace::from_samples(hourly(), samples).unwrap();
+        let zero = Trace::constant(hourly(), 0.0, 168).unwrap();
+        let w = Workload::new("w", zero, trace).unwrap();
+        let load = AggregateLoad::of(&[&w]).unwrap();
+        let lo = access_probability(&load, cap_lo);
+        let hi = access_probability(&load, cap_lo + extra);
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!(hi >= lo - 1e-12);
+    }
+
+    #[test]
+    fn required_capacity_is_minimal_and_sufficient(
+        samples in demand_week(),
+        theta in 0.5f64..=1.0,
+    ) {
+        let trace = Trace::from_samples(hourly(), samples).unwrap();
+        let zero = Trace::constant(hourly(), 0.0, 168).unwrap();
+        let w = Workload::new("w", zero, trace).unwrap();
+        let load = AggregateLoad::of(&[&w]).unwrap();
+        let commitments = PoolCommitments::new(CosSpec::new(theta, 60).unwrap());
+        let limit = load.total_peak().max(1.0) + 1.0;
+        if let Some(req) = required_capacity(&load, &commitments, limit, 0.01) {
+            prop_assert!(evaluate_fit(&load, req, &commitments).fits);
+            if req > 0.05 {
+                prop_assert!(
+                    !evaluate_fit(&load, req - 0.05, &commitments).fits,
+                    "required {req} is not minimal"
+                );
+            }
+        } else {
+            // Must genuinely not fit at the limit.
+            prop_assert!(!evaluate_fit(&load, limit, &commitments).fits);
+        }
+    }
+
+    #[test]
+    fn epoch_budget_never_lowers_the_cap_and_meets_the_budget(
+        samples in demand_week(),
+        theta in 0.05f64..=1.0,
+        budget in 1u32..6,
+    ) {
+        let trace = Trace::from_samples(hourly(), samples).unwrap();
+        let cos2 = CosSpec::new(theta, 60).unwrap();
+        let free = AppQos::new(
+            UtilizationBand::new(0.5, 0.66).unwrap(),
+            Some(DegradationSpec::new(0.03, 0.9, None).unwrap()),
+        );
+        let budgeted = AppQos::new(
+            UtilizationBand::new(0.5, 0.66).unwrap(),
+            Some(
+                DegradationSpec::new(0.03, 0.9, None)
+                    .unwrap()
+                    .with_epoch_budget(budget)
+                    .unwrap(),
+            ),
+        );
+        let t_free = translate(&trace, &free, &cos2).unwrap();
+        let t_budgeted = translate(&trace, &budgeted, &cos2).unwrap();
+        prop_assert!(t_budgeted.report.d_new_max >= t_free.report.d_new_max - 1e-9);
+        prop_assert!(
+            t_budgeted.report.max_degraded_epochs_per_week <= budget as usize,
+            "epochs {} > budget {budget}",
+            t_budgeted.report.max_degraded_epochs_per_week
+        );
+        // All other guarantees survive the extra constraint.
+        prop_assert!(t_budgeted.report.degraded_fraction <= 0.03 + 1e-9);
+        prop_assert!(t_budgeted.report.max_worst_case_utilization <= 0.9 + 1e-9);
+    }
+
+    #[test]
+    fn memory_attribute_only_ever_shrinks_feasibility(
+        samples in demand_week(),
+        memory_gb in 1.0f64..100.0,
+        capacity in 8.0f64..64.0,
+    ) {
+        let trace = Trace::from_samples(hourly(), samples).unwrap();
+        let zero = Trace::constant(hourly(), 0.0, 168).unwrap();
+        let memory = Trace::constant(hourly(), memory_gb, 168).unwrap();
+        let plain = Workload::new("w", zero.clone(), trace.clone()).unwrap();
+        let with_memory =
+            Workload::new("w", zero, trace).unwrap().with_memory(memory).unwrap();
+        let commitments = PoolCommitments::new(CosSpec::new(0.9, 60).unwrap());
+        let plain_load = AggregateLoad::of(&[&plain]).unwrap();
+        let mem_load = AggregateLoad::of(&[&with_memory]).unwrap();
+        let plain_fits = evaluate_fit(&plain_load, capacity, &commitments).fits;
+        let mem_fits = ropus_placement::simulator::evaluate_fit_with_memory(
+            &mem_load, capacity, 64.0, &commitments,
+        )
+        .fits;
+        // Adding a memory requirement can only remove feasibility.
+        if mem_fits {
+            prop_assert!(plain_fits);
+        }
+        // And it is exactly the peak test.
+        prop_assert_eq!(mem_fits, plain_fits && memory_gb <= 64.0 + 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded(
+        samples in proptest::collection::vec(0.0f64..100.0, 1..300),
+        q1 in 0.0f64..=100.0,
+        dq in 0.0f64..=50.0,
+    ) {
+        let q2 = (q1 + dq).min(100.0);
+        let p1 = ropus_trace::stats::percentile(&samples, q1);
+        let p2 = ropus_trace::stats::percentile(&samples, q2);
+        prop_assert!(p1 <= p2 + 1e-12);
+        let max = samples.iter().copied().fold(f64::MIN, f64::max);
+        let min = samples.iter().copied().fold(f64::MAX, f64::min);
+        prop_assert!(p1 >= min - 1e-12 && p1 <= max + 1e-12);
+    }
+
+    #[test]
+    fn fleet_savings_aggregate_is_bounded_by_components(
+        samples in demand_week(),
+    ) {
+        let trace = Trace::from_samples(hourly(), samples).unwrap();
+        let qos = AppQos::paper_default(None);
+        let cos2 = CosSpec::new(0.9, 60).unwrap();
+        let r = translate(&trace, &qos, &cos2).unwrap().report;
+        let agg = ropus_qos::analysis::FleetSavings::aggregate(&[r, r]);
+        prop_assert!((agg.total_peak_allocation - 2.0 * r.peak_allocation).abs() < 1e-9);
+        prop_assert!(agg.max_cap_reduction >= agg.mean_cap_reduction - 1e-12);
+    }
+}

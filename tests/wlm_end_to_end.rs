@@ -1,0 +1,144 @@
+//! Closing the loop: the QoS translation promises that an application's
+//! utilization of allocation stays inside its envelope whenever the pool
+//! honours its CoS commitments. These tests replay translated workloads
+//! through the workload-manager host scheduler and audit the *delivered*
+//! QoS against the requirement.
+
+use ropus::prelude::*;
+use ropus_wlm::host::{Host, HostedWorkload};
+use ropus_wlm::manager::WlmPolicy;
+use ropus_wlm::metrics::audit;
+
+fn translated_hosted(apps: usize, theta: f64) -> (Vec<HostedWorkload>, Vec<AppQos>, Vec<Workload>) {
+    let fleet = case_study_fleet(&FleetConfig {
+        apps,
+        weeks: 1,
+        ..FleetConfig::paper()
+    });
+    let qos = AppQos::paper_default(Some(30));
+    let cos2 = CosSpec::new(theta, 60).unwrap();
+    let mut hosted = Vec::new();
+    let mut requirements = Vec::new();
+    let mut workloads = Vec::new();
+    for app in fleet {
+        let translation = translate(&app.trace, &qos, &cos2).unwrap();
+        let policy = WlmPolicy::from_translation(&qos, &translation.report);
+        workloads.push(Workload::from_translation(app.name.clone(), translation));
+        hosted.push(HostedWorkload::new(app.name, app.trace, policy));
+        requirements.push(qos);
+    }
+    (hosted, requirements, workloads)
+}
+
+#[test]
+fn uncontended_host_delivers_compliant_qos() {
+    let (hosted, requirements, _) = translated_hosted(3, 0.9);
+    // Plenty of capacity: every allocation request is granted in full, so
+    // utilization of allocation stays within the band by construction.
+    let host = Host::new(64.0);
+    let outcome = host.run(&hosted).unwrap();
+    assert_eq!(outcome.contended_slots, 0);
+    for (wo, qos) in outcome.workloads.iter().zip(&requirements) {
+        let a = audit(&wo.utilization, qos);
+        assert!(a.is_compliant(), "{}: {:?}", wo.name, a.violations);
+        // Demand above the translation's cap is served from a capped
+        // allocation: utilization may exceed U_high on those (allowed)
+        // degraded slots, but never U_degr.
+        assert!(a.max_utilization <= qos.degradation().unwrap().u_degr() + 1e-9);
+    }
+}
+
+#[test]
+fn sized_host_keeps_qos_within_the_degraded_envelope() {
+    use ropus_placement::simulator::{required_capacity, AggregateLoad};
+    let (hosted, requirements, workloads) = translated_hosted(4, 0.9);
+    // Size the host at the placement simulator's required capacity.
+    let refs: Vec<&Workload> = workloads.iter().collect();
+    let load = AggregateLoad::of(&refs).unwrap();
+    let commitments = PoolCommitments::new(CosSpec::new(0.9, 60).unwrap());
+    let capacity = required_capacity(&load, &commitments, 64.0, 0.05).unwrap();
+    let host = Host::new(capacity.max(1.0));
+    let outcome = host.run(&hosted).unwrap();
+    for (wo, qos) in outcome.workloads.iter().zip(&requirements) {
+        // θ is a weekly statistical aggregate, so isolated slots may still
+        // see deep cuts; the envelope promise is that such slots are rare.
+        let bound = qos.degradation().unwrap().u_degr();
+        let breach_fraction = wo.utilization.fraction_above(bound);
+        assert!(
+            breach_fraction < 0.05,
+            "{}: {:.2}% of slots above U_degr",
+            wo.name,
+            100.0 * breach_fraction
+        );
+        let a = audit(&wo.utilization, qos);
+        // Most measurements sit in the acceptable band.
+        assert!(
+            a.acceptable_fraction > 0.9,
+            "{}: {}",
+            wo.name,
+            a.acceptable_fraction
+        );
+    }
+}
+
+#[test]
+fn starved_host_shows_violations_the_audit_catches() {
+    let (hosted, requirements, _) = translated_hosted(4, 0.9);
+    // A pathologically small host: CoS2 requests are heavily cut, so
+    // served demand is capped by grants and utilization rides at 1.0
+    // whenever demand exceeds the grant — the audit must flag it.
+    let host = Host::new(1.0);
+    let outcome = host.run(&hosted).unwrap();
+    assert!(outcome.contended_slots > 0);
+    let any_violation = outcome
+        .workloads
+        .iter()
+        .zip(&requirements)
+        .any(|(wo, qos)| !audit(&wo.utilization, qos).is_compliant());
+    assert!(any_violation, "starvation must surface as an SLO violation");
+}
+
+#[test]
+fn cos1_workloads_are_insulated_from_cos2_pressure() {
+    // A guaranteed-heavy workload keeps its grants even when a CoS2-heavy
+    // neighbour floods the host.
+    let cal = Calendar::five_minute();
+    let len = cal.slots_per_week();
+    let steady = HostedWorkload::new(
+        "steady",
+        Trace::constant(cal, 2.0, len).unwrap(),
+        WlmPolicy {
+            burst_factor: 2.0,
+            cos1_cap: 4.0,
+            total_cap: 4.0,
+            min_allocation: 0.0,
+            smoothing: 1.0,
+        },
+    );
+    let noisy = HostedWorkload::new(
+        "noisy",
+        Trace::constant(cal, 20.0, len).unwrap(),
+        WlmPolicy {
+            burst_factor: 2.0,
+            cos1_cap: 0.0,
+            total_cap: 40.0,
+            min_allocation: 0.0,
+            smoothing: 1.0,
+        },
+    );
+    let host = Host::new(10.0);
+    let outcome = host.run(&[steady, noisy]).unwrap();
+    let steady_out = &outcome.workloads[0];
+    // The steady workload's 4-CPU CoS1 request is always granted in full.
+    for (&g, &s) in steady_out
+        .granted
+        .samples()
+        .iter()
+        .zip(steady_out.served.samples())
+    {
+        assert!((g - 4.0).abs() < 1e-9);
+        assert!((s - 2.0).abs() < 1e-9);
+    }
+    // The noisy workload absorbs all the contention.
+    assert!(outcome.workloads[1].unmet.peak() > 0.0);
+}
