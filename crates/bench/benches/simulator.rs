@@ -8,7 +8,7 @@ use std::hint::black_box;
 use ropus::case_study::{translate_fleet, CaseConfig};
 use ropus_bench::paper_fleet;
 use ropus_placement::simulator::{
-    access_probability, deadline_satisfied, evaluate_fit, required_capacity, AggregateLoad,
+    access_probability, deadline_satisfied, AggregateLoad, FitOptions, FitRequest,
 };
 use ropus_placement::workload::Workload;
 
@@ -44,13 +44,19 @@ fn bench_fit_and_search(c: &mut Criterion) {
     let commitments = CaseConfig::table1()[2].commitments();
     let mut group = c.benchmark_group("fit");
     group.bench_function("evaluate_fit", |b| {
-        b.iter(|| evaluate_fit(black_box(&load), black_box(12.0), &commitments))
+        b.iter(|| FitRequest::new(black_box(&load), &commitments).evaluate(black_box(12.0)))
     });
     for tolerance in [0.5, 0.1, 0.05] {
         group.bench_with_input(
             BenchmarkId::new("required_capacity", tolerance),
             &tolerance,
-            |b, &tol| b.iter(|| required_capacity(black_box(&load), &commitments, 16.0, tol)),
+            |b, &tol| {
+                b.iter(|| {
+                    FitRequest::new(black_box(&load), &commitments)
+                        .with_options(FitOptions::new().with_tolerance(tol))
+                        .required_capacity(16.0)
+                })
+            },
         );
     }
     group.finish();

@@ -10,7 +10,7 @@
 
 use ropus::case_study::{translate_fleet, CaseConfig};
 use ropus_bench::{fmt, paper_fleet, write_tsv};
-use ropus_placement::simulator::{required_capacity, AggregateLoad};
+use ropus_placement::simulator::{AggregateLoad, FitOptions, FitRequest};
 use ropus_placement::workload::Workload;
 use ropus_qos::{CosSpec, PoolCommitments};
 
@@ -42,7 +42,9 @@ fn main() {
             let commitments =
                 PoolCommitments::new(CosSpec::new(theta, deadline).expect("valid spec"));
             let limit = load.total_peak() + 1.0;
-            let req = required_capacity(&load, &commitments, limit, 0.1)
+            let req = FitRequest::new(&load, &commitments)
+                .with_options(FitOptions::new().with_tolerance(0.1))
+                .required_capacity(limit)
                 .expect("the pool-level limit always fits");
             printed.push_str(&format!(" {req:>14.1}"));
             row.push(fmt(req, 2));

@@ -11,7 +11,8 @@
 
 use ropus::case_study::{translate_fleet, CaseConfig};
 use ropus_bench::{fmt, paper_fleet, write_tsv};
-use ropus_placement::ga::{optimize, Evaluator, GaOptions};
+use ropus_placement::engine::FitEngine;
+use ropus_placement::ga::{optimize, GaOptions};
 use ropus_placement::greedy::{place, servers_used, GreedyStrategy};
 use ropus_placement::score::ScoreModel;
 use ropus_placement::server::ServerSpec;
@@ -38,7 +39,7 @@ fn main() {
         ("U^2", ScoreModel::Quadratic),
         ("U", ScoreModel::Linear),
     ] {
-        let evaluator = Evaluator::new(
+        let evaluator = FitEngine::new(
             &workloads,
             ServerSpec::sixteen_way(),
             case.commitments(),

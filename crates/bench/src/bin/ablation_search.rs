@@ -12,7 +12,7 @@ use std::time::Instant;
 use ropus::case_study::{translate_fleet, CaseConfig};
 use ropus_bench::{fmt, paper_fleet, write_tsv};
 use ropus_placement::consolidate::{ConsolidationOptions, Consolidator};
-use ropus_placement::ga::Evaluator;
+use ropus_placement::engine::FitEngine;
 use ropus_placement::greedy::{place, servers_used, GreedyStrategy};
 use ropus_placement::server::ServerSpec;
 use ropus_placement::workload::Workload;
@@ -34,7 +34,7 @@ fn main() {
     let mut rows = Vec::new();
 
     for strategy in GreedyStrategy::ALL {
-        let evaluator = Evaluator::new(
+        let evaluator = FitEngine::new(
             &workloads,
             ServerSpec::sixteen_way(),
             case.commitments(),

@@ -18,12 +18,16 @@ fn main() {
         .collect();
     let framework = Framework::builder()
         .server(ServerSpec::sixteen_way())
-        .commitments(PoolCommitments::new(CosSpec::new(0.95, 60).expect("valid θ")))
+        .commitments(PoolCommitments::new(
+            CosSpec::new(0.95, 60).expect("valid θ"),
+        ))
         .options(ConsolidationOptions::thorough(0x0DE5))
         .build();
 
     println!("Out-of-sample lifecycle: plan on a 3-week window, replay the next week");
-    let report = framework.run_lifecycle(&apps, 3).expect("4-week fleet supports one epoch");
+    let report = framework
+        .run_lifecycle(&apps, 3)
+        .expect("4-week fleet supports one epoch");
     println!(
         "{:>6} {:>8} {:>12} {:>22} {:>11}",
         "week", "servers", "violations", "compliant fraction", "migrations"
@@ -44,13 +48,23 @@ fn main() {
     }
     write_tsv(
         "lifecycle_out_of_sample",
-        &["week", "servers", "violations", "compliant_fraction", "migrations"],
+        &[
+            "week",
+            "servers",
+            "violations",
+            "compliant_fraction",
+            "migrations",
+        ],
         &rows,
     );
     println!(
         "\n{} of 26 applications kept their QoS on the unseen week — the paper's \
          trace-based premise {} for this fleet",
         26 - report.epochs[0].violations,
-        if report.worst_compliance() >= 0.9 { "holds" } else { "strains" }
+        if report.worst_compliance() >= 0.9 {
+            "holds"
+        } else {
+            "strains"
+        }
     );
 }

@@ -14,6 +14,8 @@ OPTIONS:
     --traces <FILE>    demand-trace CSV (required)
     --policy <FILE>    policy JSON (required)
     --seed <N>         search seed (default 0)
+    --threads <N>      engine worker threads (default 1; results are
+                       identical regardless of thread count)
     --fast             use fast search options (tests/previews)
     --json             emit the placement report as JSON
     --help             show this message";
@@ -32,11 +34,13 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
     let policy = PolicyFile::load(args.require("policy")?)?;
     let traces = load_traces(args.require("traces")?, policy.calendar())?;
     let seed = args.get_parsed("seed", 0u64)?;
+    let threads = args.get_parsed("threads", 1usize)?;
     let options = if args.has_switch("fast") {
         ConsolidationOptions::fast(seed)
     } else {
         ConsolidationOptions::thorough(seed)
-    };
+    }
+    .with_threads(threads);
 
     let translated = translate_all(&traces, &policy.qos_policy().normal, &policy)?;
     let workloads: Vec<_> = translated.iter().map(|(_, w, _)| w.clone()).collect();
@@ -59,6 +63,18 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
     );
     println!("C_peak:           {:.1} CPUs", report.peak_allocation_total);
     println!("sharing savings:  {:.1}%", 100.0 * report.sharing_savings());
+    let stats = &report.stats;
+    println!(
+        "engine:           {} evaluations ({} cached, {:.1}% hit rate) on {} thread(s)",
+        stats.evaluations,
+        stats.cache_hits,
+        100.0 * stats.hit_rate(),
+        stats.threads
+    );
+    println!(
+        "search:           {} generations in {:.0} ms ({:.2} ms/generation)",
+        stats.generations, stats.total_wall_ms, stats.mean_generation_wall_ms
+    );
     println!("\nper-server packing:");
     for sp in &report.servers {
         let names: Vec<&str> = sp.workloads.iter().map(|&i| traces[i].0.as_str()).collect();

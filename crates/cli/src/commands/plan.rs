@@ -14,6 +14,8 @@ OPTIONS:
     --traces <FILE>    demand-trace CSV (required)
     --policy <FILE>    policy JSON (required)
     --seed <N>         search seed (default 0)
+    --threads <N>      engine worker threads (default 1; results are
+                       identical regardless of thread count)
     --fast             use fast search options (tests/previews)
     --all-apps-relax   every app falls back to failure-mode QoS after a
                        failure (the paper's §VII scope); default relaxes
@@ -35,11 +37,13 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
     let policy = PolicyFile::load(args.require("policy")?)?;
     let traces = load_traces(args.require("traces")?, policy.calendar())?;
     let seed = args.get_parsed("seed", 0u64)?;
+    let threads = args.get_parsed("threads", 1usize)?;
     let options = if args.has_switch("fast") {
         ConsolidationOptions::fast(seed)
     } else {
         ConsolidationOptions::thorough(seed)
-    };
+    }
+    .with_threads(threads);
     let scope = if args.has_switch("all-apps-relax") {
         FailureScope::AllApplications
     } else {
@@ -80,6 +84,18 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
     println!(
         "sharing savings:       {:.1}%",
         100.0 * plan.normal_placement.sharing_savings()
+    );
+    let stats = &plan.normal_placement.stats;
+    println!(
+        "engine:                {} evaluations ({} cached, {:.1}% hit rate) on {} thread(s)",
+        stats.evaluations,
+        stats.cache_hits,
+        100.0 * stats.hit_rate(),
+        stats.threads
+    );
+    println!(
+        "search:                {} generations in {:.0} ms ({:.2} ms/generation)",
+        stats.generations, stats.total_wall_ms, stats.mean_generation_wall_ms
     );
     println!("\nsingle-failure sweep:");
     for case in &plan.failure_analysis.cases {

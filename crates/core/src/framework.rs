@@ -272,6 +272,20 @@ impl FrameworkBuilder {
         self
     }
 
+    /// Sets the worker-thread count for the placement engine (1 = serial,
+    /// the default). Plans are bit-identical regardless of thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options = self.options.with_threads(threads);
+        self
+    }
+
+    /// Bounds the placement engine's fit cache (0 = unbounded, the
+    /// default).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.options = self.options.with_cache_capacity(capacity);
+        self
+    }
+
     /// Sets which applications relax to failure-mode QoS after a failure
     /// (default [`FailureScope::AffectedOnly`], the paper's §VI-C rule).
     pub fn failure_scope(mut self, scope: FailureScope) -> Self {

@@ -74,13 +74,15 @@ pub use framework::{AppPlan, AppSpec, CapacityPlan, Framework, FrameworkBuilder}
 /// One-stop imports for typical R-Opus use.
 pub mod prelude {
     pub use crate::case_study::{self, CaseConfig, CaseResult};
-    pub use crate::planning::{estimate_weekly_growth, CapacityForecast, ForecastEntry};
     pub use crate::lifecycle::{EpochOutcome, LifecycleReport};
+    pub use crate::planning::{estimate_weekly_growth, CapacityForecast, ForecastEntry};
     pub use crate::runtime::{AppRuntimeOutcome, PoolRuntimeReport};
     pub use crate::{AppPlan, AppSpec, CapacityPlan, Framework, FrameworkError};
     pub use ropus_placement::consolidate::{ConsolidationOptions, Consolidator, PlacementReport};
+    pub use ropus_placement::engine::{EngineStats, FitEngine};
     pub use ropus_placement::failure::{FailureAnalysis, FailureScope};
     pub use ropus_placement::ga::GaOptions;
+    pub use ropus_placement::greedy::GreedyPolicy;
     pub use ropus_placement::server::{Pool, ServerSpec};
     pub use ropus_placement::workload::Workload;
     pub use ropus_qos::translation::{translate, Translation, TranslationReport};

@@ -59,7 +59,10 @@ impl LifecycleReport {
 
     /// Worst per-epoch out-of-sample compliance.
     pub fn worst_compliance(&self) -> f64 {
-        self.epochs.iter().map(|e| e.compliant_fraction).fold(1.0, f64::min)
+        self.epochs
+            .iter()
+            .map(|e| e.compliant_fraction)
+            .fold(1.0, f64::min)
     }
 }
 
@@ -87,10 +90,12 @@ impl Framework {
         let first = apps.first().ok_or(FrameworkError::NoApplications)?;
         let weeks = first.demand().weeks();
         if weeks < window_weeks + 1 {
-            return Err(FrameworkError::Trace(ropus_trace::TraceError::PartialWeek {
-                len: first.demand().len(),
-                per_week: (window_weeks + 1) * first.demand().calendar().slots_per_week(),
-            }));
+            return Err(FrameworkError::Trace(
+                ropus_trace::TraceError::PartialWeek {
+                    len: first.demand().len(),
+                    per_week: (window_weeks + 1) * first.demand().calendar().slots_per_week(),
+                },
+            ));
         }
 
         let mut epochs = Vec::new();
@@ -101,13 +106,12 @@ impl Framework {
             let history: Result<Vec<AppSpec>, FrameworkError> = apps
                 .iter()
                 .map(|app| {
-                    let demand = app
-                        .demand()
-                        .weeks_range(week - window_weeks, week)
-                        .ok_or(FrameworkError::Trace(ropus_trace::TraceError::PartialWeek {
+                    let demand = app.demand().weeks_range(week - window_weeks, week).ok_or(
+                        FrameworkError::Trace(ropus_trace::TraceError::PartialWeek {
                             len: app.demand().len(),
                             per_week: app.demand().calendar().slots_per_week(),
-                        }))?;
+                        }),
+                    )?;
                     Ok(AppSpec::new(app.name(), demand, app.policy()))
                 })
                 .collect();
@@ -167,7 +171,10 @@ impl Framework {
             });
         }
 
-        Ok(LifecycleReport { window_weeks, epochs })
+        Ok(LifecycleReport {
+            window_weeks,
+            epochs,
+        })
     }
 }
 
@@ -190,17 +197,21 @@ mod tests {
     /// Fleet slice `[from, to)` of a `to`-app case-study fleet; indices
     /// 0-9 are bursty, 10+ smooth.
     fn fleet_specs(from: usize, to: usize, weeks: usize) -> Vec<AppSpec> {
-        case_study_fleet(&FleetConfig { apps: to, weeks, ..FleetConfig::paper() })
-            .into_iter()
-            .skip(from)
-            .map(|a| {
-                AppSpec::new(
-                    a.name,
-                    a.trace,
-                    QosPolicy::uniform(AppQos::paper_default(Some(30))),
-                )
-            })
-            .collect()
+        case_study_fleet(&FleetConfig {
+            apps: to,
+            weeks,
+            ..FleetConfig::paper()
+        })
+        .into_iter()
+        .skip(from)
+        .map(|a| {
+            AppSpec::new(
+                a.name,
+                a.trace,
+                QosPolicy::uniform(AppQos::paper_default(Some(30))),
+            )
+        })
+        .collect()
     }
 
     #[test]

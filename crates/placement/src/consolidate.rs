@@ -6,9 +6,9 @@ use serde::{Deserialize, Serialize};
 
 use ropus_qos::PoolCommitments;
 
-use crate::ga::{optimize, Evaluator, GaOptions};
+use crate::engine::{EngineStats, FitEngine};
+use crate::ga::{optimize, GaOptions, GaOutcome};
 use crate::greedy::{place, servers_used, GreedyStrategy};
-use crate::score::ServerOutcome;
 use crate::server::{Pool, ServerSpec};
 use crate::workload::{validate_workloads, Workload};
 use crate::PlacementError;
@@ -39,6 +39,42 @@ impl ConsolidationOptions {
             report_tolerance: 0.1,
         }
     }
+
+    /// Replaces the genetic-search options wholesale.
+    pub fn with_ga(mut self, ga: GaOptions) -> Self {
+        self.ga = ga;
+        self
+    }
+
+    /// Sets the reporting capacity tolerance.
+    pub fn with_report_tolerance(mut self, tolerance: f64) -> Self {
+        self.report_tolerance = tolerance;
+        self
+    }
+
+    /// Sets the worker-thread count used by the engine (1 = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.ga = self.ga.with_threads(threads);
+        self
+    }
+
+    /// Bounds the engine's fit cache (0 = unbounded).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.ga = self.ga.with_cache_capacity(capacity);
+        self
+    }
+
+    /// Sets the hard cap on GA generations.
+    pub fn with_max_generations(mut self, max_generations: usize) -> Self {
+        self.ga = self.ga.with_max_generations(max_generations);
+        self
+    }
+
+    /// Sets the GA seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.ga = self.ga.with_seed(seed);
+        self
+    }
 }
 
 /// One used server in a placement report.
@@ -55,7 +91,11 @@ pub struct ServerPlacement {
 }
 
 /// Outcome of a consolidation exercise — the Table I row ingredients.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality deliberately ignores [`stats`](Self::stats): wall times and
+/// cache-hit counts vary run to run, but the placement itself is
+/// deterministic per seed regardless of thread count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PlacementReport {
     /// Final assignment (`app → server`).
     pub assignment: Vec<usize>,
@@ -69,6 +109,20 @@ pub struct PlacementReport {
     pub score: f64,
     /// Per-server detail for the used servers.
     pub servers: Vec<ServerPlacement>,
+    /// Engine statistics of the run (ignored by equality).
+    #[serde(default)]
+    pub stats: EngineStats,
+}
+
+impl PartialEq for PlacementReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.assignment == other.assignment
+            && self.servers_used == other.servers_used
+            && self.required_capacity_total == other.required_capacity_total
+            && self.peak_allocation_total == other.peak_allocation_total
+            && self.score == other.score
+            && self.servers == other.servers
+    }
 }
 
 impl PlacementReport {
@@ -116,6 +170,23 @@ impl Consolidator {
         self.commitments
     }
 
+    /// The options in force.
+    pub fn options(&self) -> ConsolidationOptions {
+        self.options
+    }
+
+    /// Builds the search-tolerance fit engine for a fleet.
+    fn engine<'a>(&self, workloads: &'a [Workload]) -> FitEngine<'a> {
+        FitEngine::new(
+            workloads,
+            self.server,
+            self.commitments,
+            self.options.ga.capacity_tolerance,
+        )
+        .with_threads(self.options.ga.threads)
+        .with_cache_capacity(self.options.ga.cache_capacity)
+    }
+
     /// Consolidates the workloads onto as few servers as the search finds,
     /// with the pool sized by a first-fit-decreasing pre-pass.
     ///
@@ -125,12 +196,7 @@ impl Consolidator {
     /// placed at all, and validation errors for degenerate inputs.
     pub fn consolidate(&self, workloads: &[Workload]) -> Result<PlacementReport, PlacementError> {
         validate_workloads(workloads)?;
-        let evaluator = Evaluator::new(
-            workloads,
-            self.server,
-            self.commitments,
-            self.options.ga.capacity_tolerance,
-        );
+        let evaluator = self.engine(workloads);
         // Seed with every greedy baseline: FFD bounds the pool size, and
         // elitism makes the search dominate all of them by construction.
         let ffd = place(&evaluator, GreedyStrategy::FirstFitDecreasing)?;
@@ -147,7 +213,7 @@ impl Consolidator {
             }
         }
         let outcome = optimize(&evaluator, &seeds, pool_size, &self.options.ga)?;
-        self.report(workloads, &evaluator, outcome.assignment, outcome.score)
+        self.report(workloads, outcome)
     }
 
     /// Consolidates onto a fixed pool (used by failure planning, where the
@@ -163,12 +229,7 @@ impl Consolidator {
         pool: Pool,
     ) -> Result<PlacementReport, PlacementError> {
         validate_workloads(workloads)?;
-        let evaluator = Evaluator::new(
-            workloads,
-            self.server,
-            self.commitments,
-            self.options.ga.capacity_tolerance,
-        );
+        let evaluator = self.engine(workloads);
         let ffd = place(&evaluator, GreedyStrategy::FirstFitDecreasing)?;
         let ffd_servers = servers_used(&ffd);
         if ffd_servers > pool.count {
@@ -176,50 +237,59 @@ impl Consolidator {
             // round-robin and let the search try to repair it.
             let folded: Vec<usize> = ffd.iter().map(|&s| s % pool.count).collect();
             let outcome = optimize(&evaluator, &[folded], pool.count, &self.options.ga)?;
-            return self.report(workloads, &evaluator, outcome.assignment, outcome.score);
+            return self.report(workloads, outcome);
         }
         let outcome = optimize(&evaluator, &[ffd], pool.count, &self.options.ga)?;
-        self.report(workloads, &evaluator, outcome.assignment, outcome.score)
+        self.report(workloads, outcome)
     }
 
     /// Builds the report, recomputing per-server required capacities at the
-    /// (finer) report tolerance.
+    /// (finer) report tolerance. The per-server binary searches are
+    /// independent, so they run through the engine's parallel map.
     fn report(
         &self,
         workloads: &[Workload],
-        evaluator: &Evaluator<'_>,
-        assignment: Vec<usize>,
-        score: f64,
+        outcome: GaOutcome,
     ) -> Result<PlacementReport, PlacementError> {
+        let GaOutcome {
+            assignment,
+            score,
+            stats,
+            ..
+        } = outcome;
         let pool_size = assignment.iter().copied().max().map_or(0, |m| m + 1);
-        let outcomes = evaluator.outcomes(&assignment, pool_size);
-        let fine = Evaluator::new(
+        let fine = FitEngine::new(
             workloads,
             self.server,
             self.commitments,
             self.options.report_tolerance,
-        );
+        )
+        .with_threads(self.options.ga.threads);
 
-        let mut servers = Vec::new();
-        for (server, outcome) in outcomes.iter().enumerate() {
-            if matches!(outcome, ServerOutcome::Unused) {
-                continue;
-            }
+        let mut used: Vec<(usize, Vec<usize>)> = Vec::new();
+        for server in 0..pool_size {
             let members: Vec<usize> = assignment
                 .iter()
                 .enumerate()
                 .filter(|(_, &s)| s == server)
                 .map(|(i, _)| i)
                 .collect();
-            let member_ids: Vec<u16> = members.iter().map(|&i| i as u16).collect();
-            let required =
-                fine.server_required(&member_ids)
-                    .ok_or_else(|| PlacementError::Infeasible {
-                        servers: pool_size,
-                        message: format!(
-                            "server {server} does not satisfy commitments in final check"
-                        ),
-                    })?;
+            if !members.is_empty() {
+                used.push((server, members));
+            }
+        }
+        let member_sets: Vec<Vec<u16>> = used
+            .iter()
+            .map(|(_, members)| members.iter().map(|&i| i as u16).collect())
+            .collect();
+        let required = fine.required_many(&member_sets);
+
+        let mut servers = Vec::new();
+        for ((server, members), required) in used.into_iter().zip(required) {
+            let required = required.ok_or_else(|| PlacementError::Infeasible {
+                servers: pool_size,
+                message: format!("server {server} does not satisfy commitments in final check"),
+            })?;
             servers.push(ServerPlacement {
                 server,
                 workloads: members,
@@ -237,6 +307,7 @@ impl Consolidator {
             peak_allocation_total,
             score,
             servers,
+            stats,
         })
     }
 }

@@ -1,0 +1,424 @@
+//! The unified, thread-safe fit-evaluation engine.
+//!
+//! [`FitEngine`] is the one entry point for per-server fit evaluations: it
+//! owns the workload set, the server type, the pool commitments, and the
+//! binary-search tolerance, and memoizes required-capacity results behind
+//! a cache keyed by the *sorted set of workload indices* assigned to a
+//! server. GA populations revisit the same server compositions constantly
+//! across generations and restarts, so the cache converts the dominant
+//! cost of consolidation into hash lookups.
+//!
+//! The engine is `Sync`: the cache is a [`Mutex`]ed map and the hit/miss
+//! counters are atomics, so whole populations can be scored concurrently
+//! on a scoped worker pool ([`FitEngine::score_assignments`]) with no
+//! `unsafe` and no new dependency. Parallel scoring is *bit-identical* to
+//! the serial path: each evaluation is a pure function of the member set,
+//! so neither thread interleaving nor cache state can change a result —
+//! only the [`EngineStats`] counters are timing-dependent.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use ropus_qos::PoolCommitments;
+
+use crate::score::{assignment_feasible, assignment_score_with, ScoreModel, ServerOutcome};
+use crate::server::ServerSpec;
+use crate::simulator::{AggregateLoad, FitOptions, FitRequest};
+use crate::workload::Workload;
+
+/// Runtime statistics of a [`FitEngine`] (and, when attached to a search
+/// outcome, of the search that drove it).
+///
+/// The counters are timing-dependent under parallel scoring — two workers
+/// racing on the same uncached member set each count a miss — so reports
+/// deliberately exclude this struct from equality comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Total memoized fit lookups (cache hits + misses).
+    pub evaluations: u64,
+    /// Lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Lookups that ran the trace-replay binary search.
+    pub cache_misses: u64,
+    /// Worker threads the engine was configured with.
+    pub threads: usize,
+    /// Generations run by the search that produced this snapshot
+    /// (0 for a bare engine snapshot).
+    pub generations: usize,
+    /// Wall-clock time of the search, in milliseconds.
+    pub total_wall_ms: f64,
+    /// `total_wall_ms / generations` (0 when no generations ran).
+    pub mean_generation_wall_ms: f64,
+}
+
+impl EngineStats {
+    /// Fraction of lookups answered from the cache (0 when none ran).
+    pub fn hit_rate(&self) -> f64 {
+        if self.evaluations == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / self.evaluations as f64
+    }
+}
+
+/// Memoizing, optionally parallel per-server fit engine shared by the GA,
+/// the greedy baselines, and the consolidation reports.
+///
+/// Construct with [`FitEngine::new`], then tune with the consuming
+/// builders [`with_threads`](Self::with_threads),
+/// [`with_cache_capacity`](Self::with_cache_capacity), and
+/// [`with_score_model`](Self::with_score_model).
+#[derive(Debug)]
+pub struct FitEngine<'a> {
+    workloads: &'a [Workload],
+    server: ServerSpec,
+    commitments: PoolCommitments,
+    tolerance: f64,
+    score_model: ScoreModel,
+    threads: usize,
+    /// Maximum cached entries; 0 means unbounded. When full, new results
+    /// are computed but not inserted (the cache is never invalidated).
+    cache_capacity: usize,
+    cache: Mutex<HashMap<Vec<u16>, Option<f64>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'a> FitEngine<'a> {
+    /// Creates an engine over a fixed workload set and server type.
+    ///
+    /// Defaults: serial evaluation (one thread), unbounded cache, the
+    /// paper's `f(U) = U^(2Z)` score model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX` workloads are supplied or the
+    /// tolerance is not positive.
+    pub fn new(
+        workloads: &'a [Workload],
+        server: ServerSpec,
+        commitments: PoolCommitments,
+        tolerance: f64,
+    ) -> Self {
+        assert!(workloads.len() <= u16::MAX as usize, "too many workloads");
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        FitEngine {
+            workloads,
+            server,
+            commitments,
+            tolerance,
+            score_model: ScoreModel::PowerTwoZ,
+            threads: 1,
+            cache_capacity: 0,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the utilization-value model (default: the paper's
+    /// `f(U) = U^(2Z)`); used by the score-function ablation.
+    pub fn with_score_model(mut self, model: ScoreModel) -> Self {
+        self.score_model = model;
+        self
+    }
+
+    /// Sets the worker-thread count for population scoring and batched
+    /// binary searches; values below 1 are clamped to 1 (serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Bounds the memo cache to `capacity` entries; 0 (the default) means
+    /// unbounded. A full cache computes without inserting — entries are
+    /// never evicted or invalidated.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// The utilization-value model in force.
+    pub fn score_model(&self) -> ScoreModel {
+        self.score_model
+    }
+
+    /// The workloads under evaluation.
+    pub fn workloads(&self) -> &'a [Workload] {
+        self.workloads
+    }
+
+    /// The server type.
+    pub fn server(&self) -> ServerSpec {
+        self.server
+    }
+
+    /// The pool commitments.
+    pub fn commitments(&self) -> PoolCommitments {
+        self.commitments
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of *uncached* fit evaluations performed so far.
+    pub fn evaluations(&self) -> usize {
+        self.misses.load(Ordering::Relaxed) as usize
+    }
+
+    /// A snapshot of the engine's counters. Search-level fields
+    /// (`generations`, wall times) are zero; the search that drives the
+    /// engine fills them in its outcome.
+    pub fn stats(&self) -> EngineStats {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        EngineStats {
+            evaluations: hits + misses,
+            cache_hits: hits,
+            cache_misses: misses,
+            threads: self.threads,
+            generations: 0,
+            total_wall_ms: 0.0,
+            mean_generation_wall_ms: 0.0,
+        }
+    }
+
+    /// Required capacity for a set of workload indices on one server, or
+    /// `None` when they do not fit at the server's limit. Results are
+    /// memoized by the (sorted) member set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn server_required(&self, members: &[u16]) -> Option<f64> {
+        let mut key: Vec<u16> = members.to_vec();
+        key.sort_unstable();
+        if let Some(hit) = self.cache.lock().expect("fit cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *hit;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let refs: Vec<&Workload> = key.iter().map(|&i| &self.workloads[i as usize]).collect();
+        let load = AggregateLoad::of(&refs).expect("members validated at engine construction");
+        let result = FitRequest::new(&load, &self.commitments)
+            .with_options(
+                FitOptions::new()
+                    .with_memory_capacity(self.server.memory_gb())
+                    .with_tolerance(self.tolerance),
+            )
+            .required_capacity(self.server.capacity());
+        let mut cache = self.cache.lock().expect("fit cache poisoned");
+        if self.cache_capacity == 0 || cache.len() < self.cache_capacity {
+            cache.insert(key, result);
+        }
+        result
+    }
+
+    /// Required capacities for many member sets, evaluated on the worker
+    /// pool when the engine has more than one thread. Results are in input
+    /// order regardless of scheduling.
+    pub fn required_many(&self, sets: &[Vec<u16>]) -> Vec<Option<f64>> {
+        parallel_map(self.threads, sets, |set| self.server_required(set))
+    }
+
+    /// Per-server outcomes of an assignment over `servers` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assignment entry is `>= servers` or the assignment
+    /// length differs from the workload count.
+    pub fn outcomes(&self, assignment: &[usize], servers: usize) -> Vec<ServerOutcome> {
+        assert_eq!(
+            assignment.len(),
+            self.workloads.len(),
+            "assignment length mismatch"
+        );
+        let mut members: Vec<Vec<u16>> = vec![Vec::new(); servers];
+        for (app, &srv) in assignment.iter().enumerate() {
+            assert!(
+                srv < servers,
+                "assignment targets server {srv} outside the pool"
+            );
+            members[srv].push(app as u16);
+        }
+        members
+            .iter()
+            .map(|set| {
+                if set.is_empty() {
+                    return ServerOutcome::Unused;
+                }
+                match self.server_required(set) {
+                    Some(required) => ServerOutcome::Fits {
+                        required,
+                        utilization: required / self.server.capacity(),
+                    },
+                    None => ServerOutcome::Overbooked {
+                        workloads: set.len(),
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Score and feasibility of an assignment.
+    pub fn evaluate(&self, assignment: &[usize], servers: usize) -> (f64, bool) {
+        let outcomes = self.outcomes(assignment, servers);
+        (
+            assignment_score_with(&outcomes, self.score_model, self.server.cpus()),
+            assignment_feasible(&outcomes),
+        )
+    }
+
+    /// Scores a whole population, fanning out over the worker pool when
+    /// the engine has more than one thread.
+    ///
+    /// Each evaluation is a pure function of its member sets, so the
+    /// result vector is bit-identical to scoring serially in input order —
+    /// the property that keeps the parallel GA deterministic per seed.
+    pub fn score_assignments(
+        &self,
+        assignments: &[Vec<usize>],
+        servers: usize,
+    ) -> Vec<(f64, bool)> {
+        parallel_map(self.threads, assignments, |a| self.evaluate(a, servers))
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers, preserving
+/// input order. Serial (no threads spawned) when `threads <= 1` or there
+/// are fewer than two items. Items are split into contiguous chunks and
+/// joined in spawn order, so the output is identical to a serial map.
+pub(crate) fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = threads.min(items.len());
+    let chunk_size = items.len().div_ceil(workers);
+    let f = &f;
+    let mut results = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            results.extend(handle.join().expect("fit-engine worker panicked"));
+        }
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ropus_qos::CosSpec;
+    use ropus_trace::{Calendar, Trace};
+
+    fn cal() -> Calendar {
+        Calendar::five_minute()
+    }
+
+    fn commitments(theta: f64) -> PoolCommitments {
+        PoolCommitments::new(CosSpec::new(theta, 60).unwrap())
+    }
+
+    fn constant_fleet(sizes: &[f64]) -> Vec<Workload> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                Workload::new(
+                    format!("w{i}"),
+                    Trace::constant(cal(), 0.0, cal().slots_per_week()).unwrap(),
+                    Trace::constant(cal(), s, cal().slots_per_week()).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<FitEngine<'_>>();
+    }
+
+    #[test]
+    fn caches_by_member_set_and_counts_hits() {
+        let fleet = constant_fleet(&[2.0, 3.0]);
+        let engine = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
+        let r1 = engine.server_required(&[0, 1]).unwrap();
+        let r2 = engine.server_required(&[1, 0]).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(engine.evaluations(), 1, "order-insensitive cache");
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.evaluations, 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_cache_still_answers_correctly() {
+        let fleet = constant_fleet(&[1.0, 2.0, 3.0]);
+        let engine = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05)
+            .with_cache_capacity(1);
+        let a = engine.server_required(&[0]);
+        let b = engine.server_required(&[1]);
+        let c = engine.server_required(&[2]);
+        // Cache holds one entry; the others recompute but agree.
+        assert_eq!(engine.server_required(&[0]), a);
+        assert_eq!(engine.server_required(&[1]), b);
+        assert_eq!(engine.server_required(&[2]), c);
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 1, "only the first entry was cached");
+        assert_eq!(stats.cache_misses, 5);
+    }
+
+    #[test]
+    fn parallel_scoring_matches_serial_bitwise() {
+        let fleet = constant_fleet(&[2.0, 3.0, 4.0, 5.0, 1.0, 6.0]);
+        let population: Vec<Vec<usize>> = (0..8)
+            .map(|k| (0..fleet.len()).map(|i| (i + k) % 3).collect())
+            .collect();
+        let serial = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
+        let parallel = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05)
+            .with_threads(4);
+        let s = serial.score_assignments(&population, 3);
+        let p = parallel.score_assignments(&population, 3);
+        assert_eq!(s, p);
+        assert_eq!(parallel.threads(), 4);
+    }
+
+    #[test]
+    fn required_many_preserves_input_order() {
+        let fleet = constant_fleet(&[2.0, 3.0, 4.0]);
+        let engine = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05)
+            .with_threads(3);
+        let sets = vec![vec![0u16], vec![1], vec![2], vec![0, 1, 2]];
+        let batched = engine.required_many(&sets);
+        let single: Vec<Option<f64>> = sets.iter().map(|s| engine.server_required(s)).collect();
+        assert_eq!(batched, single);
+    }
+
+    #[test]
+    fn parallel_map_is_order_preserving() {
+        let items: Vec<usize> = (0..17).collect();
+        let doubled = parallel_map(4, &items, |&i| i * 2);
+        assert_eq!(doubled, (0..17).map(|i| i * 2).collect::<Vec<_>>());
+        // Serial fallback paths.
+        assert_eq!(parallel_map(1, &items, |&i| i + 1).len(), 17);
+        assert_eq!(parallel_map(8, &[1], |&i: &i32| i), vec![1]);
+        assert!(parallel_map::<i32, i32, _>(4, &[], |&i| i).is_empty());
+    }
+}

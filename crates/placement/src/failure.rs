@@ -11,9 +11,25 @@
 use serde::{Deserialize, Serialize};
 
 use crate::consolidate::{Consolidator, PlacementReport};
+use crate::engine::parallel_map;
 use crate::server::Pool;
 use crate::workload::Workload;
 use crate::PlacementError;
+
+/// A consolidator suitable for running one failure case inside the sweep's
+/// worker pool: when the sweep itself is parallel, each inner
+/// consolidation runs serially so worker pools do not nest.
+fn case_worker(consolidator: &Consolidator, threads: usize) -> Consolidator {
+    if threads > 1 {
+        Consolidator::new(
+            consolidator.server(),
+            consolidator.commitments(),
+            consolidator.options().with_threads(1),
+        )
+    } else {
+        *consolidator
+    }
+}
 
 /// Which applications fall back to failure-mode QoS after a failure.
 ///
@@ -154,7 +170,9 @@ pub fn analyze_multi_failures(
         });
     }
 
-    let mut cases = Vec::new();
+    // Build every case's inputs serially, then re-place the independent
+    // cases on the sweep's worker pool.
+    let mut inputs: Vec<(Vec<usize>, Vec<usize>, Vec<Workload>)> = Vec::new();
     for combo in combinations(normal_report.servers.len(), simultaneous) {
         let failed_servers: Vec<usize> = combo
             .iter()
@@ -173,14 +191,26 @@ pub fn analyze_multi_failures(
                 FailureScope::AffectedOnly => w.clone(),
             })
             .collect();
-        let pool = Pool::homogeneous(consolidator.server(), used - simultaneous);
-        let placement = consolidator.consolidate_onto(&mixed, pool).ok();
-        cases.push(MultiFailureCase {
-            failed_servers,
-            affected,
-            placement,
-        });
+        inputs.push((failed_servers, affected, mixed));
     }
+
+    let threads = consolidator.options().ga.threads;
+    let worker = case_worker(consolidator, threads);
+    let pool = Pool::homogeneous(consolidator.server(), used - simultaneous);
+    let placements = parallel_map(threads, &inputs, |(_, _, mixed)| {
+        worker.consolidate_onto(mixed, pool).ok()
+    });
+    let cases = inputs
+        .into_iter()
+        .zip(placements)
+        .map(
+            |((failed_servers, affected, _), placement)| MultiFailureCase {
+                failed_servers,
+                affected,
+                placement,
+            },
+        )
+        .collect();
 
     Ok(MultiFailureAnalysis {
         cases,
@@ -244,7 +274,10 @@ pub fn analyze_single_failures(
         });
     }
 
-    let mut cases = Vec::new();
+    // The sweep is embarrassingly parallel: each case re-consolidates an
+    // independent workload mix. Build the inputs serially (cheap clones),
+    // then fan the consolidations out over the worker pool.
+    let mut inputs: Vec<(usize, Vec<usize>, Vec<Workload>)> = Vec::new();
     for server_placement in &normal_report.servers {
         let affected = server_placement.workloads.clone();
         let mixed: Vec<Workload> = normal
@@ -256,18 +289,28 @@ pub fn analyze_single_failures(
                 FailureScope::AffectedOnly => w.clone(),
             })
             .collect();
-        let placement = if normal_report.servers_used <= 1 {
+        inputs.push((server_placement.server, affected, mixed));
+    }
+
+    let threads = consolidator.options().ga.threads;
+    let worker = case_worker(consolidator, threads);
+    let placements = parallel_map(threads, &inputs, |(_, _, mixed)| {
+        if normal_report.servers_used <= 1 {
             None
         } else {
             let pool = Pool::homogeneous(consolidator.server(), normal_report.servers_used - 1);
-            consolidator.consolidate_onto(&mixed, pool).ok()
-        };
-        cases.push(FailureCase {
-            failed_server: server_placement.server,
+            worker.consolidate_onto(mixed, pool).ok()
+        }
+    });
+    let cases = inputs
+        .into_iter()
+        .zip(placements)
+        .map(|((failed_server, affected, _), placement)| FailureCase {
+            failed_server,
             affected,
             placement,
-        });
-    }
+        })
+        .collect();
 
     Ok(FailureAnalysis {
         cases,

@@ -9,22 +9,21 @@
 //! taking a random subset of application assignments from one parent and
 //! the rest from the other.
 //!
-//! Per-server fit evaluations dominate the cost, so the [`Evaluator`]
-//! memoizes required-capacity results by workload set: across a run, the
-//! same server contents recur constantly.
+//! Per-server fit evaluations dominate the cost, so the search runs on a
+//! [`FitEngine`], which memoizes required-capacity results by workload set
+//! (the same server contents recur constantly across a run) and scores
+//! whole populations on a scoped worker pool when configured with more
+//! than one thread — bit-identically to the serial path, since each
+//! evaluation is a pure function of its member sets.
 
-use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use ropus_qos::PoolCommitments;
 use ropus_trace::rng::Rng;
 
-use crate::score::{assignment_feasible, assignment_score_with, ScoreModel, ServerOutcome};
-use crate::server::ServerSpec;
-use crate::simulator::{required_capacity_with_memory, AggregateLoad};
-use crate::workload::Workload;
+use crate::engine::{EngineStats, FitEngine};
+use crate::score::ServerOutcome;
 use crate::PlacementError;
 
 /// Tuning knobs of the genetic search.
@@ -44,6 +43,17 @@ pub struct GaOptions {
     pub capacity_tolerance: f64,
     /// PRNG seed; runs are deterministic per seed.
     pub seed: u64,
+    /// Worker threads for population scoring (1 = serial). Parallel runs
+    /// are bit-identical to serial runs under the same seed.
+    #[serde(default = "default_threads")]
+    pub threads: usize,
+    /// Maximum fit-cache entries; 0 means unbounded.
+    #[serde(default)]
+    pub cache_capacity: usize,
+}
+
+fn default_threads() -> usize {
+    1
 }
 
 impl GaOptions {
@@ -57,6 +67,8 @@ impl GaOptions {
             gene_mutation_probability: 0.02,
             capacity_tolerance: 0.05,
             seed,
+            threads: 1,
+            cache_capacity: 0,
         }
     }
 
@@ -70,7 +82,63 @@ impl GaOptions {
             gene_mutation_probability: 0.05,
             capacity_tolerance: 0.1,
             seed,
+            threads: 1,
+            cache_capacity: 0,
         }
+    }
+
+    /// Sets the population size.
+    pub fn with_population(mut self, population: usize) -> Self {
+        self.population = population;
+        self
+    }
+
+    /// Sets the hard cap on generations.
+    pub fn with_max_generations(mut self, max_generations: usize) -> Self {
+        self.max_generations = max_generations;
+        self
+    }
+
+    /// Sets the stagnation limit.
+    pub fn with_stagnation_limit(mut self, stagnation_limit: usize) -> Self {
+        self.stagnation_limit = stagnation_limit;
+        self
+    }
+
+    /// Sets the per-individual drain-mutation probability.
+    pub fn with_drain_mutation_probability(mut self, probability: f64) -> Self {
+        self.drain_mutation_probability = probability;
+        self
+    }
+
+    /// Sets the per-gene random-reassignment probability.
+    pub fn with_gene_mutation_probability(mut self, probability: f64) -> Self {
+        self.gene_mutation_probability = probability;
+        self
+    }
+
+    /// Sets the capacity tolerance of the fit binary search.
+    pub fn with_capacity_tolerance(mut self, tolerance: f64) -> Self {
+        self.capacity_tolerance = tolerance;
+        self
+    }
+
+    /// Sets the PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (values below 1 clamp to 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Bounds the fit cache to `capacity` entries (0 = unbounded).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
     }
 }
 
@@ -80,152 +148,12 @@ impl Default for GaOptions {
     }
 }
 
-/// Memoizing per-server fit evaluator shared by the GA, the greedy
-/// baselines, and the consolidation reports.
-#[derive(Debug)]
-pub struct Evaluator<'a> {
-    workloads: &'a [Workload],
-    server: ServerSpec,
-    commitments: PoolCommitments,
-    tolerance: f64,
-    score_model: ScoreModel,
-    cache: RefCell<HashMap<Vec<u16>, Option<f64>>>,
-    evaluations: Cell<usize>,
-}
-
-impl<'a> Evaluator<'a> {
-    /// Creates an evaluator over a fixed workload set and server type.
-    ///
-    /// # Panics
-    ///
-    /// Panics if more than `u16::MAX` workloads are supplied or the
-    /// tolerance is not positive.
-    pub fn new(
-        workloads: &'a [Workload],
-        server: ServerSpec,
-        commitments: PoolCommitments,
-        tolerance: f64,
-    ) -> Self {
-        assert!(workloads.len() <= u16::MAX as usize, "too many workloads");
-        assert!(tolerance > 0.0, "tolerance must be positive");
-        Evaluator {
-            workloads,
-            server,
-            commitments,
-            tolerance,
-            score_model: ScoreModel::PowerTwoZ,
-            cache: RefCell::new(HashMap::new()),
-            evaluations: Cell::new(0),
-        }
-    }
-
-    /// Replaces the utilization-value model (default: the paper's
-    /// `f(U) = U^(2Z)`); used by the score-function ablation.
-    pub fn with_score_model(mut self, model: ScoreModel) -> Self {
-        self.score_model = model;
-        self
-    }
-
-    /// The utilization-value model in force.
-    pub fn score_model(&self) -> ScoreModel {
-        self.score_model
-    }
-
-    /// The workloads under evaluation.
-    pub fn workloads(&self) -> &'a [Workload] {
-        self.workloads
-    }
-
-    /// The server type.
-    pub fn server(&self) -> ServerSpec {
-        self.server
-    }
-
-    /// The pool commitments.
-    pub fn commitments(&self) -> PoolCommitments {
-        self.commitments
-    }
-
-    /// Number of *uncached* fit evaluations performed so far.
-    pub fn evaluations(&self) -> usize {
-        self.evaluations.get()
-    }
-
-    /// Required capacity for a set of workload indices on one server, or
-    /// `None` when they do not fit at the server's limit. Results are
-    /// memoized by the (sorted) member set.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any index is out of range.
-    pub fn server_required(&self, members: &[u16]) -> Option<f64> {
-        let mut key: Vec<u16> = members.to_vec();
-        key.sort_unstable();
-        if let Some(hit) = self.cache.borrow().get(&key) {
-            return *hit;
-        }
-        self.evaluations.set(self.evaluations.get() + 1);
-        let refs: Vec<&Workload> = key.iter().map(|&i| &self.workloads[i as usize]).collect();
-        let load = AggregateLoad::of(&refs).expect("members validated at evaluator construction");
-        let result = required_capacity_with_memory(
-            &load,
-            &self.commitments,
-            self.server.capacity(),
-            self.server.memory_gb(),
-            self.tolerance,
-        );
-        self.cache.borrow_mut().insert(key, result);
-        result
-    }
-
-    /// Per-server outcomes of an assignment over `servers` servers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an assignment entry is `>= servers` or the assignment
-    /// length differs from the workload count.
-    pub fn outcomes(&self, assignment: &[usize], servers: usize) -> Vec<ServerOutcome> {
-        assert_eq!(
-            assignment.len(),
-            self.workloads.len(),
-            "assignment length mismatch"
-        );
-        let mut members: Vec<Vec<u16>> = vec![Vec::new(); servers];
-        for (app, &srv) in assignment.iter().enumerate() {
-            assert!(
-                srv < servers,
-                "assignment targets server {srv} outside the pool"
-            );
-            members[srv].push(app as u16);
-        }
-        members
-            .iter()
-            .map(|set| {
-                if set.is_empty() {
-                    return ServerOutcome::Unused;
-                }
-                match self.server_required(set) {
-                    Some(required) => ServerOutcome::Fits {
-                        required,
-                        utilization: required / self.server.capacity(),
-                    },
-                    None => ServerOutcome::Overbooked {
-                        workloads: set.len(),
-                    },
-                }
-            })
-            .collect()
-    }
-
-    /// Score and feasibility of an assignment.
-    pub fn evaluate(&self, assignment: &[usize], servers: usize) -> (f64, bool) {
-        let outcomes = self.outcomes(assignment, servers);
-        (
-            assignment_score_with(&outcomes, self.score_model, self.server.cpus()),
-            assignment_feasible(&outcomes),
-        )
-    }
-}
+/// Former name of [`FitEngine`], kept for one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to `FitEngine` (see `ropus_placement::engine`)"
+)]
+pub type Evaluator<'a> = FitEngine<'a>;
 
 /// Result of a genetic search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -238,6 +166,10 @@ pub struct GaOutcome {
     pub generations: usize,
     /// Uncached per-server fit evaluations performed.
     pub evaluations: usize,
+    /// Engine statistics of the search (cache hits/misses, wall time per
+    /// generation, thread count).
+    #[serde(default)]
+    pub stats: EngineStats,
 }
 
 /// Runs the genetic search from one or more seed assignments over a pool
@@ -257,7 +189,7 @@ pub struct GaOutcome {
 /// Panics if `seeds` is empty, a seed is empty, or entries exceed
 /// `servers`.
 pub fn optimize(
-    evaluator: &Evaluator<'_>,
+    evaluator: &FitEngine<'_>,
     seeds: &[Vec<usize>],
     servers: usize,
     options: &GaOptions,
@@ -266,6 +198,7 @@ pub fn optimize(
         !seeds.is_empty() && seeds.iter().all(|s| !s.is_empty()),
         "seeds must be non-empty"
     );
+    let start = Instant::now();
     let mut rng = Rng::seed_from_u64(options.seed);
 
     // Seed the population with the provided assignments plus noisy
@@ -285,13 +218,7 @@ pub fn optimize(
         population.push(variant);
     }
 
-    let mut scored: Vec<(Vec<usize>, f64, bool)> = population
-        .into_iter()
-        .map(|a| {
-            let (score, feasible) = evaluator.evaluate(&a, servers);
-            (a, score, feasible)
-        })
-        .collect();
+    let mut scored = score_population(evaluator, population, servers);
 
     let mut best: Option<(Vec<usize>, f64)> = None;
     let mut stagnation = 0usize;
@@ -324,13 +251,7 @@ pub fn optimize(
             next.push(child);
         }
 
-        scored = next
-            .into_iter()
-            .map(|a| {
-                let (score, feasible) = evaluator.evaluate(&a, servers);
-                (a, score, feasible)
-            })
-            .collect();
+        scored = score_population(evaluator, next, servers);
 
         if update_best(&mut best, &scored) {
             stagnation = 0;
@@ -343,17 +264,44 @@ pub fn optimize(
     }
 
     match best {
-        Some((assignment, score)) => Ok(GaOutcome {
-            assignment,
-            score,
-            generations,
-            evaluations: evaluator.evaluations(),
-        }),
+        Some((assignment, score)) => {
+            let total_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let mut stats = evaluator.stats();
+            stats.generations = generations;
+            stats.total_wall_ms = total_wall_ms;
+            stats.mean_generation_wall_ms = if generations > 0 {
+                total_wall_ms / generations as f64
+            } else {
+                0.0
+            };
+            Ok(GaOutcome {
+                assignment,
+                score,
+                generations,
+                evaluations: evaluator.evaluations(),
+                stats,
+            })
+        }
         None => Err(PlacementError::Infeasible {
             servers,
             message: "no feasible assignment found by the genetic search".into(),
         }),
     }
+}
+
+/// Scores a population through the engine's (possibly parallel) scoring
+/// path, pairing each assignment with its score and feasibility.
+fn score_population(
+    evaluator: &FitEngine<'_>,
+    population: Vec<Vec<usize>>,
+    servers: usize,
+) -> Vec<(Vec<usize>, f64, bool)> {
+    let scores = evaluator.score_assignments(&population, servers);
+    population
+        .into_iter()
+        .zip(scores)
+        .map(|(assignment, (score, feasible))| (assignment, score, feasible))
+        .collect()
 }
 
 /// Updates the best feasible solution; returns whether it improved.
@@ -411,7 +359,7 @@ fn mutate_genes(assignment: &mut [usize], servers: usize, probability: f64, rng:
 fn drain_mutation(
     assignment: &mut [usize],
     servers: usize,
-    evaluator: &Evaluator<'_>,
+    evaluator: &FitEngine<'_>,
     rng: &mut Rng,
 ) {
     let outcomes = evaluator.outcomes(assignment, servers);
@@ -441,7 +389,9 @@ fn drain_mutation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ropus_qos::CosSpec;
+    use crate::server::ServerSpec;
+    use crate::workload::Workload;
+    use ropus_qos::{CosSpec, PoolCommitments};
     use ropus_trace::{Calendar, Trace};
 
     fn cal() -> Calendar {
@@ -471,7 +421,7 @@ mod tests {
     #[test]
     fn evaluator_caches_by_member_set() {
         let fleet = constant_fleet(&[2.0, 3.0]);
-        let eval = Evaluator::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
+        let eval = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
         let r1 = eval.server_required(&[0, 1]).unwrap();
         let r2 = eval.server_required(&[1, 0]).unwrap();
         assert_eq!(r1, r2);
@@ -482,7 +432,7 @@ mod tests {
     #[test]
     fn evaluator_outcomes_classify_servers() {
         let fleet = constant_fleet(&[10.0, 10.0, 2.0]);
-        let eval = Evaluator::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
+        let eval = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
         // Server 0: both 10s (20 > 16, overbooked); server 1: the 2.0;
         // server 2: unused.
         let outcomes = eval.outcomes(&[0, 0, 1], 3);
@@ -498,7 +448,7 @@ mod tests {
     fn ga_consolidates_small_workloads_onto_fewer_servers() {
         // Six 2-CPU workloads all fit on one 16-way server; start scattered.
         let fleet = constant_fleet(&[2.0; 6]);
-        let eval = Evaluator::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
+        let eval = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
         let initial: Vec<usize> = (0..6).collect();
         let outcome = optimize(&eval, &[initial], 6, &GaOptions::fast(7)).unwrap();
         let used: std::collections::HashSet<usize> = outcome.assignment.iter().copied().collect();
@@ -516,7 +466,7 @@ mod tests {
     fn ga_respects_capacity_and_reports_feasible_best() {
         // Three 10-CPU workloads cannot share a 16-way server pairwise.
         let fleet = constant_fleet(&[10.0, 10.0, 10.0]);
-        let eval = Evaluator::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
+        let eval = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
         let initial: Vec<usize> = (0..3).collect();
         let outcome = optimize(&eval, &[initial], 3, &GaOptions::fast(3)).unwrap();
         let (_, feasible) = eval.evaluate(&outcome.assignment, 3);
@@ -529,7 +479,7 @@ mod tests {
     fn ga_is_deterministic_per_seed() {
         let fleet = constant_fleet(&[2.0, 3.0, 4.0, 5.0, 1.0]);
         let run = |seed| {
-            let eval = Evaluator::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
+            let eval = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
             optimize(&eval, &[vec![0, 1, 2, 3, 4]], 5, &GaOptions::fast(seed)).unwrap()
         };
         let a = run(11);
@@ -541,7 +491,7 @@ mod tests {
     #[test]
     fn ga_infeasible_when_a_workload_cannot_fit_anywhere() {
         let fleet = constant_fleet(&[20.0]);
-        let eval = Evaluator::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
+        let eval = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
         let err = optimize(&eval, &[vec![0]], 1, &GaOptions::fast(0)).unwrap_err();
         assert!(matches!(err, PlacementError::Infeasible { .. }));
     }
@@ -562,7 +512,7 @@ mod tests {
                 .unwrap()
             })
             .collect();
-        let eval = Evaluator::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
+        let eval = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
         // CPU-wise all four fit one server (4 CPUs of 16), but memory
         // (96 GB) does not.
         assert!(eval.server_required(&[0, 1]).is_some());
@@ -598,7 +548,7 @@ mod tests {
             .unwrap()
         };
         let fleet = vec![mk("morning", 96), mk("evening", 192)];
-        let eval = Evaluator::new(&fleet, ServerSpec::sixteen_way(), commitments(0.9), 0.05);
+        let eval = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(0.9), 0.05);
         let req = eval.server_required(&[0, 1]);
         assert!(req.is_some());
         assert!(req.unwrap() <= 16.0);

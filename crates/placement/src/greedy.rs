@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::ga::Evaluator;
+use crate::engine::FitEngine;
 use crate::PlacementError;
 
 /// Which greedy packing order and bin-choice rule to use.
@@ -51,7 +51,7 @@ impl GreedyStrategy {
 /// even on an empty server, and [`PlacementError::NoWorkloads`] for an
 /// empty workload set.
 pub fn place(
-    evaluator: &Evaluator<'_>,
+    evaluator: &FitEngine<'_>,
     strategy: GreedyStrategy,
 ) -> Result<Vec<usize>, PlacementError> {
     let workloads = evaluator.workloads();
@@ -134,6 +134,10 @@ pub fn place(
     Ok(assignment)
 }
 
+/// Friendlier alias for [`GreedyStrategy`], matching the naming used by
+/// the CLI and the prelude.
+pub type GreedyPolicy = GreedyStrategy;
+
 /// Number of servers a greedy assignment uses.
 pub fn servers_used(assignment: &[usize]) -> usize {
     assignment.iter().copied().max().map_or(0, |m| m + 1)
@@ -175,7 +179,7 @@ mod tests {
         // Sizes 10, 6, 6, 4, 4, 2 on capacity-16 servers: FFD gives
         // {10, 6}, {6, 4, 4, 2} = 2 servers.
         let fleet = constant_fleet(&[10.0, 6.0, 6.0, 4.0, 4.0, 2.0]);
-        let eval = Evaluator::new(&fleet, ServerSpec::sixteen_way(), commitments(), 0.05);
+        let eval = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(), 0.05);
         let assignment = place(&eval, GreedyStrategy::FirstFitDecreasing).unwrap();
         assert_eq!(servers_used(&assignment), 2, "{assignment:?}");
     }
@@ -185,7 +189,7 @@ mod tests {
         // In input order 2, 10, 6, 6, 4, 4: FF places 2+10 together (12),
         // then 6s and 4s pack worse than FFD would.
         let fleet = constant_fleet(&[2.0, 10.0, 6.0, 6.0, 4.0, 4.0]);
-        let eval = Evaluator::new(&fleet, ServerSpec::sixteen_way(), commitments(), 0.05);
+        let eval = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(), 0.05);
         let ff = place(&eval, GreedyStrategy::FirstFit).unwrap();
         let ffd = place(&eval, GreedyStrategy::FirstFitDecreasing).unwrap();
         assert!(servers_used(&ff) >= servers_used(&ffd));
@@ -194,7 +198,7 @@ mod tests {
     #[test]
     fn bfd_prefers_the_tightest_bin() {
         let fleet = constant_fleet(&[9.0, 8.0, 7.0, 6.0, 2.0]);
-        let eval = Evaluator::new(&fleet, ServerSpec::sixteen_way(), commitments(), 0.05);
+        let eval = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(), 0.05);
         let assignment = place(&eval, GreedyStrategy::BestFitDecreasing).unwrap();
         // 9+7, 8+6+2 is achievable in 2 bins.
         assert_eq!(servers_used(&assignment), 2, "{assignment:?}");
@@ -237,7 +241,7 @@ mod tests {
             mk("evening-anchor", 192, 10.0, 6.5),
             mk("evening-rider", 192, 5.0, 1.0),
         ];
-        let eval = Evaluator::new(
+        let eval = FitEngine::new(
             &fleet,
             ServerSpec::sixteen_way(),
             PoolCommitments::new(CosSpec::new(1.0, 60).unwrap()),
@@ -263,7 +267,7 @@ mod tests {
     #[test]
     fn oversized_workload_is_infeasible() {
         let fleet = constant_fleet(&[17.0]);
-        let eval = Evaluator::new(&fleet, ServerSpec::sixteen_way(), commitments(), 0.05);
+        let eval = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(), 0.05);
         let err = place(&eval, GreedyStrategy::FirstFitDecreasing).unwrap_err();
         assert!(matches!(err, PlacementError::Infeasible { .. }));
     }
@@ -272,7 +276,7 @@ mod tests {
     fn every_strategy_returns_a_feasible_assignment() {
         let fleet = constant_fleet(&[5.0, 3.0, 8.0, 1.0, 12.0, 2.0, 6.0]);
         for strategy in GreedyStrategy::ALL {
-            let eval = Evaluator::new(&fleet, ServerSpec::sixteen_way(), commitments(), 0.05);
+            let eval = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(), 0.05);
             let assignment = place(&eval, strategy).unwrap();
             let n = servers_used(&assignment);
             let (_, feasible) = eval.evaluate(&assignment, n);

@@ -8,18 +8,20 @@
 //! [`ServerSpec`]s, so mixed fleets (e.g. 16-way boxes plus smaller
 //! blades) can be consolidated with the same machinery.
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
 use ropus_qos::PoolCommitments;
 use ropus_trace::rng::Rng;
 
+use crate::engine::{parallel_map, EngineStats};
 use crate::ga::GaOptions;
 use crate::score::{ScoreModel, ServerOutcome};
 use crate::server::ServerSpec;
-use crate::simulator::{required_capacity_with_memory, AggregateLoad};
+use crate::simulator::{AggregateLoad, FitOptions, FitRequest};
 use crate::workload::{validate_workloads, Workload};
 use crate::PlacementError;
 
@@ -30,7 +32,9 @@ type FitKey = (u16, Vec<u16>);
 ///
 /// Results are cached by *(server equivalence class, member set)*: two
 /// servers with identical specs share cache entries, so a pool of 30
-/// identical boxes costs no more than the homogeneous evaluator.
+/// identical boxes costs no more than the homogeneous evaluator. The cache
+/// and counters are thread-safe so population scoring can run on the same
+/// scoped worker pool as the homogeneous [`FitEngine`](crate::engine).
 #[derive(Debug)]
 pub struct HeteroEvaluator<'a> {
     workloads: &'a [Workload],
@@ -38,8 +42,10 @@ pub struct HeteroEvaluator<'a> {
     classes: Vec<u16>,
     commitments: PoolCommitments,
     tolerance: f64,
-    cache: RefCell<HashMap<FitKey, Option<f64>>>,
-    evaluations: Cell<usize>,
+    threads: usize,
+    cache: Mutex<HashMap<FitKey, Option<f64>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<'a> HeteroEvaluator<'a> {
@@ -80,9 +86,37 @@ impl<'a> HeteroEvaluator<'a> {
             classes,
             commitments,
             tolerance,
-            cache: RefCell::new(HashMap::new()),
-            evaluations: Cell::new(0),
+            threads: 1,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         })
+    }
+
+    /// Sets the worker-thread count for population scoring (values below 1
+    /// clamp to 1). Parallel scoring is bit-identical to serial scoring.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A snapshot of the evaluator's engine statistics.
+    pub fn stats(&self) -> EngineStats {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        EngineStats {
+            evaluations: hits + misses,
+            cache_hits: hits,
+            cache_misses: misses,
+            threads: self.threads,
+            ..EngineStats::default()
+        }
     }
 
     /// The pool's servers, in index order.
@@ -97,7 +131,7 @@ impl<'a> HeteroEvaluator<'a> {
 
     /// Number of uncached fit evaluations performed so far.
     pub fn evaluations(&self) -> usize {
-        self.evaluations.get()
+        self.misses.load(Ordering::Relaxed) as usize
     }
 
     /// Required capacity for workload indices `members` on server
@@ -111,20 +145,24 @@ impl<'a> HeteroEvaluator<'a> {
         let mut key_members: Vec<u16> = members.to_vec();
         key_members.sort_unstable();
         let key = (self.classes[server], key_members);
-        if let Some(hit) = self.cache.borrow().get(&key) {
+        if let Some(hit) = self.cache.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return *hit;
         }
-        self.evaluations.set(self.evaluations.get() + 1);
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let refs: Vec<&Workload> = key.1.iter().map(|&i| &self.workloads[i as usize]).collect();
         let load = AggregateLoad::of(&refs).expect("validated at construction");
-        let result = required_capacity_with_memory(
-            &load,
-            &self.commitments,
-            spec.capacity(),
-            spec.memory_gb(),
-            self.tolerance,
-        );
-        self.cache.borrow_mut().insert(key, result);
+        let result = FitRequest::new(&load, &self.commitments)
+            .with_options(
+                FitOptions::new()
+                    .with_memory_capacity(spec.memory_gb())
+                    .with_tolerance(self.tolerance),
+            )
+            .required_capacity(spec.capacity());
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, result);
         result
     }
 
@@ -174,6 +212,13 @@ impl<'a> HeteroEvaluator<'a> {
             feasible &= outcome.is_feasible();
         }
         (score, feasible)
+    }
+
+    /// Scores a whole population, in input order, on the configured worker
+    /// pool. Bit-identical to calling [`evaluate`](Self::evaluate) per
+    /// assignment serially.
+    pub fn score_assignments(&self, assignments: &[Vec<usize>]) -> Vec<(f64, bool)> {
+        parallel_map(self.threads, assignments, |a| self.evaluate(a))
     }
 }
 
@@ -268,13 +313,7 @@ pub fn consolidate_hetero(
         population.push(variant);
     }
 
-    let mut scored: Vec<(Vec<usize>, f64, bool)> = population
-        .into_iter()
-        .map(|a| {
-            let (s, f) = evaluator.evaluate(&a);
-            (a, s, f)
-        })
-        .collect();
+    let mut scored = score_hetero_population(evaluator, population);
     let mut best: Option<(Vec<usize>, f64)> = None;
     let mut stagnation = 0usize;
 
@@ -316,13 +355,7 @@ pub fn consolidate_hetero(
             }
             next.push(child);
         }
-        scored = next
-            .into_iter()
-            .map(|a| {
-                let (s, f) = evaluator.evaluate(&a);
-                (a, s, f)
-            })
-            .collect();
+        scored = score_hetero_population(evaluator, next);
     }
     // Fold in the final generation.
     for (a, s, f) in &scored {
@@ -350,6 +383,20 @@ pub fn consolidate_hetero(
         score,
         required_capacity_total,
     })
+}
+
+/// Scores a population through the evaluator's (possibly parallel)
+/// scoring path.
+fn score_hetero_population(
+    evaluator: &HeteroEvaluator<'_>,
+    population: Vec<Vec<usize>>,
+) -> Vec<(Vec<usize>, f64, bool)> {
+    let scores = evaluator.score_assignments(&population);
+    population
+        .into_iter()
+        .zip(scores)
+        .map(|(a, (s, f))| (a, s, f))
+        .collect()
 }
 
 /// Drain mutation over the heterogeneous pool.

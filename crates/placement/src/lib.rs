@@ -18,6 +18,12 @@
 //! exercise that produces the Table I columns (`servers`, `C_requ`,
 //! `C_peak`), and [`failure`] implements the §VI-C single-failure planning.
 //!
+//! Both the search and the baselines run their per-server fit tests
+//! through [`engine::FitEngine`], which memoizes required-capacity results
+//! by member set and, when configured with more than one worker thread,
+//! scores populations and per-server binary searches in parallel —
+//! bit-identically to the serial path under a fixed seed.
+//!
 //! # Example
 //!
 //! ```
@@ -43,10 +49,13 @@
 //! let consolidator = Consolidator::new(
 //!     ServerSpec::new(16, 1.0),
 //!     commitments,
-//!     ConsolidationOptions::fast(7),
+//!     ConsolidationOptions::fast(7).with_threads(2).with_cache_capacity(4096),
 //! );
 //! let report = consolidator.consolidate(&workloads)?;
 //! assert!(report.servers_used >= 1);
+//! // The engine reports its cache effectiveness and wall time.
+//! assert!(report.stats.evaluations > 0);
+//! assert_eq!(report.stats.evaluations, report.stats.cache_hits + report.stats.cache_misses);
 //! # Ok(())
 //! # }
 //! ```
@@ -57,6 +66,7 @@
 mod error;
 
 pub mod consolidate;
+pub mod engine;
 pub mod failure;
 pub mod ga;
 pub mod greedy;

@@ -12,8 +12,12 @@
 //! 3. **deadline** — demand not satisfied on request carries over and must
 //!    be fully served within `s` slots.
 //!
-//! [`required_capacity`] binary-searches the smallest `L` satisfying all
-//! three, which is the per-server `C_requ` contribution in Table I.
+//! [`FitRequest::required_capacity`] binary-searches the smallest `L`
+//! satisfying all three, which is the per-server `C_requ` contribution in
+//! Table I. [`FitRequest`] paired with [`FitOptions`] is the single entry
+//! point; the former `evaluate_fit`/`evaluate_fit_with_memory` and
+//! `required_capacity`/`required_capacity_with_memory` free-function pairs
+//! remain as deprecated shims.
 
 use std::collections::VecDeque;
 
@@ -214,98 +218,226 @@ pub fn deadline_satisfied(load: &AggregateLoad, capacity: f64, deadline_slots: u
     backlog.is_empty()
 }
 
+/// Options of a fit evaluation: the optional memory attribute and the
+/// binary-search tolerance.
+///
+/// This is the options half of the [`FitRequest`]/[`FitOptions`] API that
+/// replaces the former `evaluate_fit`/`evaluate_fit_with_memory` and
+/// `required_capacity`/`required_capacity_with_memory` function pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitOptions {
+    /// Memory limit in GB; `None` means the attribute is unconstrained.
+    memory_capacity: Option<f64>,
+    /// Capacity tolerance of the required-capacity binary search.
+    tolerance: f64,
+}
+
+impl FitOptions {
+    /// Default options: unlimited memory, tolerance 0.05 capacity units
+    /// (the thorough search setting).
+    pub fn new() -> Self {
+        FitOptions {
+            memory_capacity: None,
+            tolerance: 0.05,
+        }
+    }
+
+    /// Constrains the memory attribute to `capacity` GB. Memory is a
+    /// guaranteed, non-statistical attribute: the aggregate footprint must
+    /// stay within the limit at every slot (checked via the aggregate
+    /// peak).
+    pub fn with_memory_capacity(mut self, capacity: f64) -> Self {
+        self.memory_capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the binary-search tolerance, in capacity units.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// The memory limit in force (`f64::INFINITY` when unconstrained).
+    pub fn memory_capacity(&self) -> f64 {
+        self.memory_capacity.unwrap_or(f64::INFINITY)
+    }
+
+    /// The binary-search tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A fit question about one aggregated load under one set of pool
+/// commitments: evaluate a candidate capacity, or binary-search the
+/// smallest sufficient one.
+#[derive(Debug, Clone, Copy)]
+pub struct FitRequest<'a> {
+    load: &'a AggregateLoad,
+    commitments: &'a PoolCommitments,
+    options: FitOptions,
+}
+
+impl<'a> FitRequest<'a> {
+    /// Creates a request with default [`FitOptions`].
+    pub fn new(load: &'a AggregateLoad, commitments: &'a PoolCommitments) -> Self {
+        FitRequest {
+            load,
+            commitments,
+            options: FitOptions::new(),
+        }
+    }
+
+    /// Replaces the options.
+    pub fn with_options(mut self, options: FitOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Evaluates the fit constraints at a candidate CPU capacity.
+    ///
+    /// CPU keeps the paper's three constraints (CoS1 guarantee, access
+    /// probability `θ`, carry-over deadline); memory, when constrained by
+    /// the options, is a pass/fail attribute checked first.
+    pub fn evaluate(&self, capacity: f64) -> FitReport {
+        let load = self.load;
+        let cos1_peak_sum = load.cos1_peak_sum();
+        if load.memory_peak() > self.options.memory_capacity() + EPSILON {
+            return FitReport {
+                fits: false,
+                violation: Some(FitViolation::MemoryOverflow),
+                cos1_peak_sum,
+                measured_theta: 0.0,
+                deadline_met: false,
+            };
+        }
+        if cos1_peak_sum > capacity + EPSILON {
+            return FitReport {
+                fits: false,
+                violation: Some(FitViolation::Cos1Overflow),
+                cos1_peak_sum,
+                measured_theta: 0.0,
+                deadline_met: false,
+            };
+        }
+        let measured_theta = access_probability(load, capacity);
+        let deadline_slots = load
+            .calendar()
+            .slots_in_minutes(self.commitments.cos2.deadline_minutes());
+        let deadline_met = deadline_satisfied(load, capacity, deadline_slots);
+        let theta_ok = measured_theta + EPSILON >= self.commitments.cos2.theta();
+        let violation = if !theta_ok {
+            Some(FitViolation::ThetaShortfall)
+        } else if !deadline_met {
+            Some(FitViolation::DeadlineMissed)
+        } else {
+            None
+        };
+        FitReport {
+            fits: violation.is_none(),
+            violation,
+            cos1_peak_sum,
+            measured_theta,
+            deadline_met,
+        }
+    }
+
+    /// Binary-searches the smallest capacity in `[0, limit]` that
+    /// satisfies the commitments, to within the options' tolerance.
+    ///
+    /// Returns `None` when the workloads do not fit even at `limit` — the
+    /// "commitments cannot be satisfied" outcome of Fig. 4.
+    ///
+    /// All three constraints are monotone in capacity, which is what makes
+    /// the binary search sound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the options' tolerance is not positive or `limit` is not
+    /// positive.
+    pub fn required_capacity(&self, limit: f64) -> Option<f64> {
+        let tolerance = self.options.tolerance();
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        assert!(limit > 0.0, "capacity limit must be positive");
+        if !self.evaluate(limit).fits {
+            return None;
+        }
+        let mut hi = limit;
+        let mut lo = 0.0f64;
+        if self.evaluate(lo.max(EPSILON)).fits {
+            return Some(0.0);
+        }
+        while hi - lo > tolerance {
+            let mid = 0.5 * (hi + lo);
+            if self.evaluate(mid).fits {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
 /// Evaluates the fit constraints at a candidate CPU capacity, with an
-/// unlimited memory attribute. See [`evaluate_fit_with_memory`] for the
-/// multi-attribute form.
+/// unlimited memory attribute.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `FitRequest::new(load, commitments).evaluate(capacity)`"
+)]
 pub fn evaluate_fit(
     load: &AggregateLoad,
     capacity: f64,
     commitments: &PoolCommitments,
 ) -> FitReport {
-    evaluate_fit_with_memory(load, capacity, f64::INFINITY, commitments)
+    FitRequest::new(load, commitments).evaluate(capacity)
 }
 
 /// Evaluates the fit constraints at a candidate CPU capacity and a fixed
 /// memory limit.
-///
-/// Memory is a guaranteed, non-statistical attribute: the aggregate
-/// footprint must stay within `memory_capacity` at every slot (checked
-/// via the aggregate peak). CPU keeps the paper's three constraints.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `FitRequest` with `FitOptions::new().with_memory_capacity(..)`"
+)]
 pub fn evaluate_fit_with_memory(
     load: &AggregateLoad,
     capacity: f64,
     memory_capacity: f64,
     commitments: &PoolCommitments,
 ) -> FitReport {
-    let cos1_peak_sum = load.cos1_peak_sum();
-    if load.memory_peak() > memory_capacity + EPSILON {
-        return FitReport {
-            fits: false,
-            violation: Some(FitViolation::MemoryOverflow),
-            cos1_peak_sum,
-            measured_theta: 0.0,
-            deadline_met: false,
-        };
-    }
-    if cos1_peak_sum > capacity + EPSILON {
-        return FitReport {
-            fits: false,
-            violation: Some(FitViolation::Cos1Overflow),
-            cos1_peak_sum,
-            measured_theta: 0.0,
-            deadline_met: false,
-        };
-    }
-    let measured_theta = access_probability(load, capacity);
-    let deadline_slots = load
-        .calendar()
-        .slots_in_minutes(commitments.cos2.deadline_minutes());
-    let deadline_met = deadline_satisfied(load, capacity, deadline_slots);
-    let theta_ok = measured_theta + EPSILON >= commitments.cos2.theta();
-    let violation = if !theta_ok {
-        Some(FitViolation::ThetaShortfall)
-    } else if !deadline_met {
-        Some(FitViolation::DeadlineMissed)
-    } else {
-        None
-    };
-    FitReport {
-        fits: violation.is_none(),
-        violation,
-        cos1_peak_sum,
-        measured_theta,
-        deadline_met,
-    }
+    FitRequest::new(load, commitments)
+        .with_options(FitOptions::new().with_memory_capacity(memory_capacity))
+        .evaluate(capacity)
 }
 
-/// Binary-searches the smallest capacity in `[cos1 peak sum, limit]` that
-/// satisfies the commitments, to within `tolerance` capacity units.
-///
-/// Returns `None` when the workloads do not fit even at `limit` — the
-/// "commitments cannot be satisfied" outcome of Fig. 4.
-///
-/// All three constraints are monotone in capacity, which is what makes the
-/// binary search sound.
-///
-/// # Panics
-///
-/// Panics if `tolerance` is not positive or `limit` is not positive.
+/// Binary-searches the smallest capacity satisfying the commitments.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `FitRequest::new(load, commitments).required_capacity(limit)` with \
+            `FitOptions::new().with_tolerance(..)`"
+)]
 pub fn required_capacity(
     load: &AggregateLoad,
     commitments: &PoolCommitments,
     limit: f64,
     tolerance: f64,
 ) -> Option<f64> {
-    required_capacity_with_memory(load, commitments, limit, f64::INFINITY, tolerance)
+    FitRequest::new(load, commitments)
+        .with_options(FitOptions::new().with_tolerance(tolerance))
+        .required_capacity(limit)
 }
 
-/// Multi-attribute form of [`required_capacity`]: the workloads must also
-/// fit the server's `memory_capacity` (a pass/fail attribute — memory is
-/// not time-shareable, so no search is run over it).
-///
-/// # Panics
-///
-/// Panics if `tolerance` is not positive or `limit` is not positive.
+/// Multi-attribute form of the required-capacity binary search.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `FitRequest` with `FitOptions::new().with_memory_capacity(..).with_tolerance(..)`"
+)]
 pub fn required_capacity_with_memory(
     load: &AggregateLoad,
     commitments: &PoolCommitments,
@@ -313,25 +445,13 @@ pub fn required_capacity_with_memory(
     memory_capacity: f64,
     tolerance: f64,
 ) -> Option<f64> {
-    assert!(tolerance > 0.0, "tolerance must be positive");
-    assert!(limit > 0.0, "capacity limit must be positive");
-    if !evaluate_fit_with_memory(load, limit, memory_capacity, commitments).fits {
-        return None;
-    }
-    let mut hi = limit;
-    let mut lo = 0.0f64;
-    if evaluate_fit_with_memory(load, lo.max(EPSILON), memory_capacity, commitments).fits {
-        return Some(0.0);
-    }
-    while hi - lo > tolerance {
-        let mid = 0.5 * (hi + lo);
-        if evaluate_fit_with_memory(load, mid, memory_capacity, commitments).fits {
-            hi = mid;
-        } else {
-            lo = mid;
-        }
-    }
-    Some(hi)
+    FitRequest::new(load, commitments)
+        .with_options(
+            FitOptions::new()
+                .with_memory_capacity(memory_capacity)
+                .with_tolerance(tolerance),
+        )
+        .required_capacity(limit)
 }
 
 #[cfg(test)]
@@ -350,6 +470,48 @@ mod tests {
 
     fn commitments(theta: f64) -> PoolCommitments {
         PoolCommitments::new(CosSpec::new(theta, 60).unwrap())
+    }
+
+    fn fit(load: &AggregateLoad, capacity: f64, commitments: &PoolCommitments) -> FitReport {
+        FitRequest::new(load, commitments).evaluate(capacity)
+    }
+
+    fn required(
+        load: &AggregateLoad,
+        commitments: &PoolCommitments,
+        limit: f64,
+        tolerance: f64,
+    ) -> Option<f64> {
+        FitRequest::new(load, commitments)
+            .with_options(FitOptions::new().with_tolerance(tolerance))
+            .required_capacity(limit)
+    }
+
+    fn fit_mem(
+        load: &AggregateLoad,
+        capacity: f64,
+        memory: f64,
+        commitments: &PoolCommitments,
+    ) -> FitReport {
+        FitRequest::new(load, commitments)
+            .with_options(FitOptions::new().with_memory_capacity(memory))
+            .evaluate(capacity)
+    }
+
+    fn required_mem(
+        load: &AggregateLoad,
+        commitments: &PoolCommitments,
+        limit: f64,
+        memory: f64,
+        tolerance: f64,
+    ) -> Option<f64> {
+        FitRequest::new(load, commitments)
+            .with_options(
+                FitOptions::new()
+                    .with_memory_capacity(memory)
+                    .with_tolerance(tolerance),
+            )
+            .required_capacity(limit)
     }
 
     fn constant_workload(name: &str, c1: f64, c2: f64) -> Workload {
@@ -391,7 +553,7 @@ mod tests {
         let a = constant_workload("a", 10.0, 0.0);
         let b = constant_workload("b", 8.0, 0.0);
         let load = AggregateLoad::of(&[&a, &b]).unwrap();
-        let report = evaluate_fit(&load, 16.0, &commitments(0.9));
+        let report = fit(&load, 16.0, &commitments(0.9));
         assert!(!report.fits);
         assert_eq!(report.violation, Some(FitViolation::Cos1Overflow));
     }
@@ -402,7 +564,7 @@ mod tests {
         let load = AggregateLoad::of(&[&a]).unwrap();
         assert_eq!(access_probability(&load, 5.0), 1.0);
         assert_eq!(access_probability(&load, 100.0), 1.0);
-        let report = evaluate_fit(&load, 5.0, &commitments(1.0));
+        let report = fit(&load, 5.0, &commitments(1.0));
         assert!(report.fits);
     }
 
@@ -449,7 +611,7 @@ mod tests {
         let a = spiky_workload("a", 1.0, 30.0, 24);
         let load = AggregateLoad::of(&[&a]).unwrap();
         // Capacity 2: theta for the busy slots = tiny -> theta violation.
-        let report = evaluate_fit(&load, 2.0, &commitments(0.9));
+        let report = fit(&load, 2.0, &commitments(0.9));
         assert_eq!(report.violation, Some(FitViolation::ThetaShortfall));
         assert!(report.measured_theta < 0.9);
     }
@@ -461,7 +623,7 @@ mod tests {
         // 2/slot x 24 slots = 48 drains at 4/slot, needing 12 h >> 60 min.
         let a = spiky_workload("a", 4.0, 10.0, 24);
         let load = AggregateLoad::of(&[&a]).unwrap();
-        let report = evaluate_fit(&load, 8.0, &commitments(0.75));
+        let report = fit(&load, 8.0, &commitments(0.75));
         assert!(report.measured_theta >= 0.75);
         assert_eq!(report.violation, Some(FitViolation::DeadlineMissed));
     }
@@ -472,7 +634,7 @@ mod tests {
         // capacity is 5.0 (to tolerance).
         let a = constant_workload("a", 2.0, 3.0);
         let load = AggregateLoad::of(&[&a]).unwrap();
-        let req = required_capacity(&load, &commitments(1.0), 16.0, 0.01).unwrap();
+        let req = required(&load, &commitments(1.0), 16.0, 0.01).unwrap();
         assert!((req - 5.0).abs() < 0.02, "required {req}");
     }
 
@@ -482,29 +644,26 @@ mod tests {
         // needs 0.6 coverage, so required capacity sits near 6.
         let a = spiky_workload("a", 1.0, 10.0, 12);
         let load = AggregateLoad::of(&[&a]).unwrap();
-        let req = required_capacity(&load, &commitments(0.6), 16.0, 0.01).unwrap();
+        let req = required(&load, &commitments(0.6), 16.0, 0.01).unwrap();
         assert!(req < 10.0, "required {req}");
         assert!(req >= 6.0 - 0.02, "required {req}");
         // And the result actually fits while tolerance below does not.
-        assert!(evaluate_fit(&load, req, &commitments(0.6)).fits);
-        assert!(!evaluate_fit(&load, req - 0.05, &commitments(0.6)).fits);
+        assert!(fit(&load, req, &commitments(0.6)).fits);
+        assert!(!fit(&load, req - 0.05, &commitments(0.6)).fits);
     }
 
     #[test]
     fn required_capacity_is_none_when_infeasible() {
         let a = constant_workload("a", 20.0, 0.0);
         let load = AggregateLoad::of(&[&a]).unwrap();
-        assert_eq!(
-            required_capacity(&load, &commitments(0.9), 16.0, 0.01),
-            None
-        );
+        assert_eq!(required(&load, &commitments(0.9), 16.0, 0.01), None);
     }
 
     #[test]
     fn required_capacity_zero_demand() {
         let a = constant_workload("a", 0.0, 0.0);
         let load = AggregateLoad::of(&[&a]).unwrap();
-        let req = required_capacity(&load, &commitments(0.9), 16.0, 0.01).unwrap();
+        let req = required(&load, &commitments(0.9), 16.0, 0.01).unwrap();
         assert_eq!(req, 0.0);
     }
 
@@ -512,8 +671,8 @@ mod tests {
     fn higher_theta_commitment_needs_more_capacity() {
         let a = spiky_workload("a", 1.0, 10.0, 12);
         let load = AggregateLoad::of(&[&a]).unwrap();
-        let lo = required_capacity(&load, &commitments(0.6), 16.0, 0.01).unwrap();
-        let hi = required_capacity(&load, &commitments(0.95), 16.0, 0.01).unwrap();
+        let lo = required(&load, &commitments(0.6), 16.0, 0.01).unwrap();
+        let hi = required(&load, &commitments(0.95), 16.0, 0.01).unwrap();
         assert!(hi > lo, "hi {hi} lo {lo}");
     }
 
@@ -528,14 +687,14 @@ mod tests {
         let load = AggregateLoad::of(&[&a, &b]).unwrap();
         assert_eq!(load.memory_peak(), 72.0);
         // CPU easily fits, memory (72 > 64) does not.
-        let report = evaluate_fit_with_memory(&load, 16.0, 64.0, &commitments(0.9));
+        let report = fit_mem(&load, 16.0, 64.0, &commitments(0.9));
         assert!(!report.fits);
         assert_eq!(report.violation, Some(FitViolation::MemoryOverflow));
         // With enough memory the same set fits.
-        let report = evaluate_fit_with_memory(&load, 16.0, 128.0, &commitments(0.9));
+        let report = fit_mem(&load, 16.0, 128.0, &commitments(0.9));
         assert!(report.fits);
         // The single-attribute entry point ignores memory entirely.
-        assert!(evaluate_fit(&load, 16.0, &commitments(0.9)).fits);
+        assert!(fit(&load, 16.0, &commitments(0.9)).fits);
     }
 
     #[test]
@@ -543,7 +702,7 @@ mod tests {
         let a = constant_workload("a", 1.0, 1.0);
         let load = AggregateLoad::of(&[&a]).unwrap();
         assert_eq!(load.memory_peak(), 0.0);
-        assert!(evaluate_fit_with_memory(&load, 16.0, 0.5, &commitments(0.9)).fits);
+        assert!(fit_mem(&load, 16.0, 0.5, &commitments(0.9)).fits);
     }
 
     #[test]
@@ -553,13 +712,37 @@ mod tests {
             .unwrap();
         let load = AggregateLoad::of(&[&a]).unwrap();
         assert_eq!(
-            required_capacity_with_memory(&load, &commitments(1.0), 16.0, 32.0, 0.05),
+            required_mem(&load, &commitments(1.0), 16.0, 32.0, 0.05),
             None
         );
-        let req = required_capacity_with_memory(&load, &commitments(1.0), 16.0, 64.0, 0.05)
+        let req = required_mem(&load, &commitments(1.0), 16.0, 64.0, 0.05)
             .expect("fits with enough memory");
         // Memory does not change the CPU requirement.
         assert!((req - 3.0).abs() < 0.1, "required {req}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_fit_request() {
+        let a = spiky_workload("a", 1.0, 10.0, 12);
+        let load = AggregateLoad::of(&[&a]).unwrap();
+        let c = commitments(0.9);
+        assert_eq!(
+            evaluate_fit(&load, 8.0, &c),
+            FitRequest::new(&load, &c).evaluate(8.0)
+        );
+        assert_eq!(
+            evaluate_fit_with_memory(&load, 8.0, 64.0, &c),
+            fit_mem(&load, 8.0, 64.0, &c)
+        );
+        assert_eq!(
+            required_capacity(&load, &c, 16.0, 0.01),
+            required(&load, &c, 16.0, 0.01)
+        );
+        assert_eq!(
+            required_capacity_with_memory(&load, &c, 16.0, 64.0, 0.01),
+            required_mem(&load, &c, 16.0, 64.0, 0.01)
+        );
     }
 
     #[test]

@@ -5,7 +5,6 @@
 
 use ropus::case_study::{translate_fleet, CaseConfig};
 use ropus::prelude::*;
-use ropus_placement::ga::Evaluator;
 use ropus_placement::greedy::{place, servers_used, GreedyStrategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Greedy baselines: how many servers does each packing rule need?
     println!("\n-- greedy baselines --");
     for strategy in GreedyStrategy::ALL {
-        let evaluator = Evaluator::new(
+        let evaluator = FitEngine::new(
             &workloads,
             ServerSpec::sixteen_way(),
             case.commitments(),
@@ -62,6 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "sharing savings:   {:.1}%",
         100.0 * report.sharing_savings()
+    );
+    println!(
+        "engine:            {} evaluations, {:.1}% cache hit rate",
+        report.stats.evaluations,
+        100.0 * report.stats.hit_rate()
     );
     println!("\nper-server packing:");
     for sp in &report.servers {

@@ -1,0 +1,189 @@
+//! Integration tests of the placement engine's concurrency and caching
+//! guarantees: parallel runs must be bit-identical to serial runs under a
+//! fixed seed, and cached fit evaluations must agree with uncached ones.
+
+use ropus::case_study::translate_fleet;
+use ropus::case_study::CaseConfig;
+use ropus::prelude::*;
+use ropus_placement::simulator::{AggregateLoad, FitOptions, FitRequest};
+
+fn translated_fleet() -> Vec<Workload> {
+    let fleet = case_study_fleet(&FleetConfig {
+        apps: 12,
+        weeks: 2,
+        ..FleetConfig::paper()
+    });
+    translate_fleet(&fleet, &CaseConfig::table1()[2])
+        .unwrap()
+        .into_iter()
+        .map(|t| t.workload)
+        .collect()
+}
+
+fn consolidate_with(threads: usize, cache_capacity: usize) -> PlacementReport {
+    let workloads = translated_fleet();
+    let consolidator = Consolidator::new(
+        ServerSpec::sixteen_way(),
+        CaseConfig::table1()[2].commitments(),
+        ConsolidationOptions::fast(7)
+            .with_threads(threads)
+            .with_cache_capacity(cache_capacity),
+    );
+    consolidator.consolidate(&workloads).unwrap()
+}
+
+#[test]
+fn parallel_consolidation_is_bit_identical_to_serial() {
+    let serial = consolidate_with(1, 0);
+    let parallel = consolidate_with(4, 0);
+    // PlacementReport equality covers assignment, scores, and per-server
+    // capacities bitwise; only the (timing-dependent) stats are excluded.
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.assignment, parallel.assignment);
+    assert_eq!(
+        serial.required_capacity_total.to_bits(),
+        parallel.required_capacity_total.to_bits()
+    );
+    assert_eq!(serial.score.to_bits(), parallel.score.to_bits());
+    assert_eq!(serial.stats.threads, 1);
+    assert_eq!(parallel.stats.threads, 4);
+}
+
+#[test]
+fn bounded_cache_does_not_change_the_placement() {
+    let unbounded = consolidate_with(1, 0);
+    let bounded = consolidate_with(1, 16);
+    assert_eq!(unbounded, bounded);
+    // A 16-entry cache on a 12-app search must evict, so it performs at
+    // least as many uncached evaluations as the unbounded run.
+    assert!(bounded.stats.cache_misses >= unbounded.stats.cache_misses);
+}
+
+#[test]
+fn report_carries_engine_statistics() {
+    let report = consolidate_with(2, 0);
+    let stats = report.stats;
+    assert!(stats.evaluations > 0);
+    assert_eq!(stats.evaluations, stats.cache_hits + stats.cache_misses);
+    assert!(stats.cache_hits > 0, "the GA must revisit member sets");
+    assert!(stats.generations > 0);
+    assert!(stats.total_wall_ms > 0.0);
+    assert!(stats.mean_generation_wall_ms <= stats.total_wall_ms);
+    assert!((0.0..=1.0).contains(&stats.hit_rate()));
+}
+
+#[test]
+fn parallel_plan_matches_serial_plan() {
+    let fleet = case_study_fleet(&FleetConfig {
+        apps: 8,
+        weeks: 2,
+        ..FleetConfig::paper()
+    });
+    let policy = QosPolicy {
+        normal: AppQos::paper_default(Some(30)),
+        failure: AppQos::paper_default(None),
+    };
+    let apps: Vec<AppSpec> = fleet
+        .into_iter()
+        .map(|w| AppSpec::new(w.name, w.trace, policy))
+        .collect();
+    let build = |threads: usize| {
+        Framework::builder()
+            .server(ServerSpec::sixteen_way())
+            .commitments(PoolCommitments::new(CosSpec::new(0.9, 60).unwrap()))
+            .options(ConsolidationOptions::fast(3))
+            .threads(threads)
+            .build()
+            .plan(&apps)
+            .unwrap()
+    };
+    let serial = build(1);
+    let parallel = build(4);
+    assert_eq!(serial.normal_placement, parallel.normal_placement);
+    assert_eq!(
+        serial.failure_analysis.cases.len(),
+        parallel.failure_analysis.cases.len()
+    );
+    for (a, b) in serial
+        .failure_analysis
+        .cases
+        .iter()
+        .zip(&parallel.failure_analysis.cases)
+    {
+        assert_eq!(a.failed_server, b.failed_server);
+        assert_eq!(a.affected, b.affected);
+        assert_eq!(a.placement, b.placement);
+    }
+    assert_eq!(serial.spare_needed(), parallel.spare_needed());
+}
+
+mod cached_matches_uncached {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hourly() -> Calendar {
+        Calendar::new(60).unwrap()
+    }
+
+    fn fleet_from(sizes: &[f64]) -> Vec<Workload> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                Workload::new(
+                    format!("w{i}"),
+                    Trace::constant(hourly(), 0.0, 168).unwrap(),
+                    Trace::constant(hourly(), s, 168).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    proptest! {
+        #[test]
+        fn engine_cache_agrees_with_direct_fit_requests(
+            sizes in proptest::collection::vec(0.5f64..9.0, 2..7),
+            queries in proptest::collection::vec(
+                proptest::collection::vec(0usize..6, 1..5),
+                1..12,
+            ),
+        ) {
+            let workloads = fleet_from(&sizes);
+            let commitments = PoolCommitments::new(CosSpec::new(0.9, 60).unwrap());
+            let engine = FitEngine::new(
+                &workloads,
+                ServerSpec::sixteen_way(),
+                commitments,
+                0.05,
+            );
+            for query in &queries {
+                let members: Vec<u16> = query
+                    .iter()
+                    .map(|&i| (i % workloads.len()) as u16)
+                    .collect();
+                // First call computes, second call answers from cache.
+                let first = engine.server_required(&members);
+                let cached = engine.server_required(&members);
+                prop_assert_eq!(first, cached);
+                // Both agree with an uncached direct evaluation.
+                let mut sorted = members.clone();
+                sorted.sort_unstable();
+                let refs: Vec<&Workload> =
+                    sorted.iter().map(|&i| &workloads[i as usize]).collect();
+                let load = AggregateLoad::of(&refs).unwrap();
+                let direct = FitRequest::new(&load, &engine.commitments())
+                    .with_options(
+                        FitOptions::new()
+                            .with_memory_capacity(engine.server().memory_gb())
+                            .with_tolerance(0.05),
+                    )
+                    .required_capacity(engine.server().capacity());
+                prop_assert_eq!(first, direct);
+            }
+            let stats = engine.stats();
+            prop_assert_eq!(stats.evaluations, stats.cache_hits + stats.cache_misses);
+            prop_assert!(stats.cache_hits >= queries.len() as u64);
+        }
+    }
+}

@@ -6,9 +6,7 @@
 use proptest::prelude::*;
 
 use ropus::prelude::*;
-use ropus_placement::simulator::{
-    access_probability, evaluate_fit, required_capacity, AggregateLoad,
-};
+use ropus_placement::simulator::{access_probability, AggregateLoad, FitOptions, FitRequest};
 use ropus_placement::workload::Workload;
 use ropus_qos::portfolio::{breakpoint, split_demand, worst_case_utilization};
 use ropus_qos::translation::translate;
@@ -148,17 +146,19 @@ proptest! {
         let load = AggregateLoad::of(&[&w]).unwrap();
         let commitments = PoolCommitments::new(CosSpec::new(theta, 60).unwrap());
         let limit = load.total_peak().max(1.0) + 1.0;
-        if let Some(req) = required_capacity(&load, &commitments, limit, 0.01) {
-            prop_assert!(evaluate_fit(&load, req, &commitments).fits);
+        let request = FitRequest::new(&load, &commitments)
+            .with_options(FitOptions::new().with_tolerance(0.01));
+        if let Some(req) = request.required_capacity(limit) {
+            prop_assert!(request.evaluate(req).fits);
             if req > 0.05 {
                 prop_assert!(
-                    !evaluate_fit(&load, req - 0.05, &commitments).fits,
+                    !request.evaluate(req - 0.05).fits,
                     "required {req} is not minimal"
                 );
             }
         } else {
             // Must genuinely not fit at the limit.
-            prop_assert!(!evaluate_fit(&load, limit, &commitments).fits);
+            prop_assert!(!request.evaluate(limit).fits);
         }
     }
 
@@ -211,11 +211,13 @@ proptest! {
         let commitments = PoolCommitments::new(CosSpec::new(0.9, 60).unwrap());
         let plain_load = AggregateLoad::of(&[&plain]).unwrap();
         let mem_load = AggregateLoad::of(&[&with_memory]).unwrap();
-        let plain_fits = evaluate_fit(&plain_load, capacity, &commitments).fits;
-        let mem_fits = ropus_placement::simulator::evaluate_fit_with_memory(
-            &mem_load, capacity, 64.0, &commitments,
-        )
-        .fits;
+        let plain_fits = FitRequest::new(&plain_load, &commitments)
+            .evaluate(capacity)
+            .fits;
+        let mem_fits = FitRequest::new(&mem_load, &commitments)
+            .with_options(FitOptions::new().with_memory_capacity(64.0))
+            .evaluate(capacity)
+            .fits;
         // Adding a memory requirement can only remove feasibility.
         if mem_fits {
             prop_assert!(plain_fits);

@@ -50,13 +50,15 @@ fn uncontended_host_delivers_compliant_qos() {
 
 #[test]
 fn sized_host_keeps_qos_within_the_degraded_envelope() {
-    use ropus_placement::simulator::{required_capacity, AggregateLoad};
+    use ropus_placement::simulator::{AggregateLoad, FitRequest};
     let (hosted, requirements, workloads) = translated_hosted(4, 0.9);
     // Size the host at the placement simulator's required capacity.
     let refs: Vec<&Workload> = workloads.iter().collect();
     let load = AggregateLoad::of(&refs).unwrap();
     let commitments = PoolCommitments::new(CosSpec::new(0.9, 60).unwrap());
-    let capacity = required_capacity(&load, &commitments, 64.0, 0.05).unwrap();
+    let capacity = FitRequest::new(&load, &commitments)
+        .required_capacity(64.0)
+        .unwrap();
     let host = Host::new(capacity.max(1.0));
     let outcome = host.run(&hosted).unwrap();
     for (wo, qos) in outcome.workloads.iter().zip(&requirements) {

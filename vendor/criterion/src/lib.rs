@@ -1,0 +1,276 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The real `criterion` crate is unavailable in this build environment, so
+//! this crate implements the subset of its surface the workspace's benches
+//! use: [`Criterion`], [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of statistical sampling and HTML reports, each benchmark is
+//! warmed up briefly, timed over a fixed iteration budget, and its mean
+//! wall-clock time per iteration printed to stdout. `--bench` and filter
+//! arguments passed by `cargo bench` are accepted; running a subset by
+//! name filter is supported.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A benchmark identifier, printed as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(param)) => write!(f, "{func}/{param}"),
+            (Some(func), None) => f.write_str(func),
+            (None, Some(param)) => f.write_str(param),
+            (None, None) => f.write_str("benchmark"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: Some(name.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the routine.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: &'a mut Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over this bencher's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        *self.elapsed = start.elapsed();
+    }
+}
+
+fn human(duration: Duration) -> String {
+    let nanos = duration.as_secs_f64() * 1e9;
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+const WARM_UP: Duration = Duration::from_millis(300);
+const TARGET: Duration = Duration::from_secs(1);
+
+fn run_benchmark<F: FnMut(&mut Bencher<'_>)>(name: &str, filter: Option<&str>, mut routine: F) {
+    if let Some(needle) = filter {
+        if !name.contains(needle) {
+            return;
+        }
+    }
+    // Warm-up: discover the per-iteration cost so the measurement pass can
+    // size its iteration count to the time target.
+    let mut elapsed = Duration::ZERO;
+    let mut iters = 1u64;
+    let warm_up_start = Instant::now();
+    loop {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: &mut elapsed,
+        };
+        routine(&mut bencher);
+        if warm_up_start.elapsed() >= WARM_UP {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let per_iter = elapsed.as_secs_f64() / iters as f64;
+    let measured_iters = if per_iter > 0.0 {
+        ((TARGET.as_secs_f64() / per_iter).ceil() as u64).clamp(1, 1_000_000_000)
+    } else {
+        1_000_000
+    };
+    let mut bencher = Bencher {
+        iters: measured_iters,
+        elapsed: &mut elapsed,
+    };
+    routine(&mut bencher);
+    let mean = elapsed.as_secs_f64() / measured_iters as f64;
+    println!(
+        "{name:<60} time: {:>12}   ({measured_iters} iterations)",
+        human(Duration::from_secs_f64(mean))
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the harness sizes iteration counts
+    /// from a wall-clock target, so the sample count is not used.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is fixed.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = format!("{}/{}", self.name, id.into());
+        run_benchmark(&name, self.criterion.filter.as_deref(), routine);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into());
+        run_benchmark(&name, self.criterion.filter.as_deref(), |b| {
+            routine(b, input);
+        });
+        self
+    }
+
+    /// Ends the group. (No summary output in the stand-in.)
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the harness with flags such as `--bench`;
+        // the first free argument, if any, is a name filter.
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Returns `self`; configuration hook kept for API compatibility.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks `routine` as a stand-alone (ungrouped) benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = id.into().to_string();
+        run_benchmark(&name, self.filter.as_deref(), routine);
+        self
+    }
+}
+
+/// Collects benchmark functions into a group runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $function(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each group produced by [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export matching real criterion's `black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+        assert_eq!(BenchmarkId::from("name").to_string(), "name");
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(human(Duration::from_micros(500)).ends_with("µs"));
+        assert!(human(Duration::from_millis(500)).ends_with("ms"));
+        assert!(human(Duration::from_secs(5)).ends_with('s'));
+    }
+}

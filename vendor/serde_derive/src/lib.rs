@@ -1,0 +1,423 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored `serde` crate's `Value` data model, without `syn`/`quote`: the
+//! item is parsed directly from the token stream and the impl is emitted as
+//! source text.
+//!
+//! Supported shapes (everything this workspace derives on):
+//!
+//! * named-field structs;
+//! * enums with unit and named-field variants (externally tagged);
+//! * container attribute `#[serde(try_from = "Type")]`;
+//! * field attributes `#[serde(default)]` and `#[serde(default = "path")]`.
+//!
+//! Anything else (tuple structs, generics, other attributes) panics at
+//! compile time with a clear message rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field default policy parsed from `#[serde(default ...)]`.
+#[derive(Clone)]
+enum FieldDefault {
+    /// No default: missing fields go through `Deserialize::missing_field`.
+    None,
+    /// `#[serde(default)]`: `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    default: FieldDefault,
+}
+
+struct Variant {
+    name: String,
+    fields: Option<Vec<Field>>,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+    try_from: Option<String>,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut push = String::new();
+            for f in fields {
+                push.push_str(&format!(
+                    "fields.push((String::from(\"{n}\"), ::serde::Serialize::serialize(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n{push}::serde::Value::Object(fields)"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{ty}::{var} => ::serde::Value::String(String::from(\"{var}\")),\n",
+                        ty = item.name,
+                        var = v.name
+                    )),
+                    Some(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut push = String::new();
+                        for f in fields {
+                            push.push_str(&format!(
+                                "inner.push((String::from(\"{n}\"), ::serde::Serialize::serialize({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{ty}::{var} {{ {binds} }} => {{\n\
+                             let mut inner: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                             {push}\
+                             ::serde::Value::Object(vec![(String::from(\"{var}\"), ::serde::Value::Object(inner))])\n\
+                             }},\n",
+                            ty = item.name,
+                            var = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let output = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        name = item.name
+    );
+    output.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = if let Some(raw) = &item.try_from {
+        format!(
+            "let raw: {raw} = ::serde::Deserialize::deserialize(value)?;\n\
+             ::core::convert::TryFrom::try_from(raw).map_err(::serde::Error::custom)"
+        )
+    } else {
+        match &item.kind {
+            Kind::Struct(fields) => struct_deserialize_body(&item.name, &item.name, fields),
+            Kind::Enum(variants) => enum_deserialize_body(&item.name, variants),
+        }
+    };
+    let output = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n",
+        name = item.name
+    );
+    output.parse().expect("generated Deserialize impl parses")
+}
+
+/// Emits the body constructing `path { ... }` from an object `value`.
+fn struct_deserialize_body(type_name: &str, path: &str, fields: &[Field]) -> String {
+    let mut init = String::new();
+    for f in fields {
+        let missing = match &f.default {
+            FieldDefault::None => format!(
+                "<{ty} as ::serde::Deserialize>::missing_field(\"{n}\")?",
+                ty = f.ty,
+                n = f.name
+            ),
+            FieldDefault::Std => "::core::default::Default::default()".to_string(),
+            FieldDefault::Path(p) => format!("{p}()"),
+        };
+        init.push_str(&format!(
+            "{n}: match obj.iter().find(|(k, _)| k == \"{n}\") {{\n\
+             Some((_, v)) => ::serde::Deserialize::deserialize(v)?,\n\
+             None => {missing},\n\
+             }},\n",
+            n = f.name
+        ));
+    }
+    format!(
+        "let obj = value.as_object().ok_or_else(|| \
+         ::serde::Error::custom(\"expected an object for `{type_name}`\"))?;\n\
+         Ok({path} {{\n{init}}})"
+    )
+}
+
+fn enum_deserialize_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        match &v.fields {
+            None => unit_arms.push_str(&format!("\"{var}\" => Ok({name}::{var}),\n", var = v.name)),
+            Some(fields) => {
+                let body =
+                    struct_deserialize_body(name, &format!("{name}::{var}", var = v.name), fields);
+                tagged_arms.push_str(&format!(
+                    "\"{var}\" => {{\nlet value = inner;\n{body}\n}},\n",
+                    var = v.name
+                ));
+            }
+        }
+    }
+    format!(
+        "match value {{\n\
+         ::serde::Value::String(s) => match s.as_str() {{\n\
+         {unit_arms}\
+         other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for `{name}`\"))),\n\
+         }},\n\
+         ::serde::Value::Object(o) if o.len() == 1 => {{\n\
+         let (tag, inner) = &o[0];\n\
+         match tag.as_str() {{\n\
+         {tagged_arms}\
+         other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for `{name}`\"))),\n\
+         }}\n\
+         }},\n\
+         _ => Err(::serde::Error::custom(\"expected a variant string or single-key object for `{name}`\")),\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut try_from = None;
+
+    // Outer attributes (doc comments arrive as attributes too).
+    while i + 1 < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() == '#' {
+                if let TokenTree::Group(g) = &tokens[i + 1] {
+                    scan_serde_attr(g.stream(), |key, val| {
+                        if key == "try_from" {
+                            try_from = val;
+                        }
+                    });
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive stand-in does not support generic type `{name}`");
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde derive stand-in expects a braced {keyword} body for `{name}`, found {other:?}"
+        ),
+    };
+
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_fields(body)),
+        "enum" => Kind::Enum(parse_variants(body)),
+        other => panic!("serde derive stand-in cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        kind,
+        try_from,
+    }
+}
+
+/// Parses named fields from a brace-group stream.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let default = parse_field_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        expect_punct(&tokens, &mut i, ':');
+        // Type tokens run to the next comma outside angle brackets.
+        let mut ty = String::new();
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if !ty.is_empty() {
+                ty.push(' ');
+            }
+            ty.push_str(&tokens[i].to_string());
+            i += 1;
+        }
+        fields.push(Field { name, ty, default });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        let _ = parse_field_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive stand-in does not support tuple variant `{name}`");
+            }
+            _ => None,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            } else {
+                panic!("unexpected token after variant `{name}`");
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Consumes leading attributes, returning the field-default policy found in
+/// any `#[serde(...)]` among them.
+fn parse_field_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldDefault {
+    let mut default = FieldDefault::None;
+    while *i + 1 < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            if p.as_char() == '#' {
+                if let TokenTree::Group(g) = &tokens[*i + 1] {
+                    scan_serde_attr(g.stream(), |key, val| {
+                        if key == "default" {
+                            default = match val {
+                                Some(path) => FieldDefault::Path(path),
+                                None => FieldDefault::Std,
+                            };
+                        }
+                    });
+                }
+                *i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    default
+}
+
+/// If the bracketed attribute stream is `serde(...)`, reports each
+/// `key` / `key = "value"` entry to `found`.
+fn scan_serde_attr(stream: TokenStream, mut found: impl FnMut(&str, Option<String>)) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        let TokenTree::Ident(key) = &args[i] else {
+            panic!("unsupported serde attribute shape: {:?}", args[i]);
+        };
+        let key = key.to_string();
+        i += 1;
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = args.get(i) {
+            if p.as_char() == '=' {
+                i += 1;
+                let TokenTree::Literal(lit) = &args[i] else {
+                    panic!("expected a string literal in serde attribute `{key}`");
+                };
+                value = Some(unquote(&lit.to_string()));
+                i += 1;
+            }
+        }
+        match key.as_str() {
+            "try_from" | "default" => found(&key, value),
+            other => panic!("serde derive stand-in does not support attribute `{other}`"),
+        }
+        if let Some(TokenTree::Punct(p)) = args.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+}
+
+fn unquote(literal: &str) -> String {
+    literal.trim_matches('"').to_string()
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected an identifier, found {other:?}"),
+    }
+}
+
+fn expect_punct(tokens: &[TokenTree], i: &mut usize, ch: char) {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == ch => *i += 1,
+        other => panic!("expected `{ch}`, found {other:?}"),
+    }
+}
