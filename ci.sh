@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> xtask lint"
+cargo run -q -p xtask -- lint
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 

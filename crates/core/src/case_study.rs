@@ -94,6 +94,9 @@ impl CaseConfig {
                 band,
                 Some(
                     DegradationSpec::new(self.m_degr, 0.9, self.t_degr)
+                        // lint:allow(panic-expect): the case table holds
+                        // the paper's literal (M_degr, U_degr, T_degr)
+                        // values, inside DegradationSpec's ranges.
                         .expect("case-study constants are valid"),
                 ),
             )
@@ -103,6 +106,8 @@ impl CaseConfig {
     /// The pool commitments this case imposes (60-minute CoS2 deadline,
     /// per the paper's footnote 3).
     pub fn commitments(&self) -> PoolCommitments {
+        // lint:allow(panic-expect): case-study θ values are the paper's
+        // literal operating points (0.95 / 0.6), valid by inspection.
         PoolCommitments::new(CosSpec::new(self.theta, 60).expect("case-study θ is valid"))
     }
 }

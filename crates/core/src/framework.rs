@@ -191,9 +191,13 @@ impl Framework {
             if let Some(memory) = &app.memory {
                 normal_workload = normal_workload
                     .with_memory(memory.clone())
+                    // lint:allow(panic-expect): AppSpec::with_memory
+                    // already validated the memory trace against the
+                    // demand calendar; translation preserves alignment.
                     .expect("memory alignment checked by AppSpec::with_memory");
                 failure_workload = failure_workload
                     .with_memory(memory.clone())
+                    // lint:allow(panic-expect): same alignment invariant.
                     .expect("memory alignment checked by AppSpec::with_memory");
             }
             normal.push(normal_workload);

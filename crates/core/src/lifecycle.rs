@@ -131,20 +131,30 @@ impl Framework {
                     .workloads
                     .iter()
                     .map(|&i| {
-                        let demand = apps[i]
+                        // lint:allow(panic-slice-index): the consolidator
+                        // built this placement over these same apps and
+                        // plans, so every index is in range.
+                        let (app, plan) = (&apps[i], &plans[i]);
+                        let demand = app
                             .demand()
                             .weeks_range(week, week + 1)
+                            // lint:allow(panic-expect): `week` iterates
+                            // `window_weeks..weeks`, inside the trace.
                             .expect("week bounds checked above");
                         let policy =
-                            WlmPolicy::from_translation(&apps[i].policy().normal, &plans[i].normal);
-                        HostedWorkload::new(apps[i].name(), demand, policy)
+                            WlmPolicy::from_translation(&app.policy().normal, &plan.normal);
+                        HostedWorkload::new(app.name(), demand, policy)
                     })
                     .collect();
                 let host = Host::new(self.server().capacity());
                 let outcome = host.run(&hosted).map_err(FrameworkError::Trace)?;
-                for (slot, &app_index) in server_placement.workloads.iter().enumerate() {
+                // Host outcomes are returned in hosted order, which is the
+                // placement's workload order — pair them back up by zip.
+                for (wo, &app_index) in outcome.workloads.iter().zip(&server_placement.workloads) {
                     let a = audit(
-                        &outcome.workloads[slot].utilization,
+                        &wo.utilization,
+                        // lint:allow(panic-slice-index): placement indices
+                        // are in range (see above).
                         &apps[app_index].policy().normal,
                     );
                     if !a.is_compliant() {

@@ -47,6 +47,7 @@ pub fn estimate_weekly_growth(trace: &Trace) -> f64 {
     }
     let mut log_means = Vec::with_capacity(weeks);
     for w in 0..weeks {
+        // lint:allow(panic-expect): `w < trace.weeks()` by the loop bound.
         let week = trace.week(w).expect("week index within whole weeks");
         let mean = stats::mean(week);
         if mean <= 0.0 {

@@ -98,28 +98,37 @@ impl Framework {
                 .workloads
                 .iter()
                 .map(|&i| {
-                    let spec = &apps[i];
+                    // lint:allow(panic-slice-index): the plan's placement
+                    // was computed over these same apps, so `i` indexes
+                    // both `apps` and `plan.apps` in range.
+                    let (spec, app_plan) = (&apps[i], &plan.apps[i]);
                     let policy =
-                        WlmPolicy::from_translation(&spec.policy().normal, &plan.apps[i].normal);
+                        WlmPolicy::from_translation(&spec.policy().normal, &app_plan.normal);
                     HostedWorkload::new(spec.name(), spec.demand().clone(), policy)
                 })
                 .collect();
             let host = Host::new(self.server().capacity());
             let outcome = host.run(&hosted).map_err(FrameworkError::Trace)?;
 
-            for (slot, &app_index) in server_placement.workloads.iter().enumerate() {
-                let wo = &outcome.workloads[slot];
-                let demand_total: f64 = apps[app_index].demand().iter().sum();
+            // Host outcomes come back in hosted order — the placement's
+            // workload order — so zip instead of indexing by slot.
+            for (wo, &app_index) in outcome.workloads.iter().zip(&server_placement.workloads) {
+                // lint:allow(panic-slice-index): placement indices are in
+                // range of `apps` (see above).
+                let spec = &apps[app_index];
+                let demand_total: f64 = spec.demand().iter().sum();
                 let unmet_total: f64 = wo.unmet.iter().sum();
                 let unmet_demand_fraction = if demand_total > 0.0 {
                     unmet_total / demand_total
                 } else {
                     0.0
                 };
+                // lint:allow(panic-slice-index): same in-range invariant
+                // for the per-app outcome slot.
                 app_outcomes[app_index] = Some(AppRuntimeOutcome {
                     name: wo.name.clone(),
                     server: server_placement.server,
-                    audit: audit(&wo.utilization, &apps[app_index].policy().normal),
+                    audit: audit(&wo.utilization, &spec.policy().normal),
                     unmet_demand_fraction,
                 });
             }
@@ -132,6 +141,8 @@ impl Framework {
 
         let apps_flat: Vec<AppRuntimeOutcome> = app_outcomes
             .into_iter()
+            // lint:allow(panic-expect): the placement partitions all app
+            // indices across servers, so every slot was filled above.
             .map(|o| o.expect("every application is placed on exactly one server"))
             .collect();
         Ok(PoolRuntimeReport {

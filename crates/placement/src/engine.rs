@@ -16,6 +16,8 @@
 //! so neither thread interleaving nor cache state can change a result —
 //! only the [`EngineStats`] counters are timing-dependent.
 
+// lint:allow(det-unordered-collection): the memo cache is lookup-only —
+// it is never iterated, so hash order cannot reach any result.
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -82,6 +84,8 @@ pub struct FitEngine<'a> {
     /// Maximum cached entries; 0 means unbounded. When full, new results
     /// are computed but not inserted (the cache is never invalidated).
     cache_capacity: usize,
+    // lint:allow(det-unordered-collection): lookup-only cache, never
+    // iterated; results are pure functions of the (sorted) key.
     cache: Mutex<HashMap<Vec<u16>, Option<f64>>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -113,6 +117,8 @@ impl<'a> FitEngine<'a> {
             score_model: ScoreModel::PowerTwoZ,
             threads: 1,
             cache_capacity: 0,
+            // lint:allow(det-unordered-collection): see the field note —
+            // the cache is never iterated.
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -198,12 +204,18 @@ impl<'a> FitEngine<'a> {
     pub fn server_required(&self, members: &[u16]) -> Option<f64> {
         let mut key: Vec<u16> = members.to_vec();
         key.sort_unstable();
+        // lint:allow(panic-expect): a poisoned mutex means a scoring
+        // worker already panicked; propagating is the only sound move.
         if let Some(hit) = self.cache.lock().expect("fit cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *hit;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        // lint:allow(panic-slice-index): documented above — out-of-range
+        // member indices are a caller bug, not a recoverable state.
         let refs: Vec<&Workload> = key.iter().map(|&i| &self.workloads[i as usize]).collect();
+        // lint:allow(panic-expect): member traces were validated aligned
+        // at engine construction.
         let load = AggregateLoad::of(&refs).expect("members validated at engine construction");
         let result = FitRequest::new(&load, &self.commitments)
             .with_options(
@@ -212,6 +224,7 @@ impl<'a> FitEngine<'a> {
                     .with_tolerance(self.tolerance),
             )
             .required_capacity(self.server.capacity());
+        // lint:allow(panic-expect): see the lock note above.
         let mut cache = self.cache.lock().expect("fit cache poisoned");
         if self.cache_capacity == 0 || cache.len() < self.cache_capacity {
             cache.insert(key, result);
@@ -244,6 +257,8 @@ impl<'a> FitEngine<'a> {
                 srv < servers,
                 "assignment targets server {srv} outside the pool"
             );
+            // lint:allow(panic-slice-index): `srv < servers` asserted
+            // directly above, and `members` has exactly `servers` slots.
             members[srv].push(app as u16);
         }
         members
@@ -312,6 +327,8 @@ where
             .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
             .collect();
         for handle in handles {
+            // lint:allow(panic-expect): a worker panic is already fatal;
+            // re-raising it on the coordinating thread is intentional.
             results.extend(handle.join().expect("fit-engine worker panicked"));
         }
     });

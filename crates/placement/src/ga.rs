@@ -16,6 +16,8 @@
 //! than one thread — bit-identically to the serial path, since each
 //! evaluation is a pure function of its member sets.
 
+// lint:allow(det-wall-clock): wall time feeds only the EngineStats
+// telemetry (elapsed duration), never a score or a placement decision.
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -148,13 +150,6 @@ impl Default for GaOptions {
     }
 }
 
-/// Former name of [`FitEngine`], kept for one release.
-#[deprecated(
-    since = "0.2.0",
-    note = "renamed to `FitEngine` (see `ropus_placement::engine`)"
-)]
-pub type Evaluator<'a> = FitEngine<'a>;
-
 /// Result of a genetic search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GaOutcome {
@@ -198,6 +193,7 @@ pub fn optimize(
         !seeds.is_empty() && seeds.iter().all(|s| !s.is_empty()),
         "seeds must be non-empty"
     );
+    // lint:allow(det-wall-clock): telemetry only — see the import note.
     let start = Instant::now();
     let mut rng = Rng::seed_from_u64(options.seed);
 
@@ -228,7 +224,7 @@ pub fn optimize(
 
     for _ in 0..options.max_generations {
         generations += 1;
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
 
         let mut next: Vec<Vec<usize>> = Vec::with_capacity(options.population);
         // Elitism: carry the two best forward unchanged.
@@ -380,6 +376,8 @@ fn drain_mutation(
     let targets: Vec<usize> = used.iter().copied().filter(|&s| s != victim).collect();
     for gene in assignment.iter_mut() {
         if *gene == victim {
+            // lint:allow(panic-expect): `targets` is `used` minus one
+            // server and `used.len() >= 2` was checked on entry.
             let (_, &target) = rng.choose(&targets).expect("targets non-empty");
             *gene = target;
         }

@@ -64,8 +64,7 @@ pub fn place(
         order.sort_by(|&a, &b| {
             workloads[b]
                 .total_peak()
-                .partial_cmp(&workloads[a].total_peak())
-                .expect("peaks are finite")
+                .total_cmp(&workloads[a].total_peak())
         });
     }
 
@@ -99,6 +98,8 @@ pub fn place(
                 GreedyStrategy::MinMarginalCapacity => {
                     let before = evaluator
                         .server_required(bin)
+                        // lint:allow(panic-expect): every bin was admitted
+                        // through this same fit check, so it must refit.
                         .expect("an existing bin always fits its own contents");
                     let marginal = required - before;
                     if marginal < best_marginal {

@@ -8,6 +8,8 @@
 //! [`ServerSpec`]s, so mixed fleets (e.g. 16-way boxes plus smaller
 //! blades) can be consolidated with the same machinery.
 
+// lint:allow(det-unordered-collection): the memo cache is lookup-only —
+// never iterated, so hash order cannot reach any result.
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -43,6 +45,8 @@ pub struct HeteroEvaluator<'a> {
     commitments: PoolCommitments,
     tolerance: f64,
     threads: usize,
+    // lint:allow(det-unordered-collection): lookup-only cache, never
+    // iterated; results are pure functions of the (class, members) key.
     cache: Mutex<HashMap<FitKey, Option<f64>>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -87,6 +91,8 @@ impl<'a> HeteroEvaluator<'a> {
             commitments,
             tolerance,
             threads: 1,
+            // lint:allow(det-unordered-collection): see the field note —
+            // the cache is never iterated.
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -145,12 +151,16 @@ impl<'a> HeteroEvaluator<'a> {
         let mut key_members: Vec<u16> = members.to_vec();
         key_members.sort_unstable();
         let key = (self.classes[server], key_members);
+        // lint:allow(panic-expect): a poisoned mutex means a scoring
+        // worker already panicked; propagating is the only sound move.
         if let Some(hit) = self.cache.lock().expect("cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *hit;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let refs: Vec<&Workload> = key.1.iter().map(|&i| &self.workloads[i as usize]).collect();
+        // lint:allow(panic-expect): member traces were validated aligned
+        // at evaluator construction.
         let load = AggregateLoad::of(&refs).expect("validated at construction");
         let result = FitRequest::new(&load, &self.commitments)
             .with_options(
@@ -161,6 +171,7 @@ impl<'a> HeteroEvaluator<'a> {
             .required_capacity(spec.capacity());
         self.cache
             .lock()
+            // lint:allow(panic-expect): see the lock note above.
             .expect("cache poisoned")
             .insert(key, result);
         result
@@ -235,15 +246,13 @@ pub fn seed_ffd(evaluator: &HeteroEvaluator<'_>) -> Result<Vec<usize>, Placement
     app_order.sort_by(|&a, &b| {
         workloads[b]
             .total_peak()
-            .partial_cmp(&workloads[a].total_peak())
-            .expect("finite")
+            .total_cmp(&workloads[a].total_peak())
     });
     let mut server_order: Vec<usize> = (0..evaluator.servers().len()).collect();
     server_order.sort_by(|&a, &b| {
         evaluator.servers()[b]
             .capacity()
-            .partial_cmp(&evaluator.servers()[a].capacity())
-            .expect("finite")
+            .total_cmp(&evaluator.servers()[a].capacity())
     });
 
     let mut members: Vec<Vec<u16>> = vec![Vec::new(); evaluator.servers().len()];
@@ -334,7 +343,7 @@ pub fn consolidate_hetero(
             }
         }
 
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         let mut next: Vec<Vec<usize>> = scored.iter().take(2).map(|e| e.0.clone()).collect();
         while next.len() < options.population {
             let a = &scored[rng.below(scored.len()).min(scored.len() - 1)].0;
@@ -419,6 +428,8 @@ fn drain(assignment: &mut [usize], evaluator: &HeteroEvaluator<'_>, rng: &mut Rn
     let targets: Vec<usize> = used.iter().copied().filter(|&s| s != victim).collect();
     for gene in assignment.iter_mut() {
         if *gene == victim {
+            // lint:allow(panic-expect): `targets` is `used` minus one
+            // server and `used.len() >= 2` was checked on entry.
             let (_, &target) = rng.choose(&targets).expect("targets non-empty");
             *gene = target;
         }

@@ -15,9 +15,7 @@
 //! [`FitRequest::required_capacity`] binary-searches the smallest `L`
 //! satisfying all three, which is the per-server `C_requ` contribution in
 //! Table I. [`FitRequest`] paired with [`FitOptions`] is the single entry
-//! point; the former `evaluate_fit`/`evaluate_fit_with_memory` and
-//! `required_capacity`/`required_capacity_with_memory` free-function pairs
-//! remain as deprecated shims.
+//! point.
 
 use std::collections::VecDeque;
 
@@ -120,6 +118,8 @@ impl AggregateLoad {
 
     /// Total aggregate allocation at a slot.
     fn total(&self, index: usize) -> f64 {
+        // lint:allow(panic-slice-index): both traces were validated
+        // equal-length at construction and callers iterate `0..len()`.
         self.cos1[index] + self.cos2[index]
     }
 
@@ -383,75 +383,6 @@ impl<'a> FitRequest<'a> {
         }
         Some(hi)
     }
-}
-
-/// Evaluates the fit constraints at a candidate CPU capacity, with an
-/// unlimited memory attribute.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `FitRequest::new(load, commitments).evaluate(capacity)`"
-)]
-pub fn evaluate_fit(
-    load: &AggregateLoad,
-    capacity: f64,
-    commitments: &PoolCommitments,
-) -> FitReport {
-    FitRequest::new(load, commitments).evaluate(capacity)
-}
-
-/// Evaluates the fit constraints at a candidate CPU capacity and a fixed
-/// memory limit.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `FitRequest` with `FitOptions::new().with_memory_capacity(..)`"
-)]
-pub fn evaluate_fit_with_memory(
-    load: &AggregateLoad,
-    capacity: f64,
-    memory_capacity: f64,
-    commitments: &PoolCommitments,
-) -> FitReport {
-    FitRequest::new(load, commitments)
-        .with_options(FitOptions::new().with_memory_capacity(memory_capacity))
-        .evaluate(capacity)
-}
-
-/// Binary-searches the smallest capacity satisfying the commitments.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `FitRequest::new(load, commitments).required_capacity(limit)` with \
-            `FitOptions::new().with_tolerance(..)`"
-)]
-pub fn required_capacity(
-    load: &AggregateLoad,
-    commitments: &PoolCommitments,
-    limit: f64,
-    tolerance: f64,
-) -> Option<f64> {
-    FitRequest::new(load, commitments)
-        .with_options(FitOptions::new().with_tolerance(tolerance))
-        .required_capacity(limit)
-}
-
-/// Multi-attribute form of the required-capacity binary search.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `FitRequest` with `FitOptions::new().with_memory_capacity(..).with_tolerance(..)`"
-)]
-pub fn required_capacity_with_memory(
-    load: &AggregateLoad,
-    commitments: &PoolCommitments,
-    limit: f64,
-    memory_capacity: f64,
-    tolerance: f64,
-) -> Option<f64> {
-    FitRequest::new(load, commitments)
-        .with_options(
-            FitOptions::new()
-                .with_memory_capacity(memory_capacity)
-                .with_tolerance(tolerance),
-        )
-        .required_capacity(limit)
 }
 
 #[cfg(test)]
@@ -719,30 +650,6 @@ mod tests {
             .expect("fits with enough memory");
         // Memory does not change the CPU requirement.
         assert!((req - 3.0).abs() < 0.1, "required {req}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_agree_with_fit_request() {
-        let a = spiky_workload("a", 1.0, 10.0, 12);
-        let load = AggregateLoad::of(&[&a]).unwrap();
-        let c = commitments(0.9);
-        assert_eq!(
-            evaluate_fit(&load, 8.0, &c),
-            FitRequest::new(&load, &c).evaluate(8.0)
-        );
-        assert_eq!(
-            evaluate_fit_with_memory(&load, 8.0, 64.0, &c),
-            fit_mem(&load, 8.0, 64.0, &c)
-        );
-        assert_eq!(
-            required_capacity(&load, &c, 16.0, 0.01),
-            required(&load, &c, 16.0, 0.01)
-        );
-        assert_eq!(
-            required_capacity_with_memory(&load, &c, 16.0, 64.0, 0.01),
-            required_mem(&load, &c, 16.0, 64.0, 0.01)
-        );
     }
 
     #[test]

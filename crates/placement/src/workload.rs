@@ -83,6 +83,8 @@ impl Workload {
     /// Builds a workload from a QoS [`Translation`].
     pub fn from_translation(name: impl Into<String>, translation: Translation) -> Self {
         Workload::new(name, translation.cos1, translation.cos2)
+            // lint:allow(panic-expect): a Translation's per-CoS traces
+            // share one calendar and length by construction.
             .expect("translation traces are aligned by construction")
     }
 

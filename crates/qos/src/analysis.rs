@@ -103,7 +103,7 @@ impl FleetSavings {
                 mean_degraded_fraction: 0.0,
             };
         }
-        let n = reports.len() as f64;
+        let n = crate::units::count(reports.len());
         FleetSavings {
             apps: reports.len(),
             total_peak_allocation: reports.iter().map(|r| r.peak_allocation).sum(),

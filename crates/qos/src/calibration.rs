@@ -63,7 +63,7 @@ impl ResponsivenessModel {
         if target <= self.service_time {
             return 0.0;
         }
-        (1.0 - self.service_time / target).powf(1.0 / self.cpus as f64)
+        (1.0 - self.service_time / target).powf(1.0 / crate::units::count(self.cpus as usize))
     }
 }
 

@@ -94,7 +94,10 @@ impl PoolCommitments {
     ///
     /// Never panics; the constants are valid by construction.
     pub fn paper_defaults() -> (PoolCommitments, PoolCommitments) {
+        // lint:allow(panic-expect): literal (θ, deadline) pairs from the
+        // paper, in-range by inspection; CosSpec::new cannot reject them.
         let high = PoolCommitments::new(CosSpec::new(0.95, 60).expect("valid constant"));
+        // lint:allow(panic-expect): same literal-constant invariant.
         let low = PoolCommitments::new(CosSpec::new(0.6, 60).expect("valid constant"));
         (high, low)
     }

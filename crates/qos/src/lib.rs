@@ -42,6 +42,8 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::float_cmp))]
 
 mod cos;
 mod error;
@@ -51,6 +53,7 @@ pub mod analysis;
 pub mod calibration;
 pub mod portfolio;
 pub mod translation;
+pub mod units;
 
 pub use cos::{CosSpec, PoolCommitments};
 pub use error::QosError;

@@ -96,11 +96,11 @@ pub fn worst_case_utilization(
     cos2: &CosSpec,
     d_new_max: f64,
 ) -> f64 {
-    if demand == 0.0 {
+    if crate::units::is_zero(demand) {
         return 0.0;
     }
     let allocation = worst_case_allocation(demand, band, cos2, d_new_max);
-    if allocation == 0.0 {
+    if crate::units::is_zero(allocation) {
         // Degenerate: a zero cap with positive demand; utilization is
         // unboundedly bad, report +inf so callers detect it.
         return f64::INFINITY;

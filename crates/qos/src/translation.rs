@@ -41,6 +41,9 @@ impl Translation {
     pub fn total_allocation(&self) -> Trace {
         self.cos1
             .checked_add(&self.cos2)
+            // lint:allow(panic-expect): `translate` produces cos1 and
+            // cos2 from the same demand trace on the same calendar, so
+            // the pair is aligned by construction.
             .expect("translation traces are aligned")
     }
 
@@ -302,8 +305,10 @@ pub fn enforce_epoch_budget(
                 continue;
             }
             for run in runs {
-                let run_max = week[run.start..run.end()]
-                    .iter()
+                let run_max = week
+                    .get(run.start..run.end())
+                    .into_iter()
+                    .flatten()
                     .copied()
                     .fold(f64::NEG_INFINITY, f64::max);
                 if cheapest_epoch_max.is_none_or(|m| run_max < m) {

@@ -1,0 +1,65 @@
+//! Unit-safe numeric helpers for the QoS formula modules.
+//!
+//! The translation formulas mix slots, minutes, weeks, CPU fractions, and
+//! probabilities. Two numeric habits reliably hide unit bugs in that mix:
+//! bare `as` casts (which silently truncate or saturate) and exact float
+//! equality (which turns an epsilon of arithmetic noise into a branch
+//! flip). `xtask lint` bans both in `crates/qos/src` (rules
+//! `unit-float-cast` and `unit-float-eq`); this module is the blessed
+//! replacement.
+
+/// Comparison tolerance shared by the QoS formula modules.
+///
+/// The paper's quantities (CPU shares, utilizations, θ probabilities) are
+/// all order-1, so one fixed scale works; [`approx_eq`] additionally
+/// scales by the operands for large magnitudes.
+pub const EPSILON: f64 = 1e-9;
+
+/// Whether `a` and `b` are equal up to [`EPSILON`] (relative for large
+/// magnitudes, absolute near zero).
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPSILON * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Whether `x` is zero up to [`EPSILON`].
+pub fn is_zero(x: f64) -> bool {
+    x.abs() <= EPSILON
+}
+
+/// Exact conversion of a count (apps, weeks, slots, CPUs) to `f64`.
+///
+/// Counts in this workspace are bounded by trace lengths (≤ a few million
+/// slots), far below 2^53 where `f64` stops representing integers
+/// exactly; the debug assertion documents that bound.
+pub fn count(n: usize) -> f64 {
+    debug_assert!(n as u64 <= (1u64 << 53), "count {n} not exact in f64");
+    // lint:allow(unit-float-cast): the one blessed cast site — exactness
+    // is debug-asserted above and every caller routes through here.
+    n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_tolerates_arithmetic_noise() {
+        assert!(approx_eq(0.1 + 0.2, 0.3));
+        assert!(approx_eq(1e12 + 1.0, 1e12));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn is_zero_is_a_band_not_a_bit_pattern() {
+        assert!(is_zero(0.0));
+        assert!(is_zero(-0.0));
+        assert!(is_zero(1e-12));
+        assert!(!is_zero(1e-6));
+    }
+
+    #[test]
+    fn count_is_exact_for_workspace_sizes() {
+        assert_eq!(count(0), 0.0);
+        assert_eq!(count(288 * 7 * 52), 104_832.0);
+    }
+}

@@ -153,6 +153,8 @@ impl DayOfWeek {
 
     /// Day for a zero-based index; indices wrap modulo 7.
     pub fn from_index(index: usize) -> DayOfWeek {
+        // lint:allow(panic-slice-index): `% 7` indexes the 7-element ALL
+        // array, so the lookup is infallible.
         Self::ALL[index % 7]
     }
 

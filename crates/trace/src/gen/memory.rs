@@ -72,6 +72,8 @@ impl MemoryModel {
             })
             .collect();
         Trace::from_samples(cpu_demand.calendar(), samples)
+            // lint:allow(panic-expect): base/per-cpu terms are validated
+            // non-negative and lognormal noise is positive and finite.
             .expect("memory model emits finite non-negative samples")
     }
 }

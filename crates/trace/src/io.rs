@@ -39,6 +39,8 @@ pub fn write_csv<W: Write>(mut writer: W, traces: &[(String, &Trace)]) -> Result
             if i > 0 {
                 line.push(',');
             }
+            // lint:allow(panic-slice-index): every trace length was
+            // validated equal to `len` above, and `row < len`.
             line.push_str(&format!("{}", trace.samples()[row]));
         }
         writeln!(writer, "{line}").map_err(CsvError::Io)?;
@@ -77,14 +79,14 @@ pub fn read_csv<R: Read>(reader: R, calendar: Calendar) -> Result<Vec<(String, T
                 message: format!("expected {} fields, found {}", names.len(), fields.len()),
             }));
         }
-        for (col, field) in fields.iter().enumerate() {
+        for (column, field) in columns.iter_mut().zip(&fields) {
             let value: f64 = field.trim().parse().map_err(|_| {
                 CsvError::Trace(TraceError::Parse {
                     line: idx + 1,
                     message: format!("not a number: {field:?}"),
                 })
             })?;
-            columns[col].push(value);
+            column.push(value);
         }
     }
 

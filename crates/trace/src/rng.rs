@@ -221,7 +221,7 @@ impl Rng {
             return None;
         }
         let i = self.below(items.len());
-        Some((i, &items[i]))
+        items.get(i).map(|item| (i, item))
     }
 
     /// Samples an index in `[0, weights.len())` proportionally to

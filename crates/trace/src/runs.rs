@@ -104,6 +104,8 @@ pub fn min_in_range(samples: &[f64], start: usize, len: usize) -> f64 {
         len > 0 && start + len <= samples.len(),
         "range out of bounds"
     );
+    // lint:allow(panic-slice-index): the assert above pins the range
+    // inside the slice; the documented panic is the precondition check.
     samples[start..start + len]
         .iter()
         .copied()

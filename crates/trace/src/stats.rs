@@ -55,7 +55,7 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    sorted.sort_by(f64::total_cmp);
     percentile_of_sorted(&sorted, q)
 }
 
@@ -79,11 +79,14 @@ pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
     let rank = q / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
+    // rank lies in [0, len-1], so both ranks are in bounds; get() keeps
+    // the lookup panic-free regardless.
+    let value_at = |i: usize| sorted.get(i).copied().unwrap_or(0.0);
     if lo == hi {
-        sorted[lo]
+        value_at(lo)
     } else {
         let weight = rank - lo as f64;
-        sorted[lo] * (1.0 - weight) + sorted[hi] * weight
+        value_at(lo) * (1.0 - weight) + value_at(hi) * weight
     }
 }
 
@@ -107,9 +110,12 @@ pub fn percentile_upper(samples: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    sorted.sort_by(f64::total_cmp);
     let rank = (q / 100.0 * (sorted.len() - 1) as f64).ceil() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    sorted
+        .get(rank.min(sorted.len() - 1))
+        .copied()
+        .unwrap_or(0.0)
 }
 
 /// Pearson correlation of two equally long series; 0 when undefined
@@ -148,9 +154,9 @@ pub fn autocorrelation(samples: &[f64], lag: usize) -> f64 {
     if denom == 0.0 {
         return 0.0;
     }
-    let numer: f64 = samples[..samples.len() - lag]
+    let numer: f64 = samples
         .iter()
-        .zip(&samples[lag..])
+        .zip(samples.iter().skip(lag))
         .map(|(a, b)| (a - m) * (b - m))
         .sum();
     numer / denom

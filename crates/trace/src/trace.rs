@@ -253,6 +253,8 @@ impl Trace {
         let lo = start.checked_mul(per_week)?;
         let hi = end.checked_mul(per_week)?;
         let samples = self.samples.get(lo..hi)?.to_vec();
+        // lint:allow(panic-expect): a sub-slice of an already validated
+        // trace re-validates trivially (finite, non-negative, aligned).
         Some(Trace::from_samples(self.calendar, samples).expect("sub-slice of valid samples"))
     }
 
@@ -314,6 +316,9 @@ impl Trace {
             return self.clone();
         }
         self.map(|v| v / peak * 100.0)
+            // lint:allow(panic-expect): peak > 0 here and samples are
+            // finite non-negative by the Trace invariant, so the map
+            // stays valid.
             .expect("normalizing finite non-negative samples cannot fail")
     }
 }

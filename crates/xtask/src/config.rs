@@ -1,0 +1,184 @@
+//! `lints.toml` parsing — a deliberately tiny TOML subset.
+//!
+//! The workspace vendors its external crates, so the linter stays
+//! dependency-free and parses only what the allowlist file needs:
+//! comments, an `[allow]` table, and `rule-id = ["path", ...]` entries
+//! (arrays may span lines). Anything else is a hard error — config drift
+//! should fail loudly, not silently stop suppressing.
+
+use std::collections::BTreeMap;
+
+/// Parsed allowlists: rule id → repo-relative file paths exempt from it.
+#[derive(Default)]
+pub struct Config {
+    /// Per-rule path allowlists from the `[allow]` table.
+    pub allow: BTreeMap<String, Vec<String>>,
+}
+
+impl Config {
+    /// Whether `path` is allowlisted for `rule`.
+    pub fn allows(&self, rule: &str, path: &str) -> bool {
+        self.allow
+            .get(rule)
+            .is_some_and(|paths| paths.iter().any(|p| p == path))
+    }
+
+    /// Parses the `lints.toml` text.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut config = Config::default();
+        let mut section = String::new();
+        let mut pending: Option<(String, String)> = None; // key, partial array
+
+        for (number, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some((key, partial)) = pending.take() {
+                let joined = format!("{partial} {line}");
+                if array_complete(&joined) {
+                    let paths =
+                        parse_array(&joined).map_err(|e| format!("line {}: {e}", number + 1))?;
+                    config.insert(&section, key, paths, number)?;
+                } else {
+                    pending = Some((key, joined));
+                }
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                if section != "allow" {
+                    return Err(format!(
+                        "line {}: unknown section [{section}] (only [allow] is supported)",
+                        number + 1
+                    ));
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = [...]`", number + 1));
+            };
+            let key = key.trim().to_string();
+            let value = value.trim().to_string();
+            if !value.starts_with('[') {
+                return Err(format!(
+                    "line {}: value for `{key}` must be an array of path strings",
+                    number + 1
+                ));
+            }
+            if array_complete(&value) {
+                let paths = parse_array(&value).map_err(|e| format!("line {}: {e}", number + 1))?;
+                config.insert(&section, key, paths, number)?;
+            } else {
+                pending = Some((key, value));
+            }
+        }
+        if let Some((key, _)) = pending {
+            return Err(format!("unterminated array for `{key}`"));
+        }
+        Ok(config)
+    }
+
+    fn insert(
+        &mut self,
+        section: &str,
+        key: String,
+        paths: Vec<String>,
+        number: usize,
+    ) -> Result<(), String> {
+        if section != "allow" {
+            return Err(format!(
+                "line {}: entry `{key}` outside the [allow] table",
+                number + 1
+            ));
+        }
+        if !crate::rules::is_known_rule(&key) {
+            return Err(format!("line {}: unknown rule id `{key}`", number + 1));
+        }
+        if self.allow.insert(key.clone(), paths).is_some() {
+            return Err(format!("line {}: duplicate entry for `{key}`", number + 1));
+        }
+        Ok(())
+    }
+}
+
+/// Cuts a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Whether the brackets of a (comment-stripped) array value balance.
+fn array_complete(value: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_string = false;
+    for c in value.chars() {
+        match c {
+            '"' => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+/// Parses `[ "a", "b" ]` into its string items.
+fn parse_array(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .trim()
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| "malformed array".to_string())?;
+    let mut items = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // trailing comma
+        }
+        let path = item
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("array item `{item}` is not a quoted string"))?;
+        items.push(path.to_string());
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_line_and_multiline_arrays() {
+        let config = Config::parse(
+            "# comment\n[allow]\npanic-unwrap = [\"crates/a/src/x.rs\"]\n\
+             panic-slice-index = [\n  \"crates/b/src/y.rs\", # why\n  \"crates/b/src/z.rs\",\n]\n",
+        )
+        .unwrap();
+        assert!(config.allows("panic-unwrap", "crates/a/src/x.rs"));
+        assert!(config.allows("panic-slice-index", "crates/b/src/z.rs"));
+        assert!(!config.allows("panic-unwrap", "crates/b/src/y.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_rule_and_section() {
+        assert!(Config::parse("[allow]\nno-such-rule = []\n").is_err());
+        assert!(Config::parse("[deny]\n").is_err());
+        assert!(Config::parse("[allow]\npanic-unwrap = \"not-an-array\"\n").is_err());
+    }
+
+    #[test]
+    fn empty_config_allows_nothing() {
+        let config = Config::parse("").unwrap();
+        assert!(!config.allows("panic-unwrap", "crates/a/src/x.rs"));
+    }
+}

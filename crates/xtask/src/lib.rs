@@ -1,0 +1,196 @@
+//! Workspace invariant linter for the R-Opus reproduction.
+//!
+//! Run as `cargo run -p xtask -- lint`. The linter walks `crates/*/src`
+//! (excluding itself) and enforces repo-specific invariants that clippy
+//! cannot express — determinism of scoring and reports, panic-freedom of
+//! library crates, and unit-safety of the QoS formula modules. See
+//! [`rules::registry`] for the rule set and DESIGN.md §5b for the mapping
+//! from each rule to the paper property it protects.
+//!
+//! Two suppression mechanisms exist, both requiring a recorded reason:
+//!
+//! * inline: `// lint:allow(rule-id): justification` on the offending
+//!   line or the comment line(s) directly above it;
+//! * per-file: a `rule-id = ["path", ...]` entry in `crates/xtask/lints.toml`
+//!   (with a TOML comment explaining why the whole file is exempt).
+//!
+//! The library form exists so the fixture tests can lint snippets under
+//! *virtual* paths (rule scopes are path-based) without touching the
+//! filesystem walker.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use config::Config;
+use report::Diagnostic;
+
+/// Lints one source text as if it lived at `path` (repo-relative, with
+/// forward slashes). Pure: no filesystem access.
+pub fn lint_source(path: &str, source: &str, config: &Config) -> Vec<Diagnostic> {
+    let masked = scan::mask(source);
+    let registry = rules::registry();
+    let allow_refs = scan::parse_allows(&masked.comments);
+
+    // Per-line sets of validly allowed rule ids.
+    let mut allowed: Vec<BTreeSet<String>> = vec![BTreeSet::new(); masked.code.len()];
+    let mut diagnostics = Vec::new();
+    for reference in &allow_refs {
+        let ok =
+            reference.well_formed && reference.has_reason && rules::is_known_rule(&reference.rule);
+        if ok {
+            if let Some(set) = allowed.get_mut(reference.line) {
+                set.insert(reference.rule.clone());
+            }
+        } else if !config.allows("lint-allow-syntax", path) {
+            let detail = if !reference.well_formed {
+                "missing closing parenthesis".to_string()
+            } else if !rules::is_known_rule(&reference.rule) {
+                format!("unknown rule id `{}`", reference.rule)
+            } else {
+                "missing `: justification` after the marker".to_string()
+            };
+            diagnostics.push(Diagnostic {
+                rule: "lint-allow-syntax".into(),
+                file: path.to_string(),
+                line: reference.line + 1,
+                column: 1,
+                message: format!("malformed lint:allow marker: {detail}"),
+                hint: "write `lint:allow(<rule-id>): <why the invariant holds>`".into(),
+            });
+        }
+    }
+
+    for rule in &registry {
+        if !rule.scope.contains(path) || config.allows(rule.id, path) {
+            continue;
+        }
+        for (index, code) in masked.code.iter().enumerate() {
+            if rule.exempt_tests && masked.in_test[index] {
+                continue;
+            }
+            let Some(column) = (rule.matcher)(code) else {
+                continue;
+            };
+            if line_allows(&allowed, &masked.code, index, rule.id) {
+                continue;
+            }
+            diagnostics.push(Diagnostic {
+                rule: rule.id.into(),
+                file: path.to_string(),
+                line: index + 1,
+                column: column + 1,
+                message: rule
+                    .summary
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                hint: rule.hint.split_whitespace().collect::<Vec<_>>().join(" "),
+            });
+        }
+    }
+
+    diagnostics.sort_by(|a, b| {
+        (a.line, a.column, a.rule.as_str()).cmp(&(b.line, b.column, b.rule.as_str()))
+    });
+    diagnostics
+}
+
+/// A `lint:allow` applies on its own line or from the contiguous run of
+/// code-blank (comment or empty) lines directly above the flagged line.
+fn line_allows(allowed: &[BTreeSet<String>], code: &[String], line: usize, rule: &str) -> bool {
+    if allowed[line].contains(rule) {
+        return true;
+    }
+    let mut above = line;
+    while above > 0 {
+        above -= 1;
+        if !code[above].trim().is_empty() {
+            return false;
+        }
+        if allowed[above].contains(rule) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Result of a workspace walk: diagnostics plus the scan size.
+pub struct WorkspaceReport {
+    /// All diagnostics, sorted by (file, line, column, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Walks `root/crates/*/src` (excluding `crates/xtask` itself — its rule
+/// table *names* the banned tokens; its correctness is covered by the
+/// fixture tests) and lints every `.rs` file in deterministic path order.
+pub fn lint_workspace(root: &Path, config: &Config) -> Result<WorkspaceReport, String> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "xtask"))
+        .collect();
+    crate_dirs.sort();
+
+    let mut files = Vec::new();
+    for crate_dir in &crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    for file in &files {
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let relative = relative_path(root, file);
+        diagnostics.extend(lint_source(&relative, &source, config));
+    }
+    diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.column, a.rule.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.column,
+            b.rule.as_str(),
+        ))
+    });
+    Ok(WorkspaceReport {
+        diagnostics,
+        files_scanned: files.len(),
+    })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,129 @@
+//! Diagnostic rendering: human text and machine-readable JSON.
+//!
+//! The JSON writer is hand-rolled (the vendored `serde_json` is a
+//! dev-facing stand-in and `xtask` stays dependency-free); the shape is
+//! stable so CI and editors can consume it:
+//!
+//! ```json
+//! {"version":1,"files_scanned":34,"violations":1,
+//!  "diagnostics":[{"rule":"panic-unwrap","file":"crates/qos/src/cos.rs",
+//!                  "line":10,"column":5,"message":"...","hint":"..."}]}
+//! ```
+
+/// One rule violation at a source location (1-based line and column).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Diagnostic {
+    /// Rule id, e.g. `panic-unwrap`.
+    pub rule: String,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+    /// What went wrong.
+    pub message: String,
+    /// How to fix or justify it.
+    pub hint: String,
+}
+
+/// Renders diagnostics as `file:line:col [rule] message` lines plus a
+/// summary, matching the compiler-style format editors already parse.
+pub fn render_text(diagnostics: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for d in diagnostics {
+        out.push_str(&format!(
+            "{}:{}:{} [{}] {}\n    hint: {}\n",
+            d.file, d.line, d.column, d.rule, d.message, d.hint
+        ));
+    }
+    out.push_str(&format!(
+        "xtask lint: {} violation(s) in {} file(s) scanned\n",
+        diagnostics.len(),
+        files_scanned
+    ));
+    out
+}
+
+/// Renders the stable JSON shape described in the module docs.
+pub fn render_json(diagnostics: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::from("{");
+    out.push_str("\"version\":1,");
+    out.push_str(&format!("\"files_scanned\":{files_scanned},"));
+    out.push_str(&format!("\"violations\":{},", diagnostics.len()));
+    out.push_str("\"diagnostics\":[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"column\":{},\
+             \"message\":\"{}\",\"hint\":\"{}\"}}",
+            escape(&d.rule),
+            escape(&d.file),
+            d.line,
+            d.column,
+            escape(&d.message),
+            escape(&d.hint)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: "panic-unwrap".into(),
+            file: "crates/qos/src/cos.rs".into(),
+            line: 7,
+            column: 13,
+            message: "unwrap() in a library crate".into(),
+            hint: "propagate with `?`".into(),
+        }
+    }
+
+    #[test]
+    fn json_contains_rule_location_and_counts() {
+        let json = render_json(&[sample()], 3);
+        assert!(json.contains("\"rule\":\"panic-unwrap\""));
+        assert!(json.contains("\"line\":7"));
+        assert!(json.contains("\"column\":13"));
+        assert!(json.contains("\"files_scanned\":3"));
+        assert!(json.contains("\"violations\":1"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let mut d = sample();
+        d.message = "say \"hi\"\nnext".into();
+        let json = render_json(&[d], 1);
+        assert!(json.contains("say \\\"hi\\\"\\nnext"));
+    }
+
+    #[test]
+    fn text_summarizes() {
+        let text = render_text(&[sample()], 3);
+        assert!(text.contains("crates/qos/src/cos.rs:7:13 [panic-unwrap]"));
+        assert!(text.contains("1 violation(s) in 3 file(s)"));
+    }
+}

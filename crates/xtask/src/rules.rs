@@ -1,0 +1,390 @@
+//! The rule registry: each rule is a matcher plus a path scope plus a fix
+//! hint.
+//!
+//! Three families protect the three properties the R-Opus reproduction
+//! depends on (see DESIGN.md §5b for the mapping to paper formulas):
+//!
+//! * **determinism** — CoS1 peak sums (formula 2), the θ min-over-weeks
+//!   access probability (formulas 3–5), and the GA placement search must
+//!   be bit-reproducible run-to-run, including under PR-1's parallel
+//!   `FitEngine`;
+//! * **panic-freedom** — library crates surface `Result`s; a panic in a
+//!   capacity-planning service is an availability bug;
+//! * **unit-safety** — the QoS translation mixes slots, minutes, weeks,
+//!   CPU fractions, and probabilities; bare numeric casts and exact float
+//!   equality are where unit bugs hide.
+//!
+//! Matchers run on *masked* lines (comments and string contents blanked,
+//! see [`crate::scan`]), so tokens in prose never fire.
+
+/// Rule family, used for grouping in reports and docs.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Family {
+    /// Bit-reproducibility of scoring, placement, and reports.
+    Determinism,
+    /// No panicking operations in library crates.
+    PanicFreedom,
+    /// No unit-erasing numeric operations in QoS formula code.
+    UnitSafety,
+    /// Rules about the lint machinery itself (escape-hatch hygiene).
+    Meta,
+}
+
+impl Family {
+    /// Lower-case label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Determinism => "determinism",
+            Family::PanicFreedom => "panic-freedom",
+            Family::UnitSafety => "unit-safety",
+            Family::Meta => "meta",
+        }
+    }
+}
+
+/// Which files a rule applies to (paths are repo-relative with `/`).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Scope {
+    /// The five library crates: `core`, `qos`, `trace`, `placement`, `wlm`.
+    LibCrates,
+    /// The QoS-translation formula modules (`crates/qos/src`).
+    Qos,
+    /// Everything scanned except the seeded-RNG facade itself.
+    AllButRngFacade,
+    /// Every scanned file.
+    All,
+}
+
+const LIB_CRATES: [&str; 5] = [
+    "crates/core/src/",
+    "crates/qos/src/",
+    "crates/trace/src/",
+    "crates/placement/src/",
+    "crates/wlm/src/",
+];
+
+/// The seeded-RNG facade: the one module allowed to implement generators.
+pub const RNG_FACADE: &str = "crates/trace/src/rng.rs";
+
+impl Scope {
+    /// Whether `path` falls inside this scope.
+    pub fn contains(self, path: &str) -> bool {
+        match self {
+            Scope::LibCrates => LIB_CRATES.iter().any(|p| path.starts_with(p)),
+            Scope::Qos => path.starts_with("crates/qos/src/"),
+            Scope::AllButRngFacade => path != RNG_FACADE,
+            Scope::All => true,
+        }
+    }
+
+    /// Human-readable scope description for `--list-rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Scope::LibCrates => "library crates (core, qos, trace, placement, wlm)",
+            Scope::Qos => "QoS formula modules (crates/qos/src)",
+            Scope::AllButRngFacade => "all crates except the rng facade",
+            Scope::All => "all crates",
+        }
+    }
+}
+
+/// One lint rule: identity, scope, and a per-line matcher.
+pub struct Rule {
+    /// Stable kebab-case id, used in diagnostics, `lint:allow`, and
+    /// `lints.toml`.
+    pub id: &'static str,
+    /// Family the rule belongs to.
+    pub family: Family,
+    /// One-line statement of the violation.
+    pub summary: &'static str,
+    /// How to fix (or justify) a hit.
+    pub hint: &'static str,
+    /// Whether `#[cfg(test)]` code is exempt.
+    pub exempt_tests: bool,
+    /// Path scope.
+    pub scope: Scope,
+    /// Returns the 0-based column of the first match on a masked line.
+    pub matcher: fn(&str) -> Option<usize>,
+}
+
+/// The registry, in report order. Ids are unique and stable.
+pub fn registry() -> Vec<Rule> {
+    vec![
+        Rule {
+            id: "det-unordered-collection",
+            family: Family::Determinism,
+            summary: "HashMap/HashSet in a deterministic path: iteration order is \
+                      randomized per process and would make scores, reports, and \
+                      placement results run-dependent",
+            hint: "use BTreeMap/BTreeSet (or sort before iterating); a lookup-only \
+                   cache may be justified with lint:allow(det-unordered-collection)",
+            exempt_tests: true,
+            scope: Scope::LibCrates,
+            matcher: match_unordered_collection,
+        },
+        Rule {
+            id: "det-wall-clock",
+            family: Family::Determinism,
+            summary: "wall-clock read (Instant/SystemTime) in a library crate: \
+                      scoring and translation must be pure functions of the trace",
+            hint: "thread timing through the caller (cli/bench own the clock), or \
+                   justify telemetry-only use with lint:allow(det-wall-clock)",
+            exempt_tests: true,
+            scope: Scope::LibCrates,
+            matcher: match_wall_clock,
+        },
+        Rule {
+            id: "det-rng-adhoc",
+            family: Family::Determinism,
+            summary: "ad-hoc randomness outside the seeded facade: every random \
+                      stream must come from ropus_trace::rng so experiments are \
+                      bit-reproducible and forkable per workload",
+            hint: "construct randomness via ropus_trace::rng::Rng (seed_from_u64 / \
+                   fork); never thread_rng, RandomState hashing, or re-implemented \
+                   generator constants",
+            exempt_tests: false,
+            scope: Scope::AllButRngFacade,
+            matcher: match_rng_adhoc,
+        },
+        Rule {
+            id: "panic-unwrap",
+            family: Family::PanicFreedom,
+            summary: "unwrap() in a library crate: errors must surface as typed \
+                      Results, not process aborts",
+            hint: "propagate with `?` or a typed error; for a provable invariant \
+                   use expect() with lint:allow(panic-expect) and a justification",
+            exempt_tests: true,
+            scope: Scope::LibCrates,
+            matcher: match_unwrap,
+        },
+        Rule {
+            id: "panic-expect",
+            family: Family::PanicFreedom,
+            summary: "expect() in a library crate without a recorded invariant",
+            hint: "propagate with `?` where the failure is reachable; where it is \
+                   a local invariant, keep expect() and add \
+                   lint:allow(panic-expect): <why the invariant holds>",
+            exempt_tests: true,
+            scope: Scope::LibCrates,
+            matcher: match_expect,
+        },
+        Rule {
+            id: "panic-macro",
+            family: Family::PanicFreedom,
+            summary: "panic!/unreachable!/todo!/unimplemented! in a library crate \
+                      (assert! is permitted: it documents preconditions)",
+            hint: "return a typed error; for genuinely unreachable arms justify \
+                   with lint:allow(panic-macro)",
+            exempt_tests: true,
+            scope: Scope::LibCrates,
+            matcher: match_panic_macro,
+        },
+        Rule {
+            id: "panic-slice-index",
+            family: Family::PanicFreedom,
+            summary: "slice/Vec indexing with a non-literal index: out-of-bounds \
+                      panics are the most common library abort",
+            hint: "prefer get()/first()/last() or iterators; loop-counter indexing \
+                   whose bound is the indexed length may be justified with \
+                   lint:allow(panic-slice-index) or a lints.toml entry",
+            exempt_tests: true,
+            scope: Scope::LibCrates,
+            matcher: match_slice_index,
+        },
+        Rule {
+            id: "unit-float-cast",
+            family: Family::UnitSafety,
+            summary: "bare float<->int `as` cast in QoS formula code: silently \
+                      erases units and saturates/truncates out of range",
+            hint: "use the qos::units helpers (units::count for counts->f64, \
+                   checked conversions for float->int)",
+            exempt_tests: true,
+            scope: Scope::Qos,
+            matcher: match_float_cast,
+        },
+        Rule {
+            id: "unit-float-eq",
+            family: Family::UnitSafety,
+            summary: "exact ==/!= against a float literal in QoS formula code",
+            hint: "use qos::units::approx_eq / units::is_zero (epsilon \
+                   comparisons) instead of bitwise float equality",
+            exempt_tests: true,
+            scope: Scope::Qos,
+            matcher: match_float_eq,
+        },
+        Rule {
+            id: "lint-allow-syntax",
+            family: Family::Meta,
+            summary: "malformed lint:allow marker: unknown rule id or missing \
+                      `: justification`",
+            hint: "write `lint:allow(<known-rule-id>): <why the invariant holds>`",
+            exempt_tests: false,
+            scope: Scope::All,
+            // Produced by the driver from the comment stream, never from code.
+            matcher: |_| None,
+        },
+    ]
+}
+
+/// True if `id` names a registered rule.
+pub fn is_known_rule(id: &str) -> bool {
+    registry().iter().any(|r| r.id == id)
+}
+
+fn find_any(line: &str, tokens: &[&str]) -> Option<usize> {
+    tokens.iter().filter_map(|t| line.find(t)).min()
+}
+
+fn match_unordered_collection(line: &str) -> Option<usize> {
+    find_any(line, &["HashMap", "HashSet"])
+}
+
+fn match_wall_clock(line: &str) -> Option<usize> {
+    find_any(line, &["Instant", "SystemTime", "UNIX_EPOCH"])
+}
+
+fn match_rng_adhoc(line: &str) -> Option<usize> {
+    find_any(
+        line,
+        &[
+            "thread_rng",
+            "from_entropy",
+            "RandomState",
+            "DefaultHasher",
+            // SplitMix64 / golden-gamma constants: the signature of a
+            // re-implemented generator outside the facade.
+            "0x9E3779B97F4A7C15",
+            "0x9e3779b97f4a7c15",
+            "0xBF58476D1CE4E5B9",
+            "0x94D049BB133111EB",
+        ],
+    )
+}
+
+fn match_unwrap(line: &str) -> Option<usize> {
+    line.find(".unwrap()")
+}
+
+fn match_expect(line: &str) -> Option<usize> {
+    line.find(".expect(")
+}
+
+fn match_panic_macro(line: &str) -> Option<usize> {
+    find_any(
+        line,
+        &["panic!(", "unreachable!(", "todo!(", "unimplemented!("],
+    )
+}
+
+/// Indexing expression `recv[index]` where `index` is not an integer
+/// literal and not the full range `..`. Literal indexing of fixed-size
+/// arrays is infallible-by-inspection, so it is left alone.
+fn match_slice_index(line: &str) -> Option<usize> {
+    if line.trim_start().starts_with('#') {
+        // Attribute, e.g. `#[serde(default)]` — bracket syntax, not indexing.
+        return None;
+    }
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 1usize;
+    while i < chars.len() {
+        if chars[i] != '[' {
+            i += 1;
+            continue;
+        }
+        let prev = chars[i - 1];
+        let is_receiver = prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']';
+        if !is_receiver {
+            i += 1;
+            continue;
+        }
+        // Find the matching close bracket on this line.
+        let mut depth = 1i32;
+        let mut j = i + 1;
+        while j < chars.len() && depth > 0 {
+            match chars[j] {
+                '[' => depth += 1,
+                ']' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        if depth != 0 {
+            // Index expression spans lines: out of reach for a line matcher.
+            return None;
+        }
+        let index: String = chars[i + 1..j - 1].iter().collect();
+        let index = index.trim();
+        let literal = !index.is_empty() && index.chars().all(|c| c.is_ascii_digit() || c == '_');
+        if !index.is_empty() && !literal && index != ".." {
+            return Some(i);
+        }
+        i = j;
+    }
+    None
+}
+
+/// Int→float `as f64/f32`, or a rounding-method result cast straight to an
+/// integer type (`.ceil() as usize` and friends).
+fn match_float_cast(line: &str) -> Option<usize> {
+    for token in [" as f64", " as f32"] {
+        if let Some(p) = line.find(token) {
+            let after = line[p + token.len()..].chars().next();
+            if after.is_none_or(|c| !c.is_alphanumeric() && c != '_') {
+                return Some(p + 1);
+            }
+        }
+    }
+    find_any(
+        line,
+        &[
+            ".ceil() as ",
+            ".floor() as ",
+            ".round() as ",
+            ".trunc() as ",
+        ],
+    )
+}
+
+/// `==` / `!=` with a float literal on either side.
+fn match_float_eq(line: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    while i + 1 < bytes.len() {
+        let op = &line[i..i + 2];
+        let is_eq = op == "==" || op == "!=";
+        let standalone = is_eq
+            && (i == 0 || !matches!(bytes[i - 1], b'=' | b'!' | b'<' | b'>'))
+            && bytes.get(i + 2) != Some(&b'=');
+        if standalone {
+            let left = trailing_token(&line[..i]);
+            let right = leading_token(&line[i + 2..]);
+            if is_float_literal(left) || is_float_literal(right) {
+                return Some(i);
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    None
+}
+
+fn trailing_token(s: &str) -> &str {
+    let s = s.trim_end();
+    let start = s
+        .rfind(|c: char| !c.is_alphanumeric() && c != '_' && c != '.')
+        .map_or(0, |p| p + 1);
+    &s[start..]
+}
+
+fn leading_token(s: &str) -> &str {
+    let s = s.trim_start();
+    let end = s
+        .find(|c: char| !c.is_alphanumeric() && c != '_' && c != '.')
+        .unwrap_or(s.len());
+    &s[..end]
+}
+
+fn is_float_literal(token: &str) -> bool {
+    token.chars().next().is_some_and(|c| c.is_ascii_digit()) && token.contains('.')
+}

@@ -1,0 +1,312 @@
+//! Source preprocessing for the invariant linter.
+//!
+//! Rule matchers must never fire on prose: a doc example that calls
+//! `unwrap()` or a diagnostic string that mentions `HashMap` is not a
+//! violation. This module therefore masks comments and string-literal
+//! *contents* out of every line (preserving column positions), records
+//! which lines sit inside `#[cfg(test)]` items (tests and benches are
+//! exempt from most rules), and extracts `// lint:allow(rule): reason`
+//! escape hatches from the comment stream.
+
+/// A preprocessed source file ready for rule matching.
+pub struct Masked {
+    /// Per-line code with comments and string contents blanked to spaces.
+    /// Each line has the same character length as the original, so match
+    /// offsets are real column numbers.
+    pub code: Vec<String>,
+    /// Per-line comment text (line, block, and doc comments).
+    pub comments: Vec<String>,
+    /// Per-line flag: the line belongs to a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+}
+
+/// One `lint:allow(...)` occurrence found in a comment.
+pub struct AllowRef {
+    /// The rule id between the parentheses (possibly unknown).
+    pub rule: String,
+    /// 0-based line of the comment.
+    pub line: usize,
+    /// Whether the marker is followed by `: <non-empty justification>`.
+    pub has_reason: bool,
+    /// Whether the marker was syntactically complete (closing paren found).
+    pub well_formed: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Masks comments and string contents out of `source`.
+pub fn mask(source: &str) -> Masked {
+    let chars: Vec<char> = source.chars().collect();
+    let mut code = vec![String::new()];
+    let mut comments = vec![String::new()];
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    // Appends to the current (last) line of a buffer.
+    fn push(buf: &mut [String], c: char) {
+        if let Some(last) = buf.last_mut() {
+            last.push(c);
+        }
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            code.push(String::new());
+            comments.push(String::new());
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    push(&mut code, ' ');
+                    push(&mut code, ' ');
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    push(&mut code, ' ');
+                    push(&mut code, ' ');
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    push(&mut code, '"');
+                    state = State::Str;
+                    i += 1;
+                } else if is_raw_string_start(&chars, i) {
+                    // Emit the `r`/`br` prefix and the hashes, then mask
+                    // the body until `"` followed by the same hash count.
+                    let mut j = i;
+                    while chars[j] != '"' {
+                        push(&mut code, chars[j]);
+                        j += 1;
+                    }
+                    push(&mut code, '"');
+                    let hashes = j - i - usize::from(chars[i] == 'b') - 1;
+                    state = State::RawStr(hashes as u32);
+                    i = j + 1;
+                } else if c == '\'' && is_char_literal(&chars, i) {
+                    // Mask the char literal body, keep the quotes.
+                    push(&mut code, '\'');
+                    let mut j = i + 1;
+                    while j < chars.len() && chars[j] != '\'' {
+                        if chars[j] == '\\' {
+                            push(&mut code, ' ');
+                            j += 1;
+                        }
+                        if j < chars.len() && chars[j] != '\n' {
+                            push(&mut code, ' ');
+                        }
+                        j += 1;
+                    }
+                    if j < chars.len() {
+                        push(&mut code, '\'');
+                        j += 1;
+                    }
+                    i = j;
+                } else {
+                    push(&mut code, c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                push(&mut code, ' ');
+                push(&mut comments, c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    push(&mut code, ' ');
+                    push(&mut code, ' ');
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    push(&mut code, ' ');
+                    push(&mut code, ' ');
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    push(&mut code, ' ');
+                    push(&mut comments, c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    push(&mut code, ' ');
+                    if chars.get(i + 1).is_some_and(|&n| n != '\n') {
+                        push(&mut code, ' ');
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    push(&mut code, '"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    push(&mut code, ' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    push(&mut code, '"');
+                    for _ in 0..hashes {
+                        push(&mut code, '#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    push(&mut code, ' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    let in_test = mark_tests(&code);
+    Masked {
+        code,
+        comments,
+        in_test,
+    }
+}
+
+/// `r"`, `r#"`, `br"`, ... at position `i`, not preceded by an ident char.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = match chars[i] {
+        'r' => i + 1,
+        'b' if chars.get(i + 1) == Some(&'r') => i + 2,
+        _ => return false,
+    };
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// `"` at position `i` followed by `hashes` `#` characters.
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes a char literal (`'x'`, `'\n'`) from a lifetime (`'a`).
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Marks every line that belongs to a `#[cfg(test)]` item: from the
+/// attribute through the matching close brace of the item's block (or the
+/// terminating `;` for block-less items).
+fn mark_tests(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut l = 0usize;
+    while l < code.len() {
+        let Some(col) = code[l].find("#[cfg(test)]") else {
+            l += 1;
+            continue;
+        };
+        let start = l;
+        let mut depth: i64 = 0;
+        let mut seen_brace = false;
+        let mut pos = col + "#[cfg(test)]".len();
+        let mut ll = l;
+        'item: while ll < code.len() {
+            for ch in code[ll][pos.min(code[ll].len())..].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        seen_brace = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if seen_brace && depth == 0 {
+                            break 'item;
+                        }
+                    }
+                    ';' if !seen_brace => break 'item,
+                    _ => {}
+                }
+            }
+            ll += 1;
+            pos = 0;
+        }
+        let end = ll.min(code.len() - 1);
+        for flag in in_test.iter_mut().take(end + 1).skip(start) {
+            *flag = true;
+        }
+        l = end + 1;
+    }
+    in_test
+}
+
+/// Extracts every `lint:allow(rule)` marker from the comment stream.
+///
+/// A well-formed marker is `lint:allow(rule-id): justification` — the
+/// justification is mandatory so that every suppressed diagnostic records
+/// *why* the invariant holds at that site.
+pub fn parse_allows(comments: &[String]) -> Vec<AllowRef> {
+    const MARKER: &str = "lint:allow(";
+    let mut refs = Vec::new();
+    for (line, text) in comments.iter().enumerate() {
+        let mut from = 0usize;
+        while let Some(rel) = text[from..].find(MARKER) {
+            let at = from + rel + MARKER.len();
+            let Some(close) = text[at..].find(')') else {
+                refs.push(AllowRef {
+                    rule: String::new(),
+                    line,
+                    has_reason: false,
+                    well_formed: false,
+                });
+                break;
+            };
+            let rule = text[at..at + close].trim().to_string();
+            let rest = &text[at + close + 1..];
+            let has_reason = rest
+                .strip_prefix(':')
+                .is_some_and(|r| !leading_reason(r).is_empty());
+            refs.push(AllowRef {
+                rule,
+                line,
+                has_reason,
+                well_formed: true,
+            });
+            from = at + close + 1;
+        }
+    }
+    refs
+}
+
+/// The justification text: everything up to the next marker, trimmed.
+fn leading_reason(rest: &str) -> &str {
+    match rest.find("lint:allow(") {
+        Some(end) => rest[..end].trim(),
+        None => rest.trim(),
+    }
+}

@@ -1,0 +1,7 @@
+//! Tripping fixture: a re-implemented SplitMix64 outside the facade.
+
+/// Ad-hoc generator step — the golden-gamma constant gives it away.
+pub fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    *state
+}

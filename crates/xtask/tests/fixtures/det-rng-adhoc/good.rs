@@ -1,0 +1,8 @@
+//! Passing fixture: randomness comes from the seeded facade.
+
+use ropus_trace::rng::Rng;
+
+/// Draws from a seeded, forkable stream.
+pub fn draw(seed: u64) -> f64 {
+    Rng::seed_from_u64(seed).next_f64()
+}

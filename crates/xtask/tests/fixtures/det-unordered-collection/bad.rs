@@ -1,0 +1,8 @@
+//! Tripping fixture: HashMap in a deterministic library path.
+
+use std::collections::HashMap;
+
+/// Scores keyed by member set — iteration order would leak into reports.
+pub fn scores() -> HashMap<u64, f64> {
+    HashMap::new()
+}

@@ -1,0 +1,8 @@
+//! Passing fixture: an ordered map keeps report iteration deterministic.
+
+use std::collections::BTreeMap;
+
+/// Scores keyed by member set, iterated in key order.
+pub fn scores() -> BTreeMap<u64, f64> {
+    BTreeMap::new()
+}

@@ -1,0 +1,9 @@
+//! Tripping fixture: a wall-clock read inside a scoring path.
+
+use std::time::Instant;
+
+/// Scores a plan and (wrongly) folds timing into the result.
+pub fn score() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,6 @@
+//! Passing fixture: the caller owns the clock; scoring is pure.
+
+/// Scores a plan as a pure function of its inputs.
+pub fn score(required: f64, capacity: f64) -> f64 {
+    required / capacity
+}

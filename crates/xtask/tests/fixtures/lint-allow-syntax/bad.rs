@@ -1,0 +1,8 @@
+//! Tripping fixture: markers missing a reason or naming unknown rules.
+
+/// Clamp helper annotated with two malformed allow markers.
+pub fn clamp(x: f64) -> f64 {
+    // lint:allow(panic-slice-index)
+    // lint:allow(no-such-rule): the reason is present but the rule is not
+    x.max(0.0)
+}

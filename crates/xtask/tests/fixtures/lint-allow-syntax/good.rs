@@ -1,0 +1,11 @@
+//! Passing fixture: a well-formed marker with a recorded reason.
+
+/// First sample of a non-empty, validated set.
+pub fn first(samples: &[f64]) -> f64 {
+    // lint:allow(panic-slice-index): callers validate non-empty input.
+    samples[chosen_index(samples)]
+}
+
+fn chosen_index(_samples: &[f64]) -> usize {
+    0
+}

@@ -1,0 +1,6 @@
+//! Tripping fixture: expect() without a recorded invariant.
+
+/// Parses a ratio that callers may get wrong.
+pub fn ratio(text: &str) -> f64 {
+    text.parse().expect("caller passes a number")
+}

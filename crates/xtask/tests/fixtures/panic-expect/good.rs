@@ -1,0 +1,7 @@
+//! Passing fixture: the invariant is recorded next to the expect().
+
+/// Length of a week in slots for the fixed 5-minute calendar.
+pub fn slots() -> usize {
+    // lint:allow(panic-expect): 288 * 7 cannot overflow usize.
+    288usize.checked_mul(7).expect("constant product fits")
+}

@@ -1,0 +1,8 @@
+//! Tripping fixture: panic! in a library crate.
+
+/// Validates a probability.
+pub fn check(theta: f64) {
+    if !(0.0..=1.0).contains(&theta) {
+        panic!("theta out of range");
+    }
+}

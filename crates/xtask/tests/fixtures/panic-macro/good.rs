@@ -1,0 +1,6 @@
+//! Passing fixture: assert! documents a precondition and is permitted.
+
+/// Validates a probability.
+pub fn check(theta: f64) {
+    assert!((0.0..=1.0).contains(&theta), "theta out of range");
+}

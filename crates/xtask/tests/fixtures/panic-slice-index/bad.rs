@@ -1,0 +1,10 @@
+//! Tripping fixture: non-literal indexing panics out of bounds.
+
+/// Sum of the first `n` samples.
+pub fn prefix_sum(samples: &[f64], n: usize) -> f64 {
+    let mut total = 0.0;
+    for i in 0..n {
+        total += samples[i];
+    }
+    total
+}

@@ -1,0 +1,6 @@
+//! Tripping fixture: unwrap() aborts the process on None.
+
+/// Returns the first sample.
+pub fn first(samples: &[f64]) -> f64 {
+    samples.first().copied().unwrap()
+}

@@ -1,0 +1,14 @@
+//! Passing fixture: absence surfaces as an Option; tests may unwrap.
+
+/// Returns the first sample, if any.
+pub fn first(samples: &[f64]) -> Option<f64> {
+    samples.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::first(&[1.0]).unwrap(), 1.0);
+    }
+}

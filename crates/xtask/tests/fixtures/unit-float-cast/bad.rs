@@ -1,0 +1,6 @@
+//! Tripping fixture: a bare count->f64 cast erases the unit.
+
+/// Mean of a sample set.
+pub fn mean(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len() as f64
+}

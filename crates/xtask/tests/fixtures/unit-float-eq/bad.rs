@@ -1,0 +1,6 @@
+//! Tripping fixture: exact equality against a float literal.
+
+/// Whether a demand slot is idle.
+pub fn is_idle(demand: f64) -> bool {
+    demand == 0.0
+}

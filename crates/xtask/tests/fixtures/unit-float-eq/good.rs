@@ -1,0 +1,6 @@
+//! Passing fixture: epsilon comparison via the units helpers.
+
+/// Whether a demand slot is idle.
+pub fn is_idle(demand: f64) -> bool {
+    crate::units::is_zero(demand)
+}

@@ -1,0 +1,211 @@
+//! Fixture-driven linter tests: every rule ships one tripping and one
+//! passing fixture, asserted down to the exact rule id and line in the
+//! JSON output.
+//!
+//! Fixtures are linted under *virtual* paths so each rule's path scope is
+//! exercised without touching the workspace walker; a final test runs the
+//! real walker over the repository and requires it to be clean.
+
+use xtask::config::Config;
+use xtask::report::render_json;
+use xtask::{lint_source, lint_workspace};
+
+struct Case {
+    rule: &'static str,
+    /// Virtual repo-relative path inside the rule's scope.
+    path: &'static str,
+    bad: &'static str,
+    good: &'static str,
+    /// 1-based line of the first diagnostic in the bad fixture.
+    first_line: usize,
+}
+
+const LIB_PATH: &str = "crates/core/src/fixture.rs";
+const QOS_PATH: &str = "crates/qos/src/fixture.rs";
+
+const CASES: &[Case] = &[
+    Case {
+        rule: "det-unordered-collection",
+        path: LIB_PATH,
+        bad: include_str!("fixtures/det-unordered-collection/bad.rs"),
+        good: include_str!("fixtures/det-unordered-collection/good.rs"),
+        first_line: 3,
+    },
+    Case {
+        rule: "det-wall-clock",
+        path: LIB_PATH,
+        bad: include_str!("fixtures/det-wall-clock/bad.rs"),
+        good: include_str!("fixtures/det-wall-clock/good.rs"),
+        first_line: 3,
+    },
+    Case {
+        rule: "det-rng-adhoc",
+        path: "crates/trace/src/gen/fixture.rs",
+        bad: include_str!("fixtures/det-rng-adhoc/bad.rs"),
+        good: include_str!("fixtures/det-rng-adhoc/good.rs"),
+        first_line: 5,
+    },
+    Case {
+        rule: "panic-unwrap",
+        path: LIB_PATH,
+        bad: include_str!("fixtures/panic-unwrap/bad.rs"),
+        good: include_str!("fixtures/panic-unwrap/good.rs"),
+        first_line: 5,
+    },
+    Case {
+        rule: "panic-expect",
+        path: LIB_PATH,
+        bad: include_str!("fixtures/panic-expect/bad.rs"),
+        good: include_str!("fixtures/panic-expect/good.rs"),
+        first_line: 5,
+    },
+    Case {
+        rule: "panic-macro",
+        path: LIB_PATH,
+        bad: include_str!("fixtures/panic-macro/bad.rs"),
+        good: include_str!("fixtures/panic-macro/good.rs"),
+        first_line: 6,
+    },
+    Case {
+        rule: "panic-slice-index",
+        path: LIB_PATH,
+        bad: include_str!("fixtures/panic-slice-index/bad.rs"),
+        good: include_str!("fixtures/panic-slice-index/good.rs"),
+        first_line: 7,
+    },
+    Case {
+        rule: "unit-float-cast",
+        path: QOS_PATH,
+        bad: include_str!("fixtures/unit-float-cast/bad.rs"),
+        good: include_str!("fixtures/unit-float-cast/good.rs"),
+        first_line: 5,
+    },
+    Case {
+        rule: "unit-float-eq",
+        path: QOS_PATH,
+        bad: include_str!("fixtures/unit-float-eq/bad.rs"),
+        good: include_str!("fixtures/unit-float-eq/good.rs"),
+        first_line: 5,
+    },
+    Case {
+        rule: "lint-allow-syntax",
+        path: LIB_PATH,
+        bad: include_str!("fixtures/lint-allow-syntax/bad.rs"),
+        good: include_str!("fixtures/lint-allow-syntax/good.rs"),
+        first_line: 5,
+    },
+];
+
+#[test]
+fn every_bad_fixture_trips_exactly_its_rule_at_the_expected_line() {
+    let config = Config::default();
+    for case in CASES {
+        let diagnostics = lint_source(case.path, case.bad, &config);
+        assert!(
+            !diagnostics.is_empty(),
+            "{}: bad fixture produced no diagnostics",
+            case.rule
+        );
+        for d in &diagnostics {
+            assert_eq!(
+                d.rule, case.rule,
+                "{}: unexpected co-firing rule {} at line {}",
+                case.rule, d.rule, d.line
+            );
+            assert_eq!(d.file, case.path, "{}: wrong file", case.rule);
+        }
+        assert_eq!(
+            diagnostics[0].line, case.first_line,
+            "{}: first diagnostic at wrong line",
+            case.rule
+        );
+
+        let json = render_json(&diagnostics, 1);
+        assert!(
+            json.contains(&format!("\"rule\":\"{}\"", case.rule)),
+            "{}: rule id missing from JSON: {json}",
+            case.rule
+        );
+        assert!(
+            json.contains(&format!("\"line\":{}", case.first_line)),
+            "{}: line missing from JSON: {json}",
+            case.rule
+        );
+    }
+}
+
+#[test]
+fn every_good_fixture_is_clean() {
+    let config = Config::default();
+    for case in CASES {
+        let diagnostics = lint_source(case.path, case.good, &config);
+        assert!(
+            diagnostics.is_empty(),
+            "{}: good fixture tripped: {:?}",
+            case.rule,
+            diagnostics
+                .iter()
+                .map(|d| format!("{}:{} {}", d.line, d.column, d.rule))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn rng_facade_is_exempt_from_the_rng_rule() {
+    let bad = include_str!("fixtures/det-rng-adhoc/bad.rs");
+    let diagnostics = lint_source("crates/trace/src/rng.rs", bad, &Config::default());
+    assert!(
+        diagnostics.iter().all(|d| d.rule != "det-rng-adhoc"),
+        "the facade itself must be allowed to hold generator constants"
+    );
+}
+
+#[test]
+fn cfg_test_code_is_exempt_from_panic_rules() {
+    let source = "pub fn noop() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let v = vec![1];\n        let i = 0;\n        assert_eq!(v[i], *v.first().unwrap());\n    }\n}\n";
+    let diagnostics = lint_source(LIB_PATH, source, &Config::default());
+    assert!(
+        diagnostics.is_empty(),
+        "test code must be exempt: {:?}",
+        diagnostics
+            .iter()
+            .map(|d| format!("{}:{}", d.rule, d.line))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn lints_toml_allowlist_suppresses_per_file() {
+    let config = Config::parse(&format!("[allow]\npanic-unwrap = [\"{LIB_PATH}\"]\n"))
+        .expect("allowlist parses");
+    let bad = include_str!("fixtures/panic-unwrap/bad.rs");
+    assert!(lint_source(LIB_PATH, bad, &config).is_empty());
+    // The allowlist is per-file: the same source elsewhere still trips.
+    assert!(!lint_source("crates/qos/src/other.rs", bad, &config).is_empty());
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let config_text = std::fs::read_to_string(root.join("crates/xtask/lints.toml"))
+        .expect("lints.toml is readable");
+    let config = Config::parse(&config_text).expect("lints.toml parses");
+    let report = lint_workspace(&root, &config).expect("workspace walk succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "walker found too few files: {}",
+        report.files_scanned
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace must stay lint-clean: {:?}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| format!("{}:{} {}", d.file, d.line, d.rule))
+            .collect::<Vec<_>>()
+    );
+}

@@ -117,6 +117,89 @@ fn parallel_plan_matches_serial_plan() {
     assert_eq!(serial.spare_needed(), parallel.spare_needed());
 }
 
+#[test]
+fn concurrent_cache_hammer_agrees_with_serial_oracle() {
+    // Two threads hammer one shared engine with overlapping member-set
+    // queries — racing cache insertions, admission control (the tiny
+    // capacity forces compute-without-insert paths), and hits against
+    // in-flight misses. Every answer must still be bit-identical to an
+    // independent serial evaluation of the same set.
+    let workloads = translated_fleet();
+    let commitments = CaseConfig::table1()[2].commitments();
+    let engine = FitEngine::new(&workloads, ServerSpec::sixteen_way(), commitments, 0.05)
+        .with_cache_capacity(8);
+
+    let n = workloads.len() as u16;
+    let mut queries: Vec<Vec<u16>> = Vec::new();
+    for i in 0..n {
+        queries.push(vec![i]);
+        queries.push(vec![i, (i + 1) % n]);
+        queries.push(vec![i, (i + 3) % n, (i + 7) % n]);
+        // Permuted duplicate of the pair above: must share a cache entry.
+        queries.push(vec![(i + 1) % n, i]);
+    }
+
+    // Serial oracle: fresh uncached evaluation per query.
+    let oracle: Vec<Option<f64>> = queries
+        .iter()
+        .map(|members| {
+            let mut sorted = members.clone();
+            sorted.sort_unstable();
+            let refs: Vec<&Workload> = sorted.iter().map(|&i| &workloads[i as usize]).collect();
+            let load = AggregateLoad::of(&refs).unwrap();
+            FitRequest::new(&load, &engine.commitments())
+                .with_options(
+                    FitOptions::new()
+                        .with_memory_capacity(engine.server().memory_gb())
+                        .with_tolerance(0.05),
+                )
+                .required_capacity(engine.server().capacity())
+        })
+        .collect();
+
+    let rounds = 4;
+    let results: Vec<Vec<Option<f64>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|t| {
+                let queries = &queries;
+                let engine = &engine;
+                // Opposite iteration orders maximize same-key collisions.
+                scope.spawn(move || {
+                    let mut answers = vec![None; queries.len()];
+                    for _ in 0..rounds {
+                        for index in 0..queries.len() {
+                            let q = if t == 0 {
+                                index
+                            } else {
+                                queries.len() - 1 - index
+                            };
+                            answers[q] = engine.server_required(&queries[q]);
+                        }
+                    }
+                    answers
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for answers in &results {
+        for (got, want) in answers.iter().zip(&oracle) {
+            assert_eq!(
+                got.map(f64::to_bits),
+                want.map(f64::to_bits),
+                "hammered result diverged from the serial oracle"
+            );
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.evaluations, stats.cache_hits + stats.cache_misses);
+    assert!(
+        stats.cache_hits > 0,
+        "repeated and permuted queries must hit the cache"
+    );
+}
+
 mod cached_matches_uncached {
     use super::*;
     use proptest::prelude::*;
