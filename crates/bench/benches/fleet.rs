@@ -1,0 +1,73 @@
+//! Fleet-scale end-to-end benchmark (~2x the paper's §VII case study):
+//! 50 applications × 4 weeks of 5-minute samples pushed through the full
+//! translate → aggregate → required-capacity pipeline. This is the path
+//! whose per-trace constant factor the zero-copy trace representation
+//! targets; the companion `workload_clone` and `aggregate` groups isolate
+//! the clone and validation costs on the same fleet.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ropus::case_study::{translate_fleet, CaseConfig};
+use ropus_bench::fleet_50;
+use ropus_placement::simulator::{AggregateLoad, FitOptions, FitRequest};
+use ropus_placement::workload::Workload;
+use ropus_trace::gen::AppWorkload;
+
+/// Capacity ceiling for the 50-app search; generously above the fleet's
+/// aggregate peak so the binary search always has a feasible upper bound.
+const CAPACITY_LIMIT: f64 = 2048.0;
+
+fn translated_workloads(fleet: &[AppWorkload], case: &CaseConfig) -> Vec<Workload> {
+    translate_fleet(fleet, case)
+        .expect("case-study translation succeeds")
+        .into_iter()
+        .map(|t| t.workload)
+        .collect()
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let fleet = fleet_50();
+    let case = CaseConfig::table1()[2];
+    let commitments = case.commitments();
+    c.bench_function("fleet_50x4w/translate_aggregate_required", |b| {
+        b.iter(|| {
+            let workloads = translated_workloads(black_box(&fleet), &case);
+            let refs: Vec<&Workload> = workloads.iter().collect();
+            let load = AggregateLoad::of(&refs).expect("aligned fleet");
+            FitRequest::new(&load, &commitments)
+                .with_options(FitOptions::new().with_tolerance(0.05))
+                .required_capacity(CAPACITY_LIMIT)
+        })
+    });
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let fleet = fleet_50();
+    let case = CaseConfig::table1()[2];
+    let workloads = translated_workloads(&fleet, &case);
+    let refs: Vec<&Workload> = workloads.iter().collect();
+    c.bench_function("fleet_50x4w/aggregate", |b| {
+        b.iter(|| AggregateLoad::of(black_box(&refs)).expect("aligned fleet"))
+    });
+}
+
+fn bench_workload_clone(c: &mut Criterion) {
+    let fleet = fleet_50();
+    let case = CaseConfig::table1()[2];
+    let workloads = translated_workloads(&fleet, &case);
+    c.bench_function("fleet_50x4w/workload_clone", |b| {
+        b.iter(|| {
+            let cloned: Vec<Workload> = black_box(&workloads).to_vec();
+            cloned
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_end_to_end,
+    bench_aggregate,
+    bench_workload_clone
+);
+criterion_main!(benches);

@@ -19,6 +19,15 @@ pub fn paper_fleet() -> Vec<AppWorkload> {
     case_study_fleet(&FleetConfig::paper())
 }
 
+/// A fleet-scale variant at roughly 2x the paper's case study (50 apps,
+/// 4 weeks, 5-minute slots) used by the end-to-end `fleet` benchmark.
+pub fn fleet_50() -> Vec<AppWorkload> {
+    case_study_fleet(&FleetConfig {
+        apps: 50,
+        ..FleetConfig::paper()
+    })
+}
+
 /// Resolves the repository `results/` directory (created on demand):
 /// prefers `$ROPUS_RESULTS`, falling back to `<crate>/../../results`.
 ///

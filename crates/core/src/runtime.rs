@@ -7,7 +7,7 @@
 //! stays inside its acceptable/degraded envelope. This module *checks*
 //! that promise: it instantiates each server of a
 //! [`PlacementReport`](ropus_placement::consolidate::PlacementReport) as a
-//! two-priority [`Host`](ropus_wlm::host::Host), drives it with the raw
+//! two-priority [`Host`], drives it with the raw
 //! demand traces, and audits every application's delivered
 //! utilization-of-allocation series against its requirement. This is the
 //! "service levels are evaluated" step of the paper's medium-term control

@@ -196,7 +196,9 @@ impl<'a> FitEngine<'a> {
 
     /// Required capacity for a set of workload indices on one server, or
     /// `None` when they do not fit at the server's limit. Results are
-    /// memoized by the (sorted) member set.
+    /// memoized by the (sorted) member set — sound because the workloads'
+    /// sample buffers are immutable after construction (DESIGN.md §5c),
+    /// so a member set identifies its traces for the engine's lifetime.
     ///
     /// # Panics
     ///

@@ -52,8 +52,7 @@ impl AggregateLoad {
     /// Returns a [`PlacementError`] if the set is empty, misaligned, or
     /// does not cover whole weeks.
     pub fn of(workloads: &[&Workload]) -> Result<Self, PlacementError> {
-        let owned: Vec<Workload> = workloads.iter().map(|&w| w.clone()).collect();
-        let len = validate_workloads(&owned)?;
+        let len = validate_workloads(workloads.iter().copied())?;
         let calendar = workloads[0].cos1().calendar();
         let mut cos1 = vec![0.0; len];
         let mut cos2 = vec![0.0; len];
@@ -61,15 +60,15 @@ impl AggregateLoad {
         let mut cos1_peak_sum = 0.0;
         let mut any_memory = false;
         for w in workloads {
-            for (acc, v) in cos1.iter_mut().zip(w.cos1().iter()) {
+            for (acc, &v) in cos1.iter_mut().zip(w.cos1_view().samples()) {
                 *acc += v;
             }
-            for (acc, v) in cos2.iter_mut().zip(w.cos2().iter()) {
+            for (acc, &v) in cos2.iter_mut().zip(w.cos2_view().samples()) {
                 *acc += v;
             }
-            if let Some(m) = w.memory() {
+            if let Some(m) = w.memory_view() {
                 any_memory = true;
-                for (acc, v) in memory.iter_mut().zip(m.iter()) {
+                for (acc, &v) in memory.iter_mut().zip(m.samples()) {
                     *acc += v;
                 }
             }

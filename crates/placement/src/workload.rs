@@ -4,7 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use ropus_qos::translation::Translation;
-use ropus_trace::{Trace, TraceError};
+use ropus_trace::{Trace, TraceError, TraceView};
 
 use crate::PlacementError;
 
@@ -103,6 +103,22 @@ impl Workload {
         &self.cos2
     }
 
+    /// Borrowed view of the guaranteed-class trace (for read-only layers:
+    /// aggregation, replay, statistics).
+    pub fn cos1_view(&self) -> TraceView<'_> {
+        self.cos1.view()
+    }
+
+    /// Borrowed view of the statistical-class trace.
+    pub fn cos2_view(&self) -> TraceView<'_> {
+        self.cos2.view()
+    }
+
+    /// Borrowed view of the memory-footprint trace, if one is attached.
+    pub fn memory_view(&self) -> Option<TraceView<'_>> {
+        self.memory.as_ref().map(Trace::view)
+    }
+
     /// Peak of the CoS1 trace — the workload's contribution to the
     /// guaranteed-class constraint (sum of peaks <= capacity).
     pub fn cos1_peak(&self) -> f64 {
@@ -129,14 +145,23 @@ impl Workload {
 /// Validates that a set of workloads is non-empty, mutually aligned, and
 /// covers whole weeks; returns the common slot count.
 ///
+/// Accepts any iterator of borrowed workloads (`&[Workload]`,
+/// `slice.iter().copied()` over `&[&Workload]`, …) so callers holding
+/// references validate without cloning anything.
+///
 /// # Errors
 ///
 /// Returns the corresponding [`PlacementError`] variant on each violation.
-pub fn validate_workloads(workloads: &[Workload]) -> Result<usize, PlacementError> {
-    let first = workloads.first().ok_or(PlacementError::NoWorkloads)?;
+pub fn validate_workloads<'a, I>(workloads: I) -> Result<usize, PlacementError>
+where
+    I: IntoIterator<Item = &'a Workload>,
+{
+    let mut iter = workloads.into_iter();
+    let first = iter.next().ok_or(PlacementError::NoWorkloads)?;
     let len = first.len();
-    for w in workloads {
-        if w.len() != len || w.cos1().calendar() != first.cos1().calendar() {
+    let calendar = first.cos1().calendar();
+    for w in std::iter::once(first).chain(iter) {
+        if w.len() != len || w.cos1().calendar() != calendar {
             return Err(PlacementError::MisalignedWorkloads {
                 name: w.name().to_string(),
             });

@@ -137,15 +137,32 @@ pub fn translate(demand: &Trace, qos: &AppQos, cos2: &CosSpec) -> Result<Transla
     // Build the per-class allocation-requirement traces.
     let burst_factor = band.burst_factor();
     let calendar = demand.calendar();
-    let mut cos1_samples = Vec::with_capacity(demand.len());
-    let mut cos2_samples = Vec::with_capacity(demand.len());
-    for d in demand.iter() {
-        let split = split_demand(d, p, d_new_max);
-        cos1_samples.push(split.cos1 * burst_factor);
-        cos2_samples.push(split.cos2 * burst_factor);
-    }
-    let cos1 = Trace::from_samples(calendar, cos1_samples)?;
-    let cos2_trace = Trace::from_samples(calendar, cos2_samples)?;
+    // lint:allow(unit-float-eq): exact zero selects a bit-identical fast
+    // path (the breakpoint formula clamps to literal 0.0), not a tolerance
+    // comparison — an approximate test would change results.
+    let (cos1, cos2_trace) = if p == 0.0 {
+        // Below the breakpoint everything rides in CoS2: for every `d`,
+        // `split_demand(d, 0, cap)` is `(0, min(d, cap))`, so the class
+        // traces are expressible as whole-trace operations. `capped` and
+        // `scaled` share the demand buffer when the cap does not bind and
+        // the burst factor is 1, making this arm allocation-free for
+        // already-capped demand instead of materializing two vectors.
+        let cos1 = Trace::constant(calendar, 0.0, demand.len())?;
+        let cos2_trace = demand.capped(d_new_max)?.scaled(burst_factor)?;
+        (cos1, cos2_trace)
+    } else {
+        let mut cos1_samples = Vec::with_capacity(demand.len());
+        let mut cos2_samples = Vec::with_capacity(demand.len());
+        for d in demand.iter() {
+            let split = split_demand(d, p, d_new_max);
+            cos1_samples.push(split.cos1 * burst_factor);
+            cos2_samples.push(split.cos2 * burst_factor);
+        }
+        (
+            Trace::from_samples(calendar, cos1_samples)?,
+            Trace::from_samples(calendar, cos2_samples)?,
+        )
+    };
 
     // Worst-case outcome statistics.
     let threshold = degraded_threshold(band, cos2, d_new_max);

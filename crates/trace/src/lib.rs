@@ -6,7 +6,10 @@
 //! * [`Calendar`] — slot/day/week arithmetic for regularly sampled traces
 //!   (the paper samples every 5 minutes, giving `T = 288` slots per day);
 //! * [`Trace`] — a validated, non-negative time series of demand (or
-//!   allocation) observations aligned to a calendar;
+//!   allocation) observations aligned to a calendar, backed by a shared
+//!   immutable buffer so clones and weekly windows are allocation-free;
+//! * [`TraceView`] — the borrowed, lifetime-bound companion of [`Trace`]
+//!   for layers that only read samples;
 //! * [`stats`] — percentiles, summaries and the distribution samplers used
 //!   by the generator;
 //! * [`rng`] — a deterministic, splittable PRNG so experiments are
@@ -53,4 +56,4 @@ pub mod stats;
 
 pub use calendar::{Calendar, DayOfWeek, SlotPosition};
 pub use error::TraceError;
-pub use trace::Trace;
+pub use trace::{Trace, TraceView};

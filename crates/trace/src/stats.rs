@@ -54,6 +54,8 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
+    // lint:allow(needless-trace-clone): percentile sorting needs an
+    // owned, mutable copy of the samples.
     let mut sorted: Vec<f64> = samples.to_vec();
     sorted.sort_by(f64::total_cmp);
     percentile_of_sorted(&sorted, q)
@@ -109,6 +111,8 @@ pub fn percentile_upper(samples: &[f64], q: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
+    // lint:allow(needless-trace-clone): percentile sorting needs an
+    // owned, mutable copy of the samples.
     let mut sorted: Vec<f64> = samples.to_vec();
     sorted.sort_by(f64::total_cmp);
     let rank = (q / 100.0 * (sorted.len() - 1) as f64).ceil() as usize;

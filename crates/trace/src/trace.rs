@@ -1,4 +1,6 @@
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize, Value};
 
 use crate::stats;
 use crate::{Calendar, TraceError};
@@ -10,6 +12,21 @@ use crate::{Calendar, TraceError};
 /// *delivered* allocations measured by the workload-manager simulation are
 /// all traces. Every sample is guaranteed finite and non-negative.
 ///
+/// # Representation
+///
+/// Samples live in an immutable, reference-counted buffer (`Arc<Vec<f64>>`)
+/// plus a window (`start`, `len`) into it. Consequences:
+///
+/// * [`Trace::clone`] is O(1) — it bumps a reference count; the clones
+///   share storage (observable via [`Trace::shares_buffer`]);
+/// * windowing operations such as [`Trace::weeks_range`] allocate nothing:
+///   they return a new window over the same buffer;
+/// * the buffer can never be mutated after construction, so every derived
+///   statistic (and any cache keyed by workload identity, such as the
+///   placement `FitEngine` memo) stays valid for the life of the trace.
+///
+/// For borrowed, lifetime-bound access use [`TraceView`].
+///
 /// # Example
 ///
 /// ```
@@ -19,14 +36,22 @@ use crate::{Calendar, TraceError};
 /// let trace = Trace::from_samples(Calendar::five_minute(), vec![1.0, 2.5, 0.5])?;
 /// assert_eq!(trace.peak(), 2.5);
 /// assert_eq!(trace.len(), 3);
+/// let cheap = trace.clone(); // shares the sample buffer, no copy
+/// assert!(cheap.shares_buffer(&trace));
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Deserialize)]
 #[serde(try_from = "RawTrace")]
 pub struct Trace {
     calendar: Calendar,
-    samples: Vec<f64>,
+    // `Arc<Vec<f64>>` rather than `Arc<[f64]>`: `Arc::new(vec)` adopts the
+    // Vec's allocation, so construction from an owned Vec is copy-free,
+    // while `Arc<[f64]>::from(vec)` would memcpy every sample. The extra
+    // pointer hop is paid once per `samples()` call, not per sample.
+    buf: Arc<Vec<f64>>,
+    start: usize,
+    len: usize,
 }
 
 /// Unvalidated mirror used so deserialized traces re-run the constructor
@@ -42,6 +67,26 @@ impl TryFrom<RawTrace> for Trace {
 
     fn try_from(raw: RawTrace) -> Result<Self, TraceError> {
         Trace::from_samples(raw.calendar, raw.samples)
+    }
+}
+
+/// Serializes as `{ calendar, samples }` — the *window's* samples, so the
+/// wire format is identical to the former owned-`Vec` representation and
+/// round-trips through `RawTrace` validation.
+impl Serialize for Trace {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("calendar".to_string(), self.calendar.serialize()),
+            ("samples".to_string(), self.samples().serialize()),
+        ])
+    }
+}
+
+/// Equality is value equality of the window (calendar + samples), not
+/// buffer identity: a windowed trace equals an eagerly-copied one.
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.calendar == other.calendar && self.samples() == other.samples()
     }
 }
 
@@ -62,7 +107,26 @@ impl Trace {
                 return Err(TraceError::InvalidSample { index, value });
             }
         }
-        Ok(Trace { calendar, samples })
+        let len = samples.len();
+        Ok(Trace {
+            calendar,
+            buf: Arc::new(samples),
+            start: 0,
+            len,
+        })
+    }
+
+    /// Creates a trace sharing an already-validated buffer. The caller is
+    /// `TraceView::to_trace` and the windowing methods, whose slices come
+    /// from an existing trace, so re-validation is skipped.
+    fn from_window(calendar: Calendar, buf: Arc<Vec<f64>>, start: usize, len: usize) -> Self {
+        debug_assert!(start.checked_add(len).is_some_and(|end| end <= buf.len()));
+        Trace {
+            calendar,
+            buf,
+            start,
+            len,
+        }
     }
 
     /// Creates a trace where every slot holds the same value.
@@ -80,41 +144,66 @@ impl Trace {
         self.calendar
     }
 
-    /// Number of samples.
+    /// Number of samples in the window.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.len
     }
 
     /// Whether the trace holds no samples. Always `false` for a constructed
     /// trace; present for API completeness.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.len == 0
     }
 
     /// Borrow the samples.
     pub fn samples(&self) -> &[f64] {
-        &self.samples
+        // lint:allow(panic-slice-index): the window invariant
+        // `start + len <= buf.len()` is established by every constructor
+        // and the buffer is immutable, so the range is always in bounds.
+        &self.buf[self.start..self.start + self.len]
+    }
+
+    /// A borrowed, lifetime-bound view of this trace (no refcount bump).
+    pub fn view(&self) -> TraceView<'_> {
+        TraceView {
+            calendar: self.calendar,
+            samples: self.samples(),
+        }
+    }
+
+    /// Whether `self` and `other` share the same underlying sample buffer
+    /// (regardless of window). `Trace::clone` and the windowing methods
+    /// preserve sharing; constructors allocate fresh buffers.
+    pub fn shares_buffer(&self, other: &Trace) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
     }
 
     /// Sample at `index`, or `None` past the end.
     pub fn get(&self, index: usize) -> Option<f64> {
-        self.samples.get(index).copied()
+        self.samples().get(index).copied()
     }
 
     /// Iterator over samples.
     pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, f64>> {
-        self.samples.iter().copied()
+        self.samples().iter().copied()
     }
 
-    /// Consumes the trace, returning the underlying samples.
+    /// Consumes the trace, returning the samples as an owned vector.
+    ///
+    /// This is the one deliberate copy in the API: the underlying buffer
+    /// may be shared with other traces or be a sub-window, so an owned
+    /// `Vec` cannot be recovered in place. Prefer [`Trace::samples`] or
+    /// [`Trace::view`] when borrowing suffices.
     pub fn into_samples(self) -> Vec<f64> {
-        self.samples
+        // lint:allow(needless-trace-clone): materializing an owned Vec is
+        // this method's documented purpose; the buffer may be shared.
+        self.samples().to_vec()
     }
 
     /// Number of *whole* weeks covered (the paper's `W`). Trailing partial
     /// weeks are not counted.
     pub fn weeks(&self) -> usize {
-        self.samples.len() / self.calendar.slots_per_week()
+        self.len / self.calendar.slots_per_week()
     }
 
     /// Checks the trace covers a whole number of weeks.
@@ -127,9 +216,9 @@ impl Trace {
     /// Returns [`TraceError::PartialWeek`] otherwise.
     pub fn require_whole_weeks(&self) -> Result<(), TraceError> {
         let per_week = self.calendar.slots_per_week();
-        if !self.samples.len().is_multiple_of(per_week) {
+        if !self.len.is_multiple_of(per_week) {
             return Err(TraceError::PartialWeek {
-                len: self.samples.len(),
+                len: self.len,
                 per_week,
             });
         }
@@ -138,12 +227,12 @@ impl Trace {
 
     /// Largest sample (the paper's `D_max`).
     pub fn peak(&self) -> f64 {
-        self.samples.iter().copied().fold(0.0, f64::max)
+        self.samples().iter().copied().fold(0.0, f64::max)
     }
 
     /// Arithmetic mean of the samples.
     pub fn mean(&self) -> f64 {
-        stats::mean(&self.samples)
+        stats::mean(self.samples())
     }
 
     /// The `q`-th percentile of the samples with linear interpolation
@@ -153,7 +242,7 @@ impl Trace {
     ///
     /// Panics if `q` is outside `[0, 100]`.
     pub fn percentile(&self, q: f64) -> f64 {
-        stats::percentile(&self.samples, q)
+        stats::percentile(self.samples(), q)
     }
 
     /// The `q`-th percentile with upper nearest-rank semantics: guarantees
@@ -165,7 +254,7 @@ impl Trace {
     ///
     /// Panics if `q` is outside `[0, 100]`.
     pub fn percentile_upper(&self, q: f64) -> f64 {
-        stats::percentile_upper(&self.samples, q)
+        stats::percentile_upper(self.samples(), q)
     }
 
     /// Returns a new trace with every sample transformed by `f`.
@@ -178,28 +267,45 @@ impl Trace {
     where
         F: FnMut(f64) -> f64,
     {
-        Trace::from_samples(self.calendar, self.samples.iter().copied().map(f).collect())
+        Trace::from_samples(
+            self.calendar,
+            self.samples().iter().copied().map(f).collect(),
+        )
     }
 
     /// Returns a new trace scaled by a non-negative factor.
+    ///
+    /// Scaling by exactly `1.0` shares the buffer instead of copying
+    /// (`v * 1.0` is bit-identical to `v` for every valid sample).
     ///
     /// # Errors
     ///
     /// Returns [`TraceError::InvalidSample`] if `factor` is negative or
     /// non-finite.
     pub fn scaled(&self, factor: f64) -> Result<Trace, TraceError> {
+        if factor == 1.0 {
+            return Ok(self.clone());
+        }
         self.map(|v| v * factor)
     }
 
     /// Returns a new trace with samples capped at `limit` (`min(d, limit)`).
     ///
-    /// This is the translation's demand cap at `D_new_max`.
+    /// This is the translation's demand cap at `D_new_max`. When the cap
+    /// does not bind (`limit >= peak`), the result shares this trace's
+    /// buffer — the common case for smooth workloads whose `M_degr` cap
+    /// sits above the observed peak.
     ///
     /// # Errors
     ///
     /// Returns [`TraceError::InvalidSample`] if `limit` is negative or
     /// non-finite.
     pub fn capped(&self, limit: f64) -> Result<Trace, TraceError> {
+        // A NaN limit compares false and falls through to the slow path,
+        // preserving the historical `v.min(limit)` semantics.
+        if limit >= self.peak() {
+            return Ok(self.clone());
+        }
         self.map(|v| v.min(limit))
     }
 
@@ -216,9 +322,9 @@ impl Trace {
             });
         }
         let samples = self
-            .samples
+            .samples()
             .iter()
-            .zip(other.samples.iter())
+            .zip(other.samples().iter())
             .map(|(a, b)| a + b)
             .collect();
         Trace::from_samples(self.calendar, samples)
@@ -245,6 +351,8 @@ impl Trace {
 
     /// A new trace holding whole weeks `start..end` (zero-based,
     /// end-exclusive), or `None` when the range is empty or out of range.
+    ///
+    /// Allocation-free: the result is a window over the shared buffer.
     pub fn weeks_range(&self, start: usize, end: usize) -> Option<Trace> {
         if start >= end {
             return None;
@@ -252,10 +360,15 @@ impl Trace {
         let per_week = self.calendar.slots_per_week();
         let lo = start.checked_mul(per_week)?;
         let hi = end.checked_mul(per_week)?;
-        let samples = self.samples.get(lo..hi)?.to_vec();
-        // lint:allow(panic-expect): a sub-slice of an already validated
-        // trace re-validates trivially (finite, non-negative, aligned).
-        Some(Trace::from_samples(self.calendar, samples).expect("sub-slice of valid samples"))
+        if hi > self.len {
+            return None;
+        }
+        Some(Trace::from_window(
+            self.calendar,
+            Arc::clone(&self.buf),
+            self.start.checked_add(lo)?,
+            hi - lo,
+        ))
     }
 
     /// The samples of week `w` (zero-based), or `None` if out of range.
@@ -263,13 +376,14 @@ impl Trace {
         let per_week = self.calendar.slots_per_week();
         let start = w.checked_mul(per_week)?;
         let end = start.checked_add(per_week)?;
-        self.samples.get(start..end)
+        self.samples().get(start..end)
     }
 
     /// Fraction of samples strictly greater than `threshold`.
     pub fn fraction_above(&self, threshold: f64) -> f64 {
-        let count = self.samples.iter().filter(|&&v| v > threshold).count();
-        count as f64 / self.samples.len() as f64
+        let samples = self.samples();
+        let count = samples.iter().filter(|&&v| v > threshold).count();
+        count as f64 / samples.len() as f64
     }
 
     /// Aggregates consecutive samples into coarser slots by averaging.
@@ -293,15 +407,15 @@ impl Trace {
         if factor == 1 {
             return Ok(self.clone());
         }
-        if !self.samples.len().is_multiple_of(factor) {
+        if !self.len.is_multiple_of(factor) {
             return Err(TraceError::Misaligned {
-                left: self.samples.len(),
+                left: self.len,
                 right: factor,
             });
         }
         let coarse = Calendar::new(self.calendar.slot_minutes() * factor as u32)?;
         let samples: Vec<f64> = self
-            .samples
+            .samples()
             .chunks(factor)
             .map(|chunk| chunk.iter().sum::<f64>() / factor as f64)
             .collect();
@@ -309,7 +423,7 @@ impl Trace {
     }
 
     /// Normalizes samples to percentages of the peak (`0..=100`); a zero
-    /// trace stays zero.
+    /// trace stays zero (sharing the buffer — nothing to rescale).
     pub fn normalized_percent(&self) -> Trace {
         let peak = self.peak();
         if peak == 0.0 {
@@ -325,11 +439,202 @@ impl Trace {
 
 impl AsRef<[f64]> for Trace {
     fn as_ref(&self) -> &[f64] {
-        &self.samples
+        self.samples()
     }
 }
 
 impl<'a> IntoIterator for &'a Trace {
+    type Item = f64;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, f64>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// A borrowed view of trace samples: a calendar plus a sample slice.
+///
+/// `TraceView` is the lifetime-bound companion of [`Trace`]: `Copy`, two
+/// words wide, and allocation-free to window. Layer boundaries that only
+/// *read* samples (aggregation, replay, statistics) accept or produce
+/// views; owning layers hold `Trace`s. Obtain one via [`Trace::view`] or
+/// validate a foreign slice with [`TraceView::new`].
+///
+/// # Example
+///
+/// ```
+/// use ropus_trace::{Calendar, Trace};
+///
+/// # fn main() -> Result<(), ropus_trace::TraceError> {
+/// let trace = Trace::from_samples(Calendar::five_minute(), vec![1.0, 4.0])?;
+/// let view = trace.view();
+/// assert_eq!(view.peak(), 4.0);
+/// assert_eq!(view.to_trace(), trace);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceView<'a> {
+    calendar: Calendar,
+    samples: &'a [f64],
+}
+
+impl<'a> TraceView<'a> {
+    /// Creates a view over a foreign slice, running the same validity
+    /// checks as [`Trace::from_samples`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Empty`] for an empty slice and
+    /// [`TraceError::InvalidSample`] for negative, NaN, or infinite
+    /// samples.
+    pub fn new(calendar: Calendar, samples: &'a [f64]) -> Result<Self, TraceError> {
+        if samples.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        for (index, &value) in samples.iter().enumerate() {
+            if !value.is_finite() || value < 0.0 {
+                return Err(TraceError::InvalidSample { index, value });
+            }
+        }
+        Ok(TraceView { calendar, samples })
+    }
+
+    /// The calendar the samples are aligned to.
+    pub fn calendar(&self) -> Calendar {
+        self.calendar
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the view holds no samples. Always `false` for a constructed
+    /// view; present for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The viewed samples.
+    pub fn samples(&self) -> &'a [f64] {
+        self.samples
+    }
+
+    /// Sample at `index`, or `None` past the end.
+    pub fn get(&self, index: usize) -> Option<f64> {
+        self.samples.get(index).copied()
+    }
+
+    /// Iterator over samples.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'a, f64>> {
+        self.samples.iter().copied()
+    }
+
+    /// Number of *whole* weeks covered; trailing partial weeks don't count.
+    pub fn weeks(&self) -> usize {
+        self.samples.len() / self.calendar.slots_per_week()
+    }
+
+    /// Checks the view covers a whole number of weeks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::PartialWeek`] otherwise.
+    pub fn require_whole_weeks(&self) -> Result<(), TraceError> {
+        let per_week = self.calendar.slots_per_week();
+        if !self.samples.len().is_multiple_of(per_week) {
+            return Err(TraceError::PartialWeek {
+                len: self.samples.len(),
+                per_week,
+            });
+        }
+        Ok(())
+    }
+
+    /// Largest sample.
+    pub fn peak(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> f64 {
+        stats::mean(self.samples)
+    }
+
+    /// The `q`-th percentile with linear interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 100]`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        stats::percentile(self.samples, q)
+    }
+
+    /// The `q`-th percentile with upper nearest-rank semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 100]`.
+    pub fn percentile_upper(&self, q: f64) -> f64 {
+        stats::percentile_upper(self.samples, q)
+    }
+
+    /// A sub-view of whole weeks `start..end` (zero-based, end-exclusive),
+    /// or `None` when the range is empty or out of range. Allocation-free.
+    pub fn weeks_range(&self, start: usize, end: usize) -> Option<TraceView<'a>> {
+        if start >= end {
+            return None;
+        }
+        let per_week = self.calendar.slots_per_week();
+        let lo = start.checked_mul(per_week)?;
+        let hi = end.checked_mul(per_week)?;
+        Some(TraceView {
+            calendar: self.calendar,
+            samples: self.samples.get(lo..hi)?,
+        })
+    }
+
+    /// The samples of week `w` (zero-based), or `None` if out of range.
+    pub fn week(&self, w: usize) -> Option<&'a [f64]> {
+        let per_week = self.calendar.slots_per_week();
+        let start = w.checked_mul(per_week)?;
+        let end = start.checked_add(per_week)?;
+        self.samples.get(start..end)
+    }
+
+    /// Fraction of samples strictly greater than `threshold`.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        let count = self.samples.iter().filter(|&&v| v > threshold).count();
+        count as f64 / self.samples.len() as f64
+    }
+
+    /// Copies the view into an owned [`Trace`] (the one place a view
+    /// allocates).
+    pub fn to_trace(&self) -> Trace {
+        // lint:allow(needless-trace-clone): converting a borrowed view to
+        // an owned trace is this method's documented purpose.
+        Trace::from_samples(self.calendar, self.samples.to_vec())
+            // lint:allow(panic-expect): view samples were validated at
+            // construction (TraceView::new or an existing Trace), so
+            // re-validation cannot fail.
+            .expect("view samples are already validated")
+    }
+}
+
+impl<'a> From<&'a Trace> for TraceView<'a> {
+    fn from(trace: &'a Trace) -> Self {
+        trace.view()
+    }
+}
+
+impl AsRef<[f64]> for TraceView<'_> {
+    fn as_ref(&self) -> &[f64] {
+        self.samples
+    }
+}
+
+impl<'a> IntoIterator for &TraceView<'a> {
     type Item = f64;
     type IntoIter = std::iter::Copied<std::slice::Iter<'a, f64>>;
 
@@ -368,6 +673,37 @@ mod tests {
         let t = Trace::from_samples(cal(), vec![0.0, 0.0]).unwrap();
         assert_eq!(t.peak(), 0.0);
         assert_eq!(t.normalized_percent().samples(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let t = Trace::from_samples(cal(), vec![1.0, 2.0, 3.0]).unwrap();
+        let c = t.clone();
+        assert!(c.shares_buffer(&t));
+        assert_eq!(c, t);
+        // Fresh constructions do not share.
+        let fresh = Trace::from_samples(cal(), vec![1.0, 2.0, 3.0]).unwrap();
+        assert!(!fresh.shares_buffer(&t));
+        assert_eq!(fresh, t);
+    }
+
+    #[test]
+    fn scaled_by_one_and_nonbinding_cap_share_storage() {
+        let t = Trace::from_samples(cal(), vec![1.0, 5.0, 3.0]).unwrap();
+        assert!(t.scaled(1.0).unwrap().shares_buffer(&t));
+        assert!(t.capped(5.0).unwrap().shares_buffer(&t));
+        assert!(t.capped(f64::INFINITY).unwrap().shares_buffer(&t));
+        // A binding cap must still copy.
+        let capped = t.capped(4.0).unwrap();
+        assert!(!capped.shares_buffer(&t));
+        assert_eq!(capped.samples(), &[1.0, 4.0, 3.0]);
+        // A NaN limit falls through to the slow path, where `v.min(NaN)`
+        // keeps `v` (f64::min ignores NaN) — samples unchanged, no sharing.
+        let nan_capped = t.capped(f64::NAN).unwrap();
+        assert_eq!(nan_capped.samples(), t.samples());
+        assert!(!nan_capped.shares_buffer(&t));
+        // A negative limit produces negative samples and errors.
+        assert!(t.capped(-1.0).is_err());
     }
 
     #[test]
@@ -451,11 +787,61 @@ mod tests {
     }
 
     #[test]
+    fn weeks_range_is_a_shared_window() {
+        let per_week = cal().slots_per_week();
+        let t = Trace::constant(cal(), 1.0, per_week * 3).unwrap();
+        let window = t.weeks_range(1, 3).unwrap();
+        assert!(window.shares_buffer(&t));
+        // Windows of windows still share and stay consistent.
+        let inner = window.weeks_range(1, 2).unwrap();
+        assert!(inner.shares_buffer(&t));
+        assert_eq!(inner.len(), per_week);
+        // Serialization captures only the window.
+        let json = serde_json::to_string(&inner).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, inner);
+        assert!(!back.shares_buffer(&inner));
+    }
+
+    #[test]
+    fn view_matches_trace() {
+        let per_week = cal().slots_per_week();
+        let samples: Vec<f64> = (0..per_week * 2).map(|i| (i % 7) as f64).collect();
+        let t = Trace::from_samples(cal(), samples).unwrap();
+        let v = t.view();
+        assert_eq!(v.len(), t.len());
+        assert_eq!(v.peak(), t.peak());
+        assert_eq!(v.mean(), t.mean());
+        assert_eq!(v.weeks(), t.weeks());
+        assert_eq!(v.week(1), t.week(1));
+        assert_eq!(v.samples(), t.samples());
+        assert_eq!(v.to_trace(), t);
+        let w = v.weeks_range(1, 2).unwrap();
+        assert_eq!(w.samples(), t.weeks_range(1, 2).unwrap().samples());
+    }
+
+    #[test]
+    fn view_validates_foreign_slices() {
+        assert_eq!(TraceView::new(cal(), &[]), Err(TraceError::Empty));
+        assert!(matches!(
+            TraceView::new(cal(), &[1.0, f64::NAN]),
+            Err(TraceError::InvalidSample { index: 1, .. })
+        ));
+        assert!(matches!(
+            TraceView::new(cal(), &[-1.0]),
+            Err(TraceError::InvalidSample { index: 0, .. })
+        ));
+        let ok = TraceView::new(cal(), &[1.0, 2.0]).unwrap();
+        assert_eq!(ok.samples(), &[1.0, 2.0]);
+    }
+
+    #[test]
     fn fraction_above_counts_strictly() {
         let t = Trace::from_samples(cal(), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         assert_eq!(t.fraction_above(2.0), 0.5);
         assert_eq!(t.fraction_above(4.0), 0.0);
         assert_eq!(t.fraction_above(0.0), 1.0);
+        assert_eq!(t.view().fraction_above(2.0), 0.5);
     }
 
     #[test]
@@ -483,8 +869,10 @@ mod tests {
         let coarse = fine.downsample(3).unwrap();
         assert_eq!(coarse.samples(), &[2.0, 2.0]);
         assert_eq!(coarse.calendar().slot_minutes(), 15);
-        // Identity factor.
-        assert_eq!(fine.downsample(1).unwrap(), fine);
+        // Identity factor shares the buffer.
+        let same = fine.downsample(1).unwrap();
+        assert_eq!(same, fine);
+        assert!(same.shares_buffer(&fine));
         // Length must divide.
         assert!(matches!(
             fine.downsample(4),

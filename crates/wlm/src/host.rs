@@ -133,13 +133,23 @@ impl Host {
         let mut total_granted = Vec::with_capacity(len);
         let mut contended_slots = 0usize;
 
+        // Borrow every demand buffer once, outside the slot loop: the
+        // scheduler below reads them per slot without re-resolving the
+        // trace window or allocating per-slot scratch vectors.
+        let demand_views: Vec<&[f64]> = workloads.iter().map(|w| w.demand.samples()).collect();
+        let mut demands = vec![0.0; n];
+        let mut requests = Vec::with_capacity(n);
         for slot in 0..len {
-            let demands: Vec<f64> = workloads.iter().map(|w| w.demand.samples()[slot]).collect();
-            let requests: Vec<_> = managers
-                .iter_mut()
-                .zip(&demands)
-                .map(|(m, &d)| m.observe(d))
-                .collect();
+            for (d, samples) in demands.iter_mut().zip(&demand_views) {
+                *d = samples[slot];
+            }
+            requests.clear();
+            requests.extend(
+                managers
+                    .iter_mut()
+                    .zip(&demands)
+                    .map(|(m, &d)| m.observe(d)),
+            );
 
             // Priority 1: grant CoS1 in full, scaling down proportionally
             // only if the guarantee was violated upstream.
@@ -175,18 +185,25 @@ impl Host {
             total_granted.push(slot_total);
         }
 
-        let outcome_for = |i: usize| -> Result<WorkloadOutcome, TraceError> {
-            Ok(WorkloadOutcome {
-                name: workloads[i].name.clone(),
-                granted: Trace::from_samples(calendar, granted[i].clone())?,
-                served: Trace::from_samples(calendar, served[i].clone())?,
-                unmet: Trace::from_samples(calendar, unmet[i].clone())?,
-                utilization: Trace::from_samples(calendar, utilization[i].clone())?,
-            })
-        };
-        let outcomes: Result<Vec<_>, _> = (0..n).map(outcome_for).collect();
+        // Hand the accumulated sample vectors to their traces; nothing is
+        // copied — each Vec becomes the trace's shared buffer directly.
+        let mut outcomes = Vec::with_capacity(n);
+        for (((w, granted), served), (unmet, utilization)) in workloads
+            .iter()
+            .zip(granted)
+            .zip(served)
+            .zip(unmet.into_iter().zip(utilization))
+        {
+            outcomes.push(WorkloadOutcome {
+                name: w.name.clone(),
+                granted: Trace::from_samples(calendar, granted)?,
+                served: Trace::from_samples(calendar, served)?,
+                unmet: Trace::from_samples(calendar, unmet)?,
+                utilization: Trace::from_samples(calendar, utilization)?,
+            });
+        }
         Ok(HostOutcome {
-            workloads: outcomes?,
+            workloads: outcomes,
             total_granted: Trace::from_samples(calendar, total_granted)?,
             contended_slots,
         })

@@ -1,8 +1,8 @@
 //! The rule registry: each rule is a matcher plus a path scope plus a fix
 //! hint.
 //!
-//! Three families protect the three properties the R-Opus reproduction
-//! depends on (see DESIGN.md §5b for the mapping to paper formulas):
+//! Four families protect the properties the R-Opus reproduction depends
+//! on (see DESIGN.md §5b for the mapping to paper formulas):
 //!
 //! * **determinism** — CoS1 peak sums (formula 2), the θ min-over-weeks
 //!   access probability (formulas 3–5), and the GA placement search must
@@ -12,7 +12,10 @@
 //!   capacity-planning service is an availability bug;
 //! * **unit-safety** — the QoS translation mixes slots, minutes, weeks,
 //!   CPU fractions, and probabilities; bare numeric casts and exact float
-//!   equality are where unit bugs hide.
+//!   equality are where unit bugs hide;
+//! * **efficiency** — traces share one immutable `Arc<[f64]>` buffer
+//!   (DESIGN.md §5c); deep-copying a sample buffer in a hot path undoes
+//!   the zero-copy refactor one call site at a time.
 //!
 //! Matchers run on *masked* lines (comments and string contents blanked,
 //! see [`crate::scan`]), so tokens in prose never fire.
@@ -26,6 +29,8 @@ pub enum Family {
     PanicFreedom,
     /// No unit-erasing numeric operations in QoS formula code.
     UnitSafety,
+    /// No needless deep copies of shared sample buffers.
+    Efficiency,
     /// Rules about the lint machinery itself (escape-hatch hygiene).
     Meta,
 }
@@ -37,6 +42,7 @@ impl Family {
             Family::Determinism => "determinism",
             Family::PanicFreedom => "panic-freedom",
             Family::UnitSafety => "unit-safety",
+            Family::Efficiency => "efficiency",
             Family::Meta => "meta",
         }
     }
@@ -213,6 +219,21 @@ pub fn registry() -> Vec<Rule> {
             matcher: match_float_eq,
         },
         Rule {
+            id: "needless-trace-clone",
+            family: Family::Efficiency,
+            summary: "deep copy of a trace sample buffer (samples().to_vec() and \
+                      friends): traces share one immutable Arc buffer, so \
+                      Trace::clone() and weeks_range() are O(1) while a sample \
+                      copy is O(len) per call",
+            hint: "borrow via samples()/view() (TraceView is Copy), clone the \
+                   Trace itself, or window with weeks_range(); a genuine \
+                   ownership hand-off (e.g. sorting for percentiles) may be \
+                   justified with lint:allow(needless-trace-clone)",
+            exempt_tests: true,
+            scope: Scope::LibCrates,
+            matcher: match_trace_sample_copy,
+        },
+        Rule {
             id: "lint-allow-syntax",
             family: Family::Meta,
             summary: "malformed lint:allow marker: unknown rule id or missing \
@@ -341,6 +362,24 @@ fn match_float_cast(line: &str) -> Option<usize> {
             ".floor() as ",
             ".round() as ",
             ".trunc() as ",
+        ],
+    )
+}
+
+/// Deep copy of a trace's sample buffer: `.to_vec()` / `.to_owned()` /
+/// `.clone()` applied to a `samples` binding or a `samples()` accessor.
+/// Plain `Trace::clone()` is *not* matched — it is an O(1) refcount bump
+/// and the encouraged way to keep a trace around.
+fn match_trace_sample_copy(line: &str) -> Option<usize> {
+    find_any(
+        line,
+        &[
+            "samples().to_vec()",
+            "samples.to_vec()",
+            "samples().to_owned()",
+            "samples.to_owned()",
+            "samples().clone()",
+            "samples.clone()",
         ],
     )
 }

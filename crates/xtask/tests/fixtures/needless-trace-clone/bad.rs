@@ -1,0 +1,6 @@
+//! Tripping fixture: copying the whole sample buffer per call.
+
+/// Returns the demand samples for aggregation.
+pub fn demand_samples(trace: &ropus_trace::Trace) -> Vec<f64> {
+    trace.samples().to_vec()
+}

@@ -1,0 +1,29 @@
+//! Passing fixture: borrow the shared buffer; clone the Trace (O(1)) when
+//! ownership is genuinely needed.
+
+/// Sums the demand samples without copying them.
+pub fn demand_total(trace: &ropus_trace::Trace) -> f64 {
+    trace.samples().iter().sum()
+}
+
+/// Keeps the trace itself: a refcount bump, not a buffer copy.
+pub fn keep(trace: &ropus_trace::Trace) -> ropus_trace::Trace {
+    trace.clone()
+}
+
+/// A justified hand-off: sorting needs an owned, mutable copy.
+pub fn sorted(trace: &ropus_trace::Trace) -> Vec<f64> {
+    // lint:allow(needless-trace-clone): sorting requires a mutable copy.
+    let mut v = trace.samples().to_vec();
+    v.sort_by(f64::total_cmp);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn copies_are_fine_in_tests() {
+        let samples = vec![1.0, 2.0];
+        assert_eq!(samples.clone(), samples.to_vec());
+    }
+}

@@ -88,6 +88,13 @@ const CASES: &[Case] = &[
         first_line: 5,
     },
     Case {
+        rule: "needless-trace-clone",
+        path: LIB_PATH,
+        bad: include_str!("fixtures/needless-trace-clone/bad.rs"),
+        good: include_str!("fixtures/needless-trace-clone/good.rs"),
+        first_line: 5,
+    },
+    Case {
         rule: "lint-allow-syntax",
         path: LIB_PATH,
         bad: include_str!("fixtures/lint-allow-syntax/bad.rs"),
