@@ -19,6 +19,9 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> chaos replay smoke"
+cargo run --release -q -p ropus --example chaos_replay > /dev/null
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 

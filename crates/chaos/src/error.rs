@@ -1,0 +1,128 @@
+//! Typed errors for the fault-injection subsystem.
+
+use std::fmt;
+
+use ropus_placement::PlacementError;
+use ropus_trace::TraceError;
+use ropus_wlm::WlmError;
+
+/// Error raised while building a failure schedule or replaying it.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ChaosError {
+    /// No applications were supplied to the replay.
+    NoApplications,
+    /// A failure event had a zero-slot duration.
+    ZeroDuration {
+        /// The event's server.
+        server: usize,
+        /// The event's start slot.
+        start: usize,
+    },
+    /// Two failure events of the same server overlap in time.
+    OverlappingEvents {
+        /// The server with overlapping outages.
+        server: usize,
+        /// The slot at which the second outage starts while the first is
+        /// still open.
+        slot: usize,
+    },
+    /// A failure event names a server outside the normal-mode pool.
+    UnknownServer {
+        /// The event's server index.
+        server: usize,
+        /// Servers used by the normal-mode placement.
+        pool: usize,
+    },
+    /// A stochastic profile parameter was not a usable rate.
+    InvalidProfile {
+        /// What was wrong.
+        message: String,
+    },
+    /// The placement layer failed while re-placing survivors.
+    Placement(PlacementError),
+    /// The workload-manager layer rejected the replay configuration.
+    Wlm(WlmError),
+    /// A demand trace was invalid or misaligned.
+    Trace(TraceError),
+}
+
+impl fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosError::NoApplications => write!(f, "no applications supplied"),
+            ChaosError::ZeroDuration { server, start } => {
+                write!(
+                    f,
+                    "failure of server {server} at slot {start} has zero duration"
+                )
+            }
+            ChaosError::OverlappingEvents { server, slot } => write!(
+                f,
+                "server {server} fails again at slot {slot} while already failed"
+            ),
+            ChaosError::UnknownServer { server, pool } => write!(
+                f,
+                "failure event names server {server}, but the placement uses {pool} servers"
+            ),
+            ChaosError::InvalidProfile { message } => {
+                write!(f, "invalid stochastic profile: {message}")
+            }
+            ChaosError::Placement(e) => write!(f, "placement error: {e}"),
+            ChaosError::Wlm(e) => write!(f, "wlm error: {e}"),
+            ChaosError::Trace(e) => write!(f, "trace error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChaosError::Placement(e) => Some(e),
+            ChaosError::Wlm(e) => Some(e),
+            ChaosError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlacementError> for ChaosError {
+    fn from(err: PlacementError) -> Self {
+        ChaosError::Placement(err)
+    }
+}
+
+impl From<WlmError> for ChaosError {
+    fn from(err: WlmError) -> Self {
+        ChaosError::Wlm(err)
+    }
+}
+
+impl From<TraceError> for ChaosError {
+    fn from(err: TraceError) -> Self {
+        ChaosError::Trace(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let p: ChaosError = PlacementError::NoWorkloads.into();
+        assert!(std::error::Error::source(&p).is_some());
+        let w: ChaosError = WlmError::InvalidCapacity { capacity: 0.0 }.into();
+        assert!(std::error::Error::source(&w).is_some());
+        let t: ChaosError = TraceError::Empty.into();
+        assert!(std::error::Error::source(&t).is_some());
+        assert!(std::error::Error::source(&ChaosError::NoApplications).is_none());
+        assert!(!ChaosError::NoApplications.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ChaosError>();
+    }
+}

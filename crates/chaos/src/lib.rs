@@ -1,0 +1,38 @@
+//! Deterministic fault injection for R-Opus resource pools.
+//!
+//! The static planner (§VII of the paper) answers "would the pool still
+//! satisfy failure-mode QoS if server *k* died?" by re-consolidating
+//! workload *envelopes* onto the survivors. This crate answers the
+//! complementary dynamic question: it **replays** the raw demand traces
+//! over an explicit failure/repair timeline and measures what the fleet
+//! actually experiences — per-application compliance against the
+//! `(U_low, U_high)` band and the `(M_degr, U_degr, T_degr)` degraded
+//! contract, time-to-recover, migrations triggered, and demand shed or
+//! carried over.
+//!
+//! The pipeline is:
+//!
+//! 1. [`FailureSchedule`] — a validated outage
+//!    timeline, scripted or drawn from a seeded MTBF/MTTR profile.
+//! 2. [`replay`](replay::replay) — splits the horizon into segments of
+//!    constant failed-server sets, re-places displaced applications onto
+//!    survivors via the consolidator, then walks the demand traces slot
+//!    by slot emulating each server's two-priority scheduler with a
+//!    configurable graceful-degradation policy.
+//! 3. [`ChaosReport`] — a pure value; the same
+//!    inputs always serialize to byte-identical JSON, regardless of
+//!    thread count.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod error;
+pub mod replay;
+pub mod report;
+pub mod schedule;
+
+pub use error::ChaosError;
+pub use replay::{replay, ChaosApp, DegradationPolicy, ReplayOptions};
+pub use report::{AppChaosOutcome, ChaosReport, DegradedWindow};
+pub use schedule::{FailureEvent, FailureSchedule, Segment, StochasticProfile};

@@ -1,0 +1,1027 @@
+//! The degraded-mode replay engine.
+//!
+//! [`replay`] walks a fleet's demand traces slot by slot over a
+//! [`FailureSchedule`], re-placing displaced applications onto the
+//! surviving servers at every change of the failed-server set and
+//! emulating each server's two-priority scheduler (CoS1 granted first,
+//! CoS2 shares the remainder proportionally). Unserved demand is either
+//! shed immediately or carried over as deferred CoS2 work with a
+//! deadline, per the [`DegradationPolicy`].
+//!
+//! # Determinism
+//!
+//! The replay is a pure function of its inputs. Re-placements reuse the
+//! failure-sweep worker discipline: when the consolidator is configured
+//! with more than one thread, the distinct failed-server sets are solved
+//! through the order-preserving
+//! [`parallel_map`](ropus_placement::engine::parallel_map()) while each
+//! inner search runs single-threaded, so results are bit-identical across
+//! `--threads` settings. The slot loop itself is serial.
+
+use std::collections::VecDeque;
+
+use ropus_placement::consolidate::{Consolidator, PlacementReport};
+use ropus_placement::engine::parallel_map;
+use ropus_placement::failure::FailureScope;
+use ropus_placement::server::Pool;
+use ropus_placement::workload::Workload;
+use ropus_qos::AppQos;
+use ropus_trace::{Trace, TraceError};
+use ropus_wlm::manager::{WlmPolicy, WorkloadManager};
+use ropus_wlm::metrics::audit;
+use ropus_wlm::WlmError;
+
+use crate::error::ChaosError;
+use crate::report::{AppChaosOutcome, ChaosReport, DegradedWindow};
+use crate::schedule::FailureSchedule;
+
+/// Amounts below this are treated as fully served/drained.
+const EPSILON: f64 = 1e-9;
+
+/// Everything the replay needs to know about one application.
+#[derive(Debug, Clone)]
+pub struct ChaosApp {
+    /// Application name (report key).
+    pub name: String,
+    /// Raw demand trace.
+    pub demand: Trace,
+    /// Manager policy derived from the normal-mode translation.
+    pub normal_policy: WlmPolicy,
+    /// Manager policy derived from the failure-mode translation.
+    pub failure_policy: WlmPolicy,
+    /// Normal-mode QoS contract (audited outside degraded windows).
+    pub normal_qos: AppQos,
+    /// Failure-mode QoS contract (audited inside degraded windows).
+    pub failure_qos: AppQos,
+    /// Normal-mode workload (drives placement when the app keeps its
+    /// normal contract during an outage).
+    pub normal_workload: Workload,
+    /// Failure-mode workload (drives placement when the app is relaxed
+    /// to its failure contract).
+    pub failure_workload: Workload,
+}
+
+/// What happens to demand the survivors cannot absorb.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPolicy {
+    /// Defer unserved demand as CoS2 carry-over work instead of shedding
+    /// it immediately.
+    pub carry_over: bool,
+    /// Slots deferred demand may wait before it is shed. `None` uses the
+    /// pool's CoS2 carry-forward deadline `s` from its commitments.
+    pub deadline_slots: Option<usize>,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy {
+            carry_over: true,
+            deadline_slots: None,
+        }
+    }
+}
+
+impl DegradationPolicy {
+    /// Sheds unserved demand immediately instead of deferring it.
+    pub fn shed_immediately() -> Self {
+        DegradationPolicy {
+            carry_over: false,
+            deadline_slots: Some(0),
+        }
+    }
+}
+
+/// Knobs of a chaos replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayOptions {
+    /// Which applications relax to failure-mode QoS during an outage.
+    pub scope: FailureScope,
+    /// Graceful-degradation policy for demand the survivors cannot
+    /// absorb.
+    pub degradation: DegradationPolicy,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            scope: FailureScope::AffectedOnly,
+            degradation: DegradationPolicy::default(),
+        }
+    }
+}
+
+impl ReplayOptions {
+    /// Sets the failure scope.
+    pub fn with_scope(mut self, scope: FailureScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Sets the graceful-degradation policy.
+    pub fn with_degradation(mut self, degradation: DegradationPolicy) -> Self {
+        self.degradation = degradation;
+        self
+    }
+}
+
+/// Per-segment execution plan: where every app runs and under which
+/// contract.
+#[derive(Debug, Clone)]
+struct SegmentPlan {
+    /// App → physical server (`None` = nowhere to run, blackout).
+    assignment: Vec<Option<usize>>,
+    /// App → whether it runs under its failure-mode policy/contract.
+    use_failure: Vec<bool>,
+    /// Apps displaced from a failed server (relative to normal mode).
+    affected: Vec<usize>,
+    /// Whether the consolidator found this placement (vs. best-effort).
+    feasible: bool,
+    /// Whether some server is down.
+    degraded: bool,
+}
+
+/// Replays the fleet's demand over `schedule`, starting from
+/// `normal_placement`.
+///
+/// `consolidator` supplies the server type, pool commitments, and search
+/// options used to re-place displaced workloads onto survivors; its
+/// thread count also parallelizes the per-failed-set placements.
+///
+/// # Errors
+///
+/// Returns [`ChaosError::NoApplications`] for an empty fleet,
+/// [`ChaosError::UnknownServer`] when an event names a server the normal
+/// placement does not use, [`ChaosError::Wlm`] for a degenerate server
+/// capacity, and [`ChaosError::Trace`] for misaligned demand traces.
+pub fn replay(
+    consolidator: &Consolidator,
+    normal_placement: &PlacementReport,
+    apps: &[ChaosApp],
+    schedule: &FailureSchedule,
+    options: &ReplayOptions,
+) -> Result<ChaosReport, ChaosError> {
+    let n = apps.len();
+    if n == 0 {
+        return Err(ChaosError::NoApplications);
+    }
+    let capacity = consolidator.server().capacity();
+    if !capacity.is_finite() || capacity <= 0.0 {
+        return Err(ChaosError::Wlm(WlmError::InvalidCapacity { capacity }));
+    }
+    let calendar = apps[0].demand.calendar();
+    let horizon = apps[0].demand.len();
+    for app in apps {
+        if app.demand.calendar() != calendar || app.demand.len() != horizon {
+            return Err(ChaosError::Trace(TraceError::Misaligned {
+                left: horizon,
+                right: app.demand.len(),
+            }));
+        }
+    }
+    if normal_placement.assignment.len() != n {
+        return Err(ChaosError::Trace(TraceError::Misaligned {
+            left: n,
+            right: normal_placement.assignment.len(),
+        }));
+    }
+    let pool_ids: Vec<usize> = normal_placement.servers.iter().map(|s| s.server).collect();
+    for e in schedule.events() {
+        if !pool_ids.contains(&e.server) {
+            return Err(ChaosError::UnknownServer {
+                server: e.server,
+                pool: pool_ids.len(),
+            });
+        }
+    }
+    let deadline_slots = match options.degradation.deadline_slots {
+        Some(s) => s,
+        None => calendar.slots_in_minutes(consolidator.commitments().cos2.deadline_minutes()),
+    };
+    let carry_over = options.degradation.carry_over && deadline_slots > 0;
+
+    let segments = schedule.segments(horizon);
+    let plans = segment_plans(consolidator, normal_placement, apps, &segments, options)?;
+
+    // Windows: maximal runs of degraded segments, as inclusive segment
+    // index ranges.
+    let mut window_ranges: Vec<(usize, usize)> = Vec::new();
+    for (k, seg) in segments.iter().enumerate() {
+        if seg.is_degraded() {
+            match window_ranges.last_mut() {
+                Some((_, hi)) if *hi + 1 == k => *hi = k,
+                _ => window_ranges.push((k, k)),
+            }
+        }
+    }
+    let window_of = |k: usize| -> Option<usize> {
+        window_ranges
+            .iter()
+            .position(|&(lo, hi)| lo <= k && k <= hi)
+    };
+
+    let id_cap = pool_ids.iter().max().map_or(0, |m| m + 1);
+    let samples: Vec<&[f64]> = apps.iter().map(|a| a.demand.samples()).collect();
+
+    // Per-app running state.
+    let mut backlog: Vec<VecDeque<(usize, f64)>> = vec![VecDeque::new(); n];
+    let mut util_normal: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut util_degraded: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut demand_total = vec![0.0f64; n];
+    let mut served_on_time = vec![0.0f64; n];
+    let mut served_late = vec![0.0f64; n];
+    let mut shed = vec![0.0f64; n];
+    let mut migrations_per_app = vec![0usize; n];
+    // Fleet-wide series and counters.
+    let mut backlog_series: Vec<f64> = Vec::with_capacity(horizon);
+    let mut window_migrations = vec![0usize; window_ranges.len()];
+    let mut window_shed = vec![0.0f64; window_ranges.len()];
+    let mut contended_slots = 0usize;
+    let mut migrations_total = 0usize;
+    let mut prev_assignment: Vec<Option<usize>> = normal_placement
+        .assignment
+        .iter()
+        .map(|&s| Some(s))
+        .collect();
+
+    // Scratch buffers reused across slots.
+    let mut demand = vec![0.0f64; n];
+    let mut requests = vec![(0.0f64, 0.0f64); n];
+    let mut extra = vec![0.0f64; n];
+    let mut grant_base = vec![0.0f64; n];
+    let mut grant_extra = vec![0.0f64; n];
+
+    for (k, seg) in segments.iter().enumerate() {
+        let plan = &plans[k];
+        // Migrations at the segment boundary: an app moved if it now runs
+        // on a different server (losing its server entirely is
+        // displacement, not a migration).
+        let mut moved = 0usize;
+        for i in 0..n {
+            if plan.assignment[i] != prev_assignment[i] && plan.assignment[i].is_some() {
+                migrations_per_app[i] += 1;
+                moved += 1;
+            }
+        }
+        prev_assignment.clone_from(&plan.assignment);
+        migrations_total += moved;
+        // Attribute the moves to the window they enter, or — for the
+        // moves back home at repair — to the window that just ended.
+        let attributed = if plan.degraded {
+            window_of(k)
+        } else if k > 0 && plans[k - 1].degraded {
+            window_of(k - 1)
+        } else {
+            None
+        };
+        if let Some(w) = attributed {
+            window_migrations[w] += moved;
+        }
+
+        // Managers restart at the segment boundary under the active
+        // policy; with smoothing 1.0 the estimate equals current demand,
+        // so the reset is seamless.
+        let mut managers: Vec<WorkloadManager> = (0..n)
+            .map(|i| {
+                WorkloadManager::new(if plan.use_failure[i] {
+                    apps[i].failure_policy
+                } else {
+                    apps[i].normal_policy
+                })
+            })
+            .collect();
+        let mut hosted: Vec<Vec<usize>> = vec![Vec::new(); id_cap];
+        for i in 0..n {
+            if let Some(s) = plan.assignment[i] {
+                hosted[s].push(i);
+            }
+        }
+
+        for slot in seg.start..seg.end {
+            // Pass 1: every manager observes its demand and requests an
+            // allocation; outstanding backlog rides along as extra CoS2.
+            for (i, series) in samples.iter().enumerate() {
+                demand[i] = series[slot];
+                let req = managers[i].observe(demand[i]);
+                requests[i] = (req.cos1, req.cos2);
+                extra[i] = backlog[i].iter().map(|e| e.1).sum();
+            }
+            // Pass 2: each server grants CoS1 first (scaled down
+            // proportionally on overflow), then CoS2 shares the
+            // remainder proportionally.
+            let mut contended = false;
+            for ids in &hosted {
+                if ids.is_empty() {
+                    continue;
+                }
+                let cos1_sum: f64 = ids.iter().map(|&i| requests[i].0).sum();
+                let cos1_scale = if cos1_sum > capacity {
+                    capacity / cos1_sum
+                } else {
+                    1.0
+                };
+                let remaining = (capacity - cos1_sum * cos1_scale).max(0.0);
+                let cos2_sum: f64 = ids.iter().map(|&i| requests[i].1 + extra[i]).sum();
+                let cos2_scale = if cos2_sum > remaining && cos2_sum > 0.0 {
+                    remaining / cos2_sum
+                } else {
+                    1.0
+                };
+                if cos1_scale < 1.0 || cos2_scale < 1.0 {
+                    contended = true;
+                }
+                for &i in ids {
+                    grant_base[i] = requests[i].0 * cos1_scale + requests[i].1 * cos2_scale;
+                    grant_extra[i] = extra[i] * cos2_scale;
+                }
+            }
+            if contended {
+                contended_slots += 1;
+            }
+            // Pass 3: serve current demand first, drain backlog FIFO with
+            // whatever grant is left, then defer or shed the shortfall.
+            let mut slot_backlog = 0.0f64;
+            let mut slot_shed = 0.0f64;
+            for i in 0..n {
+                let recovering = !backlog[i].is_empty();
+                let (g_base, g_extra) = if plan.assignment[i].is_some() {
+                    (grant_base[i], grant_extra[i])
+                } else {
+                    (0.0, 0.0)
+                };
+                let g_total = g_base + g_extra;
+                let d = demand[i];
+                let serve_now = d.min(g_total);
+                let mut leftover = (g_total - serve_now).max(0.0);
+                let mut late = 0.0f64;
+                while leftover > EPSILON {
+                    let Some(front) = backlog[i].front_mut() else {
+                        break;
+                    };
+                    let take = front.1.min(leftover);
+                    front.1 -= take;
+                    late += take;
+                    leftover -= take;
+                    if front.1 <= EPSILON {
+                        backlog[i].pop_front();
+                    }
+                }
+                demand_total[i] += d;
+                served_on_time[i] += serve_now;
+                served_late[i] += late;
+                let shortfall = d - serve_now;
+                if shortfall > EPSILON {
+                    if carry_over {
+                        backlog[i].push_back((slot, shortfall));
+                    } else {
+                        shed[i] += shortfall;
+                        slot_shed += shortfall;
+                    }
+                }
+                // Expire deferred work past its deadline. Entries are in
+                // arrival order, so the front is always the oldest.
+                while let Some(&(arrival, amount)) = backlog[i].front() {
+                    if slot >= arrival + deadline_slots {
+                        shed[i] += amount;
+                        slot_shed += amount;
+                        backlog[i].pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                slot_backlog += backlog[i].iter().map(|e| e.1).sum::<f64>();
+                // Utilization of (own) allocation for current demand —
+                // backlog drain uses headroom and is not charged against
+                // the band.
+                let u = if g_base > EPSILON {
+                    serve_now.min(g_base) / g_base
+                } else {
+                    0.0
+                };
+                if plan.degraded || recovering {
+                    util_degraded[i].push(u);
+                } else {
+                    util_normal[i].push(u);
+                }
+            }
+            backlog_series.push(slot_backlog);
+            if plan.degraded {
+                if let Some(w) = window_of(k) {
+                    window_shed[w] += slot_shed;
+                }
+            }
+        }
+    }
+
+    // Assemble per-window metrics.
+    let mut windows = Vec::with_capacity(window_ranges.len());
+    for (w, &(lo, hi)) in window_ranges.iter().enumerate() {
+        let start = segments[lo].start;
+        let end = segments[hi].end;
+        let mut failed: Vec<usize> = Vec::new();
+        let mut displaced: Vec<usize> = Vec::new();
+        let mut feasible = true;
+        for k in lo..=hi {
+            failed.extend_from_slice(&segments[k].failed);
+            displaced.extend_from_slice(&plans[k].affected);
+            feasible &= plans[k].feasible;
+        }
+        failed.sort_unstable();
+        failed.dedup();
+        displaced.sort_unstable();
+        displaced.dedup();
+        let mut recovery_slots = None;
+        for (t, &outstanding) in backlog_series.iter().enumerate().skip(end - 1) {
+            if outstanding <= EPSILON {
+                recovery_slots = Some((t + 1).saturating_sub(end));
+                break;
+            }
+        }
+        windows.push(DegradedWindow {
+            start,
+            end,
+            failed,
+            feasible,
+            displaced: displaced.len(),
+            migrations: window_migrations[w],
+            shed: window_shed[w],
+            recovery_slots,
+        });
+    }
+
+    // Assemble per-app outcomes.
+    let mut out_apps = Vec::with_capacity(n);
+    for (i, app) in apps.iter().enumerate() {
+        let normal_audit = if util_normal[i].is_empty() {
+            None
+        } else {
+            let trace = Trace::from_samples(calendar, std::mem::take(&mut util_normal[i]))?;
+            Some(audit(&trace, &app.normal_qos))
+        };
+        let degraded_audit = if util_degraded[i].is_empty() {
+            None
+        } else {
+            let trace = Trace::from_samples(calendar, std::mem::take(&mut util_degraded[i]))?;
+            Some(audit(&trace, &app.failure_qos))
+        };
+        let backlog_remaining: f64 = backlog[i].iter().map(|e| e.1).sum();
+        let served = served_on_time[i] + served_late[i];
+        let unserved_fraction = if demand_total[i] > 0.0 {
+            ((demand_total[i] - served) / demand_total[i]).max(0.0)
+        } else {
+            0.0
+        };
+        out_apps.push(AppChaosOutcome {
+            name: app.name.clone(),
+            home_server: normal_placement.assignment[i],
+            demand_total: demand_total[i],
+            served_on_time: served_on_time[i],
+            served_late: served_late[i],
+            shed: shed[i],
+            backlog_remaining,
+            unserved_fraction,
+            migrations: migrations_per_app[i],
+            normal_audit,
+            degraded_audit,
+        });
+    }
+
+    Ok(ChaosReport {
+        slots: horizon,
+        slot_minutes: calendar.slot_minutes(),
+        scope: options.scope,
+        carry_over,
+        deadline_slots,
+        degraded_slots: segments
+            .iter()
+            .filter(|s| s.is_degraded())
+            .map(|s| s.end - s.start)
+            .sum(),
+        contended_slots,
+        migrations_total,
+        demand_total: demand_total.iter().sum(),
+        served_total: served_on_time.iter().sum::<f64>() + served_late.iter().sum::<f64>(),
+        served_late_total: served_late.iter().sum(),
+        shed_total: shed.iter().sum(),
+        apps: out_apps,
+        windows,
+    })
+}
+
+/// Builds the per-segment execution plans, re-placing displaced
+/// workloads for every distinct failed-server set.
+fn segment_plans(
+    consolidator: &Consolidator,
+    normal_placement: &PlacementReport,
+    apps: &[ChaosApp],
+    segments: &[crate::schedule::Segment],
+    options: &ReplayOptions,
+) -> Result<Vec<SegmentPlan>, ChaosError> {
+    let n = apps.len();
+    let pool_ids: Vec<usize> = normal_placement.servers.iter().map(|s| s.server).collect();
+
+    // Distinct failed sets in first-appearance order; every segment maps
+    // to its set's index (usize::MAX sentinel is never read for normal
+    // segments).
+    let mut distinct: Vec<Vec<usize>> = Vec::new();
+    for seg in segments {
+        if seg.is_degraded() && !distinct.contains(&seg.failed) {
+            distinct.push(seg.failed.clone());
+        }
+    }
+
+    // One re-placement input per distinct failed set.
+    struct SetInput {
+        affected: Vec<usize>,
+        mixed: Vec<Workload>,
+        survivors: Vec<usize>,
+    }
+    let inputs: Vec<SetInput> = distinct
+        .iter()
+        .map(|failed| {
+            let affected: Vec<usize> = (0..n)
+                .filter(|&i| failed.contains(&normal_placement.assignment[i]))
+                .collect();
+            let mixed: Vec<Workload> = (0..n)
+                .map(|i| match options.scope {
+                    FailureScope::AllApplications => apps[i].failure_workload.clone(),
+                    FailureScope::AffectedOnly => {
+                        if affected.contains(&i) {
+                            apps[i].failure_workload.clone()
+                        } else {
+                            apps[i].normal_workload.clone()
+                        }
+                    }
+                })
+                .collect();
+            let survivors: Vec<usize> = pool_ids
+                .iter()
+                .copied()
+                .filter(|s| !failed.contains(s))
+                .collect();
+            SetInput {
+                affected,
+                mixed,
+                survivors,
+            }
+        })
+        .collect();
+
+    // Solve the distinct sets in parallel; each inner search runs
+    // single-threaded so worker pools do not nest and results stay
+    // bit-identical across `--threads` settings.
+    let threads = consolidator.options().ga.threads;
+    let worker = if threads > 1 {
+        Consolidator::new(
+            consolidator.server(),
+            consolidator.commitments(),
+            consolidator.options().with_threads(1),
+        )
+    } else {
+        *consolidator
+    };
+    let server = consolidator.server();
+    let placements: Vec<(bool, Vec<Option<usize>>)> = parallel_map(threads, &inputs, |input| {
+        if input.survivors.is_empty() {
+            // Blackout: nowhere to run anything.
+            return (false, vec![None; n]);
+        }
+        let pool = Pool::homogeneous(server, input.survivors.len());
+        match worker.consolidate_onto(&input.mixed, pool) {
+            Ok(report) => {
+                let assignment = report
+                    .assignment
+                    .iter()
+                    .map(|&s| Some(input.survivors[s]))
+                    .collect();
+                (true, assignment)
+            }
+            // The survivors cannot absorb the fleet within commitments:
+            // fall back to deterministic best-effort packing and let the
+            // slot loop degrade gracefully.
+            Err(_) => (
+                false,
+                best_effort_assignment(&input.mixed, &input.survivors),
+            ),
+        }
+    });
+
+    let mut plans = Vec::with_capacity(segments.len());
+    for seg in segments {
+        if !seg.is_degraded() {
+            plans.push(SegmentPlan {
+                assignment: normal_placement
+                    .assignment
+                    .iter()
+                    .map(|&s| Some(s))
+                    .collect(),
+                use_failure: vec![false; n],
+                affected: Vec::new(),
+                feasible: true,
+                degraded: false,
+            });
+            continue;
+        }
+        let ix = distinct
+            .iter()
+            .position(|f| *f == seg.failed)
+            .unwrap_or_default();
+        let input = &inputs[ix];
+        let (feasible, ref assignment) = placements[ix];
+        let use_failure: Vec<bool> = (0..n)
+            .map(|i| match options.scope {
+                FailureScope::AllApplications => true,
+                FailureScope::AffectedOnly => input.affected.contains(&i),
+            })
+            .collect();
+        plans.push(SegmentPlan {
+            assignment: assignment.clone(),
+            use_failure,
+            affected: input.affected.clone(),
+            feasible,
+            degraded: true,
+        });
+    }
+    Ok(plans)
+}
+
+/// Deterministic greedy fallback: largest workloads first, each onto the
+/// least-loaded survivor (ties break to the lowest server id).
+fn best_effort_assignment(mixed: &[Workload], survivors: &[usize]) -> Vec<Option<usize>> {
+    let mut order: Vec<usize> = (0..mixed.len()).collect();
+    order.sort_by(|&a, &b| {
+        mixed[b]
+            .total_peak()
+            .partial_cmp(&mixed[a].total_peak())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut load = vec![0.0f64; survivors.len()];
+    let mut assignment = vec![None; mixed.len()];
+    for i in order {
+        let mut best = 0usize;
+        for (j, &l) in load.iter().enumerate() {
+            if l < load[best] {
+                best = j;
+            }
+        }
+        assignment[i] = Some(survivors[best]);
+        load[best] += mixed[i].total_peak();
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::FailureEvent;
+    use ropus_placement::consolidate::ConsolidationOptions;
+    use ropus_placement::server::ServerSpec;
+    use ropus_qos::translation::translate;
+    use ropus_qos::{CosSpec, PoolCommitments};
+    use ropus_trace::Calendar;
+
+    /// One week on the five-minute calendar; the consolidator requires
+    /// whole-week traces.
+    const WEEK: usize = 2016;
+
+    fn commitments() -> PoolCommitments {
+        PoolCommitments::new(CosSpec::new(0.9, 60).unwrap())
+    }
+
+    fn consolidator(threads: usize) -> Consolidator {
+        Consolidator::new(
+            ServerSpec::new(4, 4.0),
+            commitments(),
+            ConsolidationOptions::fast(11).with_threads(threads),
+        )
+    }
+
+    /// Builds an app with constant demand plus its translations.
+    fn app(name: &str, level: f64, slots: usize) -> ChaosApp {
+        let calendar = Calendar::five_minute();
+        let demand = Trace::constant(calendar, level, slots).unwrap();
+        let normal_qos = AppQos::paper_default(Some(30));
+        let failure_qos = AppQos::paper_default(None);
+        let normal = translate(&demand, &normal_qos, &commitments().cos2).unwrap();
+        let failure = translate(&demand, &failure_qos, &commitments().cos2).unwrap();
+        ChaosApp {
+            name: name.to_string(),
+            demand,
+            normal_policy: WlmPolicy::from_translation(&normal_qos, &normal.report),
+            failure_policy: WlmPolicy::from_translation(&failure_qos, &failure.report),
+            normal_qos,
+            failure_qos,
+            normal_workload: Workload::from_translation(name, normal),
+            failure_workload: Workload::from_translation(name, failure),
+        }
+    }
+
+    fn fleet(levels: &[f64], slots: usize) -> Vec<ChaosApp> {
+        levels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| app(&format!("app-{i}"), l, slots))
+            .collect()
+    }
+
+    fn normal_placement(cons: &Consolidator, apps: &[ChaosApp]) -> PlacementReport {
+        let workloads: Vec<Workload> = apps.iter().map(|a| a.normal_workload.clone()).collect();
+        cons.consolidate(&workloads).unwrap()
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        let cons = consolidator(1);
+        let apps = fleet(&[1.0], WEEK);
+        let placement = normal_placement(&cons, &apps);
+        let err = replay(
+            &cons,
+            &placement,
+            &[],
+            &FailureSchedule::none(),
+            &ReplayOptions::default(),
+        );
+        assert!(matches!(err, Err(ChaosError::NoApplications)));
+    }
+
+    #[test]
+    fn unknown_server_is_rejected() {
+        let cons = consolidator(1);
+        let apps = fleet(&[1.0, 1.2], WEEK);
+        let placement = normal_placement(&cons, &apps);
+        let schedule = FailureSchedule::scripted(vec![FailureEvent {
+            server: 40,
+            start: 0,
+            duration: 4,
+        }])
+        .unwrap();
+        let err = replay(
+            &cons,
+            &placement,
+            &apps,
+            &schedule,
+            &ReplayOptions::default(),
+        );
+        assert!(matches!(
+            err,
+            Err(ChaosError::UnknownServer { server: 40, .. })
+        ));
+    }
+
+    #[test]
+    fn no_failures_replays_clean() {
+        let cons = consolidator(1);
+        let apps = fleet(&[1.0, 1.2, 0.8], WEEK);
+        let placement = normal_placement(&cons, &apps);
+        let report = replay(
+            &cons,
+            &placement,
+            &apps,
+            &FailureSchedule::none(),
+            &ReplayOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.degraded_slots, 0);
+        assert_eq!(report.migrations_total, 0);
+        assert!(report.windows.is_empty());
+        assert!(report.shed_total.abs() < 1e-9);
+        assert!(report.all_compliant(), "clean replay must be compliant");
+        for a in &report.apps {
+            assert!(a.degraded_audit.is_none());
+            assert!((a.served_total() - a.demand_total).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn accounting_identity_holds() {
+        // Demand = served + shed + backlog for every app, whatever the
+        // degradation policy.
+        let cons = consolidator(1);
+        let apps = fleet(&[2.6, 2.4, 2.8, 2.2], WEEK);
+        let placement = normal_placement(&cons, &apps);
+        let schedule = FailureSchedule::scripted(vec![FailureEvent {
+            server: placement.servers[0].server,
+            start: 8,
+            duration: 16,
+        }])
+        .unwrap();
+        for degradation in [
+            DegradationPolicy::default(),
+            DegradationPolicy::shed_immediately(),
+            DegradationPolicy {
+                carry_over: true,
+                deadline_slots: Some(2),
+            },
+        ] {
+            let report = replay(
+                &cons,
+                &placement,
+                &apps,
+                &schedule,
+                &ReplayOptions::default().with_degradation(degradation),
+            )
+            .unwrap();
+            for a in &report.apps {
+                let balance = a.served_total() + a.shed + a.backlog_remaining;
+                assert!(
+                    (balance - a.demand_total).abs() < 1e-6,
+                    "{}: demand {} vs balance {balance}",
+                    a.name,
+                    a.demand_total
+                );
+            }
+            assert_eq!(report.windows.len(), 1);
+            assert_eq!(report.degraded_slots, 16);
+        }
+    }
+
+    #[test]
+    fn blackout_shreds_or_carries_everything() {
+        let cons = consolidator(1);
+        let apps = fleet(&[1.5], WEEK);
+        let placement = normal_placement(&cons, &apps);
+        assert_eq!(placement.servers_used, 1);
+        let schedule = FailureSchedule::scripted(vec![FailureEvent {
+            server: placement.servers[0].server,
+            start: 4,
+            duration: 4,
+        }])
+        .unwrap();
+        let report = replay(
+            &cons,
+            &placement,
+            &apps,
+            &schedule,
+            &ReplayOptions::default().with_degradation(DegradationPolicy::shed_immediately()),
+        )
+        .unwrap();
+        // 4 slots × 1.5 CPU shed, the rest served.
+        assert!((report.shed_total - 6.0).abs() < 1e-6);
+        assert!(!report.windows[0].feasible);
+        assert_eq!(report.windows[0].displaced, 1);
+        assert_eq!(report.windows[0].recovery_slots, Some(0));
+    }
+
+    #[test]
+    fn carried_demand_recovers_after_repair() {
+        let cons = consolidator(1);
+        let apps = fleet(&[1.5], WEEK);
+        let placement = normal_placement(&cons, &apps);
+        let schedule = FailureSchedule::scripted(vec![FailureEvent {
+            server: placement.servers[0].server,
+            start: 4,
+            duration: 4,
+        }])
+        .unwrap();
+        let report = replay(
+            &cons,
+            &placement,
+            &apps,
+            &schedule,
+            &ReplayOptions::default().with_degradation(DegradationPolicy {
+                carry_over: true,
+                deadline_slots: Some(100),
+            }),
+        )
+        .unwrap();
+        let recovery = report.windows[0].recovery_slots.expect("must recover");
+        assert!(recovery > 0, "backlog must take time to drain");
+        // Deferred outage demand is eventually served late, not shed.
+        assert!(report.shed_total.abs() < 1e-9);
+        assert!(report.served_late_total > 0.0);
+        let a = &report.apps[0];
+        assert!((a.served_total() - a.demand_total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deadline_zero_disables_carry_over() {
+        let cons = consolidator(1);
+        let apps = fleet(&[1.5], WEEK);
+        let placement = normal_placement(&cons, &apps);
+        let schedule = FailureSchedule::scripted(vec![FailureEvent {
+            server: placement.servers[0].server,
+            start: 4,
+            duration: 4,
+        }])
+        .unwrap();
+        let report = replay(
+            &cons,
+            &placement,
+            &apps,
+            &schedule,
+            &ReplayOptions::default().with_degradation(DegradationPolicy {
+                carry_over: true,
+                deadline_slots: Some(0),
+            }),
+        )
+        .unwrap();
+        assert!(!report.carry_over);
+        assert!((report.shed_total - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_deadline_comes_from_commitments() {
+        let cons = consolidator(1);
+        let apps = fleet(&[1.0], WEEK);
+        let placement = normal_placement(&cons, &apps);
+        let report = replay(
+            &cons,
+            &placement,
+            &apps,
+            &FailureSchedule::none(),
+            &ReplayOptions::default(),
+        )
+        .unwrap();
+        // 60-minute deadline on a 5-minute calendar.
+        assert_eq!(report.deadline_slots, 12);
+        assert!(report.carry_over);
+    }
+
+    #[test]
+    fn displaced_apps_migrate_and_return() {
+        let cons = consolidator(1);
+        // Two servers' worth of load.
+        let apps = fleet(&[2.6, 2.4, 2.8, 2.2], WEEK);
+        let placement = normal_placement(&cons, &apps);
+        assert!(placement.servers_used >= 2, "fixture must span servers");
+        let failed = placement.servers[0].server;
+        let schedule = FailureSchedule::scripted(vec![FailureEvent {
+            server: failed,
+            start: 8,
+            duration: 16,
+        }])
+        .unwrap();
+        let report = replay(
+            &cons,
+            &placement,
+            &apps,
+            &schedule,
+            &ReplayOptions::default(),
+        )
+        .unwrap();
+        let displaced = report.windows[0].displaced;
+        assert!(displaced > 0);
+        // Each displaced app moves out and back home.
+        assert_eq!(report.migrations_total, 2 * displaced);
+        assert_eq!(report.windows[0].migrations, report.migrations_total);
+        for a in &report.apps {
+            assert!(a.migrations == 0 || a.migrations == 2);
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic_across_threads() {
+        let apps = fleet(&[2.6, 2.4, 2.8, 2.2, 1.9], WEEK);
+        let schedule = FailureSchedule::stochastic(
+            &crate::schedule::StochasticProfile {
+                seed: 5,
+                mtbf_slots: 30,
+                mttr_slots: 6,
+            },
+            2,
+            WEEK,
+        )
+        .unwrap();
+        let run = |threads: usize| {
+            let cons = consolidator(threads);
+            let placement = normal_placement(&consolidator(1), &apps);
+            replay(
+                &cons,
+                &placement,
+                &apps,
+                &schedule,
+                &ReplayOptions::default(),
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn scope_all_relaxes_every_app() {
+        let cons = consolidator(1);
+        let apps = fleet(&[2.6, 2.4, 2.8, 2.2], WEEK);
+        let placement = normal_placement(&cons, &apps);
+        let schedule = FailureSchedule::scripted(vec![FailureEvent {
+            server: placement.servers[0].server,
+            start: 8,
+            duration: 16,
+        }])
+        .unwrap();
+        let all = replay(
+            &cons,
+            &placement,
+            &apps,
+            &schedule,
+            &ReplayOptions::default().with_scope(FailureScope::AllApplications),
+        )
+        .unwrap();
+        assert_eq!(all.scope, FailureScope::AllApplications);
+        // Under AllApplications every app has degraded-window samples.
+        for a in &all.apps {
+            assert!(a.degraded_audit.is_some(), "{} must be degraded", a.name);
+        }
+    }
+}

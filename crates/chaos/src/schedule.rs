@@ -1,0 +1,360 @@
+//! Failure/repair timelines: when servers go down and come back.
+//!
+//! A [`FailureSchedule`] is an explicit list of outages over the replay
+//! horizon, built either from a fixed script (regression scenarios, the
+//! §VII case study) or from a seeded stochastic MTBF/MTTR profile drawn
+//! from the workspace's deterministic RNG facade. Both constructions are
+//! pure functions of their inputs, so a schedule — and everything replayed
+//! against it — is bit-identical run to run.
+
+use serde::{Deserialize, Serialize};
+
+use ropus_trace::rng::Rng;
+
+use crate::error::ChaosError;
+
+/// One server outage: the server is down for `duration` slots starting at
+/// `start` (repair completes at `start + duration`, exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// Index of the failed server in the normal-mode placement's pool.
+    pub server: usize,
+    /// First slot of the outage.
+    pub start: usize,
+    /// Outage length in slots (must be positive).
+    pub duration: usize,
+}
+
+impl FailureEvent {
+    /// First slot after the repair completes.
+    pub fn end(&self) -> usize {
+        self.start.saturating_add(self.duration)
+    }
+}
+
+/// Seeded stochastic outage model: per-server independent alternating
+/// renewal process with geometric up- and down-times.
+///
+/// Each server draws from its own forked RNG stream
+/// (`seed_from_u64(seed).fork(server)`), so adding a server to the pool
+/// never perturbs the outage history of the others.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StochasticProfile {
+    /// Seed of the outage process.
+    pub seed: u64,
+    /// Mean time between failures, in slots (≥ 1).
+    pub mtbf_slots: usize,
+    /// Mean time to repair, in slots (≥ 1).
+    pub mttr_slots: usize,
+}
+
+/// A contiguous run of slots over which the set of failed servers is
+/// constant. Produced by [`FailureSchedule::segments`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// First slot of the segment.
+    pub start: usize,
+    /// One past the last slot of the segment.
+    pub end: usize,
+    /// Failed servers during the segment, sorted ascending.
+    pub failed: Vec<usize>,
+}
+
+impl Segment {
+    /// Whether some server is down during this segment.
+    pub fn is_degraded(&self) -> bool {
+        !self.failed.is_empty()
+    }
+}
+
+/// A validated failure/repair timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureSchedule {
+    events: Vec<FailureEvent>,
+}
+
+impl FailureSchedule {
+    /// A schedule with no outages: the replay degenerates to a pure
+    /// normal-mode run.
+    pub fn none() -> Self {
+        FailureSchedule { events: Vec::new() }
+    }
+
+    /// Builds a schedule from an explicit outage script.
+    ///
+    /// Events are sorted by `(start, server)`; per-server overlaps are
+    /// rejected (a server cannot fail while already failed). Back-to-back
+    /// outages (`next.start == prev.end`) are allowed and behave as one
+    /// longer outage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosError::ZeroDuration`] or
+    /// [`ChaosError::OverlappingEvents`].
+    pub fn scripted(mut events: Vec<FailureEvent>) -> Result<Self, ChaosError> {
+        for e in &events {
+            if e.duration == 0 {
+                return Err(ChaosError::ZeroDuration {
+                    server: e.server,
+                    start: e.start,
+                });
+            }
+        }
+        events.sort_by_key(|e| (e.start, e.server, e.duration));
+        let mut open_until: Vec<(usize, usize)> = Vec::new(); // (server, end)
+        for e in &events {
+            if let Some(&(_, end)) = open_until.iter().find(|&&(s, _)| s == e.server) {
+                if e.start < end {
+                    return Err(ChaosError::OverlappingEvents {
+                        server: e.server,
+                        slot: e.start,
+                    });
+                }
+            }
+            open_until.retain(|&(s, _)| s != e.server);
+            open_until.push((e.server, e.end()));
+        }
+        Ok(FailureSchedule { events })
+    }
+
+    /// Draws a schedule from a seeded MTBF/MTTR profile for a pool of
+    /// `servers` servers over `horizon` slots.
+    ///
+    /// Up- and down-times are geometric with means `mtbf_slots` and
+    /// `mttr_slots`; outages running past the horizon are clipped to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosError::InvalidProfile`] when either mean is zero.
+    pub fn stochastic(
+        profile: &StochasticProfile,
+        servers: usize,
+        horizon: usize,
+    ) -> Result<Self, ChaosError> {
+        if profile.mtbf_slots == 0 || profile.mttr_slots == 0 {
+            return Err(ChaosError::InvalidProfile {
+                message: format!(
+                    "mtbf ({}) and mttr ({}) must be at least one slot",
+                    profile.mtbf_slots, profile.mttr_slots
+                ),
+            });
+        }
+        let p_fail = 1.0 / ropus_qos::units::count(profile.mtbf_slots);
+        let p_repair = 1.0 / ropus_qos::units::count(profile.mttr_slots);
+        let root = Rng::seed_from_u64(profile.seed);
+        let mut events = Vec::new();
+        for server in 0..servers {
+            let mut rng = root.fork(server as u64);
+            let mut t = 0usize;
+            loop {
+                // geometric() has support 1, 2, ... — a server is up for at
+                // least one slot between outages.
+                t = t.saturating_add(rng.geometric(p_fail));
+                if t >= horizon {
+                    break;
+                }
+                let duration = rng.geometric(p_repair).min(horizon - t);
+                events.push(FailureEvent {
+                    server,
+                    start: t,
+                    duration,
+                });
+                t = t.saturating_add(duration);
+            }
+        }
+        // Per-server streams never overlap themselves, so scripted()'s
+        // validation is a no-op here — reuse it for the canonical ordering.
+        FailureSchedule::scripted(events)
+    }
+
+    /// The outages, sorted by `(start, server)`.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// The largest server index any event names.
+    pub fn max_server(&self) -> Option<usize> {
+        self.events.iter().map(|e| e.server).max()
+    }
+
+    /// Number of slots in `0..horizon` during which at least one server is
+    /// down.
+    pub fn degraded_slots(&self, horizon: usize) -> usize {
+        self.segments(horizon)
+            .iter()
+            .filter(|s| s.is_degraded())
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// Splits `0..horizon` into maximal runs of constant failed-server
+    /// sets, in time order. Adjacent runs always differ in their failed
+    /// set; the segments exactly tile the horizon.
+    pub fn segments(&self, horizon: usize) -> Vec<Segment> {
+        if horizon == 0 {
+            return Vec::new();
+        }
+        let mut boundaries: Vec<usize> = vec![0, horizon];
+        for e in &self.events {
+            if e.start < horizon {
+                boundaries.push(e.start);
+            }
+            if e.end() < horizon {
+                boundaries.push(e.end());
+            }
+        }
+        boundaries.sort_unstable();
+        boundaries.dedup();
+
+        let mut segments: Vec<Segment> = Vec::new();
+        for pair in boundaries.windows(2) {
+            let (start, end) = (pair[0], pair[1]);
+            let mut failed: Vec<usize> = self
+                .events
+                .iter()
+                .filter(|e| e.start <= start && start < e.end())
+                .map(|e| e.server)
+                .collect();
+            failed.sort_unstable();
+            failed.dedup();
+            match segments.last_mut() {
+                Some(prev) if prev.failed == failed => prev.end = end,
+                _ => segments.push(Segment { start, end, failed }),
+            }
+        }
+        segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(server: usize, start: usize, duration: usize) -> FailureEvent {
+        FailureEvent {
+            server,
+            start,
+            duration,
+        }
+    }
+
+    #[test]
+    fn scripted_sorts_and_validates() {
+        let s = FailureSchedule::scripted(vec![ev(1, 50, 10), ev(0, 10, 20)]).unwrap();
+        assert_eq!(s.events()[0], ev(0, 10, 20));
+        assert_eq!(s.max_server(), Some(1));
+        assert!(matches!(
+            FailureSchedule::scripted(vec![ev(0, 5, 0)]),
+            Err(ChaosError::ZeroDuration {
+                server: 0,
+                start: 5
+            })
+        ));
+        assert!(matches!(
+            FailureSchedule::scripted(vec![ev(0, 10, 20), ev(0, 15, 5)]),
+            Err(ChaosError::OverlappingEvents {
+                server: 0,
+                slot: 15
+            })
+        ));
+        // Back-to-back outages of one server are fine.
+        assert!(FailureSchedule::scripted(vec![ev(0, 10, 5), ev(0, 15, 5)]).is_ok());
+        // Different servers may overlap freely.
+        assert!(FailureSchedule::scripted(vec![ev(0, 10, 20), ev(1, 15, 20)]).is_ok());
+    }
+
+    #[test]
+    fn segments_tile_the_horizon() {
+        let s = FailureSchedule::scripted(vec![ev(0, 10, 20), ev(1, 20, 20)]).unwrap();
+        let segs = s.segments(100);
+        assert_eq!(segs.first().map(|s| s.start), Some(0));
+        assert_eq!(segs.last().map(|s| s.end), Some(100));
+        for pair in segs.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+            assert_ne!(pair[0].failed, pair[1].failed);
+        }
+        let expected: Vec<(usize, usize, Vec<usize>)> = vec![
+            (0, 10, vec![]),
+            (10, 20, vec![0]),
+            (20, 30, vec![0, 1]),
+            (30, 40, vec![1]),
+            (40, 100, vec![]),
+        ];
+        let got: Vec<(usize, usize, Vec<usize>)> = segs
+            .iter()
+            .map(|s| (s.start, s.end, s.failed.clone()))
+            .collect();
+        assert_eq!(got, expected);
+        assert_eq!(s.degraded_slots(100), 30);
+    }
+
+    #[test]
+    fn events_past_the_horizon_are_invisible() {
+        let s = FailureSchedule::scripted(vec![ev(0, 200, 10)]).unwrap();
+        let segs = s.segments(100);
+        assert_eq!(segs.len(), 1);
+        assert!(!segs[0].is_degraded());
+        assert_eq!(s.degraded_slots(100), 0);
+    }
+
+    #[test]
+    fn empty_schedule_is_one_normal_segment() {
+        let s = FailureSchedule::none();
+        let segs = s.segments(50);
+        assert_eq!(segs.len(), 1);
+        assert_eq!((segs[0].start, segs[0].end), (0, 50));
+        assert!(s.segments(0).is_empty());
+    }
+
+    #[test]
+    fn stochastic_is_deterministic_and_bounded() {
+        let profile = StochasticProfile {
+            seed: 7,
+            mtbf_slots: 100,
+            mttr_slots: 12,
+        };
+        let a = FailureSchedule::stochastic(&profile, 4, 2016).unwrap();
+        let b = FailureSchedule::stochastic(&profile, 4, 2016).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.events().is_empty(), "mtbf 100 over 2016 slots must fire");
+        for e in a.events() {
+            assert!(e.server < 4);
+            assert!(e.end() <= 2016);
+            assert!(e.duration >= 1);
+        }
+    }
+
+    #[test]
+    fn stochastic_streams_are_per_server() {
+        let profile = StochasticProfile {
+            seed: 7,
+            mtbf_slots: 100,
+            mttr_slots: 12,
+        };
+        let small = FailureSchedule::stochastic(&profile, 2, 2016).unwrap();
+        let large = FailureSchedule::stochastic(&profile, 4, 2016).unwrap();
+        // The first two servers' outage histories are unchanged by growing
+        // the pool.
+        let first_two = |s: &FailureSchedule| -> Vec<FailureEvent> {
+            s.events()
+                .iter()
+                .copied()
+                .filter(|e| e.server < 2)
+                .collect()
+        };
+        assert_eq!(first_two(&small), first_two(&large));
+    }
+
+    #[test]
+    fn stochastic_rejects_zero_rates() {
+        let bad = StochasticProfile {
+            seed: 0,
+            mtbf_slots: 0,
+            mttr_slots: 5,
+        };
+        assert!(matches!(
+            FailureSchedule::stochastic(&bad, 2, 100),
+            Err(ChaosError::InvalidProfile { .. })
+        ));
+    }
+}

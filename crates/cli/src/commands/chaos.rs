@@ -1,0 +1,222 @@
+//! `ropus chaos` — deterministic fault injection: replay the fleet's
+//! demand over a failure/repair timeline and measure the performability
+//! each application actually experiences (degraded-mode compliance,
+//! migrations, shed demand, time-to-recover).
+
+use ropus::prelude::*;
+
+use crate::args::Args;
+use crate::commands::load_traces;
+use crate::policy::PolicyFile;
+
+const HELP: &str = "\
+ropus chaos — replay demand over a failure/repair timeline
+
+Consolidates the fleet in normal mode, then replays the demand traces
+while injecting server failures. During an outage the affected (or all)
+applications fall back to failure-mode QoS, displaced workloads are
+re-placed onto the survivors, and demand the survivors cannot serve is
+carried over within the CoS2 deadline or shed. The replay is
+deterministic: the same traces, policy, seeds, and schedule produce a
+byte-identical report at any --threads setting.
+
+OPTIONS:
+    --traces <FILE>     demand-trace CSV (required)
+    --policy <FILE>     policy JSON (required)
+    --fail <EVENTS>     scripted outages as SERVER@START+DURATION
+                        (slots), comma-separated, e.g. 0@1008+36,1@600+12
+    --mtbf-hours <H>    draw a stochastic schedule: mean time between
+                        failures per server, in hours
+    --mttr-hours <H>    mean time to repair, in hours (with --mtbf-hours)
+    --chaos-seed <N>    seed of the stochastic schedule (default 0)
+    --scope <S>         which apps relax to failure-mode QoS during an
+                        outage: 'affected' (default) or 'all'
+    --shed              drop unserved demand immediately instead of
+                        carrying it over within the CoS2 deadline
+    --seed <N>          placement search seed (default 0)
+    --threads <N>       engine worker threads (default 1)
+    --fast              use fast search options (tests/previews)
+    --json              emit the chaos report as JSON
+    --help              show this message";
+
+/// Parses `SERVER@START+DURATION` triples, comma-separated.
+fn parse_events(spec: &str) -> Result<Vec<FailureEvent>, String> {
+    spec.split(',')
+        .map(|item| {
+            let bad = || format!("--fail entry {item:?} is not SERVER@START+DURATION");
+            let (server, rest) = item.split_once('@').ok_or_else(bad)?;
+            let (start, duration) = rest.split_once('+').ok_or_else(bad)?;
+            Ok(FailureEvent {
+                server: server.trim().parse().map_err(|_| bad())?,
+                start: start.trim().parse().map_err(|_| bad())?,
+                duration: duration.trim().parse().map_err(|_| bad())?,
+            })
+        })
+        .collect()
+}
+
+/// Converts a duration in hours to calendar slots (at least one).
+fn hours_to_slots(calendar: Calendar, hours: f64) -> usize {
+    calendar
+        .slots_in_minutes((hours * 60.0).round() as u32)
+        .max(1)
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns a usage, I/O, or replay error message.
+pub fn run(tokens: &[String]) -> Result<(), String> {
+    if tokens.iter().any(|t| t == "--help") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let args = Args::parse(tokens, &["fast", "json", "shed"])?;
+    let policy = PolicyFile::load(args.require("policy")?)?;
+    let traces = load_traces(args.require("traces")?, policy.calendar())?;
+    let seed = args.get_parsed("seed", 0u64)?;
+    let threads = args.get_parsed("threads", 1usize)?;
+    let options = if args.has_switch("fast") {
+        ConsolidationOptions::fast(seed)
+    } else {
+        ConsolidationOptions::thorough(seed)
+    }
+    .with_threads(threads);
+    let scope = match args.get("scope").unwrap_or("affected") {
+        "all" => FailureScope::AllApplications,
+        "affected" => FailureScope::AffectedOnly,
+        other => {
+            return Err(format!(
+                "--scope must be 'all' or 'affected', got {other:?}"
+            ))
+        }
+    };
+    let degradation = if args.has_switch("shed") {
+        DegradationPolicy::shed_immediately()
+    } else {
+        DegradationPolicy::default()
+    };
+
+    let framework = Framework::builder()
+        .server(policy.server_spec())
+        .commitments(policy.pool_commitments())
+        .options(options)
+        .failure_scope(scope)
+        .build();
+    let apps: Vec<AppSpec> = traces
+        .into_iter()
+        .map(|(name, trace)| AppSpec::new(name, trace, policy.qos_policy()))
+        .collect();
+    let placement = framework
+        .plan_normal_only(&apps)
+        .map_err(|e| format!("planning failed: {e}"))?;
+
+    // Assemble the schedule: scripted events, a stochastic draw remapped
+    // onto the servers the placement actually uses, or both.
+    let horizon = apps
+        .first()
+        .map(|a| a.demand().len())
+        .ok_or("trace file contains no workloads")?;
+    let mut events = match args.get("fail") {
+        Some(spec) => parse_events(spec)?,
+        None => Vec::new(),
+    };
+    if let Some(mtbf_hours) = args.get("mtbf-hours") {
+        let mtbf_hours: f64 = mtbf_hours
+            .parse()
+            .map_err(|_| format!("flag --mtbf-hours has invalid value {mtbf_hours:?}"))?;
+        let mttr_hours: f64 = args
+            .require("mttr-hours")?
+            .parse()
+            .map_err(|_| "flag --mttr-hours has an invalid value".to_string())?;
+        let profile = StochasticProfile {
+            seed: args.get_parsed("chaos-seed", 0u64)?,
+            mtbf_slots: hours_to_slots(policy.calendar(), mtbf_hours),
+            mttr_slots: hours_to_slots(policy.calendar(), mttr_hours),
+        };
+        let draw = FailureSchedule::stochastic(&profile, placement.servers.len(), horizon)
+            .map_err(|e| format!("invalid stochastic profile: {e}"))?;
+        events.extend(draw.events().iter().map(|e| FailureEvent {
+            server: placement.servers[e.server].server,
+            ..*e
+        }));
+    }
+    let schedule = if events.is_empty() {
+        FailureSchedule::none()
+    } else {
+        FailureSchedule::scripted(events).map_err(|e| format!("invalid schedule: {e}"))?
+    };
+
+    let report = framework
+        .chaos_replay_on(&apps, &placement, &schedule, degradation)
+        .map_err(|e| format!("replay failed: {e}"))?;
+
+    if args.has_switch("json") {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("cannot serialize report: {e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+
+    println!(
+        "placement:   {} apps on {} servers",
+        report.apps.len(),
+        placement.servers_used
+    );
+    println!(
+        "schedule:    {} outage(s), {} of {} slots degraded, {} contended",
+        schedule.events().len(),
+        report.degraded_slots,
+        report.slots,
+        report.contended_slots
+    );
+    for w in &report.windows {
+        println!(
+            "  [{:>5}, {:>5}) servers {:?} down: {} displaced, {} migrations, {:.1} CPU·slots shed, recovery {}",
+            w.start,
+            w.end,
+            w.failed,
+            w.displaced,
+            w.migrations,
+            w.shed,
+            match w.recovery_slots {
+                Some(r) => format!("{r} slot(s)"),
+                None => "not reached".to_string(),
+            }
+        );
+    }
+    println!(
+        "\n{:<12} {:>10} {:>10} {:>8} {:>8} {:>6} {:>9}",
+        "app", "demand", "served", "late", "shed", "migr", "compliant"
+    );
+    for a in &report.apps {
+        println!(
+            "{:<12} {:>10.1} {:>10.1} {:>8.1} {:>8.1} {:>6} {:>9}",
+            a.name,
+            a.demand_total,
+            a.served_total(),
+            a.served_late,
+            a.shed,
+            a.migrations,
+            if a.is_compliant() { "yes" } else { "NO" },
+        );
+    }
+    println!(
+        "\nfleet: {:.2}% of demand shed, {} migrations",
+        100.0 * report.shed_fraction(),
+        report.migrations_total
+    );
+    if report.all_compliant() {
+        println!("verdict: every application stayed within its QoS contract");
+        Ok(())
+    } else {
+        let violators: Vec<&str> = report
+            .apps
+            .iter()
+            .filter(|a| !a.is_compliant())
+            .map(|a| a.name.as_str())
+            .collect();
+        Err(format!("QoS violated under failures for: {violators:?}"))
+    }
+}

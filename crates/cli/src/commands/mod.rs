@@ -1,5 +1,6 @@
 //! Subcommand implementations.
 
+pub mod chaos;
 pub mod consolidate;
 pub mod forecast;
 pub mod generate;

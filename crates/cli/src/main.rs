@@ -8,7 +8,9 @@
 //! * `consolidate` — run the workload placement service and report servers
 //!   used, `C_requ`, `C_peak`, and the per-server packing;
 //! * `plan`        — the full pipeline: translate both QoS modes,
-//!   consolidate, sweep single failures, and decide on a spare server.
+//!   consolidate, sweep single failures, and decide on a spare server;
+//! * `chaos`       — deterministic fault injection: replay demand over a
+//!   failure/repair timeline and measure delivered performability.
 //!
 //! Run `ropus help` (or any subcommand with `--help`) for usage.
 
@@ -31,6 +33,7 @@ COMMANDS:
     plan         full pipeline: translate, consolidate, failure sweep
     forecast     project pool needs forward under demand growth
     validate     audit the delivered QoS of a consolidated placement
+    chaos        replay demand over a failure/repair timeline
     help         show this message
 
 Run `ropus <COMMAND> --help` for command options.";
@@ -48,6 +51,7 @@ fn main() -> ExitCode {
         "plan" => commands::plan::run(rest),
         "forecast" => commands::forecast::run(rest),
         "validate" => commands::validate::run(rest),
+        "chaos" => commands::chaos::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -1,8 +1,10 @@
 use std::fmt;
 
+use ropus_chaos::ChaosError;
 use ropus_placement::PlacementError;
 use ropus_qos::QosError;
 use ropus_trace::TraceError;
+use ropus_wlm::WlmError;
 
 /// Error raised by the end-to-end framework pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,6 +16,10 @@ pub enum FrameworkError {
     Placement(PlacementError),
     /// A demand trace was invalid.
     Trace(TraceError),
+    /// The workload-manager replay failed.
+    Wlm(WlmError),
+    /// The fault-injection replay failed.
+    Chaos(ChaosError),
     /// No applications were supplied.
     NoApplications,
 }
@@ -24,6 +30,8 @@ impl fmt::Display for FrameworkError {
             FrameworkError::Qos(e) => write!(f, "qos error: {e}"),
             FrameworkError::Placement(e) => write!(f, "placement error: {e}"),
             FrameworkError::Trace(e) => write!(f, "trace error: {e}"),
+            FrameworkError::Wlm(e) => write!(f, "wlm error: {e}"),
+            FrameworkError::Chaos(e) => write!(f, "chaos error: {e}"),
             FrameworkError::NoApplications => write!(f, "no applications supplied"),
         }
     }
@@ -35,6 +43,8 @@ impl std::error::Error for FrameworkError {
             FrameworkError::Qos(e) => Some(e),
             FrameworkError::Placement(e) => Some(e),
             FrameworkError::Trace(e) => Some(e),
+            FrameworkError::Wlm(e) => Some(e),
+            FrameworkError::Chaos(e) => Some(e),
             FrameworkError::NoApplications => None,
         }
     }
@@ -58,6 +68,18 @@ impl From<TraceError> for FrameworkError {
     }
 }
 
+impl From<WlmError> for FrameworkError {
+    fn from(err: WlmError) -> Self {
+        FrameworkError::Wlm(err)
+    }
+}
+
+impl From<ChaosError> for FrameworkError {
+    fn from(err: ChaosError) -> Self {
+        FrameworkError::Chaos(err)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +92,10 @@ mod tests {
         assert!(std::error::Error::source(&p).is_some());
         let t: FrameworkError = TraceError::Empty.into();
         assert!(std::error::Error::source(&t).is_some());
+        let w: FrameworkError = WlmError::InvalidCapacity { capacity: 0.0 }.into();
+        assert!(std::error::Error::source(&w).is_some());
+        let c: FrameworkError = ChaosError::NoApplications.into();
+        assert!(std::error::Error::source(&c).is_some());
         assert!(std::error::Error::source(&FrameworkError::NoApplications).is_none());
     }
 

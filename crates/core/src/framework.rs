@@ -159,6 +159,11 @@ impl Framework {
         self.options
     }
 
+    /// Which applications fall back to failure-mode QoS after a failure.
+    pub fn failure_scope(&self) -> FailureScope {
+        self.failure_scope
+    }
+
     /// Translates every application for both modes.
     ///
     /// Returns, per application, the plan summary plus the normal- and

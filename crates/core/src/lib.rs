@@ -65,6 +65,7 @@ mod error;
 mod framework;
 
 pub mod case_study;
+pub mod chaos;
 pub mod lifecycle;
 pub mod planning;
 pub mod runtime;
@@ -79,6 +80,10 @@ pub mod prelude {
     pub use crate::planning::{estimate_weekly_growth, CapacityForecast, ForecastEntry};
     pub use crate::runtime::{AppRuntimeOutcome, PoolRuntimeReport};
     pub use crate::{AppPlan, AppSpec, CapacityPlan, Framework, FrameworkError};
+    pub use ropus_chaos::{
+        AppChaosOutcome, ChaosApp, ChaosError, ChaosReport, DegradationPolicy, DegradedWindow,
+        FailureEvent, FailureSchedule, ReplayOptions, StochasticProfile,
+    };
     pub use ropus_placement::consolidate::{ConsolidationOptions, Consolidator, PlacementReport};
     pub use ropus_placement::engine::{EngineStats, FitEngine};
     pub use ropus_placement::failure::{FailureAnalysis, FailureScope};

@@ -146,8 +146,8 @@ impl Framework {
                         HostedWorkload::new(app.name(), demand, policy)
                     })
                     .collect();
-                let host = Host::new(self.server().capacity());
-                let outcome = host.run(&hosted).map_err(FrameworkError::Trace)?;
+                let host = Host::new(self.server().capacity())?;
+                let outcome = host.run(&hosted)?;
                 // Host outcomes are returned in hosted order, which is the
                 // placement's workload order — pair them back up by zip.
                 for (wo, &app_index) in outcome.workloads.iter().zip(&server_placement.workloads) {

@@ -107,8 +107,8 @@ impl Framework {
                     HostedWorkload::new(spec.name(), spec.demand().clone(), policy)
                 })
                 .collect();
-            let host = Host::new(self.server().capacity());
-            let outcome = host.run(&hosted).map_err(FrameworkError::Trace)?;
+            let host = Host::new(self.server().capacity())?;
+            let outcome = host.run(&hosted)?;
 
             // Host outcomes come back in hosted order — the placement's
             // workload order — so zip instead of indexing by slot.

@@ -309,8 +309,10 @@ impl<'a> FitEngine<'a> {
 /// Maps `f` over `items` on up to `threads` scoped workers, preserving
 /// input order. Serial (no threads spawned) when `threads <= 1` or there
 /// are fewer than two items. Items are split into contiguous chunks and
-/// joined in spawn order, so the output is identical to a serial map.
-pub(crate) fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+/// joined in spawn order, so the output is identical to a serial map —
+/// callers that need bit-identical results across thread counts (the
+/// failure sweeps, the chaos replay) rely on exactly this property.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,

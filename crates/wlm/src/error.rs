@@ -1,0 +1,69 @@
+//! Typed errors for the workload-manager simulation layer.
+
+use std::fmt;
+
+use ropus_trace::TraceError;
+
+/// Error raised by the host scheduler or its replay paths.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WlmError {
+    /// A host was configured with a capacity that is zero, negative, or
+    /// non-finite — replaying against it would produce NaN utilizations
+    /// and degenerate grant scales instead of a diagnosable failure.
+    InvalidCapacity {
+        /// The rejected capacity value.
+        capacity: f64,
+    },
+    /// The underlying trace layer reported an error.
+    Trace(TraceError),
+}
+
+impl fmt::Display for WlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WlmError::InvalidCapacity { capacity } => {
+                write!(
+                    f,
+                    "host capacity must be positive and finite, got {capacity}"
+                )
+            }
+            WlmError::Trace(e) => write!(f, "trace error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WlmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WlmError::InvalidCapacity { .. } => None,
+            WlmError::Trace(e) => Some(e),
+        }
+    }
+}
+
+impl From<TraceError> for WlmError {
+    fn from(err: TraceError) -> Self {
+        WlmError::Trace(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let t: WlmError = TraceError::Empty.into();
+        assert!(std::error::Error::source(&t).is_some());
+        let c = WlmError::InvalidCapacity { capacity: 0.0 };
+        assert!(std::error::Error::source(&c).is_none());
+        assert!(c.to_string().contains("0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<WlmError>();
+    }
+}

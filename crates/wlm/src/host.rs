@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use ropus_trace::{Trace, TraceError};
 
+use crate::error::WlmError;
 use crate::manager::{WlmPolicy, WorkloadManager};
 
 /// A workload co-located on the host: demand trace plus manager policy.
@@ -79,15 +80,16 @@ pub struct Host {
 impl Host {
     /// Creates a host.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `capacity` is not positive and finite.
-    pub fn new(capacity: f64) -> Self {
-        assert!(
-            capacity.is_finite() && capacity > 0.0,
-            "capacity must be positive"
-        );
-        Host { capacity }
+    /// Returns [`WlmError::InvalidCapacity`] if `capacity` is not positive
+    /// and finite — a zero-capacity host would replay every workload into
+    /// NaN utilizations instead of failing loudly.
+    pub fn new(capacity: f64) -> Result<Self, WlmError> {
+        if !capacity.is_finite() || capacity <= 0.0 {
+            return Err(WlmError::InvalidCapacity { capacity });
+        }
+        Ok(Host { capacity })
     }
 
     /// The host's capacity limit.
@@ -106,18 +108,19 @@ impl Host {
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::Misaligned`] when demand traces differ in
-    /// length, or [`TraceError::Empty`] when no workloads are given.
-    pub fn run(&self, workloads: &[HostedWorkload]) -> Result<HostOutcome, TraceError> {
+    /// Returns [`TraceError::Misaligned`] (wrapped in
+    /// [`WlmError::Trace`]) when demand traces differ in length, or
+    /// [`TraceError::Empty`] when no workloads are given.
+    pub fn run(&self, workloads: &[HostedWorkload]) -> Result<HostOutcome, WlmError> {
         let first = workloads.first().ok_or(TraceError::Empty)?;
         let len = first.demand.len();
         let calendar = first.demand.calendar();
         for w in workloads {
             if w.demand.len() != len {
-                return Err(TraceError::Misaligned {
+                return Err(WlmError::Trace(TraceError::Misaligned {
                     left: len,
                     right: w.demand.len(),
-                });
+                }));
             }
         }
 
@@ -235,7 +238,7 @@ mod tests {
 
     #[test]
     fn uncontended_host_grants_full_requests() {
-        let host = Host::new(16.0);
+        let host = Host::new(16.0).unwrap();
         let w = constant("a", 2.0, 50, policy(1.0, 100.0));
         let outcome = host.run(&[w]).unwrap();
         let o = &outcome.workloads[0];
@@ -249,7 +252,7 @@ mod tests {
 
     #[test]
     fn cos1_is_served_before_cos2() {
-        let host = Host::new(10.0);
+        let host = Host::new(10.0).unwrap();
         // Workload A: all CoS1 (cap above request). Workload B: all CoS2.
         let a = constant("a", 4.0, 20, policy(100.0, 100.0));
         let b = constant("b", 4.0, 20, policy(0.0, 100.0));
@@ -266,7 +269,7 @@ mod tests {
 
     #[test]
     fn cos2_shares_remaining_capacity_proportionally() {
-        let host = Host::new(12.0);
+        let host = Host::new(12.0).unwrap();
         let a = constant("a", 4.0, 10, policy(0.0, 100.0)); // requests 8
         let b = constant("b", 2.0, 10, policy(0.0, 100.0)); // requests 4
         let outcome = host.run(&[a, b]).unwrap();
@@ -274,7 +277,7 @@ mod tests {
         assert_eq!(outcome.workloads[0].granted.samples()[0], 8.0);
         assert_eq!(outcome.workloads[1].granted.samples()[0], 4.0);
 
-        let host = Host::new(6.0);
+        let host = Host::new(6.0).unwrap();
         let a = constant("a", 4.0, 10, policy(0.0, 100.0));
         let b = constant("b", 2.0, 10, policy(0.0, 100.0));
         let outcome = host.run(&[a, b]).unwrap();
@@ -285,7 +288,7 @@ mod tests {
 
     #[test]
     fn pathological_cos1_overflow_scales_proportionally() {
-        let host = Host::new(8.0);
+        let host = Host::new(8.0).unwrap();
         let a = constant("a", 8.0, 5, policy(100.0, 100.0)); // 16 CoS1
         let outcome = host.run(&[a]).unwrap();
         assert_eq!(outcome.workloads[0].granted.samples()[0], 8.0);
@@ -294,7 +297,7 @@ mod tests {
 
     #[test]
     fn total_granted_never_exceeds_capacity() {
-        let host = Host::new(10.0);
+        let host = Host::new(10.0).unwrap();
         let ws: Vec<HostedWorkload> = (0..5)
             .map(|i| constant(&format!("w{i}"), 3.0, 30, policy(1.0, 100.0)))
             .collect();
@@ -306,19 +309,32 @@ mod tests {
 
     #[test]
     fn misaligned_and_empty_inputs_rejected() {
-        let host = Host::new(10.0);
-        assert!(matches!(host.run(&[]), Err(TraceError::Empty)));
+        let host = Host::new(10.0).unwrap();
+        assert!(matches!(
+            host.run(&[]),
+            Err(WlmError::Trace(TraceError::Empty))
+        ));
         let a = constant("a", 1.0, 10, policy(0.0, 10.0));
         let b = constant("b", 1.0, 20, policy(0.0, 10.0));
         assert!(matches!(
             host.run(&[a, b]),
-            Err(TraceError::Misaligned { .. })
+            Err(WlmError::Trace(TraceError::Misaligned { .. }))
         ));
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn host_rejects_zero_capacity() {
-        Host::new(0.0);
+    fn host_rejects_degenerate_capacity_with_typed_error() {
+        // Regression: a zero-capacity host used to be accepted (or abort
+        // the process); it must surface as a typed, matchable error so
+        // replay paths can diagnose a misconfigured pool.
+        for bad in [0.0, -4.0, f64::NAN, f64::INFINITY] {
+            match Host::new(bad) {
+                Err(WlmError::InvalidCapacity { capacity }) => {
+                    assert!(capacity.is_nan() || capacity == bad);
+                }
+                other => panic!("capacity {bad} must be rejected, got {other:?}"),
+            }
+        }
+        assert!(Host::new(1e-6).is_ok());
     }
 }

@@ -32,7 +32,7 @@
 //! let cos2 = CosSpec::new(0.9, 60)?;
 //! let translation = translate(&demand, &qos, &cos2)?;
 //! let policy = WlmPolicy::from_translation(&qos, &translation.report);
-//! let host = Host::new(16.0);
+//! let host = Host::new(16.0)?;
 //! let outcome = host.run(&[HostedWorkload::new("app", demand, policy)])?;
 //! assert!(outcome.workloads[0].served.peak() > 0.0);
 //! # Ok(())
@@ -43,6 +43,9 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod error;
 pub mod host;
 pub mod manager;
 pub mod metrics;
+
+pub use error::WlmError;

@@ -1,7 +1,7 @@
 //! The rule registry: each rule is a matcher plus a path scope plus a fix
 //! hint.
 //!
-//! Four families protect the properties the R-Opus reproduction depends
+//! Five families protect the properties the R-Opus reproduction depends
 //! on (see DESIGN.md §5b for the mapping to paper formulas):
 //!
 //! * **determinism** — CoS1 peak sums (formula 2), the θ min-over-weeks
@@ -15,7 +15,10 @@
 //!   equality are where unit bugs hide;
 //! * **efficiency** — traces share one immutable `Arc<[f64]>` buffer
 //!   (DESIGN.md §5c); deep-copying a sample buffer in a hot path undoes
-//!   the zero-copy refactor one call site at a time.
+//!   the zero-copy refactor one call site at a time;
+//! * **robustness** — the fault-injection work made every fallible entry
+//!   point return a typed error; silently discarding a `Result` throws
+//!   that information away and turns failures into wrong answers.
 //!
 //! Matchers run on *masked* lines (comments and string contents blanked,
 //! see [`crate::scan`]), so tokens in prose never fire.
@@ -31,6 +34,8 @@ pub enum Family {
     UnitSafety,
     /// No needless deep copies of shared sample buffers.
     Efficiency,
+    /// No silently discarded `Result`s in library crates.
+    Robustness,
     /// Rules about the lint machinery itself (escape-hatch hygiene).
     Meta,
 }
@@ -43,6 +48,7 @@ impl Family {
             Family::PanicFreedom => "panic-freedom",
             Family::UnitSafety => "unit-safety",
             Family::Efficiency => "efficiency",
+            Family::Robustness => "robustness",
             Family::Meta => "meta",
         }
     }
@@ -51,7 +57,8 @@ impl Family {
 /// Which files a rule applies to (paths are repo-relative with `/`).
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum Scope {
-    /// The five library crates: `core`, `qos`, `trace`, `placement`, `wlm`.
+    /// The six library crates: `core`, `qos`, `trace`, `placement`,
+    /// `wlm`, `chaos`.
     LibCrates,
     /// The QoS-translation formula modules (`crates/qos/src`).
     Qos,
@@ -61,12 +68,13 @@ pub enum Scope {
     All,
 }
 
-const LIB_CRATES: [&str; 5] = [
+const LIB_CRATES: [&str; 6] = [
     "crates/core/src/",
     "crates/qos/src/",
     "crates/trace/src/",
     "crates/placement/src/",
     "crates/wlm/src/",
+    "crates/chaos/src/",
 ];
 
 /// The seeded-RNG facade: the one module allowed to implement generators.
@@ -86,7 +94,7 @@ impl Scope {
     /// Human-readable scope description for `--list-rules`.
     pub fn describe(self) -> &'static str {
         match self {
-            Scope::LibCrates => "library crates (core, qos, trace, placement, wlm)",
+            Scope::LibCrates => "library crates (core, qos, trace, placement, wlm, chaos)",
             Scope::Qos => "QoS formula modules (crates/qos/src)",
             Scope::AllButRngFacade => "all crates except the rng facade",
             Scope::All => "all crates",
@@ -232,6 +240,19 @@ pub fn registry() -> Vec<Rule> {
             exempt_tests: true,
             scope: Scope::LibCrates,
             matcher: match_trace_sample_copy,
+        },
+        Rule {
+            id: "robust-result-discard",
+            family: Family::Robustness,
+            summary: "silently discarded statement result (`let _ = ...;` or a \
+                      bare `.ok();`): if the expression returns a Result, the \
+                      failure vanishes without a trace",
+            hint: "handle or propagate the error (`?`, match, or log through a \
+                   typed path); a genuinely ignorable Result may be justified \
+                   with lint:allow(robust-result-discard)",
+            exempt_tests: true,
+            scope: Scope::LibCrates,
+            matcher: match_result_discard,
         },
         Rule {
             id: "lint-allow-syntax",
@@ -382,6 +403,36 @@ fn match_trace_sample_copy(line: &str) -> Option<usize> {
             "samples.clone()",
         ],
     )
+}
+
+/// Wildcard discard `let _ = ...` (any statement result thrown away
+/// unnamed — the idiom that silently swallows `Result`s), or a statement
+/// whose entire effect is `expr.ok();`. Bindings (`let x = y.ok();`),
+/// assignments, and `return y.ok();` keep the value and are left alone.
+fn match_result_discard(line: &str) -> Option<usize> {
+    let mut from = 0usize;
+    while let Some(p) = line[from..].find("let _") {
+        let at = from + p;
+        let before_ok = line[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        let rest = &line[at + 5..];
+        let boundary = rest
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        let binds = rest.trim_start().starts_with('=') && !rest.trim_start().starts_with("==");
+        if before_ok && boundary && binds {
+            return Some(at);
+        }
+        from = at + 5;
+    }
+    let trimmed = line.trim();
+    if trimmed.ends_with(".ok();") && !trimmed.contains('=') && !trimmed.starts_with("return") {
+        return line.find(".ok();");
+    }
+    None
 }
 
 /// `==` / `!=` with a float literal on either side.

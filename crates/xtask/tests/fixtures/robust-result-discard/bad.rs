@@ -1,0 +1,11 @@
+//! Tripping fixture: statement results silently thrown away.
+
+/// Discards the write result — a full disk becomes a silent no-op.
+pub fn save(path: &str, data: &str) {
+    let _ = std::fs::write(path, data);
+}
+
+/// A bare `.ok();` statement: converts the error to `None` and drops it.
+pub fn cleanup(path: &str) {
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,34 @@
+//! Passing fixture: results are propagated, named, or justified.
+
+/// Propagates the failure to the caller.
+pub fn save(path: &str, data: &str) -> std::io::Result<()> {
+    std::fs::write(path, data)
+}
+
+/// Binding the converted value keeps it observable.
+pub fn try_cleanup(path: &str) -> bool {
+    let removed = std::fs::remove_file(path).ok();
+    removed.is_some()
+}
+
+/// Named discards document what is being ignored.
+pub fn partial((keep, _rest): (u32, u32)) -> u32 {
+    let _rest = _rest;
+    keep
+}
+
+/// A justified discard: best-effort telemetry must never fail the caller.
+pub fn flush_telemetry(path: &str) {
+    // lint:allow(robust-result-discard): telemetry is best-effort by
+    // contract; the caller must not fail when the sink is unavailable.
+    let _ = std::fs::write(path, "tick");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn discards_are_fine_in_tests() {
+        let _ = "scratch".parse::<u32>();
+        "scratch".parse::<u32>().ok();
+    }
+}

@@ -95,6 +95,13 @@ const CASES: &[Case] = &[
         first_line: 5,
     },
     Case {
+        rule: "robust-result-discard",
+        path: LIB_PATH,
+        bad: include_str!("fixtures/robust-result-discard/bad.rs"),
+        good: include_str!("fixtures/robust-result-discard/good.rs"),
+        first_line: 5,
+    },
+    Case {
         rule: "lint-allow-syntax",
         path: LIB_PATH,
         bad: include_str!("fixtures/lint-allow-syntax/bad.rs"),

@@ -6,8 +6,10 @@
 use proptest::prelude::*;
 
 use ropus::prelude::*;
+use ropus_placement::failure::{analyze_multi_failures, MultiFailureAnalysis};
 use ropus_placement::simulator::{access_probability, AggregateLoad, FitOptions, FitRequest};
 use ropus_placement::workload::Workload;
+use ropus_placement::PlacementError;
 use ropus_qos::portfolio::{breakpoint, split_demand, worst_case_utilization};
 use ropus_qos::translation::translate;
 
@@ -239,6 +241,70 @@ proptest! {
         let max = samples.iter().copied().fold(f64::MIN, f64::max);
         let min = samples.iter().copied().fold(f64::MAX, f64::min);
         prop_assert!(p1 >= min - 1e-12 && p1 <= max + 1e-12);
+    }
+
+    #[test]
+    fn multi_failure_unsupported_fraction_is_monotone_in_k(
+        levels in proptest::collection::vec(0.5f64..6.0, 6),
+        seed in 0u64..1000,
+    ) {
+        // Six constant 7-CPU workloads force exactly two per 16-way in
+        // normal mode (three at 21 CPUs breaks θ = 0.9); the failure-mode
+        // sizes are drawn per app, so whether the survivors can absorb
+        // k simultaneous failures varies case to case.
+        let week = hourly().slots_per_week();
+        let zero = Trace::constant(hourly(), 0.0, week).unwrap();
+        let constant = |level: f64| Trace::constant(hourly(), level, week).unwrap();
+        let normal: Vec<Workload> = (0..6)
+            .map(|i| Workload::new(format!("w{i}"), zero.clone(), constant(7.0)).unwrap())
+            .collect();
+        let failure: Vec<Workload> = levels
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| Workload::new(format!("w{i}"), zero.clone(), constant(f)).unwrap())
+            .collect();
+        let commitments = PoolCommitments::new(CosSpec::new(0.9, 60).unwrap());
+        let c = Consolidator::new(
+            ServerSpec::sixteen_way(),
+            commitments,
+            ConsolidationOptions::fast(seed),
+        );
+        let report = c.consolidate(&normal).unwrap();
+        prop_assert_eq!(report.servers_used, 3);
+
+        let sweep = |k: usize| -> Result<MultiFailureAnalysis, PlacementError> {
+            analyze_multi_failures(
+                &c,
+                &report,
+                &normal,
+                &failure,
+                FailureScope::AllApplications,
+                k,
+            )
+        };
+        let one = sweep(1).unwrap();
+        let two = sweep(2).unwrap();
+        // The unsupported *fraction* never shrinks as failures compound;
+        // cross-multiplied so no float division is involved.
+        prop_assert!(
+            two.unsupported_count() * one.cases.len()
+                >= one.unsupported_count() * two.cases.len(),
+            "fraction dropped: {}/{} at k=1 vs {}/{} at k=2",
+            one.unsupported_count(),
+            one.cases.len(),
+            two.unsupported_count(),
+            two.cases.len()
+        );
+        if one.unsupported_count() > 0 {
+            prop_assert!(two.unsupported_count() > 0);
+        }
+
+        // Degenerate sweeps (no failures, or nothing left standing) are
+        // rejected up front rather than reported as an empty analysis.
+        for k in [0, report.servers_used, report.servers_used + 1] {
+            let err = sweep(k).unwrap_err();
+            prop_assert!(matches!(err, PlacementError::InvalidServer { .. }), "k = {}", k);
+        }
     }
 
     #[test]

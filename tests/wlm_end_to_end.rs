@@ -35,7 +35,7 @@ fn uncontended_host_delivers_compliant_qos() {
     let (hosted, requirements, _) = translated_hosted(3, 0.9);
     // Plenty of capacity: every allocation request is granted in full, so
     // utilization of allocation stays within the band by construction.
-    let host = Host::new(64.0);
+    let host = Host::new(64.0).unwrap();
     let outcome = host.run(&hosted).unwrap();
     assert_eq!(outcome.contended_slots, 0);
     for (wo, qos) in outcome.workloads.iter().zip(&requirements) {
@@ -59,7 +59,7 @@ fn sized_host_keeps_qos_within_the_degraded_envelope() {
     let capacity = FitRequest::new(&load, &commitments)
         .required_capacity(64.0)
         .unwrap();
-    let host = Host::new(capacity.max(1.0));
+    let host = Host::new(capacity.max(1.0)).unwrap();
     let outcome = host.run(&hosted).unwrap();
     for (wo, qos) in outcome.workloads.iter().zip(&requirements) {
         // θ is a weekly statistical aggregate, so isolated slots may still
@@ -89,7 +89,7 @@ fn starved_host_shows_violations_the_audit_catches() {
     // A pathologically small host: CoS2 requests are heavily cut, so
     // served demand is capped by grants and utilization rides at 1.0
     // whenever demand exceeds the grant — the audit must flag it.
-    let host = Host::new(1.0);
+    let host = Host::new(1.0).unwrap();
     let outcome = host.run(&hosted).unwrap();
     assert!(outcome.contended_slots > 0);
     let any_violation = outcome
@@ -128,7 +128,7 @@ fn cos1_workloads_are_insulated_from_cos2_pressure() {
             smoothing: 1.0,
         },
     );
-    let host = Host::new(10.0);
+    let host = Host::new(10.0).unwrap();
     let outcome = host.run(&[steady, noisy]).unwrap();
     let steady_out = &outcome.workloads[0];
     // The steady workload's 4-CPU CoS1 request is always granted in full.
