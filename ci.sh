@@ -22,6 +22,23 @@ cargo test -q --workspace
 echo "==> chaos replay smoke"
 cargo run --release -q -p ropus --example chaos_replay > /dev/null
 
+echo "==> obs smoke"
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+cargo run --release -q -p ropus-cli -- generate \
+    --out "$OBS_TMP/traces.csv" --policy "$OBS_TMP/policy.json"
+cargo run --release -q -p ropus-cli -- chaos \
+    --traces "$OBS_TMP/traces.csv" --policy "$OBS_TMP/policy.json" \
+    --fast --obs "json:$OBS_TMP/obs.json" > /dev/null
+for key in '"spans"' '"events"' '"counters"' '"gauges"' '"histograms"'; do
+    grep -q "$key" "$OBS_TMP/obs.json" \
+        || { echo "obs.json is missing top-level key $key"; exit 1; }
+done
+# obs-report re-parses the snapshot through serde; a span every pipeline
+# records must show up in the digest.
+cargo run --release -q -p ropus-cli -- obs-report --file "$OBS_TMP/obs.json" \
+    | grep -q "pipeline.consolidate"
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 

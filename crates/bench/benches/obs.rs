@@ -1,0 +1,103 @@
+//! Criterion benchmarks of the observability layer's overhead.
+//!
+//! Two questions: what does a *disabled* collector cost the pipeline
+//! (the price every caller pays, target: indistinguishable), and what
+//! does an *enabled* one cost (the price of `--obs`, target: < 3% on a
+//! 50-app planning run, recorded in EXPERIMENTS.md)? A micro-bench of
+//! the recording primitives pins the per-call cost behind both numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ropus::prelude::*;
+
+fn policy() -> QosPolicy {
+    QosPolicy {
+        normal: AppQos::paper_default(Some(30)),
+        failure: AppQos::paper_default(None),
+    }
+}
+
+fn framework() -> Framework {
+    Framework::builder()
+        .server(ServerSpec::sixteen_way())
+        .commitments(PoolCommitments::new(
+            CosSpec::new(0.9, 60).expect("valid CoS spec"),
+        ))
+        .options(ConsolidationOptions::fast(9))
+        .build()
+}
+
+fn apps(n: usize) -> Vec<AppSpec> {
+    case_study_fleet(&FleetConfig {
+        apps: n,
+        weeks: 1,
+        ..FleetConfig::paper()
+    })
+    .into_iter()
+    .map(|a| AppSpec::new(a.name, a.trace, policy()))
+    .collect()
+}
+
+/// Translate + consolidate a 50-app fleet with the collector off,
+/// deterministic (null clock), and wall-clock enabled. The three bars
+/// are directly comparable: same fleet, same seed, same options.
+fn bench_pipeline_overhead(c: &mut Criterion) {
+    let apps = apps(50);
+    let fw = framework();
+    let mut group = c.benchmark_group("obs_pipeline_50_apps");
+    group.sample_size(10);
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            black_box(
+                fw.plan_normal_only(black_box(&apps))
+                    .expect("planning succeeds"),
+            )
+        })
+    });
+    group.bench_function("deterministic", |b| {
+        b.iter(|| {
+            let obs = Obs::deterministic();
+            black_box(
+                fw.plan_normal_only_observed(black_box(&apps), &obs)
+                    .expect("planning succeeds"),
+            )
+        })
+    });
+    group.bench_function("wall", |b| {
+        b.iter(|| {
+            let obs = Obs::wall();
+            black_box(
+                fw.plan_normal_only_observed(black_box(&apps), &obs)
+                    .expect("planning succeeds"),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Per-call cost of the recording primitives, disabled vs enabled.
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_primitives");
+    for (label, obs) in [("off", Obs::off()), ("on", Obs::deterministic())] {
+        group.bench_function(format!("counter_{label}"), |b| {
+            b.iter(|| obs.counter(black_box("bench.counter"), black_box(1)))
+        });
+        group.bench_function(format!("histogram_{label}"), |b| {
+            b.iter(|| {
+                obs.histogram(
+                    black_box("bench.histogram"),
+                    &[0.25, 0.5, 0.75, 1.0],
+                    black_box(0.6),
+                )
+            })
+        });
+        group.bench_function(format!("span_{label}"), |b| {
+            b.iter(|| drop(black_box(obs.span(black_box("bench.span")))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_overhead, bench_primitives);
+criterion_main!(benches);

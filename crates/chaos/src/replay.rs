@@ -20,6 +20,7 @@
 
 use std::collections::VecDeque;
 
+use ropus_obs::Obs;
 use ropus_placement::consolidate::{Consolidator, PlacementReport};
 use ropus_placement::engine::parallel_map;
 use ropus_placement::failure::FailureScope;
@@ -160,6 +161,38 @@ pub fn replay(
     schedule: &FailureSchedule,
     options: &ReplayOptions,
 ) -> Result<ChaosReport, ChaosError> {
+    replay_observed(
+        consolidator,
+        normal_placement,
+        apps,
+        schedule,
+        options,
+        &Obs::off(),
+    )
+}
+
+/// [`replay`] with an observability collector attached.
+///
+/// Emits `chaos.segment.replan` events as each degraded segment's
+/// execution plan is fixed, `chaos.window.recovery` events when the
+/// per-window metrics are assembled, and counters for shed / carried /
+/// contended slots plus `chaos.replay.infeasible_segments` — degraded
+/// segments whose re-placement fell back to best-effort packing, an
+/// outcome previous versions dropped silently. All spans and events come
+/// from the serial slot loop, so the collector's report is bit-identical
+/// across `--threads` settings when timings are suppressed.
+///
+/// # Errors
+///
+/// Same contract as [`replay`].
+pub fn replay_observed(
+    consolidator: &Consolidator,
+    normal_placement: &PlacementReport,
+    apps: &[ChaosApp],
+    schedule: &FailureSchedule,
+    options: &ReplayOptions,
+    obs: &Obs,
+) -> Result<ChaosReport, ChaosError> {
     let n = apps.len();
     if n == 0 {
         return Err(ChaosError::NoApplications);
@@ -200,7 +233,19 @@ pub fn replay(
     let carry_over = options.degradation.carry_over && deadline_slots > 0;
 
     let segments = schedule.segments(horizon);
-    let plans = segment_plans(consolidator, normal_placement, apps, &segments, options)?;
+    let plans = {
+        let _span = obs.span("chaos.replay.plan_segments");
+        segment_plans(
+            consolidator,
+            normal_placement,
+            apps,
+            &segments,
+            options,
+            obs,
+        )?
+    };
+    let infeasible = plans.iter().filter(|p| p.degraded && !p.feasible).count();
+    obs.counter("chaos.replay.infeasible_segments", infeasible as u64);
 
     // Windows: maximal runs of degraded segments, as inclusive segment
     // index ranges.
@@ -250,6 +295,7 @@ pub fn replay(
     let mut grant_base = vec![0.0f64; n];
     let mut grant_extra = vec![0.0f64; n];
 
+    let slots_span = obs.span("chaos.replay.slots");
     for (k, seg) in segments.iter().enumerate() {
         let plan = &plans[k];
         // Migrations at the segment boundary: an app moved if it now runs
@@ -336,11 +382,13 @@ pub fn replay(
             }
             if contended {
                 contended_slots += 1;
+                obs.counter("chaos.replay.contended_slots", 1);
             }
             // Pass 3: serve current demand first, drain backlog FIFO with
             // whatever grant is left, then defer or shed the shortfall.
             let mut slot_backlog = 0.0f64;
             let mut slot_shed = 0.0f64;
+            let mut slot_carried = false;
             for i in 0..n {
                 let recovering = !backlog[i].is_empty();
                 let (g_base, g_extra) = if plan.assignment[i].is_some() {
@@ -372,6 +420,7 @@ pub fn replay(
                 if shortfall > EPSILON {
                     if carry_over {
                         backlog[i].push_back((slot, shortfall));
+                        slot_carried = true;
                     } else {
                         shed[i] += shortfall;
                         slot_shed += shortfall;
@@ -404,6 +453,12 @@ pub fn replay(
                 }
             }
             backlog_series.push(slot_backlog);
+            if slot_shed > EPSILON {
+                obs.counter("chaos.replay.shed_slots", 1);
+            }
+            if slot_carried {
+                obs.counter("chaos.replay.carried_slots", 1);
+            }
             if plan.degraded {
                 if let Some(w) = window_of(k) {
                     window_shed[w] += slot_shed;
@@ -411,6 +466,7 @@ pub fn replay(
             }
         }
     }
+    drop(slots_span);
 
     // Assemble per-window metrics.
     let mut windows = Vec::with_capacity(window_ranges.len());
@@ -436,6 +492,18 @@ pub fn replay(
                 break;
             }
         }
+        let mut recovery_event = obs
+            .event("chaos.window.recovery")
+            .with_u64("start", start as u64)
+            .with_u64("end", end as u64)
+            .with_str("feasible", if feasible { "true" } else { "false" })
+            .with_u64("displaced", displaced.len() as u64)
+            .with_u64("migrations", window_migrations[w] as u64)
+            .with_f64("shed", window_shed[w]);
+        if let Some(r) = recovery_slots {
+            recovery_event = recovery_event.with_u64("recovery_slots", r as u64);
+        }
+        recovery_event.emit();
         windows.push(DegradedWindow {
             start,
             end,
@@ -504,6 +572,7 @@ pub fn replay(
         shed_total: shed.iter().sum(),
         apps: out_apps,
         windows,
+        obs: None,
     })
 }
 
@@ -515,6 +584,7 @@ fn segment_plans(
     apps: &[ChaosApp],
     segments: &[crate::schedule::Segment],
     options: &ReplayOptions,
+    obs: &Obs,
 ) -> Result<Vec<SegmentPlan>, ChaosError> {
     let n = apps.len();
     let pool_ids: Vec<usize> = normal_placement.servers.iter().map(|s| s.server).collect();
@@ -627,6 +697,15 @@ fn segment_plans(
             .unwrap_or_default();
         let input = &inputs[ix];
         let (feasible, ref assignment) = placements[ix];
+        // The re-placements above ran in parallel workers; this assembly
+        // loop is serial, so events keep their deterministic order.
+        obs.event("chaos.segment.replan")
+            .with_u64("start", seg.start as u64)
+            .with_u64("end", seg.end as u64)
+            .with_u64("failed", seg.failed.len() as u64)
+            .with_u64("displaced", input.affected.len() as u64)
+            .with_str("feasible", if feasible { "true" } else { "false" })
+            .emit();
         let use_failure: Vec<bool> = (0..n)
             .map(|i| match options.scope {
                 FailureScope::AllApplications => true,
@@ -997,6 +1076,47 @@ mod tests {
         let serial = run(1);
         let parallel = run(4);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn observed_blackout_counts_infeasible_segments_and_window_events() {
+        let cons = consolidator(1);
+        let apps = fleet(&[1.5], WEEK);
+        let placement = normal_placement(&cons, &apps);
+        let schedule = FailureSchedule::scripted(vec![FailureEvent {
+            server: placement.servers[0].server,
+            start: 4,
+            duration: 4,
+        }])
+        .unwrap();
+        let obs = ropus_obs::Obs::deterministic();
+        let report = replay_observed(
+            &cons,
+            &placement,
+            &apps,
+            &schedule,
+            &ReplayOptions::default().with_degradation(DegradationPolicy::shed_immediately()),
+            &obs,
+        )
+        .unwrap();
+        assert!(report.obs.is_none(), "replay itself never attaches obs");
+        let snapshot = obs.report();
+        // The blackout segment has no survivors: its re-placement is the
+        // silent best-effort fallback, now surfaced as a counter.
+        assert_eq!(snapshot.counter("chaos.replay.infeasible_segments"), 1);
+        // All four outage slots shed the whole demand.
+        assert_eq!(snapshot.counter("chaos.replay.shed_slots"), 4);
+        assert_eq!(snapshot.counter("chaos.replay.carried_slots"), 0);
+        assert_eq!(snapshot.events_named("chaos.segment.replan").count(), 1);
+        let recovery: Vec<_> = snapshot.events_named("chaos.window.recovery").collect();
+        assert_eq!(recovery.len(), 1);
+        assert!(recovery[0]
+            .attrs
+            .iter()
+            .any(|a| a.key == "feasible" && a.value == "false"));
+        // NullClock suppresses durations on the replay spans.
+        assert_eq!(snapshot.spans_named("chaos.replay.slots").count(), 1);
+        assert!(snapshot.spans.iter().all(|s| s.wall_ms == 0.0));
     }
 
     #[test]

@@ -120,6 +120,11 @@ pub struct ChaosReport {
     pub apps: Vec<AppChaosOutcome>,
     /// Degraded windows, in time order.
     pub windows: Vec<DegradedWindow>,
+    /// Observability snapshot captured during the replay. `None` (and
+    /// omitted from JSON) unless the caller attached one, so reports
+    /// produced without instrumentation serialize exactly as before.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub obs: Option<ropus_obs::ObsReport>,
 }
 
 impl ChaosReport {

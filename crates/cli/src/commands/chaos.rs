@@ -7,6 +7,7 @@ use ropus::prelude::*;
 
 use crate::args::Args;
 use crate::commands::load_traces;
+use crate::obs::CliObs;
 use crate::policy::PolicyFile;
 
 const HELP: &str = "\
@@ -37,6 +38,9 @@ OPTIONS:
     --threads <N>       engine worker threads (default 1)
     --fast              use fast search options (tests/previews)
     --json              emit the chaos report as JSON
+    --obs <MODE>        observability: 'off' (default), 'summary' (print
+                        a span/metric digest to stderr), or 'json:PATH'
+                        (write the full ObsReport JSON to PATH)
     --help              show this message";
 
 /// Parses `SERVER@START+DURATION` triples, comma-separated.
@@ -73,6 +77,7 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let args = Args::parse(tokens, &["fast", "json", "shed"])?;
+    let cli_obs = CliObs::from_args(&args)?;
     let policy = PolicyFile::load(args.require("policy")?)?;
     let traces = load_traces(args.require("traces")?, policy.calendar())?;
     let seed = args.get_parsed("seed", 0u64)?;
@@ -109,7 +114,7 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         .map(|(name, trace)| AppSpec::new(name, trace, policy.qos_policy()))
         .collect();
     let placement = framework
-        .plan_normal_only(&apps)
+        .plan_normal_only_observed(&apps, cli_obs.collector())
         .map_err(|e| format!("planning failed: {e}"))?;
 
     // Assemble the schedule: scripted events, a stochastic draw remapped
@@ -148,15 +153,22 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         FailureSchedule::scripted(events).map_err(|e| format!("invalid schedule: {e}"))?
     };
 
-    let report = framework
-        .chaos_replay_on(&apps, &placement, &schedule, degradation)
+    let mut report = framework
+        .chaos_replay_on_observed(
+            &apps,
+            &placement,
+            &schedule,
+            degradation,
+            cli_obs.collector(),
+        )
         .map_err(|e| format!("replay failed: {e}"))?;
 
     if args.has_switch("json") {
+        report.obs = cli_obs.snapshot();
         let json = serde_json::to_string_pretty(&report)
             .map_err(|e| format!("cannot serialize report: {e}"))?;
         println!("{json}");
-        return Ok(());
+        return cli_obs.finish();
     }
 
     println!(
@@ -207,6 +219,7 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         100.0 * report.shed_fraction(),
         report.migrations_total
     );
+    cli_obs.finish()?;
     if report.all_compliant() {
         println!("verdict: every application stayed within its QoS contract");
         Ok(())

@@ -5,6 +5,7 @@ use ropus_placement::consolidate::{ConsolidationOptions, Consolidator};
 
 use crate::args::Args;
 use crate::commands::{load_traces, translate_all};
+use crate::obs::CliObs;
 use crate::policy::PolicyFile;
 
 const HELP: &str = "\
@@ -18,6 +19,9 @@ OPTIONS:
                        identical regardless of thread count)
     --fast             use fast search options (tests/previews)
     --json             emit the placement report as JSON
+    --obs <MODE>       observability: 'off' (default), 'summary' (print
+                       a span/metric digest to stderr), or 'json:PATH'
+                       (write the full ObsReport JSON to PATH)
     --help             show this message";
 
 /// Runs the subcommand.
@@ -31,6 +35,7 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let args = Args::parse(tokens, &["fast", "json"])?;
+    let cli_obs = CliObs::from_args(&args)?;
     let policy = PolicyFile::load(args.require("policy")?)?;
     let traces = load_traces(args.require("traces")?, policy.calendar())?;
     let seed = args.get_parsed("seed", 0u64)?;
@@ -42,18 +47,24 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
     }
     .with_threads(threads);
 
-    let translated = translate_all(&traces, &policy.qos_policy().normal, &policy)?;
+    let translated = translate_all(
+        &traces,
+        &policy.qos_policy().normal,
+        &policy,
+        cli_obs.collector(),
+    )?;
     let workloads: Vec<_> = translated.iter().map(|(_, w, _)| w.clone()).collect();
     let consolidator = Consolidator::new(policy.server_spec(), policy.pool_commitments(), options);
-    let report = consolidator
-        .consolidate(&workloads)
+    let mut report = consolidator
+        .consolidate_observed(&workloads, cli_obs.collector())
         .map_err(|e| format!("consolidation failed: {e}"))?;
 
     if args.has_switch("json") {
+        report.obs = cli_obs.snapshot();
         let json = serde_json::to_string_pretty(&report)
             .map_err(|e| format!("cannot serialize report: {e}"))?;
         println!("{json}");
-        return Ok(());
+        return cli_obs.finish();
     }
 
     println!("servers used:     {}", report.servers_used);
@@ -86,5 +97,5 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
             names.join(", ")
         );
     }
-    Ok(())
+    cli_obs.finish()
 }

@@ -4,12 +4,14 @@ pub mod chaos;
 pub mod consolidate;
 pub mod forecast;
 pub mod generate;
+pub mod obs_report;
 pub mod plan;
 pub mod translate;
 pub mod validate;
 
+use ropus::prelude::Obs;
 use ropus_placement::workload::Workload as PlacementWorkload;
-use ropus_qos::translation::translate as qos_translate;
+use ropus_qos::translation::translate_observed;
 use ropus_qos::AppQos;
 use ropus_trace::{io::read_csv, Calendar, Trace};
 
@@ -33,6 +35,7 @@ pub(crate) fn translate_all(
     traces: &[(String, Trace)],
     qos: &AppQos,
     policy: &PolicyFile,
+    obs: &Obs,
 ) -> Result<
     Vec<(
         String,
@@ -44,7 +47,7 @@ pub(crate) fn translate_all(
     traces
         .iter()
         .map(|(name, trace)| {
-            let t = qos_translate(trace, qos, &policy.commitments)
+            let t = translate_observed(trace, qos, &policy.commitments, obs)
                 .map_err(|e| format!("translating {name}: {e}"))?;
             let report = t.report;
             Ok((

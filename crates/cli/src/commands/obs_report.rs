@@ -1,0 +1,54 @@
+//! `ropus obs-report` — pretty-print an `ObsReport` JSON file produced
+//! with `--obs json:PATH`.
+
+use ropus::prelude::ObsReport;
+
+use crate::args::Args;
+use crate::obs::write_summary;
+
+const HELP: &str = "\
+ropus obs-report — pretty-print an observability snapshot
+
+Reads an ObsReport JSON file (written by any subcommand's
+--obs json:PATH flag) and renders the span/event/metric digest that
+--obs summary prints, optionally followed by every recorded event.
+
+OPTIONS:
+    --file <PATH>      ObsReport JSON file (required)
+    --events           also list every event with its attributes
+    --help             show this message";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns a usage, I/O, or parse error message.
+pub fn run(tokens: &[String]) -> Result<(), String> {
+    if tokens.iter().any(|t| t == "--help") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let args = Args::parse(tokens, &["events"])?;
+    let path = args.require("file")?;
+    let raw =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read obs report {path}: {e}"))?;
+    let report: ObsReport =
+        serde_json::from_str(&raw).map_err(|e| format!("cannot parse obs report {path}: {e}"))?;
+
+    let mut out = Vec::new();
+    write_summary(&report, &mut out).map_err(|e| format!("cannot render summary: {e}"))?;
+    print!("{}", String::from_utf8_lossy(&out));
+
+    if args.has_switch("events") && !report.events.is_empty() {
+        println!("  event log:");
+        for e in &report.events {
+            let attrs: Vec<String> = e
+                .attrs
+                .iter()
+                .map(|a| format!("{}={}", a.key, a.value))
+                .collect();
+            println!("    #{:<6} {:<36} {}", e.seq, e.name, attrs.join(" "));
+        }
+    }
+    Ok(())
+}

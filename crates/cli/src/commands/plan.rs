@@ -5,6 +5,7 @@ use ropus::prelude::*;
 
 use crate::args::Args;
 use crate::commands::load_traces;
+use crate::obs::CliObs;
 use crate::policy::PolicyFile;
 
 const HELP: &str = "\
@@ -21,6 +22,9 @@ OPTIONS:
                        failure (the paper's §VII scope); default relaxes
                        only the affected apps (§VI-C)
     --json             emit the capacity plan as JSON
+    --obs <MODE>       observability: 'off' (default), 'summary' (print
+                       a span/metric digest to stderr), or 'json:PATH'
+                       (write the full ObsReport JSON to PATH)
     --help             show this message";
 
 /// Runs the subcommand.
@@ -34,6 +38,7 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let args = Args::parse(tokens, &["fast", "json", "all-apps-relax"])?;
+    let cli_obs = CliObs::from_args(&args)?;
     let policy = PolicyFile::load(args.require("policy")?)?;
     let traces = load_traces(args.require("traces")?, policy.calendar())?;
     let seed = args.get_parsed("seed", 0u64)?;
@@ -60,15 +65,16 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         .into_iter()
         .map(|(name, trace)| AppSpec::new(name, trace, policy.qos_policy()))
         .collect();
-    let plan = framework
-        .plan(&apps)
+    let mut plan = framework
+        .plan_observed(&apps, cli_obs.collector())
         .map_err(|e| format!("planning failed: {e}"))?;
 
     if args.has_switch("json") {
+        plan.normal_placement.obs = cli_obs.snapshot();
         let json = serde_json::to_string_pretty(&plan)
             .map_err(|e| format!("cannot serialize plan: {e}"))?;
         println!("{json}");
-        return Ok(());
+        return cli_obs.finish();
     }
 
     println!("applications:          {}", plan.apps.len());
@@ -112,5 +118,5 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
     }
     println!("\nspare server needed:   {}", plan.spare_needed());
     println!("servers to provision:  {}", plan.servers_to_provision());
-    Ok(())
+    cli_obs.finish()
 }

@@ -34,7 +34,7 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         policy.qos_policy().normal
     };
 
-    let translated = translate_all(&traces, &qos, &policy)?;
+    let translated = translate_all(&traces, &qos, &policy, &ropus::prelude::Obs::off())?;
     if args.has_switch("json") {
         let reports: Vec<_> = translated
             .iter()

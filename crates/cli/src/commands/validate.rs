@@ -6,6 +6,7 @@ use ropus::prelude::*;
 
 use crate::args::Args;
 use crate::commands::load_traces;
+use crate::obs::CliObs;
 use crate::policy::PolicyFile;
 
 const HELP: &str = "\
@@ -20,6 +21,9 @@ OPTIONS:
     --policy <FILE>    policy JSON (required)
     --seed <N>         search seed (default 0)
     --fast             use fast search options
+    --obs <MODE>       observability: 'off' (default), 'summary' (print
+                       a span/metric digest to stderr), or 'json:PATH'
+                       (write the full ObsReport JSON to PATH)
     --help             show this message";
 
 /// Runs the subcommand.
@@ -33,6 +37,7 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let args = Args::parse(tokens, &["fast"])?;
+    let cli_obs = CliObs::from_args(&args)?;
     let policy = PolicyFile::load(args.require("policy")?)?;
     let traces = load_traces(args.require("traces")?, policy.calendar())?;
     let seed = args.get_parsed("seed", 0u64)?;
@@ -52,10 +57,10 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         .map(|(name, trace)| AppSpec::new(name, trace, policy.qos_policy()))
         .collect();
     let plan = framework
-        .plan(&apps)
+        .plan_observed(&apps, cli_obs.collector())
         .map_err(|e| format!("planning failed: {e}"))?;
     let runtime = framework
-        .validate_runtime(&apps, &plan)
+        .validate_runtime_observed(&apps, &plan, cli_obs.collector())
         .map_err(|e| format!("replay failed: {e}"))?;
 
     println!("placement: {} servers", plan.normal_servers());
@@ -85,6 +90,7 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
             s.server, s.contended_slots, s.peak_granted
         );
     }
+    cli_obs.finish()?;
     if runtime.all_compliant() {
         println!("\nverdict: delivered QoS meets every application's requirement");
         Ok(())

@@ -16,6 +16,7 @@
 
 mod args;
 mod commands;
+mod obs;
 mod policy;
 
 use std::process::ExitCode;
@@ -34,9 +35,12 @@ COMMANDS:
     forecast     project pool needs forward under demand growth
     validate     audit the delivered QoS of a consolidated placement
     chaos        replay demand over a failure/repair timeline
+    obs-report   pretty-print an observability snapshot (--obs json:PATH)
     help         show this message
 
-Run `ropus <COMMAND> --help` for command options.";
+Run `ropus <COMMAND> --help` for command options. The plan, consolidate,
+validate, and chaos commands accept --obs <off|summary|json:PATH> to
+collect pipeline spans, events, and metrics while they run.";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +56,7 @@ fn main() -> ExitCode {
         "forecast" => commands::forecast::run(rest),
         "validate" => commands::validate::run(rest),
         "chaos" => commands::chaos::run(rest),
+        "obs-report" => commands::obs_report::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

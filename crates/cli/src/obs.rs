@@ -1,0 +1,238 @@
+//! `--obs` flag handling shared by the subcommands, plus the
+//! human-readable [`ObsReport`] pretty-printer behind `ropus obs-report`.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+
+use ropus::prelude::{Obs, ObsReport};
+
+use crate::args::Args;
+
+/// Where the collected observability data goes when the command ends.
+enum Sink {
+    /// `--obs off` (or absent): collect nothing.
+    Off,
+    /// `--obs summary`: digest to stderr, keeping stdout machine-clean.
+    Summary,
+    /// `--obs json:PATH`: full pretty-printed snapshot to a file.
+    Json(String),
+}
+
+/// The collector a subcommand threads through the `*_observed` pipeline
+/// entry points, plus what to do with it at exit.
+pub struct CliObs {
+    sink: Sink,
+    obs: Obs,
+}
+
+impl CliObs {
+    /// Parses `--obs off|summary|json:PATH`. Enabled modes collect with
+    /// the wall clock: CLI runs are for humans, so spans carry real
+    /// durations (tests wanting byte-identical output use the library's
+    /// `Obs::deterministic()` instead).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for an unknown mode or an empty path.
+    pub fn from_args(args: &Args) -> Result<CliObs, String> {
+        let sink = match args.get("obs") {
+            None | Some("off") => Sink::Off,
+            Some("summary") => Sink::Summary,
+            Some(spec) => match spec.strip_prefix("json:") {
+                Some(path) if !path.is_empty() => Sink::Json(path.to_string()),
+                _ => {
+                    return Err(format!(
+                        "--obs must be 'off', 'summary', or 'json:PATH', got {spec:?}"
+                    ))
+                }
+            },
+        };
+        let obs = match sink {
+            Sink::Off => Obs::off(),
+            _ => Obs::wall(),
+        };
+        Ok(CliObs { sink, obs })
+    }
+
+    /// The collector to pass into `*_observed` pipeline methods.
+    pub fn collector(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// A snapshot for embedding into a report's optional `obs` field, or
+    /// `None` when collection is off (keeping the JSON unchanged).
+    pub fn snapshot(&self) -> Option<ObsReport> {
+        if self.obs.is_enabled() {
+            Some(self.obs.report())
+        } else {
+            None
+        }
+    }
+
+    /// Emits the collected data to the configured sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error message when the JSON file cannot be written.
+    pub fn finish(self) -> Result<(), String> {
+        match self.sink {
+            Sink::Off => Ok(()),
+            Sink::Summary => {
+                let mut out = Vec::new();
+                write_summary(&self.obs.report(), &mut out)
+                    .map_err(|e| format!("cannot render obs summary: {e}"))?;
+                eprint!("{}", String::from_utf8_lossy(&out));
+                Ok(())
+            }
+            Sink::Json(path) => {
+                let json = serde_json::to_string_pretty(&self.obs.report())
+                    .map_err(|e| format!("cannot serialize obs report: {e}"))?;
+                std::fs::write(&path, json + "\n")
+                    .map_err(|e| format!("cannot write obs report to {path}: {e}"))
+            }
+        }
+    }
+}
+
+/// Renders the human-readable digest of an [`ObsReport`]: spans and
+/// events aggregated by name, then each metric family.
+///
+/// # Errors
+///
+/// Propagates write errors from `out`.
+pub fn write_summary(report: &ObsReport, out: &mut impl Write) -> std::io::Result<()> {
+    if report.is_empty() {
+        return writeln!(out, "observability: nothing collected");
+    }
+    writeln!(out, "observability summary")?;
+    if !report.spans.is_empty() {
+        // Aggregate spans by name: count and total duration.
+        let mut by_name: BTreeMap<&str, (usize, f64)> = BTreeMap::new();
+        for s in &report.spans {
+            let entry = by_name.entry(s.name.as_str()).or_insert((0, 0.0));
+            entry.0 += 1;
+            entry.1 += s.wall_ms;
+        }
+        writeln!(out, "  spans:")?;
+        for (name, (count, wall_ms)) in by_name {
+            writeln!(out, "    {name:<40} {count:>6} x {wall_ms:>10.2} ms")?;
+        }
+    }
+    if !report.events.is_empty() {
+        let mut by_name: BTreeMap<&str, usize> = BTreeMap::new();
+        for e in &report.events {
+            *by_name.entry(e.name.as_str()).or_insert(0) += 1;
+        }
+        writeln!(out, "  events:")?;
+        for (name, count) in by_name {
+            writeln!(out, "    {name:<40} {count:>6}")?;
+        }
+    }
+    if !report.counters.is_empty() {
+        writeln!(out, "  counters:")?;
+        for c in &report.counters {
+            writeln!(out, "    {:<40} {:>6}", c.name, c.value)?;
+        }
+    }
+    if !report.gauges.is_empty() {
+        writeln!(out, "  gauges:")?;
+        for g in &report.gauges {
+            writeln!(out, "    {:<40} {:>10.3}", g.name, g.value)?;
+        }
+    }
+    if !report.histograms.is_empty() {
+        writeln!(out, "  histograms:")?;
+        for h in &report.histograms {
+            let buckets: Vec<String> = h
+                .bounds
+                .iter()
+                .zip(&h.counts)
+                .map(|(b, c)| format!("<={b}: {c}"))
+                .collect();
+            // lint:allow(panic-slice-index): HistogramSnapshot always
+            // carries bounds.len()+1 counts, so `last` exists.
+            let overflow = h.counts[h.counts.len() - 1];
+            writeln!(
+                out,
+                "    {:<40} {:>6}  [{}, >: {}]",
+                h.name,
+                h.total,
+                buckets.join(", "),
+                overflow
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        let tokens: Vec<String> = tokens.iter().map(|t| t.to_string()).collect();
+        Args::parse(&tokens, &[]).unwrap()
+    }
+
+    #[test]
+    fn off_by_default_and_explicit() {
+        for tokens in [&[][..], &["--obs", "off"][..]] {
+            let cli = CliObs::from_args(&parse(tokens)).unwrap();
+            assert!(!cli.collector().is_enabled());
+            assert!(cli.snapshot().is_none());
+            cli.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn summary_and_json_modes_enable_collection() {
+        for tokens in [&["--obs", "summary"][..], &["--obs", "json:/tmp/x"][..]] {
+            let cli = CliObs::from_args(&parse(tokens)).unwrap();
+            assert!(cli.collector().is_enabled());
+            assert!(cli.snapshot().is_some());
+        }
+    }
+
+    #[test]
+    fn bad_modes_are_rejected() {
+        for tokens in [&["--obs", "verbose"][..], &["--obs", "json:"][..]] {
+            assert!(CliObs::from_args(&parse(tokens)).is_err());
+        }
+    }
+
+    #[test]
+    fn summary_renders_every_section() {
+        let obs = Obs::deterministic();
+        drop(obs.span("phase.one"));
+        obs.event("thing.happened").with_u64("n", 3).emit();
+        obs.counter("total.things", 7);
+        obs.gauge("level", 0.5);
+        obs.histogram("dist", &[1.0, 2.0], 1.5);
+        let mut out = Vec::new();
+        write_summary(&obs.report(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        for needle in [
+            "spans:",
+            "phase.one",
+            "events:",
+            "thing.happened",
+            "counters:",
+            "total.things",
+            "gauges:",
+            "level",
+            "histograms:",
+            "dist",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_report_says_so() {
+        let mut out = Vec::new();
+        write_summary(&ObsReport::default(), &mut out).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("nothing collected"));
+    }
+}

@@ -9,8 +9,9 @@
 //! single-failure sweep.
 
 use ropus_chaos::{
-    replay, ChaosApp, ChaosReport, DegradationPolicy, FailureSchedule, ReplayOptions,
+    replay_observed, ChaosApp, ChaosReport, DegradationPolicy, FailureSchedule, ReplayOptions,
 };
+use ropus_obs::Obs;
 use ropus_placement::consolidate::{Consolidator, PlacementReport};
 use ropus_wlm::manager::WlmPolicy;
 
@@ -25,7 +26,22 @@ impl Framework {
     ///
     /// As for [`translate_fleet`](Self::translate_fleet).
     pub fn chaos_fleet(&self, apps: &[AppSpec]) -> Result<Vec<ChaosApp>, FrameworkError> {
-        let (plans, normal_wl, failure_wl) = self.translate_fleet(apps)?;
+        self.chaos_fleet_observed(apps, &Obs::off())
+    }
+
+    /// [`chaos_fleet`](Self::chaos_fleet) with an observability collector
+    /// attached (the fleet translation runs under a `pipeline.translate`
+    /// span).
+    ///
+    /// # Errors
+    ///
+    /// As for [`translate_fleet`](Self::translate_fleet).
+    pub fn chaos_fleet_observed(
+        &self,
+        apps: &[AppSpec],
+        obs: &Obs,
+    ) -> Result<Vec<ChaosApp>, FrameworkError> {
+        let (plans, normal_wl, failure_wl) = self.translate_fleet_observed(apps, obs)?;
         let mut fleet = Vec::with_capacity(apps.len());
         for (((spec, plan), normal_workload), failure_workload) in
             apps.iter().zip(&plans).zip(normal_wl).zip(failure_wl)
@@ -66,18 +82,40 @@ impl Framework {
         schedule: &FailureSchedule,
         degradation: DegradationPolicy,
     ) -> Result<ChaosReport, FrameworkError> {
-        let fleet = self.chaos_fleet(apps)?;
+        self.chaos_replay_on_observed(apps, normal_placement, schedule, degradation, &Obs::off())
+    }
+
+    /// [`chaos_replay_on`](Self::chaos_replay_on) with an observability
+    /// collector attached: the fleet translation and the replay run under
+    /// `pipeline.translate` and `pipeline.chaos_replay` spans, with the
+    /// replay's per-segment events and shed/carry-over counters riding
+    /// along.
+    ///
+    /// # Errors
+    ///
+    /// As for [`chaos_replay_on`](Self::chaos_replay_on).
+    pub fn chaos_replay_on_observed(
+        &self,
+        apps: &[AppSpec],
+        normal_placement: &PlacementReport,
+        schedule: &FailureSchedule,
+        degradation: DegradationPolicy,
+        obs: &Obs,
+    ) -> Result<ChaosReport, FrameworkError> {
+        let fleet = self.chaos_fleet_observed(apps, obs)?;
         let consolidator = Consolidator::new(self.server(), self.commitments(), self.options());
         let options = ReplayOptions {
             scope: self.failure_scope(),
             degradation,
         };
-        Ok(replay(
+        let _span = obs.span("pipeline.chaos_replay");
+        Ok(replay_observed(
             &consolidator,
             normal_placement,
             &fleet,
             schedule,
             &options,
+            obs,
         )?)
     }
 
@@ -94,8 +132,24 @@ impl Framework {
         schedule: &FailureSchedule,
         degradation: DegradationPolicy,
     ) -> Result<ChaosReport, FrameworkError> {
-        let placement = self.plan_normal_only(apps)?;
-        self.chaos_replay_on(apps, &placement, schedule, degradation)
+        self.chaos_replay_observed(apps, schedule, degradation, &Obs::off())
+    }
+
+    /// [`chaos_replay`](Self::chaos_replay) with an observability
+    /// collector attached to both the planning and replay halves.
+    ///
+    /// # Errors
+    ///
+    /// As for [`chaos_replay`](Self::chaos_replay).
+    pub fn chaos_replay_observed(
+        &self,
+        apps: &[AppSpec],
+        schedule: &FailureSchedule,
+        degradation: DegradationPolicy,
+        obs: &Obs,
+    ) -> Result<ChaosReport, FrameworkError> {
+        let placement = self.plan_normal_only_observed(apps, obs)?;
+        self.chaos_replay_on_observed(apps, &placement, schedule, degradation, obs)
     }
 }
 

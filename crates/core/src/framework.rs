@@ -2,12 +2,13 @@
 
 use serde::{Deserialize, Serialize};
 
+use ropus_obs::Obs;
 use ropus_placement::consolidate::{ConsolidationOptions, Consolidator, PlacementReport};
 use ropus_placement::failure::{analyze_single_failures, FailureAnalysis, FailureScope};
 use ropus_placement::server::ServerSpec;
 use ropus_placement::workload::Workload;
 use ropus_qos::analysis::{check_report, FleetSavings};
-use ropus_qos::translation::{translate, TranslationReport};
+use ropus_qos::translation::{translate_observed, TranslationReport};
 use ropus_qos::{PoolCommitments, QosPolicy};
 use ropus_trace::Trace;
 
@@ -173,17 +174,34 @@ impl Framework {
     ///
     /// Propagates QoS validation and translation errors.
     pub fn translate_fleet(&self, apps: &[AppSpec]) -> Result<TranslatedFleet, FrameworkError> {
+        self.translate_fleet_observed(apps, &Obs::off())
+    }
+
+    /// [`translate_fleet`](Self::translate_fleet) with an observability
+    /// collector attached: the whole fleet translation runs under a
+    /// `pipeline.translate` span and each application's translation emits
+    /// its breakpoint and relaxation events.
+    ///
+    /// # Errors
+    ///
+    /// As for [`translate_fleet`](Self::translate_fleet).
+    pub fn translate_fleet_observed(
+        &self,
+        apps: &[AppSpec],
+        obs: &Obs,
+    ) -> Result<TranslatedFleet, FrameworkError> {
         if apps.is_empty() {
             return Err(FrameworkError::NoApplications);
         }
+        let _span = obs.span("pipeline.translate");
         let cos2 = self.commitments.cos2;
         let mut plans = Vec::with_capacity(apps.len());
         let mut normal = Vec::with_capacity(apps.len());
         let mut failure = Vec::with_capacity(apps.len());
         for app in apps {
             app.policy.validate()?;
-            let n = translate(&app.demand, &app.policy.normal, &cos2)?;
-            let f = translate(&app.demand, &app.policy.failure, &cos2)?;
+            let n = translate_observed(&app.demand, &app.policy.normal, &cos2, obs)?;
+            let f = translate_observed(&app.demand, &app.policy.failure, &cos2, obs)?;
             check_report(&app.policy.normal, &n.report)?;
             check_report(&app.policy.failure, &f.report)?;
             plans.push(AppPlan {
@@ -219,9 +237,24 @@ impl Framework {
     ///
     /// As for [`plan`](Self::plan).
     pub fn plan_normal_only(&self, apps: &[AppSpec]) -> Result<PlacementReport, FrameworkError> {
-        let (_, normal, _) = self.translate_fleet(apps)?;
+        self.plan_normal_only_observed(apps, &Obs::off())
+    }
+
+    /// [`plan_normal_only`](Self::plan_normal_only) with an observability
+    /// collector attached.
+    ///
+    /// # Errors
+    ///
+    /// As for [`plan`](Self::plan).
+    pub fn plan_normal_only_observed(
+        &self,
+        apps: &[AppSpec],
+        obs: &Obs,
+    ) -> Result<PlacementReport, FrameworkError> {
+        let (_, normal, _) = self.translate_fleet_observed(apps, obs)?;
+        let _span = obs.span("pipeline.consolidate");
         let consolidator = Consolidator::new(self.server, self.commitments, self.options);
-        Ok(consolidator.consolidate(&normal)?)
+        Ok(consolidator.consolidate_observed(&normal, obs)?)
     }
 
     /// Runs the full pipeline: translate both modes, consolidate the
@@ -233,16 +266,46 @@ impl Framework {
     /// cannot be placed at all. An *unsupported failure case* is not an
     /// error; it surfaces as [`CapacityPlan::spare_needed`].
     pub fn plan(&self, apps: &[AppSpec]) -> Result<CapacityPlan, FrameworkError> {
-        let (plans, normal, failure) = self.translate_fleet(apps)?;
+        self.plan_observed(apps, &Obs::off())
+    }
+
+    /// [`plan`](Self::plan) with an observability collector attached: the
+    /// three pipeline stages run under `pipeline.translate`,
+    /// `pipeline.consolidate`, and `pipeline.failure_sweep` spans, with
+    /// the per-layer counters and events of each stage riding along.
+    ///
+    /// # Errors
+    ///
+    /// As for [`plan`](Self::plan).
+    pub fn plan_observed(
+        &self,
+        apps: &[AppSpec],
+        obs: &Obs,
+    ) -> Result<CapacityPlan, FrameworkError> {
+        let (plans, normal, failure) = self.translate_fleet_observed(apps, obs)?;
         let consolidator = Consolidator::new(self.server, self.commitments, self.options);
-        let normal_placement = consolidator.consolidate(&normal)?;
-        let failure_analysis = analyze_single_failures(
-            &consolidator,
-            &normal_placement,
-            &normal,
-            &failure,
-            self.failure_scope,
-        )?;
+        let normal_placement = {
+            let _span = obs.span("pipeline.consolidate");
+            consolidator.consolidate_observed(&normal, obs)?
+        };
+        let failure_analysis = {
+            let _span = obs.span("pipeline.failure_sweep");
+            analyze_single_failures(
+                &consolidator,
+                &normal_placement,
+                &normal,
+                &failure,
+                self.failure_scope,
+            )?
+        };
+        obs.counter(
+            "pipeline.failure_sweep.unsupported_cases",
+            failure_analysis
+                .cases
+                .iter()
+                .filter(|c| !c.is_supported())
+                .count() as u64,
+        );
         let savings = FleetSavings::aggregate(&plans.iter().map(|p| p.normal).collect::<Vec<_>>());
         Ok(CapacityPlan {
             apps: plans,

@@ -84,6 +84,7 @@ pub mod prelude {
         AppChaosOutcome, ChaosApp, ChaosError, ChaosReport, DegradationPolicy, DegradedWindow,
         FailureEvent, FailureSchedule, ReplayOptions, StochasticProfile,
     };
+    pub use ropus_obs::{NullClock, Obs, ObsReport, WallClock};
     pub use ropus_placement::consolidate::{ConsolidationOptions, Consolidator, PlacementReport};
     pub use ropus_placement::engine::{EngineStats, FitEngine};
     pub use ropus_placement::failure::{FailureAnalysis, FailureScope};

@@ -87,9 +87,28 @@ impl Framework {
         apps: &[AppSpec],
         plan: &CapacityPlan,
     ) -> Result<PoolRuntimeReport, FrameworkError> {
+        self.validate_runtime_observed(apps, plan, &ropus_obs::Obs::off())
+    }
+
+    /// [`validate_runtime`](Self::validate_runtime) with an observability
+    /// collector attached: the replay runs under a
+    /// `pipeline.runtime_validation` span and every host fills the
+    /// `wlm.host.saturation` histogram plus the unmet/scaled slot
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// As for [`validate_runtime`](Self::validate_runtime).
+    pub fn validate_runtime_observed(
+        &self,
+        apps: &[AppSpec],
+        plan: &CapacityPlan,
+        obs: &ropus_obs::Obs,
+    ) -> Result<PoolRuntimeReport, FrameworkError> {
         if apps.is_empty() {
             return Err(FrameworkError::NoApplications);
         }
+        let _span = obs.span("pipeline.runtime_validation");
         let mut app_outcomes: Vec<Option<AppRuntimeOutcome>> = vec![None; apps.len()];
         let mut server_outcomes = Vec::new();
 
@@ -108,7 +127,7 @@ impl Framework {
                 })
                 .collect();
             let host = Host::new(self.server().capacity())?;
-            let outcome = host.run(&hosted)?;
+            let outcome = host.run_observed(&hosted, obs)?;
 
             // Host outcomes come back in hosted order — the placement's
             // workload order — so zip instead of indexing by slot.

@@ -1,0 +1,86 @@
+//! The clock abstraction behind every obs timestamp.
+//!
+//! Profiling hooks never read the system clock directly: they ask the
+//! [`Clock`] installed on the collector. Deterministic runs (tier-1 tests,
+//! the chaos replay determinism suite, anything that must serialize
+//! byte-identically across runs and `--threads` settings) install
+//! [`NullClock`], which freezes every timestamp at zero so durations
+//! vanish from the output. Interactive CLI runs install [`WallClock`] for
+//! real phase timings.
+
+/// A monotonic millisecond clock.
+///
+/// Implementations must be cheap: `now_ms` sits on the span hot path.
+pub trait Clock: Send + Sync {
+    /// Milliseconds elapsed since an arbitrary fixed epoch.
+    fn now_ms(&self) -> f64;
+}
+
+/// The deterministic clock: every reading is `0.0`.
+///
+/// All span durations become exactly `0.0`, so serialized obs output is a
+/// pure function of the instrumented code path — byte-identical across
+/// runs, hosts, and thread counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullClock;
+
+impl Clock for NullClock {
+    fn now_ms(&self) -> f64 {
+        0.0
+    }
+}
+
+/// The real monotonic clock, anchored at construction time.
+///
+/// Output that includes wall-clock durations is *not* reproducible; use it
+/// only for interactive profiling, never in determinism-sensitive tests.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    // lint:allow(det-wall-clock): opt-in telemetry clock; deterministic
+    // paths use NullClock, and the determinism suite asserts on it.
+    epoch: std::time::Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is "now".
+    pub fn new() -> WallClock {
+        WallClock {
+            // lint:allow(det-wall-clock): see the field note — this is the
+            // single sanctioned wall-clock read behind the Clock trait.
+            epoch: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ms(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_clock_is_frozen_at_zero() {
+        let clock = NullClock;
+        assert_eq!(clock.now_ms(), 0.0);
+        assert_eq!(clock.now_ms(), 0.0);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let clock = WallClock::new();
+        let a = clock.now_ms();
+        let b = clock.now_ms();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+}

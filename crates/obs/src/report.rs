@@ -1,0 +1,192 @@
+//! The serializable observability snapshot.
+//!
+//! [`ObsReport`] is a pure value: two deterministically ordered record
+//! streams (spans and events) plus a metrics snapshot (counters, gauges,
+//! fixed-bucket histograms), each sorted by name. With the
+//! [`NullClock`](crate::NullClock) installed, serializing a report is a
+//! pure function of the instrumented code path, so the same run produces
+//! byte-identical JSON regardless of thread count.
+//!
+//! # JSON schema
+//!
+//! ```json
+//! {
+//!   "spans":      [ { "name": "...", "seq": 0, "thread": 0, "wall_ms": 0.0 } ],
+//!   "events":     [ { "name": "...", "seq": 1, "thread": 0,
+//!                     "attrs": [ { "key": "...", "value": "..." } ] } ],
+//!   "counters":   [ { "name": "...", "value": 3 } ],
+//!   "gauges":     [ { "name": "...", "value": 0.5 } ],
+//!   "histograms": [ { "name": "...", "bounds": [0.5, 0.9],
+//!                     "counts": [10, 4, 1], "total": 15 } ]
+//! }
+//! ```
+//!
+//! `counts` has one more entry than `bounds`: bucket `i` counts samples
+//! `<= bounds[i]`, and the final bucket counts everything above the last
+//! bound. `seq` is the global emission ordinal and `thread` the ordinal of
+//! the emitting thread (first-emission order); records are sorted by
+//! `(seq, thread)`.
+
+use serde::{Deserialize, Serialize};
+
+/// One completed span: a named phase with its wall-clock duration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Static span name, dot-separated (`"placement.search"`).
+    pub name: String,
+    /// Global emission ordinal (assigned when the span *opens*).
+    pub seq: u64,
+    /// Ordinal of the emitting thread.
+    pub thread: u64,
+    /// Duration in milliseconds; exactly `0.0` under the null clock.
+    pub wall_ms: f64,
+}
+
+/// One key/value annotation on an event.
+///
+/// Values are pre-rendered to strings (numbers via their shortest `Display`
+/// form) so the record stream serializes identically everywhere.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventAttr {
+    /// Attribute key.
+    pub key: String,
+    /// Attribute value, rendered to text.
+    pub value: String,
+}
+
+/// One point-in-time event with optional attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Static event name, dot-separated (`"qos.translate.breakpoint"`).
+    pub name: String,
+    /// Global emission ordinal.
+    pub seq: u64,
+    /// Ordinal of the emitting thread.
+    pub thread: u64,
+    /// Attributes in the order they were attached.
+    pub attrs: Vec<EventAttr>,
+}
+
+/// A named monotonic counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Static counter name.
+    pub name: String,
+    /// Accumulated value (saturating).
+    pub value: u64,
+}
+
+/// A named last-write-wins gauge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Static gauge name.
+    pub name: String,
+    /// Most recently set value.
+    pub value: f64,
+}
+
+/// A named fixed-bucket histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Static histogram name.
+    pub name: String,
+    /// Upper bucket bounds (inclusive), strictly increasing.
+    pub bounds: Vec<f64>,
+    /// Per-bucket sample counts; `bounds.len() + 1` entries, the last one
+    /// counting samples above the final bound.
+    pub counts: Vec<u64>,
+    /// Total samples observed (the sum of `counts`, saturating).
+    pub total: u64,
+}
+
+/// A full observability snapshot: record streams plus metrics.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ObsReport {
+    /// Completed spans, sorted by `(seq, thread)`.
+    #[serde(default)]
+    pub spans: Vec<SpanRecord>,
+    /// Events, sorted by `(seq, thread)`.
+    #[serde(default)]
+    pub events: Vec<EventRecord>,
+    /// Counters, sorted by name.
+    #[serde(default)]
+    pub counters: Vec<CounterSnapshot>,
+    /// Gauges, sorted by name.
+    #[serde(default)]
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histograms, sorted by name.
+    #[serde(default)]
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl ObsReport {
+    /// Whether the snapshot recorded nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.events.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// The value of counter `name`, or 0 if it never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// The value of gauge `name`, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The histogram named `name`, if any sample was observed.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Events named `name`, in emission order.
+    pub fn events_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a EventRecord> {
+        self.events.iter().filter(move |e| e.name == name)
+    }
+
+    /// Spans named `name`, in emission order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_round_trips() {
+        let report = ObsReport::default();
+        assert!(report.is_empty());
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ObsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn lookup_helpers_find_records() {
+        let report = ObsReport {
+            counters: vec![CounterSnapshot {
+                name: "a.b".to_string(),
+                value: 7,
+            }],
+            gauges: vec![GaugeSnapshot {
+                name: "g".to_string(),
+                value: 0.25,
+            }],
+            ..ObsReport::default()
+        };
+        assert_eq!(report.counter("a.b"), 7);
+        assert_eq!(report.counter("missing"), 0);
+        assert_eq!(report.gauge("g"), Some(0.25));
+        assert_eq!(report.gauge("missing"), None);
+    }
+}

@@ -2,6 +2,7 @@
 //! as few servers as possible while honouring the pool's resource access
 //! commitments (§VI-B, producing the Table I columns).
 
+use ropus_obs::Obs;
 use serde::{Deserialize, Serialize};
 
 use ropus_qos::PoolCommitments;
@@ -112,6 +113,12 @@ pub struct PlacementReport {
     /// Engine statistics of the run (ignored by equality).
     #[serde(default)]
     pub stats: EngineStats,
+    /// Observability snapshot, attached only when the caller ran with an
+    /// enabled [`Obs`] handle *and* asked for it; omitted from the JSON
+    /// when absent so un-observed reports serialize byte-identically to
+    /// earlier releases. Ignored by equality, like [`stats`](Self::stats).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub obs: Option<ropus_obs::ObsReport>,
 }
 
 impl PartialEq for PlacementReport {
@@ -195,10 +202,26 @@ impl Consolidator {
     /// Returns [`PlacementError::Infeasible`] when some workload cannot be
     /// placed at all, and validation errors for degenerate inputs.
     pub fn consolidate(&self, workloads: &[Workload]) -> Result<PlacementReport, PlacementError> {
+        self.consolidate_observed(workloads, &Obs::off())
+    }
+
+    /// [`consolidate`](Self::consolidate) with observability: wraps the
+    /// greedy seeding, genetic search, and report phases in spans and
+    /// migrates the run's [`EngineStats`] onto the metrics registry.
+    ///
+    /// # Errors
+    ///
+    /// As for [`consolidate`](Self::consolidate).
+    pub fn consolidate_observed(
+        &self,
+        workloads: &[Workload],
+        obs: &Obs,
+    ) -> Result<PlacementReport, PlacementError> {
         validate_workloads(workloads)?;
         let evaluator = self.engine(workloads);
         // Seed with every greedy baseline: FFD bounds the pool size, and
         // elitism makes the search dominate all of them by construction.
+        let seed_span = obs.span("placement.seed");
         let ffd = place(&evaluator, GreedyStrategy::FirstFitDecreasing)?;
         let pool_size = servers_used(&ffd);
         let mut seeds = vec![ffd];
@@ -212,8 +235,11 @@ impl Consolidator {
                 }
             }
         }
+        drop(seed_span);
+        let search_span = obs.span("placement.search");
         let outcome = optimize(&evaluator, &seeds, pool_size, &self.options.ga)?;
-        self.report(workloads, outcome)
+        drop(search_span);
+        self.report_observed(workloads, outcome, obs)
     }
 
     /// Consolidates onto a fixed pool (used by failure planning, where the
@@ -228,28 +254,49 @@ impl Consolidator {
         workloads: &[Workload],
         pool: Pool,
     ) -> Result<PlacementReport, PlacementError> {
+        self.consolidate_onto_observed(workloads, pool, &Obs::off())
+    }
+
+    /// [`consolidate_onto`](Self::consolidate_onto) with observability;
+    /// same spans and registry migration as
+    /// [`consolidate_observed`](Self::consolidate_observed).
+    ///
+    /// # Errors
+    ///
+    /// As for [`consolidate_onto`](Self::consolidate_onto).
+    pub fn consolidate_onto_observed(
+        &self,
+        workloads: &[Workload],
+        pool: Pool,
+        obs: &Obs,
+    ) -> Result<PlacementReport, PlacementError> {
         validate_workloads(workloads)?;
         let evaluator = self.engine(workloads);
+        let seed_span = obs.span("placement.seed");
         let ffd = place(&evaluator, GreedyStrategy::FirstFitDecreasing)?;
         let ffd_servers = servers_used(&ffd);
-        if ffd_servers > pool.count {
+        drop(seed_span);
+        let search_span = obs.span("placement.search");
+        let outcome = if ffd_servers > pool.count {
             // FFD overflowed the pool; fold the excess onto the pool
             // round-robin and let the search try to repair it.
             let folded: Vec<usize> = ffd.iter().map(|&s| s % pool.count).collect();
-            let outcome = optimize(&evaluator, &[folded], pool.count, &self.options.ga)?;
-            return self.report(workloads, outcome);
-        }
-        let outcome = optimize(&evaluator, &[ffd], pool.count, &self.options.ga)?;
-        self.report(workloads, outcome)
+            optimize(&evaluator, &[folded], pool.count, &self.options.ga)?
+        } else {
+            optimize(&evaluator, &[ffd], pool.count, &self.options.ga)?
+        };
+        drop(search_span);
+        self.report_observed(workloads, outcome, obs)
     }
 
     /// Builds the report, recomputing per-server required capacities at the
     /// (finer) report tolerance. The per-server binary searches are
     /// independent, so they run through the engine's parallel map.
-    fn report(
+    fn report_observed(
         &self,
         workloads: &[Workload],
         outcome: GaOutcome,
+        obs: &Obs,
     ) -> Result<PlacementReport, PlacementError> {
         let GaOutcome {
             assignment,
@@ -257,6 +304,17 @@ impl Consolidator {
             stats,
             ..
         } = outcome;
+        let _report_span = obs.span("placement.report");
+        // Migrate the search's engine statistics onto the registry. The
+        // evaluation and hit/miss tallies are timing-dependent under
+        // parallel scoring (two workers racing on one uncached key both
+        // count a miss), so they ride the timing-dependent channel, which
+        // deterministic collectors drop; generations are deterministic
+        // per seed and always recorded.
+        obs.timing_counter("placement.engine.evaluations", stats.evaluations);
+        obs.timing_counter("placement.engine.cache_hits", stats.cache_hits);
+        obs.timing_counter("placement.engine.cache_misses", stats.cache_misses);
+        obs.counter("placement.search.generations", stats.generations as u64);
         let pool_size = assignment.iter().copied().max().map_or(0, |m| m + 1);
         let fine = FitEngine::new(
             workloads,
@@ -308,6 +366,7 @@ impl Consolidator {
             score,
             servers,
             stats,
+            obs: None,
         })
     }
 }

@@ -184,7 +184,7 @@ impl<'a> FitEngine<'a> {
         let hits = self.hits.load(Ordering::Relaxed);
         let misses = self.misses.load(Ordering::Relaxed);
         EngineStats {
-            evaluations: hits + misses,
+            evaluations: hits.saturating_add(misses),
             cache_hits: hits,
             cache_misses: misses,
             threads: self.threads,
@@ -209,10 +209,10 @@ impl<'a> FitEngine<'a> {
         // lint:allow(panic-expect): a poisoned mutex means a scoring
         // worker already panicked; propagating is the only sound move.
         if let Some(hit) = self.cache.lock().expect("fit cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            saturating_inc(&self.hits);
             return *hit;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        saturating_inc(&self.misses);
         // lint:allow(panic-slice-index): documented above — out-of-range
         // member indices are a caller bug, not a recoverable state.
         let refs: Vec<&Workload> = key.iter().map(|&i| &self.workloads[i as usize]).collect();
@@ -304,6 +304,17 @@ impl<'a> FitEngine<'a> {
     ) -> Vec<(f64, bool)> {
         parallel_map(self.threads, assignments, |a| self.evaluate(a, servers))
     }
+}
+
+/// Increments an atomic counter, pinning it at `u64::MAX` instead of
+/// wrapping: week-scale replays with the metrics registry always on can
+/// push the hit/miss counters far enough that wrap-around would corrupt
+/// every downstream rate.
+fn saturating_inc(counter: &AtomicU64) {
+    // lint:allow(robust-result-discard): Err here only reports that the
+    // closure declined the update, i.e. the counter is already pinned at
+    // u64::MAX — exactly the saturation this helper exists to provide.
+    let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_add(1));
 }
 
 /// Maps `f` over `items` on up to `threads` scoped workers, preserving
@@ -430,6 +441,23 @@ mod tests {
         let batched = engine.required_many(&sets);
         let single: Vec<Option<f64>> = sets.iter().map(|s| engine.server_required(s)).collect();
         assert_eq!(batched, single);
+    }
+
+    #[test]
+    fn counters_saturate_at_max_instead_of_wrapping() {
+        let fleet = constant_fleet(&[2.0]);
+        let engine = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
+        engine.hits.store(u64::MAX, Ordering::Relaxed);
+        engine.misses.store(u64::MAX - 1, Ordering::Relaxed);
+        // A miss (fresh key) then a hit (same key) land on counters that
+        // are at or near the ceiling.
+        let _ = engine.server_required(&[0]);
+        let _ = engine.server_required(&[0]);
+        let stats = engine.stats();
+        assert_eq!(stats.cache_misses, u64::MAX, "miss counter pinned");
+        assert_eq!(stats.cache_hits, u64::MAX, "hit counter pinned, not 0");
+        assert_eq!(stats.evaluations, u64::MAX, "sum saturates too");
+        assert!((stats.hit_rate() - 1.0).abs() < 1e-12, "MAX/MAX, not 0/MAX");
     }
 
     #[test]

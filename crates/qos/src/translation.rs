@@ -108,6 +108,24 @@ pub struct TranslationReport {
 /// # }
 /// ```
 pub fn translate(demand: &Trace, qos: &AppQos, cos2: &CosSpec) -> Result<Translation, QosError> {
+    translate_observed(demand, qos, cos2, &ropus_obs::Obs::off())
+}
+
+/// [`translate`] with observability: emits one `qos.translate.breakpoint`
+/// event (the formula-1 `p` and `D_max`) and one `qos.translate.relaxation`
+/// event (the `M_degr` cap of formulas 2–3, the final cap after the
+/// `T_degr`/epoch-budget analyses of formulas 6–11, and the iteration
+/// count), and bumps the `qos.translations` counter.
+///
+/// # Errors
+///
+/// As for [`translate`].
+pub fn translate_observed(
+    demand: &Trace,
+    qos: &AppQos,
+    cos2: &CosSpec,
+    obs: &ropus_obs::Obs,
+) -> Result<Translation, QosError> {
     qos.validate()?;
     let band = qos.band();
     let p = breakpoint(band, cos2);
@@ -133,6 +151,17 @@ pub fn translate(demand: &Trace, qos: &AppQos, cos2: &CosSpec) -> Result<Transla
             iterations += extra;
         }
     }
+
+    obs.counter("qos.translations", 1);
+    obs.event("qos.translate.breakpoint")
+        .with_f64("p", p)
+        .with_f64("d_max", d_max)
+        .emit();
+    obs.event("qos.translate.relaxation")
+        .with_f64("m_degr_cap", d_cap_mdegr)
+        .with_f64("d_new_max", d_new_max)
+        .with_u64("iterations", iterations as u64)
+        .emit();
 
     // Build the per-class allocation-requirement traces.
     let burst_factor = band.burst_factor();

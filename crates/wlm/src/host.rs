@@ -8,12 +8,17 @@
 //! exceed capacity), then shares the remaining capacity across CoS2
 //! requests proportionally to their size.
 
+use ropus_obs::Obs;
 use serde::{Deserialize, Serialize};
 
 use ropus_trace::{Trace, TraceError};
 
 use crate::error::WlmError;
 use crate::manager::{WlmPolicy, WorkloadManager};
+
+/// Bucket bounds of the `wlm.host.saturation` histogram: per-slot granted
+/// capacity as a fraction of the host's limit.
+const SATURATION_BOUNDS: [f64; 5] = [0.25, 0.5, 0.75, 0.9, 1.0];
 
 /// A workload co-located on the host: demand trace plus manager policy.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +117,28 @@ impl Host {
     /// [`WlmError::Trace`]) when demand traces differ in length, or
     /// [`TraceError::Empty`] when no workloads are given.
     pub fn run(&self, workloads: &[HostedWorkload]) -> Result<HostOutcome, WlmError> {
+        self.run_observed(workloads, &Obs::off())
+    }
+
+    /// [`run`](Self::run) with observability: every slot's granted total
+    /// lands in the `wlm.host.saturation` histogram (as a fraction of the
+    /// capacity limit), and outcomes the result traces cannot express —
+    /// slots where the CoS1 *guarantee* itself was scaled down, and slots
+    /// where some demand went unmet — are counted instead of dropped
+    /// (`wlm.host.cos1_scaled_slots`, `wlm.host.unmet_slots`).
+    ///
+    /// Metric updates are commutative counters/histograms only, so hosts
+    /// may be replayed from parallel workers without breaking snapshot
+    /// determinism.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_observed(
+        &self,
+        workloads: &[HostedWorkload],
+        obs: &Obs,
+    ) -> Result<HostOutcome, WlmError> {
         let first = workloads.first().ok_or(TraceError::Empty)?;
         let len = first.demand.len();
         let calendar = first.demand.calendar();
@@ -174,8 +201,12 @@ impl Host {
             if cos2_scale < 1.0 || cos1_scale < 1.0 {
                 contended_slots += 1;
             }
+            if cos1_scale < 1.0 {
+                obs.counter("wlm.host.cos1_scaled_slots", 1);
+            }
 
             let mut slot_total = 0.0;
+            let mut slot_unmet = 0.0;
             for (i, request) in requests.iter().enumerate() {
                 let grant = request.cos1 * cos1_scale + request.cos2 * cos2_scale;
                 let serve = demands[i].min(grant);
@@ -184,7 +215,16 @@ impl Host {
                 unmet[i].push(demands[i] - serve);
                 utilization[i].push(if grant > 0.0 { serve / grant } else { 0.0 });
                 slot_total += grant;
+                slot_unmet += demands[i] - serve;
             }
+            if slot_unmet > 0.0 {
+                obs.counter("wlm.host.unmet_slots", 1);
+            }
+            obs.histogram(
+                "wlm.host.saturation",
+                &SATURATION_BOUNDS,
+                slot_total / self.capacity,
+            );
             total_granted.push(slot_total);
         }
 
@@ -305,6 +345,32 @@ mod tests {
         for &g in outcome.total_granted.samples() {
             assert!(g <= 10.0 + 1e-9, "granted {g}");
         }
+    }
+
+    #[test]
+    fn observed_run_counts_drops_and_fills_saturation_histogram() {
+        let obs = Obs::deterministic();
+        let host = Host::new(10.0).unwrap();
+        // A saturates CoS1 in full; B's CoS2 request is cut to 2 of 8,
+        // leaving 2 of its 4 demand unmet every slot.
+        let a = constant("a", 4.0, 20, policy(100.0, 100.0));
+        let b = constant("b", 4.0, 20, policy(0.0, 100.0));
+        let outcome = host.run_observed(&[a, b], &obs).unwrap();
+        assert!(outcome.contended_slots > 0);
+        let report = obs.report();
+        assert_eq!(report.counter("wlm.host.unmet_slots"), 20);
+        assert_eq!(report.counter("wlm.host.cos1_scaled_slots"), 0);
+        let hist = report.histogram("wlm.host.saturation").unwrap();
+        assert_eq!(hist.total, 20);
+        // Every slot grants the full 10.0: saturation 1.0, the last
+        // bounded bucket.
+        assert_eq!(hist.counts, vec![0, 0, 0, 0, 20, 0]);
+
+        // The pathological CoS1 overflow counts as a scaled slot.
+        let scaled = Obs::deterministic();
+        let c = constant("c", 8.0, 5, policy(100.0, 100.0));
+        host.run_observed(&[c], &scaled).unwrap();
+        assert_eq!(scaled.report().counter("wlm.host.cos1_scaled_slots"), 5);
     }
 
     #[test]

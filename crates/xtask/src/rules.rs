@@ -1,7 +1,7 @@
 //! The rule registry: each rule is a matcher plus a path scope plus a fix
 //! hint.
 //!
-//! Five families protect the properties the R-Opus reproduction depends
+//! Six families protect the properties the R-Opus reproduction depends
 //! on (see DESIGN.md §5b for the mapping to paper formulas):
 //!
 //! * **determinism** — CoS1 peak sums (formula 2), the θ min-over-weeks
@@ -18,7 +18,10 @@
 //!   the zero-copy refactor one call site at a time;
 //! * **robustness** — the fault-injection work made every fallible entry
 //!   point return a typed error; silently discarding a `Result` throws
-//!   that information away and turns failures into wrong answers.
+//!   that information away and turns failures into wrong answers;
+//! * **observability** — span/metric names form the stable vocabulary of
+//!   the obs layer (DESIGN.md §5e); a computed name cannot be grepped,
+//!   breaks dashboards, and risks unbounded registry growth.
 //!
 //! Matchers run on *masked* lines (comments and string contents blanked,
 //! see [`crate::scan`]), so tokens in prose never fire.
@@ -36,6 +39,8 @@ pub enum Family {
     Efficiency,
     /// No silently discarded `Result`s in library crates.
     Robustness,
+    /// Literal, greppable span/metric names in observability calls.
+    Observability,
     /// Rules about the lint machinery itself (escape-hatch hygiene).
     Meta,
 }
@@ -49,6 +54,7 @@ impl Family {
             Family::UnitSafety => "unit-safety",
             Family::Efficiency => "efficiency",
             Family::Robustness => "robustness",
+            Family::Observability => "observability",
             Family::Meta => "meta",
         }
     }
@@ -57,8 +63,8 @@ impl Family {
 /// Which files a rule applies to (paths are repo-relative with `/`).
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum Scope {
-    /// The six library crates: `core`, `qos`, `trace`, `placement`,
-    /// `wlm`, `chaos`.
+    /// The seven library crates: `core`, `qos`, `trace`, `placement`,
+    /// `wlm`, `chaos`, `obs`.
     LibCrates,
     /// The QoS-translation formula modules (`crates/qos/src`).
     Qos,
@@ -68,13 +74,14 @@ pub enum Scope {
     All,
 }
 
-const LIB_CRATES: [&str; 6] = [
+const LIB_CRATES: [&str; 7] = [
     "crates/core/src/",
     "crates/qos/src/",
     "crates/trace/src/",
     "crates/placement/src/",
     "crates/wlm/src/",
     "crates/chaos/src/",
+    "crates/obs/src/",
 ];
 
 /// The seeded-RNG facade: the one module allowed to implement generators.
@@ -94,7 +101,7 @@ impl Scope {
     /// Human-readable scope description for `--list-rules`.
     pub fn describe(self) -> &'static str {
         match self {
-            Scope::LibCrates => "library crates (core, qos, trace, placement, wlm, chaos)",
+            Scope::LibCrates => "library crates (core, qos, trace, placement, wlm, chaos, obs)",
             Scope::Qos => "QoS formula modules (crates/qos/src)",
             Scope::AllButRngFacade => "all crates except the rng facade",
             Scope::All => "all crates",
@@ -253,6 +260,20 @@ pub fn registry() -> Vec<Rule> {
             exempt_tests: true,
             scope: Scope::LibCrates,
             matcher: match_result_discard,
+        },
+        Rule {
+            id: "obs-static-name",
+            family: Family::Observability,
+            summary: "observability recording call with a computed name: span \
+                      and metric names are the obs layer's stable vocabulary \
+                      and must be string literals",
+            hint: "pass a \"layer.noun.verb\" literal; put variable data in \
+                   event attributes or samples, never in the name; a \
+                   deliberate indirection may be justified with \
+                   lint:allow(obs-static-name)",
+            exempt_tests: true,
+            scope: Scope::LibCrates,
+            matcher: match_obs_dynamic_name,
         },
         Rule {
             id: "lint-allow-syntax",
@@ -433,6 +454,37 @@ fn match_result_discard(line: &str) -> Option<usize> {
         return line.find(".ok();");
     }
     None
+}
+
+/// Obs recording call (`.span(`, `.event(`, `.counter(`, ...) whose first
+/// argument does not start with a string literal. Masked lines keep their
+/// quote characters, so checking the first non-space character after `(`
+/// against `"` works even though string *contents* are blanked. A call
+/// whose arguments wrap to the next line is out of reach for a line
+/// matcher and is left alone (mirroring `match_slice_index`).
+/// `ObsReport` lookups and `WorkloadManager::observe` deliberately do not
+/// share these method names, so they never fire here.
+fn match_obs_dynamic_name(line: &str) -> Option<usize> {
+    let mut hit: Option<usize> = None;
+    for token in [
+        ".span(",
+        ".event(",
+        ".counter(",
+        ".timing_counter(",
+        ".gauge(",
+        ".histogram(",
+    ] {
+        let mut from = 0usize;
+        while let Some(p) = line[from..].find(token) {
+            let at = from + p;
+            let after = line[at + token.len()..].trim_start();
+            if !after.is_empty() && !after.starts_with('"') {
+                hit = Some(hit.map_or(at, |h| h.min(at)));
+            }
+            from = at + token.len();
+        }
+    }
+    hit
 }
 
 /// `==` / `!=` with a float literal on either side.

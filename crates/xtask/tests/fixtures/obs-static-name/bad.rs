@@ -1,0 +1,7 @@
+//! Tripping fixture: a metric name assembled at runtime.
+
+/// Records a per-app counter under a computed, ungreppable name.
+pub fn record(obs: &ropus_obs::Obs, app: &str) {
+    let name = format!("apps.{app}.translated");
+    obs.counter(&name, 1);
+}

@@ -1,0 +1,7 @@
+//! Passing fixture: literal names; variable data rides in attributes.
+
+/// Records the translation under a stable, greppable name.
+pub fn record(obs: &ropus_obs::Obs, app: &str) {
+    obs.counter("qos.translations", 1);
+    obs.event("qos.translated").with_str("app", app).emit();
+}

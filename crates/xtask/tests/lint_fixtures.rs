@@ -102,6 +102,13 @@ const CASES: &[Case] = &[
         first_line: 5,
     },
     Case {
+        rule: "obs-static-name",
+        path: LIB_PATH,
+        bad: include_str!("fixtures/obs-static-name/bad.rs"),
+        good: include_str!("fixtures/obs-static-name/good.rs"),
+        first_line: 6,
+    },
+    Case {
         rule: "lint-allow-syntax",
         path: LIB_PATH,
         bad: include_str!("fixtures/lint-allow-syntax/bad.rs"),

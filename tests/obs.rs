@@ -1,0 +1,138 @@
+//! Integration tests for the observability layer: deterministic
+//! collectors must produce byte-identical JSON across runs and thread
+//! counts, reports without a collector must serialize exactly as before,
+//! and counters must be commutative under concurrent updates.
+
+use proptest::prelude::*;
+use ropus::prelude::*;
+
+fn policy() -> QosPolicy {
+    QosPolicy {
+        normal: AppQos::paper_default(Some(30)),
+        failure: AppQos::paper_default(None),
+    }
+}
+
+fn framework(seed: u64, threads: usize) -> Framework {
+    Framework::builder()
+        .server(ServerSpec::sixteen_way())
+        .commitments(PoolCommitments::new(CosSpec::new(0.9, 60).unwrap()))
+        .options(ConsolidationOptions::fast(seed).with_threads(threads))
+        .failure_scope(FailureScope::AllApplications)
+        .build()
+}
+
+fn case_study_apps(n: usize) -> Vec<AppSpec> {
+    case_study_fleet(&FleetConfig {
+        apps: n,
+        weeks: 1,
+        ..FleetConfig::paper()
+    })
+    .into_iter()
+    .map(|a| AppSpec::new(a.name, a.trace, policy()))
+    .collect()
+}
+
+/// Runs the full observed pipeline (plan + chaos replay) and returns the
+/// collector's snapshot as JSON.
+fn observed_run_json(seed: u64, threads: usize) -> String {
+    let apps = case_study_apps(5);
+    let horizon = apps[0].demand().len();
+    let fw = framework(seed, threads);
+    let obs = Obs::deterministic();
+    let placement = fw.plan_normal_only_observed(&apps, &obs).unwrap();
+    let schedule = FailureSchedule::scripted(vec![FailureEvent {
+        server: placement.servers[0].server,
+        start: horizon / 4,
+        duration: 24,
+    }])
+    .unwrap();
+    let _report = fw
+        .chaos_replay_on_observed(
+            &apps,
+            &placement,
+            &schedule,
+            DegradationPolicy::default(),
+            &obs,
+        )
+        .unwrap();
+    serde_json::to_string(&obs.report()).unwrap()
+}
+
+#[test]
+fn obs_json_is_byte_identical_across_runs_and_threads() {
+    let first = observed_run_json(9, 1);
+    let second = observed_run_json(9, 1);
+    assert_eq!(first, second, "same seed must observe identically");
+
+    let parallel = observed_run_json(9, 4);
+    assert_eq!(
+        first, parallel,
+        "deterministic obs JSON must be bit-identical across --threads"
+    );
+
+    // The snapshot round-trips into the same bytes.
+    let decoded: ObsReport = serde_json::from_str(&first).unwrap();
+    assert_eq!(serde_json::to_string(&decoded).unwrap(), first);
+
+    // Spot-check that every layer actually reported something.
+    assert!(decoded.spans_named("pipeline.translate").count() >= 1);
+    assert!(decoded.spans_named("pipeline.consolidate").count() >= 1);
+    assert!(decoded.spans_named("placement.search").count() >= 1);
+    assert!(decoded.spans_named("chaos.replay.slots").count() >= 1);
+    assert!(
+        decoded.counter("qos.translations") >= 10,
+        "2 modes x 5 apps"
+    );
+    assert!(decoded.events_named("qos.translate.breakpoint").count() >= 10);
+    assert!(decoded.events_named("chaos.window.recovery").count() >= 1);
+    // NullClock suppresses every duration.
+    assert!(decoded.spans.iter().all(|s| s.wall_ms == 0.0));
+}
+
+#[test]
+fn reports_without_a_collector_serialize_without_an_obs_key() {
+    let apps = case_study_apps(3);
+    let fw = framework(3, 1);
+    let placement = fw.plan_normal_only(&apps).unwrap();
+    let json = serde_json::to_string(&placement).unwrap();
+    assert!(
+        !json.contains("\"obs\""),
+        "absent collector must leave report JSON unchanged"
+    );
+
+    // Attaching a snapshot round-trips through the optional field.
+    let obs = Obs::deterministic();
+    obs.counter("example.counter", 3);
+    let mut with_obs = placement.clone();
+    with_obs.obs = Some(obs.report());
+    let json = serde_json::to_string(&with_obs).unwrap();
+    assert!(json.contains("\"obs\""));
+    let decoded: PlacementReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(decoded.obs.unwrap().counter("example.counter"), 3);
+}
+
+proptest! {
+    /// Counter totals are commutative: however the same deltas are
+    /// spread across worker threads, the snapshot total is their sum.
+    #[test]
+    fn counter_totals_are_invariant_under_thread_count(
+        deltas in prop::collection::vec(0u64..1_000, 1..40),
+        threads in 1usize..5,
+    ) {
+        let expected: u64 = deltas.iter().sum();
+        let obs = Obs::deterministic();
+        let chunk = deltas.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for part in deltas.chunks(chunk) {
+                let obs = &obs;
+                scope.spawn(move || {
+                    for &d in part {
+                        obs.counter("prop.total", d);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(obs.report().counter("prop.total"), expected);
+    }
+}

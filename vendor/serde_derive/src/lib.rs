@@ -10,7 +10,8 @@
 //! * named-field structs;
 //! * enums with unit and named-field variants (externally tagged);
 //! * container attribute `#[serde(try_from = "Type")]`;
-//! * field attributes `#[serde(default)]` and `#[serde(default = "path")]`.
+//! * field attributes `#[serde(default)]`, `#[serde(default = "path")]`,
+//!   and `#[serde(skip_serializing_if = "path")]`.
 //!
 //! Anything else (tuple structs, generics, other attributes) panics at
 //! compile time with a clear message rather than silently misbehaving.
@@ -32,6 +33,8 @@ struct Field {
     name: String,
     ty: String,
     default: FieldDefault,
+    /// Predicate path from `#[serde(skip_serializing_if = "path")]`.
+    skip_serializing_if: Option<String>,
 }
 
 struct Variant {
@@ -57,10 +60,16 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Kind::Struct(fields) => {
             let mut push = String::new();
             for f in fields {
-                push.push_str(&format!(
+                let line = format!(
                     "fields.push((String::from(\"{n}\"), ::serde::Serialize::serialize(&self.{n})));\n",
                     n = f.name
-                ));
+                );
+                match &f.skip_serializing_if {
+                    Some(pred) => {
+                        push.push_str(&format!("if !{pred}(&self.{n}) {{\n{line}}}\n", n = f.name))
+                    }
+                    None => push.push_str(&line),
+                }
             }
             format!(
                 "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n{push}::serde::Value::Object(fields)"
@@ -79,10 +88,17 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let mut push = String::new();
                         for f in fields {
-                            push.push_str(&format!(
+                            let line = format!(
                                 "inner.push((String::from(\"{n}\"), ::serde::Serialize::serialize({n})));\n",
                                 n = f.name
-                            ));
+                            );
+                            match &f.skip_serializing_if {
+                                Some(pred) => push.push_str(&format!(
+                                    "if !{pred}({n}) {{\n{line}}}\n",
+                                    n = f.name
+                                )),
+                                None => push.push_str(&line),
+                            }
                         }
                         arms.push_str(&format!(
                             "{ty}::{var} {{ {binds} }} => {{\n\
@@ -255,7 +271,7 @@ fn parse_fields(stream: TokenStream) -> Vec<Field> {
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
-        let default = parse_field_attrs(&tokens, &mut i);
+        let attrs = parse_field_attrs(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -283,7 +299,12 @@ fn parse_fields(stream: TokenStream) -> Vec<Field> {
             ty.push_str(&tokens[i].to_string());
             i += 1;
         }
-        fields.push(Field { name, ty, default });
+        fields.push(Field {
+            name,
+            ty,
+            default: attrs.default,
+            skip_serializing_if: attrs.skip_serializing_if,
+        });
     }
     fields
 }
@@ -320,21 +341,32 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
     variants
 }
 
-/// Consumes leading attributes, returning the field-default policy found in
-/// any `#[serde(...)]` among them.
-fn parse_field_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldDefault {
-    let mut default = FieldDefault::None;
+/// Field attributes gathered from the `#[serde(...)]` entries on a field.
+struct FieldAttrs {
+    default: FieldDefault,
+    skip_serializing_if: Option<String>,
+}
+
+/// Consumes leading attributes, returning the field policies found in any
+/// `#[serde(...)]` among them.
+fn parse_field_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs {
+        default: FieldDefault::None,
+        skip_serializing_if: None,
+    };
     while *i + 1 < tokens.len() {
         if let TokenTree::Punct(p) = &tokens[*i] {
             if p.as_char() == '#' {
                 if let TokenTree::Group(g) = &tokens[*i + 1] {
-                    scan_serde_attr(g.stream(), |key, val| {
-                        if key == "default" {
-                            default = match val {
+                    scan_serde_attr(g.stream(), |key, val| match key {
+                        "default" => {
+                            attrs.default = match val {
                                 Some(path) => FieldDefault::Path(path),
                                 None => FieldDefault::Std,
                             };
                         }
+                        "skip_serializing_if" => attrs.skip_serializing_if = val,
+                        _ => {}
                     });
                 }
                 *i += 2;
@@ -343,7 +375,7 @@ fn parse_field_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldDefault {
         }
         break;
     }
-    default
+    attrs
 }
 
 /// If the bracketed attribute stream is `serde(...)`, reports each
@@ -377,7 +409,7 @@ fn scan_serde_attr(stream: TokenStream, mut found: impl FnMut(&str, Option<Strin
             }
         }
         match key.as_str() {
-            "try_from" | "default" => found(&key, value),
+            "try_from" | "default" | "skip_serializing_if" => found(&key, value),
             other => panic!("serde derive stand-in does not support attribute `{other}`"),
         }
         if let Some(TokenTree::Punct(p)) = args.get(i) {
