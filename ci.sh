@@ -39,6 +39,72 @@ done
 cargo run --release -q -p ropus-cli -- obs-report --file "$OBS_TMP/obs.json" \
     | grep -q "pipeline.consolidate"
 
+echo "==> serve smoke"
+# Drive a scripted admit/tick/depart session through the daemon twice —
+# serially and on four refresh threads — and require byte-identical
+# responses: the online plan must be a pure function of the command
+# stream, never of scheduling.
+SERVE_SCRIPT='{"cmd":"admit","name":"web","level":3.0}
+{"cmd":"admit","name":"db","level":5.0}
+{"cmd":"tick"}
+{"cmd":"admit","name":"batch","level":4.0}
+{"cmd":"depart","name":"web"}
+{"cmd":"tick","slots":2}
+{"cmd":"snapshot"}
+{"cmd":"shutdown"}'
+printf '%s\n' "$SERVE_SCRIPT" | cargo run --release -q -p ropus-cli -- serve \
+    --policy "$OBS_TMP/policy.json" --threads 1 > "$OBS_TMP/serve-1.jsonl"
+printf '%s\n' "$SERVE_SCRIPT" | cargo run --release -q -p ropus-cli -- serve \
+    --policy "$OBS_TMP/policy.json" --threads 4 > "$OBS_TMP/serve-4.jsonl"
+diff "$OBS_TMP/serve-1.jsonl" "$OBS_TMP/serve-4.jsonl" \
+    || { echo "serve responses differ across --threads"; exit 1; }
+grep -q '"decision":"accepted"' "$OBS_TMP/serve-1.jsonl" \
+    || { echo "serve smoke admitted nothing"; exit 1; }
+grep -q '"plan"' "$OBS_TMP/serve-1.jsonl" \
+    || { echo "serve snapshot carried no plan"; exit 1; }
+grep -q '"stats"' "$OBS_TMP/serve-1.jsonl" \
+    || { echo "serve shutdown carried no stats"; exit 1; }
+# The daemon's live plan must equal a batch consolidation of the same
+# demand: admit two constant apps online, consolidate the identical
+# traces offline, and compare the plans (engine stats excluded — cache
+# tallies legitimately differ between the two paths).
+python3 - "$OBS_TMP" <<'PYEOF'
+import sys
+t = sys.argv[1]
+with open(f"{t}/serve-batch.csv", "w") as f:
+    f.write("web,cache\n")
+    f.writelines("3.0,2.0\n" for _ in range(2016))
+PYEOF
+printf '%s\n' \
+    '{"cmd":"admit","name":"web","level":3.0}' \
+    '{"cmd":"admit","name":"cache","level":2.0}' \
+    '{"cmd":"tick"}' \
+    '{"cmd":"snapshot"}' \
+    '{"cmd":"shutdown"}' \
+    | cargo run --release -q -p ropus-cli -- serve \
+        --policy "$OBS_TMP/policy.json" > "$OBS_TMP/serve-snap.jsonl"
+cargo run --release -q -p ropus-cli -- consolidate \
+    --traces "$OBS_TMP/serve-batch.csv" --policy "$OBS_TMP/policy.json" \
+    --fast --json > "$OBS_TMP/serve-batch.json"
+python3 - "$OBS_TMP" <<'PYEOF'
+import json, sys
+t = sys.argv[1]
+snap = None
+for line in open(f"{t}/serve-snap.jsonl"):
+    obj = json.loads(line)
+    if obj.get("cmd") == "snapshot":
+        snap = obj["plan"]
+batch = json.load(open(f"{t}/serve-batch.json"))
+for d in (snap, batch):
+    d.pop("stats", None)
+    d.pop("obs", None)
+if snap != batch:
+    print("serve snapshot diverged from the batch plan")
+    print("serve:", json.dumps(snap, sort_keys=True))
+    print("batch:", json.dumps(batch, sort_keys=True))
+    sys.exit(1)
+PYEOF
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 

@@ -59,7 +59,7 @@ fn bench_pipeline_overhead(c: &mut Criterion) {
         b.iter(|| {
             let obs = Obs::deterministic();
             black_box(
-                fw.plan_normal_only_observed(black_box(&apps), &obs)
+                fw.plan_normal_only(PlanRequest::of(black_box(&apps)).with_obs(&obs))
                     .expect("planning succeeds"),
             )
         })
@@ -68,7 +68,7 @@ fn bench_pipeline_overhead(c: &mut Criterion) {
         b.iter(|| {
             let obs = Obs::wall();
             black_box(
-                fw.plan_normal_only_observed(black_box(&apps), &obs)
+                fw.plan_normal_only(PlanRequest::of(black_box(&apps)).with_obs(&obs))
                     .expect("planning succeeds"),
             )
         })

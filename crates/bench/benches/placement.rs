@@ -9,6 +9,7 @@
 //! search options to keep iterations statistically sound.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ropus_obs::ObsCtx;
 use std::hint::black_box;
 
 use ropus::case_study::{translate_fleet, CaseConfig};
@@ -71,7 +72,11 @@ fn bench_ga(c: &mut Criterion) {
                 case.commitments(),
                 ConsolidationOptions::fast(7),
             );
-            black_box(consolidator.consolidate(&workloads).unwrap())
+            black_box(
+                consolidator
+                    .consolidate(&workloads, ObsCtx::none())
+                    .unwrap(),
+            )
         })
     });
     group.finish();
@@ -96,7 +101,11 @@ fn bench_threads(c: &mut Criterion) {
                         case.commitments(),
                         ConsolidationOptions::fast(7).with_threads(threads),
                     );
-                    black_box(consolidator.consolidate(&workloads).unwrap())
+                    black_box(
+                        consolidator
+                            .consolidate(&workloads, ObsCtx::none())
+                            .unwrap(),
+                    )
                 })
             },
         );

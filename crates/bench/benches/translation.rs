@@ -2,6 +2,7 @@
 //! partitioning, the `M_degr` cap, and the iterative `T_degr` analysis.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ropus_obs::ObsCtx;
 use std::hint::black_box;
 
 use ropus_bench::paper_fleet;
@@ -28,7 +29,7 @@ fn bench_translate(c: &mut Criterion) {
         for theta in [0.6, 0.95] {
             let cos2 = CosSpec::new(theta, 60).unwrap();
             group.bench_with_input(BenchmarkId::new(label, theta), &cos2, |b, cos2| {
-                b.iter(|| translate(black_box(&app.trace), &qos, cos2).unwrap())
+                b.iter(|| translate(black_box(&app.trace), &qos, cos2, ObsCtx::none()).unwrap())
             });
         }
     }
@@ -42,7 +43,7 @@ fn bench_fleet_translation(c: &mut Criterion) {
     c.bench_function("translate_whole_fleet_26_apps", |b| {
         b.iter(|| {
             for app in &fleet {
-                black_box(translate(&app.trace, &qos, &cos2).unwrap());
+                black_box(translate(&app.trace, &qos, &cos2, ObsCtx::none()).unwrap());
             }
         })
     });

@@ -11,6 +11,7 @@
 
 use ropus::case_study::{translate_fleet, CaseConfig};
 use ropus_bench::{fmt, paper_fleet, write_tsv};
+use ropus_obs::ObsCtx;
 use ropus_placement::consolidate::{ConsolidationOptions, Consolidator};
 use ropus_placement::server::ServerSpec;
 use ropus_placement::workload::Workload;
@@ -60,7 +61,7 @@ fn main() {
                 case.commitments(),
                 ConsolidationOptions::thorough(0x0DE5),
             );
-            match consolidator.consolidate(&workloads) {
+            match consolidator.consolidate(&workloads, ObsCtx::none()) {
                 Ok(report) => {
                     println!(
                         "{:>4} {:<18} {:>8} {:>10.1} {:>10.1}",

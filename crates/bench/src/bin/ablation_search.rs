@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release -p ropus-bench --bin ablation_search`
 
-use std::time::Instant;
+use ropus_obs::{Clock, ObsCtx, WallClock};
 
 use ropus::case_study::{translate_fleet, CaseConfig};
 use ropus_bench::{fmt, paper_fleet, write_tsv};
@@ -40,9 +40,9 @@ fn main() {
             case.commitments(),
             0.05,
         );
-        let start = Instant::now();
+        let clock = WallClock::new();
         let assignment = place(&evaluator, strategy).expect("greedy placement succeeds");
-        let elapsed = start.elapsed().as_millis();
+        let elapsed = clock.now_ms() as u128;
         let n = servers_used(&assignment);
         let (score, feasible) = evaluator.evaluate(&assignment, n);
         assert!(feasible);
@@ -75,11 +75,11 @@ fn main() {
         case.commitments(),
         ConsolidationOptions::thorough(0x0DE5),
     );
-    let start = Instant::now();
+    let clock = WallClock::new();
     let report = consolidator
-        .consolidate(&workloads)
+        .consolidate(&workloads, ObsCtx::none())
         .expect("GA consolidation succeeds");
-    let elapsed = start.elapsed().as_millis();
+    let elapsed = clock.now_ms() as u128;
     println!(
         "{:<22} {:>8} {:>10.1} {:>10.3} {:>10}",
         "GeneticAlgorithm",

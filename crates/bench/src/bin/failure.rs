@@ -8,6 +8,7 @@
 
 use ropus::case_study::{translate_fleet, CaseConfig};
 use ropus_bench::{fmt, paper_fleet, write_tsv};
+use ropus_obs::ObsCtx;
 use ropus_placement::consolidate::{ConsolidationOptions, Consolidator};
 use ropus_placement::failure::{analyze_single_failures, FailureScope};
 use ropus_placement::server::ServerSpec;
@@ -35,7 +36,7 @@ fn main() {
         ConsolidationOptions::thorough(0x0DE5),
     );
     let normal_report = consolidator
-        .consolidate(&normal)
+        .consolidate(&normal, ObsCtx::none())
         .expect("normal placement succeeds");
     println!(
         "normal mode (case {} QoS): {} servers, C_requ {:.1}, C_peak {:.1}",

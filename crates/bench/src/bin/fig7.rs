@@ -6,6 +6,7 @@
 //! Run with: `cargo run --release -p ropus-bench --bin fig7`
 
 use ropus_bench::{fmt, paper_fleet, write_tsv};
+use ropus_obs::ObsCtx;
 use ropus_qos::translation::translate;
 use ropus_qos::{AppQos, CosSpec, DegradationSpec, UtilizationBand};
 
@@ -30,7 +31,7 @@ fn main() {
         );
         let mut rows = Vec::new();
         for app in &fleet {
-            let strict = translate(&app.trace, &AppQos::strict(band), &cos2)
+            let strict = translate(&app.trace, &AppQos::strict(band), &cos2, ObsCtx::none())
                 .expect("translation succeeds")
                 .report
                 .peak_allocation;
@@ -41,7 +42,7 @@ fn main() {
                     band,
                     Some(DegradationSpec::new(0.03, 0.9, limit).expect("paper constants")),
                 );
-                let relaxed = translate(&app.trace, &qos, &cos2)
+                let relaxed = translate(&app.trace, &qos, &cos2, ObsCtx::none())
                     .expect("translation succeeds")
                     .report;
                 let reduction = if strict > 0.0 {

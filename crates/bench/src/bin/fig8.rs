@@ -6,6 +6,7 @@
 //! Run with: `cargo run --release -p ropus-bench --bin fig8`
 
 use ropus_bench::{fmt, paper_fleet, write_tsv};
+use ropus_obs::ObsCtx;
 use ropus_qos::translation::translate;
 use ropus_qos::{AppQos, CosSpec, DegradationSpec, UtilizationBand};
 
@@ -37,7 +38,7 @@ fn main() {
                     band,
                     Some(DegradationSpec::new(0.03, 0.9, *limit).expect("paper constants")),
                 );
-                let report = translate(&app.trace, &qos, &cos2)
+                let report = translate(&app.trace, &qos, &cos2, ObsCtx::none())
                     .expect("translation succeeds")
                     .report;
                 let pct = 100.0 * report.degraded_fraction;

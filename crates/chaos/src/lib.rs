@@ -33,6 +33,8 @@ pub mod report;
 pub mod schedule;
 
 pub use error::ChaosError;
-pub use replay::{replay, replay_observed, ChaosApp, DegradationPolicy, ReplayOptions};
+#[allow(deprecated)]
+pub use replay::replay_observed;
+pub use replay::{replay, ChaosApp, DegradationPolicy, ReplayOptions};
 pub use report::{AppChaosOutcome, ChaosReport, DegradedWindow};
 pub use schedule::{FailureEvent, FailureSchedule, Segment, StochasticProfile};

@@ -20,7 +20,7 @@
 
 use std::collections::VecDeque;
 
-use ropus_obs::Obs;
+use ropus_obs::ObsCtx;
 use ropus_placement::consolidate::{Consolidator, PlacementReport};
 use ropus_placement::engine::parallel_map;
 use ropus_placement::failure::FailureScope;
@@ -148,6 +148,16 @@ struct SegmentPlan {
 /// options used to re-place displaced workloads onto survivors; its
 /// thread count also parallelizes the per-failed-set placements.
 ///
+/// When `obs` carries an enabled handle the replay emits
+/// `chaos.segment.replan` events as each degraded segment's execution
+/// plan is fixed, `chaos.window.recovery` events when the per-window
+/// metrics are assembled, and counters for shed / carried / contended
+/// slots plus `chaos.replay.infeasible_segments` — degraded segments
+/// whose re-placement fell back to best-effort packing, an outcome
+/// previous versions dropped silently. All spans and events come from
+/// the serial slot loop, so the collector's report is bit-identical
+/// across `--threads` settings when timings are suppressed.
+///
 /// # Errors
 ///
 /// Returns [`ChaosError::NoApplications`] for an empty fleet,
@@ -160,38 +170,7 @@ pub fn replay(
     apps: &[ChaosApp],
     schedule: &FailureSchedule,
     options: &ReplayOptions,
-) -> Result<ChaosReport, ChaosError> {
-    replay_observed(
-        consolidator,
-        normal_placement,
-        apps,
-        schedule,
-        options,
-        &Obs::off(),
-    )
-}
-
-/// [`replay`] with an observability collector attached.
-///
-/// Emits `chaos.segment.replan` events as each degraded segment's
-/// execution plan is fixed, `chaos.window.recovery` events when the
-/// per-window metrics are assembled, and counters for shed / carried /
-/// contended slots plus `chaos.replay.infeasible_segments` — degraded
-/// segments whose re-placement fell back to best-effort packing, an
-/// outcome previous versions dropped silently. All spans and events come
-/// from the serial slot loop, so the collector's report is bit-identical
-/// across `--threads` settings when timings are suppressed.
-///
-/// # Errors
-///
-/// Same contract as [`replay`].
-pub fn replay_observed(
-    consolidator: &Consolidator,
-    normal_placement: &PlacementReport,
-    apps: &[ChaosApp],
-    schedule: &FailureSchedule,
-    options: &ReplayOptions,
-    obs: &Obs,
+    obs: ObsCtx<'_>,
 ) -> Result<ChaosReport, ChaosError> {
     let n = apps.len();
     if n == 0 {
@@ -576,6 +555,31 @@ pub fn replay_observed(
     })
 }
 
+/// Deprecated alias for [`replay`] from before observability contexts
+/// were unified: forwards to `replay` with the handle attached.
+///
+/// # Errors
+///
+/// As for [`replay`].
+#[deprecated(note = "call `replay` with an `ObsCtx` instead")]
+pub fn replay_observed(
+    consolidator: &Consolidator,
+    normal_placement: &PlacementReport,
+    apps: &[ChaosApp],
+    schedule: &FailureSchedule,
+    options: &ReplayOptions,
+    obs: &ropus_obs::Obs,
+) -> Result<ChaosReport, ChaosError> {
+    replay(
+        consolidator,
+        normal_placement,
+        apps,
+        schedule,
+        options,
+        ObsCtx::from(obs),
+    )
+}
+
 /// Builds the per-segment execution plans, re-placing displaced
 /// workloads for every distinct failed-server set.
 fn segment_plans(
@@ -584,7 +588,7 @@ fn segment_plans(
     apps: &[ChaosApp],
     segments: &[crate::schedule::Segment],
     options: &ReplayOptions,
-    obs: &Obs,
+    obs: ObsCtx<'_>,
 ) -> Result<Vec<SegmentPlan>, ChaosError> {
     let n = apps.len();
     let pool_ids: Vec<usize> = normal_placement.servers.iter().map(|s| s.server).collect();
@@ -656,7 +660,7 @@ fn segment_plans(
             return (false, vec![None; n]);
         }
         let pool = Pool::homogeneous(server, input.survivors.len());
-        match worker.consolidate_onto(&input.mixed, pool) {
+        match worker.consolidate_onto(&input.mixed, pool, ObsCtx::none()) {
             Ok(report) => {
                 let assignment = report
                     .assignment
@@ -781,8 +785,9 @@ mod tests {
         let demand = Trace::constant(calendar, level, slots).unwrap();
         let normal_qos = AppQos::paper_default(Some(30));
         let failure_qos = AppQos::paper_default(None);
-        let normal = translate(&demand, &normal_qos, &commitments().cos2).unwrap();
-        let failure = translate(&demand, &failure_qos, &commitments().cos2).unwrap();
+        let normal = translate(&demand, &normal_qos, &commitments().cos2, ObsCtx::none()).unwrap();
+        let failure =
+            translate(&demand, &failure_qos, &commitments().cos2, ObsCtx::none()).unwrap();
         ChaosApp {
             name: name.to_string(),
             demand,
@@ -805,7 +810,7 @@ mod tests {
 
     fn normal_placement(cons: &Consolidator, apps: &[ChaosApp]) -> PlacementReport {
         let workloads: Vec<Workload> = apps.iter().map(|a| a.normal_workload.clone()).collect();
-        cons.consolidate(&workloads).unwrap()
+        cons.consolidate(&workloads, ObsCtx::none()).unwrap()
     }
 
     #[test]
@@ -819,6 +824,7 @@ mod tests {
             &[],
             &FailureSchedule::none(),
             &ReplayOptions::default(),
+            ObsCtx::none(),
         );
         assert!(matches!(err, Err(ChaosError::NoApplications)));
     }
@@ -840,6 +846,7 @@ mod tests {
             &apps,
             &schedule,
             &ReplayOptions::default(),
+            ObsCtx::none(),
         );
         assert!(matches!(
             err,
@@ -858,6 +865,7 @@ mod tests {
             &apps,
             &FailureSchedule::none(),
             &ReplayOptions::default(),
+            ObsCtx::none(),
         )
         .unwrap();
         assert_eq!(report.degraded_slots, 0);
@@ -898,6 +906,7 @@ mod tests {
                 &apps,
                 &schedule,
                 &ReplayOptions::default().with_degradation(degradation),
+                ObsCtx::none(),
             )
             .unwrap();
             for a in &report.apps {
@@ -932,6 +941,7 @@ mod tests {
             &apps,
             &schedule,
             &ReplayOptions::default().with_degradation(DegradationPolicy::shed_immediately()),
+            ObsCtx::none(),
         )
         .unwrap();
         // 4 slots × 1.5 CPU shed, the rest served.
@@ -961,6 +971,7 @@ mod tests {
                 carry_over: true,
                 deadline_slots: Some(100),
             }),
+            ObsCtx::none(),
         )
         .unwrap();
         let recovery = report.windows[0].recovery_slots.expect("must recover");
@@ -992,6 +1003,7 @@ mod tests {
                 carry_over: true,
                 deadline_slots: Some(0),
             }),
+            ObsCtx::none(),
         )
         .unwrap();
         assert!(!report.carry_over);
@@ -1009,6 +1021,7 @@ mod tests {
             &apps,
             &FailureSchedule::none(),
             &ReplayOptions::default(),
+            ObsCtx::none(),
         )
         .unwrap();
         // 60-minute deadline on a 5-minute calendar.
@@ -1036,6 +1049,7 @@ mod tests {
             &apps,
             &schedule,
             &ReplayOptions::default(),
+            ObsCtx::none(),
         )
         .unwrap();
         let displaced = report.windows[0].displaced;
@@ -1070,6 +1084,7 @@ mod tests {
                 &apps,
                 &schedule,
                 &ReplayOptions::default(),
+                ObsCtx::none(),
             )
             .unwrap()
         };
@@ -1090,13 +1105,13 @@ mod tests {
         }])
         .unwrap();
         let obs = ropus_obs::Obs::deterministic();
-        let report = replay_observed(
+        let report = replay(
             &cons,
             &placement,
             &apps,
             &schedule,
             &ReplayOptions::default().with_degradation(DegradationPolicy::shed_immediately()),
-            &obs,
+            ObsCtx::from(&obs),
         )
         .unwrap();
         assert!(report.obs.is_none(), "replay itself never attaches obs");
@@ -1136,6 +1151,7 @@ mod tests {
             &apps,
             &schedule,
             &ReplayOptions::default().with_scope(FailureScope::AllApplications),
+            ObsCtx::none(),
         )
         .unwrap();
         assert_eq!(all.scope, FailureScope::AllApplications);

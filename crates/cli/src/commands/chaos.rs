@@ -114,7 +114,7 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         .map(|(name, trace)| AppSpec::new(name, trace, policy.qos_policy()))
         .collect();
     let placement = framework
-        .plan_normal_only_observed(&apps, cli_obs.collector())
+        .plan_normal_only(PlanRequest::of(&apps).with_obs(cli_obs.collector()))
         .map_err(|e| format!("planning failed: {e}"))?;
 
     // Assemble the schedule: scripted events, a stochastic draw remapped
@@ -154,12 +154,11 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
     };
 
     let mut report = framework
-        .chaos_replay_on_observed(
-            &apps,
+        .chaos_replay_on(
+            PlanRequest::of(&apps).with_obs(cli_obs.collector()),
             &placement,
             &schedule,
             degradation,
-            cli_obs.collector(),
         )
         .map_err(|e| format!("replay failed: {e}"))?;
 

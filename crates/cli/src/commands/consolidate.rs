@@ -1,6 +1,7 @@
 //! `ropus consolidate` — the workload placement service from the command
 //! line: translate under the normal-mode QoS, pack onto servers, report.
 
+use ropus_obs::ObsCtx;
 use ropus_placement::consolidate::{ConsolidationOptions, Consolidator};
 
 use crate::args::Args;
@@ -56,7 +57,7 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
     let workloads: Vec<_> = translated.iter().map(|(_, w, _)| w.clone()).collect();
     let consolidator = Consolidator::new(policy.server_spec(), policy.pool_commitments(), options);
     let mut report = consolidator
-        .consolidate_observed(&workloads, cli_obs.collector())
+        .consolidate(&workloads, ObsCtx::from(cli_obs.collector()))
         .map_err(|e| format!("consolidation failed: {e}"))?;
 
     if args.has_switch("json") {

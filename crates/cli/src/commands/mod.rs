@@ -6,12 +6,14 @@ pub mod forecast;
 pub mod generate;
 pub mod obs_report;
 pub mod plan;
+pub mod serve;
 pub mod translate;
 pub mod validate;
 
 use ropus::prelude::Obs;
+use ropus_obs::ObsCtx;
 use ropus_placement::workload::Workload as PlacementWorkload;
-use ropus_qos::translation::translate_observed;
+use ropus_qos::translation::translate;
 use ropus_qos::AppQos;
 use ropus_trace::{io::read_csv, Calendar, Trace};
 
@@ -47,7 +49,7 @@ pub(crate) fn translate_all(
     traces
         .iter()
         .map(|(name, trace)| {
-            let t = translate_observed(trace, qos, &policy.commitments, obs)
+            let t = translate(trace, qos, &policy.commitments, ObsCtx::from(obs))
                 .map_err(|e| format!("translating {name}: {e}"))?;
             let report = t.report;
             Ok((

@@ -66,7 +66,7 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         .map(|(name, trace)| AppSpec::new(name, trace, policy.qos_policy()))
         .collect();
     let mut plan = framework
-        .plan_observed(&apps, cli_obs.collector())
+        .plan(PlanRequest::of(&apps).with_obs(cli_obs.collector()))
         .map_err(|e| format!("planning failed: {e}"))?;
 
     if args.has_switch("json") {

@@ -57,10 +57,10 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         .map(|(name, trace)| AppSpec::new(name, trace, policy.qos_policy()))
         .collect();
     let plan = framework
-        .plan_observed(&apps, cli_obs.collector())
+        .plan(PlanRequest::of(&apps).with_obs(cli_obs.collector()))
         .map_err(|e| format!("planning failed: {e}"))?;
     let runtime = framework
-        .validate_runtime_observed(&apps, &plan, cli_obs.collector())
+        .validate_runtime(PlanRequest::of(&apps).with_obs(cli_obs.collector()), &plan)
         .map_err(|e| format!("replay failed: {e}"))?;
 
     println!("placement: {} servers", plan.normal_servers());

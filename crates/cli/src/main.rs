@@ -10,7 +10,9 @@
 //! * `plan`        — the full pipeline: translate both QoS modes,
 //!   consolidate, sweep single failures, and decide on a spare server;
 //! * `chaos`       — deterministic fault injection: replay demand over a
-//!   failure/repair timeline and measure delivered performability.
+//!   failure/repair timeline and measure delivered performability;
+//! * `serve`       — the online planner daemon: admit/depart demand
+//!   incrementally over line-delimited JSON on stdin.
 //!
 //! Run `ropus help` (or any subcommand with `--help`) for usage.
 
@@ -35,6 +37,7 @@ COMMANDS:
     forecast     project pool needs forward under demand growth
     validate     audit the delivered QoS of a consolidated placement
     chaos        replay demand over a failure/repair timeline
+    serve        online planner daemon: JSON commands on stdin
     obs-report   pretty-print an observability snapshot (--obs json:PATH)
     help         show this message
 
@@ -56,6 +59,7 @@ fn main() -> ExitCode {
         "forecast" => commands::forecast::run(rest),
         "validate" => commands::validate::run(rest),
         "chaos" => commands::chaos::run(rest),
+        "serve" => commands::serve::run(rest),
         "obs-report" => commands::obs_report::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

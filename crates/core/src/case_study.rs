@@ -19,6 +19,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use ropus_obs::ObsCtx;
 use ropus_placement::consolidate::{ConsolidationOptions, Consolidator, PlacementReport};
 use ropus_placement::server::ServerSpec;
 use ropus_placement::workload::Workload;
@@ -138,7 +139,7 @@ pub fn translate_fleet(
     fleet
         .iter()
         .map(|app| {
-            let t = translate(&app.trace, &qos, &cos2)?;
+            let t = translate(&app.trace, &qos, &cos2, ObsCtx::none())?;
             Ok(TranslatedApp {
                 name: app.name.clone(),
                 report: t.report,
@@ -180,7 +181,7 @@ pub fn run_case(
     let translated = translate_fleet(fleet, case)?;
     let workloads: Vec<Workload> = translated.iter().map(|t| t.workload.clone()).collect();
     let consolidator = Consolidator::new(ServerSpec::sixteen_way(), case.commitments(), options);
-    let report = consolidator.consolidate(&workloads)?;
+    let report = consolidator.consolidate(&workloads, ObsCtx::none())?;
     let c_peak = report.peak_allocation_total;
     let result = CaseResult {
         case: *case,

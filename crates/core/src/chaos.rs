@@ -9,13 +9,13 @@
 //! single-failure sweep.
 
 use ropus_chaos::{
-    replay_observed, ChaosApp, ChaosReport, DegradationPolicy, FailureSchedule, ReplayOptions,
+    replay, ChaosApp, ChaosReport, DegradationPolicy, FailureSchedule, ReplayOptions,
 };
 use ropus_obs::Obs;
 use ropus_placement::consolidate::{Consolidator, PlacementReport};
 use ropus_wlm::manager::WlmPolicy;
 
-use crate::framework::{AppSpec, Framework};
+use crate::framework::{AppSpec, Framework, PlanRequest};
 use crate::FrameworkError;
 
 impl Framework {
@@ -25,23 +25,13 @@ impl Framework {
     /// # Errors
     ///
     /// As for [`translate_fleet`](Self::translate_fleet).
-    pub fn chaos_fleet(&self, apps: &[AppSpec]) -> Result<Vec<ChaosApp>, FrameworkError> {
-        self.chaos_fleet_observed(apps, &Obs::off())
-    }
-
-    /// [`chaos_fleet`](Self::chaos_fleet) with an observability collector
-    /// attached (the fleet translation runs under a `pipeline.translate`
-    /// span).
-    ///
-    /// # Errors
-    ///
-    /// As for [`translate_fleet`](Self::translate_fleet).
-    pub fn chaos_fleet_observed(
+    pub fn chaos_fleet<'a>(
         &self,
-        apps: &[AppSpec],
-        obs: &Obs,
+        request: impl Into<PlanRequest<'a>>,
     ) -> Result<Vec<ChaosApp>, FrameworkError> {
-        let (plans, normal_wl, failure_wl) = self.translate_fleet_observed(apps, obs)?;
+        let request = request.into();
+        let apps = request.apps();
+        let (plans, normal_wl, failure_wl) = self.translate_fleet(request)?;
         let mut fleet = Vec::with_capacity(apps.len());
         for (((spec, plan), normal_workload), failure_workload) in
             apps.iter().zip(&plans).zip(normal_wl).zip(failure_wl)
@@ -75,41 +65,23 @@ impl Framework {
     /// (wrapped as [`FrameworkError::Chaos`]).
     ///
     /// [`ChaosError`]: ropus_chaos::ChaosError
-    pub fn chaos_replay_on(
+    pub fn chaos_replay_on<'a>(
         &self,
-        apps: &[AppSpec],
+        request: impl Into<PlanRequest<'a>>,
         normal_placement: &PlacementReport,
         schedule: &FailureSchedule,
         degradation: DegradationPolicy,
     ) -> Result<ChaosReport, FrameworkError> {
-        self.chaos_replay_on_observed(apps, normal_placement, schedule, degradation, &Obs::off())
-    }
-
-    /// [`chaos_replay_on`](Self::chaos_replay_on) with an observability
-    /// collector attached: the fleet translation and the replay run under
-    /// `pipeline.translate` and `pipeline.chaos_replay` spans, with the
-    /// replay's per-segment events and shed/carry-over counters riding
-    /// along.
-    ///
-    /// # Errors
-    ///
-    /// As for [`chaos_replay_on`](Self::chaos_replay_on).
-    pub fn chaos_replay_on_observed(
-        &self,
-        apps: &[AppSpec],
-        normal_placement: &PlacementReport,
-        schedule: &FailureSchedule,
-        degradation: DegradationPolicy,
-        obs: &Obs,
-    ) -> Result<ChaosReport, FrameworkError> {
-        let fleet = self.chaos_fleet_observed(apps, obs)?;
+        let request = request.into();
+        let obs = request.obs();
+        let fleet = self.chaos_fleet(request)?;
         let consolidator = Consolidator::new(self.server(), self.commitments(), self.options());
         let options = ReplayOptions {
             scope: self.failure_scope(),
             degradation,
         };
         let _span = obs.span("pipeline.chaos_replay");
-        Ok(replay_observed(
+        Ok(replay(
             &consolidator,
             normal_placement,
             &fleet,
@@ -126,21 +98,64 @@ impl Framework {
     ///
     /// As for [`plan_normal_only`](Self::plan_normal_only) and
     /// [`chaos_replay_on`](Self::chaos_replay_on).
-    pub fn chaos_replay(
+    pub fn chaos_replay<'a>(
         &self,
-        apps: &[AppSpec],
+        request: impl Into<PlanRequest<'a>>,
         schedule: &FailureSchedule,
         degradation: DegradationPolicy,
     ) -> Result<ChaosReport, FrameworkError> {
-        self.chaos_replay_observed(apps, schedule, degradation, &Obs::off())
+        let request = request.into();
+        let placement = self.plan_normal_only(request)?;
+        self.chaos_replay_on(request, &placement, schedule, degradation)
+    }
+}
+
+impl Framework {
+    /// Deprecated alias for [`chaos_fleet`](Self::chaos_fleet) from
+    /// before planning requests were unified.
+    ///
+    /// # Errors
+    ///
+    /// As for [`chaos_fleet`](Self::chaos_fleet).
+    #[deprecated(note = "call `chaos_fleet` with a `PlanRequest` instead")]
+    pub fn chaos_fleet_observed(
+        &self,
+        apps: &[AppSpec],
+        obs: &Obs,
+    ) -> Result<Vec<ChaosApp>, FrameworkError> {
+        self.chaos_fleet(PlanRequest::of(apps).with_obs(obs))
     }
 
-    /// [`chaos_replay`](Self::chaos_replay) with an observability
-    /// collector attached to both the planning and replay halves.
+    /// Deprecated alias for [`chaos_replay_on`](Self::chaos_replay_on)
+    /// from before planning requests were unified.
+    ///
+    /// # Errors
+    ///
+    /// As for [`chaos_replay_on`](Self::chaos_replay_on).
+    #[deprecated(note = "call `chaos_replay_on` with a `PlanRequest` instead")]
+    pub fn chaos_replay_on_observed(
+        &self,
+        apps: &[AppSpec],
+        normal_placement: &PlacementReport,
+        schedule: &FailureSchedule,
+        degradation: DegradationPolicy,
+        obs: &Obs,
+    ) -> Result<ChaosReport, FrameworkError> {
+        self.chaos_replay_on(
+            PlanRequest::of(apps).with_obs(obs),
+            normal_placement,
+            schedule,
+            degradation,
+        )
+    }
+
+    /// Deprecated alias for [`chaos_replay`](Self::chaos_replay) from
+    /// before planning requests were unified.
     ///
     /// # Errors
     ///
     /// As for [`chaos_replay`](Self::chaos_replay).
+    #[deprecated(note = "call `chaos_replay` with a `PlanRequest` instead")]
     pub fn chaos_replay_observed(
         &self,
         apps: &[AppSpec],
@@ -148,8 +163,7 @@ impl Framework {
         degradation: DegradationPolicy,
         obs: &Obs,
     ) -> Result<ChaosReport, FrameworkError> {
-        let placement = self.plan_normal_only_observed(apps, obs)?;
-        self.chaos_replay_on_observed(apps, &placement, schedule, degradation, obs)
+        self.chaos_replay(PlanRequest::of(apps).with_obs(obs), schedule, degradation)
     }
 }
 

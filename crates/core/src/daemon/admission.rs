@@ -1,0 +1,304 @@
+//! Pluggable admission control for the serve daemon.
+//!
+//! An [`AdmissionPolicy`] sees one probed candidate — the capacity each
+//! open server would require with the workload added, under the pool's θ
+//! and CoS commitments — and renders a verdict: place it on a server,
+//! park it in the queue (to retry on later ticks until a deadline), or
+//! reject it outright.
+
+use crate::daemon::protocol::ServeStats;
+
+/// One open server as seen by a policy: the capacity it would require
+/// with the candidate admitted, when the enlarged member set still fits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerProbe {
+    /// Server index.
+    pub server: usize,
+    /// Required capacity with the candidate added; `None` when the
+    /// enlarged set cannot satisfy the commitments at the capacity limit.
+    pub required: Option<f64>,
+}
+
+impl ServerProbe {
+    /// Headroom left after admission (`capacity - required`), when the
+    /// candidate fits.
+    pub fn headroom(&self, capacity: f64) -> Option<f64> {
+        self.required.map(|r| capacity - r)
+    }
+}
+
+/// Everything a policy may score an admission against.
+#[derive(Debug, Clone)]
+pub struct AdmissionContext<'a> {
+    /// Probe results for every server the session has touched, ascending
+    /// by server index. Includes currently-empty servers.
+    pub probes: &'a [ServerProbe],
+    /// Capacity of one server, in capacity units.
+    pub capacity: f64,
+    /// Servers currently holding at least one workload.
+    pub servers_open: usize,
+    /// Pool size cap; `None` = unbounded (a fresh server can always be
+    /// opened).
+    pub max_servers: Option<usize>,
+    /// Admissions currently waiting in the queue.
+    pub queue_len: usize,
+    /// The daemon's logical slot.
+    pub slot: u64,
+}
+
+impl AdmissionContext<'_> {
+    /// Whether the pool may open one more server under its cap.
+    pub fn can_open_server(&self) -> bool {
+        self.max_servers.is_none_or(|cap| self.probes.len() < cap)
+    }
+
+    /// Probes on which the candidate fits.
+    pub fn feasible(&self) -> impl Iterator<Item = &ServerProbe> {
+        self.probes.iter().filter(|p| p.required.is_some())
+    }
+}
+
+/// A policy's verdict on one admission request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionDecision {
+    /// Place the workload on this server now.
+    Accept {
+        /// Target server index.
+        server: usize,
+    },
+    /// Park the request; the daemon retries it on each tick until its
+    /// deadline passes.
+    Queue,
+    /// Refuse the request.
+    Reject {
+        /// Operator-facing reason.
+        reason: String,
+    },
+}
+
+/// An admission controller: scores one probed request against the pool's
+/// remaining headroom and renders an [`AdmissionDecision`].
+///
+/// Policies must be deterministic — the verdict may depend only on the
+/// context, never on wall-clock time or randomness — so a replayed
+/// command script always produces the same plan.
+pub trait AdmissionPolicy {
+    /// Renders the verdict for one probed admission request.
+    fn decide(&self, ctx: &AdmissionContext<'_>) -> AdmissionDecision;
+
+    /// The policy's wire name (echoed in snapshots and logs).
+    fn name(&self) -> &'static str;
+}
+
+/// Best-fit: place on the feasible server with the least post-admission
+/// headroom (ties to the lowest index), open a new server when none
+/// fits and the pool cap allows, otherwise queue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestFit;
+
+/// First-fit: place on the lowest-indexed feasible server, open a new
+/// server when none fits and the pool cap allows, otherwise queue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstFit;
+
+fn fallback(ctx: &AdmissionContext<'_>) -> AdmissionDecision {
+    if ctx.can_open_server() {
+        AdmissionDecision::Accept {
+            server: ctx.probes.len(),
+        }
+    } else {
+        AdmissionDecision::Queue
+    }
+}
+
+impl AdmissionPolicy for BestFit {
+    fn decide(&self, ctx: &AdmissionContext<'_>) -> AdmissionDecision {
+        let tightest = ctx.feasible().min_by(|a, b| {
+            // lint:allow(panic-expect): feasible() yields Some(required).
+            let (ra, rb) = (a.required.expect("feasible"), b.required.expect("feasible"));
+            // Highest required = least headroom; ties to the lower index,
+            // which `min_by` already gives us on a stable ascending scan.
+            rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        match tightest {
+            Some(probe) => AdmissionDecision::Accept {
+                server: probe.server,
+            },
+            None => fallback(ctx),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "best-fit"
+    }
+}
+
+impl AdmissionPolicy for FirstFit {
+    fn decide(&self, ctx: &AdmissionContext<'_>) -> AdmissionDecision {
+        match ctx.feasible().next() {
+            Some(probe) => AdmissionDecision::Accept {
+                server: probe.server,
+            },
+            None => fallback(ctx),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+}
+
+/// A load-shedding wrapper: rejects (instead of queueing) once the queue
+/// is full, and otherwise defers to the inner policy.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedQueue<P> {
+    inner: P,
+    limit: usize,
+}
+
+impl<P> BoundedQueue<P> {
+    /// Caps the queue the inner policy may grow to `limit` entries.
+    pub fn new(inner: P, limit: usize) -> Self {
+        BoundedQueue { inner, limit }
+    }
+}
+
+impl<P: AdmissionPolicy> AdmissionPolicy for BoundedQueue<P> {
+    fn decide(&self, ctx: &AdmissionContext<'_>) -> AdmissionDecision {
+        match self.inner.decide(ctx) {
+            AdmissionDecision::Queue if ctx.queue_len >= self.limit => AdmissionDecision::Reject {
+                reason: format!("queue full ({} waiting)", ctx.queue_len),
+            },
+            verdict => verdict,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bounded-queue"
+    }
+}
+
+/// Resolves a policy by wire name (`best-fit` / `first-fit`).
+pub fn policy_by_name(name: &str) -> Option<Box<dyn AdmissionPolicy + Send>> {
+    match name {
+        "best-fit" => Some(Box::new(BestFit)),
+        "first-fit" => Some(Box::new(FirstFit)),
+        _ => None,
+    }
+}
+
+/// Folds one decision into the running stats.
+pub(crate) fn count_decision(stats: &mut ServeStats, decision: &AdmissionDecision) {
+    match decision {
+        AdmissionDecision::Accept { .. } => stats.admitted += 1,
+        AdmissionDecision::Queue => stats.queued += 1,
+        AdmissionDecision::Reject { .. } => stats.rejected += 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(probes: &'a [ServerProbe], max_servers: Option<usize>) -> AdmissionContext<'a> {
+        AdmissionContext {
+            probes,
+            capacity: 16.0,
+            servers_open: probes.len(),
+            max_servers,
+            queue_len: 0,
+            slot: 0,
+        }
+    }
+
+    #[test]
+    fn best_fit_picks_least_headroom() {
+        let probes = [
+            ServerProbe {
+                server: 0,
+                required: Some(4.0),
+            },
+            ServerProbe {
+                server: 1,
+                required: Some(12.0),
+            },
+            ServerProbe {
+                server: 2,
+                required: None,
+            },
+        ];
+        assert_eq!(
+            BestFit.decide(&ctx(&probes, None)),
+            AdmissionDecision::Accept { server: 1 }
+        );
+        assert_eq!(
+            FirstFit.decide(&ctx(&probes, None)),
+            AdmissionDecision::Accept { server: 0 }
+        );
+    }
+
+    #[test]
+    fn best_fit_ties_break_to_lowest_server() {
+        let probes = [
+            ServerProbe {
+                server: 0,
+                required: Some(8.0),
+            },
+            ServerProbe {
+                server: 1,
+                required: Some(8.0),
+            },
+        ];
+        assert_eq!(
+            BestFit.decide(&ctx(&probes, None)),
+            AdmissionDecision::Accept { server: 0 }
+        );
+    }
+
+    #[test]
+    fn infeasible_everywhere_opens_a_server_under_the_cap() {
+        let probes = [ServerProbe {
+            server: 0,
+            required: None,
+        }];
+        assert_eq!(
+            BestFit.decide(&ctx(&probes, None)),
+            AdmissionDecision::Accept { server: 1 }
+        );
+        assert_eq!(
+            BestFit.decide(&ctx(&probes, Some(2))),
+            AdmissionDecision::Accept { server: 1 }
+        );
+        assert_eq!(
+            BestFit.decide(&ctx(&probes, Some(1))),
+            AdmissionDecision::Queue
+        );
+        assert_eq!(
+            FirstFit.decide(&ctx(&probes, Some(1))),
+            AdmissionDecision::Queue
+        );
+    }
+
+    #[test]
+    fn bounded_queue_sheds_load() {
+        let probes = [ServerProbe {
+            server: 0,
+            required: None,
+        }];
+        let policy = BoundedQueue::new(BestFit, 1);
+        let mut c = ctx(&probes, Some(1));
+        assert_eq!(policy.decide(&c), AdmissionDecision::Queue);
+        c.queue_len = 1;
+        assert!(matches!(
+            policy.decide(&c),
+            AdmissionDecision::Reject { .. }
+        ));
+    }
+
+    #[test]
+    fn policies_resolve_by_wire_name() {
+        assert_eq!(policy_by_name("best-fit").unwrap().name(), "best-fit");
+        assert_eq!(policy_by_name("first-fit").unwrap().name(), "first-fit");
+        assert!(policy_by_name("random").is_none());
+    }
+}

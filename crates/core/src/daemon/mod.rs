@@ -1,0 +1,652 @@
+//! The `ropus serve` online planner daemon.
+//!
+//! A long-running loop that ingests demand incrementally over the
+//! line-delimited JSON protocol of [`protocol`], maintains a live plan in
+//! an incremental [`EngineSession`], and answers admission requests with
+//! a pluggable [`AdmissionPolicy`] scored
+//! against each server's remaining headroom under the pool's θ and CoS
+//! commitments:
+//!
+//! * `admit` translates the offered demand into per-CoS allocation
+//!   requirements (the same [`translate`] every batch path uses), probes
+//!   every open server without mutating the plan, and lets the policy
+//!   accept (naming a server), queue (with a deadline), or reject;
+//! * `depart` removes a live application, invalidating only its server;
+//! * `tick` advances logical time: queued admissions are retried in FIFO
+//!   order, expired ones are dropped, and exactly the touched servers'
+//!   required capacities are recomputed;
+//! * `snapshot` emits the live plan — bit-identical to a cold batch
+//!   consolidation of the same assignment (see `tests/serve.rs` and the
+//!   ci.sh serve gate);
+//! * `shutdown` reports aggregate statistics and stops the loop.
+//!
+//! Every decision is a pure function of the command stream and the
+//! daemon configuration, so a replayed script reproduces the exact plan
+//! — the same determinism contract the batch pipeline holds.
+
+pub mod admission;
+pub mod protocol;
+
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
+
+use ropus_obs::ObsCtx;
+use ropus_placement::server::ServerSpec;
+use ropus_placement::session::EngineSession;
+use ropus_placement::workload::Workload;
+use ropus_qos::translation::translate;
+use ropus_qos::{AppQos, PoolCommitments};
+use ropus_trace::{Calendar, Trace};
+
+use admission::{
+    count_decision, AdmissionContext, AdmissionDecision, AdmissionPolicy, BestFit, ServerProbe,
+};
+use protocol::{parse_command, Command, DemandSpec, Response, ServeStats};
+
+/// Latency buckets for the `serve.tick.latency_ms` histogram.
+static TICK_LATENCY_BOUNDS_MS: [f64; 6] = [0.1, 1.0, 5.0, 25.0, 100.0, 500.0];
+
+/// Static configuration of one serve daemon.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// The pool's server type.
+    pub server: ServerSpec,
+    /// The pool's CoS commitments (θ and deadline).
+    pub commitments: PoolCommitments,
+    /// The application QoS every admitted demand is translated under.
+    pub qos: AppQos,
+    /// Slot calendar demand arrives on.
+    pub calendar: Calendar,
+    /// Horizon, in weeks, that `level`-style admissions are planned over.
+    pub weeks: usize,
+    /// Required-capacity binary-search tolerance, in capacity units.
+    pub tolerance: f64,
+    /// Worker threads for delta refreshes (never changes any result).
+    pub threads: usize,
+    /// Ticks a queued admission survives before expiring; 0 disables the
+    /// queue (every `Queue` verdict becomes a rejection).
+    pub queue_deadline_slots: u64,
+    /// Pool size cap; `None` = unbounded.
+    pub max_servers: Option<usize>,
+}
+
+impl DaemonConfig {
+    /// A config with the paper's defaults: one-week horizon, 0.05
+    /// tolerance, serial refresh, 12-tick queue deadline, unbounded pool.
+    pub fn new(
+        server: ServerSpec,
+        commitments: PoolCommitments,
+        qos: AppQos,
+        calendar: Calendar,
+    ) -> Self {
+        DaemonConfig {
+            server,
+            commitments,
+            qos,
+            calendar,
+            weeks: 1,
+            tolerance: 0.05,
+            threads: 1,
+            queue_deadline_slots: 12,
+            max_servers: None,
+        }
+    }
+}
+
+/// One admission parked by a `Queue` verdict.
+#[derive(Debug, Clone)]
+struct QueuedAdmission {
+    workload: Workload,
+    /// Last slot (inclusive) at which a retry may still admit it.
+    deadline: u64,
+}
+
+/// The online planner: an [`EngineSession`] plus admission queue, driven
+/// by protocol commands. See the module docs for the command semantics.
+pub struct Daemon {
+    config: DaemonConfig,
+    policy: Box<dyn AdmissionPolicy + Send>,
+    session: EngineSession,
+    queue: VecDeque<QueuedAdmission>,
+    slot: u64,
+    stats: ServeStats,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("policy", &self.policy.name())
+            .field("live", &self.session.len())
+            .field("queued", &self.queue.len())
+            .field("slot", &self.slot)
+            .finish()
+    }
+}
+
+impl Daemon {
+    /// Creates a daemon with the default [`BestFit`] policy.
+    pub fn new(config: DaemonConfig) -> Self {
+        Daemon::with_policy(config, Box::new(BestFit))
+    }
+
+    /// Creates a daemon with an explicit admission policy.
+    pub fn with_policy(config: DaemonConfig, policy: Box<dyn AdmissionPolicy + Send>) -> Self {
+        let session = EngineSession::new(config.server, config.commitments)
+            .with_tolerance(config.tolerance)
+            .with_threads(config.threads);
+        Daemon {
+            config,
+            policy,
+            session,
+            queue: VecDeque::new(),
+            slot: 0,
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// The daemon's logical slot (ticks processed so far).
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> ServeStats {
+        let mut stats = self.stats;
+        stats.recomputes = self.session.recomputes();
+        stats
+    }
+
+    /// Names currently waiting in the queue, FIFO order.
+    pub fn queued_names(&self) -> Vec<String> {
+        self.queue
+            .iter()
+            .map(|q| q.workload.name().to_string())
+            .collect()
+    }
+
+    /// The live session (for snapshot comparisons in tests).
+    pub fn session_mut(&mut self) -> &mut EngineSession {
+        &mut self.session
+    }
+
+    /// Translates an offered demand into a placeable workload under the
+    /// daemon's QoS and commitments.
+    fn translate_demand(
+        &self,
+        name: &str,
+        demand: &DemandSpec,
+        obs: ObsCtx<'_>,
+    ) -> Result<Workload, String> {
+        let trace = match demand {
+            DemandSpec::Level(level) => Trace::constant(
+                self.config.calendar,
+                *level,
+                self.config.weeks * self.config.calendar.slots_per_week(),
+            ),
+            DemandSpec::Samples(samples) => {
+                // lint:allow(needless-trace-clone): ownership hand-off — the
+                // command keeps its sample vector; the trace needs its own.
+                Trace::from_samples(self.config.calendar, samples.clone())
+            }
+        }
+        .map_err(|e| format!("bad demand: {e}"))?;
+        let translation = translate(&trace, &self.config.qos, &self.config.commitments.cos2, obs)
+            .map_err(|e| format!("translation failed: {e}"))?;
+        Ok(Workload::from_translation(name.to_string(), translation))
+    }
+
+    /// Probes every touched server and asks the policy for a verdict.
+    /// Returns the probes too so callers can answer "what would the
+    /// target require?" without forcing a refresh.
+    fn decide(&self, workload: &Workload) -> Result<(AdmissionDecision, Vec<ServerProbe>), String> {
+        let mut probes = Vec::with_capacity(self.session.server_count());
+        for server in 0..self.session.server_count() {
+            let required = self
+                .session
+                .probe(workload, server)
+                .map_err(|e| e.to_string())?;
+            probes.push(ServerProbe { server, required });
+        }
+        let servers_open = (0..self.session.server_count())
+            .filter(|&s| !self.session.server_members(s).is_empty())
+            .count();
+        let ctx = AdmissionContext {
+            probes: &probes,
+            capacity: self.config.server.capacity(),
+            servers_open,
+            max_servers: self.config.max_servers,
+            queue_len: self.queue.len(),
+            slot: self.slot,
+        };
+        let mut decision = self.policy.decide(&ctx);
+        if let AdmissionDecision::Accept { server } = decision {
+            if self.config.max_servers.is_some_and(|cap| server >= cap) {
+                return Err(format!(
+                    "policy {} placed on server {server} beyond the pool cap",
+                    self.policy.name()
+                ));
+            }
+            // A placement on a fresh (never-probed) server must still
+            // fit: a demand that cannot satisfy the commitments alone on
+            // an empty server can never be placed, so reject it rather
+            // than queueing it forever.
+            if server >= probes.len()
+                && self
+                    .session
+                    .probe(workload, server)
+                    .map_err(|e| e.to_string())?
+                    .is_none()
+            {
+                decision = AdmissionDecision::Reject {
+                    reason: "demand does not fit an empty server".to_string(),
+                };
+            }
+        }
+        if matches!(decision, AdmissionDecision::Queue) && self.config.queue_deadline_slots == 0 {
+            decision = AdmissionDecision::Reject {
+                reason: "no feasible server and queueing is disabled".to_string(),
+            };
+        }
+        Ok((decision, probes))
+    }
+
+    /// Handles `admit`: translate, probe, decide, and apply the verdict.
+    pub fn admit(&mut self, name: &str, demand: &DemandSpec, obs: ObsCtx<'_>) -> Response {
+        let mut response = Response::ok("admit");
+        response.name = Some(name.to_string());
+        if self.queued_names().iter().any(|n| n == name) {
+            return Response::error("admit", format!("{name:?} is already queued"));
+        }
+        let workload = match self.translate_demand(name, demand, obs) {
+            Ok(w) => w,
+            Err(e) => return Response::error("admit", e),
+        };
+        let (decision, probes) = match self.decide(&workload) {
+            Ok(d) => d,
+            Err(e) => return Response::error("admit", e),
+        };
+        count_decision(&mut self.stats, &decision);
+        match decision {
+            AdmissionDecision::Accept { server } => {
+                // Answer the post-admission requirement from the probe
+                // (recomputing it for a freshly opened server) rather
+                // than refreshing the whole pool — the deferred batch
+                // recompute stays with `tick`.
+                let required = probes
+                    .iter()
+                    .find(|p| p.server == server)
+                    .map(|p| p.required)
+                    .unwrap_or_else(|| self.session.probe(&workload, server).ok().flatten());
+                if let Err(e) = self.session.admit(workload, server) {
+                    return Response::error("admit", e.to_string());
+                }
+                obs.counter("serve.admit.accepted", 1);
+                response.decision = Some("accepted".to_string());
+                response.server = Some(server);
+                response.required = required;
+            }
+            AdmissionDecision::Queue => {
+                let deadline = self.slot + self.config.queue_deadline_slots;
+                self.queue.push_back(QueuedAdmission { workload, deadline });
+                obs.counter("serve.admit.queued", 1);
+                response.decision = Some("queued".to_string());
+                response.deadline_slot = Some(deadline);
+            }
+            AdmissionDecision::Reject { reason } => {
+                obs.counter("serve.admit.rejected", 1);
+                response.decision = Some("rejected".to_string());
+                response.reason = Some(reason);
+            }
+        }
+        response
+    }
+
+    /// Handles `depart`: removes a live application by name.
+    pub fn depart(&mut self, name: &str, obs: ObsCtx<'_>) -> Response {
+        // A queued (not yet placed) application may also withdraw.
+        if let Some(at) = self.queue.iter().position(|q| q.workload.name() == name) {
+            self.queue.remove(at);
+            self.stats.departed += 1;
+            obs.counter("serve.depart.count", 1);
+            let mut response = Response::ok("depart");
+            response.name = Some(name.to_string());
+            return response;
+        }
+        let Some(id) = self.session.find(name) else {
+            return Response::error("depart", format!("{name:?} is not a live application"));
+        };
+        match self.session.depart(id) {
+            Ok(_) => {
+                self.stats.departed += 1;
+                obs.counter("serve.depart.count", 1);
+                let mut response = Response::ok("depart");
+                response.name = Some(name.to_string());
+                response
+            }
+            Err(e) => Response::error("depart", e.to_string()),
+        }
+    }
+
+    /// Handles `tick`: advance `slots` logical slots, retrying and
+    /// expiring queued admissions at each one, then recompute exactly the
+    /// touched servers.
+    pub fn tick(&mut self, slots: u64, obs: ObsCtx<'_>) -> Response {
+        let started_ms = obs.now_ms();
+        let mut admitted_from_queue = Vec::new();
+        let mut expired = Vec::new();
+        for _ in 0..slots {
+            self.slot += 1;
+            self.stats.ticks += 1;
+            self.drain_queue(&mut admitted_from_queue, &mut expired);
+        }
+        let delta = self.session.refresh();
+        obs.counter("serve.tick.count", slots);
+        obs.counter("serve.queue.admitted", admitted_from_queue.len() as u64);
+        obs.counter("serve.queue.expired", expired.len() as u64);
+        obs.histogram(
+            "serve.tick.latency_ms",
+            &TICK_LATENCY_BOUNDS_MS,
+            obs.now_ms() - started_ms,
+        );
+        let mut response = Response::ok("tick");
+        response.slot = Some(self.slot);
+        response.recomputed = Some(delta.recomputed);
+        if !admitted_from_queue.is_empty() {
+            response.admitted_from_queue = Some(admitted_from_queue);
+        }
+        if !expired.is_empty() {
+            response.expired = Some(expired);
+        }
+        response
+    }
+
+    /// One slot's queue pass: FIFO retry, then deadline expiry.
+    fn drain_queue(&mut self, admitted: &mut Vec<String>, expired: &mut Vec<String>) {
+        let mut remaining = VecDeque::with_capacity(self.queue.len());
+        while let Some(entry) = self.queue.pop_front() {
+            let verdict = match self.decide(&entry.workload) {
+                Ok((v, _)) => v,
+                // A queued workload can no longer fail validation; treat
+                // a probe error as "still waiting".
+                Err(_) => AdmissionDecision::Queue,
+            };
+            match verdict {
+                AdmissionDecision::Accept { server }
+                    if self.session.admit(entry.workload.clone(), server).is_ok() =>
+                {
+                    self.stats.admitted += 1;
+                    admitted.push(entry.workload.name().to_string());
+                }
+                _ if self.slot > entry.deadline => {
+                    self.stats.expired += 1;
+                    expired.push(entry.workload.name().to_string());
+                }
+                _ => remaining.push_back(entry),
+            }
+        }
+        self.queue = remaining;
+    }
+
+    /// Handles `snapshot`: the live plan, queue, and slot.
+    pub fn snapshot(&mut self) -> Response {
+        let mut response = Response::ok("snapshot");
+        response.slot = Some(self.slot);
+        response.queue = Some(self.queued_names());
+        if !self.session.is_empty() {
+            match self.session.report() {
+                Ok(plan) => response.plan = Some(plan),
+                Err(e) => return Response::error("snapshot", e.to_string()),
+            }
+        }
+        response
+    }
+
+    /// Handles `shutdown`: final statistics.
+    pub fn shutdown(&mut self) -> Response {
+        let mut response = Response::ok("shutdown");
+        response.slot = Some(self.slot);
+        response.stats = Some(self.stats());
+        response
+    }
+
+    /// Executes one parsed command. `Shutdown` only reports; stopping the
+    /// loop is the caller's job (see [`run`](Self::run)).
+    pub fn execute(&mut self, command: &Command, obs: ObsCtx<'_>) -> Response {
+        match command {
+            Command::Admit { name, demand } => self.admit(name, demand, obs),
+            Command::Depart { name } => self.depart(name, obs),
+            Command::Tick { slots } => self.tick(*slots, obs),
+            Command::Snapshot => self.snapshot(),
+            Command::Shutdown => self.shutdown(),
+        }
+    }
+
+    /// Drives the daemon over line-delimited JSON: one command per input
+    /// line, one response per output line. Returns the final statistics
+    /// at `shutdown` or end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when reading a command line or
+    /// writing a response fails; protocol-level problems (unparseable or
+    /// inapplicable commands) are reported in-band as `ok: false`
+    /// responses and do not stop the loop.
+    pub fn run(
+        &mut self,
+        reader: impl BufRead,
+        mut writer: impl Write,
+        obs: ObsCtx<'_>,
+    ) -> std::io::Result<ServeStats> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = match parse_command(&line) {
+                Ok(command) => {
+                    let response = self.execute(&command, obs);
+                    writeln!(writer, "{}", response.to_line())?;
+                    if matches!(command, Command::Shutdown) {
+                        writer.flush()?;
+                        return Ok(self.stats());
+                    }
+                    continue;
+                }
+                Err(message) => Response::error("error", message),
+            };
+            writeln!(writer, "{}", response.to_line())?;
+        }
+        writer.flush()?;
+        Ok(self.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ropus_qos::CosSpec;
+
+    fn config() -> DaemonConfig {
+        DaemonConfig::new(
+            ServerSpec::sixteen_way(),
+            PoolCommitments::new(CosSpec::new(1.0, 60).unwrap()),
+            AppQos::paper_default(None),
+            Calendar::five_minute(),
+        )
+    }
+
+    fn admit_level(d: &mut Daemon, name: &str, level: f64) -> Response {
+        d.admit(name, &DemandSpec::Level(level), ObsCtx::none())
+    }
+
+    #[test]
+    fn admissions_fill_then_open_servers() {
+        let mut d = Daemon::new(config());
+        // The paper-default band turns a constant demand of 4 into an
+        // allocation of about 4 / 0.66 ≈ 6.1 capacity units.
+        let r = admit_level(&mut d, "a", 4.0);
+        assert_eq!(r.decision.as_deref(), Some("accepted"));
+        assert_eq!(r.server, Some(0));
+        assert!(r.required.is_some());
+        // Best-fit keeps packing server 0 while it fits.
+        let r = admit_level(&mut d, "b", 4.0);
+        assert_eq!(r.server, Some(0));
+        // Three at ~6.1 exceed 16: the next one opens server 1.
+        let r = admit_level(&mut d, "c", 4.0);
+        assert_eq!(r.server, Some(1));
+        let snap = d.snapshot();
+        let plan = snap.plan.unwrap();
+        assert_eq!(plan.servers_used, 2);
+        assert_eq!(plan.assignment, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn pool_cap_queues_then_admits_after_departure() {
+        let mut cfg = config();
+        cfg.max_servers = Some(1);
+        cfg.queue_deadline_slots = 4;
+        let mut d = Daemon::new(cfg);
+        admit_level(&mut d, "a", 7.0);
+        let r = admit_level(&mut d, "b", 7.0);
+        assert_eq!(r.decision.as_deref(), Some("queued"));
+        assert_eq!(r.deadline_slot, Some(4));
+        assert_eq!(d.queued_names(), vec!["b"]);
+        // Still no room: the tick leaves it queued.
+        let r = d.tick(1, ObsCtx::none());
+        assert!(r.admitted_from_queue.is_none());
+        // `a` departs; the next tick admits `b` from the queue.
+        d.depart("a", ObsCtx::none());
+        let r = d.tick(1, ObsCtx::none());
+        assert_eq!(r.admitted_from_queue, Some(vec!["b".to_string()]));
+        assert!(d.queued_names().is_empty());
+        let stats = d.stats();
+        assert_eq!((stats.admitted, stats.queued, stats.departed), (2, 1, 1));
+    }
+
+    #[test]
+    fn queued_admissions_expire_at_their_deadline() {
+        let mut cfg = config();
+        cfg.max_servers = Some(1);
+        cfg.queue_deadline_slots = 2;
+        let mut d = Daemon::new(cfg);
+        admit_level(&mut d, "a", 7.0);
+        admit_level(&mut d, "b", 7.0);
+        let r = d.tick(2, ObsCtx::none());
+        assert!(r.expired.is_none(), "deadline slot itself still waits");
+        let r = d.tick(1, ObsCtx::none());
+        assert_eq!(r.expired, Some(vec!["b".to_string()]));
+        assert_eq!(d.stats().expired, 1);
+    }
+
+    #[test]
+    fn zero_deadline_disables_the_queue() {
+        let mut cfg = config();
+        cfg.max_servers = Some(1);
+        cfg.queue_deadline_slots = 0;
+        let mut d = Daemon::new(cfg);
+        admit_level(&mut d, "a", 7.0);
+        let r = admit_level(&mut d, "b", 7.0);
+        assert_eq!(r.decision.as_deref(), Some("rejected"));
+        assert!(r.reason.unwrap().contains("queueing is disabled"));
+    }
+
+    #[test]
+    fn never_fitting_demand_is_rejected_not_queued() {
+        let mut d = Daemon::new(config());
+        // A constant demand of 12 translates to an allocation beyond one
+        // 16-way server, so no pool of these servers can ever host it.
+        let r = admit_level(&mut d, "whale", 12.0);
+        assert_eq!(r.decision.as_deref(), Some("rejected"));
+        assert!(r.reason.unwrap().contains("does not fit an empty server"));
+        assert!(d.queued_names().is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_are_refused_everywhere() {
+        let mut cfg = config();
+        cfg.max_servers = Some(1);
+        let mut d = Daemon::new(cfg);
+        admit_level(&mut d, "a", 7.0);
+        assert!(!admit_level(&mut d, "a", 1.0).ok, "live duplicate");
+        admit_level(&mut d, "b", 7.0);
+        assert!(!admit_level(&mut d, "b", 1.0).ok, "queued duplicate");
+    }
+
+    #[test]
+    fn depart_covers_live_queued_and_unknown() {
+        let mut cfg = config();
+        cfg.max_servers = Some(1);
+        let mut d = Daemon::new(cfg);
+        admit_level(&mut d, "a", 7.0);
+        admit_level(&mut d, "b", 7.0);
+        assert!(d.depart("b", ObsCtx::none()).ok, "queued withdraw");
+        assert!(d.depart("a", ObsCtx::none()).ok, "live depart");
+        assert!(!d.depart("ghost", ObsCtx::none()).ok);
+        assert_eq!(d.stats().departed, 2);
+    }
+
+    #[test]
+    fn tick_recomputes_only_touched_servers() {
+        let mut d = Daemon::new(config());
+        admit_level(&mut d, "a", 4.0);
+        admit_level(&mut d, "b", 7.0);
+        let r = d.tick(1, ObsCtx::none());
+        assert_eq!(r.recomputed, Some(2));
+        // Nothing changed: the next tick recomputes nothing.
+        let r = d.tick(1, ObsCtx::none());
+        assert_eq!(r.recomputed, Some(0));
+        admit_level(&mut d, "c", 1.0);
+        let r = d.tick(1, ObsCtx::none());
+        assert_eq!(r.recomputed, Some(1));
+    }
+
+    #[test]
+    fn run_loop_speaks_the_protocol_end_to_end() {
+        let script = concat!(
+            r#"{"cmd":"admit","name":"a","level":4.0}"#,
+            "\n",
+            "not json\n",
+            "\n",
+            r#"{"cmd":"tick"}"#,
+            "\n",
+            r#"{"cmd":"snapshot"}"#,
+            "\n",
+            r#"{"cmd":"shutdown"}"#,
+            "\n",
+            r#"{"cmd":"tick"}"#,
+            "\n",
+        );
+        let mut d = Daemon::new(config());
+        let mut out = Vec::new();
+        let stats = d.run(script.as_bytes(), &mut out, ObsCtx::none()).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 5, "shutdown stops the loop");
+        assert!(lines[0].contains(r#""decision":"accepted""#));
+        assert!(lines[1].contains(r#""ok":false"#));
+        assert!(lines[2].contains(r#""cmd":"tick""#));
+        assert!(lines[3].contains(r#""plan""#));
+        assert!(lines[4].contains(r#""stats""#));
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.ticks, 1);
+    }
+
+    #[test]
+    fn observability_counts_the_admission_flow() {
+        let obs = ropus_obs::Obs::deterministic();
+        let mut cfg = config();
+        cfg.max_servers = Some(1);
+        let mut d = Daemon::new(cfg);
+        d.admit("a", &DemandSpec::Level(7.0), ObsCtx::from(&obs));
+        d.admit("b", &DemandSpec::Level(7.0), ObsCtx::from(&obs));
+        d.tick(1, ObsCtx::from(&obs));
+        d.depart("a", ObsCtx::from(&obs));
+        d.tick(1, ObsCtx::from(&obs));
+        let report = obs.report();
+        assert_eq!(report.counter("serve.admit.accepted"), 1);
+        assert_eq!(report.counter("serve.admit.queued"), 1);
+        assert_eq!(report.counter("serve.queue.admitted"), 1);
+        assert_eq!(report.counter("serve.depart.count"), 1);
+        assert_eq!(report.counter("serve.tick.count"), 2);
+        assert!(report.histogram("serve.tick.latency_ms").is_some());
+    }
+}

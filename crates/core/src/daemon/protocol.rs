@@ -1,0 +1,302 @@
+//! The line-delimited JSON command protocol of `ropus serve`.
+//!
+//! One command per input line, one response per output line. Commands
+//! carry a `cmd` discriminator field (the vendored serde implementation
+//! has no internally-tagged enums, so dispatch is by hand):
+//!
+//! ```json
+//! {"cmd":"admit","name":"app-1","level":2.0}
+//! {"cmd":"admit","name":"app-2","samples":[1.0,2.0, ...]}
+//! {"cmd":"depart","name":"app-1"}
+//! {"cmd":"tick"}
+//! {"cmd":"tick","slots":4}
+//! {"cmd":"snapshot"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! Responses always carry `ok` and echo `cmd`; the remaining fields
+//! depend on the command (see [`Response`]).
+
+use serde::{Deserialize, Serialize};
+
+use ropus_placement::consolidate::PlacementReport;
+
+/// How an `admit` command describes its demand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DemandSpec {
+    /// Constant demand at this level over the daemon's whole horizon.
+    Level(f64),
+    /// An explicit per-slot demand series (must cover whole weeks on the
+    /// daemon's calendar).
+    Samples(Vec<f64>),
+}
+
+/// A parsed protocol command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Ask admission for a new application.
+    Admit {
+        /// Application name (unique among live applications).
+        name: String,
+        /// The demand to plan for.
+        demand: DemandSpec,
+    },
+    /// Remove a live application from the plan.
+    Depart {
+        /// Application name.
+        name: String,
+    },
+    /// Advance logical time: retry and expire queued admissions, then
+    /// recompute every touched server.
+    Tick {
+        /// Slots to advance (defaults to 1).
+        slots: u64,
+    },
+    /// Emit the current plan, queue, and slot.
+    Snapshot,
+    /// Emit final statistics and stop the daemon loop.
+    Shutdown,
+}
+
+/// Wire shape of one input line; `cmd` selects the command and the other
+/// fields are its operands.
+#[derive(Debug, Clone, Deserialize)]
+struct RawCommand {
+    cmd: String,
+    name: Option<String>,
+    level: Option<f64>,
+    samples: Option<Vec<f64>>,
+    slots: Option<u64>,
+}
+
+/// Parses one input line into a [`Command`].
+///
+/// # Errors
+///
+/// Returns a message naming the malformed part: unparseable JSON, an
+/// unknown `cmd`, missing operands, or operands on a command that takes
+/// none.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let raw: RawCommand =
+        serde_json::from_str(line).map_err(|e| format!("malformed command: {e}"))?;
+    match raw.cmd.as_str() {
+        "admit" => {
+            let name = raw
+                .name
+                .ok_or_else(|| "admit requires a \"name\"".to_string())?;
+            let demand = match (raw.level, raw.samples) {
+                (Some(level), None) => DemandSpec::Level(level),
+                (None, Some(samples)) => DemandSpec::Samples(samples),
+                (None, None) => {
+                    return Err("admit requires \"level\" or \"samples\"".to_string());
+                }
+                (Some(_), Some(_)) => {
+                    return Err("admit takes \"level\" or \"samples\", not both".to_string());
+                }
+            };
+            Ok(Command::Admit { name, demand })
+        }
+        "depart" => {
+            let name = raw
+                .name
+                .ok_or_else(|| "depart requires a \"name\"".to_string())?;
+            Ok(Command::Depart { name })
+        }
+        "tick" => {
+            let slots = raw.slots.unwrap_or(1);
+            if slots == 0 {
+                return Err("tick requires \"slots\" >= 1".to_string());
+            }
+            Ok(Command::Tick { slots })
+        }
+        "snapshot" => Ok(Command::Snapshot),
+        "shutdown" => Ok(Command::Shutdown),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Aggregate daemon statistics (reported by `shutdown`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Ticks processed.
+    pub ticks: u64,
+    /// Applications admitted (directly or from the queue).
+    pub admitted: u64,
+    /// Admissions rejected outright.
+    pub rejected: u64,
+    /// Admissions parked in the queue (may later admit or expire).
+    pub queued: u64,
+    /// Queued admissions that passed their deadline and were dropped.
+    pub expired: u64,
+    /// Applications departed.
+    pub departed: u64,
+    /// Per-server required-capacity recomputations performed.
+    pub recomputes: u64,
+}
+
+/// One output line: `ok` plus the fields relevant to the echoed `cmd`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Response {
+    /// Whether the command was executed.
+    pub ok: bool,
+    /// The command this responds to (`"error"` for unparseable lines).
+    pub cmd: String,
+    /// Error message when `ok` is false.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+    /// Echoed application name (`admit`/`depart`).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub name: Option<String>,
+    /// Admission verdict: `"accepted"`, `"queued"`, or `"rejected"`.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub decision: Option<String>,
+    /// Server assigned by an accepted admission.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub server: Option<usize>,
+    /// Required capacity of the assigned server after admission.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub required: Option<f64>,
+    /// Reason attached to a rejection.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub reason: Option<String>,
+    /// Slot at which a queued admission expires.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub deadline_slot: Option<u64>,
+    /// The daemon's logical slot after the command.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub slot: Option<u64>,
+    /// Applications admitted out of the queue by this tick.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub admitted_from_queue: Option<Vec<String>>,
+    /// Queued applications dropped by this tick (deadline passed).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub expired: Option<Vec<String>>,
+    /// Servers whose required capacity was recomputed by this tick.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub recomputed: Option<usize>,
+    /// Names still waiting in the queue (`snapshot`).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub queue: Option<Vec<String>>,
+    /// The live plan (`snapshot`).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub plan: Option<PlacementReport>,
+    /// Aggregate statistics (`shutdown`).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub stats: Option<ServeStats>,
+}
+
+impl Response {
+    /// A bare success response for `cmd`.
+    pub fn ok(cmd: &str) -> Response {
+        Response {
+            ok: true,
+            cmd: cmd.to_string(),
+            error: None,
+            name: None,
+            decision: None,
+            server: None,
+            required: None,
+            reason: None,
+            deadline_slot: None,
+            slot: None,
+            admitted_from_queue: None,
+            expired: None,
+            recomputed: None,
+            queue: None,
+            plan: None,
+            stats: None,
+        }
+    }
+
+    /// An error response for `cmd`.
+    pub fn error(cmd: &str, message: impl Into<String>) -> Response {
+        let mut r = Response::ok(cmd);
+        r.ok = false;
+        r.error = Some(message.into());
+        r
+    }
+
+    /// Serializes to one output line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        // lint:allow(panic-expect): Response contains only
+        // always-serializable fields.
+        serde_json::to_string(self).expect("responses always serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command_shape() {
+        assert_eq!(
+            parse_command(r#"{"cmd":"admit","name":"a","level":2.0}"#).unwrap(),
+            Command::Admit {
+                name: "a".to_string(),
+                demand: DemandSpec::Level(2.0)
+            }
+        );
+        assert_eq!(
+            parse_command(r#"{"cmd":"admit","name":"a","samples":[1.0,2.0]}"#).unwrap(),
+            Command::Admit {
+                name: "a".to_string(),
+                demand: DemandSpec::Samples(vec![1.0, 2.0])
+            }
+        );
+        assert_eq!(
+            parse_command(r#"{"cmd":"depart","name":"a"}"#).unwrap(),
+            Command::Depart {
+                name: "a".to_string()
+            }
+        );
+        assert_eq!(
+            parse_command(r#"{"cmd":"tick"}"#).unwrap(),
+            Command::Tick { slots: 1 }
+        );
+        assert_eq!(
+            parse_command(r#"{"cmd":"tick","slots":5}"#).unwrap(),
+            Command::Tick { slots: 5 }
+        );
+        assert_eq!(
+            parse_command(r#"{"cmd":"snapshot"}"#).unwrap(),
+            Command::Snapshot
+        );
+        assert_eq!(
+            parse_command(r#"{"cmd":"shutdown"}"#).unwrap(),
+            Command::Shutdown
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_commands() {
+        for (line, needle) in [
+            ("not json", "malformed"),
+            (r#"{"cmd":"admit","name":"a"}"#, "level"),
+            (
+                r#"{"cmd":"admit","name":"a","level":1.0,"samples":[1.0]}"#,
+                "not both",
+            ),
+            (r#"{"cmd":"admit","level":1.0}"#, "name"),
+            (r#"{"cmd":"depart"}"#, "name"),
+            (r#"{"cmd":"tick","slots":0}"#, "slots"),
+            (r#"{"cmd":"resize"}"#, "unknown command"),
+        ] {
+            let err = parse_command(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn responses_serialize_sparse_fields_only() {
+        let line = Response::ok("tick").to_line();
+        assert_eq!(line, r#"{"ok":true,"cmd":"tick"}"#);
+        let mut r = Response::error("admit", "nope");
+        r.name = Some("a".to_string());
+        let line = r.to_line();
+        assert!(line.contains(r#""ok":false"#));
+        assert!(line.contains(r#""error":"nope""#));
+        assert!(line.contains(r#""name":"a""#));
+        assert!(!line.contains("decision"));
+    }
+}

@@ -2,13 +2,13 @@
 
 use serde::{Deserialize, Serialize};
 
-use ropus_obs::Obs;
+use ropus_obs::{Obs, ObsCtx};
 use ropus_placement::consolidate::{ConsolidationOptions, Consolidator, PlacementReport};
 use ropus_placement::failure::{analyze_single_failures, FailureAnalysis, FailureScope};
 use ropus_placement::server::ServerSpec;
 use ropus_placement::workload::Workload;
 use ropus_qos::analysis::{check_report, FleetSavings};
-use ropus_qos::translation::{translate_observed, TranslationReport};
+use ropus_qos::translation::{translate, TranslationReport};
 use ropus_qos::{PoolCommitments, QosPolicy};
 use ropus_trace::Trace;
 
@@ -120,6 +120,74 @@ impl CapacityPlan {
     }
 }
 
+/// A planning request: the fleet to plan plus everything that rides
+/// along with it — today an optional observability context, built up in
+/// builder style.
+///
+/// Every [`Framework`] entry point takes `impl Into<PlanRequest>`, so
+/// plain fleets still read naturally at the call site:
+///
+/// ```ignore
+/// framework.plan(&apps)?;                                  // bare fleet
+/// framework.plan(PlanRequest::of(&apps).with_obs(&obs))?;  // instrumented
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PlanRequest<'a> {
+    apps: &'a [AppSpec],
+    obs: ObsCtx<'a>,
+}
+
+impl<'a> PlanRequest<'a> {
+    /// Starts a request for the given fleet.
+    pub fn of(apps: &'a [AppSpec]) -> Self {
+        PlanRequest {
+            apps,
+            obs: ObsCtx::none(),
+        }
+    }
+
+    /// Attaches an observability collector: pipeline stages run under
+    /// `pipeline.*` spans and per-layer counters/events ride along.
+    pub fn with_obs(mut self, obs: &'a Obs) -> Self {
+        self.obs = ObsCtx::from(obs);
+        self
+    }
+
+    /// Attaches an already-built observability context.
+    pub fn with_obs_ctx(mut self, obs: ObsCtx<'a>) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The fleet being planned.
+    pub fn apps(&self) -> &'a [AppSpec] {
+        self.apps
+    }
+
+    /// The observability context riding along with the request.
+    pub fn obs(&self) -> ObsCtx<'a> {
+        self.obs
+    }
+}
+
+impl<'a> From<&'a [AppSpec]> for PlanRequest<'a> {
+    fn from(apps: &'a [AppSpec]) -> Self {
+        PlanRequest::of(apps)
+    }
+}
+
+impl<'a> From<&'a Vec<AppSpec>> for PlanRequest<'a> {
+    fn from(apps: &'a Vec<AppSpec>) -> Self {
+        PlanRequest::of(apps)
+    }
+}
+
+impl<'a, const N: usize> From<&'a [AppSpec; N]> for PlanRequest<'a> {
+    fn from(apps: &'a [AppSpec; N]) -> Self {
+        PlanRequest::of(apps)
+    }
+}
+
 /// The R-Opus capacity self-management framework.
 ///
 /// Owns the pool-level configuration (server type, CoS commitments, search
@@ -168,28 +236,20 @@ impl Framework {
     /// Translates every application for both modes.
     ///
     /// Returns, per application, the plan summary plus the normal- and
-    /// failure-mode [`Workload`]s ready for placement.
+    /// failure-mode [`Workload`]s ready for placement. When the request
+    /// carries an observability context, the whole fleet translation runs
+    /// under a `pipeline.translate` span and each application's
+    /// translation emits its breakpoint and relaxation events.
     ///
     /// # Errors
     ///
     /// Propagates QoS validation and translation errors.
-    pub fn translate_fleet(&self, apps: &[AppSpec]) -> Result<TranslatedFleet, FrameworkError> {
-        self.translate_fleet_observed(apps, &Obs::off())
-    }
-
-    /// [`translate_fleet`](Self::translate_fleet) with an observability
-    /// collector attached: the whole fleet translation runs under a
-    /// `pipeline.translate` span and each application's translation emits
-    /// its breakpoint and relaxation events.
-    ///
-    /// # Errors
-    ///
-    /// As for [`translate_fleet`](Self::translate_fleet).
-    pub fn translate_fleet_observed(
+    pub fn translate_fleet<'a>(
         &self,
-        apps: &[AppSpec],
-        obs: &Obs,
+        request: impl Into<PlanRequest<'a>>,
     ) -> Result<TranslatedFleet, FrameworkError> {
+        let request = request.into();
+        let (apps, obs) = (request.apps(), request.obs());
         if apps.is_empty() {
             return Err(FrameworkError::NoApplications);
         }
@@ -200,8 +260,8 @@ impl Framework {
         let mut failure = Vec::with_capacity(apps.len());
         for app in apps {
             app.policy.validate()?;
-            let n = translate_observed(&app.demand, &app.policy.normal, &cos2, obs)?;
-            let f = translate_observed(&app.demand, &app.policy.failure, &cos2, obs)?;
+            let n = translate(&app.demand, &app.policy.normal, &cos2, obs)?;
+            let f = translate(&app.demand, &app.policy.failure, &cos2, obs)?;
             check_report(&app.policy.normal, &n.report)?;
             check_report(&app.policy.failure, &f.report)?;
             plans.push(AppPlan {
@@ -236,57 +296,41 @@ impl Framework {
     /// # Errors
     ///
     /// As for [`plan`](Self::plan).
-    pub fn plan_normal_only(&self, apps: &[AppSpec]) -> Result<PlacementReport, FrameworkError> {
-        self.plan_normal_only_observed(apps, &Obs::off())
-    }
-
-    /// [`plan_normal_only`](Self::plan_normal_only) with an observability
-    /// collector attached.
-    ///
-    /// # Errors
-    ///
-    /// As for [`plan`](Self::plan).
-    pub fn plan_normal_only_observed(
+    pub fn plan_normal_only<'a>(
         &self,
-        apps: &[AppSpec],
-        obs: &Obs,
+        request: impl Into<PlanRequest<'a>>,
     ) -> Result<PlacementReport, FrameworkError> {
-        let (_, normal, _) = self.translate_fleet_observed(apps, obs)?;
+        let request = request.into();
+        let obs = request.obs();
+        let (_, normal, _) = self.translate_fleet(request)?;
         let _span = obs.span("pipeline.consolidate");
         let consolidator = Consolidator::new(self.server, self.commitments, self.options);
-        Ok(consolidator.consolidate_observed(&normal, obs)?)
+        Ok(consolidator.consolidate(&normal, obs)?)
     }
 
     /// Runs the full pipeline: translate both modes, consolidate the
-    /// normal-mode workloads, and sweep single failures.
+    /// normal-mode workloads, and sweep single failures. When the request
+    /// carries an observability context, the three pipeline stages run
+    /// under `pipeline.translate`, `pipeline.consolidate`, and
+    /// `pipeline.failure_sweep` spans, with the per-layer counters and
+    /// events of each stage riding along.
     ///
     /// # Errors
     ///
     /// Returns a [`FrameworkError`] if translation fails or the fleet
     /// cannot be placed at all. An *unsupported failure case* is not an
     /// error; it surfaces as [`CapacityPlan::spare_needed`].
-    pub fn plan(&self, apps: &[AppSpec]) -> Result<CapacityPlan, FrameworkError> {
-        self.plan_observed(apps, &Obs::off())
-    }
-
-    /// [`plan`](Self::plan) with an observability collector attached: the
-    /// three pipeline stages run under `pipeline.translate`,
-    /// `pipeline.consolidate`, and `pipeline.failure_sweep` spans, with
-    /// the per-layer counters and events of each stage riding along.
-    ///
-    /// # Errors
-    ///
-    /// As for [`plan`](Self::plan).
-    pub fn plan_observed(
+    pub fn plan<'a>(
         &self,
-        apps: &[AppSpec],
-        obs: &Obs,
+        request: impl Into<PlanRequest<'a>>,
     ) -> Result<CapacityPlan, FrameworkError> {
-        let (plans, normal, failure) = self.translate_fleet_observed(apps, obs)?;
+        let request = request.into();
+        let obs = request.obs();
+        let (plans, normal, failure) = self.translate_fleet(request)?;
         let consolidator = Consolidator::new(self.server, self.commitments, self.options);
         let normal_placement = {
             let _span = obs.span("pipeline.consolidate");
-            consolidator.consolidate_observed(&normal, obs)?
+            consolidator.consolidate(&normal, obs)?
         };
         let failure_analysis = {
             let _span = obs.span("pipeline.failure_sweep");
@@ -313,6 +357,54 @@ impl Framework {
             failure_analysis,
             savings,
         })
+    }
+}
+
+impl Framework {
+    /// Deprecated alias for [`translate_fleet`](Self::translate_fleet)
+    /// from before planning requests were unified: forwards with the
+    /// collector attached.
+    ///
+    /// # Errors
+    ///
+    /// As for [`translate_fleet`](Self::translate_fleet).
+    #[deprecated(note = "call `translate_fleet` with a `PlanRequest` instead")]
+    pub fn translate_fleet_observed(
+        &self,
+        apps: &[AppSpec],
+        obs: &Obs,
+    ) -> Result<TranslatedFleet, FrameworkError> {
+        self.translate_fleet(PlanRequest::of(apps).with_obs(obs))
+    }
+
+    /// Deprecated alias for [`plan_normal_only`](Self::plan_normal_only)
+    /// from before planning requests were unified.
+    ///
+    /// # Errors
+    ///
+    /// As for [`plan_normal_only`](Self::plan_normal_only).
+    #[deprecated(note = "call `plan_normal_only` with a `PlanRequest` instead")]
+    pub fn plan_normal_only_observed(
+        &self,
+        apps: &[AppSpec],
+        obs: &Obs,
+    ) -> Result<PlacementReport, FrameworkError> {
+        self.plan_normal_only(PlanRequest::of(apps).with_obs(obs))
+    }
+
+    /// Deprecated alias for [`plan`](Self::plan) from before planning
+    /// requests were unified.
+    ///
+    /// # Errors
+    ///
+    /// As for [`plan`](Self::plan).
+    #[deprecated(note = "call `plan` with a `PlanRequest` instead")]
+    pub fn plan_observed(
+        &self,
+        apps: &[AppSpec],
+        obs: &Obs,
+    ) -> Result<CapacityPlan, FrameworkError> {
+        self.plan(PlanRequest::of(apps).with_obs(obs))
     }
 }
 

@@ -66,31 +66,38 @@ mod framework;
 
 pub mod case_study;
 pub mod chaos;
+pub mod daemon;
 pub mod lifecycle;
 pub mod planning;
 pub mod runtime;
 
 pub use error::FrameworkError;
-pub use framework::{AppPlan, AppSpec, CapacityPlan, Framework, FrameworkBuilder};
+pub use framework::{AppPlan, AppSpec, CapacityPlan, Framework, FrameworkBuilder, PlanRequest};
 
 /// One-stop imports for typical R-Opus use.
 pub mod prelude {
     pub use crate::case_study::{self, CaseConfig, CaseResult};
+    pub use crate::daemon::admission::{
+        AdmissionContext, AdmissionDecision, AdmissionPolicy, BestFit, FirstFit, ServerProbe,
+    };
+    pub use crate::daemon::protocol::{Command, DemandSpec, Response, ServeStats};
+    pub use crate::daemon::{Daemon, DaemonConfig};
     pub use crate::lifecycle::{EpochOutcome, LifecycleReport};
     pub use crate::planning::{estimate_weekly_growth, CapacityForecast, ForecastEntry};
     pub use crate::runtime::{AppRuntimeOutcome, PoolRuntimeReport};
-    pub use crate::{AppPlan, AppSpec, CapacityPlan, Framework, FrameworkError};
+    pub use crate::{AppPlan, AppSpec, CapacityPlan, Framework, FrameworkError, PlanRequest};
     pub use ropus_chaos::{
         AppChaosOutcome, ChaosApp, ChaosError, ChaosReport, DegradationPolicy, DegradedWindow,
         FailureEvent, FailureSchedule, ReplayOptions, StochasticProfile,
     };
-    pub use ropus_obs::{NullClock, Obs, ObsReport, WallClock};
+    pub use ropus_obs::{NullClock, Obs, ObsCtx, ObsReport, WallClock};
     pub use ropus_placement::consolidate::{ConsolidationOptions, Consolidator, PlacementReport};
     pub use ropus_placement::engine::{EngineStats, FitEngine};
     pub use ropus_placement::failure::{FailureAnalysis, FailureScope};
     pub use ropus_placement::ga::GaOptions;
     pub use ropus_placement::greedy::GreedyPolicy;
     pub use ropus_placement::server::{Pool, ServerSpec};
+    pub use ropus_placement::session::{EngineSession, PlanDelta, WorkloadId};
     pub use ropus_placement::workload::Workload;
     pub use ropus_qos::translation::{translate, Translation, TranslationReport};
     pub use ropus_qos::{

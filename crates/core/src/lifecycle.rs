@@ -16,6 +16,7 @@
 //! out-of-sample compliance and few migrations — exactly the regime the
 //! paper argues trace-based management is sound in.
 
+use ropus_obs::ObsCtx;
 use serde::{Deserialize, Serialize};
 
 use ropus_wlm::host::{Host, HostedWorkload};
@@ -122,7 +123,7 @@ impl Framework {
                 self.commitments(),
                 self.options(),
             );
-            let placement = consolidator.consolidate(&workloads)?;
+            let placement = consolidator.consolidate(&workloads, ObsCtx::none())?;
 
             // Replay the unseen week through each placed host.
             let mut violations = 0usize;
@@ -147,7 +148,7 @@ impl Framework {
                     })
                     .collect();
                 let host = Host::new(self.server().capacity())?;
-                let outcome = host.run(&hosted)?;
+                let outcome = host.run(&hosted, ObsCtx::none())?;
                 // Host outcomes are returned in hosted order, which is the
                 // placement's workload order — pair them back up by zip.
                 for (wo, &app_index) in outcome.workloads.iter().zip(&server_placement.workloads) {

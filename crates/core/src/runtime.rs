@@ -19,7 +19,7 @@ use ropus_wlm::host::{Host, HostedWorkload};
 use ropus_wlm::manager::WlmPolicy;
 use ropus_wlm::metrics::{audit, SloAudit};
 
-use crate::framework::{AppSpec, CapacityPlan, Framework};
+use crate::framework::{AppSpec, CapacityPlan, Framework, PlanRequest};
 use crate::FrameworkError;
 
 /// Delivered-QoS outcome for one application.
@@ -75,36 +75,24 @@ impl Framework {
     /// Replays a capacity plan's normal-mode placement against the raw
     /// demand traces and audits the delivered QoS per application.
     ///
-    /// `apps` must be the same fleet (same order) the plan was built from.
+    /// The request's fleet must be the same fleet (same order) the plan
+    /// was built from. When the request carries an observability context,
+    /// the replay runs under a `pipeline.runtime_validation` span and
+    /// every host fills the `wlm.host.saturation` histogram plus the
+    /// unmet/scaled slot counters.
     ///
     /// # Errors
     ///
     /// Returns [`FrameworkError::NoApplications`] for an empty fleet, a
     /// trace error for misaligned inputs, and propagates translation
     /// errors when recomputing the per-workload manager policies.
-    pub fn validate_runtime(
+    pub fn validate_runtime<'a>(
         &self,
-        apps: &[AppSpec],
+        request: impl Into<PlanRequest<'a>>,
         plan: &CapacityPlan,
     ) -> Result<PoolRuntimeReport, FrameworkError> {
-        self.validate_runtime_observed(apps, plan, &ropus_obs::Obs::off())
-    }
-
-    /// [`validate_runtime`](Self::validate_runtime) with an observability
-    /// collector attached: the replay runs under a
-    /// `pipeline.runtime_validation` span and every host fills the
-    /// `wlm.host.saturation` histogram plus the unmet/scaled slot
-    /// counters.
-    ///
-    /// # Errors
-    ///
-    /// As for [`validate_runtime`](Self::validate_runtime).
-    pub fn validate_runtime_observed(
-        &self,
-        apps: &[AppSpec],
-        plan: &CapacityPlan,
-        obs: &ropus_obs::Obs,
-    ) -> Result<PoolRuntimeReport, FrameworkError> {
+        let request = request.into();
+        let (apps, obs) = (request.apps(), request.obs());
         if apps.is_empty() {
             return Err(FrameworkError::NoApplications);
         }
@@ -127,7 +115,7 @@ impl Framework {
                 })
                 .collect();
             let host = Host::new(self.server().capacity())?;
-            let outcome = host.run_observed(&hosted, obs)?;
+            let outcome = host.run(&hosted, obs)?;
 
             // Host outcomes come back in hosted order — the placement's
             // workload order — so zip instead of indexing by slot.
@@ -168,6 +156,22 @@ impl Framework {
             apps: apps_flat,
             servers: server_outcomes,
         })
+    }
+
+    /// Deprecated alias for [`validate_runtime`](Self::validate_runtime)
+    /// from before planning requests were unified.
+    ///
+    /// # Errors
+    ///
+    /// As for [`validate_runtime`](Self::validate_runtime).
+    #[deprecated(note = "call `validate_runtime` with a `PlanRequest` instead")]
+    pub fn validate_runtime_observed(
+        &self,
+        apps: &[AppSpec],
+        plan: &CapacityPlan,
+        obs: &ropus_obs::Obs,
+    ) -> Result<PoolRuntimeReport, FrameworkError> {
+        self.validate_runtime(PlanRequest::of(apps).with_obs(obs), plan)
     }
 }
 

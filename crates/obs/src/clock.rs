@@ -36,8 +36,9 @@ impl Clock for NullClock {
 /// only for interactive profiling, never in determinism-sensitive tests.
 #[derive(Debug, Clone, Copy)]
 pub struct WallClock {
-    // lint:allow(det-wall-clock): opt-in telemetry clock; deterministic
-    // paths use NullClock, and the determinism suite asserts on it.
+    // This module is the one sanctioned home of std::time reads (the
+    // det-wall-clock lint exempts exactly this file); deterministic paths
+    // use NullClock, and the determinism suite asserts on it.
     epoch: std::time::Instant,
 }
 
@@ -45,8 +46,6 @@ impl WallClock {
     /// A wall clock whose epoch is "now".
     pub fn new() -> WallClock {
         WallClock {
-            // lint:allow(det-wall-clock): see the field note — this is the
-            // single sanctioned wall-clock read behind the Clock trait.
             epoch: std::time::Instant::now(),
         }
     }

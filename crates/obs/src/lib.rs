@@ -170,10 +170,24 @@ impl Default for Obs {
     }
 }
 
+/// The shared disabled handle behind [`ObsCtx::none`].
+static OFF: Obs = Obs { inner: None };
+
 impl Obs {
     /// The disabled handle: every call is a cheap no-op.
     pub fn off() -> Obs {
         Obs { inner: None }
+    }
+
+    /// The current reading of this collector's [`Clock`], in milliseconds
+    /// since the collector's epoch. Returns `0.0` on disabled handles and
+    /// on [`NullClock`] collectors, so callers can time operations without
+    /// touching the system clock directly (the `det-wall-clock` lint
+    /// forbids wall-clock reads outside the obs clock facade).
+    pub fn now_ms(&self) -> f64 {
+        self.inner
+            .as_ref()
+            .map_or(0.0, |inner| inner.clock.now_ms())
     }
 
     /// An enabled collector on the given clock. `timing_dependent`
@@ -379,6 +393,75 @@ impl Obs {
     }
 }
 
+/// A borrowed observability context: the single parameter unified pipeline
+/// entry points take instead of `*_observed` twins.
+///
+/// `ObsCtx` is a `Copy` wrapper over `Option<&Obs>`. It dereferences to an
+/// [`Obs`] handle — the borrowed collector when attached, a shared
+/// disabled handle otherwise — so instrumented code calls
+/// `ctx.span("...")` / `ctx.counter("...", 1)` exactly as it would on an
+/// owned `Obs`.
+///
+/// Construct it with [`ObsCtx::none`] (or `ObsCtx::default()`) for silent
+/// runs, or from a collector via `From`:
+///
+/// ```
+/// use ropus_obs::{Obs, ObsCtx};
+///
+/// fn work(ctx: ObsCtx<'_>) {
+///     ctx.counter("work.calls", 1);
+/// }
+///
+/// work(ObsCtx::none()); // silent
+/// let obs = Obs::deterministic();
+/// work(ObsCtx::from(&obs)); // recorded
+/// assert_eq!(obs.report().counter("work.calls"), 1);
+/// ```
+#[derive(Clone, Copy, Default)]
+pub struct ObsCtx<'a> {
+    obs: Option<&'a Obs>,
+}
+
+impl<'a> ObsCtx<'a> {
+    /// The silent context: every observation is a cheap no-op.
+    pub fn none() -> ObsCtx<'a> {
+        ObsCtx { obs: None }
+    }
+
+    /// The underlying handle: the attached collector, or the shared
+    /// disabled handle when none is attached.
+    pub fn obs(&self) -> &'a Obs {
+        self.obs.unwrap_or(&OFF)
+    }
+
+    /// Whether a recording collector is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.obs.is_some_and(Obs::is_enabled)
+    }
+}
+
+impl<'a> From<&'a Obs> for ObsCtx<'a> {
+    fn from(obs: &'a Obs) -> ObsCtx<'a> {
+        ObsCtx { obs: Some(obs) }
+    }
+}
+
+impl std::ops::Deref for ObsCtx<'_> {
+    type Target = Obs;
+
+    fn deref(&self) -> &Obs {
+        self.obs()
+    }
+}
+
+impl std::fmt::Debug for ObsCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsCtx")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
 /// The live half of an open span; dropping it records the duration.
 struct ActiveSpan {
     inner: Arc<Inner>,
@@ -572,6 +655,38 @@ mod tests {
         assert_eq!(obs.report().counter("c"), 1);
         obs.counter("c", 1);
         assert_eq!(obs.report().counter("c"), 2);
+    }
+
+    #[test]
+    fn obs_ctx_derefs_to_attached_or_disabled_handle() {
+        let silent = ObsCtx::none();
+        assert!(!silent.is_enabled());
+        silent.counter("ignored", 1);
+        assert!(silent.obs().report().is_empty());
+
+        let obs = Obs::deterministic();
+        let ctx = ObsCtx::from(&obs);
+        assert!(ctx.is_enabled());
+        ctx.counter("seen", 2);
+        {
+            let _g = ctx.span("phase");
+        }
+        assert_eq!(obs.report().counter("seen"), 2);
+        assert_eq!(obs.report().spans[0].name, "phase");
+    }
+
+    #[test]
+    fn obs_ctx_over_disabled_handle_reports_disabled() {
+        let off = Obs::off();
+        let ctx = ObsCtx::from(&off);
+        assert!(!ctx.is_enabled());
+    }
+
+    #[test]
+    fn now_ms_is_zero_when_off_or_deterministic() {
+        assert_eq!(Obs::off().now_ms(), 0.0);
+        assert_eq!(Obs::deterministic().now_ms(), 0.0);
+        assert!(Obs::wall().now_ms() >= 0.0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! as few servers as possible while honouring the pool's resource access
 //! commitments (§VI-B, producing the Table I columns).
 
-use ropus_obs::Obs;
+use ropus_obs::{Obs, ObsCtx};
 use serde::{Deserialize, Serialize};
 
 use ropus_qos::PoolCommitments;
@@ -11,6 +11,7 @@ use crate::engine::{EngineStats, FitEngine};
 use crate::ga::{optimize, GaOptions, GaOutcome};
 use crate::greedy::{place, servers_used, GreedyStrategy};
 use crate::server::{Pool, ServerSpec};
+use crate::session::EngineSession;
 use crate::workload::{validate_workloads, Workload};
 use crate::PlacementError;
 
@@ -197,25 +198,18 @@ impl Consolidator {
     /// Consolidates the workloads onto as few servers as the search finds,
     /// with the pool sized by a first-fit-decreasing pre-pass.
     ///
+    /// With a collector attached to `obs`, the greedy seeding, genetic
+    /// search, and report phases are wrapped in spans and the run's
+    /// [`EngineStats`] migrate onto the metrics registry.
+    ///
     /// # Errors
     ///
     /// Returns [`PlacementError::Infeasible`] when some workload cannot be
     /// placed at all, and validation errors for degenerate inputs.
-    pub fn consolidate(&self, workloads: &[Workload]) -> Result<PlacementReport, PlacementError> {
-        self.consolidate_observed(workloads, &Obs::off())
-    }
-
-    /// [`consolidate`](Self::consolidate) with observability: wraps the
-    /// greedy seeding, genetic search, and report phases in spans and
-    /// migrates the run's [`EngineStats`] onto the metrics registry.
-    ///
-    /// # Errors
-    ///
-    /// As for [`consolidate`](Self::consolidate).
-    pub fn consolidate_observed(
+    pub fn consolidate(
         &self,
         workloads: &[Workload],
-        obs: &Obs,
+        obs: ObsCtx<'_>,
     ) -> Result<PlacementReport, PlacementError> {
         validate_workloads(workloads)?;
         let evaluator = self.engine(workloads);
@@ -239,11 +233,12 @@ impl Consolidator {
         let search_span = obs.span("placement.search");
         let outcome = optimize(&evaluator, &seeds, pool_size, &self.options.ga)?;
         drop(search_span);
-        self.report_observed(workloads, outcome, obs)
+        self.report(workloads, outcome, obs)
     }
 
     /// Consolidates onto a fixed pool (used by failure planning, where the
-    /// surviving pool size is given).
+    /// surviving pool size is given); same spans and registry migration as
+    /// [`consolidate`](Self::consolidate).
     ///
     /// # Errors
     ///
@@ -253,22 +248,7 @@ impl Consolidator {
         &self,
         workloads: &[Workload],
         pool: Pool,
-    ) -> Result<PlacementReport, PlacementError> {
-        self.consolidate_onto_observed(workloads, pool, &Obs::off())
-    }
-
-    /// [`consolidate_onto`](Self::consolidate_onto) with observability;
-    /// same spans and registry migration as
-    /// [`consolidate_observed`](Self::consolidate_observed).
-    ///
-    /// # Errors
-    ///
-    /// As for [`consolidate_onto`](Self::consolidate_onto).
-    pub fn consolidate_onto_observed(
-        &self,
-        workloads: &[Workload],
-        pool: Pool,
-        obs: &Obs,
+        obs: ObsCtx<'_>,
     ) -> Result<PlacementReport, PlacementError> {
         validate_workloads(workloads)?;
         let evaluator = self.engine(workloads);
@@ -286,17 +266,20 @@ impl Consolidator {
             optimize(&evaluator, &[ffd], pool.count, &self.options.ga)?
         };
         drop(search_span);
-        self.report_observed(workloads, outcome, obs)
+        self.report(workloads, outcome, obs)
     }
 
-    /// Builds the report, recomputing per-server required capacities at the
-    /// (finer) report tolerance. The per-server binary searches are
-    /// independent, so they run through the engine's parallel map.
-    fn report_observed(
+    /// Builds the report, recomputing per-server required capacities at
+    /// the (finer) report tolerance. The recomputation is a thin client of
+    /// the incremental [`EngineSession`] API: the final assignment is
+    /// bulk-loaded into a session, which re-fits each used server through
+    /// the same per-server code path `ropus serve` maintains online —
+    /// independent binary searches fanned over the engine's parallel map.
+    fn report(
         &self,
         workloads: &[Workload],
         outcome: GaOutcome,
-        obs: &Obs,
+        obs: ObsCtx<'_>,
     ) -> Result<PlacementReport, PlacementError> {
         let GaOutcome {
             assignment,
@@ -315,46 +298,12 @@ impl Consolidator {
         obs.timing_counter("placement.engine.cache_hits", stats.cache_hits);
         obs.timing_counter("placement.engine.cache_misses", stats.cache_misses);
         obs.counter("placement.search.generations", stats.generations as u64);
-        let pool_size = assignment.iter().copied().max().map_or(0, |m| m + 1);
-        let fine = FitEngine::new(
-            workloads,
-            self.server,
-            self.commitments,
-            self.options.report_tolerance,
-        )
-        .with_threads(self.options.ga.threads);
 
-        let mut used: Vec<(usize, Vec<usize>)> = Vec::new();
-        for server in 0..pool_size {
-            let members: Vec<usize> = assignment
-                .iter()
-                .enumerate()
-                .filter(|(_, &s)| s == server)
-                .map(|(i, _)| i)
-                .collect();
-            if !members.is_empty() {
-                used.push((server, members));
-            }
-        }
-        let member_sets: Vec<Vec<u16>> = used
-            .iter()
-            .map(|(_, members)| members.iter().map(|&i| i as u16).collect())
-            .collect();
-        let required = fine.required_many(&member_sets);
-
-        let mut servers = Vec::new();
-        for ((server, members), required) in used.into_iter().zip(required) {
-            let required = required.ok_or_else(|| PlacementError::Infeasible {
-                servers: pool_size,
-                message: format!("server {server} does not satisfy commitments in final check"),
-            })?;
-            servers.push(ServerPlacement {
-                server,
-                workloads: members,
-                required_capacity: required,
-                utilization: required / self.server.capacity(),
-            });
-        }
+        let mut session = EngineSession::new(self.server, self.commitments)
+            .with_tolerance(self.options.report_tolerance)
+            .with_threads(self.options.ga.threads)
+            .with_assignment(workloads, &assignment)?;
+        let servers = session.server_placements()?;
 
         let required_capacity_total = servers.iter().map(|s| s.required_capacity).sum();
         let peak_allocation_total = workloads.iter().map(Workload::total_peak).sum();
@@ -368,6 +317,42 @@ impl Consolidator {
             stats,
             obs: None,
         })
+    }
+}
+
+/// Pre-unification observability twins, kept as thin shims for one
+/// release.
+impl Consolidator {
+    /// Pre-unification spelling of [`consolidate`](Self::consolidate)
+    /// with an enabled collector.
+    ///
+    /// # Errors
+    ///
+    /// As for [`consolidate`](Self::consolidate).
+    #[deprecated(note = "call `consolidate` with an `ObsCtx` instead")]
+    pub fn consolidate_observed(
+        &self,
+        workloads: &[Workload],
+        obs: &Obs,
+    ) -> Result<PlacementReport, PlacementError> {
+        self.consolidate(workloads, ObsCtx::from(obs))
+    }
+
+    /// Pre-unification spelling of
+    /// [`consolidate_onto`](Self::consolidate_onto) with an enabled
+    /// collector.
+    ///
+    /// # Errors
+    ///
+    /// As for [`consolidate_onto`](Self::consolidate_onto).
+    #[deprecated(note = "call `consolidate_onto` with an `ObsCtx` instead")]
+    pub fn consolidate_onto_observed(
+        &self,
+        workloads: &[Workload],
+        pool: Pool,
+        obs: &Obs,
+    ) -> Result<PlacementReport, PlacementError> {
+        self.consolidate_onto(workloads, pool, ObsCtx::from(obs))
     }
 }
 
@@ -408,7 +393,7 @@ mod tests {
             commitments(1.0),
             ConsolidationOptions::fast(5),
         );
-        let report = consolidator.consolidate(&fleet).unwrap();
+        let report = consolidator.consolidate(&fleet, ObsCtx::none()).unwrap();
         assert_eq!(report.servers_used, 1);
         assert!((report.peak_allocation_total - 14.0).abs() < 1e-9);
         assert!((report.required_capacity_total - 14.0).abs() < 0.2);
@@ -425,7 +410,7 @@ mod tests {
             commitments(1.0),
             ConsolidationOptions::fast(2),
         );
-        let report = consolidator.consolidate(&fleet).unwrap();
+        let report = consolidator.consolidate(&fleet, ObsCtx::none()).unwrap();
         // 9+9 never fits: at least 2 servers.
         assert!(report.servers_used >= 2);
         let mut seen = vec![false; fleet.len()];
@@ -448,7 +433,9 @@ mod tests {
             ConsolidationOptions::fast(9),
         );
         let pool = Pool::homogeneous(ServerSpec::sixteen_way(), 2);
-        let report = consolidator.consolidate_onto(&fleet, pool).unwrap();
+        let report = consolidator
+            .consolidate_onto(&fleet, pool, ObsCtx::none())
+            .unwrap();
         assert!(report.servers_used <= 2);
         assert!(report.assignment.iter().all(|&s| s < 2));
     }
@@ -462,7 +449,9 @@ mod tests {
             ConsolidationOptions::fast(1),
         );
         let pool = Pool::homogeneous(ServerSpec::sixteen_way(), 1);
-        let err = consolidator.consolidate_onto(&fleet, pool).unwrap_err();
+        let err = consolidator
+            .consolidate_onto(&fleet, pool, ObsCtx::none())
+            .unwrap_err();
         assert!(matches!(err, PlacementError::Infeasible { .. }));
     }
 
@@ -495,7 +484,7 @@ mod tests {
             commitments(0.9),
             ConsolidationOptions::fast(3),
         );
-        let report = consolidator.consolidate(&fleet).unwrap();
+        let report = consolidator.consolidate(&fleet, ObsCtx::none()).unwrap();
         assert_eq!(report.servers_used, 1);
         // C_peak = 24, C_requ ~ 13: savings > 40%.
         assert!(
@@ -513,7 +502,7 @@ mod tests {
             ConsolidationOptions::fast(0),
         );
         assert!(matches!(
-            consolidator.consolidate(&[]),
+            consolidator.consolidate(&[], ObsCtx::none()),
             Err(PlacementError::NoWorkloads)
         ));
     }

@@ -31,6 +31,16 @@ pub enum PlacementError {
         /// Human-readable explanation (e.g. which constraint failed).
         message: String,
     },
+    /// A session already holds a workload with this name.
+    DuplicateWorkload {
+        /// Name of the offending workload.
+        name: String,
+    },
+    /// A session operation referenced a workload that is not present.
+    UnknownWorkload {
+        /// Name (or `#id`) of the missing workload.
+        name: String,
+    },
     /// The underlying trace layer reported an error.
     Trace(TraceError),
 }
@@ -50,6 +60,12 @@ impl fmt::Display for PlacementError {
             }
             PlacementError::Infeasible { servers, message } => {
                 write!(f, "placement infeasible on {servers} servers: {message}")
+            }
+            PlacementError::DuplicateWorkload { name } => {
+                write!(f, "workload {name} is already placed in the session")
+            }
+            PlacementError::UnknownWorkload { name } => {
+                write!(f, "workload {name} is not present in the session")
             }
             PlacementError::Trace(e) => write!(f, "trace error: {e}"),
         }
@@ -88,6 +104,8 @@ mod tests {
                 servers: 3,
                 message: "cos1 overflow".into(),
             },
+            PlacementError::DuplicateWorkload { name: "d".into() },
+            PlacementError::UnknownWorkload { name: "u".into() },
             PlacementError::Trace(TraceError::Empty),
         ];
         for err in errors {

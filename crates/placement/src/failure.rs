@@ -8,6 +8,7 @@
 //! otherwise the pool needs a spare (or stronger failure-mode QoS
 //! concessions).
 
+use ropus_obs::ObsCtx;
 use serde::{Deserialize, Serialize};
 
 use crate::consolidate::{Consolidator, PlacementReport};
@@ -198,7 +199,7 @@ pub fn analyze_multi_failures(
     let worker = case_worker(consolidator, threads);
     let pool = Pool::homogeneous(consolidator.server(), used - simultaneous);
     let placements = parallel_map(threads, &inputs, |(_, _, mixed)| {
-        worker.consolidate_onto(mixed, pool).ok()
+        worker.consolidate_onto(mixed, pool, ObsCtx::none()).ok()
     });
     let cases = inputs
         .into_iter()
@@ -299,7 +300,7 @@ pub fn analyze_single_failures(
             None
         } else {
             let pool = Pool::homogeneous(consolidator.server(), normal_report.servers_used - 1);
-            worker.consolidate_onto(mixed, pool).ok()
+            worker.consolidate_onto(mixed, pool, ObsCtx::none()).ok()
         }
     });
     let cases = inputs
@@ -360,7 +361,7 @@ mod tests {
         let normal = vec![wl("a", 6.0), wl("b", 6.0), wl("c", 6.0), wl("d", 6.0)];
         let failure = vec![wl("a", 2.0), wl("b", 2.0), wl("c", 2.0), wl("d", 2.0)];
         let c = consolidator(4);
-        let report = c.consolidate(&normal).unwrap();
+        let report = c.consolidate(&normal, ObsCtx::none()).unwrap();
         assert_eq!(report.servers_used, 2);
         let analysis =
             analyze_single_failures(&c, &report, &normal, &failure, FailureScope::AffectedOnly)
@@ -377,7 +378,7 @@ mod tests {
         // two survivors cannot host three 10s.
         let normal = vec![wl("a", 10.0), wl("b", 10.0), wl("c", 10.0)];
         let c = consolidator(8);
-        let report = c.consolidate(&normal).unwrap();
+        let report = c.consolidate(&normal, ObsCtx::none()).unwrap();
         assert_eq!(report.servers_used, 3);
         let analysis =
             analyze_single_failures(&c, &report, &normal, &normal, FailureScope::AffectedOnly)
@@ -390,7 +391,7 @@ mod tests {
     fn single_server_normal_mode_cannot_absorb_failure() {
         let normal = vec![wl("a", 2.0), wl("b", 2.0)];
         let c = consolidator(1);
-        let report = c.consolidate(&normal).unwrap();
+        let report = c.consolidate(&normal, ObsCtx::none()).unwrap();
         assert_eq!(report.servers_used, 1);
         let analysis =
             analyze_single_failures(&c, &report, &normal, &normal, FailureScope::AffectedOnly)
@@ -408,7 +409,7 @@ mod tests {
         let normal = vec![wl("a", 12.0), wl("b", 12.0)];
         let failure = vec![wl("a", 3.0), wl("b", 3.0)];
         let c = consolidator(6);
-        let report = c.consolidate(&normal).unwrap();
+        let report = c.consolidate(&normal, ObsCtx::none()).unwrap();
         assert_eq!(report.servers_used, 2);
         let analysis =
             analyze_single_failures(&c, &report, &normal, &failure, FailureScope::AffectedOnly)
@@ -432,7 +433,7 @@ mod tests {
         let normal = vec![wl("a", 12.0), wl("b", 12.0)];
         let failure = vec![wl("a", 3.0), wl("b", 3.0)];
         let c = consolidator(2);
-        let report = c.consolidate(&normal).unwrap();
+        let report = c.consolidate(&normal, ObsCtx::none()).unwrap();
         let affected_only =
             analyze_single_failures(&c, &report, &normal, &failure, FailureScope::AffectedOnly)
                 .unwrap();
@@ -478,7 +479,7 @@ mod tests {
         let normal: Vec<Workload> = (0..6).map(|i| wl(&format!("w{i}"), 7.0)).collect();
         let failure: Vec<Workload> = (0..6).map(|i| wl(&format!("w{i}"), 2.0)).collect();
         let c = consolidator(3);
-        let report = c.consolidate(&normal).unwrap();
+        let report = c.consolidate(&normal, ObsCtx::none()).unwrap();
         assert_eq!(report.servers_used, 3);
         let analysis = analyze_multi_failures(
             &c,
@@ -505,7 +506,7 @@ mod tests {
     fn double_failure_unsupported_without_relief() {
         let normal: Vec<Workload> = (0..6).map(|i| wl(&format!("w{i}"), 7.0)).collect();
         let c = consolidator(5);
-        let report = c.consolidate(&normal).unwrap();
+        let report = c.consolidate(&normal, ObsCtx::none()).unwrap();
         assert_eq!(report.servers_used, 3);
         let analysis =
             analyze_multi_failures(&c, &report, &normal, &normal, FailureScope::AffectedOnly, 2)
@@ -519,7 +520,7 @@ mod tests {
     fn multi_failure_rejects_degenerate_k() {
         let normal = vec![wl("a", 2.0), wl("b", 2.0)];
         let c = consolidator(0);
-        let report = c.consolidate(&normal).unwrap();
+        let report = c.consolidate(&normal, ObsCtx::none()).unwrap();
         for k in [0, report.servers_used, report.servers_used + 1] {
             let err = analyze_multi_failures(
                 &c,
@@ -541,7 +542,7 @@ mod tests {
     fn mismatched_workload_vectors_are_rejected() {
         let normal = vec![wl("a", 1.0)];
         let c = consolidator(0);
-        let report = c.consolidate(&normal).unwrap();
+        let report = c.consolidate(&normal, ObsCtx::none()).unwrap();
         let err = analyze_single_failures(&c, &report, &normal, &[], FailureScope::AffectedOnly)
             .unwrap_err();
         assert!(matches!(err, PlacementError::MisalignedWorkloads { .. }));

@@ -16,11 +16,9 @@
 //! than one thread — bit-identically to the serial path, since each
 //! evaluation is a pure function of its member sets.
 
-// lint:allow(det-wall-clock): wall time feeds only the EngineStats
-// telemetry (elapsed duration), never a score or a placement decision.
-use std::time::Instant;
-
 use serde::{Deserialize, Serialize};
+
+use ropus_obs::{Clock, WallClock};
 
 use ropus_trace::rng::Rng;
 
@@ -193,8 +191,10 @@ pub fn optimize(
         !seeds.is_empty() && seeds.iter().all(|s| !s.is_empty()),
         "seeds must be non-empty"
     );
-    // lint:allow(det-wall-clock): telemetry only — see the import note.
-    let start = Instant::now();
+    // Wall time feeds only the EngineStats telemetry (elapsed duration),
+    // never a score or a placement decision, so the sanctioned obs clock
+    // is the right source.
+    let clock = WallClock::new();
     let mut rng = Rng::seed_from_u64(options.seed);
 
     // Seed the population with the provided assignments plus noisy
@@ -261,7 +261,7 @@ pub fn optimize(
 
     match best {
         Some((assignment, score)) => {
-            let total_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let total_wall_ms = clock.now_ms();
             let mut stats = evaluator.stats();
             stats.generations = generations;
             stats.total_wall_ms = total_wall_ms;

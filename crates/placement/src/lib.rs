@@ -51,7 +51,7 @@
 //!     commitments,
 //!     ConsolidationOptions::fast(7).with_threads(2).with_cache_capacity(4096),
 //! );
-//! let report = consolidator.consolidate(&workloads)?;
+//! let report = consolidator.consolidate(&workloads, ropus_obs::ObsCtx::none())?;
 //! assert!(report.servers_used >= 1);
 //! // The engine reports its cache effectiveness and wall time.
 //! assert!(report.stats.evaluations > 0);
@@ -74,6 +74,7 @@ pub mod greedy;
 pub mod hetero;
 pub mod score;
 pub mod server;
+pub mod session;
 pub mod simulator;
 pub mod workload;
 

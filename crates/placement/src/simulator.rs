@@ -35,9 +35,19 @@ const EPSILON: f64 = 1e-9;
 ///
 /// Aggregating once makes each candidate-capacity evaluation O(trace
 /// length) regardless of how many workloads share the server.
+///
+/// The aggregate retains its members (cheap: traces are `Arc`-backed) and
+/// always sums them in a *canonical* order — sorted by workload name —
+/// regardless of the order they were supplied or admitted in. That makes
+/// the summed slot vectors a pure function of the member *set*, so
+/// [`AggregateLoad::add`] / [`AggregateLoad::remove`] are bit-identical
+/// to a cold [`AggregateLoad::of`] over the same set: no `-0.0` residue
+/// or epsilon drift from incremental subtraction, because nothing is ever
+/// subtracted — touched aggregates are re-summed canonically.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggregateLoad {
     calendar: Calendar,
+    members: Vec<Workload>,
     cos1: Vec<f64>,
     cos2: Vec<f64>,
     cos1_peak_sum: f64,
@@ -52,14 +62,33 @@ impl AggregateLoad {
     /// Returns a [`PlacementError`] if the set is empty, misaligned, or
     /// does not cover whole weeks.
     pub fn of(workloads: &[&Workload]) -> Result<Self, PlacementError> {
-        let len = validate_workloads(workloads.iter().copied())?;
+        validate_workloads(workloads.iter().copied())?;
         let calendar = workloads[0].cos1().calendar();
+        let mut members: Vec<Workload> = workloads.iter().map(|w| (*w).clone()).collect();
+        members.sort_by(|a, b| a.name().cmp(b.name()));
+        let mut load = AggregateLoad {
+            calendar,
+            members,
+            cos1: Vec::new(),
+            cos2: Vec::new(),
+            cos1_peak_sum: 0.0,
+            memory_peak: 0.0,
+        };
+        load.resum();
+        Ok(load)
+    }
+
+    /// Re-sums the slot vectors and peaks from the canonically ordered
+    /// member list. Every mutation funnels through here, so the summed
+    /// state is always exactly what a cold build of the same set yields.
+    fn resum(&mut self) {
+        let len = self.members.first().map_or(0, Workload::len);
         let mut cos1 = vec![0.0; len];
         let mut cos2 = vec![0.0; len];
         let mut memory = vec![0.0; len];
         let mut cos1_peak_sum = 0.0;
         let mut any_memory = false;
-        for w in workloads {
+        for w in &self.members {
             for (acc, &v) in cos1.iter_mut().zip(w.cos1_view().samples()) {
                 *acc += v;
             }
@@ -80,13 +109,63 @@ impl AggregateLoad {
         } else {
             0.0
         };
-        Ok(AggregateLoad {
-            calendar,
-            cos1,
-            cos2,
-            cos1_peak_sum,
-            memory_peak,
-        })
+        self.cos1 = cos1;
+        self.cos2 = cos2;
+        self.cos1_peak_sum = cos1_peak_sum;
+        self.memory_peak = memory_peak;
+    }
+
+    /// Adds one workload to the aggregate.
+    ///
+    /// The member joins at its canonical (name-sorted) position and the
+    /// slot vectors are re-summed, so the result is bit-identical to a
+    /// cold [`AggregateLoad::of`] over the enlarged set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::MisalignedWorkloads`] when the workload's
+    /// calendar or length differs from the existing members'.
+    pub fn add(&mut self, workload: &Workload) -> Result<(), PlacementError> {
+        let aligned = workload.len() == self.len() && workload.cos1().calendar() == self.calendar;
+        if !aligned {
+            return Err(PlacementError::MisalignedWorkloads {
+                name: workload.name().to_string(),
+            });
+        }
+        let at = self
+            .members
+            .partition_point(|m| m.name() <= workload.name());
+        self.members.insert(at, workload.clone());
+        self.resum();
+        Ok(())
+    }
+
+    /// Removes the named workload from the aggregate.
+    ///
+    /// The remaining members are re-summed in canonical order, so the
+    /// result is bit-identical to a cold [`AggregateLoad::of`] over the
+    /// reduced set — removing and re-adding a member round-trips exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::NoWorkloads`] when the named workload
+    /// either is not a member or is the last one (an empty aggregate is
+    /// not representable; drop the aggregate instead).
+    pub fn remove(&mut self, name: &str) -> Result<Workload, PlacementError> {
+        let at = self
+            .members
+            .iter()
+            .position(|m| m.name() == name)
+            .filter(|_| self.members.len() > 1)
+            .ok_or(PlacementError::NoWorkloads)?;
+        let removed = self.members.remove(at);
+        self.resum();
+        Ok(removed)
+    }
+
+    /// The member workloads, in canonical (name-sorted) order.
+    pub fn members(&self) -> &[Workload] {
+        &self.members
     }
 
     /// Peak of the aggregate memory footprint (GB); 0 when no workload
@@ -649,6 +728,69 @@ mod tests {
             .expect("fits with enough memory");
         // Memory does not change the CPU requirement.
         assert!((req - 3.0).abs() < 0.1, "required {req}");
+    }
+
+    #[test]
+    fn aggregate_is_canonical_in_member_order() {
+        let a = spiky_workload("a", 0.3, 7.1, 5);
+        let b = spiky_workload("b", 1.7, 3.3, 9);
+        let c = spiky_workload("c", 0.9, 2.2, 3);
+        let fwd = AggregateLoad::of(&[&a, &b, &c]).unwrap();
+        let rev = AggregateLoad::of(&[&c, &a, &b]).unwrap();
+        assert_eq!(fwd, rev);
+        let names: Vec<&str> = fwd.members().iter().map(Workload::name).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn remove_then_readd_round_trips_bit_identically() {
+        let a = spiky_workload("a", 0.3, 7.1, 5);
+        let b = spiky_workload("b", 1.7, 3.3, 9);
+        let c = spiky_workload("c", 0.9, 2.2, 3);
+        let cold = AggregateLoad::of(&[&a, &b, &c]).unwrap();
+        let mut load = cold.clone();
+        let removed = load.remove("b").unwrap();
+        assert_eq!(removed.name(), "b");
+        assert_eq!(load, AggregateLoad::of(&[&a, &c]).unwrap());
+        load.add(&removed).unwrap();
+        assert_eq!(load, cold);
+        // Bitwise, not just PartialEq: the slot sums carry no residue.
+        for i in 0..load.len() {
+            assert_eq!(load.total(i).to_bits(), cold.total(i).to_bits());
+        }
+        assert_eq!(
+            load.cos1_peak_sum().to_bits(),
+            cold.cos1_peak_sum().to_bits()
+        );
+    }
+
+    #[test]
+    fn incremental_add_matches_cold_build() {
+        let a = spiky_workload("a", 0.3, 7.1, 5);
+        let b = spiky_workload("b", 1.7, 3.3, 9);
+        let mut load = AggregateLoad::of(&[&b]).unwrap();
+        load.add(&a).unwrap();
+        assert_eq!(load, AggregateLoad::of(&[&a, &b]).unwrap());
+    }
+
+    #[test]
+    fn add_rejects_misaligned_remove_rejects_unknown_and_last() {
+        let a = constant_workload("a", 1.0, 1.0);
+        let mut load = AggregateLoad::of(&[&a]).unwrap();
+        let short = Workload::new(
+            "s",
+            Trace::constant(cal(), 1.0, week() * 2).unwrap(),
+            Trace::constant(cal(), 1.0, week() * 2).unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            load.add(&short),
+            Err(PlacementError::MisalignedWorkloads { .. })
+        ));
+        assert!(load.remove("nope").is_err());
+        // Removing the last member is rejected: drop the aggregate instead.
+        assert!(load.remove("a").is_err());
+        assert_eq!(load.members().len(), 1);
     }
 
     #[test]

@@ -226,6 +226,7 @@ mod tests {
             &demand,
             &AppQos::paper_default(None),
             &CosSpec::new(0.6, 60).unwrap(),
+            ropus_obs::ObsCtx::none(),
         )
         .unwrap();
         let w = Workload::from_translation("app", t);

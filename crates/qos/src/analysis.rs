@@ -122,6 +122,7 @@ mod tests {
     use super::*;
     use crate::translation::translate;
     use crate::{CosSpec, DegradationSpec, UtilizationBand};
+    use ropus_obs::ObsCtx;
     use ropus_trace::{Calendar, Trace};
 
     fn paper_qos() -> AppQos {
@@ -166,7 +167,7 @@ mod tests {
         let trace = Trace::from_samples(Calendar::five_minute(), samples).unwrap();
         for theta in [0.3, 0.6, 0.76, 0.95, 1.0] {
             let cos2 = CosSpec::new(theta, 60).unwrap();
-            let tr = translate(&trace, &paper_qos(), &cos2).unwrap();
+            let tr = translate(&trace, &paper_qos(), &cos2, ObsCtx::none()).unwrap();
             check_report(&paper_qos(), &tr.report).unwrap();
         }
     }
@@ -175,7 +176,7 @@ mod tests {
     fn check_report_catches_violations() {
         let trace = Trace::constant(Calendar::five_minute(), 1.0, 100).unwrap();
         let cos2 = CosSpec::new(0.6, 60).unwrap();
-        let tr = translate(&trace, &paper_qos(), &cos2).unwrap();
+        let tr = translate(&trace, &paper_qos(), &cos2, ObsCtx::none()).unwrap();
         let mut bad = tr.report;
         bad.max_cap_reduction = 0.5;
         assert!(check_report(&paper_qos(), &bad).is_err());
@@ -195,7 +196,9 @@ mod tests {
 
         let trace = Trace::constant(Calendar::five_minute(), 2.0, 100).unwrap();
         let cos2 = CosSpec::new(0.6, 60).unwrap();
-        let r1 = translate(&trace, &paper_qos(), &cos2).unwrap().report;
+        let r1 = translate(&trace, &paper_qos(), &cos2, ObsCtx::none())
+            .unwrap()
+            .report;
         let r2 = r1;
         let agg = FleetSavings::aggregate(&[r1, r2]);
         assert_eq!(agg.apps, 2);

@@ -23,6 +23,7 @@
 //! ```
 //! use ropus_qos::{AppQos, CosSpec, DegradationSpec, UtilizationBand};
 //! use ropus_qos::translation::translate;
+//! use ropus_obs::ObsCtx;
 //! use ropus_trace::{Calendar, Trace};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -34,7 +35,7 @@
 //! );
 //! let cos2 = CosSpec::new(0.95, 60)?;
 //! let demand = Trace::constant(Calendar::five_minute(), 2.0, 2016)?;
-//! let translation = translate(&demand, &qos, &cos2)?;
+//! let translation = translate(&demand, &qos, &cos2, ObsCtx::none())?;
 //! assert!(translation.report.breakpoint >= 0.0);
 //! # Ok(())
 //! # }

@@ -12,6 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use ropus_obs::ObsCtx;
 use ropus_trace::runs::{first_full_window, min_in_range, runs_where};
 use ropus_trace::Trace;
 
@@ -86,6 +87,14 @@ pub struct TranslationReport {
 
 /// Translates a demand trace into per-CoS allocation requirements.
 ///
+/// Observability rides the [`ObsCtx`] parameter — pass [`ObsCtx::none`]
+/// for a silent run. With a collector attached, the translation emits one
+/// `qos.translate.breakpoint` event (the formula-1 `p` and `D_max`) and
+/// one `qos.translate.relaxation` event (the `M_degr` cap of formulas
+/// 2–3, the final cap after the `T_degr`/epoch-budget analyses of
+/// formulas 6–11, and the iteration count), and bumps the
+/// `qos.translations` counter.
+///
 /// # Errors
 ///
 /// Returns [`QosError::DegradedBelowHigh`] for inconsistent requirements
@@ -95,36 +104,29 @@ pub struct TranslationReport {
 /// # Example
 ///
 /// ```
+/// use ropus_obs::ObsCtx;
 /// use ropus_qos::{AppQos, CosSpec};
 /// use ropus_qos::translation::translate;
 /// use ropus_trace::{Calendar, Trace};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let demand = Trace::from_samples(Calendar::five_minute(), vec![1.0; 2016])?;
-/// let t = translate(&demand, &AppQos::paper_default(None), &CosSpec::new(0.6, 60)?)?;
+/// let t = translate(
+///     &demand,
+///     &AppQos::paper_default(None),
+///     &CosSpec::new(0.6, 60)?,
+///     ObsCtx::none(),
+/// )?;
 /// // Constant demand: everything below the cap, utilization within band.
 /// assert!(t.report.max_worst_case_utilization <= 0.66 + 1e-9);
 /// # Ok(())
 /// # }
 /// ```
-pub fn translate(demand: &Trace, qos: &AppQos, cos2: &CosSpec) -> Result<Translation, QosError> {
-    translate_observed(demand, qos, cos2, &ropus_obs::Obs::off())
-}
-
-/// [`translate`] with observability: emits one `qos.translate.breakpoint`
-/// event (the formula-1 `p` and `D_max`) and one `qos.translate.relaxation`
-/// event (the `M_degr` cap of formulas 2–3, the final cap after the
-/// `T_degr`/epoch-budget analyses of formulas 6–11, and the iteration
-/// count), and bumps the `qos.translations` counter.
-///
-/// # Errors
-///
-/// As for [`translate`].
-pub fn translate_observed(
+pub fn translate(
     demand: &Trace,
     qos: &AppQos,
     cos2: &CosSpec,
-    obs: &ropus_obs::Obs,
+    obs: ObsCtx<'_>,
 ) -> Result<Translation, QosError> {
     qos.validate()?;
     let band = qos.band();
@@ -228,6 +230,21 @@ pub fn translate_observed(
             peak_allocation,
         },
     })
+}
+
+/// Pre-unification spelling of [`translate`] with an enabled collector.
+///
+/// # Errors
+///
+/// As for [`translate`].
+#[deprecated(note = "call `translate` with an `ObsCtx` instead")]
+pub fn translate_observed(
+    demand: &Trace,
+    qos: &AppQos,
+    cos2: &CosSpec,
+    obs: &ropus_obs::Obs,
+) -> Result<Translation, QosError> {
+    translate(demand, qos, cos2, ObsCtx::from(obs))
 }
 
 /// The `M_degr` demand cap of formulas (2)–(3).
@@ -434,7 +451,7 @@ mod tests {
     #[test]
     fn strict_qos_keeps_peak_demand() {
         let t = spiky(2016, 10.0, 100);
-        let tr = translate(&t, &qos_strict(), &cos(0.6)).unwrap();
+        let tr = translate(&t, &qos_strict(), &cos(0.6), ObsCtx::none()).unwrap();
         assert_eq!(tr.report.d_new_max, 10.0);
         assert_eq!(tr.report.max_cap_reduction, 0.0);
         assert_eq!(tr.report.degraded_fraction, 0.0);
@@ -446,7 +463,7 @@ mod tests {
     #[test]
     fn partition_reassembles_capped_demand() {
         let t = spiky(2016, 10.0, 100);
-        let tr = translate(&t, &qos_no_limit(), &cos(0.6)).unwrap();
+        let tr = translate(&t, &qos_no_limit(), &cos(0.6), ObsCtx::none()).unwrap();
         let bf = band().burst_factor();
         let cap = tr.report.d_new_max;
         for (i, d) in t.iter().enumerate() {
@@ -459,7 +476,7 @@ mod tests {
     #[test]
     fn cos1_share_respects_breakpoint() {
         let t = spiky(2016, 10.0, 100);
-        let tr = translate(&t, &qos_no_limit(), &cos(0.6)).unwrap();
+        let tr = translate(&t, &qos_no_limit(), &cos(0.6), ObsCtx::none()).unwrap();
         let p = tr.report.breakpoint;
         let cap = tr.report.d_new_max;
         let bf = band().burst_factor();
@@ -470,7 +487,7 @@ mod tests {
     #[test]
     fn high_theta_puts_everything_in_cos2() {
         let t = spiky(2016, 10.0, 100);
-        let tr = translate(&t, &qos_no_limit(), &cos(0.95)).unwrap();
+        let tr = translate(&t, &qos_no_limit(), &cos(0.95), ObsCtx::none()).unwrap();
         assert_eq!(tr.report.breakpoint, 0.0);
         assert_eq!(tr.cos1.peak(), 0.0);
         assert!(tr.cos2.peak() > 0.0);
@@ -493,14 +510,14 @@ mod tests {
         let cap = demand_cap(&t, &qos_no_limit());
         assert!((cap - 10.0 * 0.66 / 0.9).abs() < 1e-9);
         // This is the MaxCapReduction upper bound: 1 - U_high/U_degr.
-        let tr = translate(&t, &qos_no_limit(), &cos(0.6)).unwrap();
+        let tr = translate(&t, &qos_no_limit(), &cos(0.6), ObsCtx::none()).unwrap();
         assert!((tr.report.max_cap_reduction - (1.0 - 0.66 / 0.9)).abs() < 1e-9);
     }
 
     #[test]
     fn degraded_points_stay_below_u_degr() {
         let t = spiky(3000, 10.0, 100);
-        let tr = translate(&t, &qos_no_limit(), &cos(0.6)).unwrap();
+        let tr = translate(&t, &qos_no_limit(), &cos(0.6), ObsCtx::none()).unwrap();
         assert!(tr.report.max_worst_case_utilization <= 0.9 + 1e-9);
         assert!(tr.report.degraded_fraction <= 0.03 + 1e-9);
         assert!(tr.report.degraded_fraction > 0.0);
@@ -509,7 +526,7 @@ mod tests {
     #[test]
     fn no_degradation_for_flat_demand() {
         let t = Trace::constant(cal(), 2.0, 2016).unwrap();
-        let tr = translate(&t, &qos_no_limit(), &cos(0.6)).unwrap();
+        let tr = translate(&t, &qos_no_limit(), &cos(0.6), ObsCtx::none()).unwrap();
         // D_97% == D_max: A_ok = 2/0.66 = 3.03 >= A_degr = 2/0.9 = 2.22.
         assert_eq!(tr.report.d_new_max, 2.0);
         assert_eq!(tr.report.degraded_fraction, 0.0);
@@ -528,8 +545,8 @@ mod tests {
             band(),
             Some(DegradationSpec::new(0.03, 0.9, Some(30)).unwrap()),
         );
-        let no_limit = translate(&t, &qos_no_limit(), &cos(0.6)).unwrap();
-        let limited = translate(&t, &qos, &cos(0.6)).unwrap();
+        let no_limit = translate(&t, &qos_no_limit(), &cos(0.6), ObsCtx::none()).unwrap();
+        let limited = translate(&t, &qos, &cos(0.6), ObsCtx::none()).unwrap();
         // Without the limit the plateau is entirely degraded (cap below 5).
         assert!(no_limit.report.d_new_max < 5.0);
         assert!(no_limit.report.longest_degraded_minutes > 30);
@@ -550,7 +567,7 @@ mod tests {
             band(),
             Some(DegradationSpec::new(0.03, 0.9, Some(30)).unwrap()),
         );
-        let tr = translate(&t, &qos, &cos(0.6)).unwrap();
+        let tr = translate(&t, &qos, &cos(0.6), ObsCtx::none()).unwrap();
         // With p > 0, the paper notes D_new_max = D_min_degr: the smallest
         // demand in the violating window. The 7-slot window min is 4.0.
         assert!(
@@ -570,7 +587,7 @@ mod tests {
             Some(DegradationSpec::new(0.03, 0.9, Some(30)).unwrap()),
         );
         let theta = 0.95;
-        let tr = translate(&t, &qos, &cos(theta)).unwrap();
+        let tr = translate(&t, &qos, &cos(theta), ObsCtx::none()).unwrap();
         // Formula (11): cap = D_min_degr * U_low / (U_high * theta).
         let expected = 4.0 * 0.5 / (0.66 * theta);
         assert!(
@@ -593,8 +610,8 @@ mod tests {
             band(),
             Some(DegradationSpec::new(0.03, 0.9, Some(30)).unwrap()),
         );
-        let lo = translate(&t, &qos, &cos(0.6)).unwrap();
-        let hi = translate(&t, &qos, &cos(0.95)).unwrap();
+        let lo = translate(&t, &qos, &cos(0.6), ObsCtx::none()).unwrap();
+        let hi = translate(&t, &qos, &cos(0.95), ObsCtx::none()).unwrap();
         assert!(hi.report.d_new_max < lo.report.d_new_max);
         let reduction = 1.0 - hi.report.d_new_max / lo.report.d_new_max;
         assert!((reduction - 0.2).abs() < 0.03, "reduction {reduction}");
@@ -614,7 +631,7 @@ mod tests {
             .with_epoch_budget(1)
             .unwrap();
         let qos = AppQos::new(band(), Some(spec));
-        let tr = translate(&t, &qos, &cos(0.6)).unwrap();
+        let tr = translate(&t, &qos, &cos(0.6), ObsCtx::none()).unwrap();
         // With p > 0 the threshold equals the cap: the 3.0 and 4.0 spikes
         // must be below it, the 5.0 spike may stay degraded.
         assert!(
@@ -626,7 +643,7 @@ mod tests {
         assert_eq!(tr.report.max_degraded_epochs_per_week, 1);
         // Without the budget, the M_degr cap (5.0 * 0.66/0.9 = 3.67)
         // leaves the 4.0 and 5.0 spikes degraded.
-        let free = translate(&t, &qos_no_limit(), &cos(0.6)).unwrap();
+        let free = translate(&t, &qos_no_limit(), &cos(0.6), ObsCtx::none()).unwrap();
         assert_eq!(free.report.max_degraded_epochs_per_week, 2);
     }
 
@@ -646,7 +663,7 @@ mod tests {
             .with_epoch_budget(2)
             .unwrap();
         let qos = AppQos::new(band(), Some(spec));
-        let tr = translate(&t, &qos, &cos(0.6)).unwrap();
+        let tr = translate(&t, &qos, &cos(0.6), ObsCtx::none()).unwrap();
         assert_eq!(tr.report.max_degraded_epochs_per_week, 2);
         // Only the cheapest spike (4.2) needed to be absorbed.
         assert!(
@@ -668,7 +685,7 @@ mod tests {
             .with_epoch_budget(1)
             .unwrap();
         let qos = AppQos::new(band(), Some(spec));
-        let tr = translate(&t, &qos, &cos(0.6)).unwrap();
+        let tr = translate(&t, &qos, &cos(0.6), ObsCtx::none()).unwrap();
         // T_degr raised the cap to the plateau (4.0); the budget then had
         // to absorb the 4.5 spike, keeping only the 4.8 one degraded.
         assert!(tr.report.longest_degraded_minutes <= 30);
@@ -684,7 +701,7 @@ mod tests {
     #[test]
     fn zero_demand_trace_translates_cleanly() {
         let t = Trace::constant(cal(), 0.0, 2016).unwrap();
-        let tr = translate(&t, &qos_no_limit(), &cos(0.6)).unwrap();
+        let tr = translate(&t, &qos_no_limit(), &cos(0.6), ObsCtx::none()).unwrap();
         assert_eq!(tr.report.d_new_max, 0.0);
         assert_eq!(tr.report.peak_allocation, 0.0);
         assert_eq!(tr.report.max_worst_case_utilization, 0.0);
@@ -696,7 +713,7 @@ mod tests {
         let t = Trace::constant(cal(), 1.0, 10).unwrap();
         let qos = AppQos::new(band(), Some(DegradationSpec::new(0.03, 0.6, None).unwrap()));
         assert!(matches!(
-            translate(&t, &qos, &cos(0.6)),
+            translate(&t, &qos, &cos(0.6), ObsCtx::none()),
             Err(QosError::DegradedBelowHigh { .. })
         ));
     }
@@ -704,7 +721,7 @@ mod tests {
     #[test]
     fn total_allocation_matches_sum() {
         let t = spiky(500, 3.0, 50);
-        let tr = translate(&t, &qos_no_limit(), &cos(0.6)).unwrap();
+        let tr = translate(&t, &qos_no_limit(), &cos(0.6), ObsCtx::none()).unwrap();
         let total = tr.total_allocation();
         for i in 0..t.len() {
             let s = tr.cos1.samples()[i] + tr.cos2.samples()[i];

@@ -8,7 +8,7 @@
 //! exceed capacity), then shares the remaining capacity across CoS2
 //! requests proportionally to their size.
 
-use ropus_obs::Obs;
+use ropus_obs::ObsCtx;
 use serde::{Deserialize, Serialize};
 
 use ropus_trace::{Trace, TraceError};
@@ -111,16 +111,7 @@ impl Host {
     /// not queued); carry-over behaviour is the placement simulator's
     /// concern, not the host scheduler's.
     ///
-    /// # Errors
-    ///
-    /// Returns [`TraceError::Misaligned`] (wrapped in
-    /// [`WlmError::Trace`]) when demand traces differ in length, or
-    /// [`TraceError::Empty`] when no workloads are given.
-    pub fn run(&self, workloads: &[HostedWorkload]) -> Result<HostOutcome, WlmError> {
-        self.run_observed(workloads, &Obs::off())
-    }
-
-    /// [`run`](Self::run) with observability: every slot's granted total
+    /// When `obs` carries an enabled handle, every slot's granted total
     /// lands in the `wlm.host.saturation` histogram (as a fraction of the
     /// capacity limit), and outcomes the result traces cannot express —
     /// slots where the CoS1 *guarantee* itself was scaled down, and slots
@@ -133,11 +124,13 @@ impl Host {
     ///
     /// # Errors
     ///
-    /// As for [`run`](Self::run).
-    pub fn run_observed(
+    /// Returns [`TraceError::Misaligned`] (wrapped in
+    /// [`WlmError::Trace`]) when demand traces differ in length, or
+    /// [`TraceError::Empty`] when no workloads are given.
+    pub fn run(
         &self,
         workloads: &[HostedWorkload],
-        obs: &Obs,
+        obs: ObsCtx<'_>,
     ) -> Result<HostOutcome, WlmError> {
         let first = workloads.first().ok_or(TraceError::Empty)?;
         let len = first.demand.len();
@@ -253,9 +246,27 @@ impl Host {
     }
 }
 
+impl Host {
+    /// Deprecated alias for [`run`](Self::run) from before observability
+    /// contexts were unified: forwards to `run` with the handle attached.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    #[deprecated(note = "call `run` with an `ObsCtx` instead")]
+    pub fn run_observed(
+        &self,
+        workloads: &[HostedWorkload],
+        obs: &ropus_obs::Obs,
+    ) -> Result<HostOutcome, WlmError> {
+        self.run(workloads, ObsCtx::from(obs))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ropus_obs::Obs;
     use ropus_trace::Calendar;
 
     fn cal() -> Calendar {
@@ -280,7 +291,7 @@ mod tests {
     fn uncontended_host_grants_full_requests() {
         let host = Host::new(16.0).unwrap();
         let w = constant("a", 2.0, 50, policy(1.0, 100.0));
-        let outcome = host.run(&[w]).unwrap();
+        let outcome = host.run(&[w], ObsCtx::none()).unwrap();
         let o = &outcome.workloads[0];
         // Request = 2 * 2 = 4, fully granted; demand 2 fully served.
         assert_eq!(o.granted.samples()[10], 4.0);
@@ -296,7 +307,7 @@ mod tests {
         // Workload A: all CoS1 (cap above request). Workload B: all CoS2.
         let a = constant("a", 4.0, 20, policy(100.0, 100.0));
         let b = constant("b", 4.0, 20, policy(0.0, 100.0));
-        let outcome = host.run(&[a, b]).unwrap();
+        let outcome = host.run(&[a, b], ObsCtx::none()).unwrap();
         // A requests 8 CoS1 -> granted in full; B requests 8 CoS2 but only
         // 2 remain.
         assert_eq!(outcome.workloads[0].granted.samples()[5], 8.0);
@@ -312,7 +323,7 @@ mod tests {
         let host = Host::new(12.0).unwrap();
         let a = constant("a", 4.0, 10, policy(0.0, 100.0)); // requests 8
         let b = constant("b", 2.0, 10, policy(0.0, 100.0)); // requests 4
-        let outcome = host.run(&[a, b]).unwrap();
+        let outcome = host.run(&[a, b], ObsCtx::none()).unwrap();
         // 12 capacity over requests (8, 4): granted in full (sum == 12).
         assert_eq!(outcome.workloads[0].granted.samples()[0], 8.0);
         assert_eq!(outcome.workloads[1].granted.samples()[0], 4.0);
@@ -320,7 +331,7 @@ mod tests {
         let host = Host::new(6.0).unwrap();
         let a = constant("a", 4.0, 10, policy(0.0, 100.0));
         let b = constant("b", 2.0, 10, policy(0.0, 100.0));
-        let outcome = host.run(&[a, b]).unwrap();
+        let outcome = host.run(&[a, b], ObsCtx::none()).unwrap();
         // Now only 6 for requests (8, 4): proportional scale 0.5.
         assert_eq!(outcome.workloads[0].granted.samples()[0], 4.0);
         assert_eq!(outcome.workloads[1].granted.samples()[0], 2.0);
@@ -330,7 +341,7 @@ mod tests {
     fn pathological_cos1_overflow_scales_proportionally() {
         let host = Host::new(8.0).unwrap();
         let a = constant("a", 8.0, 5, policy(100.0, 100.0)); // 16 CoS1
-        let outcome = host.run(&[a]).unwrap();
+        let outcome = host.run(&[a], ObsCtx::none()).unwrap();
         assert_eq!(outcome.workloads[0].granted.samples()[0], 8.0);
         assert!(outcome.contended_slots > 0);
     }
@@ -341,7 +352,7 @@ mod tests {
         let ws: Vec<HostedWorkload> = (0..5)
             .map(|i| constant(&format!("w{i}"), 3.0, 30, policy(1.0, 100.0)))
             .collect();
-        let outcome = host.run(&ws).unwrap();
+        let outcome = host.run(&ws, ObsCtx::none()).unwrap();
         for &g in outcome.total_granted.samples() {
             assert!(g <= 10.0 + 1e-9, "granted {g}");
         }
@@ -355,7 +366,7 @@ mod tests {
         // leaving 2 of its 4 demand unmet every slot.
         let a = constant("a", 4.0, 20, policy(100.0, 100.0));
         let b = constant("b", 4.0, 20, policy(0.0, 100.0));
-        let outcome = host.run_observed(&[a, b], &obs).unwrap();
+        let outcome = host.run(&[a, b], ObsCtx::from(&obs)).unwrap();
         assert!(outcome.contended_slots > 0);
         let report = obs.report();
         assert_eq!(report.counter("wlm.host.unmet_slots"), 20);
@@ -369,7 +380,7 @@ mod tests {
         // The pathological CoS1 overflow counts as a scaled slot.
         let scaled = Obs::deterministic();
         let c = constant("c", 8.0, 5, policy(100.0, 100.0));
-        host.run_observed(&[c], &scaled).unwrap();
+        host.run(&[c], ObsCtx::from(&scaled)).unwrap();
         assert_eq!(scaled.report().counter("wlm.host.cos1_scaled_slots"), 5);
     }
 
@@ -377,13 +388,13 @@ mod tests {
     fn misaligned_and_empty_inputs_rejected() {
         let host = Host::new(10.0).unwrap();
         assert!(matches!(
-            host.run(&[]),
+            host.run(&[], ObsCtx::none()),
             Err(WlmError::Trace(TraceError::Empty))
         ));
         let a = constant("a", 1.0, 10, policy(0.0, 10.0));
         let b = constant("b", 1.0, 20, policy(0.0, 10.0));
         assert!(matches!(
-            host.run(&[a, b]),
+            host.run(&[a, b], ObsCtx::none()),
             Err(WlmError::Trace(TraceError::Misaligned { .. }))
         ));
     }

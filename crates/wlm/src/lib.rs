@@ -19,6 +19,7 @@
 //! # Example
 //!
 //! ```
+//! use ropus_obs::ObsCtx;
 //! use ropus_qos::{AppQos, CosSpec};
 //! use ropus_qos::translation::translate;
 //! use ropus_trace::{Calendar, Trace};
@@ -30,10 +31,10 @@
 //! let demand = Trace::constant(cal, 2.0, cal.slots_per_week())?;
 //! let qos = AppQos::paper_default(None);
 //! let cos2 = CosSpec::new(0.9, 60)?;
-//! let translation = translate(&demand, &qos, &cos2)?;
+//! let translation = translate(&demand, &qos, &cos2, ObsCtx::none())?;
 //! let policy = WlmPolicy::from_translation(&qos, &translation.report);
 //! let host = Host::new(16.0)?;
-//! let outcome = host.run(&[HostedWorkload::new("app", demand, policy)])?;
+//! let outcome = host.run(&[HostedWorkload::new("app", demand, policy)], ObsCtx::none())?;
 //! assert!(outcome.workloads[0].served.peak() > 0.0);
 //! # Ok(())
 //! # }

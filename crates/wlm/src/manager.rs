@@ -183,13 +183,20 @@ mod tests {
 
     #[test]
     fn from_translation_matches_report() {
+        use ropus_obs::ObsCtx;
         use ropus_qos::translation::translate;
         use ropus_qos::CosSpec;
         use ropus_trace::{Calendar, Trace};
         let cal = Calendar::five_minute();
         let demand = Trace::constant(cal, 2.0, cal.slots_per_week()).unwrap();
         let qos = AppQos::paper_default(None);
-        let t = translate(&demand, &qos, &CosSpec::new(0.6, 60).unwrap()).unwrap();
+        let t = translate(
+            &demand,
+            &qos,
+            &CosSpec::new(0.6, 60).unwrap(),
+            ObsCtx::none(),
+        )
+        .unwrap();
         let policy = WlmPolicy::from_translation(&qos, &t.report);
         assert_eq!(policy.burst_factor, 2.0);
         assert!((policy.total_cap - t.report.d_new_max * 2.0).abs() < 1e-12);

@@ -70,6 +70,8 @@ pub enum Scope {
     Qos,
     /// Everything scanned except the seeded-RNG facade itself.
     AllButRngFacade,
+    /// Everything scanned except the obs clock facade itself.
+    AllButClockFacade,
     /// Every scanned file.
     All,
 }
@@ -87,6 +89,9 @@ const LIB_CRATES: [&str; 7] = [
 /// The seeded-RNG facade: the one module allowed to implement generators.
 pub const RNG_FACADE: &str = "crates/trace/src/rng.rs";
 
+/// The obs clock facade: the one module allowed to read the wall clock.
+pub const CLOCK_FACADE: &str = "crates/obs/src/clock.rs";
+
 impl Scope {
     /// Whether `path` falls inside this scope.
     pub fn contains(self, path: &str) -> bool {
@@ -94,6 +99,7 @@ impl Scope {
             Scope::LibCrates => LIB_CRATES.iter().any(|p| path.starts_with(p)),
             Scope::Qos => path.starts_with("crates/qos/src/"),
             Scope::AllButRngFacade => path != RNG_FACADE,
+            Scope::AllButClockFacade => path != CLOCK_FACADE,
             Scope::All => true,
         }
     }
@@ -104,6 +110,7 @@ impl Scope {
             Scope::LibCrates => "library crates (core, qos, trace, placement, wlm, chaos, obs)",
             Scope::Qos => "QoS formula modules (crates/qos/src)",
             Scope::AllButRngFacade => "all crates except the rng facade",
+            Scope::AllButClockFacade => "all crates except the obs clock facade",
             Scope::All => "all crates",
         }
     }
@@ -146,12 +153,14 @@ pub fn registry() -> Vec<Rule> {
         Rule {
             id: "det-wall-clock",
             family: Family::Determinism,
-            summary: "wall-clock read (Instant/SystemTime) in a library crate: \
-                      scoring and translation must be pure functions of the trace",
-            hint: "thread timing through the caller (cli/bench own the clock), or \
-                   justify telemetry-only use with lint:allow(det-wall-clock)",
+            summary: "wall-clock read (Instant/SystemTime) outside the obs clock \
+                      facade: every timestamp must flow through the Clock trait so \
+                      deterministic runs can install NullClock",
+            hint: "take timings from ropus_obs::{Clock, WallClock} (or the clock on \
+                   the obs collector); only crates/obs/src/clock.rs may read \
+                   std::time, or justify with lint:allow(det-wall-clock)",
             exempt_tests: true,
-            scope: Scope::LibCrates,
+            scope: Scope::AllButClockFacade,
             matcher: match_wall_clock,
         },
         Rule {

@@ -183,6 +183,26 @@ fn rng_facade_is_exempt_from_the_rng_rule() {
 }
 
 #[test]
+fn clock_facade_is_exempt_from_the_wall_clock_rule() {
+    let bad = include_str!("fixtures/det-wall-clock/bad.rs");
+    let diagnostics = lint_source("crates/obs/src/clock.rs", bad, &Config::default());
+    assert!(
+        diagnostics.iter().all(|d| d.rule != "det-wall-clock"),
+        "the clock facade itself must be allowed to read std::time"
+    );
+}
+
+#[test]
+fn wall_clock_rule_reaches_beyond_the_library_crates() {
+    let bad = include_str!("fixtures/det-wall-clock/bad.rs");
+    let diagnostics = lint_source("crates/bench/src/bin/fixture.rs", bad, &Config::default());
+    assert!(
+        diagnostics.iter().any(|d| d.rule == "det-wall-clock"),
+        "bench/cli code must also route timings through the obs clock"
+    );
+}
+
+#[test]
 fn cfg_test_code_is_exempt_from_panic_rules() {
     let source = "pub fn noop() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let v = vec![1];\n        let i = 0;\n        assert_eq!(v[i], *v.first().unwrap());\n    }\n}\n";
     let diagnostics = lint_source(LIB_PATH, source, &Config::default());

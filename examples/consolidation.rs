@@ -5,6 +5,7 @@
 
 use ropus::case_study::{translate_fleet, CaseConfig};
 use ropus::prelude::*;
+use ropus_obs::ObsCtx;
 use ropus_placement::greedy::{place, servers_used, GreedyStrategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -47,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         case.commitments(),
         ConsolidationOptions::thorough(7),
     );
-    let report = consolidator.consolidate(&workloads)?;
+    let report = consolidator.consolidate(&workloads, ObsCtx::none())?;
     println!("servers used:      {}", report.servers_used);
     println!("score:             {:.3}", report.score);
     println!(

@@ -5,6 +5,7 @@
 //! Run with: `cargo run --release -p ropus --example qos_portfolio`
 
 use ropus::prelude::*;
+use ropus_obs::ObsCtx;
 use ropus_qos::portfolio::{breakpoint, normalized_max_allocation};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -30,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for theta in [0.5, 0.6, 0.7, 0.76, 0.8, 0.9, 0.95, 1.0] {
         let cos2 = CosSpec::new(theta, 60)?;
-        let translation = translate(&app.trace, &qos, &cos2)?;
+        let translation = translate(&app.trace, &qos, &cos2, ObsCtx::none())?;
         let r = &translation.report;
         println!(
             "{theta:>5.2} {:>12.3} {:>12.3} {:>12.2} {:>12.2} {:>12.2} {:>9.2}%",

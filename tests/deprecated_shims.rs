@@ -1,0 +1,130 @@
+//! The PR-5 `*_observed` twins survive one release as deprecated shims.
+//!
+//! Each shim must forward to its unified entry point (which now takes an
+//! `ObsCtx` or a `PlanRequest`) and produce identical results — callers
+//! migrating gradually must not see behaviour change.
+#![allow(deprecated)]
+
+use ropus::prelude::*;
+use ropus_trace::gen::{case_study_fleet, FleetConfig};
+
+fn apps(n: usize) -> Vec<AppSpec> {
+    let policy = QosPolicy {
+        normal: AppQos::paper_default(Some(30)),
+        failure: AppQos::paper_default(None),
+    };
+    case_study_fleet(&FleetConfig {
+        apps: n,
+        weeks: 1,
+        ..FleetConfig::paper()
+    })
+    .into_iter()
+    .map(|a| AppSpec::new(a.name, a.trace, policy))
+    .collect()
+}
+
+fn framework(seed: u64) -> Framework {
+    Framework::builder()
+        .commitments(PoolCommitments::new(CosSpec::new(0.9, 60).unwrap()))
+        .options(ConsolidationOptions::fast(seed))
+        .build()
+}
+
+#[test]
+fn translate_observed_shim_matches_unified_translate() {
+    let cal = Calendar::five_minute();
+    let demand = Trace::constant(cal, 2.0, cal.slots_per_week()).unwrap();
+    let qos = AppQos::paper_default(Some(30));
+    let cos2 = CosSpec::new(0.9, 60).unwrap();
+    let obs = Obs::deterministic();
+    let shim = ropus_qos::translation::translate_observed(&demand, &qos, &cos2, &obs).unwrap();
+    let unified = translate(&demand, &qos, &cos2, ObsCtx::none()).unwrap();
+    assert_eq!(shim.report, unified.report);
+}
+
+#[test]
+fn consolidate_observed_shim_matches_unified_consolidate() {
+    let fleet = apps(4);
+    let fw = framework(3);
+    let (_, normal, _) = fw.translate_fleet(&fleet).unwrap();
+    let consolidator = Consolidator::new(fw.server(), fw.commitments(), fw.options());
+    let obs = Obs::deterministic();
+    let shim = consolidator.consolidate_observed(&normal, &obs).unwrap();
+    let unified = consolidator.consolidate(&normal, ObsCtx::none()).unwrap();
+    assert_eq!(shim, unified);
+}
+
+#[test]
+fn run_observed_shim_matches_unified_run() {
+    let cal = Calendar::five_minute();
+    let demand = Trace::constant(cal, 2.0, 50).unwrap();
+    let qos = AppQos::paper_default(None);
+    let cos2 = CosSpec::new(0.9, 60).unwrap();
+    let t = translate(&demand, &qos, &cos2, ObsCtx::none()).unwrap();
+    let policy = ropus_wlm::manager::WlmPolicy::from_translation(&qos, &t.report);
+    let hosted = vec![ropus_wlm::host::HostedWorkload::new("app", demand, policy)];
+    let host = ropus_wlm::host::Host::new(16.0).unwrap();
+    let obs = Obs::deterministic();
+    let shim = host.run_observed(&hosted, &obs).unwrap();
+    let unified = host.run(&hosted, ObsCtx::none()).unwrap();
+    assert_eq!(shim, unified);
+}
+
+#[test]
+fn framework_observed_shims_match_plan_request_entry_points() {
+    let fleet = apps(3);
+    let fw = framework(5);
+    let obs = Obs::deterministic();
+
+    let shim_plan = fw.plan_observed(&fleet, &obs).unwrap();
+    let unified_plan = fw.plan(&fleet).unwrap();
+    assert_eq!(shim_plan.normal_placement, unified_plan.normal_placement);
+    assert_eq!(shim_plan.apps, unified_plan.apps);
+
+    let shim_placement = fw.plan_normal_only_observed(&fleet, &obs).unwrap();
+    let unified_placement = fw.plan_normal_only(&fleet).unwrap();
+    assert_eq!(shim_placement, unified_placement);
+
+    let shim_runtime = fw
+        .validate_runtime_observed(&fleet, &shim_plan, &obs)
+        .unwrap();
+    let unified_runtime = fw.validate_runtime(&fleet, &unified_plan).unwrap();
+    assert_eq!(shim_runtime, unified_runtime);
+}
+
+#[test]
+fn replay_observed_shim_matches_unified_replay() {
+    let fleet = apps(3);
+    let fw = framework(7);
+    let placement = fw.plan_normal_only(&fleet).unwrap();
+    let chaos_apps = fw.chaos_fleet(&fleet).unwrap();
+    let consolidator = Consolidator::new(fw.server(), fw.commitments(), fw.options());
+    let horizon = fleet[0].demand().len();
+    let schedule = FailureSchedule::scripted(vec![FailureEvent {
+        server: placement.servers[0].server,
+        start: horizon / 4,
+        duration: 12,
+    }])
+    .unwrap();
+    let options = ropus_chaos::ReplayOptions::default();
+    let obs = Obs::deterministic();
+    let shim = ropus_chaos::replay_observed(
+        &consolidator,
+        &placement,
+        &chaos_apps,
+        &schedule,
+        &options,
+        &obs,
+    )
+    .unwrap();
+    let unified = ropus_chaos::replay(
+        &consolidator,
+        &placement,
+        &chaos_apps,
+        &schedule,
+        &options,
+        ObsCtx::none(),
+    )
+    .unwrap();
+    assert_eq!(shim, unified);
+}

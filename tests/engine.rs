@@ -5,6 +5,7 @@
 use ropus::case_study::translate_fleet;
 use ropus::case_study::CaseConfig;
 use ropus::prelude::*;
+use ropus_obs::ObsCtx;
 use ropus_placement::simulator::{AggregateLoad, FitOptions, FitRequest};
 
 fn translated_fleet() -> Vec<Workload> {
@@ -29,7 +30,9 @@ fn consolidate_with(threads: usize, cache_capacity: usize) -> PlacementReport {
             .with_threads(threads)
             .with_cache_capacity(cache_capacity),
     );
-    consolidator.consolidate(&workloads).unwrap()
+    consolidator
+        .consolidate(&workloads, ObsCtx::none())
+        .unwrap()
 }
 
 #[test]

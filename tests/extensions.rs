@@ -3,6 +3,7 @@
 //! multi-node failure sweeps.
 
 use ropus::prelude::*;
+use ropus_obs::ObsCtx;
 use ropus_placement::failure::analyze_multi_failures;
 use ropus_placement::ga::GaOptions;
 use ropus_placement::hetero::{consolidate_hetero, seed_ffd, HeteroEvaluator};
@@ -26,7 +27,7 @@ fn translated_fleet(apps: usize, theta: f64) -> Vec<Workload> {
     fleet
         .into_iter()
         .map(|app| {
-            let t = translate(&app.trace, &policy().normal, &cos2).unwrap();
+            let t = translate(&app.trace, &policy().normal, &cos2, ObsCtx::none()).unwrap();
             Workload::from_translation(app.name, t)
         })
         .collect()
@@ -66,7 +67,7 @@ fn hetero_matches_homogeneous_when_pool_is_uniform() {
         commitments,
         ConsolidationOptions::fast(3),
     )
-    .consolidate(&workloads)
+    .consolidate(&workloads, ObsCtx::none())
     .unwrap();
     let pool = vec![ServerSpec::sixteen_way(); homo.servers_used + 1];
     let eval = HeteroEvaluator::new(&workloads, pool, commitments, 0.1).unwrap();
@@ -136,8 +137,12 @@ fn epoch_budget_tightens_the_fleet_translation() {
         ),
     );
     for app in &fleet {
-        let free = translate(&app.trace, &plain, &cos2).unwrap().report;
-        let tight = translate(&app.trace, &budgeted, &cos2).unwrap().report;
+        let free = translate(&app.trace, &plain, &cos2, ObsCtx::none())
+            .unwrap()
+            .report;
+        let tight = translate(&app.trace, &budgeted, &cos2, ObsCtx::none())
+            .unwrap()
+            .report;
         assert!(tight.max_degraded_epochs_per_week <= 2, "{}", app.name);
         // The budget can only raise the cap (reduce savings).
         assert!(tight.d_new_max >= free.d_new_max - 1e-9);
@@ -156,14 +161,14 @@ fn double_failure_needs_more_relief_than_single() {
     let normal: Vec<Workload> = fleet
         .iter()
         .map(|app| {
-            let t = translate(&app.trace, &policy().normal, &cos2).unwrap();
+            let t = translate(&app.trace, &policy().normal, &cos2, ObsCtx::none()).unwrap();
             Workload::from_translation(app.name.clone(), t)
         })
         .collect();
     let failure: Vec<Workload> = fleet
         .iter()
         .map(|app| {
-            let t = translate(&app.trace, &policy().failure, &cos2).unwrap();
+            let t = translate(&app.trace, &policy().failure, &cos2, ObsCtx::none()).unwrap();
             Workload::from_translation(app.name.clone(), t)
         })
         .collect();
@@ -172,7 +177,7 @@ fn double_failure_needs_more_relief_than_single() {
         PoolCommitments::new(cos2),
         ConsolidationOptions::fast(6),
     );
-    let report = consolidator.consolidate(&normal).unwrap();
+    let report = consolidator.consolidate(&normal, ObsCtx::none()).unwrap();
     if report.servers_used < 3 {
         // Not enough servers for a meaningful k=2 sweep on this subset.
         return;

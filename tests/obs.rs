@@ -40,7 +40,9 @@ fn observed_run_json(seed: u64, threads: usize) -> String {
     let horizon = apps[0].demand().len();
     let fw = framework(seed, threads);
     let obs = Obs::deterministic();
-    let placement = fw.plan_normal_only_observed(&apps, &obs).unwrap();
+    let placement = fw
+        .plan_normal_only(PlanRequest::of(&apps).with_obs(&obs))
+        .unwrap();
     let schedule = FailureSchedule::scripted(vec![FailureEvent {
         server: placement.servers[0].server,
         start: horizon / 4,
@@ -48,12 +50,11 @@ fn observed_run_json(seed: u64, threads: usize) -> String {
     }])
     .unwrap();
     let _report = fw
-        .chaos_replay_on_observed(
-            &apps,
+        .chaos_replay_on(
+            PlanRequest::of(&apps).with_obs(&obs),
             &placement,
             &schedule,
             DegradationPolicy::default(),
-            &obs,
         )
         .unwrap();
     serde_json::to_string(&obs.report()).unwrap()

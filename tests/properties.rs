@@ -4,6 +4,7 @@
 //! trace stays small while still exercising the weekly θ machinery.
 
 use proptest::prelude::*;
+use ropus_obs::ObsCtx;
 
 use ropus::prelude::*;
 use ropus_placement::failure::{analyze_multi_failures, MultiFailureAnalysis};
@@ -69,7 +70,7 @@ proptest! {
             Some(DegradationSpec::new(0.03, 0.9, t_degr).unwrap()),
         );
         let cos2 = CosSpec::new(theta, 60).unwrap();
-        let t = translate(&trace, &qos, &cos2).unwrap();
+        let t = translate(&trace, &qos, &cos2, ObsCtx::none()).unwrap();
         prop_assert!(t.report.max_worst_case_utilization <= 0.9 + 1e-9);
         prop_assert!(t.report.degraded_fraction <= 0.03 + 1e-9);
         prop_assert!(t.report.d_new_max <= t.report.d_max + 1e-9);
@@ -92,8 +93,8 @@ proptest! {
             UtilizationBand::new(0.5, 0.66).unwrap(),
             Some(DegradationSpec::new(0.03, 0.9, Some(120)).unwrap()),
         );
-        let t_free = translate(&trace, &free, &cos2).unwrap();
-        let t_limited = translate(&trace, &limited, &cos2).unwrap();
+        let t_free = translate(&trace, &free, &cos2, ObsCtx::none()).unwrap();
+        let t_limited = translate(&trace, &limited, &cos2, ObsCtx::none()).unwrap();
         prop_assert!(t_limited.report.d_new_max >= t_free.report.d_new_max - 1e-9);
         prop_assert_eq!(
             t_free.report.d_new_max_before_time_limit,
@@ -110,7 +111,7 @@ proptest! {
         let band = UtilizationBand::new(0.5, 0.66).unwrap();
         let qos = AppQos::strict(band);
         let cos2 = CosSpec::new(theta, 60).unwrap();
-        let t = translate(&trace, &qos, &cos2).unwrap();
+        let t = translate(&trace, &qos, &cos2, ObsCtx::none()).unwrap();
         // Strict QoS: cap = D_max, so every observation's worst-case
         // utilization is at most U_high.
         for &d in trace.samples() {
@@ -185,8 +186,8 @@ proptest! {
                     .unwrap(),
             ),
         );
-        let t_free = translate(&trace, &free, &cos2).unwrap();
-        let t_budgeted = translate(&trace, &budgeted, &cos2).unwrap();
+        let t_free = translate(&trace, &free, &cos2, ObsCtx::none()).unwrap();
+        let t_budgeted = translate(&trace, &budgeted, &cos2, ObsCtx::none()).unwrap();
         prop_assert!(t_budgeted.report.d_new_max >= t_free.report.d_new_max - 1e-9);
         prop_assert!(
             t_budgeted.report.max_degraded_epochs_per_week <= budget as usize,
@@ -269,7 +270,7 @@ proptest! {
             commitments,
             ConsolidationOptions::fast(seed),
         );
-        let report = c.consolidate(&normal).unwrap();
+        let report = c.consolidate(&normal, ObsCtx::none()).unwrap();
         prop_assert_eq!(report.servers_used, 3);
 
         let sweep = |k: usize| -> Result<MultiFailureAnalysis, PlacementError> {
@@ -314,7 +315,7 @@ proptest! {
         let trace = Trace::from_samples(hourly(), samples).unwrap();
         let qos = AppQos::paper_default(None);
         let cos2 = CosSpec::new(0.9, 60).unwrap();
-        let r = translate(&trace, &qos, &cos2).unwrap().report;
+        let r = translate(&trace, &qos, &cos2, ObsCtx::none()).unwrap().report;
         let agg = ropus_qos::analysis::FleetSavings::aggregate(&[r, r]);
         prop_assert!((agg.total_peak_allocation - 2.0 * r.peak_allocation).abs() < 1e-9);
         prop_assert!(agg.max_cap_reduction >= agg.mean_cap_reduction - 1e-12);

@@ -5,6 +5,7 @@
 //! QoS against the requirement.
 
 use ropus::prelude::*;
+use ropus_obs::ObsCtx;
 use ropus_wlm::host::{Host, HostedWorkload};
 use ropus_wlm::manager::WlmPolicy;
 use ropus_wlm::metrics::audit;
@@ -21,7 +22,7 @@ fn translated_hosted(apps: usize, theta: f64) -> (Vec<HostedWorkload>, Vec<AppQo
     let mut requirements = Vec::new();
     let mut workloads = Vec::new();
     for app in fleet {
-        let translation = translate(&app.trace, &qos, &cos2).unwrap();
+        let translation = translate(&app.trace, &qos, &cos2, ObsCtx::none()).unwrap();
         let policy = WlmPolicy::from_translation(&qos, &translation.report);
         workloads.push(Workload::from_translation(app.name.clone(), translation));
         hosted.push(HostedWorkload::new(app.name, app.trace, policy));
@@ -36,7 +37,7 @@ fn uncontended_host_delivers_compliant_qos() {
     // Plenty of capacity: every allocation request is granted in full, so
     // utilization of allocation stays within the band by construction.
     let host = Host::new(64.0).unwrap();
-    let outcome = host.run(&hosted).unwrap();
+    let outcome = host.run(&hosted, ObsCtx::none()).unwrap();
     assert_eq!(outcome.contended_slots, 0);
     for (wo, qos) in outcome.workloads.iter().zip(&requirements) {
         let a = audit(&wo.utilization, qos);
@@ -60,7 +61,7 @@ fn sized_host_keeps_qos_within_the_degraded_envelope() {
         .required_capacity(64.0)
         .unwrap();
     let host = Host::new(capacity.max(1.0)).unwrap();
-    let outcome = host.run(&hosted).unwrap();
+    let outcome = host.run(&hosted, ObsCtx::none()).unwrap();
     for (wo, qos) in outcome.workloads.iter().zip(&requirements) {
         // θ is a weekly statistical aggregate, so isolated slots may still
         // see deep cuts; the envelope promise is that such slots are rare.
@@ -90,7 +91,7 @@ fn starved_host_shows_violations_the_audit_catches() {
     // served demand is capped by grants and utilization rides at 1.0
     // whenever demand exceeds the grant — the audit must flag it.
     let host = Host::new(1.0).unwrap();
-    let outcome = host.run(&hosted).unwrap();
+    let outcome = host.run(&hosted, ObsCtx::none()).unwrap();
     assert!(outcome.contended_slots > 0);
     let any_violation = outcome
         .workloads
@@ -129,7 +130,7 @@ fn cos1_workloads_are_insulated_from_cos2_pressure() {
         },
     );
     let host = Host::new(10.0).unwrap();
-    let outcome = host.run(&[steady, noisy]).unwrap();
+    let outcome = host.run(&[steady, noisy], ObsCtx::none()).unwrap();
     let steady_out = &outcome.workloads[0];
     // The steady workload's 4-CPU CoS1 request is always granted in full.
     for (&g, &s) in steady_out
