@@ -10,8 +10,23 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> xtask lint --self-check"
+# The linter proves its own rules still trip before its verdict counts.
+cargo run -q -p xtask -- lint --self-check
+
 echo "==> xtask lint"
-cargo run -q -p xtask -- lint
+# Exit 2 means rule violations, exit 1 means the analyzer itself broke;
+# both fail CI but are reported distinctly. The JSON and SARIF reports
+# are left under target/lint/ as artifacts for editors and code hosts.
+mkdir -p target/lint
+LINT_STATUS=0
+cargo run -q -p xtask -- lint --format json > target/lint/lint.json || LINT_STATUS=$?
+cargo run -q -p xtask -- lint --format sarif > target/lint/lint.sarif || true
+case "$LINT_STATUS" in
+    0) ;;
+    2) echo "xtask lint: rule violations (see target/lint/lint.json)"; exit 2 ;;
+    *) echo "xtask lint: analyzer internal error (exit $LINT_STATUS)"; exit 1 ;;
+esac
 
 echo "==> cargo build --release"
 cargo build --release --workspace

@@ -33,8 +33,6 @@ pub mod report;
 pub mod schedule;
 
 pub use error::ChaosError;
-#[allow(deprecated)]
-pub use replay::replay_observed;
 pub use replay::{replay, ChaosApp, DegradationPolicy, ReplayOptions};
 pub use report::{AppChaosOutcome, ChaosReport, DegradedWindow};
 pub use schedule::{FailureEvent, FailureSchedule, Segment, StochasticProfile};

@@ -555,31 +555,6 @@ pub fn replay(
     })
 }
 
-/// Deprecated alias for [`replay`] from before observability contexts
-/// were unified: forwards to `replay` with the handle attached.
-///
-/// # Errors
-///
-/// As for [`replay`].
-#[deprecated(note = "call `replay` with an `ObsCtx` instead")]
-pub fn replay_observed(
-    consolidator: &Consolidator,
-    normal_placement: &PlacementReport,
-    apps: &[ChaosApp],
-    schedule: &FailureSchedule,
-    options: &ReplayOptions,
-    obs: &ropus_obs::Obs,
-) -> Result<ChaosReport, ChaosError> {
-    replay(
-        consolidator,
-        normal_placement,
-        apps,
-        schedule,
-        options,
-        ObsCtx::from(obs),
-    )
-}
-
 /// Builds the per-segment execution plans, re-placing displaced
 /// workloads for every distinct failed-server set.
 fn segment_plans(

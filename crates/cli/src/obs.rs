@@ -18,8 +18,8 @@ enum Sink {
     Json(String),
 }
 
-/// The collector a subcommand threads through the `*_observed` pipeline
-/// entry points, plus what to do with it at exit.
+/// The collector a subcommand threads through the pipeline entry points
+/// (as an `ObsCtx`), plus what to do with it at exit.
 pub struct CliObs {
     sink: Sink,
     obs: Obs,
@@ -54,7 +54,7 @@ impl CliObs {
         Ok(CliObs { sink, obs })
     }
 
-    /// The collector to pass into `*_observed` pipeline methods.
+    /// The collector to wrap in an `ObsCtx` for pipeline methods.
     pub fn collector(&self) -> &Obs {
         &self.obs
     }

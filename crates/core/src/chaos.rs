@@ -11,11 +11,10 @@
 use ropus_chaos::{
     replay, ChaosApp, ChaosReport, DegradationPolicy, FailureSchedule, ReplayOptions,
 };
-use ropus_obs::Obs;
 use ropus_placement::consolidate::{Consolidator, PlacementReport};
 use ropus_wlm::manager::WlmPolicy;
 
-use crate::framework::{AppSpec, Framework, PlanRequest};
+use crate::framework::{Framework, PlanRequest};
 use crate::FrameworkError;
 
 impl Framework {
@@ -110,66 +109,10 @@ impl Framework {
     }
 }
 
-impl Framework {
-    /// Deprecated alias for [`chaos_fleet`](Self::chaos_fleet) from
-    /// before planning requests were unified.
-    ///
-    /// # Errors
-    ///
-    /// As for [`chaos_fleet`](Self::chaos_fleet).
-    #[deprecated(note = "call `chaos_fleet` with a `PlanRequest` instead")]
-    pub fn chaos_fleet_observed(
-        &self,
-        apps: &[AppSpec],
-        obs: &Obs,
-    ) -> Result<Vec<ChaosApp>, FrameworkError> {
-        self.chaos_fleet(PlanRequest::of(apps).with_obs(obs))
-    }
-
-    /// Deprecated alias for [`chaos_replay_on`](Self::chaos_replay_on)
-    /// from before planning requests were unified.
-    ///
-    /// # Errors
-    ///
-    /// As for [`chaos_replay_on`](Self::chaos_replay_on).
-    #[deprecated(note = "call `chaos_replay_on` with a `PlanRequest` instead")]
-    pub fn chaos_replay_on_observed(
-        &self,
-        apps: &[AppSpec],
-        normal_placement: &PlacementReport,
-        schedule: &FailureSchedule,
-        degradation: DegradationPolicy,
-        obs: &Obs,
-    ) -> Result<ChaosReport, FrameworkError> {
-        self.chaos_replay_on(
-            PlanRequest::of(apps).with_obs(obs),
-            normal_placement,
-            schedule,
-            degradation,
-        )
-    }
-
-    /// Deprecated alias for [`chaos_replay`](Self::chaos_replay) from
-    /// before planning requests were unified.
-    ///
-    /// # Errors
-    ///
-    /// As for [`chaos_replay`](Self::chaos_replay).
-    #[deprecated(note = "call `chaos_replay` with a `PlanRequest` instead")]
-    pub fn chaos_replay_observed(
-        &self,
-        apps: &[AppSpec],
-        schedule: &FailureSchedule,
-        degradation: DegradationPolicy,
-        obs: &Obs,
-    ) -> Result<ChaosReport, FrameworkError> {
-        self.chaos_replay(PlanRequest::of(apps).with_obs(obs), schedule, degradation)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framework::AppSpec;
     use ropus_chaos::FailureEvent;
     use ropus_placement::consolidate::ConsolidationOptions;
     use ropus_qos::{AppQos, CosSpec, PoolCommitments, QosPolicy};

@@ -360,54 +360,6 @@ impl Framework {
     }
 }
 
-impl Framework {
-    /// Deprecated alias for [`translate_fleet`](Self::translate_fleet)
-    /// from before planning requests were unified: forwards with the
-    /// collector attached.
-    ///
-    /// # Errors
-    ///
-    /// As for [`translate_fleet`](Self::translate_fleet).
-    #[deprecated(note = "call `translate_fleet` with a `PlanRequest` instead")]
-    pub fn translate_fleet_observed(
-        &self,
-        apps: &[AppSpec],
-        obs: &Obs,
-    ) -> Result<TranslatedFleet, FrameworkError> {
-        self.translate_fleet(PlanRequest::of(apps).with_obs(obs))
-    }
-
-    /// Deprecated alias for [`plan_normal_only`](Self::plan_normal_only)
-    /// from before planning requests were unified.
-    ///
-    /// # Errors
-    ///
-    /// As for [`plan_normal_only`](Self::plan_normal_only).
-    #[deprecated(note = "call `plan_normal_only` with a `PlanRequest` instead")]
-    pub fn plan_normal_only_observed(
-        &self,
-        apps: &[AppSpec],
-        obs: &Obs,
-    ) -> Result<PlacementReport, FrameworkError> {
-        self.plan_normal_only(PlanRequest::of(apps).with_obs(obs))
-    }
-
-    /// Deprecated alias for [`plan`](Self::plan) from before planning
-    /// requests were unified.
-    ///
-    /// # Errors
-    ///
-    /// As for [`plan`](Self::plan).
-    #[deprecated(note = "call `plan` with a `PlanRequest` instead")]
-    pub fn plan_observed(
-        &self,
-        apps: &[AppSpec],
-        obs: &Obs,
-    ) -> Result<CapacityPlan, FrameworkError> {
-        self.plan(PlanRequest::of(apps).with_obs(obs))
-    }
-}
-
 /// Builder for [`Framework`].
 #[derive(Debug, Clone, Copy)]
 pub struct FrameworkBuilder {

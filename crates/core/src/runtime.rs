@@ -19,7 +19,7 @@ use ropus_wlm::host::{Host, HostedWorkload};
 use ropus_wlm::manager::WlmPolicy;
 use ropus_wlm::metrics::{audit, SloAudit};
 
-use crate::framework::{AppSpec, CapacityPlan, Framework, PlanRequest};
+use crate::framework::{CapacityPlan, Framework, PlanRequest};
 use crate::FrameworkError;
 
 /// Delivered-QoS outcome for one application.
@@ -157,27 +157,12 @@ impl Framework {
             servers: server_outcomes,
         })
     }
-
-    /// Deprecated alias for [`validate_runtime`](Self::validate_runtime)
-    /// from before planning requests were unified.
-    ///
-    /// # Errors
-    ///
-    /// As for [`validate_runtime`](Self::validate_runtime).
-    #[deprecated(note = "call `validate_runtime` with a `PlanRequest` instead")]
-    pub fn validate_runtime_observed(
-        &self,
-        apps: &[AppSpec],
-        plan: &CapacityPlan,
-        obs: &ropus_obs::Obs,
-    ) -> Result<PoolRuntimeReport, FrameworkError> {
-        self.validate_runtime(PlanRequest::of(apps).with_obs(obs), plan)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framework::AppSpec;
     use ropus_placement::consolidate::ConsolidationOptions;
     use ropus_placement::server::ServerSpec;
     use ropus_qos::{AppQos, CosSpec, PoolCommitments, QosPolicy};

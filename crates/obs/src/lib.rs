@@ -52,6 +52,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::ThreadId;
 
 pub mod clock;
+pub mod names;
 pub mod report;
 
 pub use clock::{Clock, NullClock, WallClock};

@@ -2,7 +2,7 @@
 //! as few servers as possible while honouring the pool's resource access
 //! commitments (§VI-B, producing the Table I columns).
 
-use ropus_obs::{Obs, ObsCtx};
+use ropus_obs::ObsCtx;
 use serde::{Deserialize, Serialize};
 
 use ropus_qos::PoolCommitments;
@@ -115,7 +115,7 @@ pub struct PlacementReport {
     #[serde(default)]
     pub stats: EngineStats,
     /// Observability snapshot, attached only when the caller ran with an
-    /// enabled [`Obs`] handle *and* asked for it; omitted from the JSON
+    /// enabled [`Obs`](ropus_obs::Obs) handle *and* asked for it; omitted from the JSON
     /// when absent so un-observed reports serialize byte-identically to
     /// earlier releases. Ignored by equality, like [`stats`](Self::stats).
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -317,42 +317,6 @@ impl Consolidator {
             stats,
             obs: None,
         })
-    }
-}
-
-/// Pre-unification observability twins, kept as thin shims for one
-/// release.
-impl Consolidator {
-    /// Pre-unification spelling of [`consolidate`](Self::consolidate)
-    /// with an enabled collector.
-    ///
-    /// # Errors
-    ///
-    /// As for [`consolidate`](Self::consolidate).
-    #[deprecated(note = "call `consolidate` with an `ObsCtx` instead")]
-    pub fn consolidate_observed(
-        &self,
-        workloads: &[Workload],
-        obs: &Obs,
-    ) -> Result<PlacementReport, PlacementError> {
-        self.consolidate(workloads, ObsCtx::from(obs))
-    }
-
-    /// Pre-unification spelling of
-    /// [`consolidate_onto`](Self::consolidate_onto) with an enabled
-    /// collector.
-    ///
-    /// # Errors
-    ///
-    /// As for [`consolidate_onto`](Self::consolidate_onto).
-    #[deprecated(note = "call `consolidate_onto` with an `ObsCtx` instead")]
-    pub fn consolidate_onto_observed(
-        &self,
-        workloads: &[Workload],
-        pool: Pool,
-        obs: &Obs,
-    ) -> Result<PlacementReport, PlacementError> {
-        self.consolidate_onto(workloads, pool, ObsCtx::from(obs))
     }
 }
 

@@ -232,21 +232,6 @@ pub fn translate(
     })
 }
 
-/// Pre-unification spelling of [`translate`] with an enabled collector.
-///
-/// # Errors
-///
-/// As for [`translate`].
-#[deprecated(note = "call `translate` with an `ObsCtx` instead")]
-pub fn translate_observed(
-    demand: &Trace,
-    qos: &AppQos,
-    cos2: &CosSpec,
-    obs: &ropus_obs::Obs,
-) -> Result<Translation, QosError> {
-    translate(demand, qos, cos2, ObsCtx::from(obs))
-}
-
 /// The `M_degr` demand cap of formulas (2)–(3).
 ///
 /// With no degradation allowance the cap is `D_max`. Otherwise, if the

@@ -246,23 +246,6 @@ impl Host {
     }
 }
 
-impl Host {
-    /// Deprecated alias for [`run`](Self::run) from before observability
-    /// contexts were unified: forwards to `run` with the handle attached.
-    ///
-    /// # Errors
-    ///
-    /// As for [`run`](Self::run).
-    #[deprecated(note = "call `run` with an `ObsCtx` instead")]
-    pub fn run_observed(
-        &self,
-        workloads: &[HostedWorkload],
-        obs: &ropus_obs::Obs,
-    ) -> Result<HostOutcome, WlmError> {
-        self.run(workloads, ObsCtx::from(obs))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

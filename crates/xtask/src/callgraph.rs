@@ -1,0 +1,448 @@
+//! An approximate workspace call graph over the symbol table.
+//!
+//! Edges are resolved by *name plus hints*, not types — the analyzer has
+//! no type checker, so resolution is deliberately conservative (DESIGN.md
+//! §5g lists the approximations):
+//!
+//! * `self.method(...)` resolves to methods of the enclosing `impl`'s
+//!   self type, anywhere in the workspace;
+//! * `Type::assoc(...)` / `module::func(...)` path calls resolve to
+//!   functions whose impl qualifier matches the path qualifier, or to
+//!   functions living in a file or crate matching a snake-case module
+//!   qualifier;
+//! * bare `func(...)` calls resolve to free functions with that name;
+//! * `expr.method(...)` with an unknown receiver resolves only when the
+//!   workspace has exactly one non-test definition of that name —
+//!   ambiguous method names are dropped rather than over-linked, so the
+//!   graph under-approximates dynamic dispatch instead of drowning the
+//!   taint rules in false paths.
+//!
+//! Test functions are excluded as both callers and callees: the graph
+//! models the production pipeline only.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lex::{Token, TokenKind};
+use crate::symbols::{significant, FileSymbols};
+
+/// A function node: (file index, fn index within that file's symbols).
+pub type FnId = (usize, usize);
+
+/// One resolved call site, kept for evidence rendering.
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    /// Callee node.
+    pub to: FnId,
+    /// 0-based line of the call site in the caller's file.
+    pub line: usize,
+}
+
+/// The workspace call graph: adjacency by caller node.
+#[derive(Default)]
+pub struct CallGraph {
+    /// Outgoing edges per caller, deduplicated by callee, in source order.
+    pub edges: BTreeMap<FnId, Vec<Edge>>,
+}
+
+/// A call site extracted from a function body, before resolution.
+struct CallSite {
+    name: String,
+    /// `Type::name(...)` / `module::name(...)` qualifier segment.
+    qualifier: Option<String>,
+    /// `self.name(...)`.
+    self_receiver: bool,
+    /// Any `expr.name(...)` method call.
+    method: bool,
+    line: usize,
+}
+
+/// Method names so common on std types that a unique workspace
+/// definition is almost certainly not the real callee (every `Vec::push`
+/// would otherwise link to the one `fn push` in the repo). Calls with an
+/// unknown receiver and one of these names are never linked; `self.` and
+/// `Type::` calls still resolve normally.
+const UBIQUITOUS_METHODS: &[&str] = &[
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "len",
+    "is_empty",
+    "clear",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "clone",
+    "extend",
+    "drain",
+    "take",
+    "replace",
+    "push_str",
+    "entry",
+    "keys",
+    "values",
+    "sort",
+    "sort_by",
+    "retain",
+    "split",
+    "join",
+    "parse",
+    "write",
+    "read",
+    "flush",
+    "lock",
+    "send",
+    "recv",
+    "min",
+    "max",
+    "abs",
+    "floor",
+    "ceil",
+    "round",
+    "to_string",
+    "clamp",
+    "last",
+    "first",
+    "swap",
+    "reverse",
+    "position",
+    "find",
+    "map",
+    "filter",
+    "fold",
+    "sum",
+    "count",
+    "collect",
+    "new",
+    "default",
+    "from",
+    "into",
+    "try_into",
+    "as_ref",
+    "as_mut",
+    "to_owned",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+];
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "let", "mut", "ref", "move", "fn", "impl", "where", "pub", "use", "mod", "struct", "enum",
+    "trait", "type", "const", "static", "unsafe", "async", "await", "dyn",
+];
+
+/// Builds the call graph for a set of files. `files` pairs each file's
+/// source with its lexed tokens; `symbols` is the per-file symbol table
+/// in the same order.
+pub fn build(files: &[(&str, &[Token])], symbols: &[&FileSymbols]) -> CallGraph {
+    // Name index: fn name → all non-test definitions.
+    let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+    for (f, syms) in symbols.iter().enumerate() {
+        for (i, item) in syms.fns.iter().enumerate() {
+            if !item.is_test {
+                by_name.entry(item.name.as_str()).or_default().push((f, i));
+            }
+        }
+    }
+
+    let mut graph = CallGraph::default();
+    for (f, (source, tokens)) in files.iter().enumerate() {
+        let sig = significant(tokens);
+        for (i, item) in symbols[f].fns.iter().enumerate() {
+            if item.is_test {
+                continue;
+            }
+            let sites = call_sites(source, tokens, &sig, item.body.clone());
+            let mut seen: BTreeSet<FnId> = BTreeSet::new();
+            let mut out = Vec::new();
+            for site in sites {
+                for to in resolve(&site, (f, i), symbols, &by_name) {
+                    if to != (f, i) && seen.insert(to) {
+                        out.push(Edge {
+                            to,
+                            line: site.line,
+                        });
+                    }
+                }
+            }
+            if !out.is_empty() {
+                graph.edges.insert((f, i), out);
+            }
+        }
+    }
+    graph
+}
+
+/// Extracts call sites from a body's significant-token range.
+fn call_sites(
+    source: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    body: std::ops::Range<usize>,
+) -> Vec<CallSite> {
+    let text = |k: usize| tokens[sig[k]].text(source);
+    let mut sites = Vec::new();
+    for k in body.clone() {
+        if tokens[sig[k]].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = text(k);
+        if KEYWORDS.contains(&name) {
+            continue;
+        }
+        // A call is `ident (` — macros (`ident !`) never match.
+        if k + 1 >= body.end || text(k + 1) != "(" {
+            continue;
+        }
+        let prev = (k > body.start).then(|| text(k - 1));
+        let mut site = CallSite {
+            name: name.to_string(),
+            qualifier: None,
+            self_receiver: false,
+            method: false,
+            line: tokens[sig[k]].line,
+        };
+        match prev {
+            Some(".") => {
+                site.method = true;
+                if k >= body.start + 2 && text(k - 2) == "self" {
+                    // `self.name(...)` — but not `expr.self...` (not a
+                    // thing) and not a field access chain: `self.a.b()`
+                    // has `a` before the final dot, handled below.
+                    site.self_receiver = true;
+                }
+            }
+            // `path::name(...)` — the qualifier is the ident before the
+            // double colon.
+            Some(":")
+                if k >= body.start + 3
+                    && text(k - 2) == ":"
+                    && tokens[sig[k - 3]].kind == TokenKind::Ident =>
+            {
+                site.qualifier = Some(text(k - 3).to_string());
+            }
+            _ => {}
+        }
+        sites.push(site);
+    }
+    sites
+}
+
+/// Resolves one call site to candidate callee nodes.
+fn resolve(
+    site: &CallSite,
+    caller: FnId,
+    symbols: &[&FileSymbols],
+    by_name: &BTreeMap<&str, Vec<FnId>>,
+) -> Vec<FnId> {
+    let Some(candidates) = by_name.get(site.name.as_str()) else {
+        return Vec::new();
+    };
+    let qual_of = |id: FnId| symbols[id.0].fns[id.1].qual.as_deref();
+
+    if site.self_receiver {
+        // Methods of the caller's own impl type.
+        let caller_qual = qual_of(caller).map(str::to_string);
+        if let Some(q) = caller_qual {
+            return candidates
+                .iter()
+                .copied()
+                .filter(|&id| qual_of(id) == Some(q.as_str()))
+                .collect();
+        }
+        return Vec::new();
+    }
+    if let Some(q) = &site.qualifier {
+        // `Type::assoc(...)`: impl-qualifier match first.
+        let typed: Vec<FnId> = candidates
+            .iter()
+            .copied()
+            .filter(|&id| qual_of(id) == Some(q.as_str()))
+            .collect();
+        if !typed.is_empty() {
+            return typed;
+        }
+        // `module::func(...)`: free fns in a file or crate matching the
+        // snake-case module name.
+        let needle_file = format!("/{q}.rs");
+        let needle_dir = format!("/{q}/");
+        return candidates
+            .iter()
+            .copied()
+            .filter(|&id| {
+                qual_of(id).is_none() && {
+                    let path = &symbols[id.0].path;
+                    path.ends_with(&needle_file)
+                        || path.contains(&needle_dir)
+                        || path.contains(&format!("crates/{q}/"))
+                        || crate_of(path).replace('-', "_") == *q
+                }
+            })
+            .collect();
+    }
+    if site.method {
+        // Unknown receiver: link only when the name is unambiguous and
+        // not a ubiquitous std method name.
+        if candidates.len() == 1 && !UBIQUITOUS_METHODS.contains(&site.name.as_str()) {
+            return candidates.clone();
+        }
+        return Vec::new();
+    }
+    // Bare call: free functions named `name`; prefer the caller's own
+    // file (shadowing by locals is invisible to us, so same-file first
+    // keeps paths honest), else any free fn.
+    let free: Vec<FnId> = candidates
+        .iter()
+        .copied()
+        .filter(|&id| qual_of(id).is_none())
+        .collect();
+    let local: Vec<FnId> = free
+        .iter()
+        .copied()
+        .filter(|&id| id.0 == caller.0)
+        .collect();
+    if !local.is_empty() {
+        return local;
+    }
+    free
+}
+
+/// The crate segment of a repo-relative path (`crates/<name>/...`), or
+/// the first path segment otherwise.
+pub fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or_else(|| path.split('/').next().unwrap_or(path))
+}
+
+/// One step of a call-path evidence chain.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PathStep {
+    /// Qualified symbol, e.g. `FitEngine::evaluate` or `helper`.
+    pub symbol: String,
+    /// Repo-relative file.
+    pub file: String,
+    /// 1-based line of the function declaration (or call site).
+    pub line: usize,
+}
+
+/// Breadth-first reachability from `entries`, recording one shortest
+/// predecessor per node so paths can be reconstructed deterministically.
+pub struct Reachability {
+    /// Predecessor edge per reached node (absent for the entries).
+    pred: BTreeMap<FnId, FnId>,
+    /// All reached nodes, including the entries themselves.
+    reached: BTreeSet<FnId>,
+    entries: BTreeSet<FnId>,
+}
+
+impl CallGraph {
+    /// Computes the set of nodes reachable from `entries` (inclusive).
+    pub fn reach(&self, entries: &[FnId]) -> Reachability {
+        let mut pred = BTreeMap::new();
+        let mut reached: BTreeSet<FnId> = entries.iter().copied().collect();
+        let mut queue: VecDeque<FnId> = entries.iter().copied().collect();
+        while let Some(node) = queue.pop_front() {
+            for edge in self.edges.get(&node).into_iter().flatten() {
+                if reached.insert(edge.to) {
+                    pred.insert(edge.to, node);
+                    queue.push_back(edge.to);
+                }
+            }
+        }
+        Reachability {
+            pred,
+            reached,
+            entries: entries.iter().copied().collect(),
+        }
+    }
+}
+
+impl Reachability {
+    /// Whether `node` is reachable (entries count as reachable).
+    pub fn contains(&self, node: FnId) -> bool {
+        self.reached.contains(&node)
+    }
+
+    /// Whether `node` is one of the entry points themselves.
+    pub fn is_entry(&self, node: FnId) -> bool {
+        self.entries.contains(&node)
+    }
+
+    /// The entry-to-`node` call chain (inclusive at both ends), as
+    /// function ids. Empty if `node` was never reached.
+    pub fn path_to(&self, node: FnId) -> Vec<FnId> {
+        if !self.contains(node) {
+            return Vec::new();
+        }
+        let mut chain = vec![node];
+        let mut cursor = node;
+        while let Some(&p) = self.pred.get(&cursor) {
+            chain.push(p);
+            cursor = p;
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use crate::scan;
+    use crate::symbols::extract;
+
+    fn build_one(path: &str, source: &str) -> (Vec<Token>, FileSymbols) {
+        let tokens = lex(source);
+        let masked = scan::mask_tokens(source, &tokens);
+        let mut syms = extract(source, &tokens, &masked.in_test, false);
+        syms.path = path.to_string();
+        (tokens, syms)
+    }
+
+    #[test]
+    fn self_calls_and_free_calls_link() {
+        let src = "impl Engine {\n    pub fn run(&self) { self.step(); helper(); }\n    fn step(&self) {}\n}\nfn helper() { leaf(); }\nfn leaf() {}\n";
+        let (tokens, owned) = build_one("crates/core/src/x.rs", src);
+        let files: Vec<(&str, &[Token])> = vec![(src, &tokens)];
+        let syms: Vec<&FileSymbols> = vec![&owned];
+        let graph = build(&files, &syms);
+        let run = (0usize, 0usize);
+        let callees: Vec<&str> = graph.edges[&run]
+            .iter()
+            .map(|e| syms[0].fns[e.to.1].name.as_str())
+            .collect();
+        assert_eq!(callees, vec!["step", "helper"]);
+        let reach = graph.reach(&[run]);
+        let leaf = (0usize, 3usize);
+        assert!(reach.contains(leaf));
+        let chain = reach.path_to(leaf);
+        let names: Vec<&str> = chain
+            .iter()
+            .map(|id| syms[0].fns[id.1].name.as_str())
+            .collect();
+        assert_eq!(names, vec!["run", "helper", "leaf"]);
+    }
+
+    #[test]
+    fn ambiguous_methods_are_dropped() {
+        let src = "impl A {\n    fn go(&self) {}\n}\nimpl B {\n    fn go(&self) {}\n}\npub fn call(x: &A) { x.go(); }\n";
+        let (tokens, owned) = build_one("crates/core/src/x.rs", src);
+        let files: Vec<(&str, &[Token])> = vec![(src, &tokens)];
+        let syms: Vec<&FileSymbols> = vec![&owned];
+        let graph = build(&files, &syms);
+        let call = (0usize, 2usize);
+        assert!(
+            !graph.edges.contains_key(&call),
+            "ambiguous go() must not link"
+        );
+    }
+}

@@ -1,11 +1,19 @@
 //! Workspace invariant linter for the R-Opus reproduction.
 //!
 //! Run as `cargo run -p xtask -- lint`. The linter walks `crates/*/src`
-//! (excluding itself) and enforces repo-specific invariants that clippy
-//! cannot express — determinism of scoring and reports, panic-freedom of
-//! library crates, and unit-safety of the QoS formula modules. See
-//! [`rules::registry`] for the rule set and DESIGN.md §5b for the mapping
-//! from each rule to the paper property it protects.
+//! (excluding itself) plus `examples/` and `tests/`, and enforces
+//! repo-specific invariants that clippy cannot express — determinism of
+//! scoring and reports, panic-freedom of library crates, unit-safety of
+//! the QoS formula modules, and consistency of the observability name
+//! vocabulary. See [`rules::registry`] for the rule set and DESIGN.md
+//! §5b/§5g for the mapping from each rule to the paper property it
+//! protects.
+//!
+//! The analysis is token-level, not regex-over-text: every file is lexed
+//! once by the lossless [`lex`] module, the masked per-line view for the
+//! textual rules is a projection of that token stream ([`scan`]), and the
+//! cross-function rules run on a workspace symbol table ([`symbols`]) and
+//! an approximate call graph ([`callgraph`]) in the [`analyze`] pass.
 //!
 //! Two suppression mechanisms exist, both requiring a recorded reason:
 //!
@@ -21,10 +29,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
+pub mod callgraph;
 pub mod config;
+pub mod fixtures;
+pub mod lex;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -32,14 +45,86 @@ use std::path::{Path, PathBuf};
 use config::Config;
 use report::Diagnostic;
 
-/// Lints one source text as if it lived at `path` (repo-relative, with
-/// forward slashes). Pure: no filesystem access.
-pub fn lint_source(path: &str, source: &str, config: &Config) -> Vec<Diagnostic> {
-    let masked = scan::mask(source);
-    let registry = rules::registry();
-    let allow_refs = scan::parse_allows(&masked.comments);
+/// One source file to lint, addressed by a repo-relative virtual path
+/// (rule scopes and the call graph's module resolution are path-based).
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// The file's source text.
+    pub source: String,
+}
 
-    // Per-line sets of validly allowed rule ids.
+/// Whether a path is an integration-test file: everything under a
+/// top-level or crate-level `tests/` directory is test code wholesale
+/// (no `#[cfg(test)]` attribute required).
+fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/") || path.contains("/tests/")
+}
+
+/// Lints one source text as if it lived at `path` (repo-relative, with
+/// forward slashes). Pure: no filesystem access. Runs the per-line
+/// textual rules only — the call-graph families need the whole
+/// workspace; use [`lint_files`] to run them over a file set.
+pub fn lint_source(path: &str, source: &str, config: &Config) -> Vec<Diagnostic> {
+    let tokens = lex::lex(source);
+    let masked = scan::mask_tokens(source, &tokens);
+    let whole_file_test = is_test_path(path);
+    let (allowed, mut diagnostics) = allow_table(path, &masked, config);
+    diagnostics.extend(textual_pass(
+        path,
+        &masked,
+        &allowed,
+        whole_file_test,
+        config,
+    ));
+    sort_diagnostics(&mut diagnostics);
+    diagnostics
+}
+
+/// Lints a set of files together: the per-line textual rules on each
+/// file, then the call-graph families ([`analyze::graph_rules`]) across
+/// the whole set. Pure: no filesystem access.
+pub fn lint_files(files: &[SourceFile], config: &Config) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    let mut data = Vec::with_capacity(files.len());
+    for file in files {
+        let tokens = lex::lex(&file.source);
+        let masked = scan::mask_tokens(&file.source, &tokens);
+        let whole_file_test = is_test_path(&file.path);
+        let (allowed, allow_diags) = allow_table(&file.path, &masked, config);
+        diagnostics.extend(allow_diags);
+        diagnostics.extend(textual_pass(
+            &file.path,
+            &masked,
+            &allowed,
+            whole_file_test,
+            config,
+        ));
+        let mut symbols = symbols::extract(&file.source, &tokens, &masked.in_test, whole_file_test);
+        symbols.path = file.path.clone();
+        data.push(analyze::FileData {
+            path: file.path.clone(),
+            source: file.source.clone(),
+            tokens,
+            masked,
+            allowed,
+            symbols,
+            whole_file_test,
+        });
+    }
+    diagnostics.extend(analyze::graph_rules(&data, config));
+    sort_diagnostics(&mut diagnostics);
+    diagnostics
+}
+
+/// Builds the per-line table of validly allowed rule ids, reporting
+/// malformed markers as `lint-allow-syntax` diagnostics.
+fn allow_table(
+    path: &str,
+    masked: &scan::Masked,
+    config: &Config,
+) -> (Vec<BTreeSet<String>>, Vec<Diagnostic>) {
+    let allow_refs = scan::parse_allows(&masked.comments);
     let mut allowed: Vec<BTreeSet<String>> = vec![BTreeSet::new(); masked.code.len()];
     let mut diagnostics = Vec::new();
     for reference in &allow_refs {
@@ -59,54 +144,69 @@ pub fn lint_source(path: &str, source: &str, config: &Config) -> Vec<Diagnostic>
             };
             diagnostics.push(Diagnostic {
                 rule: "lint-allow-syntax".into(),
+                severity: rules::Severity::Error,
                 file: path.to_string(),
                 line: reference.line + 1,
                 column: 1,
                 message: format!("malformed lint:allow marker: {detail}"),
                 hint: "write `lint:allow(<rule-id>): <why the invariant holds>`".into(),
+                path: Vec::new(),
             });
         }
     }
+    (allowed, diagnostics)
+}
 
-    for rule in &registry {
-        if !rule.scope.contains(path) || config.allows(rule.id, path) {
+/// Runs every per-line (non-graph) rule over one masked file.
+fn textual_pass(
+    path: &str,
+    masked: &scan::Masked,
+    allowed: &[BTreeSet<String>],
+    whole_file_test: bool,
+    config: &Config,
+) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    for rule in &rules::registry() {
+        if rule.graph || config.allows(rule.id, path) {
             continue;
         }
+        let Some(severity) = rule.severity_at(path) else {
+            continue;
+        };
         for (index, code) in masked.code.iter().enumerate() {
-            if rule.exempt_tests && masked.in_test[index] {
+            if rule.exempt_tests && (whole_file_test || masked.in_test[index]) {
                 continue;
             }
             let Some(column) = (rule.matcher)(code) else {
                 continue;
             };
-            if line_allows(&allowed, &masked.code, index, rule.id) {
+            if line_allows(allowed, &masked.code, index, rule.id) {
                 continue;
             }
             diagnostics.push(Diagnostic {
                 rule: rule.id.into(),
+                severity,
                 file: path.to_string(),
                 line: index + 1,
                 column: column + 1,
-                message: rule
-                    .summary
-                    .split_whitespace()
-                    .collect::<Vec<_>>()
-                    .join(" "),
-                hint: rule.hint.split_whitespace().collect::<Vec<_>>().join(" "),
+                message: rules::oneline(rule.summary),
+                hint: rules::oneline(rule.hint),
+                path: Vec::new(),
             });
         }
     }
-
-    diagnostics.sort_by(|a, b| {
-        (a.line, a.column, a.rule.as_str()).cmp(&(b.line, b.column, b.rule.as_str()))
-    });
     diagnostics
 }
 
 /// A `lint:allow` applies on its own line or from the contiguous run of
 /// code-blank (comment or empty) lines directly above the flagged line.
-fn line_allows(allowed: &[BTreeSet<String>], code: &[String], line: usize, rule: &str) -> bool {
-    if allowed[line].contains(rule) {
+pub(crate) fn line_allows(
+    allowed: &[BTreeSet<String>],
+    code: &[String],
+    line: usize,
+    rule: &str,
+) -> bool {
+    if allowed.get(line).is_some_and(|set| set.contains(rule)) {
         return true;
     }
     let mut above = line;
@@ -122,6 +222,17 @@ fn line_allows(allowed: &[BTreeSet<String>], code: &[String], line: usize, rule:
     false
 }
 
+fn sort_diagnostics(diagnostics: &mut [Diagnostic]) {
+    diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.column, a.rule.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.column,
+            b.rule.as_str(),
+        ))
+    });
+}
+
 /// Result of a workspace walk: diagnostics plus the scan size.
 pub struct WorkspaceReport {
     /// All diagnostics, sorted by (file, line, column, rule).
@@ -130,9 +241,18 @@ pub struct WorkspaceReport {
     pub files_scanned: usize,
 }
 
+impl WorkspaceReport {
+    /// The number of error-severity diagnostics (the CI gate).
+    pub fn errors(&self) -> usize {
+        report::error_count(&self.diagnostics)
+    }
+}
+
 /// Walks `root/crates/*/src` (excluding `crates/xtask` itself — its rule
 /// table *names* the banned tokens; its correctness is covered by the
-/// fixture tests) and lints every `.rs` file in deterministic path order.
+/// fixture tests) plus the top-level `examples/` and `tests/` trees, and
+/// lints every `.rs` file in deterministic path order — textual rules
+/// per file, then the call-graph families across the whole set.
 pub fn lint_workspace(root: &Path, config: &Config) -> Result<WorkspaceReport, String> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
@@ -142,30 +262,31 @@ pub fn lint_workspace(root: &Path, config: &Config) -> Result<WorkspaceReport, S
         .collect();
     crate_dirs.sort();
 
-    let mut files = Vec::new();
+    let mut paths = Vec::new();
     for crate_dir in &crate_dirs {
         let src = crate_dir.join("src");
         if src.is_dir() {
-            collect_rs_files(&src, &mut files)?;
+            collect_rs_files(&src, &mut paths)?;
         }
     }
-    files.sort();
-
-    let mut diagnostics = Vec::new();
-    for file in &files {
-        let source = std::fs::read_to_string(file)
-            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-        let relative = relative_path(root, file);
-        diagnostics.extend(lint_source(&relative, &source, config));
+    for extra in ["examples", "tests"] {
+        let dir = root.join(extra);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut paths)?;
+        }
     }
-    diagnostics.sort_by(|a, b| {
-        (a.file.as_str(), a.line, a.column, a.rule.as_str()).cmp(&(
-            b.file.as_str(),
-            b.line,
-            b.column,
-            b.rule.as_str(),
-        ))
-    });
+    paths.sort();
+
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        files.push(SourceFile {
+            path: relative_path(root, path),
+            source,
+        });
+    }
+    let diagnostics = lint_files(&files, config);
     Ok(WorkspaceReport {
         diagnostics,
         files_scanned: files.len(),

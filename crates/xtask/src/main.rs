@@ -1,22 +1,33 @@
 //! `cargo run -p xtask -- lint` — the workspace invariant gate.
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+//! Exit codes: 0 clean (warnings allowed), 2 rule violations found,
+//! 1 analyzer internal error (bad usage, unreadable workspace, or a
+//! failed `--self-check`). CI gates on 2 and treats 1 as a tooling
+//! failure rather than a code problem.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use xtask::config::Config;
-use xtask::{report, rules};
+use xtask::{fixtures, report, rules};
 
 const USAGE: &str = "\
 usage: cargo run -p xtask -- lint [options]
 
 options:
-    --format <text|json>   output format (default: text)
-    --root <dir>           workspace root (default: autodetected)
-    --config <path>        lints.toml path (default: <root>/crates/xtask/lints.toml)
-    --list-rules           print the rule registry and exit
+    --format <text|json|sarif>   output format (default: text)
+    --root <dir>                 workspace root (default: autodetected)
+    --config <path>              lints.toml path (default: <root>/crates/xtask/lints.toml)
+    --list-rules                 print the rule registry and exit
+    --self-check                 run the linter over its own fixture pairs and exit
+
+exit codes: 0 clean, 2 violations found, 1 internal error
 ";
+
+/// Violations found: the caller should fail the gate.
+const EXIT_VIOLATIONS: u8 = 2;
+/// The analyzer itself failed (usage, I/O, or self-check).
+const EXIT_INTERNAL: u8 = 1;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,7 +35,7 @@ fn main() -> ExitCode {
         Ok(code) => code,
         Err(message) => {
             eprintln!("xtask: {message}");
-            ExitCode::from(2)
+            ExitCode::from(EXIT_INTERNAL)
         }
     }
 }
@@ -44,6 +55,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
     let mut list_rules = false;
+    let mut self_check = false;
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--format" => {
@@ -51,7 +63,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     .next()
                     .ok_or_else(|| format!("--format needs a value\n{USAGE}"))?
                     .clone();
-                if format != "text" && format != "json" {
+                if format != "text" && format != "json" && format != "sarif" {
                     return Err(format!("unknown format `{format}`\n{USAGE}"));
                 }
             }
@@ -68,6 +80,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 ));
             }
             "--list-rules" => list_rules = true,
+            "--self-check" => self_check = true,
             other => return Err(format!("unknown option `{other}`\n{USAGE}")),
         }
     }
@@ -80,16 +93,27 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 rule.family.label(),
                 rule.scope.describe()
             );
-            println!(
-                "{:<26} {}",
-                "",
-                rule.summary
-                    .split_whitespace()
-                    .collect::<Vec<_>>()
-                    .join(" ")
-            );
+            println!("{:<26} {}", "", rules::oneline(rule.summary));
         }
         return Ok(ExitCode::SUCCESS);
+    }
+
+    if self_check {
+        return match fixtures::self_check() {
+            Ok(summary) => {
+                println!("{summary}");
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(failures) => {
+                for failure in &failures {
+                    eprintln!("self-check: {failure}");
+                }
+                Err(format!(
+                    "self-check failed with {} error(s)",
+                    failures.len()
+                ))
+            }
+        };
     }
 
     // Default root: this crate lives at <root>/crates/xtask.
@@ -112,12 +136,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let outcome = xtask::lint_workspace(&root, &config)?;
     let rendered = match format.as_str() {
         "json" => report::render_json(&outcome.diagnostics, outcome.files_scanned),
+        "sarif" => report::render_sarif(&outcome.diagnostics),
         _ => report::render_text(&outcome.diagnostics, outcome.files_scanned),
     };
     println!("{rendered}");
-    if outcome.diagnostics.is_empty() {
+    if outcome.errors() == 0 {
         Ok(ExitCode::SUCCESS)
     } else {
-        Ok(ExitCode::FAILURE)
+        Ok(ExitCode::from(EXIT_VIOLATIONS))
     }
 }

@@ -1,20 +1,31 @@
-//! Diagnostic rendering: human text and machine-readable JSON.
+//! Diagnostic rendering: human text, machine-readable JSON, and SARIF.
 //!
-//! The JSON writer is hand-rolled (the vendored `serde_json` is a
-//! dev-facing stand-in and `xtask` stays dependency-free); the shape is
-//! stable so CI and editors can consume it:
+//! The JSON and SARIF writers are hand-rolled (the vendored `serde_json`
+//! is a dev-facing stand-in and `xtask` stays dependency-free); the JSON
+//! shape is stable so CI and editors can consume it:
 //!
 //! ```json
-//! {"version":1,"files_scanned":34,"violations":1,
-//!  "diagnostics":[{"rule":"panic-unwrap","file":"crates/qos/src/cos.rs",
-//!                  "line":10,"column":5,"message":"...","hint":"..."}]}
+//! {"version":2,"files_scanned":34,"violations":1,"warnings":0,
+//!  "diagnostics":[{"rule":"panic-unwrap","severity":"error",
+//!                  "file":"crates/qos/src/cos.rs","line":10,"column":5,
+//!                  "message":"...","hint":"...","path":[]}]}
 //! ```
+//!
+//! `violations` counts errors only — warnings (the relaxed cli/examples
+//! tier) never gate. The SARIF output targets the 2.1.0 schema with
+//! `codeFlows` carrying the call-path evidence of the graph rules, so
+//! code hosts can render "how does the entry point reach this line".
+
+use crate::callgraph::PathStep;
+use crate::rules::{self, Severity};
 
 /// One rule violation at a source location (1-based line and column).
 #[derive(Clone, PartialEq, Debug)]
 pub struct Diagnostic {
     /// Rule id, e.g. `panic-unwrap`.
     pub rule: String,
+    /// Error (gates CI) or warning (relaxed tier).
+    pub severity: Severity,
     /// Repo-relative path with forward slashes.
     pub file: String,
     /// 1-based line.
@@ -25,21 +36,48 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix or justify it.
     pub hint: String,
+    /// Call-path evidence (graph rules): entry point first, sink last.
+    /// Empty for per-line rules.
+    pub path: Vec<PathStep>,
 }
 
-/// Renders diagnostics as `file:line:col [rule] message` lines plus a
-/// summary, matching the compiler-style format editors already parse.
+/// The number of error-severity diagnostics.
+pub fn error_count(diagnostics: &[Diagnostic]) -> usize {
+    diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count()
+}
+
+/// Renders diagnostics as `file:line:col severity[rule] message` lines
+/// (call-path evidence indented beneath) plus a summary, matching the
+/// compiler-style format editors already parse.
 pub fn render_text(diagnostics: &[Diagnostic], files_scanned: usize) -> String {
     let mut out = String::new();
     for d in diagnostics {
         out.push_str(&format!(
-            "{}:{}:{} [{}] {}\n    hint: {}\n",
-            d.file, d.line, d.column, d.rule, d.message, d.hint
+            "{}:{}:{} {}[{}] {}\n    hint: {}\n",
+            d.file,
+            d.line,
+            d.column,
+            d.severity.label(),
+            d.rule,
+            d.message,
+            d.hint
         ));
+        for (i, step) in d.path.iter().enumerate() {
+            let arrow = if i == 0 { "path:" } else { "  ->" };
+            out.push_str(&format!(
+                "    {arrow} {} ({}:{})\n",
+                step.symbol, step.file, step.line
+            ));
+        }
     }
+    let errors = error_count(diagnostics);
     out.push_str(&format!(
-        "xtask lint: {} violation(s) in {} file(s) scanned\n",
-        diagnostics.len(),
+        "xtask lint: {} error(s), {} warning(s) in {} file(s) scanned\n",
+        errors,
+        diagnostics.len() - errors,
         files_scanned
     ));
     out
@@ -47,28 +85,109 @@ pub fn render_text(diagnostics: &[Diagnostic], files_scanned: usize) -> String {
 
 /// Renders the stable JSON shape described in the module docs.
 pub fn render_json(diagnostics: &[Diagnostic], files_scanned: usize) -> String {
+    let errors = error_count(diagnostics);
     let mut out = String::from("{");
-    out.push_str("\"version\":1,");
+    out.push_str("\"version\":2,");
     out.push_str(&format!("\"files_scanned\":{files_scanned},"));
-    out.push_str(&format!("\"violations\":{},", diagnostics.len()));
+    out.push_str(&format!("\"violations\":{errors},"));
+    out.push_str(&format!("\"warnings\":{},", diagnostics.len() - errors));
     out.push_str("\"diagnostics\":[");
     for (i, d) in diagnostics.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"column\":{},\
-             \"message\":\"{}\",\"hint\":\"{}\"}}",
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\
+             \"line\":{},\"column\":{},\"message\":\"{}\",\"hint\":\"{}\",\
+             \"path\":[{}]}}",
             escape(&d.rule),
+            d.severity.label(),
             escape(&d.file),
             d.line,
             d.column,
             escape(&d.message),
-            escape(&d.hint)
+            escape(&d.hint),
+            d.path
+                .iter()
+                .map(|s| format!(
+                    "{{\"symbol\":\"{}\",\"file\":\"{}\",\"line\":{}}}",
+                    escape(&s.symbol),
+                    escape(&s.file),
+                    s.line
+                ))
+                .collect::<Vec<_>>()
+                .join(",")
         ));
     }
     out.push_str("]}");
     out
+}
+
+/// Renders a minimal SARIF 2.1.0 log: one run, the rule registry as the
+/// tool's rule metadata, one result per diagnostic, and a `codeFlow` per
+/// non-empty call path.
+pub fn render_sarif(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"xtask-lint\",\"rules\":[",
+    );
+    for (i, rule) in rules::registry().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\
+             \"help\":{{\"text\":\"{}\"}}}}",
+            escape(rule.id),
+            escape(&rules::oneline(rule.summary)),
+            escape(&rules::oneline(rule.hint))
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let level = match d.severity {
+            Severity::Error => "error",
+            Severity::Warn => "warning",
+        };
+        out.push_str(&format!(
+            "{{\"ruleId\":\"{}\",\"level\":\"{level}\",\
+             \"message\":{{\"text\":\"{}\"}},\"locations\":[{}]",
+            escape(&d.rule),
+            escape(&d.message),
+            sarif_location(&d.file, d.line, d.column, None)
+        ));
+        if !d.path.is_empty() {
+            out.push_str(",\"codeFlows\":[{\"threadFlows\":[{\"locations\":[");
+            for (j, step) in d.path.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"location\":{}}}",
+                    sarif_location(&step.file, step.line, 1, Some(&step.symbol))
+                ));
+            }
+            out.push_str("]}]}]");
+        }
+        out.push('}');
+    }
+    out.push_str("]}]}");
+    out
+}
+
+fn sarif_location(file: &str, line: usize, column: usize, message: Option<&str>) -> String {
+    let message = message.map_or(String::new(), |m| {
+        format!(",\"message\":{{\"text\":\"{}\"}}", escape(m))
+    });
+    format!(
+        "{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+         \"region\":{{\"startLine\":{line},\"startColumn\":{column}}}}}{message}}}",
+        escape(file)
+    )
 }
 
 fn escape(s: &str) -> String {
@@ -94,22 +213,44 @@ mod tests {
     fn sample() -> Diagnostic {
         Diagnostic {
             rule: "panic-unwrap".into(),
+            severity: Severity::Error,
             file: "crates/qos/src/cos.rs".into(),
             line: 7,
             column: 13,
             message: "unwrap() in a library crate".into(),
             hint: "propagate with `?`".into(),
+            path: Vec::new(),
         }
+    }
+
+    fn with_path() -> Diagnostic {
+        let mut d = sample();
+        d.rule = "panic-reach".into();
+        d.path = vec![
+            PathStep {
+                symbol: "CosTranslator::translate".into(),
+                file: "crates/qos/src/translation.rs".into(),
+                line: 3,
+            },
+            PathStep {
+                symbol: "helper".into(),
+                file: "crates/qos/src/cos.rs".into(),
+                line: 6,
+            },
+        ];
+        d
     }
 
     #[test]
     fn json_contains_rule_location_and_counts() {
         let json = render_json(&[sample()], 3);
         assert!(json.contains("\"rule\":\"panic-unwrap\""));
+        assert!(json.contains("\"severity\":\"error\""));
         assert!(json.contains("\"line\":7"));
         assert!(json.contains("\"column\":13"));
         assert!(json.contains("\"files_scanned\":3"));
         assert!(json.contains("\"violations\":1"));
+        assert!(json.contains("\"warnings\":0"));
     }
 
     #[test]
@@ -121,9 +262,33 @@ mod tests {
     }
 
     #[test]
-    fn text_summarizes() {
-        let text = render_text(&[sample()], 3);
-        assert!(text.contains("crates/qos/src/cos.rs:7:13 [panic-unwrap]"));
-        assert!(text.contains("1 violation(s) in 3 file(s)"));
+    fn json_carries_the_call_path() {
+        let json = render_json(&[with_path()], 1);
+        assert!(json.contains("\"path\":[{\"symbol\":\"CosTranslator::translate\""));
+        assert!(json.contains("\"file\":\"crates/qos/src/translation.rs\",\"line\":3"));
+    }
+
+    #[test]
+    fn text_summarizes_and_shows_paths() {
+        let mut d = with_path();
+        d.severity = Severity::Warn;
+        let text = render_text(&[sample(), d], 3);
+        assert!(text.contains("crates/qos/src/cos.rs:7:13 error[panic-unwrap]"));
+        assert!(text.contains("path: CosTranslator::translate (crates/qos/src/translation.rs:3)"));
+        assert!(text.contains("-> helper (crates/qos/src/cos.rs:6)"));
+        assert!(text.contains("1 error(s), 1 warning(s) in 3 file(s)"));
+    }
+
+    #[test]
+    fn sarif_has_schema_results_and_code_flows() {
+        let sarif = render_sarif(&[with_path()]);
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"name\":\"xtask-lint\""));
+        assert!(sarif.contains("\"ruleId\":\"panic-reach\""));
+        assert!(sarif.contains("\"level\":\"error\""));
+        assert!(sarif.contains("\"codeFlows\""));
+        assert!(sarif.contains("\"text\":\"CosTranslator::translate\""));
+        // Every registered rule appears in the driver metadata.
+        assert!(sarif.contains("\"id\":\"det-taint\""));
     }
 }

@@ -1,15 +1,19 @@
 //! The rule registry: each rule is a matcher plus a path scope plus a fix
 //! hint.
 //!
-//! Six families protect the properties the R-Opus reproduction depends
+//! Seven families protect the properties the R-Opus reproduction depends
 //! on (see DESIGN.md §5b for the mapping to paper formulas):
 //!
 //! * **determinism** — CoS1 peak sums (formula 2), the θ min-over-weeks
 //!   access probability (formulas 3–5), and the GA placement search must
 //!   be bit-reproducible run-to-run, including under PR-1's parallel
-//!   `FitEngine`;
+//!   `FitEngine`. Besides the per-site textual rules, the call-graph
+//!   `det-taint` rule proves the pipeline entry points cannot *reach*
+//!   ambient nondeterminism through any call chain;
 //! * **panic-freedom** — library crates surface `Result`s; a panic in a
-//!   capacity-planning service is an availability bug;
+//!   capacity-planning service is an availability bug. `panic-reach`
+//!   reports panicking private helpers reachable from public APIs with
+//!   the full call path;
 //! * **unit-safety** — the QoS translation mixes slots, minutes, weeks,
 //!   CPU fractions, and probabilities; bare numeric casts and exact float
 //!   equality are where unit bugs hide;
@@ -20,11 +24,15 @@
 //!   point return a typed error; silently discarding a `Result` throws
 //!   that information away and turns failures into wrong answers;
 //! * **observability** — span/metric names form the stable vocabulary of
-//!   the obs layer (DESIGN.md §5e); a computed name cannot be grepped,
-//!   breaks dashboards, and risks unbounded registry growth.
+//!   the obs layer (DESIGN.md §5e); names must be literals
+//!   (`obs-static-name`) *and* declared in the one registry module
+//!   (`obs-name-registry`) so dashboards and the docs never drift;
+//! * **meta** — escape-hatch hygiene for the lint machinery itself.
 //!
-//! Matchers run on *masked* lines (comments and string contents blanked,
-//! see [`crate::scan`]), so tokens in prose never fire.
+//! Textual matchers run on *masked* lines derived from the lossless
+//! token stream (see [`crate::scan`]), so tokens in prose never fire.
+//! Call-graph rules (`graph == true`) run in the whole-workspace pass
+//! (see [`crate::analyze`]) and attach call-path evidence.
 
 /// Rule family, used for grouping in reports and docs.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -39,7 +47,7 @@ pub enum Family {
     Efficiency,
     /// No silently discarded `Result`s in library crates.
     Robustness,
-    /// Literal, greppable span/metric names in observability calls.
+    /// Literal, registry-declared span/metric names in obs calls.
     Observability,
     /// Rules about the lint machinery itself (escape-hatch hygiene).
     Meta,
@@ -60,6 +68,25 @@ impl Family {
     }
 }
 
+/// Diagnostic severity: errors gate CI (exit code 2), warnings inform.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// A rule violation in the rule's primary scope.
+    Error,
+    /// The same finding in the relaxed scope (cli, examples, tests).
+    Warn,
+}
+
+impl Severity {
+    /// Lower-case label used in reports ("error" / "warn").
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
 /// Which files a rule applies to (paths are repo-relative with `/`).
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum Scope {
@@ -72,6 +99,10 @@ pub enum Scope {
     AllButRngFacade,
     /// Everything scanned except the obs clock facade itself.
     AllButClockFacade,
+    /// The relaxed tier: the CLI crate, `examples/`, and `tests/` —
+    /// production-adjacent code scanned with panic-freedom downgraded
+    /// to warnings.
+    Relaxed,
     /// Every scanned file.
     All,
 }
@@ -92,6 +123,10 @@ pub const RNG_FACADE: &str = "crates/trace/src/rng.rs";
 /// The obs clock facade: the one module allowed to read the wall clock.
 pub const CLOCK_FACADE: &str = "crates/obs/src/clock.rs";
 
+/// The obs name registry: the one module declaring every metric/span
+/// name (the `obs-name-registry` rule's source of truth).
+pub const OBS_NAMES_REGISTRY: &str = "crates/obs/src/names.rs";
+
 impl Scope {
     /// Whether `path` falls inside this scope.
     pub fn contains(self, path: &str) -> bool {
@@ -100,6 +135,11 @@ impl Scope {
             Scope::Qos => path.starts_with("crates/qos/src/"),
             Scope::AllButRngFacade => path != RNG_FACADE,
             Scope::AllButClockFacade => path != CLOCK_FACADE,
+            Scope::Relaxed => {
+                path.starts_with("crates/cli/src/")
+                    || path.starts_with("examples/")
+                    || path.starts_with("tests/")
+            }
             Scope::All => true,
         }
     }
@@ -111,6 +151,7 @@ impl Scope {
             Scope::Qos => "QoS formula modules (crates/qos/src)",
             Scope::AllButRngFacade => "all crates except the rng facade",
             Scope::AllButClockFacade => "all crates except the obs clock facade",
+            Scope::Relaxed => "relaxed tier (crates/cli, examples/, tests/)",
             Scope::All => "all crates",
         }
     }
@@ -129,11 +170,32 @@ pub struct Rule {
     pub hint: &'static str,
     /// Whether `#[cfg(test)]` code is exempt.
     pub exempt_tests: bool,
-    /// Path scope.
+    /// Path scope in which a hit is an error.
     pub scope: Scope,
+    /// Additional scope in which a hit is only a warning.
+    pub warn_scope: Option<Scope>,
+    /// Whether the rule runs in the whole-workspace call-graph pass
+    /// instead of the per-line matcher loop.
+    pub graph: bool,
     /// Returns the 0-based column of the first match on a masked line.
     pub matcher: fn(&str) -> Option<usize>,
 }
+
+impl Rule {
+    /// The severity a hit carries at `path`, or `None` if out of scope.
+    pub fn severity_at(&self, path: &str) -> Option<Severity> {
+        if self.scope.contains(path) {
+            return Some(Severity::Error);
+        }
+        if self.warn_scope.is_some_and(|s| s.contains(path)) {
+            return Some(Severity::Warn);
+        }
+        None
+    }
+}
+
+/// The relaxed warn tier shared by the panic-freedom rules.
+const PANIC_WARN: Option<Scope> = Some(Scope::Relaxed);
 
 /// The registry, in report order. Ids are unique and stable.
 pub fn registry() -> Vec<Rule> {
@@ -148,6 +210,8 @@ pub fn registry() -> Vec<Rule> {
                    cache may be justified with lint:allow(det-unordered-collection)",
             exempt_tests: true,
             scope: Scope::LibCrates,
+            warn_scope: None,
+            graph: false,
             matcher: match_unordered_collection,
         },
         Rule {
@@ -161,6 +225,8 @@ pub fn registry() -> Vec<Rule> {
                    std::time, or justify with lint:allow(det-wall-clock)",
             exempt_tests: true,
             scope: Scope::AllButClockFacade,
+            warn_scope: None,
+            graph: false,
             matcher: match_wall_clock,
         },
         Rule {
@@ -174,39 +240,63 @@ pub fn registry() -> Vec<Rule> {
                    generator constants",
             exempt_tests: false,
             scope: Scope::AllButRngFacade,
+            warn_scope: None,
+            graph: false,
             matcher: match_rng_adhoc,
+        },
+        Rule {
+            id: "det-taint",
+            family: Family::Determinism,
+            summary: "nondeterminism sink reachable from a deterministic pipeline \
+                      entry point (FitEngine / EngineSession / chaos replay / \
+                      translate): the planning pipeline must stay a pure function \
+                      of its inputs",
+            hint: "route the call chain through the obs clock facade or the seeded \
+                   rng facade, or break the edge; justify a provably inert sink \
+                   with lint:allow(det-taint) at the sink site",
+            exempt_tests: true,
+            scope: Scope::LibCrates,
+            warn_scope: None,
+            graph: true,
+            matcher: |_| None,
         },
         Rule {
             id: "panic-unwrap",
             family: Family::PanicFreedom,
-            summary: "unwrap() in a library crate: errors must surface as typed \
-                      Results, not process aborts",
+            summary: "unwrap() aborts the process on Err/None: errors must \
+                      surface as typed Results",
             hint: "propagate with `?` or a typed error; for a provable invariant \
                    use expect() with lint:allow(panic-expect) and a justification",
             exempt_tests: true,
             scope: Scope::LibCrates,
+            warn_scope: PANIC_WARN,
+            graph: false,
             matcher: match_unwrap,
         },
         Rule {
             id: "panic-expect",
             family: Family::PanicFreedom,
-            summary: "expect() in a library crate without a recorded invariant",
+            summary: "expect() without a recorded invariant",
             hint: "propagate with `?` where the failure is reachable; where it is \
                    a local invariant, keep expect() and add \
                    lint:allow(panic-expect): <why the invariant holds>",
             exempt_tests: true,
             scope: Scope::LibCrates,
+            warn_scope: PANIC_WARN,
+            graph: false,
             matcher: match_expect,
         },
         Rule {
             id: "panic-macro",
             family: Family::PanicFreedom,
-            summary: "panic!/unreachable!/todo!/unimplemented! in a library crate \
+            summary: "panic!/unreachable!/todo!/unimplemented! aborts the process \
                       (assert! is permitted: it documents preconditions)",
             hint: "return a typed error; for genuinely unreachable arms justify \
                    with lint:allow(panic-macro)",
             exempt_tests: true,
             scope: Scope::LibCrates,
+            warn_scope: PANIC_WARN,
+            graph: false,
             matcher: match_panic_macro,
         },
         Rule {
@@ -219,7 +309,24 @@ pub fn registry() -> Vec<Rule> {
                    lint:allow(panic-slice-index) or a lints.toml entry",
             exempt_tests: true,
             scope: Scope::LibCrates,
+            warn_scope: PANIC_WARN,
+            graph: false,
             matcher: match_slice_index,
+        },
+        Rule {
+            id: "panic-reach",
+            family: Family::PanicFreedom,
+            summary: "panic site in a private function reachable from a public \
+                      API: the abort surfaces to callers who never see it in the \
+                      signature",
+            hint: "make the private helper return a typed error and propagate, or \
+                   justify the site with lint:allow on its per-site panic rule \
+                   (which also clears this path)",
+            exempt_tests: true,
+            scope: Scope::LibCrates,
+            warn_scope: PANIC_WARN,
+            graph: true,
+            matcher: |_| None,
         },
         Rule {
             id: "unit-float-cast",
@@ -230,6 +337,8 @@ pub fn registry() -> Vec<Rule> {
                    checked conversions for float->int)",
             exempt_tests: true,
             scope: Scope::Qos,
+            warn_scope: None,
+            graph: false,
             matcher: match_float_cast,
         },
         Rule {
@@ -240,6 +349,8 @@ pub fn registry() -> Vec<Rule> {
                    comparisons) instead of bitwise float equality",
             exempt_tests: true,
             scope: Scope::Qos,
+            warn_scope: None,
+            graph: false,
             matcher: match_float_eq,
         },
         Rule {
@@ -255,6 +366,8 @@ pub fn registry() -> Vec<Rule> {
                    justified with lint:allow(needless-trace-clone)",
             exempt_tests: true,
             scope: Scope::LibCrates,
+            warn_scope: None,
+            graph: false,
             matcher: match_trace_sample_copy,
         },
         Rule {
@@ -268,6 +381,8 @@ pub fn registry() -> Vec<Rule> {
                    with lint:allow(robust-result-discard)",
             exempt_tests: true,
             scope: Scope::LibCrates,
+            warn_scope: None,
+            graph: false,
             matcher: match_result_discard,
         },
         Rule {
@@ -275,14 +390,33 @@ pub fn registry() -> Vec<Rule> {
             family: Family::Observability,
             summary: "observability recording call with a computed name: span \
                       and metric names are the obs layer's stable vocabulary \
-                      and must be string literals",
-            hint: "pass a \"layer.noun.verb\" literal; put variable data in \
-                   event attributes or samples, never in the name; a \
-                   deliberate indirection may be justified with \
+                      and must be string literals or registry constants",
+            hint: "pass a \"layer.noun.verb\" literal or a names:: constant; \
+                   put variable data in event attributes or samples, never in \
+                   the name; a deliberate indirection may be justified with \
                    lint:allow(obs-static-name)",
             exempt_tests: true,
             scope: Scope::LibCrates,
+            warn_scope: Some(Scope::Relaxed),
+            graph: false,
             matcher: match_obs_dynamic_name,
+        },
+        Rule {
+            id: "obs-name-registry",
+            family: Family::Observability,
+            summary: "metric/span name not declared in the obs name registry \
+                      (crates/obs/src/names.rs): every recording site must use \
+                      a name the registry declares so the vocabulary cannot \
+                      drift silently",
+            hint: "add a `pub const` for the name to crates/obs/src/names.rs \
+                   (grouped by layer) or reference an existing names:: constant; \
+                   a deliberately unregistered name may be justified with \
+                   lint:allow(obs-name-registry)",
+            exempt_tests: true,
+            scope: Scope::LibCrates,
+            warn_scope: Some(Scope::Relaxed),
+            graph: true,
+            matcher: |_| None,
         },
         Rule {
             id: "lint-allow-syntax",
@@ -292,6 +426,8 @@ pub fn registry() -> Vec<Rule> {
             hint: "write `lint:allow(<known-rule-id>): <why the invariant holds>`",
             exempt_tests: false,
             scope: Scope::All,
+            warn_scope: None,
+            graph: false,
             // Produced by the driver from the comment stream, never from code.
             matcher: |_| None,
         },
@@ -303,19 +439,25 @@ pub fn is_known_rule(id: &str) -> bool {
     registry().iter().any(|r| r.id == id)
 }
 
+/// Collapses the registry's wrapped string literals to single-line text
+/// for diagnostics.
+pub fn oneline(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
 fn find_any(line: &str, tokens: &[&str]) -> Option<usize> {
     tokens.iter().filter_map(|t| line.find(t)).min()
 }
 
-fn match_unordered_collection(line: &str) -> Option<usize> {
+pub(crate) fn match_unordered_collection(line: &str) -> Option<usize> {
     find_any(line, &["HashMap", "HashSet"])
 }
 
-fn match_wall_clock(line: &str) -> Option<usize> {
+pub(crate) fn match_wall_clock(line: &str) -> Option<usize> {
     find_any(line, &["Instant", "SystemTime", "UNIX_EPOCH"])
 }
 
-fn match_rng_adhoc(line: &str) -> Option<usize> {
+pub(crate) fn match_rng_adhoc(line: &str) -> Option<usize> {
     find_any(
         line,
         &[
@@ -333,15 +475,15 @@ fn match_rng_adhoc(line: &str) -> Option<usize> {
     )
 }
 
-fn match_unwrap(line: &str) -> Option<usize> {
+pub(crate) fn match_unwrap(line: &str) -> Option<usize> {
     line.find(".unwrap()")
 }
 
-fn match_expect(line: &str) -> Option<usize> {
+pub(crate) fn match_expect(line: &str) -> Option<usize> {
     line.find(".expect(")
 }
 
-fn match_panic_macro(line: &str) -> Option<usize> {
+pub(crate) fn match_panic_macro(line: &str) -> Option<usize> {
     find_any(
         line,
         &["panic!(", "unreachable!(", "todo!(", "unimplemented!("],
@@ -351,7 +493,7 @@ fn match_panic_macro(line: &str) -> Option<usize> {
 /// Indexing expression `recv[index]` where `index` is not an integer
 /// literal and not the full range `..`. Literal indexing of fixed-size
 /// arrays is infallible-by-inspection, so it is left alone.
-fn match_slice_index(line: &str) -> Option<usize> {
+pub(crate) fn match_slice_index(line: &str) -> Option<usize> {
     if line.trim_start().starts_with('#') {
         // Attribute, e.g. `#[serde(default)]` — bracket syntax, not indexing.
         return None;
@@ -397,7 +539,7 @@ fn match_slice_index(line: &str) -> Option<usize> {
 
 /// Int→float `as f64/f32`, or a rounding-method result cast straight to an
 /// integer type (`.ceil() as usize` and friends).
-fn match_float_cast(line: &str) -> Option<usize> {
+pub(crate) fn match_float_cast(line: &str) -> Option<usize> {
     for token in [" as f64", " as f32"] {
         if let Some(p) = line.find(token) {
             let after = line[p + token.len()..].chars().next();
@@ -421,7 +563,7 @@ fn match_float_cast(line: &str) -> Option<usize> {
 /// `.clone()` applied to a `samples` binding or a `samples()` accessor.
 /// Plain `Trace::clone()` is *not* matched — it is an O(1) refcount bump
 /// and the encouraged way to keep a trace around.
-fn match_trace_sample_copy(line: &str) -> Option<usize> {
+pub(crate) fn match_trace_sample_copy(line: &str) -> Option<usize> {
     find_any(
         line,
         &[
@@ -439,7 +581,7 @@ fn match_trace_sample_copy(line: &str) -> Option<usize> {
 /// unnamed — the idiom that silently swallows `Result`s), or a statement
 /// whose entire effect is `expr.ok();`. Bindings (`let x = y.ok();`),
 /// assignments, and `return y.ok();` keep the value and are left alone.
-fn match_result_discard(line: &str) -> Option<usize> {
+pub(crate) fn match_result_discard(line: &str) -> Option<usize> {
     let mut from = 0usize;
     while let Some(p) = line[from..].find("let _") {
         let at = from + p;
@@ -473,21 +615,18 @@ fn match_result_discard(line: &str) -> Option<usize> {
 /// matcher and is left alone (mirroring `match_slice_index`).
 /// `ObsReport` lookups and `WorkloadManager::observe` deliberately do not
 /// share these method names, so they never fire here.
-fn match_obs_dynamic_name(line: &str) -> Option<usize> {
+///
+/// A SCREAMING_SNAKE constant path (`names::QOS_TRANSLATIONS`) is also
+/// accepted: it is still a static name, and the `obs-name-registry` rule
+/// verifies that the constant actually resolves to the registry.
+pub(crate) fn match_obs_dynamic_name(line: &str) -> Option<usize> {
     let mut hit: Option<usize> = None;
-    for token in [
-        ".span(",
-        ".event(",
-        ".counter(",
-        ".timing_counter(",
-        ".gauge(",
-        ".histogram(",
-    ] {
+    for token in OBS_RECORDING_CALLS {
         let mut from = 0usize;
         while let Some(p) = line[from..].find(token) {
             let at = from + p;
             let after = line[at + token.len()..].trim_start();
-            if !after.is_empty() && !after.starts_with('"') {
+            if !after.is_empty() && !after.starts_with('"') && !is_const_name_ref(after) {
                 hit = Some(hit.map_or(at, |h| h.min(at)));
             }
             from = at + token.len();
@@ -496,8 +635,34 @@ fn match_obs_dynamic_name(line: &str) -> Option<usize> {
     hit
 }
 
+/// The obs recording methods whose first argument is a name. Shared with
+/// the `obs-name-registry` token pass (which strips the `.`/`(`).
+pub(crate) const OBS_RECORDING_CALLS: [&str; 6] = [
+    ".span(",
+    ".event(",
+    ".counter(",
+    ".timing_counter(",
+    ".gauge(",
+    ".histogram(",
+];
+
+/// Whether an argument string starts with a constant-name path: the
+/// terminal `::` segment is SCREAMING_SNAKE (so plain variables and
+/// method calls do not qualify).
+fn is_const_name_ref(after: &str) -> bool {
+    let end = after
+        .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == ':'))
+        .unwrap_or(after.len());
+    let last = after[..end].rsplit("::").next().unwrap_or("");
+    !last.is_empty()
+        && last
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        && last.chars().any(|c| c.is_ascii_uppercase())
+}
+
 /// `==` / `!=` with a float literal on either side.
-fn match_float_eq(line: &str) -> Option<usize> {
+pub(crate) fn match_float_eq(line: &str) -> Option<usize> {
     let bytes = line.as_bytes();
     let mut i = 0usize;
     while i + 1 < bytes.len() {

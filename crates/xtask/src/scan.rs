@@ -1,12 +1,19 @@
-//! Source preprocessing for the invariant linter.
+//! Source preprocessing for the invariant linter, built on the lossless
+//! lexer.
 //!
 //! Rule matchers must never fire on prose: a doc example that calls
 //! `unwrap()` or a diagnostic string that mentions `HashMap` is not a
-//! violation. This module therefore masks comments and string-literal
-//! *contents* out of every line (preserving column positions), records
-//! which lines sit inside `#[cfg(test)]` items (tests and benches are
-//! exempt from most rules), and extracts `// lint:allow(rule): reason`
-//! escape hatches from the comment stream.
+//! violation. This module therefore derives, from the [`crate::lex`]
+//! token stream, per-line *masked* code (comments and string-literal
+//! contents blanked to spaces, preserving column positions), the per-line
+//! comment text, and the `#[cfg(test)]` region flags. Because the masking
+//! is a projection of real tokens rather than a per-character state
+//! machine, raw strings (`r#"…"#` at any hash depth), nested block
+//! comments, and string line-continuations (`"…\` at end of line) are
+//! handled structurally — the old masker mis-tracked line numbers across
+//! the latter (see the `masking-edge-cases` regression fixture).
+
+use crate::lex::{self, Token, TokenKind};
 
 /// A preprocessed source file ready for rule matching.
 pub struct Masked {
@@ -32,191 +39,172 @@ pub struct AllowRef {
     pub well_formed: bool,
 }
 
-#[derive(Clone, Copy, PartialEq)]
-enum State {
-    Code,
-    LineComment,
-    BlockComment(u32),
-    Str,
-    RawStr(u32),
+/// Masks comments and string contents out of `source` (lexes internally).
+pub fn mask(source: &str) -> Masked {
+    mask_tokens(source, &lex::lex(source))
 }
 
-/// Masks comments and string contents out of `source`.
-pub fn mask(source: &str) -> Masked {
-    let chars: Vec<char> = source.chars().collect();
-    let mut code = vec![String::new()];
-    let mut comments = vec![String::new()];
-    let mut state = State::Code;
-    let mut i = 0usize;
-
-    // Appends to the current (last) line of a buffer.
-    fn push(buf: &mut [String], c: char) {
-        if let Some(last) = buf.last_mut() {
-            last.push(c);
+/// Masks comments and string contents using an existing token stream,
+/// so workspace passes lex each file exactly once.
+pub fn mask_tokens(source: &str, tokens: &[Token]) -> Masked {
+    let mut m = MaskBuilder::default();
+    for token in tokens {
+        let text = token.text(source);
+        match token.kind {
+            TokenKind::Whitespace
+            | TokenKind::Ident
+            | TokenKind::Number
+            | TokenKind::Punct
+            | TokenKind::Lifetime => m.code_verbatim(text),
+            TokenKind::LineComment => {
+                // `//` (or the first two chars of `///`) become code
+                // blanks; the remainder is comment text.
+                m.code_blank("//");
+                m.comment(&text[2..]);
+            }
+            TokenKind::BlockComment => m.block_comment(text),
+            TokenKind::Str => m.delimited(text, '"'),
+            TokenKind::Char => m.delimited(text, '\''),
+            TokenKind::RawStr => m.raw_string(text),
         }
     }
-
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            code.push(String::new());
-            comments.push(String::new());
-            if state == State::LineComment {
-                state = State::Code;
-            }
-            i += 1;
-            continue;
-        }
-        match state {
-            State::Code => {
-                let next = chars.get(i + 1).copied();
-                if c == '/' && next == Some('/') {
-                    push(&mut code, ' ');
-                    push(&mut code, ' ');
-                    state = State::LineComment;
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    push(&mut code, ' ');
-                    push(&mut code, ' ');
-                    state = State::BlockComment(1);
-                    i += 2;
-                } else if c == '"' {
-                    push(&mut code, '"');
-                    state = State::Str;
-                    i += 1;
-                } else if is_raw_string_start(&chars, i) {
-                    // Emit the `r`/`br` prefix and the hashes, then mask
-                    // the body until `"` followed by the same hash count.
-                    let mut j = i;
-                    while chars[j] != '"' {
-                        push(&mut code, chars[j]);
-                        j += 1;
-                    }
-                    push(&mut code, '"');
-                    let hashes = j - i - usize::from(chars[i] == 'b') - 1;
-                    state = State::RawStr(hashes as u32);
-                    i = j + 1;
-                } else if c == '\'' && is_char_literal(&chars, i) {
-                    // Mask the char literal body, keep the quotes.
-                    push(&mut code, '\'');
-                    let mut j = i + 1;
-                    while j < chars.len() && chars[j] != '\'' {
-                        if chars[j] == '\\' {
-                            push(&mut code, ' ');
-                            j += 1;
-                        }
-                        if j < chars.len() && chars[j] != '\n' {
-                            push(&mut code, ' ');
-                        }
-                        j += 1;
-                    }
-                    if j < chars.len() {
-                        push(&mut code, '\'');
-                        j += 1;
-                    }
-                    i = j;
-                } else {
-                    push(&mut code, c);
-                    i += 1;
-                }
-            }
-            State::LineComment => {
-                push(&mut code, ' ');
-                push(&mut comments, c);
-                i += 1;
-            }
-            State::BlockComment(depth) => {
-                let next = chars.get(i + 1).copied();
-                if c == '*' && next == Some('/') {
-                    push(&mut code, ' ');
-                    push(&mut code, ' ');
-                    state = if depth == 1 {
-                        State::Code
-                    } else {
-                        State::BlockComment(depth - 1)
-                    };
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    push(&mut code, ' ');
-                    push(&mut code, ' ');
-                    state = State::BlockComment(depth + 1);
-                    i += 2;
-                } else {
-                    push(&mut code, ' ');
-                    push(&mut comments, c);
-                    i += 1;
-                }
-            }
-            State::Str => {
-                if c == '\\' {
-                    push(&mut code, ' ');
-                    if chars.get(i + 1).is_some_and(|&n| n != '\n') {
-                        push(&mut code, ' ');
-                    }
-                    i += 2;
-                } else if c == '"' {
-                    push(&mut code, '"');
-                    state = State::Code;
-                    i += 1;
-                } else {
-                    push(&mut code, ' ');
-                    i += 1;
-                }
-            }
-            State::RawStr(hashes) => {
-                if c == '"' && closes_raw_string(&chars, i, hashes) {
-                    push(&mut code, '"');
-                    for _ in 0..hashes {
-                        push(&mut code, '#');
-                    }
-                    state = State::Code;
-                    i += 1 + hashes as usize;
-                } else {
-                    push(&mut code, ' ');
-                    i += 1;
-                }
-            }
-        }
-    }
-
-    let in_test = mark_tests(&code);
+    let in_test = mark_tests(&m.code);
     Masked {
-        code,
-        comments,
+        code: m.code,
+        comments: m.comments,
         in_test,
     }
 }
 
-/// `r"`, `r#"`, `br"`, ... at position `i`, not preceded by an ident char.
-fn is_raw_string_start(chars: &[char], i: usize) -> bool {
-    if i > 0 {
-        let p = chars[i - 1];
-        if p.is_alphanumeric() || p == '_' {
-            return false;
+/// Accumulates the parallel code/comment line buffers. Every `\n`
+/// encountered in any token splits both, keeping the vectors aligned
+/// with real source lines.
+struct MaskBuilder {
+    code: Vec<String>,
+    comments: Vec<String>,
+}
+
+impl Default for MaskBuilder {
+    fn default() -> MaskBuilder {
+        MaskBuilder {
+            code: vec![String::new()],
+            comments: vec![String::new()],
         }
     }
-    let mut j = match chars[i] {
-        'r' => i + 1,
-        'b' if chars.get(i + 1) == Some(&'r') => i + 2,
-        _ => return false,
-    };
-    while chars.get(j) == Some(&'#') {
-        j += 1;
+}
+
+impl MaskBuilder {
+    fn newline(&mut self) {
+        self.code.push(String::new());
+        self.comments.push(String::new());
     }
-    chars.get(j) == Some(&'"')
-}
 
-/// `"` at position `i` followed by `hashes` `#` characters.
-fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
-    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
-}
+    fn push_code(&mut self, c: char) {
+        if c == '\n' {
+            self.newline();
+        } else if let Some(last) = self.code.last_mut() {
+            last.push(c);
+        }
+    }
 
-/// Distinguishes a char literal (`'x'`, `'\n'`) from a lifetime (`'a`).
-fn is_char_literal(chars: &[char], i: usize) -> bool {
-    match chars.get(i + 1) {
-        Some('\\') => true,
-        Some(_) => chars.get(i + 2) == Some(&'\''),
-        None => false,
+    /// Copies text into the code buffer unchanged.
+    fn code_verbatim(&mut self, text: &str) {
+        for c in text.chars() {
+            self.push_code(c);
+        }
+    }
+
+    /// Blanks text into the code buffer (spaces, newlines preserved).
+    fn code_blank(&mut self, text: &str) {
+        for c in text.chars() {
+            self.push_code(if c == '\n' { '\n' } else { ' ' });
+        }
+    }
+
+    /// Appends comment text, blanking the same span in the code buffer so
+    /// column positions stay aligned (newlines split both buffers).
+    fn comment(&mut self, text: &str) {
+        for c in text.chars() {
+            if c == '\n' {
+                self.newline();
+            } else {
+                if let Some(last) = self.comments.last_mut() {
+                    last.push(c);
+                }
+                self.push_code(' ');
+            }
+        }
+    }
+
+    /// A `/* ... */` token: delimiters (including nested ones) blank to
+    /// code spaces only; interior text is comment content.
+    fn block_comment(&mut self, text: &str) {
+        let chars: Vec<char> = text.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let pair = (chars.get(i).copied(), chars.get(i + 1).copied());
+            if pair == (Some('/'), Some('*')) || pair == (Some('*'), Some('/')) {
+                self.push_code(' ');
+                self.push_code(' ');
+                i += 2;
+            } else {
+                let c = chars[i];
+                if c == '\n' {
+                    self.newline();
+                } else {
+                    self.push_code(' ');
+                    if let Some(last) = self.comments.last_mut() {
+                        last.push(c);
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
+    /// A quoted literal (`"..."`, `'x'`, `b"..."`): prefix and delimiters
+    /// stay in the code buffer, the interior blanks to spaces.
+    fn delimited(&mut self, text: &str, quote: char) {
+        let chars: Vec<char> = text.chars().collect();
+        let open = chars.iter().position(|&c| c == quote);
+        let close = chars.iter().rposition(|&c| c == quote);
+        for (i, &c) in chars.iter().enumerate() {
+            let is_delim = Some(i) == open || (Some(i) == close && close > open);
+            let keep = is_delim || open.is_none_or(|o| i < o);
+            if keep {
+                self.push_code(c);
+            } else {
+                self.push_code(if c == '\n' { '\n' } else { ' ' });
+            }
+        }
+    }
+
+    /// A raw string: the `r##"` prefix and `"##` suffix stay; the body
+    /// blanks to spaces.
+    fn raw_string(&mut self, text: &str) {
+        let chars: Vec<char> = text.chars().collect();
+        let open = chars.iter().position(|&c| c == '"').unwrap_or(0);
+        let hashes = chars.iter().take(open).filter(|&&c| c == '#').count();
+        // The suffix `"##...#` is present only when the literal is
+        // terminated; otherwise blank to the end.
+        let suffix_len = 1 + hashes;
+        let terminated = chars.len() >= open + 1 + suffix_len
+            && chars[chars.len() - suffix_len] == '"'
+            && chars[chars.len() - suffix_len + 1..]
+                .iter()
+                .all(|&c| c == '#');
+        let body_end = if terminated {
+            chars.len() - suffix_len
+        } else {
+            chars.len()
+        };
+        for (i, &c) in chars.iter().enumerate() {
+            if i <= open || i >= body_end {
+                self.push_code(c);
+            } else {
+                self.push_code(if c == '\n' { '\n' } else { ' ' });
+            }
+        }
     }
 }
 
@@ -308,5 +296,49 @@ fn leading_reason(rest: &str) -> &str {
     match rest.find("lint:allow(") {
         Some(end) => rest[..end].trim(),
         None => rest.trim(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_strings_and_comments_preserving_columns() {
+        let m = mask("let s = \"HashMap\"; // HashMap prose\nx.unwrap();\n");
+        assert!(!m.code[0].contains("HashMap"));
+        assert!(m.comments[0].contains("HashMap prose"));
+        assert_eq!(
+            m.code[0].chars().count(),
+            "let s = \"HashMap\"; // HashMap prose".chars().count()
+        );
+        assert!(m.code[1].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_mask_contents_but_keep_delimiters() {
+        let m = mask("let s = r#\"unwrap() // HashMap\"#; y.unwrap();\n");
+        assert!(!m.code[0].contains("unwrap() // HashMap"));
+        assert!(m.code[0].contains("r#\""));
+        assert!(m.code[0].contains(".unwrap()"));
+        // Nothing after the raw string leaked into the comment stream.
+        assert!(m.comments[0].trim().is_empty());
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_later_lines_aligned() {
+        // The old per-character masker skipped the newline after a `\`
+        // continuation, shifting every subsequent diagnostic up a line.
+        let m = mask("let s = \"a\\\nb\";\nfoo.unwrap();\n");
+        assert_eq!(m.code.len(), 4);
+        assert!(m.code[2].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let m = mask("/* outer /* inner */ still comment */ x.unwrap();\n");
+        assert!(m.code[0].contains(".unwrap()"));
+        assert!(!m.code[0].contains("inner"));
+        assert!(m.comments[0].contains("still comment"));
     }
 }

@@ -1,0 +1,384 @@
+//! Workspace symbol table: every `fn` item (free or associated), plus
+//! `const` string declarations, extracted from the token stream.
+//!
+//! The extractor is a single linear pass over significant tokens with an
+//! explicit brace stack — no full parser, no type checker. It records,
+//! for each function: its name, the self type of the `impl` block it sits
+//! directly inside (the *receiver hint* used by call resolution), its
+//! declaration line, whether it is `pub`, whether it sits in test code,
+//! and the token range of its body. Known approximations are documented
+//! on [`FnItem`] and in DESIGN.md §5g: trait dispatch is resolved by
+//! name, macros are opaque, and nested items inside function bodies
+//! are recorded as free functions.
+
+use crate::lex::{Token, TokenKind};
+
+/// One function item found in a file.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Self type of the directly enclosing `impl` block, if any — the
+    /// receiver hint used to narrow method-call resolution.
+    pub qual: Option<String>,
+    /// 0-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the item is `pub` (unrestricted — `pub(crate)` and
+    /// narrower do not count as public API).
+    pub is_pub: bool,
+    /// Whether the declaration line sits inside a `#[cfg(test)]` region
+    /// (or the whole file is test code).
+    pub is_test: bool,
+    /// Range of the body block over *significant* token indices (the
+    /// [`significant`] projection), excluding the outer braces; empty for
+    /// trait-declaration signatures ending in `;`.
+    pub body: std::ops::Range<usize>,
+}
+
+/// One `const NAME: … = "literal";` string declaration.
+#[derive(Clone, Debug)]
+pub struct ConstStr {
+    /// The constant's identifier.
+    pub name: String,
+    /// The string literal it is bound to.
+    pub value: String,
+    /// 0-based line of the `const` keyword.
+    pub line: usize,
+}
+
+/// All symbols extracted from one file.
+#[derive(Default, Debug)]
+pub struct FileSymbols {
+    /// Repo-relative path with forward slashes (set by the caller).
+    pub path: String,
+    /// Function items in declaration order.
+    pub fns: Vec<FnItem>,
+    /// String constants in declaration order.
+    pub consts: Vec<ConstStr>,
+}
+
+/// Indices of non-whitespace, non-comment tokens — the stream structure
+/// passes operate on.
+pub fn significant(tokens: &[Token]) -> Vec<usize> {
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Extracts the symbols of one file. `in_test` is the per-line
+/// `#[cfg(test)]` flag vector from [`crate::scan::mask_tokens`];
+/// `whole_file_test` marks integration-test files where every item is
+/// test code regardless of attributes.
+pub fn extract(
+    source: &str,
+    tokens: &[Token],
+    in_test: &[bool],
+    whole_file_test: bool,
+) -> FileSymbols {
+    let sig = significant(tokens);
+    let text = |k: usize| tokens[sig[k]].text(source);
+    let is = |k: usize, s: &str| k < sig.len() && text(k) == s;
+
+    let mut symbols = FileSymbols::default();
+    // Brace stack: the impl self-type introduced by each open `{`, if the
+    // block is an impl block.
+    let mut stack: Vec<Option<String>> = Vec::new();
+    // Impl type waiting for its opening brace.
+    let mut pending_impl: Option<Option<String>> = None;
+
+    let mut k = 0usize;
+    while k < sig.len() {
+        let token = tokens[sig[k]];
+        match token.kind {
+            TokenKind::Punct => {
+                match text(k) {
+                    "{" => {
+                        stack.push(pending_impl.take().flatten());
+                    }
+                    "}" => {
+                        stack.pop();
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            TokenKind::Ident if text(k) == "impl" => {
+                let (self_type, next) = parse_impl_type(source, tokens, &sig, k + 1);
+                pending_impl = Some(self_type);
+                k = next;
+            }
+            TokenKind::Ident if text(k) == "fn" => {
+                let Some(name_k) = (k + 1 < sig.len()).then_some(k + 1) else {
+                    k += 1;
+                    continue;
+                };
+                if tokens[sig[name_k]].kind != TokenKind::Ident {
+                    // `fn(...)` pointer type, not a declaration.
+                    k += 1;
+                    continue;
+                }
+                let name = text(name_k).to_string();
+                let line = token.line;
+                let is_pub = decl_is_pub(source, tokens, &sig, k);
+                let is_test = whole_file_test || in_test.get(line).copied().unwrap_or(false);
+                // Inside a fn body the enclosing stack frame is None, so
+                // nested fns correctly read as free functions.
+                let qual = stack.last().cloned().flatten();
+                let (body, next) = parse_body(source, tokens, &sig, name_k + 1);
+                symbols.fns.push(FnItem {
+                    name,
+                    qual,
+                    line,
+                    is_pub,
+                    is_test,
+                    body,
+                });
+                k = next;
+            }
+            TokenKind::Ident if text(k) == "const" => {
+                // `const NAME: … = "literal";` — only string consts are
+                // recorded (the obs name registry shape).
+                if k + 1 < sig.len() && tokens[sig[k + 1]].kind == TokenKind::Ident {
+                    let name = text(k + 1).to_string();
+                    let mut j = k + 2;
+                    let mut value = None;
+                    while j < sig.len() && !is(j, ";") && !is(j, "{") {
+                        if tokens[sig[j]].kind == TokenKind::Str
+                            || tokens[sig[j]].kind == TokenKind::RawStr
+                        {
+                            value = crate::lex::literal_content(&tokens[sig[j]], source)
+                                .map(str::to_string);
+                            break;
+                        }
+                        j += 1;
+                    }
+                    if let Some(value) = value {
+                        symbols.consts.push(ConstStr {
+                            name,
+                            value,
+                            line: token.line,
+                        });
+                    }
+                }
+                k += 1;
+            }
+            _ => k += 1,
+        }
+    }
+    symbols
+}
+
+/// Parses the self type of an `impl` header starting at significant index
+/// `k` (just past `impl`). Returns the type name and the index of the
+/// opening `{` (or wherever scanning stopped).
+///
+/// `impl<T> Foo<T>` → `Foo`; `impl Trait for Bar` → `Bar`;
+/// `impl fmt::Debug for a::b::Baz<'_>` → `Baz`.
+fn parse_impl_type(
+    source: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    mut k: usize,
+) -> (Option<String>, usize) {
+    let text = |k: usize| tokens[sig[k]].text(source);
+    // Skip the generic parameter list directly after `impl`.
+    if k < sig.len() && text(k) == "<" {
+        let mut depth = 0i32;
+        while k < sig.len() {
+            match text(k) {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    // Collect path idents until `{` / `where`, restarting at `for`: the
+    // last path segment before generics is the self type.
+    let mut current: Option<String> = None;
+    let mut depth = 0i32;
+    while k < sig.len() {
+        let t = text(k);
+        match t {
+            "{" if depth == 0 => break,
+            "where" if depth == 0 => break,
+            "for" if depth == 0 => current = None,
+            "<" => depth += 1,
+            ">" => depth -= 1,
+            _ => {
+                if tokens[sig[k]].kind == TokenKind::Ident && depth == 0 && t != "dyn" {
+                    current = Some(t.to_string());
+                }
+            }
+        }
+        k += 1;
+    }
+    (current, k)
+}
+
+/// Whether the `fn` at significant index `fn_k` is preceded by an
+/// unrestricted `pub`. Scans back across modifier keywords only.
+fn decl_is_pub(source: &str, tokens: &[Token], sig: &[usize], fn_k: usize) -> bool {
+    let text = |k: usize| tokens[sig[k]].text(source);
+    let mut k = fn_k;
+    while k > 0 {
+        k -= 1;
+        match text(k) {
+            "const" | "unsafe" | "async" | "extern" => continue,
+            ")" => {
+                // The `(crate)` of a restricted pub — skip back past it.
+                let mut depth = 1i32;
+                while k > 0 && depth > 0 {
+                    k -= 1;
+                    match text(k) {
+                        ")" => depth += 1,
+                        "(" => depth -= 1,
+                        _ => {}
+                    }
+                }
+                // A pub directly before this paren group is restricted.
+                if k > 0 && text(k - 1) == "pub" {
+                    return false;
+                }
+                return false;
+            }
+            "pub" => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Finds the body block of the declaration whose signature starts at
+/// significant index `k` (just past the fn name). Returns the significant
+/// token range *inside* the braces and the index to resume scanning from
+/// (*at* the opening brace, so the main loop's brace stack stays balanced
+/// and nested items are still visited).
+fn parse_body(
+    source: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    mut k: usize,
+) -> (std::ops::Range<usize>, usize) {
+    let text = |k: usize| tokens[sig[k]].text(source);
+    // Scan the signature for the opening `{` or a terminating `;`.
+    // Parens and angle brackets are tracked so `;` inside const-generic
+    // defaults or `(..)` never terminates early.
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    while k < sig.len() {
+        match text(k) {
+            "(" | "[" => paren += 1,
+            ")" | "]" => paren -= 1,
+            "<" => angle += 1,
+            ">" => angle = (angle - 1).max(0),
+            "->" => {}
+            ";" if paren == 0 => return (k..k, k + 1),
+            "{" if paren == 0 => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    if k >= sig.len() {
+        return (k..k, k);
+    }
+    // Find the matching close brace.
+    let open = k;
+    let mut depth = 0i32;
+    while k < sig.len() {
+        match text(k) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (open + 1..k, open);
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    (open + 1..sig.len(), open)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use crate::scan;
+
+    fn symbols_of(source: &str) -> FileSymbols {
+        let tokens = lex(source);
+        let masked = scan::mask_tokens(source, &tokens);
+        extract(source, &tokens, &masked.in_test, false)
+    }
+
+    #[test]
+    fn finds_free_and_associated_fns_with_visibility() {
+        let s = symbols_of(
+            "pub fn api() {}\nfn helper() {}\npub(crate) fn internal() {}\n\
+             impl FitEngine {\n    pub fn evaluate(&self) { helper(); }\n}\n\
+             impl fmt::Debug for Report<'_> {\n    fn fmt(&self) {}\n}\n",
+        );
+        let names: Vec<(&str, Option<&str>, bool)> = s
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.qual.as_deref(), f.is_pub))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("api", None, true),
+                ("helper", None, false),
+                ("internal", None, false),
+                ("evaluate", Some("FitEngine"), true),
+                ("fmt", Some("Report"), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn records_const_strings_and_test_flags() {
+        let s = symbols_of(
+            "pub const NAME: &str = \"qos.translations\";\n\
+             #[cfg(test)]\nmod tests {\n    fn t() {}\n}\n",
+        );
+        assert_eq!(s.consts.len(), 1);
+        assert_eq!(s.consts[0].name, "NAME");
+        assert_eq!(s.consts[0].value, "qos.translations");
+        assert!(s.fns.iter().any(|f| f.name == "t" && f.is_test));
+    }
+
+    #[test]
+    fn trait_signatures_have_empty_bodies() {
+        let s = symbols_of("trait Clock {\n    fn now_ms(&self) -> f64;\n    fn noop() {}\n}\n");
+        let now = s.fns.iter().find(|f| f.name == "now_ms").unwrap();
+        assert!(now.body.is_empty());
+        let noop = s.fns.iter().find(|f| f.name == "noop").unwrap();
+        assert!(!noop.body.is_empty() || noop.body.start > now.body.start);
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_self_type() {
+        let s = symbols_of(
+            "impl<'a, T: Clone> Session<'a, T> {\n    fn tick(&self) {}\n}\n\
+             impl<T> From<T> for Wrapper<T> where T: Copy {\n    fn from(_: T) -> Self { todo!() }\n}\n",
+        );
+        assert_eq!(s.fns[0].qual.as_deref(), Some("Session"));
+        assert_eq!(s.fns[1].qual.as_deref(), Some("Wrapper"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Tripping fixture: a FitEngine entry point reaches a thread-identity
+//! branch two private calls away — only the call graph can see it.
+
+pub struct FitEngine;
+
+impl FitEngine {
+    pub fn evaluate(&self) -> usize {
+        self.shard()
+    }
+
+    fn shard(&self) -> usize {
+        pick_lane()
+    }
+}
+
+fn pick_lane() -> usize {
+    let id = std::thread::current().id();
+    format!("{id:?}").len()
+}

@@ -1,0 +1,23 @@
+//! Passing fixture: the entry points stay on deterministic helpers; the
+//! nondeterministic probe exists but no entry path reaches it.
+
+pub struct FitEngine;
+
+impl FitEngine {
+    pub fn evaluate(&self) -> usize {
+        self.shard()
+    }
+
+    fn shard(&self) -> usize {
+        lane_count()
+    }
+}
+
+fn lane_count() -> usize {
+    4
+}
+
+fn unreached_probe() -> usize {
+    let id = std::thread::current().id();
+    format!("{id:?}").len()
+}

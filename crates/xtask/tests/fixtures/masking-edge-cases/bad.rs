@@ -1,0 +1,13 @@
+//! Tripping fixture: raw strings, nested block comments, and string
+//! line-continuations must not hide the real unwrap() or skew its line.
+
+pub fn edge() -> usize {
+    let banner = r#"unwrap() " inside a raw string is prose"#;
+    /* outer /* nested unwrap() */ still one comment */
+    let wrapped = "a\
+b";
+    let combo = banner.len() + wrapped.len();
+    let v = vec![combo];
+    v.first().unwrap();
+    combo
+}

@@ -1,0 +1,9 @@
+//! Passing fixture: the same masking shapes with no panic site.
+
+pub fn edge() -> usize {
+    let banner = r##"has "quotes" and unwrap() prose"##;
+    /* outer /* nested */ done */
+    let wrapped = "a\
+b";
+    banner.len() + wrapped.len()
+}

@@ -1,0 +1,9 @@
+//! Tripping fixture: recording sites whose names the registry never
+//! declared — a typo'd literal and an unregistered local constant.
+
+pub fn record(ctx: &Ctx) {
+    ctx.counter("placement.engine.evals", 1);
+    ctx.span(PIPELINE_TRANSLATE_TYPO);
+}
+
+const PIPELINE_TRANSLATE_TYPO: &str = "pipeline.translate";

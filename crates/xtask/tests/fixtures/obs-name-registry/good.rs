@@ -1,0 +1,7 @@
+//! Passing fixture: every recording site resolves to the registry, by
+//! literal value or by names:: constant.
+
+pub fn record(ctx: &Ctx) {
+    ctx.counter("placement.engine.evaluations", 1);
+    ctx.span(names::PIPELINE_TRANSLATE);
+}

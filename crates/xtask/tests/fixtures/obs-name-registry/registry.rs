@@ -1,0 +1,7 @@
+//! Fixture registry: the declared obs name vocabulary (linted under the
+//! virtual path crates/obs/src/names.rs).
+
+/// Engine evaluation counter.
+pub const ENGINE_EVALUATIONS: &str = "placement.engine.evaluations";
+/// Translation pipeline span.
+pub const PIPELINE_TRANSLATE: &str = "pipeline.translate";

@@ -1,0 +1,10 @@
+//! Tripping fixture: a public API reaches an unwrap() buried in a
+//! private helper — the abort escapes through a clean-looking signature.
+
+pub fn plan(input: &[f64]) -> f64 {
+    refine(input)
+}
+
+fn refine(input: &[f64]) -> f64 {
+    *input.first().unwrap()
+}

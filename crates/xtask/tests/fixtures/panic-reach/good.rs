@@ -1,0 +1,11 @@
+//! Passing fixture: the helper's invariant is recorded at the site; one
+//! allow clears both the per-site rule and the reachability rule.
+
+pub fn plan(input: &[f64]) -> f64 {
+    refine(input)
+}
+
+fn refine(input: &[f64]) -> f64 {
+    // lint:allow(panic-expect): plan() rejects empty input before calling
+    *input.first().expect("non-empty input")
+}

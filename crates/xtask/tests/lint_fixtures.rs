@@ -2,144 +2,60 @@
 //! passing fixture, asserted down to the exact rule id and line in the
 //! JSON output.
 //!
-//! Fixtures are linted under *virtual* paths so each rule's path scope is
-//! exercised without touching the workspace walker; a final test runs the
-//! real walker over the repository and requires it to be clean.
+//! The fixture manifest itself lives in `xtask::fixtures` so that
+//! `xtask lint --self-check` runs the same pairs in CI; the tests here
+//! layer on the assertions that need test-only machinery (exact JSON
+//! shape, call-path snapshots, the real workspace walk, and the lexer
+//! losslessness sweep).
 
 use xtask::config::Config;
-use xtask::report::render_json;
+use xtask::fixtures::{cases, lint_fixture, self_check};
+use xtask::lex;
+use xtask::report::{error_count, render_json, render_text};
+use xtask::rules::{registry, Severity};
 use xtask::{lint_source, lint_workspace};
 
-struct Case {
-    rule: &'static str,
-    /// Virtual repo-relative path inside the rule's scope.
-    path: &'static str,
-    bad: &'static str,
-    good: &'static str,
-    /// 1-based line of the first diagnostic in the bad fixture.
-    first_line: usize,
-}
-
 const LIB_PATH: &str = "crates/core/src/fixture.rs";
-const QOS_PATH: &str = "crates/qos/src/fixture.rs";
-
-const CASES: &[Case] = &[
-    Case {
-        rule: "det-unordered-collection",
-        path: LIB_PATH,
-        bad: include_str!("fixtures/det-unordered-collection/bad.rs"),
-        good: include_str!("fixtures/det-unordered-collection/good.rs"),
-        first_line: 3,
-    },
-    Case {
-        rule: "det-wall-clock",
-        path: LIB_PATH,
-        bad: include_str!("fixtures/det-wall-clock/bad.rs"),
-        good: include_str!("fixtures/det-wall-clock/good.rs"),
-        first_line: 3,
-    },
-    Case {
-        rule: "det-rng-adhoc",
-        path: "crates/trace/src/gen/fixture.rs",
-        bad: include_str!("fixtures/det-rng-adhoc/bad.rs"),
-        good: include_str!("fixtures/det-rng-adhoc/good.rs"),
-        first_line: 5,
-    },
-    Case {
-        rule: "panic-unwrap",
-        path: LIB_PATH,
-        bad: include_str!("fixtures/panic-unwrap/bad.rs"),
-        good: include_str!("fixtures/panic-unwrap/good.rs"),
-        first_line: 5,
-    },
-    Case {
-        rule: "panic-expect",
-        path: LIB_PATH,
-        bad: include_str!("fixtures/panic-expect/bad.rs"),
-        good: include_str!("fixtures/panic-expect/good.rs"),
-        first_line: 5,
-    },
-    Case {
-        rule: "panic-macro",
-        path: LIB_PATH,
-        bad: include_str!("fixtures/panic-macro/bad.rs"),
-        good: include_str!("fixtures/panic-macro/good.rs"),
-        first_line: 6,
-    },
-    Case {
-        rule: "panic-slice-index",
-        path: LIB_PATH,
-        bad: include_str!("fixtures/panic-slice-index/bad.rs"),
-        good: include_str!("fixtures/panic-slice-index/good.rs"),
-        first_line: 7,
-    },
-    Case {
-        rule: "unit-float-cast",
-        path: QOS_PATH,
-        bad: include_str!("fixtures/unit-float-cast/bad.rs"),
-        good: include_str!("fixtures/unit-float-cast/good.rs"),
-        first_line: 5,
-    },
-    Case {
-        rule: "unit-float-eq",
-        path: QOS_PATH,
-        bad: include_str!("fixtures/unit-float-eq/bad.rs"),
-        good: include_str!("fixtures/unit-float-eq/good.rs"),
-        first_line: 5,
-    },
-    Case {
-        rule: "needless-trace-clone",
-        path: LIB_PATH,
-        bad: include_str!("fixtures/needless-trace-clone/bad.rs"),
-        good: include_str!("fixtures/needless-trace-clone/good.rs"),
-        first_line: 5,
-    },
-    Case {
-        rule: "robust-result-discard",
-        path: LIB_PATH,
-        bad: include_str!("fixtures/robust-result-discard/bad.rs"),
-        good: include_str!("fixtures/robust-result-discard/good.rs"),
-        first_line: 5,
-    },
-    Case {
-        rule: "obs-static-name",
-        path: LIB_PATH,
-        bad: include_str!("fixtures/obs-static-name/bad.rs"),
-        good: include_str!("fixtures/obs-static-name/good.rs"),
-        first_line: 6,
-    },
-    Case {
-        rule: "lint-allow-syntax",
-        path: LIB_PATH,
-        bad: include_str!("fixtures/lint-allow-syntax/bad.rs"),
-        good: include_str!("fixtures/lint-allow-syntax/good.rs"),
-        first_line: 5,
-    },
-];
 
 #[test]
-fn every_bad_fixture_trips_exactly_its_rule_at_the_expected_line() {
+fn every_bad_fixture_trips_its_rule_at_the_expected_line() {
     let config = Config::default();
-    for case in CASES {
-        let diagnostics = lint_source(case.path, case.bad, &config);
+    for case in cases() {
+        let diagnostics = lint_fixture(&case, case.bad, &config);
+        let hits: Vec<_> = diagnostics.iter().filter(|d| d.rule == case.rule).collect();
         assert!(
-            !diagnostics.is_empty(),
-            "{}: bad fixture produced no diagnostics",
+            !hits.is_empty(),
+            "{} ({}): bad fixture produced no {} diagnostics",
+            case.rule,
+            case.dir,
             case.rule
         );
-        for d in &diagnostics {
-            assert_eq!(
-                d.rule, case.rule,
-                "{}: unexpected co-firing rule {} at line {}",
-                case.rule, d.rule, d.line
-            );
-            assert_eq!(d.file, case.path, "{}: wrong file", case.rule);
+        if case.strict {
+            for d in &diagnostics {
+                assert_eq!(
+                    d.rule, case.rule,
+                    "{} ({}): unexpected co-firing rule {} at line {}",
+                    case.rule, case.dir, d.rule, d.line
+                );
+            }
         }
         assert_eq!(
-            diagnostics[0].line, case.first_line,
-            "{}: first diagnostic at wrong line",
-            case.rule
+            hits[0].line, case.first_line,
+            "{} ({}): first diagnostic at wrong line",
+            case.rule, case.dir
         );
+        assert_eq!(hits[0].file, case.path, "{}: wrong file", case.rule);
+        if case.graph {
+            for d in &hits {
+                assert!(
+                    !d.path.is_empty(),
+                    "{} ({}): graph diagnostic at line {} carries no call path",
+                    case.rule,
+                    case.dir,
+                    d.line
+                );
+            }
+        }
 
         let json = render_json(&diagnostics, 1);
         assert!(
@@ -158,18 +74,87 @@ fn every_bad_fixture_trips_exactly_its_rule_at_the_expected_line() {
 #[test]
 fn every_good_fixture_is_clean() {
     let config = Config::default();
-    for case in CASES {
-        let diagnostics = lint_source(case.path, case.good, &config);
+    for case in cases() {
+        let diagnostics = lint_fixture(&case, case.good, &config);
         assert!(
             diagnostics.is_empty(),
-            "{}: good fixture tripped: {:?}",
+            "{} ({}): good fixture tripped: {:?}",
             case.rule,
+            case.dir,
             diagnostics
                 .iter()
                 .map(|d| format!("{}:{} {}", d.line, d.column, d.rule))
                 .collect::<Vec<_>>()
         );
     }
+}
+
+#[test]
+fn every_registered_rule_has_a_fixture_pair() {
+    let covered: std::collections::BTreeSet<&str> = cases().iter().map(|c| c.rule).collect();
+    for rule in registry() {
+        assert!(
+            covered.contains(rule.id),
+            "rule {} has no fixture pair in the manifest",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn self_check_passes_on_the_shipped_fixtures() {
+    match self_check() {
+        Ok(summary) => assert!(summary.contains("behaved as expected"), "{summary}"),
+        Err(failures) => panic!("self-check failed:\n{}", failures.join("\n")),
+    }
+}
+
+/// The call-path evidence is part of the report contract: snapshot the
+/// full text rendering of the det-taint fixture so a formatting change
+/// (or a graph regression that shortens the path) is a visible diff.
+#[test]
+fn det_taint_call_path_snapshot() {
+    let config = Config::default();
+    let case = cases()
+        .into_iter()
+        .find(|c| c.rule == "det-taint")
+        .expect("det-taint fixture exists");
+    let diagnostics = lint_fixture(&case, case.bad, &config);
+    let text = render_text(&diagnostics, 1);
+    let expected = "\
+crates/core/src/fixture.rs:17:19 error[det-taint] deterministic entry point `FitEngine::shard` reaches a site that branches on the current thread identity (1 call step(s) away)
+    hint: route the call chain through the obs clock facade or the seeded rng facade, or break the edge; justify a provably inert sink with lint:allow(det-taint) at the sink site
+    path: FitEngine::shard (crates/core/src/fixture.rs:11)
+      -> pick_lane (crates/core/src/fixture.rs:16)
+      -> sink: branches on the current thread identity (crates/core/src/fixture.rs:17)
+xtask lint: 1 error(s), 0 warning(s) in 1 file(s) scanned
+";
+    assert_eq!(text, expected, "call-path rendering drifted:\n{text}");
+}
+
+/// The lexer must be lossless over real code, not just fixtures: token
+/// texts concatenated in order reproduce every workspace source file
+/// byte-for-byte. This is the property the masking layer (and therefore
+/// every line/column in every diagnostic) rests on.
+#[test]
+fn lexer_is_lossless_over_every_workspace_source_file() {
+    let root = workspace_root();
+    let mut checked = 0usize;
+    for file in walk_rs(&root) {
+        let source = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        let tokens = lex::lex(&source);
+        let mut rebuilt = String::with_capacity(source.len());
+        for t in &tokens {
+            rebuilt.push_str(t.text(&source));
+        }
+        assert_eq!(rebuilt, source, "lexer lost bytes in {}", file.display());
+        checked += 1;
+    }
+    assert!(
+        checked > 50,
+        "losslessness sweep found too few files: {checked}"
+    );
 }
 
 #[test]
@@ -203,6 +188,22 @@ fn wall_clock_rule_reaches_beyond_the_library_crates() {
 }
 
 #[test]
+fn panic_rules_downgrade_to_warnings_in_the_relaxed_tier() {
+    let bad = include_str!("fixtures/panic-unwrap/bad.rs");
+    let diagnostics = lint_source("examples/fixture.rs", bad, &Config::default());
+    let hit = diagnostics
+        .iter()
+        .find(|d| d.rule == "panic-unwrap")
+        .expect("panic-unwrap still fires in examples/");
+    assert_eq!(
+        hit.severity,
+        Severity::Warn,
+        "examples/ panics must warn, not gate"
+    );
+    assert_eq!(error_count(&diagnostics), 0);
+}
+
+#[test]
 fn cfg_test_code_is_exempt_from_panic_rules() {
     let source = "pub fn noop() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let v = vec![1];\n        let i = 0;\n        assert_eq!(v[i], *v.first().unwrap());\n    }\n}\n";
     let diagnostics = lint_source(LIB_PATH, source, &Config::default());
@@ -228,9 +229,7 @@ fn lints_toml_allowlist_suppresses_per_file() {
 
 #[test]
 fn workspace_is_lint_clean() {
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..");
+    let root = workspace_root();
     let config_text = std::fs::read_to_string(root.join("crates/xtask/lints.toml"))
         .expect("lints.toml is readable");
     let config = Config::parse(&config_text).expect("lints.toml parses");
@@ -240,13 +239,51 @@ fn workspace_is_lint_clean() {
         "walker found too few files: {}",
         report.files_scanned
     );
+    // Warnings (the relaxed cli/examples tier) are allowed to exist;
+    // errors gate.
+    let errors: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| format!("{}:{} {}", d.file, d.line, d.rule))
+        .collect();
     assert!(
-        report.diagnostics.is_empty(),
-        "workspace must stay lint-clean: {:?}",
-        report
-            .diagnostics
-            .iter()
-            .map(|d| format!("{}:{} {}", d.file, d.line, d.rule))
-            .collect::<Vec<_>>()
+        errors.is_empty(),
+        "workspace must stay lint-clean: {errors:?}"
     );
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+/// Every `.rs` file the repository tracks: crate sources (xtask and its
+/// fixtures included — fixtures are exactly where lexer edge cases
+/// live), top-level examples, and integration tests.
+fn walk_rs(root: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut out = Vec::new();
+    for top in ["crates", "examples", "tests"] {
+        collect_rs(&root.join(top), &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &std::path::Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
 }
