@@ -120,6 +120,15 @@ if snap != batch:
     sys.exit(1)
 PYEOF
 
+echo "==> fleet_10k smoke"
+# One-shot timing of the 10,000-app × 4-week plan (and the 50-app
+# reference pipeline) against a generous wall-clock budget; the
+# machine-readable summary is archived under target/bench/ so the
+# performance trajectory is a CI artifact alongside the lint reports.
+cargo run --release -q -p ropus-bench --bin fleet_smoke
+test -s target/bench/fleet_10k_smoke.json \
+    || { echo "fleet_smoke left no bench summary"; exit 1; }
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 

@@ -1,0 +1,84 @@
+//! Fleet-scale benchmark for the columnar engine: 1k / 5k / 10k
+//! applications × 4 weeks of 5-minute samples through the full
+//! translate → aggregate → required-capacity plan. The `plan` series is
+//! the headline number (the whole pipeline, like `fleet_50x4w`); the
+//! `aggregate` series isolates the slot-major [`AggregateLoad`] build the
+//! sum-tree refactor targets. Sample counts are reduced — a single 10k
+//! plan runs for seconds, and criterion's defaults would take minutes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ropus::case_study::{translate_fleet_threaded, CaseConfig};
+use ropus_bench::fleet_n;
+use ropus_placement::simulator::{AggregateLoad, FitOptions, FitRequest};
+use ropus_placement::workload::Workload;
+use ropus_placement::SlotArena;
+use ropus_trace::gen::AppWorkload;
+
+/// Benchmark sizes: 1k, 5k, and the headline 10k applications.
+const SIZES: [usize; 3] = [1_000, 5_000, 10_000];
+
+/// Generous per-app capacity ceiling so the binary search always has a
+/// feasible upper bound at every fleet size.
+fn capacity_limit(apps: usize) -> f64 {
+    64.0 * apps as f64
+}
+
+fn translated_workloads(fleet: &[AppWorkload], case: &CaseConfig) -> Vec<Workload> {
+    translate_fleet_threaded(fleet, case, 1)
+        .expect("case-study translation succeeds")
+        .into_iter()
+        .map(|t| t.workload)
+        .collect()
+}
+
+fn plan(fleet: &[AppWorkload], case: &CaseConfig, arena: &mut SlotArena) -> Option<f64> {
+    let commitments = case.commitments();
+    let workloads = translated_workloads(fleet, case);
+    let refs: Vec<&Workload> = workloads.iter().collect();
+    let load = AggregateLoad::of_pooled(&refs, arena).expect("aligned fleet");
+    let required = FitRequest::new(&load, &commitments)
+        .with_options(FitOptions::new().with_tolerance(0.05))
+        .required_capacity(capacity_limit(fleet.len()));
+    load.recycle(arena);
+    required
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let case = CaseConfig::table1()[2];
+    let mut group = c.benchmark_group("fleet_10k");
+    group.sample_size(10);
+    for apps in SIZES {
+        let fleet = fleet_n(apps);
+        let mut arena = SlotArena::new();
+        group.bench_with_input(BenchmarkId::new("plan", apps), &fleet, |b, fleet| {
+            b.iter(|| plan(black_box(fleet), &case, &mut arena))
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let case = CaseConfig::table1()[2];
+    let mut group = c.benchmark_group("fleet_10k");
+    group.sample_size(10);
+    for apps in SIZES {
+        let workloads = translated_workloads(&fleet_n(apps), &case);
+        let refs: Vec<&Workload> = workloads.iter().collect();
+        let mut arena = SlotArena::new();
+        group.bench_with_input(BenchmarkId::new("aggregate", apps), &refs, |b, refs| {
+            b.iter(|| {
+                let load =
+                    AggregateLoad::of_pooled(black_box(refs), &mut arena).expect("aligned fleet");
+                let peak = load.total_peak();
+                load.recycle(&mut arena);
+                peak
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan, bench_aggregate);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! CI smoke gate for the columnar fleet engine: one-shot timing of the
+//! 10,000-app × 4-week plan (translate → aggregate → required capacity)
+//! plus the 50-app reference pipeline, written as JSON under
+//! `target/bench/` so CI archives a machine-readable trajectory.
+//!
+//! Unlike the criterion `fleet_10k` group this takes a single
+//! measurement, so it finishes in seconds and is cheap enough to gate
+//! every CI run. The time budget is generous (the acceptance number has
+//! plenty of headroom) to keep the gate robust on loaded runners; tune it
+//! with `ROPUS_FLEET_SMOKE_BUDGET_S` or disable with `--no-gate`.
+//!
+//! Run with: `cargo run --release -p ropus-bench --bin fleet_smoke`
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use serde::Serialize;
+
+use ropus::case_study::{translate_fleet_threaded, CaseConfig};
+use ropus_bench::fleet_n;
+use ropus_obs::{Clock, WallClock};
+use ropus_placement::simulator::{AggregateLoad, FitOptions, FitRequest};
+use ropus_placement::workload::Workload;
+use ropus_placement::SlotArena;
+use ropus_trace::gen::AppWorkload;
+
+/// Default wall-clock budget for the 10k plan, seconds. The measured
+/// number is well under the acceptance target of 5 s; the gate sits above
+/// both so only a real regression (or a badly overloaded runner) trips it.
+const DEFAULT_BUDGET_S: f64 = 15.0;
+
+/// The archived summary, one JSON object per CI run.
+#[derive(Serialize)]
+struct SmokeSummary {
+    bench: &'static str,
+    weeks: usize,
+    slot_minutes: usize,
+    case: usize,
+    plan_50_ms: f64,
+    plan_50_cold_ms: f64,
+    required_50: f64,
+    plan_10000_s: f64,
+    plan_10000_cold_s: f64,
+    required_10000: f64,
+    budget_s: f64,
+    gated: bool,
+}
+
+/// Phase timings of one end-to-end plan, seconds.
+struct PlanTiming {
+    translate_s: f64,
+    aggregate_s: f64,
+    search_s: f64,
+    required: f64,
+}
+
+impl PlanTiming {
+    fn total_s(&self) -> f64 {
+        self.translate_s + self.aggregate_s + self.search_s
+    }
+}
+
+/// One timed end-to-end plan with a per-phase breakdown.
+fn timed_plan(fleet: &[AppWorkload], case: &CaseConfig, arena: &mut SlotArena) -> PlanTiming {
+    let commitments = case.commitments();
+    let clock = WallClock::new();
+    let start = clock.now_ms();
+    let workloads: Vec<Workload> = translate_fleet_threaded(fleet, case, 1)
+        .expect("case-study translation succeeds")
+        .into_iter()
+        .map(|t| t.workload)
+        .collect();
+    let translated = clock.now_ms();
+    let refs: Vec<&Workload> = workloads.iter().collect();
+    let load = AggregateLoad::of_pooled(&refs, arena).expect("aligned fleet");
+    let aggregated = clock.now_ms();
+    let required = FitRequest::new(&load, &commitments)
+        .with_options(FitOptions::new().with_tolerance(0.05))
+        .required_capacity(64.0 * fleet.len() as f64)
+        .expect("fleet fits under the generous ceiling");
+    let searched = clock.now_ms();
+    load.recycle(arena);
+    PlanTiming {
+        translate_s: (translated - start) / 1e3,
+        aggregate_s: (aggregated - translated) / 1e3,
+        search_s: (searched - aggregated) / 1e3,
+        required,
+    }
+}
+
+fn main() -> ExitCode {
+    let no_gate = std::env::args().any(|a| a == "--no-gate");
+    let budget_s = std::env::var("ROPUS_FLEET_SMOKE_BUDGET_S")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_BUDGET_S);
+    let case = CaseConfig::table1()[2];
+    let mut arena = SlotArena::new();
+
+    // Two runs per size: the first faults every output page cold (this
+    // VM's dominant cost at the GB scale), the second is the steady-state
+    // number criterion would report. The gate reads the steady-state run.
+    let fleet_small = fleet_n(50);
+    let small_cold = timed_plan(&fleet_small, &case, &mut arena);
+    let small = timed_plan(&fleet_small, &case, &mut arena);
+    drop(fleet_small);
+    let (small_s, small_required) = (small.total_s(), small.required);
+    println!(
+        "fleet_smoke: 50 apps × 4w plan: {:.1} ms steady ({:.1} cold; translate {:.1} + aggregate {:.1} + search {:.1}; required {small_required:.1} CPUs)",
+        small_s * 1e3,
+        small_cold.total_s() * 1e3,
+        small.translate_s * 1e3,
+        small.aggregate_s * 1e3,
+        small.search_s * 1e3,
+    );
+
+    let fleet_large = fleet_n(10_000);
+    let large_cold = timed_plan(&fleet_large, &case, &mut arena);
+    let large = timed_plan(&fleet_large, &case, &mut arena);
+    drop(fleet_large);
+    let (large_s, large_required) = (large.total_s(), large.required);
+    println!(
+        "fleet_smoke: 10000 apps × 4w plan: {large_s:.2} s steady ({:.2} cold; translate {:.2} + aggregate {:.2} + search {:.2}; required {large_required:.1} CPUs)",
+        large_cold.total_s(), large.translate_s, large.aggregate_s, large.search_s,
+    );
+
+    let summary = SmokeSummary {
+        bench: "fleet_10k_smoke",
+        weeks: 4,
+        slot_minutes: 5,
+        case: case.id,
+        plan_50_ms: small_s * 1e3,
+        plan_50_cold_ms: small_cold.total_s() * 1e3,
+        required_50: small_required,
+        plan_10000_s: large_s,
+        plan_10000_cold_s: large_cold.total_s(),
+        required_10000: large_required,
+        budget_s,
+        gated: !no_gate,
+    };
+    let json = serde_json::to_string_pretty(&summary).expect("serialize bench summary");
+    let dir = Path::new("target/bench");
+    fs::create_dir_all(dir).expect("create target/bench");
+    let path = dir.join("fleet_10k_smoke.json");
+    fs::write(&path, json + "\n").expect("write bench summary");
+    println!("fleet_smoke: wrote {}", path.display());
+
+    if !no_gate && large_s > budget_s {
+        eprintln!("fleet_smoke: FAIL — 10k plan took {large_s:.2} s (> {budget_s:.1} s budget)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -22,8 +22,14 @@ pub fn paper_fleet() -> Vec<AppWorkload> {
 /// A fleet-scale variant at roughly 2x the paper's case study (50 apps,
 /// 4 weeks, 5-minute slots) used by the end-to-end `fleet` benchmark.
 pub fn fleet_50() -> Vec<AppWorkload> {
+    fleet_n(50)
+}
+
+/// An `apps`-sized fleet on the paper's calendar (4 weeks, 5-minute
+/// slots), used by the `fleet_10k` scale benchmark and its CI smoke bin.
+pub fn fleet_n(apps: usize) -> Vec<AppWorkload> {
     case_study_fleet(&FleetConfig {
-        apps: 50,
+        apps,
         ..FleetConfig::paper()
     })
 }

@@ -273,6 +273,13 @@ pub fn replay(
     let mut extra = vec![0.0f64; n];
     let mut grant_base = vec![0.0f64; n];
     let mut grant_extra = vec![0.0f64; n];
+    // Per-app request columns for the current segment, replayed
+    // workload-major before the slot loop (managers restart at segment
+    // boundaries and only ever see their own demand, so running each
+    // column to completion is bit-identical to the old interleaved
+    // per-slot observe).
+    let mut req_cos1: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut req_cos2: Vec<Vec<f64>> = vec![Vec::new(); n];
 
     let slots_span = obs.span("chaos.replay.slots");
     for (k, seg) in segments.iter().enumerate() {
@@ -304,16 +311,23 @@ pub fn replay(
 
         // Managers restart at the segment boundary under the active
         // policy; with smoothing 1.0 the estimate equals current demand,
-        // so the reset is seamless.
-        let mut managers: Vec<WorkloadManager> = (0..n)
-            .map(|i| {
-                WorkloadManager::new(if plan.use_failure[i] {
-                    apps[i].failure_policy
-                } else {
-                    apps[i].normal_policy
-                })
-            })
-            .collect();
+        // so the reset is seamless. Each manager replays its whole
+        // segment column up front, so the slot loop reads precomputed
+        // request columns instead of stepping n managers per slot.
+        for (i, series) in samples.iter().enumerate() {
+            let mut manager = WorkloadManager::new(if plan.use_failure[i] {
+                apps[i].failure_policy
+            } else {
+                apps[i].normal_policy
+            });
+            req_cos1[i].clear();
+            req_cos2[i].clear();
+            for &d in &series[seg.start..seg.end] {
+                let request = manager.observe(d);
+                req_cos1[i].push(request.cos1);
+                req_cos2[i].push(request.cos2);
+            }
+        }
         let mut hosted: Vec<Vec<usize>> = vec![Vec::new(); id_cap];
         for i in 0..n {
             if let Some(s) = plan.assignment[i] {
@@ -322,12 +336,12 @@ pub fn replay(
         }
 
         for slot in seg.start..seg.end {
-            // Pass 1: every manager observes its demand and requests an
-            // allocation; outstanding backlog rides along as extra CoS2.
+            // Pass 1: read each app's precomputed request for this slot;
+            // outstanding backlog rides along as extra CoS2.
+            let off = slot - seg.start;
             for (i, series) in samples.iter().enumerate() {
                 demand[i] = series[slot];
-                let req = managers[i].observe(demand[i]);
-                requests[i] = (req.cos1, req.cos2);
+                requests[i] = (req_cos1[i][off], req_cos2[i][off]);
                 extra[i] = backlog[i].iter().map(|e| e.1).sum();
             }
             // Pass 2: each server grants CoS1 first (scaled down

@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 
 use ropus_obs::ObsCtx;
 use ropus_placement::consolidate::{ConsolidationOptions, Consolidator, PlacementReport};
+use ropus_placement::engine::parallel_map;
 use ropus_placement::server::ServerSpec;
 use ropus_placement::workload::Workload;
 use ropus_qos::translation::{translate, TranslationReport};
@@ -134,19 +135,37 @@ pub fn translate_fleet(
     fleet: &[AppWorkload],
     case: &CaseConfig,
 ) -> Result<Vec<TranslatedApp>, FrameworkError> {
+    translate_fleet_threaded(fleet, case, 1)
+}
+
+/// Translates the whole fleet across `threads` workers.
+///
+/// Per-app translations are independent, and the order-preserving
+/// [`parallel_map`](ropus_placement::engine::parallel_map()) joins
+/// results in input order, so the output — and every placement computed
+/// from it — is bit-identical to the serial [`translate_fleet`] path.
+///
+/// # Errors
+///
+/// Propagates translation failures (which the case-study constants should
+/// never trigger).
+pub fn translate_fleet_threaded(
+    fleet: &[AppWorkload],
+    case: &CaseConfig,
+    threads: usize,
+) -> Result<Vec<TranslatedApp>, FrameworkError> {
     let qos = case.app_qos();
     let cos2 = case.commitments().cos2;
-    fleet
-        .iter()
-        .map(|app| {
-            let t = translate(&app.trace, &qos, &cos2, ObsCtx::none())?;
-            Ok(TranslatedApp {
-                name: app.name.clone(),
-                report: t.report,
-                workload: Workload::from_translation(app.name.clone(), t),
-            })
+    parallel_map(threads, fleet, |app| {
+        let t = translate(&app.trace, &qos, &cos2, ObsCtx::none())?;
+        Ok(TranslatedApp {
+            name: app.name.clone(),
+            report: t.report,
+            workload: Workload::from_translation(app.name.clone(), t),
         })
-        .collect()
+    })
+    .into_iter()
+    .collect()
 }
 
 /// One Table I result row.
@@ -246,6 +265,16 @@ mod tests {
         let relaxed = translate_fleet(&fleet, &CaseConfig::table1()[2]).unwrap();
         for (s, r) in strict.iter().zip(relaxed.iter()) {
             assert!(r.report.peak_allocation <= s.report.peak_allocation + 1e-9);
+        }
+    }
+
+    #[test]
+    fn threaded_translation_is_bit_identical_to_serial() {
+        let fleet = small_fleet();
+        for case in &CaseConfig::table1() {
+            let serial = translate_fleet(&fleet, case).unwrap();
+            let threaded = translate_fleet_threaded(&fleet, case, 4).unwrap();
+            assert_eq!(serial, threaded, "case {} diverged across threads", case.id);
         }
     }
 

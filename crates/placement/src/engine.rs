@@ -29,7 +29,31 @@ use ropus_qos::PoolCommitments;
 use crate::score::{assignment_feasible, assignment_score_with, ScoreModel, ServerOutcome};
 use crate::server::ServerSpec;
 use crate::simulator::{AggregateLoad, FitOptions, FitRequest};
+use crate::sumtree::SlotArena;
 use crate::workload::Workload;
+
+/// Reusable per-worker scratch for the engine's hot loops: a pool of
+/// slot buffers for the transient aggregates each candidate evaluation
+/// builds, plus the key and bucket vectors every evaluation needs.
+///
+/// The GA and consolidation score thousands of candidate assignments;
+/// handing each scoring worker one `FitScratch` (see
+/// [`parallel_map_init`]) makes the inner loop allocation-free after
+/// warm-up. Scratch state never influences results — it only recycles
+/// storage — so scoring stays bit-identical across thread counts.
+#[derive(Debug, Default)]
+pub struct FitScratch {
+    arena: SlotArena,
+    key: Vec<u16>,
+    buckets: Vec<Vec<u16>>,
+}
+
+impl FitScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        FitScratch::default()
+    }
+}
 
 /// Runtime statistics of a [`FitEngine`] (and, when attached to a search
 /// outcome, of the search that drove it).
@@ -204,21 +228,44 @@ impl<'a> FitEngine<'a> {
     ///
     /// Panics if any index is out of range.
     pub fn server_required(&self, members: &[u16]) -> Option<f64> {
-        let mut key: Vec<u16> = members.to_vec();
-        key.sort_unstable();
-        // lint:allow(panic-expect): a poisoned mutex means a scoring
-        // worker already panicked; propagating is the only sound move.
-        if let Some(hit) = self.cache.lock().expect("fit cache poisoned").get(&key) {
+        self.server_required_scratch(members, &mut FitScratch::new())
+    }
+
+    /// [`server_required`](Self::server_required) with caller-provided
+    /// scratch: cache misses build their transient aggregate from the
+    /// scratch arena's pooled buffers and recycle it afterwards, so a
+    /// loop holding one scratch evaluates allocation-free after warm-up.
+    pub fn server_required_scratch(
+        &self,
+        members: &[u16],
+        scratch: &mut FitScratch,
+    ) -> Option<f64> {
+        scratch.key.clear();
+        scratch.key.extend_from_slice(members);
+        scratch.key.sort_unstable();
+        if let Some(hit) = self
+            .cache
+            .lock()
+            // lint:allow(panic-expect): a poisoned mutex means a scoring
+            // worker already panicked; propagating is the only sound move.
+            .expect("fit cache poisoned")
+            .get(&scratch.key)
+        {
             saturating_inc(&self.hits);
             return *hit;
         }
         saturating_inc(&self.misses);
-        // lint:allow(panic-slice-index): documented above — out-of-range
-        // member indices are a caller bug, not a recoverable state.
-        let refs: Vec<&Workload> = key.iter().map(|&i| &self.workloads[i as usize]).collect();
-        // lint:allow(panic-expect): member traces were validated aligned
-        // at engine construction.
-        let load = AggregateLoad::of(&refs).expect("members validated at engine construction");
+        let refs: Vec<&Workload> = scratch
+            .key
+            .iter()
+            // lint:allow(panic-slice-index): out-of-range member indices
+            // are a caller bug, not a recoverable state.
+            .map(|&i| &self.workloads[i as usize])
+            .collect();
+        let load = AggregateLoad::of_pooled(&refs, &mut scratch.arena)
+            // lint:allow(panic-expect): member traces were validated
+            // aligned at engine construction.
+            .expect("members validated at engine construction");
         let result = FitRequest::new(&load, &self.commitments)
             .with_options(
                 FitOptions::new()
@@ -226,10 +273,11 @@ impl<'a> FitEngine<'a> {
                     .with_tolerance(self.tolerance),
             )
             .required_capacity(self.server.capacity());
+        load.recycle(&mut scratch.arena);
         // lint:allow(panic-expect): see the lock note above.
         let mut cache = self.cache.lock().expect("fit cache poisoned");
         if self.cache_capacity == 0 || cache.len() < self.cache_capacity {
-            cache.insert(key, result);
+            cache.insert(scratch.key.clone(), result);
         }
         result
     }
@@ -238,7 +286,9 @@ impl<'a> FitEngine<'a> {
     /// pool when the engine has more than one thread. Results are in input
     /// order regardless of scheduling.
     pub fn required_many(&self, sets: &[Vec<u16>]) -> Vec<Option<f64>> {
-        parallel_map(self.threads, sets, |set| self.server_required(set))
+        parallel_map_init(self.threads, sets, FitScratch::new, |scratch, set| {
+            self.server_required_scratch(set, scratch)
+        })
     }
 
     /// Per-server outcomes of an assignment over `servers` servers.
@@ -248,28 +298,44 @@ impl<'a> FitEngine<'a> {
     /// Panics if an assignment entry is `>= servers` or the assignment
     /// length differs from the workload count.
     pub fn outcomes(&self, assignment: &[usize], servers: usize) -> Vec<ServerOutcome> {
+        self.outcomes_scratch(assignment, servers, &mut FitScratch::new())
+    }
+
+    /// [`outcomes`](Self::outcomes) with caller-provided scratch; the
+    /// membership buckets and transient aggregates reuse its buffers.
+    pub fn outcomes_scratch(
+        &self,
+        assignment: &[usize],
+        servers: usize,
+        scratch: &mut FitScratch,
+    ) -> Vec<ServerOutcome> {
         assert_eq!(
             assignment.len(),
             self.workloads.len(),
             "assignment length mismatch"
         );
-        let mut members: Vec<Vec<u16>> = vec![Vec::new(); servers];
+        let mut members = std::mem::take(&mut scratch.buckets);
+        members.iter_mut().for_each(Vec::clear);
+        if members.len() < servers {
+            members.resize_with(servers, Vec::new);
+        }
         for (app, &srv) in assignment.iter().enumerate() {
             assert!(
                 srv < servers,
                 "assignment targets server {srv} outside the pool"
             );
             // lint:allow(panic-slice-index): `srv < servers` asserted
-            // directly above, and `members` has exactly `servers` slots.
+            // directly above, and `members` has at least `servers` slots.
             members[srv].push(app as u16);
         }
-        members
+        let outcomes = members
             .iter()
+            .take(servers)
             .map(|set| {
                 if set.is_empty() {
                     return ServerOutcome::Unused;
                 }
-                match self.server_required(set) {
+                match self.server_required_scratch(set, scratch) {
                     Some(required) => ServerOutcome::Fits {
                         required,
                         utilization: required / self.server.capacity(),
@@ -279,12 +345,24 @@ impl<'a> FitEngine<'a> {
                     },
                 }
             })
-            .collect()
+            .collect();
+        scratch.buckets = members;
+        outcomes
     }
 
     /// Score and feasibility of an assignment.
     pub fn evaluate(&self, assignment: &[usize], servers: usize) -> (f64, bool) {
-        let outcomes = self.outcomes(assignment, servers);
+        self.evaluate_scratch(assignment, servers, &mut FitScratch::new())
+    }
+
+    /// [`evaluate`](Self::evaluate) with caller-provided scratch.
+    pub fn evaluate_scratch(
+        &self,
+        assignment: &[usize],
+        servers: usize,
+        scratch: &mut FitScratch,
+    ) -> (f64, bool) {
+        let outcomes = self.outcomes_scratch(assignment, servers, scratch);
         (
             assignment_score_with(&outcomes, self.score_model, self.server.cpus()),
             assignment_feasible(&outcomes),
@@ -297,12 +375,16 @@ impl<'a> FitEngine<'a> {
     /// Each evaluation is a pure function of its member sets, so the
     /// result vector is bit-identical to scoring serially in input order —
     /// the property that keeps the parallel GA deterministic per seed.
+    /// Every worker carries its own [`FitScratch`], so the population
+    /// loop recycles its aggregate buffers instead of allocating.
     pub fn score_assignments(
         &self,
         assignments: &[Vec<usize>],
         servers: usize,
     ) -> Vec<(f64, bool)> {
-        parallel_map(self.threads, assignments, |a| self.evaluate(a, servers))
+        parallel_map_init(self.threads, assignments, FitScratch::new, |scratch, a| {
+            self.evaluate_scratch(a, servers, scratch)
+        })
     }
 }
 
@@ -329,17 +411,45 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_init(threads, items, || (), |(), item| f(item))
+}
+
+/// [`parallel_map`] with per-worker mutable state: `init` runs once per
+/// worker (and once on the serial path) and `f` receives that worker's
+/// state alongside each item.
+///
+/// The state exists for *scratch reuse only* — pooled buffers, key
+/// vectors — and must not influence results; chunking and join order are
+/// those of [`parallel_map`], so the output stays identical to a serial
+/// map for any thread count.
+pub fn parallel_map_init<T, S, R, I, F>(threads: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     if threads <= 1 || items.len() < 2 {
-        return items.iter().map(&f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let workers = threads.min(items.len());
     let chunk_size = items.len().div_ceil(workers);
+    let init = &init;
     let f = &f;
     let mut results = Vec::with_capacity(items.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk_size)
-            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    chunk
+                        .iter()
+                        .map(|item| f(&mut state, item))
+                        .collect::<Vec<R>>()
+                })
+            })
             .collect();
         for handle in handles {
             // lint:allow(panic-expect): a worker panic is already fatal;
@@ -458,6 +568,51 @@ mod tests {
         assert_eq!(stats.cache_hits, u64::MAX, "hit counter pinned, not 0");
         assert_eq!(stats.evaluations, u64::MAX, "sum saturates too");
         assert!((stats.hit_rate() - 1.0).abs() < 1e-12, "MAX/MAX, not 0/MAX");
+    }
+
+    #[test]
+    fn scratch_paths_match_fresh_paths_bitwise() {
+        let fleet = constant_fleet(&[2.0, 3.0, 4.0, 5.0]);
+        let engine = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
+        let fresh = FitEngine::new(&fleet, ServerSpec::sixteen_way(), commitments(1.0), 0.05);
+        let mut scratch = FitScratch::new();
+        for set in [&[0u16][..], &[0, 1], &[1, 2, 3], &[0, 1, 2, 3]] {
+            assert_eq!(
+                engine.server_required_scratch(set, &mut scratch),
+                fresh.server_required(set)
+            );
+        }
+        // Whole-assignment evaluation through the same reused scratch.
+        let a = vec![0usize, 0, 1, 1];
+        assert_eq!(
+            engine.evaluate_scratch(&a, 2, &mut scratch),
+            fresh.evaluate(&a, 2)
+        );
+        // A smaller follow-up call reuses the larger bucket list.
+        let b = vec![0usize, 0, 0, 0];
+        assert_eq!(
+            engine.evaluate_scratch(&b, 1, &mut scratch),
+            fresh.evaluate(&b, 1)
+        );
+    }
+
+    #[test]
+    fn parallel_map_init_matches_serial_and_reuses_state() {
+        let items: Vec<usize> = (0..23).collect();
+        // Count how many items each worker state saw; results must not
+        // depend on that state.
+        let mapped = parallel_map_init(
+            4,
+            &items,
+            || 0usize,
+            |seen, &i| {
+                *seen += 1;
+                i * 3
+            },
+        );
+        assert_eq!(mapped, (0..23).map(|i| i * 3).collect::<Vec<_>>());
+        let serial = parallel_map_init(1, &items, || 0usize, |_, &i| i * 3);
+        assert_eq!(mapped, serial);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::engine::FitEngine;
+use crate::engine::{FitEngine, FitScratch};
 use crate::PlacementError;
 
 /// Which greedy packing order and bin-choice rule to use.
@@ -70,6 +70,9 @@ pub fn place(
 
     let mut bins: Vec<Vec<u16>> = Vec::new();
     let mut assignment = vec![usize::MAX; workloads.len()];
+    // One scratch for the whole placement: every candidate fit test
+    // recycles the same aggregate buffers.
+    let mut scratch = FitScratch::new();
 
     for &app in &order {
         let mut candidate: Vec<u16> = Vec::new();
@@ -81,7 +84,7 @@ pub fn place(
             candidate.clear();
             candidate.extend_from_slice(bin);
             candidate.push(app as u16);
-            let Some(required) = evaluator.server_required(&candidate) else {
+            let Some(required) = evaluator.server_required_scratch(&candidate, &mut scratch) else {
                 continue;
             };
             match strategy {
@@ -97,7 +100,7 @@ pub fn place(
                 }
                 GreedyStrategy::MinMarginalCapacity => {
                     let before = evaluator
-                        .server_required(bin)
+                        .server_required_scratch(bin, &mut scratch)
                         // lint:allow(panic-expect): every bin was admitted
                         // through this same fit check, so it must refit.
                         .expect("an existing bin always fits its own contents");
@@ -117,7 +120,10 @@ pub fn place(
             }
             None => {
                 // Open a new server; the workload must at least fit alone.
-                if evaluator.server_required(&[app as u16]).is_none() {
+                if evaluator
+                    .server_required_scratch(&[app as u16], &mut scratch)
+                    .is_none()
+                {
                     return Err(PlacementError::Infeasible {
                         servers: bins.len(),
                         message: format!(

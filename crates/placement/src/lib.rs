@@ -65,6 +65,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod error;
+mod sumtree;
 
 pub mod consolidate;
 pub mod engine;
@@ -79,3 +80,4 @@ pub mod simulator;
 pub mod workload;
 
 pub use error::PlacementError;
+pub use sumtree::SlotArena;

@@ -22,8 +22,9 @@ use std::collections::VecDeque;
 use serde::{Deserialize, Serialize};
 
 use ropus_qos::PoolCommitments;
-use ropus_trace::Calendar;
+use ropus_trace::{kernels, Calendar};
 
+use crate::sumtree::{SlotArena, SumTree};
 use crate::workload::{validate_workloads, Workload};
 use crate::PlacementError;
 
@@ -36,22 +37,60 @@ const EPSILON: f64 = 1e-9;
 /// Aggregating once makes each candidate-capacity evaluation O(trace
 /// length) regardless of how many workloads share the server.
 ///
-/// The aggregate retains its members (cheap: traces are `Arc`-backed) and
-/// always sums them in a *canonical* order — sorted by workload name —
-/// regardless of the order they were supplied or admitted in. That makes
-/// the summed slot vectors a pure function of the member *set*, so
-/// [`AggregateLoad::add`] / [`AggregateLoad::remove`] are bit-identical
-/// to a cold [`AggregateLoad::of`] over the same set: no `-0.0` residue
-/// or epsilon drift from incremental subtraction, because nothing is ever
-/// subtracted — touched aggregates are re-summed canonically.
-#[derive(Debug, Clone, PartialEq)]
+/// The aggregate retains its members (cheap: traces are `Arc`-backed) in
+/// canonical (name-sorted) order and keeps their slot sums in a
+/// `SumTree` — a treap whose shape, and therefore whose floating-point
+/// association, is a pure function of the member *set*. That makes
+/// [`AggregateLoad::add`] / [`AggregateLoad::remove`] bit-identical to a
+/// cold [`AggregateLoad::of`] over the same set while recomputing only
+/// the O(log n) partial sums on the touched root path, instead of the
+/// full O(n) re-sum the previous flat representation needed. Nothing is
+/// ever subtracted, so there is no incremental drift to reconcile — the
+/// periodic rebuild (every `RECONCILE_EVERY` mutations) is a structural
+/// compaction, and debug builds assert bit-equality against a cold build
+/// after every mutation. Duplicate member names have no canonical set
+/// order; such degenerate aggregates fall back to a cold rebuild per
+/// mutation.
+#[derive(Debug, Clone)]
 pub struct AggregateLoad {
     calendar: Calendar,
     members: Vec<Workload>,
-    cos1: Vec<f64>,
-    cos2: Vec<f64>,
+    tree: SumTree,
+    /// Materialized per-slot total (CoS1 + CoS2) allocation — the one
+    /// contiguous vector every fit evaluation scans.
+    totals: Vec<f64>,
     cos1_peak_sum: f64,
     memory_peak: f64,
+    /// Incremental mutations since the tree was last cold-built.
+    mutations: u32,
+    /// Whether member names are pairwise distinct (the set-pure fast path).
+    unique_names: bool,
+}
+
+/// Incremental mutations between cold tree rebuilds. The rebuild drops
+/// freed tree slots and excess pooled buffers; it is *not* a numerical
+/// correction (incremental sums are bit-identical by construction).
+const RECONCILE_EVERY: u32 = 64;
+
+/// Whether the (sorted) member names are pairwise distinct.
+fn names_unique(members: &[Workload]) -> bool {
+    members
+        .iter()
+        .zip(members.iter().skip(1))
+        .all(|(a, b)| a.name() != b.name())
+}
+
+impl PartialEq for AggregateLoad {
+    /// Structural equality on the aggregated state; the sum tree and the
+    /// reconciliation bookkeeping are maintenance details and do not
+    /// participate.
+    fn eq(&self, other: &Self) -> bool {
+        self.calendar == other.calendar
+            && self.cos1_peak_sum == other.cos1_peak_sum
+            && self.memory_peak == other.memory_peak
+            && self.totals == other.totals
+            && self.members == other.members
+    }
 }
 
 impl AggregateLoad {
@@ -62,64 +101,118 @@ impl AggregateLoad {
     /// Returns a [`PlacementError`] if the set is empty, misaligned, or
     /// does not cover whole weeks.
     pub fn of(workloads: &[&Workload]) -> Result<Self, PlacementError> {
+        Self::of_pooled(workloads, &mut SlotArena::new())
+    }
+
+    /// [`AggregateLoad::of`], drawing every slot buffer from `arena`.
+    ///
+    /// Paired with [`AggregateLoad::recycle`], this is the
+    /// allocation-free path for the transient aggregates hot placement
+    /// loops build per candidate assignment: after warm-up, construction
+    /// reuses the buffers the previous candidate returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlacementError`] if the set is empty, misaligned, or
+    /// does not cover whole weeks.
+    pub fn of_pooled(
+        workloads: &[&Workload],
+        arena: &mut SlotArena,
+    ) -> Result<Self, PlacementError> {
         validate_workloads(workloads.iter().copied())?;
         let calendar = workloads[0].cos1().calendar();
         let mut members: Vec<Workload> = workloads.iter().map(|w| (*w).clone()).collect();
         members.sort_by(|a, b| a.name().cmp(b.name()));
+        let unique_names = names_unique(&members);
+        let mut tree = SumTree::build(&members, arena);
+        let totals = tree.take_buf();
         let mut load = AggregateLoad {
             calendar,
             members,
-            cos1: Vec::new(),
-            cos2: Vec::new(),
+            tree,
+            totals,
             cos1_peak_sum: 0.0,
             memory_peak: 0.0,
+            mutations: 0,
+            unique_names,
         };
-        load.resum();
+        load.rematerialize();
         Ok(load)
     }
 
-    /// Re-sums the slot vectors and peaks from the canonically ordered
-    /// member list. Every mutation funnels through here, so the summed
-    /// state is always exactly what a cold build of the same set yields.
-    fn resum(&mut self) {
-        let len = self.members.first().map_or(0, Workload::len);
-        let mut cos1 = vec![0.0; len];
-        let mut cos2 = vec![0.0; len];
-        let mut memory = vec![0.0; len];
-        let mut cos1_peak_sum = 0.0;
-        let mut any_memory = false;
-        for w in &self.members {
-            for (acc, &v) in cos1.iter_mut().zip(w.cos1_view().samples()) {
-                *acc += v;
-            }
-            for (acc, &v) in cos2.iter_mut().zip(w.cos2_view().samples()) {
-                *acc += v;
-            }
-            if let Some(m) = w.memory_view() {
-                any_memory = true;
-                for (acc, &v) in memory.iter_mut().zip(m.samples()) {
-                    *acc += v;
-                }
-            }
-            cos1_peak_sum += w.cos1_peak();
+    /// Consumes the aggregate, returning its slot buffers to `arena` so
+    /// the next [`AggregateLoad::of_pooled`] allocates nothing.
+    pub fn recycle(self, arena: &mut SlotArena) {
+        arena.give(self.totals);
+        self.tree.recycle_into(arena);
+    }
+
+    /// Refreshes the materialized totals and peaks from the tree root and
+    /// the canonical member list.
+    fn rematerialize(&mut self) {
+        self.totals.clear();
+        if let Some(cos1) = self.tree.root_cos1() {
+            self.totals.extend_from_slice(cos1);
+        }
+        if let Some(cos2) = self.tree.root_cos2() {
+            kernels::add_assign(&mut self.totals, cos2);
         }
         // Memory is not time-shareable, so only its aggregate peak matters.
-        let memory_peak = if any_memory {
-            memory.iter().copied().fold(0.0, f64::max)
-        } else {
-            0.0
-        };
-        self.cos1 = cos1;
-        self.cos2 = cos2;
-        self.cos1_peak_sum = cos1_peak_sum;
-        self.memory_peak = memory_peak;
+        self.memory_peak = self
+            .tree
+            .root_memory()
+            .map_or(0.0, |m| m.iter().copied().fold(0.0, f64::max));
+        self.cos1_peak_sum = self.members.iter().map(Workload::cos1_peak).sum();
     }
+
+    /// Cold-rebuilds the tree from the canonical member list, recycling
+    /// the old tree's buffers, and resets the reconciliation counter.
+    fn rebuild_tree(&mut self) {
+        let mut arena = SlotArena::new();
+        let old = std::mem::replace(&mut self.tree, SumTree::empty());
+        old.recycle_into(&mut arena);
+        self.tree = SumTree::build(&self.members, &mut arena);
+        self.unique_names = names_unique(&self.members);
+        self.mutations = 0;
+    }
+
+    /// Counts one incremental mutation, compacting the tree periodically.
+    fn note_mutation(&mut self) {
+        self.mutations += 1;
+        if self.mutations >= RECONCILE_EVERY {
+            self.rebuild_tree();
+        }
+    }
+
+    /// Debug-build reconciliation: the incrementally maintained state
+    /// must be bit-identical to a cold build of the current member set.
+    #[cfg(debug_assertions)]
+    fn debug_reconcile(&self) {
+        let refs: Vec<&Workload> = self.members.iter().collect();
+        // lint:allow(panic-expect): debug-build-only check; the members
+        // were validated as aligned when they were admitted.
+        let cold = AggregateLoad::of(&refs).expect("members were validated on admission");
+        assert_eq!(self.totals.len(), cold.totals.len());
+        for (a, b) in self.totals.iter().zip(&cold.totals) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "incremental aggregate diverged from a cold rebuild"
+            );
+        }
+        assert_eq!(self.cos1_peak_sum.to_bits(), cold.cos1_peak_sum.to_bits());
+        assert_eq!(self.memory_peak.to_bits(), cold.memory_peak.to_bits());
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_reconcile(&self) {}
 
     /// Adds one workload to the aggregate.
     ///
     /// The member joins at its canonical (name-sorted) position and the
-    /// slot vectors are re-summed, so the result is bit-identical to a
-    /// cold [`AggregateLoad::of`] over the enlarged set.
+    /// sum tree recomputes the partial sums on its root path, so the
+    /// result is bit-identical to a cold [`AggregateLoad::of`] over the
+    /// enlarged set at O(slots · log n) cost.
     ///
     /// # Errors
     ///
@@ -135,16 +228,30 @@ impl AggregateLoad {
         let at = self
             .members
             .partition_point(|m| m.name() <= workload.name());
+        // The insertion point sits after any members of the same name, so
+        // a duplicate (if present) is exactly the predecessor.
+        let duplicate = self
+            .members
+            .get(at.wrapping_sub(1))
+            .is_some_and(|m| m.name() == workload.name());
         self.members.insert(at, workload.clone());
-        self.resum();
+        if self.unique_names && !duplicate {
+            self.tree.insert(workload.clone());
+            self.note_mutation();
+        } else {
+            self.rebuild_tree();
+        }
+        self.rematerialize();
+        self.debug_reconcile();
         Ok(())
     }
 
     /// Removes the named workload from the aggregate.
     ///
-    /// The remaining members are re-summed in canonical order, so the
-    /// result is bit-identical to a cold [`AggregateLoad::of`] over the
-    /// reduced set — removing and re-adding a member round-trips exactly.
+    /// The sum tree recomputes the partial sums on the removed member's
+    /// root path, so the result is bit-identical to a cold
+    /// [`AggregateLoad::of`] over the reduced set — removing and
+    /// re-adding a member round-trips exactly.
     ///
     /// # Errors
     ///
@@ -159,7 +266,19 @@ impl AggregateLoad {
             .filter(|_| self.members.len() > 1)
             .ok_or(PlacementError::NoWorkloads)?;
         let removed = self.members.remove(at);
-        self.resum();
+        if self.unique_names {
+            if self.tree.remove(name).is_some() {
+                self.note_mutation();
+            } else {
+                // Unreachable while the flag is accurate; rebuild to stay
+                // safe rather than serve stale sums.
+                self.rebuild_tree();
+            }
+        } else {
+            self.rebuild_tree();
+        }
+        self.rematerialize();
+        self.debug_reconcile();
         Ok(removed)
     }
 
@@ -186,24 +305,29 @@ impl AggregateLoad {
 
     /// Number of aggregated slots.
     pub fn len(&self) -> usize {
-        self.cos1.len()
+        self.totals.len()
     }
 
     /// Whether there are no slots (never true for a constructed value).
     pub fn is_empty(&self) -> bool {
-        self.cos1.is_empty()
+        self.totals.is_empty()
     }
 
     /// Total aggregate allocation at a slot.
     fn total(&self, index: usize) -> f64 {
-        // lint:allow(panic-slice-index): both traces were validated
-        // equal-length at construction and callers iterate `0..len()`.
-        self.cos1[index] + self.cos2[index]
+        // lint:allow(panic-slice-index): the materialized totals cover
+        // exactly `0..len()` and callers iterate that range.
+        self.totals[index]
+    }
+
+    /// The materialized per-slot total allocation trace.
+    pub(crate) fn totals(&self) -> &[f64] {
+        &self.totals
     }
 
     /// Peak of the total aggregate allocation trace.
     pub fn total_peak(&self) -> f64 {
-        (0..self.len()).map(|i| self.total(i)).fold(0.0, f64::max)
+        self.totals.iter().copied().fold(0.0, f64::max)
     }
 }
 
@@ -269,8 +393,7 @@ pub fn access_probability(load: &AggregateLoad, capacity: f64) -> f64 {
 /// (oldest shortfall first).
 pub fn deadline_satisfied(load: &AggregateLoad, capacity: f64, deadline_slots: usize) -> bool {
     let mut backlog: VecDeque<(usize, f64)> = VecDeque::new();
-    for slot in 0..load.len() {
-        let total = load.total(slot);
+    for (slot, &total) in load.totals().iter().enumerate() {
         if total > capacity {
             backlog.push_back((slot, total - capacity));
         } else {
@@ -791,6 +914,80 @@ mod tests {
         // Removing the last member is rejected: drop the aggregate instead.
         assert!(load.remove("a").is_err());
         assert_eq!(load.members().len(), 1);
+    }
+
+    #[test]
+    fn long_mutation_history_stays_bit_exact() {
+        // 200 admit/depart/readmit mutations over a 12-workload pool,
+        // crossing the periodic-compaction boundary several times; the
+        // final state must be bit-identical to a cold build of the set.
+        let pool: Vec<Workload> = (0..12)
+            .map(|i| {
+                spiky_workload(
+                    &format!("w{i:02}"),
+                    0.2 + i as f64 * 0.13,
+                    3.0 + i as f64 * 0.7,
+                    3 + i % 7,
+                )
+            })
+            .collect();
+        let mut load = AggregateLoad::of(&[&pool[0], &pool[1], &pool[2]]).unwrap();
+        for step in 0..200 {
+            let w = &pool[step % pool.len()];
+            let is_member = load.members().iter().any(|m| m.name() == w.name());
+            if is_member && load.members().len() > 1 {
+                load.remove(w.name()).unwrap();
+            } else if !is_member {
+                load.add(w).unwrap();
+            }
+        }
+        let refs: Vec<&Workload> = load.members().iter().collect();
+        let names: Vec<String> = refs.iter().map(|w| w.name().to_string()).collect();
+        let cold_members: Vec<&Workload> = pool
+            .iter()
+            .filter(|w| names.contains(&w.name().to_string()))
+            .collect();
+        let cold = AggregateLoad::of(&cold_members).unwrap();
+        assert_eq!(load, cold);
+        for i in 0..load.len() {
+            assert_eq!(load.total(i).to_bits(), cold.total(i).to_bits());
+        }
+        assert_eq!(
+            load.cos1_peak_sum().to_bits(),
+            cold.cos1_peak_sum().to_bits()
+        );
+    }
+
+    #[test]
+    fn duplicate_names_fall_back_to_cold_rebuilds() {
+        // Duplicate names have no canonical set order; the aggregate must
+        // still mutate correctly via its cold-rebuild fallback.
+        let a1 = spiky_workload("dup", 0.5, 2.0, 4);
+        let a2 = spiky_workload("dup", 1.0, 3.0, 6);
+        let b = spiky_workload("z", 0.2, 1.0, 2);
+        let mut load = AggregateLoad::of(&[&a1, &a2]).unwrap();
+        load.add(&b).unwrap();
+        assert_eq!(load.members().len(), 3);
+        let removed = load.remove("dup").unwrap();
+        assert_eq!(removed.name(), "dup");
+        assert_eq!(load.members().len(), 2);
+        assert!(load.total_peak() > 0.0);
+    }
+
+    #[test]
+    fn pooled_aggregates_recycle_their_buffers() {
+        let a = spiky_workload("a", 0.3, 7.1, 5);
+        let b = spiky_workload("b", 1.7, 3.3, 9);
+        let mut arena = SlotArena::new();
+        let pooled = AggregateLoad::of_pooled(&[&a, &b], &mut arena).unwrap();
+        assert_eq!(pooled, AggregateLoad::of(&[&a, &b]).unwrap());
+        pooled.recycle(&mut arena);
+        let before = arena.pooled();
+        assert!(before > 0);
+        // A second pooled build reuses the returned buffers.
+        let again = AggregateLoad::of_pooled(&[&a, &b], &mut arena).unwrap();
+        again.recycle(&mut arena);
+        assert_eq!(arena.pooled(), before);
     }
 
     #[test]

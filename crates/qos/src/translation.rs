@@ -17,8 +17,7 @@ use ropus_trace::runs::{first_full_window, min_in_range, runs_where};
 use ropus_trace::Trace;
 
 use crate::portfolio::{
-    breakpoint, cap_for_degraded_threshold, degraded_threshold, split_demand,
-    worst_case_utilization,
+    breakpoint, cap_for_degraded_threshold, degraded_threshold, worst_case_utilization,
 };
 use crate::{AppQos, CosSpec, QosError};
 
@@ -174,21 +173,28 @@ pub fn translate(
     let (cos1, cos2_trace) = if p == 0.0 {
         // Below the breakpoint everything rides in CoS2: for every `d`,
         // `split_demand(d, 0, cap)` is `(0, min(d, cap))`, so the class
-        // traces are expressible as whole-trace operations. `capped` and
-        // `scaled` share the demand buffer when the cap does not bind and
-        // the burst factor is 1, making this arm allocation-free for
-        // already-capped demand instead of materializing two vectors.
+        // trace is the fused cap-and-scale kernel over the whole demand
+        // buffer. `cap_scaled` shares the demand buffer when neither the
+        // cap nor the burst factor binds, making this arm allocation-free
+        // for already-capped demand instead of materializing two vectors.
         let cos1 = Trace::constant(calendar, 0.0, demand.len())?;
-        let cos2_trace = demand.capped(d_new_max)?.scaled(burst_factor)?;
+        let cos2_trace = demand.cap_scaled(d_new_max, burst_factor)?;
         (cos1, cos2_trace)
     } else {
+        // The columnar CoS-split kernel performs, per slot, exactly the
+        // operations of `split_demand` followed by the burst scaling, so
+        // this arm is bit-identical to the scalar loop it replaced (the
+        // kernel-equivalence proptests pin that down).
         let mut cos1_samples = Vec::with_capacity(demand.len());
         let mut cos2_samples = Vec::with_capacity(demand.len());
-        for d in demand.iter() {
-            let split = split_demand(d, p, d_new_max);
-            cos1_samples.push(split.cos1 * burst_factor);
-            cos2_samples.push(split.cos2 * burst_factor);
-        }
+        ropus_trace::kernels::split_cos_into(
+            demand.samples(),
+            p,
+            d_new_max,
+            burst_factor,
+            &mut cos1_samples,
+            &mut cos2_samples,
+        );
         (
             Trace::from_samples(calendar, cos1_samples)?,
             Trace::from_samples(calendar, cos2_samples)?,
@@ -247,8 +253,16 @@ pub fn demand_cap(demand: &Trace, qos: &AppQos) -> f64 {
     };
     let band = qos.band();
     // Upper nearest-rank percentile: guarantees at most M_degr of the
-    // measurements sit strictly above the cap.
-    let d_m = demand.percentile_upper(degr.acceptable_percentile());
+    // measurements sit strictly above the cap. Translation queries exactly
+    // one percentile per demand trace, so the O(len) quickselect kernel
+    // beats sorting — and skips populating the trace's sorted cache, which
+    // at fleet scale would fault hundreds of MB of cold pages. The kernel
+    // returns the same order statistic bit-for-bit.
+    let d_m = ropus_trace::kernels::percentile_upper_select(
+        demand.samples(),
+        degr.acceptable_percentile(),
+        &mut Vec::new(),
+    );
     let a_ok = d_m / band.high();
     let a_degr = d_max / degr.u_degr();
     if a_ok >= a_degr {

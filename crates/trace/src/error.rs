@@ -18,6 +18,13 @@ pub enum TraceError {
         /// The rejected slot length in minutes.
         minutes: u32,
     },
+    /// Two traces that must share a calendar did not.
+    CalendarMismatch {
+        /// Slot length (minutes) of the left-hand trace's calendar.
+        left: u32,
+        /// Slot length (minutes) of the right-hand trace's calendar.
+        right: u32,
+    },
     /// Two traces that must share a calendar and length did not.
     Misaligned {
         /// Length of the left-hand trace.
@@ -58,6 +65,12 @@ impl fmt::Display for TraceError {
                     "slot length of {minutes} minutes does not divide a day evenly"
                 )
             }
+            TraceError::CalendarMismatch { left, right } => {
+                write!(
+                    f,
+                    "traces use different calendars: {left}-minute vs {right}-minute slots"
+                )
+            }
             TraceError::Misaligned { left, right } => {
                 write!(
                     f,
@@ -92,6 +105,7 @@ mod tests {
                 value: f64::NAN,
             },
             TraceError::InvalidSlotLength { minutes: 7 },
+            TraceError::CalendarMismatch { left: 5, right: 60 },
             TraceError::Misaligned {
                 left: 10,
                 right: 12,

@@ -1,0 +1,264 @@
+//! Chunked, auto-vectorizable slot kernels.
+//!
+//! Every hot loop over demand slots funnels through this module so the
+//! codebase has exactly one place where the floating-point association of
+//! each operation is pinned down. Two families live here:
+//!
+//! * **Element-wise kernels** (`add_assign`, `sub_saturating`, `cap_scale`,
+//!   `split_cos`, …) — each output slot depends on one input slot, so the
+//!   loop carries no dependency and LLVM vectorizes the plain `zip` form.
+//!   These are *bit-identical* to the obvious scalar loop by construction:
+//!   chunking independent elements never reassociates anything.
+//! * **Reduction kernels** (`sum`, `mean`, `variance`) — a strict
+//!   left-to-right `f64` fold cannot be vectorized, so these use a fixed
+//!   [`LANES`]-wide accumulation whose association is part of the kernel's
+//!   *definition*: lane `j` sums slots `j, j+LANES, j+2·LANES, …`, the lane
+//!   totals combine pairwise, and the trailing remainder folds in last.
+//!   The association depends only on the input length — never on threads,
+//!   chunk scheduling, or platform — so results are deterministic and
+//!   reproducible everywhere.
+//!
+//! The sorting kernel [`sorted`] is the single sanctioned
+//! sample-buffer copy for order statistics; [`Trace`](crate::Trace) callers
+//! should prefer the cached [`Trace::sorted_samples`](crate::Trace::sorted_samples)
+//! view, which pays this copy once per window.
+
+/// Number of independent accumulator lanes used by the reduction kernels.
+///
+/// Part of the kernel definition: changing it changes results (by ulps) and
+/// invalidates recorded experiment numbers.
+pub const LANES: usize = 4;
+
+/// Element-wise `acc[i] += xs[i]` over the common prefix of the slices.
+///
+/// This is the aggregation primitive: summing a fleet column into a
+/// per-slot total. Accumulating columns one at a time keeps the per-slot
+/// association identical to the scalar reference loop
+/// (`for each column c { for each slot i { acc[i] += c[i] } }`).
+pub fn add_assign(acc: &mut [f64], xs: &[f64]) {
+    debug_assert_eq!(acc.len(), xs.len(), "kernel operands must be aligned");
+    for (a, &x) in acc.iter_mut().zip(xs) {
+        *a += x;
+    }
+}
+
+/// Element-wise `out[i] = a[i] - b[i]`, clamped at zero.
+///
+/// Used for unmet-demand computation (`demand - served`); the clamp keeps
+/// results valid trace samples when `b` exceeds `a` by rounding.
+pub fn sub_saturating_into(out: &mut Vec<f64>, a: &[f64], b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len(), "kernel operands must be aligned");
+    out.clear();
+    out.extend(a.iter().zip(b).map(|(&x, &y)| (x - y).max(0.0)));
+}
+
+/// Element-wise `out[i] = min(xs[i], cap) * factor`.
+///
+/// The fused form of the translation's demand cap followed by the burst
+/// scale. `min` is exact, so the fusion is bit-identical to capping into a
+/// temporary and scaling it afterwards.
+pub fn cap_scale_into(out: &mut Vec<f64>, xs: &[f64], cap: f64, factor: f64) {
+    out.clear();
+    out.extend(xs.iter().map(|&v| v.min(cap) * factor));
+}
+
+/// Element-wise CoS split of a demand column (translation inner loop).
+///
+/// For each slot: `capped = min(d, cap)`, `cos1 = min(capped, p · cap)`,
+/// `cos2 = capped − cos1`, both scaled by `factor`. This reproduces
+/// `portfolio::split_demand` exactly, slot by slot, so the columnar
+/// translation is bit-identical to the per-sample scalar path.
+pub fn split_cos_into(
+    demand: &[f64],
+    p: f64,
+    cap: f64,
+    factor: f64,
+    cos1_out: &mut Vec<f64>,
+    cos2_out: &mut Vec<f64>,
+) {
+    cos1_out.clear();
+    cos2_out.clear();
+    cos1_out.reserve(demand.len());
+    cos2_out.reserve(demand.len());
+    let split_at = p * cap;
+    for &d in demand {
+        let capped = d.min(cap);
+        let cos1 = capped.min(split_at);
+        let cos2 = capped - cos1;
+        cos1_out.push(cos1 * factor);
+        cos2_out.push(cos2 * factor);
+    }
+}
+
+/// Ascending sort of a sample slice into a fresh buffer (`total_cmp`
+/// order), the shared primitive behind every percentile query.
+///
+/// This is the one deliberate O(len) copy in the statistics path: order
+/// statistics need owned, mutable storage. [`Trace`](crate::Trace) caches
+/// the result per window so repeated percentile queries pay it once.
+pub fn sorted(values: &[f64]) -> Vec<f64> {
+    let mut owned = values.to_vec();
+    owned.sort_by(f64::total_cmp);
+    owned
+}
+
+/// Upper nearest-rank percentile by quickselect: the one-shot companion
+/// of the sorted-cache path, returning `sorted[ceil(q/100 · (n−1))]`
+/// without sorting. The k-th order statistic under `total_cmp` is a fixed
+/// element of the sample multiset whatever algorithm finds it, so this is
+/// bit-identical to sorting first — in O(len) instead of O(len log len),
+/// and without materializing a per-trace sorted cache. `scratch` is
+/// clobbered (and reused across calls by hot translation loops).
+///
+/// # Panics
+///
+/// Panics if `q` is NaN or outside `[0, 100]`.
+pub fn percentile_upper_select(samples: &[f64], q: f64, scratch: &mut Vec<f64>) -> f64 {
+    assert!(
+        (0.0..=100.0).contains(&q),
+        "percentile {q} outside [0, 100]"
+    );
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let rank = (q / 100.0 * (samples.len() - 1) as f64).ceil() as usize;
+    let rank = rank.min(samples.len() - 1);
+    scratch.clear();
+    scratch.extend_from_slice(samples);
+    let (_, value, _) = scratch.select_nth_unstable_by(rank, f64::total_cmp);
+    *value
+}
+
+/// Lane-chunked sum with the fixed association documented at the module
+/// level. Returns 0 for an empty slice.
+pub fn sum(values: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; LANES];
+    let chunks = values.chunks_exact(LANES);
+    let remainder = chunks.remainder();
+    for chunk in chunks {
+        for (lane, &v) in lanes.iter_mut().zip(chunk) {
+            *lane += v;
+        }
+    }
+    let mut tail = 0.0;
+    for &v in remainder {
+        tail += v;
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+}
+
+/// Lane-chunked arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    sum(values) / values.len() as f64
+}
+
+/// Lane-chunked population variance; 0 for slices shorter than 2.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let mut lanes = [0.0f64; LANES];
+    let chunks = values.chunks_exact(LANES);
+    let remainder = chunks.remainder();
+    for chunk in chunks {
+        for (lane, &v) in lanes.iter_mut().zip(chunk) {
+            *lane += (v - m) * (v - m);
+        }
+    }
+    let mut tail = 0.0;
+    for &v in remainder {
+        tail += (v - m) * (v - m);
+    }
+    (((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail) / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_matches_scalar_reference() {
+        let mut acc = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let xs = [0.5, 0.25, 0.125, 0.0625, 0.03125];
+        let mut reference = acc.clone();
+        for (r, &x) in reference.iter_mut().zip(&xs) {
+            *r += x;
+        }
+        add_assign(&mut acc, &xs);
+        assert_eq!(acc, reference);
+    }
+
+    #[test]
+    fn sub_saturating_clamps_at_zero() {
+        let mut out = Vec::new();
+        sub_saturating_into(&mut out, &[3.0, 1.0, 2.0], &[1.0, 2.0, 2.0]);
+        assert_eq!(out, vec![2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn cap_scale_fuses_exactly() {
+        let xs = [1.0, 5.0, 3.0, 0.7];
+        let mut fused = Vec::new();
+        cap_scale_into(&mut fused, &xs, 3.0, 1.25);
+        let reference: Vec<f64> = xs.iter().map(|&v| v.min(3.0)).map(|v| v * 1.25).collect();
+        assert_eq!(fused, reference);
+    }
+
+    #[test]
+    fn split_cos_conserves_capped_demand() {
+        let demand = [0.0, 1.0, 2.0, 5.0, 10.0];
+        let (p, cap, factor) = (0.4, 4.0, 1.5);
+        let mut cos1 = Vec::new();
+        let mut cos2 = Vec::new();
+        split_cos_into(&demand, p, cap, factor, &mut cos1, &mut cos2);
+        for ((&d, &c1), &c2) in demand.iter().zip(&cos1).zip(&cos2) {
+            let capped = d.min(cap);
+            assert!((c1 + c2 - capped * factor).abs() < 1e-12);
+            assert!(c1 <= p * cap * factor + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sorted_is_ascending_and_total() {
+        let s = sorted(&[3.0, 1.0, 2.0, 1.0]);
+        assert_eq!(s, vec![1.0, 1.0, 2.0, 3.0]);
+        assert!(sorted(&[]).is_empty());
+    }
+
+    #[test]
+    fn sum_matches_lane_definition() {
+        // Scalar reference implementing the documented association.
+        fn sum_ref(values: &[f64]) -> f64 {
+            let full = values.len() - values.len() % LANES;
+            let mut lanes = [0.0f64; LANES];
+            for (i, &v) in values[..full].iter().enumerate() {
+                lanes[i % LANES] += v;
+            }
+            let mut tail = 0.0;
+            for &v in &values[full..] {
+                tail += v;
+            }
+            ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+        }
+        let values: Vec<f64> = (0..103)
+            .map(|i| (i as f64) * 0.1 + 1e10 / (i + 1) as f64)
+            .collect();
+        assert_eq!(sum(&values), sum_ref(&values));
+        assert_eq!(sum(&[]), 0.0);
+        // Close to the naive fold as well.
+        let naive: f64 = values.iter().sum();
+        assert!((sum(&values) - naive).abs() / naive < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(variance(&[2.0, 4.0]), 1.0);
+    }
+}

@@ -10,6 +10,12 @@
 //!   immutable buffer so clones and weekly windows are allocation-free;
 //! * [`TraceView`] — the borrowed, lifetime-bound companion of [`Trace`]
 //!   for layers that only read samples;
+//! * [`FleetMatrix`] — columnar, slot-major storage packing a whole
+//!   fleet's traces into one contiguous buffer with O(1) per-app `Trace`
+//!   windows;
+//! * [`kernels`] — the chunked, auto-vectorizable slot kernels
+//!   (aggregate, cap/scale, CoS split, lane-chunked reductions) every hot
+//!   loop funnels through;
 //! * [`stats`] — percentiles, summaries and the distribution samplers used
 //!   by the generator;
 //! * [`rng`] — a deterministic, splittable PRNG so experiments are
@@ -46,14 +52,17 @@
 
 mod calendar;
 mod error;
+mod matrix;
 mod trace;
 
 pub mod gen;
 pub mod io;
+pub mod kernels;
 pub mod rng;
 pub mod runs;
 pub mod stats;
 
 pub use calendar::{Calendar, DayOfWeek, SlotPosition};
 pub use error::TraceError;
+pub use matrix::FleetMatrix;
 pub use trace::{Trace, TraceView};

@@ -1,0 +1,276 @@
+//! Columnar, slot-major storage for a whole fleet of demand traces.
+//!
+//! [`FleetMatrix`] packs every app's slots into **one** contiguous
+//! `Arc<Vec<f64>>`: column `a` (app `a`) occupies the slot-major run
+//! `buf[a·slots .. (a+1)·slots]`. Consequences:
+//!
+//! * per-app access is a contiguous slice — every kernel in
+//!   [`crate::kernels`] runs at full memory bandwidth over a column;
+//! * a column converts to a [`Trace`] in O(1): the trace is a window over
+//!   the shared fleet buffer (same machinery as `weeks_range`), so the
+//!   columnar and per-`Trace` worlds coexist without copying;
+//! * the buffer is immutable after construction, which is what keeps
+//!   caches keyed by trace identity (the placement `FitEngine` memo, the
+//!   per-window sorted views) sound.
+
+use std::sync::Arc;
+
+use crate::kernels;
+use crate::{Calendar, Trace, TraceError, TraceView};
+
+/// A fleet of equally long, calendar-aligned traces in one slot-major
+/// contiguous buffer; see the module docs for the layout.
+///
+/// # Example
+///
+/// ```
+/// use ropus_trace::{Calendar, FleetMatrix, Trace};
+///
+/// # fn main() -> Result<(), ropus_trace::TraceError> {
+/// let cal = Calendar::five_minute();
+/// let a = Trace::from_samples(cal, vec![1.0, 2.0])?;
+/// let b = Trace::from_samples(cal, vec![0.5, 0.5])?;
+/// let fleet = FleetMatrix::from_traces(&[a, b])?;
+/// assert_eq!(fleet.apps(), 2);
+/// assert_eq!(fleet.aggregate(), vec![1.5, 2.5]);
+/// assert!(fleet.column_trace(1).shares_buffer(&fleet.column_trace(0)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetMatrix {
+    calendar: Calendar,
+    buf: Arc<Vec<f64>>,
+    apps: usize,
+    slots: usize,
+}
+
+impl FleetMatrix {
+    /// Packs a slice of traces into one contiguous slot-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Empty`] for an empty fleet,
+    /// [`TraceError::Misaligned`] when trace lengths differ, and
+    /// [`TraceError::CalendarMismatch`] when calendars differ.
+    pub fn from_traces(traces: &[Trace]) -> Result<Self, TraceError> {
+        Self::from_views(traces.iter().map(Trace::view))
+    }
+
+    /// Packs an iterator of trace views into one contiguous buffer; same
+    /// errors as [`FleetMatrix::from_traces`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Empty`] for an empty fleet,
+    /// [`TraceError::Misaligned`] on length mismatch, and
+    /// [`TraceError::CalendarMismatch`] on calendar mismatch.
+    pub fn from_views<'a, I>(views: I) -> Result<Self, TraceError>
+    where
+        I: IntoIterator<Item = TraceView<'a>>,
+    {
+        let mut iter = views.into_iter();
+        let first = iter.next().ok_or(TraceError::Empty)?;
+        let calendar = first.calendar();
+        let slots = first.len();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(first.samples());
+        let mut apps = 1usize;
+        for view in iter {
+            if view.calendar() != calendar {
+                return Err(TraceError::CalendarMismatch {
+                    left: calendar.slot_minutes(),
+                    right: view.calendar().slot_minutes(),
+                });
+            }
+            if view.len() != slots {
+                return Err(TraceError::Misaligned {
+                    left: slots,
+                    right: view.len(),
+                });
+            }
+            buf.extend_from_slice(view.samples());
+            apps += 1;
+        }
+        Ok(FleetMatrix {
+            calendar,
+            buf: Arc::new(buf),
+            apps,
+            slots,
+        })
+    }
+
+    /// The calendar every column is aligned to.
+    pub fn calendar(&self) -> Calendar {
+        self.calendar
+    }
+
+    /// Number of apps (columns).
+    pub fn apps(&self) -> usize {
+        self.apps
+    }
+
+    /// Number of slots per app.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Whether the matrix holds no apps. Always `false` for a constructed
+    /// matrix; present for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.apps == 0
+    }
+
+    /// The contiguous slot run of app `a`, or `None` past the end.
+    pub fn column(&self, a: usize) -> Option<&[f64]> {
+        let start = a.checked_mul(self.slots)?;
+        self.buf.get(start..start + self.slots)
+    }
+
+    /// Iterator over all columns in app order.
+    pub fn columns(&self) -> impl Iterator<Item = &[f64]> {
+        self.buf.chunks_exact(self.slots.max(1))
+    }
+
+    /// App `a` as an O(1) [`Trace`] window sharing the fleet buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn column_trace(&self, a: usize) -> Trace {
+        assert!(
+            a < self.apps,
+            "column {a} out of range ({} apps)",
+            self.apps
+        );
+        Trace::from_window(
+            self.calendar,
+            Arc::clone(&self.buf),
+            a * self.slots,
+            self.slots,
+        )
+    }
+
+    /// Per-slot sum over all apps, accumulated column by column in app
+    /// order (bit-identical to the scalar reference loop).
+    pub fn aggregate(&self) -> Vec<f64> {
+        let mut acc = vec![0.0f64; self.slots];
+        self.aggregate_into(&mut acc);
+        acc
+    }
+
+    /// As [`FleetMatrix::aggregate`], accumulating **into** a caller-owned
+    /// buffer (resized and zeroed first) so hot loops can reuse scratch.
+    pub fn aggregate_into(&self, acc: &mut Vec<f64>) {
+        acc.clear();
+        acc.resize(self.slots, 0.0);
+        for column in self.columns() {
+            kernels::add_assign(acc, column);
+        }
+    }
+
+    /// Per-app upper nearest-rank percentile (`q` in `[0, 100]`), one pass
+    /// of the sort kernel per column with a reused scratch buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 100]`.
+    pub fn percentile_upper_each(&self, q: f64) -> Vec<f64> {
+        let mut scratch: Vec<f64> = Vec::with_capacity(self.slots);
+        self.columns()
+            .map(|column| {
+                scratch.clear();
+                scratch.extend_from_slice(column);
+                scratch.sort_by(f64::total_cmp);
+                crate::stats::percentile_upper_of_sorted(&scratch, q)
+            })
+            .collect()
+    }
+
+    /// Per-app mean via the lane-chunked [`kernels::mean`].
+    pub fn mean_each(&self) -> Vec<f64> {
+        self.columns().map(kernels::mean).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal() -> Calendar {
+        Calendar::five_minute()
+    }
+
+    fn fleet() -> FleetMatrix {
+        let a = Trace::from_samples(cal(), vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Trace::from_samples(cal(), vec![0.5, 0.25, 0.125]).unwrap();
+        let c = Trace::from_samples(cal(), vec![4.0, 0.0, 1.0]).unwrap();
+        FleetMatrix::from_traces(&[a, b, c]).unwrap()
+    }
+
+    #[test]
+    fn layout_is_slot_major_per_column() {
+        let m = fleet();
+        assert_eq!(m.apps(), 3);
+        assert_eq!(m.slots(), 3);
+        assert_eq!(m.column(1).unwrap(), &[0.5, 0.25, 0.125]);
+        assert!(m.column(3).is_none());
+        let cols: Vec<&[f64]> = m.columns().collect();
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols[2], &[4.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn column_traces_share_one_buffer() {
+        let m = fleet();
+        let t0 = m.column_trace(0);
+        let t2 = m.column_trace(2);
+        assert!(t0.shares_buffer(&t2));
+        assert_eq!(t2.samples(), &[4.0, 0.0, 1.0]);
+        assert_eq!(t0.calendar(), cal());
+    }
+
+    #[test]
+    fn aggregate_matches_scalar_reference() {
+        let m = fleet();
+        let mut reference = vec![0.0f64; m.slots()];
+        for column in m.columns() {
+            for (acc, &v) in reference.iter_mut().zip(column) {
+                *acc += v;
+            }
+        }
+        assert_eq!(m.aggregate(), reference);
+        let mut reused = vec![9.0; 1];
+        m.aggregate_into(&mut reused);
+        assert_eq!(reused, reference);
+    }
+
+    #[test]
+    fn construction_validates_alignment() {
+        let a = Trace::from_samples(cal(), vec![1.0, 2.0]).unwrap();
+        let short = Trace::from_samples(cal(), vec![1.0]).unwrap();
+        assert!(matches!(
+            FleetMatrix::from_traces(&[a.clone(), short]),
+            Err(TraceError::Misaligned { .. })
+        ));
+        let hourly = Trace::from_samples(Calendar::new(60).unwrap(), vec![1.0, 2.0]).unwrap();
+        assert!(matches!(
+            FleetMatrix::from_traces(&[a, hourly]),
+            Err(TraceError::CalendarMismatch { .. })
+        ));
+        assert!(matches!(
+            FleetMatrix::from_traces(&[]),
+            Err(TraceError::Empty)
+        ));
+    }
+
+    #[test]
+    fn per_app_stats_match_trace_stats() {
+        let m = fleet();
+        for a in 0..m.apps() {
+            let t = m.column_trace(a);
+            assert_eq!(m.percentile_upper_each(97.0)[a], t.percentile_upper(97.0));
+            assert_eq!(m.mean_each()[a], t.mean());
+        }
+    }
+}

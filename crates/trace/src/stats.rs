@@ -6,21 +6,18 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Arithmetic mean; 0 for an empty slice.
+use crate::kernels;
+
+/// Arithmetic mean; 0 for an empty slice. Lane-chunked: see
+/// [`kernels::mean`] for the fixed accumulation order.
 pub fn mean(samples: &[f64]) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    samples.iter().sum::<f64>() / samples.len() as f64
+    kernels::mean(samples)
 }
 
-/// Population variance; 0 for slices shorter than 2.
+/// Population variance; 0 for slices shorter than 2. Lane-chunked: see
+/// [`kernels::variance`] for the fixed accumulation order.
 pub fn variance(samples: &[f64]) -> f64 {
-    if samples.len() < 2 {
-        return 0.0;
-    }
-    let m = mean(samples);
-    samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / samples.len() as f64
+    kernels::variance(samples)
 }
 
 /// Population standard deviation.
@@ -51,14 +48,7 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
         (0.0..=100.0).contains(&q),
         "percentile {q} outside [0, 100]"
     );
-    if samples.is_empty() {
-        return 0.0;
-    }
-    // lint:allow(needless-trace-clone): percentile sorting needs an
-    // owned, mutable copy of the samples.
-    let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    percentile_of_sorted(&sorted, q)
+    percentile_of_sorted(&kernels::sorted(samples), q)
 }
 
 /// Percentile of an already ascending-sorted slice; avoids re-sorting when
@@ -108,13 +98,24 @@ pub fn percentile_upper(samples: &[f64], q: f64) -> f64 {
         (0.0..=100.0).contains(&q),
         "percentile {q} outside [0, 100]"
     );
-    if samples.is_empty() {
+    percentile_upper_of_sorted(&kernels::sorted(samples), q)
+}
+
+/// Upper nearest-rank percentile of an already ascending-sorted slice;
+/// the cached-sort companion of [`percentile_upper`], mirroring
+/// [`percentile_of_sorted`].
+///
+/// # Panics
+///
+/// Panics if `q` is NaN or outside `[0, 100]`.
+pub fn percentile_upper_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(
+        (0.0..=100.0).contains(&q),
+        "percentile {q} outside [0, 100]"
+    );
+    if sorted.is_empty() {
         return 0.0;
     }
-    // lint:allow(needless-trace-clone): percentile sorting needs an
-    // owned, mutable copy of the samples.
-    let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(f64::total_cmp);
     let rank = (q / 100.0 * (sorted.len() - 1) as f64).ceil() as usize;
     sorted
         .get(rank.min(sorted.len() - 1))

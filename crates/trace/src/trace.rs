@@ -1,7 +1,8 @@
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize, Value};
 
+use crate::kernels;
 use crate::stats;
 use crate::{Calendar, TraceError};
 
@@ -52,6 +53,12 @@ pub struct Trace {
     buf: Arc<Vec<f64>>,
     start: usize,
     len: usize,
+    // Lazily computed ascending sort of the *window's* samples, shared
+    // across clones through its own `Arc` (clones of one window reuse the
+    // sort; distinct windows each cache their own). Not serialized and
+    // ignored by `PartialEq`: it is derived state, recomputable from the
+    // immutable buffer at any time.
+    sorted: Arc<OnceLock<Vec<f64>>>,
 }
 
 /// Unvalidated mirror used so deserialized traces re-run the constructor
@@ -113,19 +120,28 @@ impl Trace {
             buf: Arc::new(samples),
             start: 0,
             len,
+            sorted: Arc::new(OnceLock::new()),
         })
     }
 
-    /// Creates a trace sharing an already-validated buffer. The caller is
-    /// `TraceView::to_trace` and the windowing methods, whose slices come
-    /// from an existing trace, so re-validation is skipped.
-    fn from_window(calendar: Calendar, buf: Arc<Vec<f64>>, start: usize, len: usize) -> Self {
+    /// Creates a trace sharing an already-validated buffer. The callers are
+    /// `TraceView::to_trace`, the windowing methods, and
+    /// [`FleetMatrix::column_trace`](crate::FleetMatrix::column_trace),
+    /// whose slices come from an existing validated buffer, so
+    /// re-validation is skipped.
+    pub(crate) fn from_window(
+        calendar: Calendar,
+        buf: Arc<Vec<f64>>,
+        start: usize,
+        len: usize,
+    ) -> Self {
         debug_assert!(start.checked_add(len).is_some_and(|end| end <= buf.len()));
         Trace {
             calendar,
             buf,
             start,
             len,
+            sorted: Arc::new(OnceLock::new()),
         }
     }
 
@@ -235,26 +251,38 @@ impl Trace {
         stats::mean(self.samples())
     }
 
+    /// The window's samples in ascending order, sorted once on first use
+    /// and cached (shared across clones of this window).
+    ///
+    /// Every percentile query on the trace reads this view, so repeated
+    /// queries — the QoS translation asks for several percentiles of the
+    /// same demand trace — pay the O(n log n) sort exactly once.
+    pub fn sorted_samples(&self) -> &[f64] {
+        self.sorted.get_or_init(|| kernels::sorted(self.samples()))
+    }
+
     /// The `q`-th percentile of the samples with linear interpolation
-    /// (the paper's `D_M%` uses `q = M`).
+    /// (the paper's `D_M%` uses `q = M`), answered from the cached
+    /// [`sorted_samples`](Self::sorted_samples) view.
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 100]`.
     pub fn percentile(&self, q: f64) -> f64 {
-        stats::percentile(self.samples(), q)
+        stats::percentile_of_sorted(self.sorted_samples(), q)
     }
 
     /// The `q`-th percentile with upper nearest-rank semantics: guarantees
     /// at most `1 − q/100` of samples are strictly greater. This is the
     /// definition the `M_degr` demand cap must use (see
-    /// [`stats::percentile_upper`]).
+    /// [`stats::percentile_upper`]). Answered from the cached
+    /// [`sorted_samples`](Self::sorted_samples) view.
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 100]`.
     pub fn percentile_upper(&self, q: f64) -> f64 {
-        stats::percentile_upper(self.samples(), q)
+        stats::percentile_upper_of_sorted(self.sorted_samples(), q)
     }
 
     /// Returns a new trace with every sample transformed by `f`.
@@ -286,7 +314,11 @@ impl Trace {
         if factor == 1.0 {
             return Ok(self.clone());
         }
-        self.map(|v| v * factor)
+        // `min(v, ∞) = v` exactly, so the fused cap/scale kernel reduces
+        // to a pure scale.
+        let mut out = Vec::with_capacity(self.len);
+        kernels::cap_scale_into(&mut out, self.samples(), f64::INFINITY, factor);
+        Trace::from_samples(self.calendar, out)
     }
 
     /// Returns a new trace with samples capped at `limit` (`min(d, limit)`).
@@ -306,7 +338,34 @@ impl Trace {
         if limit >= self.peak() {
             return Ok(self.clone());
         }
-        self.map(|v| v.min(limit))
+        // `v · 1.0` is bit-identical to `v` for every valid sample, so the
+        // fused kernel reduces to a pure cap.
+        let mut out = Vec::with_capacity(self.len);
+        kernels::cap_scale_into(&mut out, self.samples(), limit, 1.0);
+        Trace::from_samples(self.calendar, out)
+    }
+
+    /// Fused `min(v, limit) · factor` over every sample — one pass, one
+    /// allocation, bit-identical to [`capped`](Self::capped) followed by
+    /// [`scaled`](Self::scaled) (`min` is exact and `· 1.0` is identity).
+    ///
+    /// When neither operation would change a sample the buffer is shared
+    /// instead of copied, matching the individual methods' fast paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidSample`] if `limit` or `factor`
+    /// produce a negative or non-finite sample.
+    pub fn cap_scaled(&self, limit: f64, factor: f64) -> Result<Trace, TraceError> {
+        if factor == 1.0 {
+            return self.capped(limit);
+        }
+        if limit >= self.peak() {
+            return self.scaled(factor);
+        }
+        let mut out = Vec::with_capacity(self.len);
+        kernels::cap_scale_into(&mut out, self.samples(), limit, factor);
+        Trace::from_samples(self.calendar, out)
     }
 
     /// Element-wise sum of two aligned traces.

@@ -11,7 +11,7 @@
 use ropus_obs::ObsCtx;
 use serde::{Deserialize, Serialize};
 
-use ropus_trace::{Trace, TraceError};
+use ropus_trace::{kernels, Trace, TraceError};
 
 use crate::error::WlmError;
 use crate::manager::{WlmPolicy, WorkloadManager};
@@ -144,92 +144,97 @@ impl Host {
             }
         }
 
-        let mut managers: Vec<WorkloadManager> = workloads
-            .iter()
-            .map(|w| WorkloadManager::new(w.policy))
-            .collect();
         let n = workloads.len();
-        let mut granted = vec![Vec::with_capacity(len); n];
-        let mut served = vec![Vec::with_capacity(len); n];
-        let mut unmet = vec![Vec::with_capacity(len); n];
-        let mut utilization = vec![Vec::with_capacity(len); n];
-        let mut total_granted = Vec::with_capacity(len);
-        let mut contended_slots = 0usize;
 
-        // Borrow every demand buffer once, outside the slot loop: the
-        // scheduler below reads them per slot without re-resolving the
-        // trace window or allocating per-slot scratch vectors.
-        let demand_views: Vec<&[f64]> = workloads.iter().map(|w| w.demand.samples()).collect();
-        let mut demands = vec![0.0; n];
-        let mut requests = Vec::with_capacity(n);
-        for slot in 0..len {
-            for (d, samples) in demands.iter_mut().zip(&demand_views) {
-                *d = samples[slot];
+        // Pass 1, workload-major: replay each manager over its whole
+        // demand column. Manager state is per-workload, so running columns
+        // to completion produces the same requests as the old interleaved
+        // slot loop while keeping each manager's state in registers.
+        let mut cos1_req: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut cos2_req: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for w in workloads {
+            let mut manager = WorkloadManager::new(w.policy);
+            let mut c1 = Vec::with_capacity(len);
+            let mut c2 = Vec::with_capacity(len);
+            for &d in w.demand.samples() {
+                let request = manager.observe(d);
+                c1.push(request.cos1);
+                c2.push(request.cos2);
             }
-            requests.clear();
-            requests.extend(
-                managers
-                    .iter_mut()
-                    .zip(&demands)
-                    .map(|(m, &d)| m.observe(d)),
-            );
-
-            // Priority 1: grant CoS1 in full, scaling down proportionally
-            // only if the guarantee was violated upstream.
-            let cos1_sum: f64 = requests.iter().map(|r| r.cos1).sum();
-            let cos1_scale = if cos1_sum > self.capacity {
-                self.capacity / cos1_sum
-            } else {
-                1.0
-            };
-            let remaining = (self.capacity - cos1_sum * cos1_scale).max(0.0);
-
-            // Priority 2: share what is left proportionally to requests.
-            let cos2_sum: f64 = requests.iter().map(|r| r.cos2).sum();
-            let cos2_scale = if cos2_sum > remaining && cos2_sum > 0.0 {
-                remaining / cos2_sum
-            } else {
-                1.0
-            };
-            if cos2_scale < 1.0 || cos1_scale < 1.0 {
-                contended_slots += 1;
-            }
-            if cos1_scale < 1.0 {
-                obs.counter("wlm.host.cos1_scaled_slots", 1);
-            }
-
-            let mut slot_total = 0.0;
-            let mut slot_unmet = 0.0;
-            for (i, request) in requests.iter().enumerate() {
-                let grant = request.cos1 * cos1_scale + request.cos2 * cos2_scale;
-                let serve = demands[i].min(grant);
-                granted[i].push(grant);
-                served[i].push(serve);
-                unmet[i].push(demands[i] - serve);
-                utilization[i].push(if grant > 0.0 { serve / grant } else { 0.0 });
-                slot_total += grant;
-                slot_unmet += demands[i] - serve;
-            }
-            if slot_unmet > 0.0 {
-                obs.counter("wlm.host.unmet_slots", 1);
-            }
-            obs.histogram(
-                "wlm.host.saturation",
-                &SATURATION_BOUNDS,
-                slot_total / self.capacity,
-            );
-            total_granted.push(slot_total);
+            cos1_req.push(c1);
+            cos2_req.push(c2);
         }
 
-        // Hand the accumulated sample vectors to their traces; nothing is
-        // copied — each Vec becomes the trace's shared buffer directly.
-        let mut outcomes = Vec::with_capacity(n);
-        for (((w, granted), served), (unmet, utilization)) in workloads
+        // Pass 2, columnar: slot-wise request sums accumulated per
+        // workload in input order — the same left-to-right association as
+        // the per-slot `iter().sum()` this replaces, so the sums are
+        // bit-identical.
+        let mut cos1_sum = vec![0.0; len];
+        for column in &cos1_req {
+            kernels::add_assign(&mut cos1_sum, column);
+        }
+        let mut cos2_sum = vec![0.0; len];
+        for column in &cos2_req {
+            kernels::add_assign(&mut cos2_sum, column);
+        }
+
+        // Pass 3, slot-major: the two-priority scales. CoS1 is granted in
+        // full (scaled down proportionally only if the guarantee was
+        // violated upstream); CoS2 shares what remains proportionally.
+        let mut cos1_scale = vec![1.0; len];
+        let mut cos2_scale = vec![1.0; len];
+        let mut contended_slots = 0usize;
+        for (((&c1, &c2), s1), s2) in cos1_sum
             .iter()
-            .zip(granted)
-            .zip(served)
-            .zip(unmet.into_iter().zip(utilization))
+            .zip(&cos2_sum)
+            .zip(cos1_scale.iter_mut())
+            .zip(cos2_scale.iter_mut())
         {
+            if c1 > self.capacity {
+                *s1 = self.capacity / c1;
+            }
+            let remaining = (self.capacity - c1 * *s1).max(0.0);
+            if c2 > remaining && c2 > 0.0 {
+                *s2 = remaining / c2;
+            }
+            if *s2 < 1.0 || *s1 < 1.0 {
+                contended_slots += 1;
+            }
+            if *s1 < 1.0 {
+                obs.counter("wlm.host.cos1_scaled_slots", 1);
+            }
+        }
+
+        // Pass 4, workload-major elementwise: grants and outcomes per
+        // column, reusing the request buffers; host-level sums accumulate
+        // per workload in input order (same association as before).
+        let mut total_granted = vec![0.0; len];
+        let mut slot_unmet = vec![0.0; len];
+        let mut outcomes = Vec::with_capacity(n);
+        for ((w, c1), c2) in workloads.iter().zip(cos1_req).zip(cos2_req) {
+            let demand = w.demand.samples();
+            let mut granted = c1;
+            for ((g, &c2v), (&s1, &s2)) in granted
+                .iter_mut()
+                .zip(&c2)
+                .zip(cos1_scale.iter().zip(&cos2_scale))
+            {
+                *g = *g * s1 + c2v * s2;
+            }
+            let mut served = c2;
+            for ((s, &d), &g) in served.iter_mut().zip(demand).zip(&granted) {
+                *s = d.min(g);
+            }
+            let mut unmet = Vec::with_capacity(len);
+            let mut utilization = Vec::with_capacity(len);
+            for ((&d, &g), &s) in demand.iter().zip(&granted).zip(&served) {
+                unmet.push(d - s);
+                utilization.push(if g > 0.0 { s / g } else { 0.0 });
+            }
+            kernels::add_assign(&mut total_granted, &granted);
+            kernels::add_assign(&mut slot_unmet, &unmet);
+            // Hand the accumulated sample vectors to their traces; nothing
+            // is copied — each Vec becomes the trace's shared buffer.
             outcomes.push(WorkloadOutcome {
                 name: w.name.clone(),
                 granted: Trace::from_samples(calendar, granted)?,
@@ -238,6 +243,21 @@ impl Host {
                 utilization: Trace::from_samples(calendar, utilization)?,
             });
         }
+
+        // Pass 5, slot-major: host-level observability, in slot order.
+        // Counter and histogram updates are commutative, so splitting them
+        // out of the scheduling loop cannot change a report.
+        for (&total, &u) in total_granted.iter().zip(&slot_unmet) {
+            if u > 0.0 {
+                obs.counter("wlm.host.unmet_slots", 1);
+            }
+            obs.histogram(
+                "wlm.host.saturation",
+                &SATURATION_BOUNDS,
+                total / self.capacity,
+            );
+        }
+
         Ok(HostOutcome {
             workloads: outcomes,
             total_granted: Trace::from_samples(calendar, total_granted)?,

@@ -6,6 +6,7 @@
 use proptest::prelude::*;
 use ropus_obs::ObsCtx;
 
+use ropus::case_study::{translate_fleet_threaded, CaseConfig};
 use ropus::prelude::*;
 use ropus_placement::failure::{analyze_multi_failures, MultiFailureAnalysis};
 use ropus_placement::simulator::{access_probability, AggregateLoad, FitOptions, FitRequest};
@@ -13,6 +14,8 @@ use ropus_placement::workload::Workload;
 use ropus_placement::PlacementError;
 use ropus_qos::portfolio::{breakpoint, split_demand, worst_case_utilization};
 use ropus_qos::translation::translate;
+use ropus_trace::gen::AppWorkload;
+use ropus_trace::{kernels, stats, FleetMatrix};
 
 fn hourly() -> Calendar {
     Calendar::new(60).unwrap()
@@ -305,6 +308,126 @@ proptest! {
         for k in [0, report.servers_used, report.servers_used + 1] {
             let err = sweep(k).unwrap_err();
             prop_assert!(matches!(err, PlacementError::InvalidServer { .. }), "k = {}", k);
+        }
+    }
+
+    /// Every element-wise columnar kernel is *bitwise* equal to the
+    /// obvious scalar loop it replaced — not approximately, since chunked
+    /// independent elements never reassociate anything.
+    #[test]
+    fn elementwise_kernels_are_bit_identical_to_scalar_loops(
+        pairs in proptest::collection::vec((0.0f64..50.0, 0.0f64..50.0), 0..200),
+        cap in 0.0f64..30.0,
+        factor in 0.0f64..2.0,
+        p in 0.0f64..=1.0,
+    ) {
+        let (a, b): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+
+        let mut acc = a.clone();
+        kernels::add_assign(&mut acc, &b);
+        for ((&x, &y), &got) in a.iter().zip(&b).zip(&acc) {
+            prop_assert_eq!((x + y).to_bits(), got.to_bits());
+        }
+
+        let mut out = Vec::new();
+        kernels::sub_saturating_into(&mut out, &a, &b);
+        for ((&x, &y), &got) in a.iter().zip(&b).zip(&out) {
+            prop_assert_eq!((x - y).max(0.0).to_bits(), got.to_bits());
+        }
+
+        kernels::cap_scale_into(&mut out, &a, cap, factor);
+        for (&x, &got) in a.iter().zip(&out) {
+            prop_assert_eq!((x.min(cap) * factor).to_bits(), got.to_bits());
+        }
+
+        // The fused CoS split reproduces per-sample `split_demand` exactly.
+        let mut cos1 = Vec::new();
+        let mut cos2 = Vec::new();
+        kernels::split_cos_into(&a, p, cap, factor, &mut cos1, &mut cos2);
+        for ((&d, &c1), &c2) in a.iter().zip(&cos1).zip(&cos2) {
+            let split = split_demand(d, p, cap);
+            prop_assert_eq!((split.cos1 * factor).to_bits(), c1.to_bits());
+            prop_assert_eq!((split.cos2 * factor).to_bits(), c2.to_bits());
+        }
+    }
+
+    /// Fleet aggregation and order statistics agree bitwise across all
+    /// three implementations: the slot-major `FleetMatrix` path, the
+    /// `add_assign` column accumulation, and the scalar per-slot sum —
+    /// and quickselect percentiles match the sorted-cache path.
+    #[test]
+    fn fleet_aggregation_and_percentiles_match_scalar_references(
+        fleet in proptest::collection::vec(proptest::collection::vec(0.0f64..20.0, 168), 1..6),
+        q in 0.0f64..=100.0,
+    ) {
+        let traces: Vec<Trace> = fleet
+            .iter()
+            .map(|s| Trace::from_samples(hourly(), s.clone()).unwrap())
+            .collect();
+        let matrix = FleetMatrix::from_traces(&traces).unwrap();
+
+        let aggregate = matrix.aggregate();
+        let mut columnar = vec![0.0; 168];
+        for column in &fleet {
+            kernels::add_assign(&mut columnar, column);
+        }
+        for slot in 0..168 {
+            let mut scalar = 0.0;
+            for column in &fleet {
+                scalar += column[slot];
+            }
+            prop_assert_eq!(scalar.to_bits(), aggregate[slot].to_bits());
+            prop_assert_eq!(scalar.to_bits(), columnar[slot].to_bits());
+        }
+
+        // Quickselect, one-shot sort, and the per-trace sorted cache all
+        // return the same order statistic, bit for bit.
+        let mut scratch = Vec::new();
+        for (trace, column) in traces.iter().zip(&fleet) {
+            let select = kernels::percentile_upper_select(column, q, &mut scratch);
+            prop_assert_eq!(select.to_bits(), stats::percentile_upper(column, q).to_bits());
+            prop_assert_eq!(select.to_bits(), trace.percentile_upper(q).to_bits());
+        }
+    }
+
+    /// The threaded fleet translation (the 10k-plan entry point) is a pure
+    /// function of the fleet: 1 worker and 4 workers produce bit-identical
+    /// reports and workload columns for arbitrary demand traces.
+    #[test]
+    fn threaded_translation_matches_serial_on_arbitrary_fleets(
+        fleet in proptest::collection::vec(proptest::collection::vec(0.0f64..20.0, 168), 1..6),
+    ) {
+        let apps: Vec<AppWorkload> = fleet
+            .into_iter()
+            .enumerate()
+            .map(|(i, samples)| AppWorkload {
+                name: format!("app-{i}"),
+                trace: Trace::from_samples(hourly(), samples).unwrap(),
+            })
+            .collect();
+        let case = CaseConfig::table1()[2];
+        let serial = translate_fleet_threaded(&apps, &case, 1).unwrap();
+        let threaded = translate_fleet_threaded(&apps, &case, 4).unwrap();
+        prop_assert_eq!(&serial, &threaded);
+        for (s, t) in serial.iter().zip(&threaded) {
+            for (a, b) in s
+                .workload
+                .cos1()
+                .samples()
+                .iter()
+                .zip(t.workload.cos1().samples())
+            {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in s
+                .workload
+                .cos2()
+                .samples()
+                .iter()
+                .zip(t.workload.cos2().samples())
+            {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

@@ -146,6 +146,56 @@ proptest! {
         }
     }
 
+    /// The constant-trace history above keeps every slot equal; this
+    /// variant feeds arbitrary *varying* weekly traces through the same
+    /// incremental columnar path, so the per-slot SumTree adds and
+    /// subtracts real data and must still match a cold re-plan bitwise.
+    #[test]
+    fn varying_trace_history_matches_cold_replan(
+        admits in proptest::collection::vec(
+            (
+                0usize..6,
+                0usize..4,
+                proptest::collection::vec(0.0f64..2.0, 168),
+                proptest::collection::vec(0.01f64..4.0, 168),
+            ),
+            1..8,
+        ),
+        departs in proptest::collection::vec(0usize..6, 0..6),
+    ) {
+        let mut session =
+            EngineSession::new(ServerSpec::sixteen_way(), commitments()).with_threads(1);
+        for (name_ix, server, cos1, cos2) in &admits {
+            let name = format!("vt-{name_ix}");
+            if session.find(&name).is_none() {
+                let w = Workload::new(
+                    name,
+                    Trace::from_samples(hourly(), cos1.clone()).unwrap(),
+                    Trace::from_samples(hourly(), cos2.clone()).unwrap(),
+                )
+                .unwrap();
+                session.admit(w, *server).unwrap();
+            }
+        }
+        for name_ix in &departs {
+            if let Some(id) = session.find(&format!("vt-{name_ix}")) {
+                session.depart(id).unwrap();
+            }
+        }
+        if !session.is_empty() {
+            let reference = serde_json::to_string(&session.report().unwrap()).unwrap();
+            for threads in [1, 4] {
+                let mut cold = cold_replan(&session, threads);
+                prop_assert_eq!(
+                    serde_json::to_string(&cold.report().unwrap()).unwrap(),
+                    reference.clone(),
+                    "varying-trace plan diverged from cold re-plan at {} threads",
+                    threads
+                );
+            }
+        }
+    }
+
     /// Satellite 3: removing a member and re-adding it leaves the
     /// aggregate bit-identical to a cold build — no subtraction residue.
     #[test]
