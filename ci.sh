@@ -120,6 +120,45 @@ if snap != batch:
     sys.exit(1)
 PYEOF
 
+echo "==> migration smoke"
+# Storm-recovery gate: a 50-app fleet loses two servers back to back,
+# and every re-placement is driven through the migration state machine.
+# The capped run must pace the wave under its storm limits, stay
+# byte-identical across --threads, and still commit moves; the summary
+# JSONs are archived under target/bench/ as CI artifacts.
+mkdir -p target/bench
+cargo run --release -q -p ropus-cli -- generate \
+    --out "$OBS_TMP/mig-traces.csv" --policy "$OBS_TMP/mig-policy.json" \
+    --apps 50 --weeks 1
+MIG_FLAGS=(--traces "$OBS_TMP/mig-traces.csv" --policy "$OBS_TMP/mig-policy.json" \
+    --fast --fail 0@100+60,1@160+60 --json)
+cargo run --release -q -p ropus-cli -- chaos "${MIG_FLAGS[@]}" \
+    --migrate --max-inflight 2 --max-inflight-server 1 --threads 1 \
+    > target/bench/migration_smoke_capped.json
+cargo run --release -q -p ropus-cli -- chaos "${MIG_FLAGS[@]}" \
+    --migrate --max-inflight 2 --max-inflight-server 1 --threads 4 \
+    > "$OBS_TMP/mig-capped-4.json"
+diff target/bench/migration_smoke_capped.json "$OBS_TMP/mig-capped-4.json" \
+    || { echo "migration replay differs across --threads"; exit 1; }
+cargo run --release -q -p ropus-cli -- chaos "${MIG_FLAGS[@]}" --migrate \
+    > target/bench/migration_smoke_open.json
+python3 - <<'PYEOF'
+import json
+capped = json.load(open("target/bench/migration_smoke_capped.json"))["migration"]
+opened = json.load(open("target/bench/migration_smoke_open.json"))["migration"]
+if capped["peak_in_flight"] > 2:
+    raise SystemExit(f"storm cap breached: peak {capped['peak_in_flight']} > 2")
+if capped["committed"] == 0 or opened["committed"] == 0:
+    raise SystemExit("migration smoke committed no moves")
+if opened["peak_in_flight"] > 2 and capped["deferred_slots"] == 0:
+    raise SystemExit("storm caps bound the wave but deferred nothing")
+print(
+    f"migration smoke: capped peak {capped['peak_in_flight']} "
+    f"({capped['committed']} committed, {capped['deferred_slots']} deferred) "
+    f"vs open peak {opened['peak_in_flight']} ({opened['committed']} committed)"
+)
+PYEOF
+
 echo "==> fleet_10k smoke"
 # One-shot timing of the 10,000-app × 4-week plan (and the 50-app
 # reference pipeline) against a generous wall-clock budget; the

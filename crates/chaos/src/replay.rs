@@ -24,6 +24,7 @@ use ropus_obs::ObsCtx;
 use ropus_placement::consolidate::{Consolidator, PlacementReport};
 use ropus_placement::engine::parallel_map;
 use ropus_placement::failure::FailureScope;
+use ropus_placement::migration::{MigrationConfig, MigrationOrchestrator, MigrationPhase};
 use ropus_placement::server::Pool;
 use ropus_placement::workload::Workload;
 use ropus_qos::AppQos;
@@ -100,6 +101,15 @@ pub struct ReplayOptions {
     /// Graceful-degradation policy for demand the survivors cannot
     /// absorb.
     pub degradation: DegradationPolicy,
+    /// Migration lifecycle model. `None` teleports workloads between
+    /// servers at segment boundaries (the historical behavior);
+    /// `Some(config)` drives every re-placement through the
+    /// [`MigrationOrchestrator`] state machine — with
+    /// [`MigrationConfig::teleport`] the replay is bit-identical to
+    /// `None` except for the extra [`MigrationReport`] in the output.
+    ///
+    /// [`MigrationReport`]: ropus_placement::migration::MigrationReport
+    pub migration: Option<MigrationConfig>,
 }
 
 impl Default for ReplayOptions {
@@ -107,6 +117,7 @@ impl Default for ReplayOptions {
         ReplayOptions {
             scope: FailureScope::AffectedOnly,
             degradation: DegradationPolicy::default(),
+            migration: None,
         }
     }
 }
@@ -121,6 +132,12 @@ impl ReplayOptions {
     /// Sets the graceful-degradation policy.
     pub fn with_degradation(mut self, degradation: DegradationPolicy) -> Self {
         self.degradation = degradation;
+        self
+    }
+
+    /// Routes re-placements through the migration state machine.
+    pub fn with_migration(mut self, migration: MigrationConfig) -> Self {
+        self.migration = Some(migration);
         self
     }
 }
@@ -267,6 +284,19 @@ pub fn replay(
         .map(|&s| Some(s))
         .collect();
 
+    // Migration machine (when enabled): the authoritative serving
+    // assignment `eff` replaces the segment plan's instantaneous one,
+    // moving only as the orchestrator commits cutovers.
+    let mut orch = options
+        .migration
+        .map(|config| MigrationOrchestrator::new(config, prev_assignment.clone()));
+    let mut eff: Vec<Option<usize>> = prev_assignment.clone();
+    let mut hosted: Vec<Vec<usize>> = vec![Vec::new(); id_cap];
+    let mut reserved: Vec<Vec<usize>> = vec![Vec::new(); id_cap];
+    let mut contended_flags = vec![false; id_cap];
+    let mut healthy = vec![true; n];
+    let mut band_high = vec![0.0f64; n];
+
     // Scratch buffers reused across slots.
     let mut demand = vec![0.0f64; n];
     let mut requests = vec![(0.0f64, 0.0f64); n];
@@ -284,20 +314,8 @@ pub fn replay(
     let slots_span = obs.span("chaos.replay.slots");
     for (k, seg) in segments.iter().enumerate() {
         let plan = &plans[k];
-        // Migrations at the segment boundary: an app moved if it now runs
-        // on a different server (losing its server entirely is
-        // displacement, not a migration).
-        let mut moved = 0usize;
-        for i in 0..n {
-            if plan.assignment[i] != prev_assignment[i] && plan.assignment[i].is_some() {
-                migrations_per_app[i] += 1;
-                moved += 1;
-            }
-        }
-        prev_assignment.clone_from(&plan.assignment);
-        migrations_total += moved;
-        // Attribute the moves to the window they enter, or — for the
-        // moves back home at repair — to the window that just ended.
+        // Attribute boundary moves to the window they enter, or — for
+        // the moves back home at repair — to the window that just ended.
         let attributed = if plan.degraded {
             window_of(k)
         } else if k > 0 && plans[k - 1].degraded {
@@ -305,8 +323,36 @@ pub fn replay(
         } else {
             None
         };
-        if let Some(w) = attributed {
-            window_migrations[w] += moved;
+        match orch.as_mut() {
+            None => {
+                // Teleport: an app moved if it now runs on a different
+                // server (losing its server entirely is displacement,
+                // not a migration).
+                let mut moved = 0usize;
+                for i in 0..n {
+                    if plan.assignment[i] != prev_assignment[i] && plan.assignment[i].is_some() {
+                        migrations_per_app[i] += 1;
+                        moved += 1;
+                    }
+                }
+                prev_assignment.clone_from(&plan.assignment);
+                migrations_total += moved;
+                if let Some(w) = attributed {
+                    window_migrations[w] += moved;
+                }
+            }
+            Some(orch) => {
+                // The new plan becomes the machine's target; moves count
+                // only when they commit (inside the slot loop below).
+                orch.retarget(&plan.assignment, &seg.failed, seg.start, attributed, obs);
+                for (i, app) in apps.iter().enumerate() {
+                    band_high[i] = if plan.use_failure[i] {
+                        app.failure_qos.band().high()
+                    } else {
+                        app.normal_qos.band().high()
+                    };
+                }
+            }
         }
 
         // Managers restart at the segment boundary under the active
@@ -328,14 +374,41 @@ pub fn replay(
                 req_cos2[i].push(request.cos2);
             }
         }
-        let mut hosted: Vec<Vec<usize>> = vec![Vec::new(); id_cap];
-        for i in 0..n {
-            if let Some(s) = plan.assignment[i] {
-                hosted[s].push(i);
+        if orch.is_none() {
+            // Teleport: the plan's assignment takes effect instantly.
+            eff.clone_from(&plan.assignment);
+            for list in hosted.iter_mut() {
+                list.clear();
+            }
+            for i in 0..n {
+                if let Some(s) = plan.assignment[i] {
+                    hosted[s].push(i);
+                }
             }
         }
 
         for slot in seg.start..seg.end {
+            // Migration machine, slot start: begin eligible moves under
+            // the storm caps, then refresh the serving/reservation views
+            // if anything changed (including the segment's retarget).
+            if let Some(orch) = orch.as_mut() {
+                let transitions = orch.begin_slot(slot, obs);
+                count_commits(
+                    &transitions,
+                    &mut migrations_per_app,
+                    &mut migrations_total,
+                    &mut window_migrations,
+                );
+                if orch.take_dirty() {
+                    rebuild_views(
+                        orch.serving(),
+                        &orch.reservations(),
+                        &mut eff,
+                        &mut hosted,
+                        &mut reserved,
+                    );
+                }
+            }
             // Pass 1: read each app's precomputed request for this slot;
             // outstanding backlog rides along as extra CoS2.
             let off = slot - seg.start;
@@ -346,20 +419,30 @@ pub fn replay(
             }
             // Pass 2: each server grants CoS1 first (scaled down
             // proportionally on overflow), then CoS2 shares the
-            // remainder proportionally.
+            // remainder proportionally. Migrating apps' reserved demand
+            // presses on the destination's scales (capacity
+            // double-booked mid-move) without drawing grants there.
             let mut contended = false;
-            for ids in &hosted {
-                if ids.is_empty() {
+            contended_flags.fill(false);
+            for (s, ids) in hosted.iter().enumerate() {
+                // lint:allow(panic-slice-index): reserved has id_cap
+                // entries, like hosted.
+                let resv = &reserved[s];
+                if ids.is_empty() && resv.is_empty() {
                     continue;
                 }
-                let cos1_sum: f64 = ids.iter().map(|&i| requests[i].0).sum();
+                let mut cos1_sum: f64 = ids.iter().map(|&i| requests[i].0).sum();
+                let mut cos2_sum: f64 = ids.iter().map(|&i| requests[i].1 + extra[i]).sum();
+                if !resv.is_empty() {
+                    cos1_sum += resv.iter().map(|&i| requests[i].0).sum::<f64>();
+                    cos2_sum += resv.iter().map(|&i| requests[i].1).sum::<f64>();
+                }
                 let cos1_scale = if cos1_sum > capacity {
                     capacity / cos1_sum
                 } else {
                     1.0
                 };
                 let remaining = (capacity - cos1_sum * cos1_scale).max(0.0);
-                let cos2_sum: f64 = ids.iter().map(|&i| requests[i].1 + extra[i]).sum();
                 let cos2_scale = if cos2_sum > remaining && cos2_sum > 0.0 {
                     remaining / cos2_sum
                 } else {
@@ -367,6 +450,7 @@ pub fn replay(
                 };
                 if cos1_scale < 1.0 || cos2_scale < 1.0 {
                     contended = true;
+                    contended_flags[s] = true;
                 }
                 for &i in ids {
                     grant_base[i] = requests[i].0 * cos1_scale + requests[i].1 * cos2_scale;
@@ -384,7 +468,7 @@ pub fn replay(
             let mut slot_carried = false;
             for i in 0..n {
                 let recovering = !backlog[i].is_empty();
-                let (g_base, g_extra) = if plan.assignment[i].is_some() {
+                let (g_base, g_extra) = if eff[i].is_some() {
                     (grant_base[i], grant_extra[i])
                 } else {
                     (0.0, 0.0)
@@ -444,6 +528,22 @@ pub fn replay(
                 } else {
                     util_normal[i].push(u);
                 }
+                // Health verdict for the migration machine: the slot is
+                // healthy when current demand was fully served within
+                // the app's utilization band.
+                if orch.is_some() {
+                    healthy[i] = shortfall <= EPSILON && u <= band_high[i] + EPSILON;
+                }
+            }
+            // Migration machine, slot end: apply drain/health progress.
+            if let Some(orch) = orch.as_mut() {
+                let transitions = orch.complete_slot(slot, &contended_flags, &healthy, obs);
+                count_commits(
+                    &transitions,
+                    &mut migrations_per_app,
+                    &mut migrations_total,
+                    &mut window_migrations,
+                );
             }
             backlog_series.push(slot_backlog);
             if slot_shed > EPSILON {
@@ -546,6 +646,12 @@ pub fn replay(
         });
     }
 
+    // Per-move timelines and recovery metrics when the machine ran.
+    let migration = orch.map(|o| {
+        let names: Vec<&str> = apps.iter().map(|a| a.name.as_str()).collect();
+        o.report(&names)
+    });
+
     Ok(ChaosReport {
         slots: horizon,
         slot_minutes: calendar.slot_minutes(),
@@ -565,8 +671,63 @@ pub fn replay(
         shed_total: shed.iter().sum(),
         apps: out_apps,
         windows,
+        migration,
         obs: None,
     })
+}
+
+/// Books committed transitions into the per-app / fleet / per-window
+/// migration tallies — the machine-driven twin of the teleport path's
+/// boundary counting.
+fn count_commits(
+    transitions: &[ropus_placement::migration::Transition],
+    migrations_per_app: &mut [usize],
+    migrations_total: &mut usize,
+    window_migrations: &mut [usize],
+) {
+    for t in transitions {
+        if t.phase != MigrationPhase::Committed {
+            continue;
+        }
+        if let Some(per_app) = migrations_per_app.get_mut(t.app) {
+            *per_app += 1;
+        }
+        *migrations_total += 1;
+        if let Some(w) = t.window {
+            if let Some(count) = window_migrations.get_mut(w) {
+                *count += 1;
+            }
+        }
+    }
+}
+
+/// Rebuilds the slot loop's serving and reservation views from the
+/// migration machine's authoritative state.
+fn rebuild_views(
+    serving: &[Option<usize>],
+    reservations: &[(usize, usize)],
+    eff: &mut Vec<Option<usize>>,
+    hosted: &mut [Vec<usize>],
+    reserved: &mut [Vec<usize>],
+) {
+    eff.clear();
+    eff.extend_from_slice(serving);
+    for list in hosted.iter_mut() {
+        list.clear();
+    }
+    for (i, &s) in serving.iter().enumerate() {
+        if let Some(list) = s.and_then(|s| hosted.get_mut(s)) {
+            list.push(i);
+        }
+    }
+    for list in reserved.iter_mut() {
+        list.clear();
+    }
+    for &(app, server) in reservations {
+        if let Some(list) = reserved.get_mut(server) {
+            list.push(app);
+        }
+    }
 }
 
 /// Builds the per-segment execution plans, re-placing displaced
@@ -1080,6 +1241,119 @@ mod tests {
         let serial = run(1);
         let parallel = run(4);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn teleport_migration_reproduces_legacy_replay_byte_for_byte() {
+        let cons = consolidator(1);
+        let apps = fleet(&[2.6, 2.4, 2.8, 2.2], WEEK);
+        let placement = normal_placement(&cons, &apps);
+        let failed = placement.servers[0].server;
+        let schedule = FailureSchedule::scripted(vec![FailureEvent {
+            server: failed,
+            start: 8,
+            duration: 16,
+        }])
+        .unwrap();
+        let legacy = replay(
+            &cons,
+            &placement,
+            &apps,
+            &schedule,
+            &ReplayOptions::default(),
+            ObsCtx::none(),
+        )
+        .unwrap();
+        let mut machine = replay(
+            &cons,
+            &placement,
+            &apps,
+            &schedule,
+            &ReplayOptions::default().with_migration(MigrationConfig::teleport()),
+            ObsCtx::none(),
+        )
+        .unwrap();
+        let report = machine.migration.take().expect("machine report attached");
+        assert!(report.committed > 0);
+        assert_eq!(report.rolled_back, 0);
+        assert_eq!(report.deferred_slots, 0);
+        // Modulo the attached migration report, the zero-cost machine is
+        // the teleport replay, byte for byte.
+        assert_eq!(
+            serde_json::to_string(&legacy).unwrap(),
+            serde_json::to_string(&machine).unwrap()
+        );
+    }
+
+    #[test]
+    fn paced_migration_walks_phases_and_lands_in_band() {
+        let cons = consolidator(1);
+        let apps = fleet(&[2.6, 2.4, 2.8, 2.2], WEEK);
+        let placement = normal_placement(&cons, &apps);
+        let failed = placement.servers[0].server;
+        let schedule = FailureSchedule::scripted(vec![FailureEvent {
+            server: failed,
+            start: 8,
+            duration: 30,
+        }])
+        .unwrap();
+        let report = replay(
+            &cons,
+            &placement,
+            &apps,
+            &schedule,
+            &ReplayOptions::default().with_migration(MigrationConfig::paced()),
+            ObsCtx::none(),
+        )
+        .unwrap();
+        let migration = report.migration.as_ref().expect("paced report attached");
+        assert!(migration.committed > 0);
+        // Paced moves take real slots: nothing commits in the planning
+        // slot, and transfers double-book live sources along the way.
+        assert!(migration.first_commit_slot.unwrap() > 8);
+        assert!(migration.double_booked_slots > 0);
+        for mov in &migration.moves {
+            assert!(!mov.timeline.is_empty());
+        }
+        // Report-level migration totals come from committed cutovers.
+        let per_app: usize = report.apps.iter().map(|a| a.migrations).sum();
+        assert_eq!(per_app, report.migrations_total);
+        assert_eq!(migration.committed, report.migrations_total);
+    }
+
+    #[test]
+    fn storm_cap_defers_moves_in_replay() {
+        let cons = consolidator(1);
+        let apps = fleet(&[2.6, 2.4, 2.8, 2.2, 1.9, 2.1], WEEK);
+        let placement = normal_placement(&cons, &apps);
+        assert!(placement.servers_used >= 2, "fixture must span servers");
+        let failed = placement.servers[0].server;
+        let schedule = FailureSchedule::scripted(vec![FailureEvent {
+            server: failed,
+            start: 8,
+            duration: 40,
+        }])
+        .unwrap();
+        let run = |config: MigrationConfig| {
+            replay(
+                &cons,
+                &placement,
+                &apps,
+                &schedule,
+                &ReplayOptions::default().with_migration(config),
+                ObsCtx::none(),
+            )
+            .unwrap()
+            .migration
+            .unwrap()
+        };
+        let unlimited = run(MigrationConfig::paced());
+        let capped = run(MigrationConfig::paced().with_max_in_flight(1));
+        assert!(capped.peak_in_flight <= 1);
+        assert!(capped.committed > 0);
+        if unlimited.peak_in_flight > 1 {
+            assert!(capped.deferred_slots > 0);
+        }
     }
 
     #[test]

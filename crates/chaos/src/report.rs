@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use ropus_placement::failure::FailureScope;
+use ropus_placement::migration::MigrationReport;
 use ropus_wlm::metrics::SloAudit;
 
 /// Per-application performability outcome.
@@ -120,6 +121,12 @@ pub struct ChaosReport {
     pub apps: Vec<AppChaosOutcome>,
     /// Degraded windows, in time order.
     pub windows: Vec<DegradedWindow>,
+    /// Per-move timelines and fleet recovery metrics from the migration
+    /// state machine. `None` (and omitted from JSON) when the replay ran
+    /// with instantaneous teleport re-placement, so legacy reports
+    /// serialize exactly as before.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub migration: Option<MigrationReport>,
     /// Observability snapshot captured during the replay. `None` (and
     /// omitted from JSON) unless the caller attached one, so reports
     /// produced without instrumentation serialize exactly as before.

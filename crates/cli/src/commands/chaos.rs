@@ -34,6 +34,25 @@ OPTIONS:
                         outage: 'affected' (default) or 'all'
     --shed              drop unserved demand immediately instead of
                         carrying it over within the CoS2 deadline
+    --migrate           drive re-placements through the migration state
+                        machine (drain, transfer, health check, storm
+                        caps) instead of teleporting at segment
+                        boundaries; attaches a migration report
+    --drain-slots <N>        slots the source drains before transfer
+                             (default 2; implies --migrate)
+    --transfer-slots <N>     slots the transfer occupies (default 1)
+    --health-slots <N>       consecutive healthy slots required on the
+                             destination before commit (default 2)
+    --drain-deadline <N>     slots a contended drain may stall before
+                             rolling back (default: unbounded)
+    --max-inflight <N>       fleet-wide cap on concurrent moves
+                             (default: unlimited)
+    --max-inflight-server <N> per-server cap on concurrent moves
+                             (default: unlimited)
+    --migration-retries <N>  retries after rollback before a move is
+                             abandoned (default 2)
+    --migration-backoff <N>  base backoff slots between retries,
+                             doubling each attempt (default 2)
     --seed <N>          placement search seed (default 0)
     --threads <N>       engine worker threads (default 1)
     --fast              use fast search options (tests/previews)
@@ -59,6 +78,46 @@ fn parse_events(spec: &str) -> Result<Vec<FailureEvent>, String> {
         .collect()
 }
 
+/// Assembles the migration lifecycle model from `--migrate` and its
+/// tuning flags; any tuning flag implies `--migrate`.
+fn parse_migration(args: &Args) -> Result<Option<MigrationConfig>, String> {
+    let tuned = [
+        "drain-slots",
+        "transfer-slots",
+        "health-slots",
+        "drain-deadline",
+        "max-inflight",
+        "max-inflight-server",
+        "migration-retries",
+        "migration-backoff",
+    ]
+    .iter()
+    .any(|flag| args.get(flag).is_some());
+    if !args.has_switch("migrate") && !tuned {
+        return Ok(None);
+    }
+    let defaults = MigrationConfig::paced();
+    let mut config = MigrationConfig {
+        drain_slots: args.get_parsed("drain-slots", defaults.drain_slots)?,
+        transfer_slots: args.get_parsed("transfer-slots", defaults.transfer_slots)?,
+        health_slots: args.get_parsed("health-slots", defaults.health_slots)?,
+        max_retries: args.get_parsed("migration-retries", defaults.max_retries)?,
+        backoff_slots: args.get_parsed("migration-backoff", defaults.backoff_slots)?,
+        ..defaults
+    };
+    if args.get("drain-deadline").is_some() {
+        config = config.with_drain_deadline(args.get_parsed("drain-deadline", 0usize)?);
+    }
+    if args.get("max-inflight").is_some() {
+        config = config.with_max_in_flight(args.get_parsed("max-inflight", 0usize)?);
+    }
+    if args.get("max-inflight-server").is_some() {
+        config =
+            config.with_max_in_flight_per_server(args.get_parsed("max-inflight-server", 0usize)?);
+    }
+    Ok(Some(config))
+}
+
 /// Converts a duration in hours to calendar slots (at least one).
 fn hours_to_slots(calendar: Calendar, hours: f64) -> usize {
     calendar
@@ -76,7 +135,7 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         println!("{HELP}");
         return Ok(());
     }
-    let args = Args::parse(tokens, &["fast", "json", "shed"])?;
+    let args = Args::parse(tokens, &["fast", "json", "shed", "migrate"])?;
     let cli_obs = CliObs::from_args(&args)?;
     let policy = PolicyFile::load(args.require("policy")?)?;
     let traces = load_traces(args.require("traces")?, policy.calendar())?;
@@ -102,6 +161,7 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
     } else {
         DegradationPolicy::default()
     };
+    let migration = parse_migration(&args)?;
 
     let framework = Framework::builder()
         .server(policy.server_spec())
@@ -154,11 +214,12 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
     };
 
     let mut report = framework
-        .chaos_replay_on(
+        .chaos_replay_on_with(
             PlanRequest::of(&apps).with_obs(cli_obs.collector()),
             &placement,
             &schedule,
             degradation,
+            migration,
         )
         .map_err(|e| format!("replay failed: {e}"))?;
 
@@ -218,6 +279,19 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         100.0 * report.shed_fraction(),
         report.migrations_total
     );
+    if let Some(m) = &report.migration {
+        println!(
+            "migration:   {} planned, {} committed, {} rolled back, {} failed, {} superseded",
+            m.planned, m.committed, m.rolled_back, m.failed, m.superseded
+        );
+        println!(
+            "             peak {} in flight, {} move-slots deferred by storm caps, {} slots double-booked",
+            m.peak_in_flight, m.deferred_slots, m.double_booked_slots
+        );
+        if let (Some(first), Some(last)) = (m.first_commit_slot, m.last_commit_slot) {
+            println!("             first commit slot {first}, last commit slot {last}");
+        }
+    }
     cli_obs.finish()?;
     if report.all_compliant() {
         println!("verdict: every application stayed within its QoS contract");

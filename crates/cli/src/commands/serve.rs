@@ -20,13 +20,17 @@ stdout line. Commands:
     {\"cmd\":\"admit\",\"name\":NAME,\"level\":CPUS}      constant demand
     {\"cmd\":\"admit\",\"name\":NAME,\"samples\":[..]}    explicit demand
     {\"cmd\":\"depart\",\"name\":NAME}                  remove application
+    {\"cmd\":\"migrate\",\"name\":NAME,\"server\":S}      move application
     {\"cmd\":\"tick\"}  /  {\"cmd\":\"tick\",\"slots\":N}    advance time
     {\"cmd\":\"snapshot\"}                             live plan + queue
     {\"cmd\":\"shutdown\"}                             stats, then exit
 
 Admission probes every open server under the policy's CoS commitments
 and the admission policy accepts (naming a server), queues the request
-until a deadline, or rejects it.
+until a deadline, or rejects it. Failed queue retries back off
+exponentially. Migrations commit instantly by default; under
+--paced-migrations they drain, transfer, and health-check across ticks
+through the migration state machine.
 
 OPTIONS:
     --policy <FILE>       policy JSON (required)
@@ -38,6 +42,13 @@ OPTIONS:
     --max-servers <N>     pool size cap (default unbounded)
     --queue-deadline <N>  ticks a queued admission survives (default 12;
                           0 rejects instead of queueing)
+    --retry-backoff <N>   base ticks between queue retries, doubling
+                          after each failure (default 1)
+    --retry-attempts <N>  failed retries before a queued admission is
+                          dropped (default 32)
+    --paced-migrations    drive 'migrate' commands through the paced
+                          migration state machine instead of committing
+                          instantly
     --obs <MODE>          observability: 'off' (default), 'summary', or
                           'json:PATH'
     --help                show this message";
@@ -53,7 +64,7 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         println!("{HELP}");
         return Ok(());
     }
-    let args = Args::parse(tokens, &[])?;
+    let args = Args::parse(tokens, &["paced-migrations"])?;
     let cli_obs = CliObs::from_args(&args)?;
     let policy = PolicyFile::load(args.require("policy")?)?;
     let admission = args.get("admission").unwrap_or("best-fit");
@@ -72,6 +83,11 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
     }
     config.threads = args.get_parsed("threads", 1usize)?;
     config.queue_deadline_slots = args.get_parsed("queue-deadline", 12u64)?;
+    config.retry_backoff_base = args.get_parsed("retry-backoff", config.retry_backoff_base)?;
+    config.retry_max_attempts = args.get_parsed("retry-attempts", config.retry_max_attempts)?;
+    if args.has_switch("paced-migrations") {
+        config.migration = ropus::prelude::MigrationConfig::paced();
+    }
     if let Some(cap) = args.get("max-servers") {
         let cap: usize = cap.parse().map_err(|e| format!("bad --max-servers: {e}"))?;
         config.max_servers = Some(cap);

@@ -12,6 +12,7 @@ use ropus_chaos::{
     replay, ChaosApp, ChaosReport, DegradationPolicy, FailureSchedule, ReplayOptions,
 };
 use ropus_placement::consolidate::{Consolidator, PlacementReport};
+use ropus_placement::migration::MigrationConfig;
 use ropus_wlm::manager::WlmPolicy;
 
 use crate::framework::{Framework, PlanRequest};
@@ -71,6 +72,29 @@ impl Framework {
         schedule: &FailureSchedule,
         degradation: DegradationPolicy,
     ) -> Result<ChaosReport, FrameworkError> {
+        self.chaos_replay_on_with(request, normal_placement, schedule, degradation, None)
+    }
+
+    /// [`chaos_replay_on`](Self::chaos_replay_on) with an explicit
+    /// migration lifecycle model.
+    ///
+    /// `Some(config)` drives every re-placement through the migration
+    /// state machine (drain → transfer → cutover → health check, storm
+    /// caps) and attaches a
+    /// [`MigrationReport`](ropus_placement::migration::MigrationReport)
+    /// to the output; `None` keeps the historical teleport behavior.
+    ///
+    /// # Errors
+    ///
+    /// As for [`chaos_replay_on`](Self::chaos_replay_on).
+    pub fn chaos_replay_on_with<'a>(
+        &self,
+        request: impl Into<PlanRequest<'a>>,
+        normal_placement: &PlacementReport,
+        schedule: &FailureSchedule,
+        degradation: DegradationPolicy,
+        migration: Option<MigrationConfig>,
+    ) -> Result<ChaosReport, FrameworkError> {
         let request = request.into();
         let obs = request.obs();
         let fleet = self.chaos_fleet(request)?;
@@ -78,6 +102,7 @@ impl Framework {
         let options = ReplayOptions {
             scope: self.failure_scope(),
             degradation,
+            migration,
         };
         let _span = obs.span("pipeline.chaos_replay");
         Ok(replay(

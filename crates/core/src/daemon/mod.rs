@@ -31,8 +31,11 @@ use std::collections::VecDeque;
 use std::io::{BufRead, Write};
 
 use ropus_obs::ObsCtx;
+use ropus_placement::migration::{
+    MigrationConfig, MigrationOrchestrator, MigrationPhase, Transition,
+};
 use ropus_placement::server::ServerSpec;
-use ropus_placement::session::EngineSession;
+use ropus_placement::session::{EngineSession, WorkloadId};
 use ropus_placement::workload::Workload;
 use ropus_qos::translation::translate;
 use ropus_qos::{AppQos, PoolCommitments};
@@ -66,6 +69,16 @@ pub struct DaemonConfig {
     /// Ticks a queued admission survives before expiring; 0 disables the
     /// queue (every `Queue` verdict becomes a rejection).
     pub queue_deadline_slots: u64,
+    /// Base backoff, in ticks, between queue retry attempts; each failed
+    /// re-decide doubles the wait. 1 retries every tick at first.
+    pub retry_backoff_base: u64,
+    /// Failed re-decides before a queued admission is dropped.
+    pub retry_max_attempts: u32,
+    /// Migration lifecycle model for `migrate` commands. The default
+    /// zero-cost [`MigrationConfig::teleport`] commits a move in the
+    /// command itself; a paced config plans it and lets ticks walk the
+    /// drain → transfer → cutover → health-check machine.
+    pub migration: MigrationConfig,
     /// Pool size cap; `None` = unbounded.
     pub max_servers: Option<usize>,
 }
@@ -88,6 +101,9 @@ impl DaemonConfig {
             tolerance: 0.05,
             threads: 1,
             queue_deadline_slots: 12,
+            retry_backoff_base: 1,
+            retry_max_attempts: 32,
+            migration: MigrationConfig::teleport(),
             max_servers: None,
         }
     }
@@ -99,6 +115,10 @@ struct QueuedAdmission {
     workload: Workload,
     /// Last slot (inclusive) at which a retry may still admit it.
     deadline: u64,
+    /// Failed re-decides so far; drives the exponential backoff.
+    attempts: u32,
+    /// First slot at which the next retry may run.
+    next_retry: u64,
 }
 
 /// The online planner: an [`EngineSession`] plus admission queue, driven
@@ -108,6 +128,12 @@ pub struct Daemon {
     policy: Box<dyn AdmissionPolicy + Send>,
     session: EngineSession,
     queue: VecDeque<QueuedAdmission>,
+    /// Migration machine for paced `migrate` commands; its app indices
+    /// are tickets into `move_ids`.
+    orch: MigrationOrchestrator,
+    /// Orchestrator app index → live workload, one entry per migration
+    /// ever requested.
+    move_ids: Vec<WorkloadId>,
     slot: u64,
     stats: ServeStats,
 }
@@ -134,11 +160,14 @@ impl Daemon {
         let session = EngineSession::new(config.server, config.commitments)
             .with_tolerance(config.tolerance)
             .with_threads(config.threads);
+        let orch = MigrationOrchestrator::new(config.migration, Vec::new());
         Daemon {
             config,
             policy,
             session,
             queue: VecDeque::new(),
+            orch,
+            move_ids: Vec::new(),
             slot: 0,
             stats: ServeStats::default(),
         }
@@ -287,7 +316,12 @@ impl Daemon {
             }
             AdmissionDecision::Queue => {
                 let deadline = self.slot + self.config.queue_deadline_slots;
-                self.queue.push_back(QueuedAdmission { workload, deadline });
+                self.queue.push_back(QueuedAdmission {
+                    workload,
+                    deadline,
+                    attempts: 0,
+                    next_retry: self.slot,
+                });
                 obs.counter("serve.admit.queued", 1);
                 response.decision = Some("queued".to_string());
                 response.deadline_slot = Some(deadline);
@@ -315,6 +349,18 @@ impl Daemon {
         let Some(id) = self.session.find(name) else {
             return Response::error("depart", format!("{name:?} is not a live application"));
         };
+        // An open migration dies with the application: cancel the machine
+        // ticket first (the session rolls back its reservation below).
+        let open: Vec<usize> = self
+            .move_ids
+            .iter()
+            .enumerate()
+            .filter(|&(idx, &mid)| mid == id && self.orch.has_active_move(idx))
+            .map(|(idx, _)| idx)
+            .collect();
+        for idx in open {
+            self.orch.cancel_app(idx, self.slot as usize, obs);
+        }
         match self.session.depart(id) {
             Ok(_) => {
                 self.stats.departed += 1;
@@ -334,10 +380,12 @@ impl Daemon {
         let started_ms = obs.now_ms();
         let mut admitted_from_queue = Vec::new();
         let mut expired = Vec::new();
+        let mut migrated = Vec::new();
         for _ in 0..slots {
             self.slot += 1;
             self.stats.ticks += 1;
-            self.drain_queue(&mut admitted_from_queue, &mut expired);
+            self.drain_queue(&mut admitted_from_queue, &mut expired, obs);
+            self.advance_migrations(&mut migrated, obs);
         }
         let delta = self.session.refresh();
         obs.counter("serve.tick.count", slots);
@@ -357,13 +405,34 @@ impl Daemon {
         if !expired.is_empty() {
             response.expired = Some(expired);
         }
+        if !migrated.is_empty() {
+            response.migrated = Some(migrated);
+        }
         response
     }
 
-    /// One slot's queue pass: FIFO retry, then deadline expiry.
-    fn drain_queue(&mut self, admitted: &mut Vec<String>, expired: &mut Vec<String>) {
+    /// One slot's queue pass: FIFO retry under exponential backoff, then
+    /// deadline expiry. A failed re-decide is a retry: the entry waits
+    /// `retry_backoff_base * 2^(attempts-1)` ticks before the next one,
+    /// and `retry_max_attempts` failures drop it outright.
+    fn drain_queue(
+        &mut self,
+        admitted: &mut Vec<String>,
+        expired: &mut Vec<String>,
+        obs: ObsCtx<'_>,
+    ) {
         let mut remaining = VecDeque::with_capacity(self.queue.len());
-        while let Some(entry) = self.queue.pop_front() {
+        while let Some(mut entry) = self.queue.pop_front() {
+            if self.slot < entry.next_retry {
+                // Still backing off; only the deadline may touch it.
+                if self.slot > entry.deadline {
+                    self.stats.expired += 1;
+                    expired.push(entry.workload.name().to_string());
+                } else {
+                    remaining.push_back(entry);
+                }
+                continue;
+            }
             let verdict = match self.decide(&entry.workload) {
                 Ok((v, _)) => v,
                 // A queued workload can no longer fail validation; treat
@@ -377,14 +446,157 @@ impl Daemon {
                     self.stats.admitted += 1;
                     admitted.push(entry.workload.name().to_string());
                 }
-                _ if self.slot > entry.deadline => {
+                _ if self.slot > entry.deadline
+                    || entry.attempts >= self.config.retry_max_attempts =>
+                {
                     self.stats.expired += 1;
                     expired.push(entry.workload.name().to_string());
                 }
-                _ => remaining.push_back(entry),
+                _ => {
+                    entry.attempts += 1;
+                    self.stats.retries += 1;
+                    obs.counter("serve.retries", 1);
+                    let exponent = (entry.attempts - 1).min(32);
+                    let wait = self
+                        .config
+                        .retry_backoff_base
+                        .max(1)
+                        .saturating_mul(1u64 << exponent);
+                    entry.next_retry = self.slot.saturating_add(wait);
+                    remaining.push_back(entry);
+                }
             }
         }
         self.queue = remaining;
+    }
+
+    /// Handles `migrate`: commit immediately under the teleport config,
+    /// or plan a paced move for ticks to drive.
+    pub fn migrate(&mut self, name: &str, server: usize, obs: ObsCtx<'_>) -> Response {
+        let mut response = Response::ok("migrate");
+        response.name = Some(name.to_string());
+        response.server = Some(server);
+        let Some(id) = self.session.find(name) else {
+            return Response::error("migrate", format!("{name:?} is not a live application"));
+        };
+        let from = self.session.assignment_of(id);
+        if from == Some(server) {
+            return Response::error(
+                "migrate",
+                format!("{name:?} already runs on server {server}"),
+            );
+        }
+        if self.config.max_servers.is_some_and(|cap| server >= cap) {
+            return Response::error("migrate", format!("server {server} is beyond the pool cap"));
+        }
+        if self.config.migration.is_teleport() {
+            return match self.session.reassign(id, server) {
+                Ok(_) => {
+                    self.stats.migrations += 1;
+                    obs.counter("serve.migrations", 1);
+                    response.decision = Some("committed".to_string());
+                    response
+                }
+                Err(e) => Response::error("migrate", e.to_string()),
+            };
+        }
+        if self
+            .move_ids
+            .iter()
+            .enumerate()
+            .any(|(idx, &mid)| mid == id && self.orch.has_active_move(idx))
+        {
+            return Response::error("migrate", format!("{name:?} is already migrating"));
+        }
+        let idx = self.move_ids.len();
+        self.move_ids.push(id);
+        self.orch.ensure_apps(self.move_ids.len());
+        self.orch.set_current(idx, from);
+        self.orch
+            .plan_move(idx, server, 1, self.slot as usize, None);
+        obs.counter("migration.planned", 1);
+        response.decision = Some("planned".to_string());
+        response
+    }
+
+    /// One slot of the migration machine: start eligible moves under the
+    /// storm caps, derive contention/health from the live session, and
+    /// apply the resulting phase work to the session.
+    fn advance_migrations(&mut self, migrated: &mut Vec<String>, obs: ObsCtx<'_>) {
+        if self.orch.is_idle() {
+            return;
+        }
+        let slot = self.slot as usize;
+        let begin = self.orch.begin_slot(slot, obs);
+        self.apply_transitions(&begin, migrated, obs);
+        let capacity = self.config.server.capacity();
+        let servers = self.session.server_count();
+        let mut contended = vec![false; servers];
+        for (s, flag) in contended.iter_mut().enumerate() {
+            *flag = self
+                .session
+                .server_required(s)
+                .is_some_and(|required| required > capacity);
+        }
+        let mut healthy = vec![true; self.move_ids.len()];
+        for (app, to) in self.orch.in_health_check() {
+            // Healthy = the destination (reservation included) still fits
+            // its commitments within one server.
+            let fits = self
+                .session
+                .server_required(to)
+                .is_none_or(|required| required <= capacity);
+            if let Some(h) = healthy.get_mut(app) {
+                *h = fits;
+            }
+        }
+        let done = self.orch.complete_slot(slot, &contended, &healthy, obs);
+        self.apply_transitions(&done, migrated, obs);
+    }
+
+    /// Mirrors machine transitions into the session: a drain start
+    /// reserves the destination, a commit promotes the reservation, a
+    /// rollback releases it.
+    fn apply_transitions(
+        &mut self,
+        transitions: &[Transition],
+        migrated: &mut Vec<String>,
+        obs: ObsCtx<'_>,
+    ) {
+        for t in transitions {
+            let Some(&id) = self.move_ids.get(t.app) else {
+                continue;
+            };
+            // Collapsing these ifs into match guards would run session
+            // mutations (begin/commit) inside guard expressions.
+            #[allow(clippy::collapsible_match)]
+            match t.phase {
+                MigrationPhase::Draining => {
+                    // A refused reservation (stale id, impossible server)
+                    // drops the machine ticket too, so the move can never
+                    // cut over against a session that is not booking it.
+                    if self.session.begin_migration(id, t.to).is_err() {
+                        self.orch.cancel_app(t.app, self.slot as usize, obs);
+                    }
+                }
+                MigrationPhase::Committed => {
+                    if self.session.commit_migration(id).is_ok() {
+                        self.stats.migrations += 1;
+                        obs.counter("serve.migrations", 1);
+                        if let Some(w) = self.session.workload(id) {
+                            migrated.push(w.name().to_string());
+                        }
+                    }
+                }
+                MigrationPhase::RolledBack => {
+                    // lint:allow(robust-result-discard): a move whose
+                    // begin was refused has no open reservation — there
+                    // is nothing to roll back and no state to repair.
+                    let _ = self.session.rollback_migration(id);
+                }
+                _ => {}
+            }
+        }
     }
 
     /// Handles `snapshot`: the live plan, queue, and slot.
@@ -415,6 +627,7 @@ impl Daemon {
         match command {
             Command::Admit { name, demand } => self.admit(name, demand, obs),
             Command::Depart { name } => self.depart(name, obs),
+            Command::Migrate { name, server } => self.migrate(name, *server, obs),
             Command::Tick { slots } => self.tick(*slots, obs),
             Command::Snapshot => self.snapshot(),
             Command::Shutdown => self.shutdown(),
@@ -601,6 +814,107 @@ mod tests {
     }
 
     #[test]
+    fn teleport_migrate_commits_immediately() {
+        let obs = ropus_obs::Obs::deterministic();
+        let mut d = Daemon::new(config());
+        admit_level(&mut d, "a", 4.0);
+        admit_level(&mut d, "b", 4.0);
+        let r = d.migrate("b", 1, ObsCtx::from(&obs));
+        assert!(r.ok);
+        assert_eq!(r.decision.as_deref(), Some("committed"));
+        assert_eq!(r.server, Some(1));
+        assert_eq!(d.stats().migrations, 1);
+        assert_eq!(obs.report().counter("serve.migrations"), 1);
+        let snap = d.snapshot();
+        assert_eq!(snap.plan.unwrap().assignment, vec![0, 1]);
+        // Guards: unknown app, no-op move.
+        assert!(!d.migrate("ghost", 1, ObsCtx::none()).ok);
+        assert!(!d.migrate("b", 1, ObsCtx::none()).ok);
+    }
+
+    #[test]
+    fn paced_migrate_walks_the_machine_over_ticks() {
+        let mut cfg = config();
+        cfg.migration = MigrationConfig::paced();
+        let mut d = Daemon::new(cfg);
+        admit_level(&mut d, "a", 4.0);
+        admit_level(&mut d, "b", 4.0);
+        let r = d.migrate("b", 1, ObsCtx::none());
+        assert!(r.ok);
+        assert_eq!(r.decision.as_deref(), Some("planned"));
+        assert!(!d.migrate("b", 1, ObsCtx::none()).ok, "one move at a time");
+        // 2 drain + 1 transfer + 2 health slots: commit on the fifth tick.
+        for _ in 0..4 {
+            let r = d.tick(1, ObsCtx::none());
+            assert!(r.migrated.is_none());
+        }
+        // Mid-move the destination is double-booked by the reservation.
+        assert_eq!(d.session_mut().server_reserved(1).len(), 1);
+        let r = d.tick(1, ObsCtx::none());
+        assert_eq!(r.migrated, Some(vec!["b".to_string()]));
+        assert_eq!(d.stats().migrations, 1);
+        assert!(d.session_mut().server_reserved(1).is_empty());
+        let snap = d.snapshot();
+        assert_eq!(snap.plan.unwrap().assignment, vec![0, 1]);
+    }
+
+    #[test]
+    fn departing_app_cancels_its_paced_move() {
+        let mut cfg = config();
+        cfg.migration = MigrationConfig::paced();
+        let mut d = Daemon::new(cfg);
+        admit_level(&mut d, "a", 4.0);
+        admit_level(&mut d, "b", 4.0);
+        d.migrate("b", 1, ObsCtx::none());
+        d.tick(1, ObsCtx::none());
+        assert_eq!(d.session_mut().server_reserved(1).len(), 1);
+        assert!(d.depart("b", ObsCtx::none()).ok);
+        assert!(d.session_mut().server_reserved(1).is_empty());
+        let r = d.tick(3, ObsCtx::none());
+        assert!(r.migrated.is_none());
+        assert_eq!(d.stats().migrations, 0);
+    }
+
+    #[test]
+    fn queue_retries_back_off_exponentially() {
+        let mut cfg = config();
+        cfg.max_servers = Some(1);
+        cfg.queue_deadline_slots = 40;
+        cfg.retry_backoff_base = 2;
+        let mut d = Daemon::new(cfg);
+        admit_level(&mut d, "a", 7.0);
+        admit_level(&mut d, "b", 7.0);
+        // Retries run at slots 1, 3 (+2), 7 (+4); the next waits until 15.
+        d.tick(8, ObsCtx::none());
+        assert_eq!(d.stats().retries, 3);
+        // Freed capacity is only noticed at the next backoff point.
+        d.depart("a", ObsCtx::none());
+        let r = d.tick(6, ObsCtx::none());
+        assert!(r.admitted_from_queue.is_none());
+        let r = d.tick(1, ObsCtx::none());
+        assert_eq!(r.admitted_from_queue, Some(vec!["b".to_string()]));
+    }
+
+    #[test]
+    fn retry_attempts_cap_drops_the_admission() {
+        let mut cfg = config();
+        cfg.max_servers = Some(1);
+        cfg.queue_deadline_slots = 100;
+        cfg.retry_max_attempts = 2;
+        let mut d = Daemon::new(cfg);
+        admit_level(&mut d, "a", 7.0);
+        admit_level(&mut d, "b", 7.0);
+        // Slot 1 and 2 fail (two retries); the slot-4 re-decide hits the
+        // attempt cap and drops the admission long before its deadline.
+        let r = d.tick(3, ObsCtx::none());
+        assert!(r.expired.is_none());
+        let r = d.tick(1, ObsCtx::none());
+        assert_eq!(r.expired, Some(vec!["b".to_string()]));
+        assert_eq!(d.stats().retries, 2);
+        assert_eq!(d.stats().expired, 1);
+    }
+
+    #[test]
     fn run_loop_speaks_the_protocol_end_to_end() {
         let script = concat!(
             r#"{"cmd":"admit","name":"a","level":4.0}"#,
@@ -644,6 +958,7 @@ mod tests {
         let report = obs.report();
         assert_eq!(report.counter("serve.admit.accepted"), 1);
         assert_eq!(report.counter("serve.admit.queued"), 1);
+        assert_eq!(report.counter("serve.retries"), 1);
         assert_eq!(report.counter("serve.queue.admitted"), 1);
         assert_eq!(report.counter("serve.depart.count"), 1);
         assert_eq!(report.counter("serve.tick.count"), 2);

@@ -8,6 +8,7 @@
 //! {"cmd":"admit","name":"app-1","level":2.0}
 //! {"cmd":"admit","name":"app-2","samples":[1.0,2.0, ...]}
 //! {"cmd":"depart","name":"app-1"}
+//! {"cmd":"migrate","name":"app-1","server":2}
 //! {"cmd":"tick"}
 //! {"cmd":"tick","slots":4}
 //! {"cmd":"snapshot"}
@@ -46,6 +47,16 @@ pub enum Command {
         /// Application name.
         name: String,
     },
+    /// Move a live application to another server. Under the zero-cost
+    /// (teleport) migration config the move commits immediately; under a
+    /// paced config it is planned and driven through the migration state
+    /// machine by subsequent ticks.
+    Migrate {
+        /// Application name.
+        name: String,
+        /// Destination server.
+        server: usize,
+    },
     /// Advance logical time: retry and expire queued admissions, then
     /// recompute every touched server.
     Tick {
@@ -67,6 +78,7 @@ struct RawCommand {
     level: Option<f64>,
     samples: Option<Vec<f64>>,
     slots: Option<u64>,
+    server: Option<usize>,
 }
 
 /// Parses one input line into a [`Command`].
@@ -102,6 +114,15 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 .ok_or_else(|| "depart requires a \"name\"".to_string())?;
             Ok(Command::Depart { name })
         }
+        "migrate" => {
+            let name = raw
+                .name
+                .ok_or_else(|| "migrate requires a \"name\"".to_string())?;
+            let server = raw
+                .server
+                .ok_or_else(|| "migrate requires a \"server\"".to_string())?;
+            Ok(Command::Migrate { name, server })
+        }
         "tick" => {
             let slots = raw.slots.unwrap_or(1);
             if slots == 0 {
@@ -130,6 +151,14 @@ pub struct ServeStats {
     pub expired: u64,
     /// Applications departed.
     pub departed: u64,
+    /// Queued-admission retry attempts (failed re-decides that went back
+    /// to the queue under backoff).
+    #[serde(default)]
+    pub retries: u64,
+    /// Migrations committed (immediately under the teleport config, or
+    /// by the state machine under a paced one).
+    #[serde(default)]
+    pub migrations: u64,
     /// Per-server required-capacity recomputations performed.
     pub recomputes: u64,
 }
@@ -171,6 +200,9 @@ pub struct Response {
     /// Queued applications dropped by this tick (deadline passed).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub expired: Option<Vec<String>>,
+    /// Applications whose migration committed during this tick.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub migrated: Option<Vec<String>>,
     /// Servers whose required capacity was recomputed by this tick.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub recomputed: Option<usize>,
@@ -201,6 +233,7 @@ impl Response {
             slot: None,
             admitted_from_queue: None,
             expired: None,
+            migrated: None,
             recomputed: None,
             queue: None,
             plan: None,
@@ -251,6 +284,13 @@ mod tests {
             }
         );
         assert_eq!(
+            parse_command(r#"{"cmd":"migrate","name":"a","server":2}"#).unwrap(),
+            Command::Migrate {
+                name: "a".to_string(),
+                server: 2
+            }
+        );
+        assert_eq!(
             parse_command(r#"{"cmd":"tick"}"#).unwrap(),
             Command::Tick { slots: 1 }
         );
@@ -279,6 +319,8 @@ mod tests {
             ),
             (r#"{"cmd":"admit","level":1.0}"#, "name"),
             (r#"{"cmd":"depart"}"#, "name"),
+            (r#"{"cmd":"migrate","server":1}"#, "name"),
+            (r#"{"cmd":"migrate","name":"a"}"#, "server"),
             (r#"{"cmd":"tick","slots":0}"#, "slots"),
             (r#"{"cmd":"resize"}"#, "unknown command"),
         ] {

@@ -96,6 +96,9 @@ pub mod prelude {
     pub use ropus_placement::failure::{FailureAnalysis, FailureScope};
     pub use ropus_placement::ga::GaOptions;
     pub use ropus_placement::greedy::GreedyPolicy;
+    pub use ropus_placement::migration::{
+        MigrationConfig, MigrationOrchestrator, MigrationPhase, MigrationReport,
+    };
     pub use ropus_placement::server::{Pool, ServerSpec};
     pub use ropus_placement::session::{EngineSession, PlanDelta, WorkloadId};
     pub use ropus_placement::workload::Workload;

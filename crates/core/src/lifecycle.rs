@@ -19,11 +19,15 @@
 use ropus_obs::ObsCtx;
 use serde::{Deserialize, Serialize};
 
+use ropus_placement::migration::{
+    MigrationConfig, MigrationOrchestrator, MigrationPhase, MigrationReport, MoveRecord,
+};
+use ropus_trace::Trace;
 use ropus_wlm::host::{Host, HostedWorkload};
 use ropus_wlm::manager::WlmPolicy;
 use ropus_wlm::metrics::audit;
 
-use crate::framework::{AppSpec, Framework};
+use crate::framework::{AppPlan, AppSpec, Framework};
 use crate::FrameworkError;
 
 /// Outcome of one lifecycle epoch.
@@ -38,9 +42,19 @@ pub struct EpochOutcome {
     pub violations: usize,
     /// Fraction of applications compliant out of sample.
     pub compliant_fraction: f64,
-    /// Workloads that moved servers relative to the previous epoch's
-    /// placement (0 for the first epoch).
+    /// Workloads that changed servers relative to the previous epoch's
+    /// placement (0 for the first epoch). Under a paced migration config
+    /// this counts moves the state machine actually *committed*, not
+    /// re-plan deltas.
     pub migrations: usize,
+    /// Rollbacks the epoch's migration machine performed (always 0 under
+    /// the teleport config).
+    #[serde(default)]
+    pub rolled_back: usize,
+    /// Moves abandoned after exhausting retries (always 0 under the
+    /// teleport config).
+    #[serde(default)]
+    pub failed: usize,
 }
 
 /// Result of a lifecycle run.
@@ -87,6 +101,33 @@ impl Framework {
         apps: &[AppSpec],
         window_weeks: usize,
     ) -> Result<LifecycleReport, FrameworkError> {
+        self.run_lifecycle_with(apps, window_weeks, MigrationConfig::teleport())
+    }
+
+    /// [`run_lifecycle`](Self::run_lifecycle) under an explicit migration
+    /// cost model.
+    ///
+    /// With the zero-cost [`MigrationConfig::teleport`] (what
+    /// `run_lifecycle` uses) each epoch's re-plan takes effect instantly
+    /// and `migrations` counts assignment deltas — the historical
+    /// behavior, bit for bit. A paced config drives every epoch
+    /// adjustment through the migration state machine instead: moves
+    /// start under the storm caps, the source serves until cutover, the
+    /// destination is double-booked while a move is in flight, and the
+    /// out-of-sample replay models all of it with residency windows and
+    /// reservation pressure on each host. `migrations` then counts
+    /// *committed* moves, and `rolled_back`/`failed` surface the machine's
+    /// failures.
+    ///
+    /// # Errors and panics
+    ///
+    /// As for [`run_lifecycle`](Self::run_lifecycle).
+    pub fn run_lifecycle_with(
+        &self,
+        apps: &[AppSpec],
+        window_weeks: usize,
+        migration: MigrationConfig,
+    ) -> Result<LifecycleReport, FrameworkError> {
         assert!(window_weeks > 0, "window must cover at least one week");
         let first = apps.first().ok_or(FrameworkError::NoApplications)?;
         let weeks = first.demand().weeks();
@@ -124,53 +165,89 @@ impl Framework {
                 self.options(),
             );
             let placement = consolidator.consolidate(&workloads, ObsCtx::none())?;
+            let slots_per_week = first.demand().calendar().slots_per_week();
+
+            // Under a paced config (and once a baseline exists), walk the
+            // epoch's adjustment through the migration state machine.
+            let machine = match &previous_assignment {
+                Some(prev) if !migration.is_teleport() => {
+                    let names: Vec<&str> = apps.iter().map(AppSpec::name).collect();
+                    Some(drive_epoch_moves(
+                        prev,
+                        &placement.assignment,
+                        migration,
+                        slots_per_week,
+                        &names,
+                    ))
+                }
+                _ => None,
+            };
 
             // Replay the unseen week through each placed host.
             let mut violations = 0usize;
-            for server_placement in &placement.servers {
-                let hosted: Vec<HostedWorkload> = server_placement
-                    .workloads
-                    .iter()
-                    .map(|&i| {
-                        // lint:allow(panic-slice-index): the consolidator
-                        // built this placement over these same apps and
-                        // plans, so every index is in range.
-                        let (app, plan) = (&apps[i], &plans[i]);
-                        let demand = app
-                            .demand()
-                            .weeks_range(week, week + 1)
-                            // lint:allow(panic-expect): `week` iterates
-                            // `window_weeks..weeks`, inside the trace.
-                            .expect("week bounds checked above");
-                        let policy =
-                            WlmPolicy::from_translation(&app.policy().normal, &plan.normal);
-                        HostedWorkload::new(app.name(), demand, policy)
-                    })
-                    .collect();
-                let host = Host::new(self.server().capacity())?;
-                let outcome = host.run(&hosted, ObsCtx::none())?;
-                // Host outcomes are returned in hosted order, which is the
-                // placement's workload order — pair them back up by zip.
-                for (wo, &app_index) in outcome.workloads.iter().zip(&server_placement.workloads) {
-                    let a = audit(
-                        &wo.utilization,
-                        // lint:allow(panic-slice-index): placement indices
-                        // are in range (see above).
-                        &apps[app_index].policy().normal,
-                    );
-                    if !a.is_compliant() {
-                        violations += 1;
+            if let (Some(report), Some(prev)) = (&machine, &previous_assignment) {
+                violations = self.replay_week_with_moves(
+                    apps,
+                    &plans,
+                    &placement.assignment,
+                    prev,
+                    report,
+                    week,
+                    slots_per_week,
+                )?;
+            } else {
+                for server_placement in &placement.servers {
+                    let hosted: Vec<HostedWorkload> = server_placement
+                        .workloads
+                        .iter()
+                        .map(|&i| {
+                            // lint:allow(panic-slice-index): the consolidator
+                            // built this placement over these same apps and
+                            // plans, so every index is in range.
+                            let (app, plan) = (&apps[i], &plans[i]);
+                            let demand = app
+                                .demand()
+                                .weeks_range(week, week + 1)
+                                // lint:allow(panic-expect): `week` iterates
+                                // `window_weeks..weeks`, inside the trace.
+                                .expect("week bounds checked above");
+                            let policy =
+                                WlmPolicy::from_translation(&app.policy().normal, &plan.normal);
+                            HostedWorkload::new(app.name(), demand, policy)
+                        })
+                        .collect();
+                    let host = Host::new(self.server().capacity())?;
+                    let outcome = host.run(&hosted, ObsCtx::none())?;
+                    // Host outcomes are returned in hosted order, which is
+                    // the placement's workload order — pair them back up
+                    // by zip.
+                    for (wo, &app_index) in
+                        outcome.workloads.iter().zip(&server_placement.workloads)
+                    {
+                        let a = audit(
+                            &wo.utilization,
+                            // lint:allow(panic-slice-index): placement
+                            // indices are in range (see above).
+                            &apps[app_index].policy().normal,
+                        );
+                        if !a.is_compliant() {
+                            violations += 1;
+                        }
                     }
                 }
             }
 
-            let migrations = match &previous_assignment {
-                Some(prev) => prev
-                    .iter()
-                    .zip(&placement.assignment)
-                    .filter(|(a, b)| a != b)
-                    .count(),
-                None => 0,
+            let (migrations, rolled_back, failed) = match (&machine, &previous_assignment) {
+                (Some(report), _) => (report.committed, report.rolled_back, report.failed),
+                (None, Some(prev)) => (
+                    prev.iter()
+                        .zip(&placement.assignment)
+                        .filter(|(a, b)| a != b)
+                        .count(),
+                    0,
+                    0,
+                ),
+                (None, None) => (0, 0, 0),
             };
             previous_assignment = Some(placement.assignment.clone());
             epochs.push(EpochOutcome {
@@ -179,6 +256,8 @@ impl Framework {
                 violations,
                 compliant_fraction: 1.0 - violations as f64 / apps.len() as f64,
                 migrations,
+                rolled_back,
+                failed,
             });
         }
 
@@ -186,6 +265,221 @@ impl Framework {
             window_weeks,
             epochs,
         })
+    }
+
+    /// Replays the unseen week with the epoch's committed moves modeled
+    /// as residency windows and its in-flight phases as capacity
+    /// reservations, then audits every application's stitched
+    /// utilization. Returns the violation count.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_week_with_moves(
+        &self,
+        apps: &[AppSpec],
+        plans: &[AppPlan],
+        assignment: &[usize],
+        prev: &[usize],
+        report: &MigrationReport,
+        week: usize,
+        slots_per_week: usize,
+    ) -> Result<usize, FrameworkError> {
+        let server_count = prev
+            .iter()
+            .chain(assignment.iter())
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1);
+        // Per-server residency (member) and reservation windows, as
+        // `(app, start, end)` half-open slot ranges.
+        let mut member_segs: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); server_count];
+        let mut reserve_segs: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); server_count];
+        let mut moved = vec![false; apps.len()];
+        for m in &report.moves {
+            if m.app >= apps.len() || m.to >= server_count {
+                continue;
+            }
+            // lint:allow(panic-slice-index): m.app < apps.len() checked
+            // above; moved has one entry per app.
+            moved[m.app] = true;
+            segment_move(m, slots_per_week, &mut member_segs, &mut reserve_segs);
+        }
+        for (app, &server) in prev.iter().enumerate() {
+            // lint:allow(panic-slice-index): prev and moved both have
+            // one entry per app.
+            if !moved[app] && server < server_count {
+                // lint:allow(panic-slice-index): server < server_count.
+                member_segs[server].push((app, 0, slots_per_week));
+            }
+        }
+
+        let calendar = apps
+            .first()
+            .ok_or(FrameworkError::NoApplications)?
+            .demand()
+            .calendar();
+        let mut util: Vec<Vec<f64>> = vec![vec![0.0; slots_per_week]; apps.len()];
+        for server in 0..server_count {
+            // lint:allow(panic-slice-index): server < server_count.
+            let segs: Vec<(usize, usize, usize)> = member_segs[server]
+                .iter()
+                .copied()
+                .filter(|&(_, s, e)| s < e)
+                .collect();
+            if segs.is_empty() {
+                continue;
+            }
+            let build = |&(app, start, end): &(usize, usize, usize)| {
+                // lint:allow(panic-slice-index): move records and prev
+                // were bounds-checked against apps above.
+                let (a, plan) = (&apps[app], &plans[app]);
+                let demand = a
+                    .demand()
+                    .weeks_range(week, week + 1)
+                    // lint:allow(panic-expect): `week` iterates
+                    // `window_weeks..weeks`, inside the trace.
+                    .expect("week bounds checked by run_lifecycle_with");
+                let policy = WlmPolicy::from_translation(&a.policy().normal, &plan.normal);
+                HostedWorkload::new(a.name(), demand, policy).with_window(start, end)
+            };
+            let hosted: Vec<HostedWorkload> = segs.iter().map(build).collect();
+            // lint:allow(panic-slice-index): server < server_count.
+            let reserved: Vec<HostedWorkload> = reserve_segs[server]
+                .iter()
+                .filter(|&&(_, s, e)| s < e)
+                .map(build)
+                .collect();
+            let host = Host::new(self.server().capacity())?;
+            let outcome = host.run_with_reservations(&hosted, &reserved, ObsCtx::none())?;
+            // Stitch: each member window's utilization belongs to its
+            // app for exactly those slots.
+            for (wo, &(app, start, end)) in outcome.workloads.iter().zip(&segs) {
+                let u = wo.utilization.samples();
+                // lint:allow(panic-slice-index): windows are clamped to
+                // `slots_per_week`, the length of both buffers.
+                util[app][start..end].copy_from_slice(&u[start..end]);
+            }
+        }
+
+        let mut violations = 0usize;
+        for (row, app) in util.iter().zip(apps) {
+            let stitched =
+                Trace::from_samples(calendar, row.clone()).map_err(FrameworkError::Trace)?;
+            let a = audit(&stitched, &app.policy().normal);
+            if !a.is_compliant() {
+                violations += 1;
+            }
+        }
+        Ok(violations)
+    }
+}
+
+/// Drives one epoch's assignment delta through the migration state
+/// machine over an idealized week — no contention, healthy destinations
+/// — bounded by the week's slot count. The storm caps, drain/transfer
+/// costs, and backoffs still pace the wave; the caller's replay then
+/// models the capacity impact of the resulting windows.
+fn drive_epoch_moves(
+    prev: &[usize],
+    next: &[usize],
+    config: MigrationConfig,
+    max_slots: usize,
+    names: &[&str],
+) -> MigrationReport {
+    let initial: Vec<Option<usize>> = prev.iter().map(|&s| Some(s)).collect();
+    let target: Vec<Option<usize>> = next.iter().map(|&s| Some(s)).collect();
+    let mut orch = MigrationOrchestrator::new(config, initial);
+    orch.retarget(&target, &[], 0, None, ObsCtx::none());
+    for slot in 0..max_slots {
+        if orch.is_idle() {
+            break;
+        }
+        orch.begin_slot(slot, ObsCtx::none());
+        orch.complete_slot(slot, &[], &[], ObsCtx::none());
+    }
+    orch.report(names)
+}
+
+/// Converts one move's timeline into residency and reservation windows,
+/// clamped to the week: the source serves until the cutover slot ends,
+/// the destination is booked from drain start through cutover, and the
+/// source stays booked through the health check (rollbacks hand serving
+/// back and release both ends).
+fn segment_move(
+    m: &MoveRecord,
+    slots_per_week: usize,
+    member_segs: &mut [Vec<(usize, usize, usize)>],
+    reserve_segs: &mut [Vec<(usize, usize, usize)>],
+) {
+    let clamp = |slot: usize| slot.min(slots_per_week);
+    let mut serving = m.from;
+    let mut seg_start = 0usize;
+    let mut dest_res: Option<usize> = None;
+    let mut src_res: Option<usize> = None;
+    for p in &m.timeline {
+        match p.phase {
+            MigrationPhase::Draining | MigrationPhase::Transferring => {
+                dest_res = dest_res.or(Some(p.slot));
+            }
+            MigrationPhase::Cutover => {
+                let end = clamp(p.slot + 1);
+                if let Some(s) = dest_res.take() {
+                    // lint:allow(panic-slice-index): caller checked
+                    // `m.to < server_count`.
+                    reserve_segs[m.to].push((m.app, s, end));
+                }
+                if let Some(srv) = serving {
+                    // lint:allow(panic-slice-index): `from` servers are
+                    // drawn from the previous assignment.
+                    member_segs[srv].push((m.app, seg_start, end));
+                }
+                if m.from.is_some() {
+                    src_res = Some(end);
+                }
+                serving = Some(m.to);
+                seg_start = end;
+            }
+            MigrationPhase::Committed => {
+                if let (Some(s), Some(src)) = (src_res.take(), m.from) {
+                    // lint:allow(panic-slice-index): see above.
+                    reserve_segs[src].push((m.app, s, clamp(p.slot + 1)));
+                }
+            }
+            MigrationPhase::RolledBack => {
+                let end = clamp(p.slot + 1);
+                if let Some(s) = dest_res.take() {
+                    // lint:allow(panic-slice-index): see above.
+                    reserve_segs[m.to].push((m.app, s, end));
+                }
+                if let Some(s) = src_res.take() {
+                    if let Some(src) = m.from {
+                        // lint:allow(panic-slice-index): see above.
+                        reserve_segs[src].push((m.app, s, end));
+                    }
+                    // The destination served since cutover; rollback
+                    // hands the app back to its source.
+                    if let Some(srv) = serving {
+                        // lint:allow(panic-slice-index): see above.
+                        member_segs[srv].push((m.app, seg_start, end));
+                    }
+                    serving = m.from;
+                    seg_start = end;
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = dest_res {
+        // lint:allow(panic-slice-index): see above.
+        reserve_segs[m.to].push((m.app, s, slots_per_week));
+    }
+    if let (Some(s), Some(src)) = (src_res, m.from) {
+        // lint:allow(panic-slice-index): see above.
+        reserve_segs[src].push((m.app, s, slots_per_week));
+    }
+    if let Some(srv) = serving {
+        if seg_start < slots_per_week {
+            // lint:allow(panic-slice-index): see above.
+            member_segs[srv].push((m.app, seg_start, slots_per_week));
+        }
     }
 }
 
@@ -277,6 +571,53 @@ mod tests {
             report.total_migrations(),
             report.epochs.iter().map(|e| e.migrations).sum::<usize>()
         );
+    }
+
+    #[test]
+    fn teleport_config_reproduces_run_lifecycle_exactly() {
+        let apps = fleet_specs(10, 15, 4);
+        let plain = framework(2).run_lifecycle(&apps, 1).unwrap();
+        let teleport = framework(2)
+            .run_lifecycle_with(&apps, 1, MigrationConfig::teleport())
+            .unwrap();
+        assert_eq!(plain, teleport);
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&teleport).unwrap()
+        );
+        assert!(plain
+            .epochs
+            .iter()
+            .all(|e| e.rolled_back == 0 && e.failed == 0));
+    }
+
+    #[test]
+    fn paced_config_drives_epoch_moves_through_the_machine() {
+        let apps = fleet_specs(0, 8, 4);
+        let plain = framework(2).run_lifecycle(&apps, 1).unwrap();
+        let paced = framework(2)
+            .run_lifecycle_with(&apps, 1, MigrationConfig::paced().with_max_in_flight(1))
+            .unwrap();
+        assert_eq!(paced.epochs.len(), plain.epochs.len());
+        // Same plans are produced either way, so committed moves can
+        // never exceed the re-plan deltas the teleport path counts.
+        for (p, t) in paced.epochs.iter().zip(&plain.epochs) {
+            assert_eq!(p.week, t.week);
+            assert_eq!(p.servers, t.servers);
+            assert!(
+                p.migrations + p.failed <= t.migrations,
+                "week {}: {} committed + {} failed > {} deltas",
+                p.week,
+                p.migrations,
+                p.failed,
+                t.migrations
+            );
+        }
+        // Determinism of the paced path.
+        let again = framework(2)
+            .run_lifecycle_with(&apps, 1, MigrationConfig::paced().with_max_in_flight(1))
+            .unwrap();
+        assert_eq!(paced, again);
     }
 
     #[test]

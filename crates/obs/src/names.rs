@@ -84,6 +84,25 @@ pub const WLM_HOST_COS1_SCALED_SLOTS: &str = "wlm.host.cos1_scaled_slots";
 /// Count of unmet demand slots.
 pub const WLM_HOST_UNMET_SLOTS: &str = "wlm.host.unmet_slots";
 
+// --- migration lifecycle (placement::migration) --------------------------
+
+/// Event: a move entered a new lifecycle phase.
+pub const MIGRATION_TRANSITION: &str = "migration.transition";
+/// Count of moves planned.
+pub const MIGRATION_PLANNED: &str = "migration.planned";
+/// Count of moves committed.
+pub const MIGRATION_COMMITTED: &str = "migration.committed";
+/// Count of rollbacks performed (a retried move may roll back repeatedly).
+pub const MIGRATION_ROLLED_BACK: &str = "migration.rolled_back";
+/// Count of moves abandoned after exhausting retries.
+pub const MIGRATION_FAILED: &str = "migration.failed";
+/// Count of moves cancelled by a later re-plan.
+pub const MIGRATION_SUPERSEDED: &str = "migration.superseded";
+/// Count of retry starts after a rollback.
+pub const MIGRATION_RETRIES: &str = "migration.retries";
+/// Count of move-slots deferred by a storm cap.
+pub const MIGRATION_STORM_DEFERRED: &str = "migration.storm.deferred";
+
 // --- serve daemon (ropus serve) ------------------------------------------
 
 /// Count of sessions admitted directly.
@@ -102,6 +121,10 @@ pub const SERVE_DEPART_COUNT: &str = "serve.depart.count";
 pub const SERVE_TICK_COUNT: &str = "serve.tick.count";
 /// Timing counter: per-tick planner latency in milliseconds.
 pub const SERVE_TICK_LATENCY_MS: &str = "serve.tick.latency_ms";
+/// Count of queued-admission retry attempts (backoff re-decisions).
+pub const SERVE_RETRIES: &str = "serve.retries";
+/// Count of migrations committed by the daemon.
+pub const SERVE_MIGRATIONS: &str = "serve.migrations";
 
 #[cfg(test)]
 mod tests {
@@ -146,6 +169,16 @@ mod tests {
             super::SERVE_DEPART_COUNT,
             super::SERVE_TICK_COUNT,
             super::SERVE_TICK_LATENCY_MS,
+            super::SERVE_RETRIES,
+            super::SERVE_MIGRATIONS,
+            super::MIGRATION_TRANSITION,
+            super::MIGRATION_PLANNED,
+            super::MIGRATION_COMMITTED,
+            super::MIGRATION_ROLLED_BACK,
+            super::MIGRATION_FAILED,
+            super::MIGRATION_SUPERSEDED,
+            super::MIGRATION_RETRIES,
+            super::MIGRATION_STORM_DEFERRED,
         ];
         let unique: std::collections::BTreeSet<&str> = all.iter().copied().collect();
         assert_eq!(unique.len(), all.len(), "duplicate registry values");

@@ -73,6 +73,7 @@ pub mod failure;
 pub mod ga;
 pub mod greedy;
 pub mod hetero;
+pub mod migration;
 pub mod score;
 pub mod server;
 pub mod session;

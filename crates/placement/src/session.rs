@@ -66,6 +66,10 @@ pub struct PlanDelta {
 struct Entry {
     workload: Workload,
     server: usize,
+    /// Destination server of an in-flight migration, if any: the
+    /// workload still *serves* on [`Entry::server`] while the
+    /// destination carries a capacity reservation for it.
+    migrating_to: Option<usize>,
 }
 
 /// Per-server incremental state.
@@ -73,6 +77,10 @@ struct Entry {
 struct ServerState {
     /// Member workload ids, ascending.
     members: Vec<WorkloadId>,
+    /// Ids reserved by in-flight migrations, ascending: their demand is
+    /// booked into [`ServerState::load`] (double-booked with the source)
+    /// but they are not members until the move commits.
+    reserved: Vec<WorkloadId>,
     /// Incrementally maintained aggregate; `None` when the server is
     /// empty *or* the aggregate has not been built yet (after a bulk
     /// [`EngineSession::with_assignment`] load it is built on first
@@ -86,6 +94,26 @@ struct ServerState {
 impl ServerState {
     fn is_stale(&self) -> bool {
         self.required.is_none()
+    }
+
+    /// Whether neither members nor reservations occupy the server.
+    fn is_vacant(&self) -> bool {
+        self.members.is_empty() && self.reserved.is_empty()
+    }
+
+    /// Releases one workload from the aggregate (after a membership or
+    /// reservation retain) and marks the fit stale.
+    fn release(&mut self, name: &str) {
+        self.load = match (self.is_vacant(), self.load.take()) {
+            (true, _) | (false, None) => None,
+            (false, Some(mut load)) => match load.remove(name) {
+                Ok(_) => Some(load),
+                // Unreachable in a consistent session; fall back to a
+                // lazy rebuild rather than carrying a wrong aggregate.
+                Err(_) => None,
+            },
+        };
+        self.required = None;
     }
 }
 
@@ -176,6 +204,7 @@ impl EngineSession {
             self.entries.push(Some(Entry {
                 workload: workload.clone(),
                 server,
+                migrating_to: None,
             }));
             self.server_mut(server).members.push(id);
         }
@@ -326,7 +355,7 @@ impl EngineSession {
             if let Err(e) = load.add(&workload) {
                 load_err = Some(e);
             }
-        } else if state.members.len() == 1 {
+        } else if state.members.len() == 1 && state.reserved.is_empty() {
             match AggregateLoad::of(&[&workload]) {
                 Ok(load) => state.load = Some(load),
                 Err(e) => load_err = Some(e),
@@ -341,21 +370,30 @@ impl EngineSession {
         // lint:allow(panic-slice-index): callers pass an id that indexes
         // `entries` (a reused free slot, a freshly pushed one, or the
         // slot a reassign just vacated).
-        self.entries[id as usize] = Some(Entry { workload, server });
+        self.entries[id as usize] = Some(Entry {
+            workload,
+            server,
+            migrating_to: None,
+        });
         Ok(PlanDelta {
             touched: vec![server],
             recomputed: 0,
         })
     }
 
-    /// Removes one workload, invalidating only its server. Returns the
-    /// departed workload and the delta.
+    /// Removes one workload, invalidating only its server (plus the
+    /// destination of any in-flight migration, which is rolled back
+    /// first). Returns the departed workload and the delta.
     ///
     /// # Errors
     ///
     /// Returns [`PlacementError::UnknownWorkload`] when the id is not
     /// live.
     pub fn depart(&mut self, id: WorkloadId) -> Result<(Workload, PlanDelta), PlacementError> {
+        let mut extra = Vec::new();
+        if self.entry(id).is_some_and(|e| e.migrating_to.is_some()) {
+            extra = self.rollback_migration(id)?.touched;
+        }
         let entry = self
             .entries
             .get_mut(id as usize)
@@ -365,27 +403,27 @@ impl EngineSession {
             })?;
         let state = self.server_mut(entry.server);
         state.members.retain(|&m| m != id);
-        state.load = match (state.members.is_empty(), state.load.take()) {
-            (true, _) | (false, None) => None,
-            (false, Some(mut load)) => match load.remove(entry.workload.name()) {
-                Ok(_) => Some(load),
-                // Unreachable in a consistent session; fall back to a
-                // lazy rebuild rather than carrying a wrong aggregate.
-                Err(_) => None,
-            },
-        };
-        state.required = None;
+        state.release(entry.workload.name());
+        let mut touched = vec![entry.server];
+        touched.extend(extra);
+        touched.sort_unstable();
+        touched.dedup();
         Ok((
             entry.workload,
             PlanDelta {
-                touched: vec![entry.server],
+                touched,
                 recomputed: 0,
             },
         ))
     }
 
     /// Moves one workload to another server — the single-workload re-fit
-    /// — invalidating exactly the two touched servers.
+    /// — invalidating exactly the two touched servers. Equivalent to a
+    /// zero-cost migration: [`begin_migration`](Self::begin_migration)
+    /// and [`commit_migration`](Self::commit_migration) back to back,
+    /// which leaves the exact same per-server aggregates bit-for-bit as
+    /// the historical depart-and-place path (same add on the
+    /// destination, same remove on the source).
     ///
     /// # Errors
     ///
@@ -397,18 +435,156 @@ impl EngineSession {
             .ok_or_else(|| PlacementError::UnknownWorkload {
                 name: format!("#{id}"),
             })?;
+        if self.entry(id).is_some_and(|e| e.migrating_to.is_some()) {
+            self.rollback_migration(id)?;
+        }
         if from == server {
             return Ok(PlanDelta::default());
         }
-        let (workload, mut delta) = self.depart(id)?;
-        // Place straight back into the slot the depart just vacated —
-        // going through `admit` would grab the smallest free slot, which
-        // is a *different* one whenever an earlier departure left a hole
-        // below `id`, and ids must be stable across a move.
-        let to_delta = self.place(workload, server, id)?;
-        delta.touched.extend(to_delta.touched);
-        delta.touched.sort_unstable();
-        Ok(delta)
+        self.begin_migration(id, server)?;
+        self.commit_migration(id)
+    }
+
+    /// Opens a migration of one workload to `to`: the destination books
+    /// the workload's demand into its aggregate (double-booked with the
+    /// source, which keeps serving) and is invalidated; the source is
+    /// untouched. The move stays open until
+    /// [`commit_migration`](Self::commit_migration) or
+    /// [`rollback_migration`](Self::rollback_migration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::UnknownWorkload`] when the id is not
+    /// live and [`PlacementError::InvalidServer`] when the workload is
+    /// already migrating or `to` is its current server.
+    pub fn begin_migration(
+        &mut self,
+        id: WorkloadId,
+        to: usize,
+    ) -> Result<PlanDelta, PlacementError> {
+        let entry = self
+            .entry(id)
+            .ok_or_else(|| PlacementError::UnknownWorkload {
+                name: format!("#{id}"),
+            })?;
+        if entry.migrating_to.is_some() {
+            return Err(PlacementError::InvalidServer {
+                message: format!("workload #{id} is already migrating"),
+            });
+        }
+        if entry.server == to {
+            return Err(PlacementError::InvalidServer {
+                message: format!("workload #{id} already serves on server {to}"),
+            });
+        }
+        let workload = entry.workload.clone();
+        let state = self.server_mut(to);
+        let at = state.reserved.partition_point(|&m| m < id);
+        state.reserved.insert(at, id);
+        let mut load_err = None;
+        if let Some(load) = state.load.as_mut() {
+            if let Err(e) = load.add(&workload) {
+                load_err = Some(e);
+            }
+        } else if state.members.is_empty() && state.reserved.len() == 1 {
+            match AggregateLoad::of(&[&workload]) {
+                Ok(load) => state.load = Some(load),
+                Err(e) => load_err = Some(e),
+            }
+        }
+        if let Some(e) = load_err {
+            state.reserved.retain(|&m| m != id);
+            return Err(e);
+        }
+        state.required = None;
+        if let Some(entry) = self.entries.get_mut(id as usize).and_then(Option::as_mut) {
+            entry.migrating_to = Some(to);
+        }
+        Ok(PlanDelta {
+            touched: vec![to],
+            recomputed: 0,
+        })
+    }
+
+    /// Commits an open migration: the source releases the workload, the
+    /// destination promotes its reservation to membership. The
+    /// destination's aggregate already carries the workload, so only the
+    /// source is invalidated by the release; the membership flip itself
+    /// changes no demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::UnknownWorkload`] when the id is not
+    /// live and [`PlacementError::InvalidServer`] when no migration is
+    /// open for it.
+    pub fn commit_migration(&mut self, id: WorkloadId) -> Result<PlanDelta, PlacementError> {
+        let (from, to, name) = self.open_migration(id)?;
+        let state = self.server_mut(from);
+        state.members.retain(|&m| m != id);
+        state.release(&name);
+        let state = self.server_mut(to);
+        state.reserved.retain(|&m| m != id);
+        let at = state.members.partition_point(|&m| m < id);
+        state.members.insert(at, id);
+        if let Some(entry) = self.entries.get_mut(id as usize).and_then(Option::as_mut) {
+            entry.server = to;
+            entry.migrating_to = None;
+        }
+        Ok(PlanDelta {
+            touched: vec![from.min(to), from.max(to)],
+            recomputed: 0,
+        })
+    }
+
+    /// Rolls an open migration back: the destination releases its
+    /// reservation and is invalidated. The source was never mutated by
+    /// the migration, so its aggregate and cached fit are bit-exactly
+    /// what they were before [`begin_migration`](Self::begin_migration)
+    /// — the nothing-subtracted invariant the rollback proptest holds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::UnknownWorkload`] when the id is not
+    /// live and [`PlacementError::InvalidServer`] when no migration is
+    /// open for it.
+    pub fn rollback_migration(&mut self, id: WorkloadId) -> Result<PlanDelta, PlacementError> {
+        let (_, to, name) = self.open_migration(id)?;
+        let state = self.server_mut(to);
+        state.reserved.retain(|&m| m != id);
+        state.release(&name);
+        if let Some(entry) = self.entries.get_mut(id as usize).and_then(Option::as_mut) {
+            entry.migrating_to = None;
+        }
+        Ok(PlanDelta {
+            touched: vec![to],
+            recomputed: 0,
+        })
+    }
+
+    /// The open migration of `id` as `(from, to, name)`.
+    fn open_migration(&self, id: WorkloadId) -> Result<(usize, usize, String), PlacementError> {
+        let entry = self
+            .entry(id)
+            .ok_or_else(|| PlacementError::UnknownWorkload {
+                name: format!("#{id}"),
+            })?;
+        let to = entry
+            .migrating_to
+            .ok_or_else(|| PlacementError::InvalidServer {
+                message: format!("workload #{id} is not migrating"),
+            })?;
+        Ok((entry.server, to, entry.workload.name().to_string()))
+    }
+
+    /// Destination of the workload's in-flight migration, if one is
+    /// open.
+    pub fn migrating_to(&self, id: WorkloadId) -> Option<usize> {
+        self.entry(id).and_then(|e| e.migrating_to)
+    }
+
+    /// Ids reserved on one server by in-flight migrations, ascending.
+    pub fn server_reserved(&self, server: usize) -> &[WorkloadId] {
+        self.servers.get(server).map_or(&[], |s| &s.reserved)
     }
 
     /// Required capacity of the named server's current members at the
@@ -444,6 +620,7 @@ impl EngineSession {
         let mut refs: Vec<&Workload> = self
             .server_members(server)
             .iter()
+            .chain(self.server_reserved(server))
             .filter_map(|&id| self.workload(id))
             .collect();
         refs.push(workload);
@@ -471,12 +648,12 @@ impl EngineSession {
             .filter(|&s| {
                 // lint:allow(panic-slice-index): s ranges over the vec.
                 let state = &self.servers[s];
-                state.is_stale() && !state.members.is_empty()
+                state.is_stale() && !state.is_vacant()
             })
             .collect();
-        // Settle trivially-empty stale servers without a search.
+        // Settle trivially-vacant stale servers without a search.
         for state in &mut self.servers {
-            if state.is_stale() && state.members.is_empty() {
+            if state.is_stale() && state.is_vacant() {
                 state.required = Some(Some(0.0));
             }
         }
@@ -492,9 +669,13 @@ impl EngineSession {
                 // lint:allow(panic-slice-index): stale indices come from
                 // the 0..len scan above.
                 let state = &self.servers[s];
+                // Reserved (migrating-in) workloads count toward the fit
+                // exactly like members: their demand is double-booked
+                // until the move commits or rolls back.
                 let refs = state
                     .members
                     .iter()
+                    .chain(&state.reserved)
                     .filter_map(|&id| self.entry(id).map(|e| &e.workload))
                     .collect();
                 (state.load.as_ref(), refs)
@@ -793,6 +974,101 @@ mod tests {
         assert_eq!(report.assignment, vec![1, 1]);
         assert_eq!(report.servers.len(), 1);
         assert_eq!(report.servers[0].workloads, vec![0, 1]);
+    }
+
+    #[test]
+    fn migration_double_books_until_commit() {
+        let mut s = session();
+        let (a, _) = s.admit(wl("a", 4.0), 0).unwrap();
+        s.admit(wl("b", 3.0), 1).unwrap();
+        let source_before = s.server_required(0).unwrap();
+        let dest_alone = s.server_required(1).unwrap();
+        let delta = s.begin_migration(a, 1).unwrap();
+        assert_eq!(delta.touched, vec![1], "source is untouched");
+        assert_eq!(s.migrating_to(a), Some(1));
+        assert_eq!(s.server_reserved(1), &[a]);
+        // Mid-move, both servers carry the workload's demand.
+        assert_eq!(
+            s.server_required(0).unwrap().to_bits(),
+            source_before.to_bits()
+        );
+        assert!(s.server_required(1).unwrap() > dest_alone);
+        let delta = s.commit_migration(a).unwrap();
+        assert_eq!(delta.touched, vec![0, 1]);
+        assert_eq!(s.assignment_of(a), Some(1));
+        assert_eq!(s.migrating_to(a), None);
+        assert!(s.server_reserved(1).is_empty());
+        assert_eq!(s.server_required(0), Some(0.0));
+    }
+
+    #[test]
+    fn rollback_restores_both_servers_bit_exactly() {
+        let mut s = session();
+        let (a, _) = s.admit(wl("a", 4.0), 0).unwrap();
+        s.admit(wl("b", 3.0), 1).unwrap();
+        let source_before = s.server_required(0).unwrap();
+        let dest_before = s.server_required(1).unwrap();
+        s.begin_migration(a, 1).unwrap();
+        let delta = s.rollback_migration(a).unwrap();
+        assert_eq!(delta.touched, vec![1]);
+        assert_eq!(s.migrating_to(a), None);
+        assert_eq!(s.assignment_of(a), Some(0));
+        // Nothing was ever subtracted from the source, and the
+        // destination released exactly what it booked.
+        assert_eq!(
+            s.server_required(0).unwrap().to_bits(),
+            source_before.to_bits()
+        );
+        assert_eq!(
+            s.server_required(1).unwrap().to_bits(),
+            dest_before.to_bits()
+        );
+    }
+
+    #[test]
+    fn migration_guards_reject_bad_states() {
+        let mut s = session();
+        let (a, _) = s.admit(wl("a", 1.0), 0).unwrap();
+        assert!(matches!(
+            s.begin_migration(a, 0),
+            Err(PlacementError::InvalidServer { .. })
+        ));
+        assert!(matches!(
+            s.commit_migration(a),
+            Err(PlacementError::InvalidServer { .. })
+        ));
+        s.begin_migration(a, 1).unwrap();
+        assert!(matches!(
+            s.begin_migration(a, 2),
+            Err(PlacementError::InvalidServer { .. })
+        ));
+        assert!(s.begin_migration(99, 1).is_err());
+        // A departure mid-move rolls the reservation back first.
+        let (_, delta) = s.depart(a).unwrap();
+        assert_eq!(delta.touched, vec![0, 1]);
+        assert_eq!(s.server_required(1), Some(0.0));
+        assert!(s.server_reserved(1).is_empty());
+    }
+
+    #[test]
+    fn reassign_equals_begin_plus_commit() {
+        let fleet = [wl("a", 2.0), wl("b", 3.0)];
+        let mut via_reassign = session();
+        let mut via_migration = session();
+        for s in [&mut via_reassign, &mut via_migration] {
+            for (i, w) in fleet.iter().enumerate() {
+                s.admit(w.clone(), i).unwrap();
+            }
+        }
+        via_reassign.reassign(0, 1).unwrap();
+        via_migration.begin_migration(0, 1).unwrap();
+        via_migration.commit_migration(0).unwrap();
+        let a = via_reassign.report().unwrap();
+        let b = via_migration.report().unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
     }
 
     #[test]

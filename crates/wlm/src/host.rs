@@ -26,16 +26,30 @@ pub struct HostedWorkload {
     name: String,
     demand: Trace,
     policy: WlmPolicy,
+    /// Active slot window `[start, end)`: the workload requests nothing
+    /// outside it, and its manager starts fresh at `start`. `None` =
+    /// active over the whole trace.
+    active: Option<(usize, usize)>,
 }
 
 impl HostedWorkload {
-    /// Creates a hosted workload.
+    /// Creates a hosted workload, active over its whole trace.
     pub fn new(name: impl Into<String>, demand: Trace, policy: WlmPolicy) -> Self {
         HostedWorkload {
             name: name.into(),
             demand,
             policy,
+            active: None,
         }
+    }
+
+    /// Restricts the workload to the slot window `[start, end)` — the
+    /// residency window of a workload that migrated onto or off the
+    /// host mid-trace. Outside the window it requests (and is granted)
+    /// nothing; its manager's smoothing state starts fresh at `start`.
+    pub fn with_window(mut self, start: usize, end: usize) -> Self {
+        self.active = Some((start, end.max(start)));
+        self
     }
 
     /// Workload name.
@@ -46,6 +60,31 @@ impl HostedWorkload {
     /// The demand trace driving the simulation.
     pub fn demand(&self) -> &Trace {
         &self.demand
+    }
+
+    /// The active slot window, when restricted.
+    pub fn window(&self) -> Option<(usize, usize)> {
+        self.active
+    }
+
+    /// Replays this workload's manager into per-slot CoS request
+    /// columns of length `len`, honoring the active window.
+    fn request_columns(&self, len: usize) -> (Vec<f64>, Vec<f64>) {
+        let (start, end) = self
+            .active
+            .map_or((0, len), |(s, e)| (s.min(len), e.min(len)));
+        let mut c1 = vec![0.0; len];
+        let mut c2 = vec![0.0; len];
+        let mut manager = WorkloadManager::new(self.policy);
+        let demand = self.demand.samples();
+        for slot in start..end {
+            // lint:allow(panic-slice-index): start/end clamped to len,
+            // and demand length was validated against len by the host.
+            let request = manager.observe(demand[slot]);
+            c1[slot] = request.cos1;
+            c2[slot] = request.cos2;
+        }
+        (c1, c2)
     }
 }
 
@@ -132,10 +171,34 @@ impl Host {
         workloads: &[HostedWorkload],
         obs: ObsCtx<'_>,
     ) -> Result<HostOutcome, WlmError> {
+        self.run_with_reservations(workloads, &[], obs)
+    }
+
+    /// [`run`](Self::run), with migration reservations double-booked on
+    /// the host.
+    ///
+    /// Each reservation's manager requests are added to the per-slot CoS
+    /// sums — squeezing the scales exactly as a member would, which is
+    /// how the drain phase of a migration serves the same demand on both
+    /// ends — but reservations receive no grants of their own and
+    /// produce no [`WorkloadOutcome`]; `total_granted` covers members
+    /// only. With an empty reservation list this is exactly
+    /// [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run); reservation traces must align with the
+    /// members' too.
+    pub fn run_with_reservations(
+        &self,
+        workloads: &[HostedWorkload],
+        reservations: &[HostedWorkload],
+        obs: ObsCtx<'_>,
+    ) -> Result<HostOutcome, WlmError> {
         let first = workloads.first().ok_or(TraceError::Empty)?;
         let len = first.demand.len();
         let calendar = first.demand.calendar();
-        for w in workloads {
+        for w in workloads.iter().chain(reservations) {
             if w.demand.len() != len {
                 return Err(WlmError::Trace(TraceError::Misaligned {
                     left: len,
@@ -153,14 +216,7 @@ impl Host {
         let mut cos1_req: Vec<Vec<f64>> = Vec::with_capacity(n);
         let mut cos2_req: Vec<Vec<f64>> = Vec::with_capacity(n);
         for w in workloads {
-            let mut manager = WorkloadManager::new(w.policy);
-            let mut c1 = Vec::with_capacity(len);
-            let mut c2 = Vec::with_capacity(len);
-            for &d in w.demand.samples() {
-                let request = manager.observe(d);
-                c1.push(request.cos1);
-                c2.push(request.cos2);
-            }
+            let (c1, c2) = w.request_columns(len);
             cos1_req.push(c1);
             cos2_req.push(c2);
         }
@@ -168,7 +224,8 @@ impl Host {
         // Pass 2, columnar: slot-wise request sums accumulated per
         // workload in input order — the same left-to-right association as
         // the per-slot `iter().sum()` this replaces, so the sums are
-        // bit-identical.
+        // bit-identical. Reservations are summed after the members, in
+        // input order, so a reservation-free call never re-associates.
         let mut cos1_sum = vec![0.0; len];
         for column in &cos1_req {
             kernels::add_assign(&mut cos1_sum, column);
@@ -176,6 +233,11 @@ impl Host {
         let mut cos2_sum = vec![0.0; len];
         for column in &cos2_req {
             kernels::add_assign(&mut cos2_sum, column);
+        }
+        for r in reservations {
+            let (c1, c2) = r.request_columns(len);
+            kernels::add_assign(&mut cos1_sum, &c1);
+            kernels::add_assign(&mut cos2_sum, &c2);
         }
 
         // Pass 3, slot-major: the two-priority scales. CoS1 is granted in
@@ -385,6 +447,62 @@ mod tests {
         let c = constant("c", 8.0, 5, policy(100.0, 100.0));
         host.run(&[c], ObsCtx::from(&scaled)).unwrap();
         assert_eq!(scaled.report().counter("wlm.host.cos1_scaled_slots"), 5);
+    }
+
+    #[test]
+    fn windowed_member_requests_nothing_outside_its_residency() {
+        let host = Host::new(16.0).unwrap();
+        let w = constant("a", 2.0, 10, policy(1.0, 100.0)).with_window(3, 7);
+        let outcome = host.run(&[w], ObsCtx::none()).unwrap();
+        let o = &outcome.workloads[0];
+        for slot in 0..10 {
+            let g = o.granted.samples()[slot];
+            if (3..7).contains(&slot) {
+                assert!(g > 0.0, "slot {slot} inside the window grants");
+            } else {
+                assert_eq!(g, 0.0, "slot {slot} outside the window");
+                assert_eq!(o.utilization.samples()[slot], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_reservations_are_exactly_run() {
+        let host = Host::new(10.0).unwrap();
+        let ws = vec![
+            constant("a", 4.0, 20, policy(100.0, 100.0)),
+            constant("b", 4.0, 20, policy(0.0, 100.0)),
+        ];
+        let plain = host.run(&ws, ObsCtx::none()).unwrap();
+        let with = host
+            .run_with_reservations(&ws, &[], ObsCtx::none())
+            .unwrap();
+        assert_eq!(plain, with);
+    }
+
+    #[test]
+    fn reservations_squeeze_grants_without_outcomes() {
+        let host = Host::new(6.0).unwrap();
+        let a = constant("a", 4.0, 10, policy(0.0, 100.0)); // requests 8
+        let r = constant("mig", 2.0, 10, policy(0.0, 100.0)); // requests 4
+        let outcome = host
+            .run_with_reservations(std::slice::from_ref(&a), &[r], ObsCtx::none())
+            .unwrap();
+        // 6 capacity over CoS2 requests (8 member + 4 reserved): the
+        // member's share is 8 * 6/12 = 4, as if the reservation were a
+        // co-located member — but no outcome is emitted for it.
+        assert_eq!(outcome.workloads.len(), 1);
+        assert_eq!(outcome.workloads[0].granted.samples()[0], 4.0);
+        assert_eq!(outcome.total_granted.samples()[0], 4.0);
+        assert!(outcome.contended_slots > 0);
+
+        // A windowed reservation only squeezes inside its window.
+        let r = constant("mig", 2.0, 10, policy(0.0, 100.0)).with_window(0, 5);
+        let outcome = host
+            .run_with_reservations(&[a], &[r], ObsCtx::none())
+            .unwrap();
+        assert_eq!(outcome.workloads[0].granted.samples()[0], 4.0);
+        assert_eq!(outcome.workloads[0].granted.samples()[5], 6.0);
     }
 
     #[test]
