@@ -120,6 +120,81 @@ if snap != batch:
     sys.exit(1)
 PYEOF
 
+echo "==> subscribe smoke"
+# An engineered burst fleet streamed over the subscribe protocol: a
+# contiguous 50-slot burst (2.5% of the week — inside the weekly error
+# budget, but concentrated enough to saturate the fast-burn short
+# window) must fire a burn-rate alert mid-burst and clear after it
+# passes, and the full interleaved response+telemetry stream must be
+# byte-identical across --threads. The stream is archived under
+# target/bench/ as a CI artifact.
+mkdir -p target/bench
+python3 - "$OBS_TMP" <<'PYEOF'
+import json, sys
+t = sys.argv[1]
+# Drop the T_degr limit: with it, translation would raise the burst
+# app's allocation to cover the long run, and no slot would degrade.
+with open(f"{t}/policy.json") as f:
+    policy = json.load(f)
+policy["normal"]["degradation"]["time_limit_minutes"] = None
+with open(f"{t}/subscribe-policy.json", "w") as f:
+    json.dump(policy, f)
+samples = [3.2 if 100 <= s < 150 else 2.0 for s in range(2016)]
+with open(f"{t}/subscribe-script.jsonl", "w") as f:
+    f.write('{"cmd":"admit","name":"steady","level":2.0}\n')
+    f.write('{"cmd":"subscribe"}\n')
+    f.write(json.dumps({"cmd": "admit", "name": "bursty", "samples": samples}) + "\n")
+    f.write('{"cmd":"tick","slots":200}\n')
+    f.write('{"cmd":"shutdown"}\n')
+PYEOF
+cargo run --release -q -p ropus-cli -- serve \
+    --policy "$OBS_TMP/subscribe-policy.json" --obs det --threads 1 \
+    < "$OBS_TMP/subscribe-script.jsonl" > target/bench/subscribe_smoke.jsonl
+cargo run --release -q -p ropus-cli -- serve \
+    --policy "$OBS_TMP/subscribe-policy.json" --obs det --threads 4 \
+    < "$OBS_TMP/subscribe-script.jsonl" > "$OBS_TMP/subscribe-4.jsonl"
+diff target/bench/subscribe_smoke.jsonl "$OBS_TMP/subscribe-4.jsonl" \
+    || { echo "subscribe stream differs across --threads"; exit 1; }
+# ropus watch must render the archived stream without choking on any line.
+cargo run --release -q -p ropus-cli -- watch \
+    --file target/bench/subscribe_smoke.jsonl --quiet \
+    > "$OBS_TMP/subscribe-render.txt"
+grep -q "ALERT" "$OBS_TMP/subscribe-render.txt" \
+    || { echo "ropus watch rendered no alert line"; exit 1; }
+python3 - <<'PYEOF'
+import json
+fire = clear = None
+deltas = events = 0
+for line in open("target/bench/subscribe_smoke.jsonl"):
+    obj = json.loads(line)
+    kind = obj.get("kind")
+    if kind == "watch.stream.alert":
+        alert = obj["alert"]
+        if alert["kind"] == "Fire" and fire is None:
+            fire = alert
+        elif alert["kind"] == "Clear" and fire is not None and clear is None:
+            clear = alert
+    elif kind == "watch.stream.delta":
+        deltas += 1
+    elif kind == "watch.stream.event":
+        events += 1
+if events == 0:
+    raise SystemExit("subscribe streamed no lifecycle events")
+if deltas == 0:
+    raise SystemExit("subscribe streamed no metric deltas")
+if fire is None or clear is None:
+    raise SystemExit("burn-rate alert did not fire and clear")
+if not 100 <= fire["slot"] < 150:
+    raise SystemExit(f"alert fired outside the burst: slot {fire['slot']}")
+if not 150 <= clear["slot"] <= 200:
+    raise SystemExit(f"alert cleared before the burst ended: slot {clear['slot']}")
+print(
+    f"subscribe smoke: {fire['rule']} fired at slot {fire['slot']} "
+    f"(burn {fire['short_burn']:.1f}x/{fire['long_burn']:.1f}x), "
+    f"cleared at slot {clear['slot']}; {events} events, {deltas} deltas"
+)
+PYEOF
+
 echo "==> migration smoke"
 # Storm-recovery gate: a 50-app fleet loses two servers back to back,
 # and every re-placement is driven through the migration state machine.
@@ -167,6 +242,14 @@ echo "==> fleet_10k smoke"
 cargo run --release -q -p ropus-bench --bin fleet_smoke
 test -s target/bench/fleet_10k_smoke.json \
     || { echo "fleet_smoke left no bench summary"; exit 1; }
+
+echo "==> obs_overhead smoke"
+# The SLO engine's cost at fleet scale: a 10k-app week replay with the
+# collector off vs deterministic must stay under the < 3% overhead
+# budget (min of 5 interleaved repeats; the summary is archived).
+cargo run --release -q -p ropus-bench --bin obs_overhead
+test -s target/bench/obs_overhead_10k.json \
+    || { echo "obs_overhead left no bench summary"; exit 1; }
 
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run

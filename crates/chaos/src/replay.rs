@@ -20,7 +20,7 @@
 
 use std::collections::VecDeque;
 
-use ropus_obs::ObsCtx;
+use ropus_obs::{BurnRateRule, ObsCtx, SloEngine};
 use ropus_placement::consolidate::{Consolidator, PlacementReport};
 use ropus_placement::engine::parallel_map;
 use ropus_placement::failure::FailureScope;
@@ -30,7 +30,7 @@ use ropus_placement::workload::Workload;
 use ropus_qos::AppQos;
 use ropus_trace::{Trace, TraceError};
 use ropus_wlm::manager::{WlmPolicy, WorkloadManager};
-use ropus_wlm::metrics::audit;
+use ropus_wlm::metrics::{audit, slo_contract};
 use ropus_wlm::WlmError;
 
 use crate::error::ChaosError;
@@ -297,6 +297,19 @@ pub fn replay(
     let mut healthy = vec![true; n];
     let mut band_high = vec![0.0f64; n];
 
+    // Streaming SLO attainment against the *normal* contract for the
+    // whole replay: planned degradation during an outage still spends
+    // the app's error budget, which is exactly what the burn-rate
+    // alerts should surface.
+    let mut slo = SloEngine::new(BurnRateRule::default_rules());
+    for app in apps {
+        slo.register(slo_contract(
+            app.name.clone(),
+            &app.normal_qos,
+            calendar.slot_minutes(),
+        ));
+    }
+
     // Scratch buffers reused across slots.
     let mut demand = vec![0.0f64; n];
     let mut requests = vec![(0.0f64, 0.0f64); n];
@@ -528,6 +541,7 @@ pub fn replay(
                 } else {
                     util_normal[i].push(u);
                 }
+                slo.observe(i, slot, u, obs);
                 // Health verdict for the migration machine: the slot is
                 // healthy when current demand was fully served within
                 // the app's utilization band.
@@ -652,6 +666,9 @@ pub fn replay(
         o.report(&names)
     });
 
+    slo.record_counters(obs);
+    let slo = Some(slo.summary());
+
     Ok(ChaosReport {
         slots: horizon,
         slot_minutes: calendar.slot_minutes(),
@@ -672,6 +689,7 @@ pub fn replay(
         apps: out_apps,
         windows,
         migration,
+        slo,
         obs: None,
     })
 }

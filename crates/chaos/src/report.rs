@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use ropus_obs::SloSummary;
 use ropus_placement::failure::FailureScope;
 use ropus_placement::migration::MigrationReport;
 use ropus_wlm::metrics::SloAudit;
@@ -127,6 +128,12 @@ pub struct ChaosReport {
     /// serialize exactly as before.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub migration: Option<MigrationReport>,
+    /// Streaming SLO attainment against each app's normal contract, with
+    /// the multi-window burn-rate alert log ([`ropus_obs::slo`]). `None`
+    /// (and omitted from JSON) only in reports deserialized from older
+    /// replays; [`crate::replay::replay`] always attaches one.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub slo: Option<SloSummary>,
     /// Observability snapshot captured during the replay. `None` (and
     /// omitted from JSON) unless the caller attached one, so reports
     /// produced without instrumentation serialize exactly as before.

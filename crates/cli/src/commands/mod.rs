@@ -9,6 +9,7 @@ pub mod plan;
 pub mod serve;
 pub mod translate;
 pub mod validate;
+pub mod watch;
 
 use ropus::prelude::Obs;
 use ropus_obs::ObsCtx;

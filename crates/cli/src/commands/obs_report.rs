@@ -10,11 +10,15 @@ const HELP: &str = "\
 ropus obs-report — pretty-print an observability snapshot
 
 Reads an ObsReport JSON file (written by any subcommand's
---obs json:PATH flag) and renders the span/event/metric digest that
---obs summary prints, optionally followed by every recorded event.
+--obs json:PATH or det:PATH flag) and renders the span/event/metric
+digest that --obs summary prints — histograms sorted by registry name
+with p50/p95/p99 bucket-bound estimates — optionally followed by the
+hierarchical span tree and every recorded event.
 
 OPTIONS:
     --file <PATH>      ObsReport JSON file (required)
+    --spans            render the span tree: per-path call counts with
+                       inclusive and exclusive (self) time, flame-style
     --events           also list every event with its attributes
     --help             show this message";
 
@@ -28,7 +32,7 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
         println!("{HELP}");
         return Ok(());
     }
-    let args = Args::parse(tokens, &["events"])?;
+    let args = Args::parse(tokens, &["events", "spans"])?;
     let path = args.require("file")?;
     let raw =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read obs report {path}: {e}"))?;
@@ -38,6 +42,18 @@ pub fn run(tokens: &[String]) -> Result<(), String> {
     let mut out = Vec::new();
     write_summary(&report, &mut out).map_err(|e| format!("cannot render summary: {e}"))?;
     print!("{}", String::from_utf8_lossy(&out));
+
+    if args.has_switch("spans") && !report.spans.is_empty() {
+        println!("  span tree:");
+        for node in report.span_rollup() {
+            let label = node.path.rsplit(" / ").next().unwrap_or("");
+            let indented = format!("{}{label}", "  ".repeat(node.depth));
+            println!(
+                "    {indented:<40} {:>6} x  incl {:>10.2} ms  self {:>10.2} ms",
+                node.count, node.inclusive_ms, node.exclusive_ms
+            );
+        }
+    }
 
     if args.has_switch("events") && !report.events.is_empty() {
         println!("  event log:");

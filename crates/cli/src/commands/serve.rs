@@ -23,6 +23,7 @@ stdout line. Commands:
     {\"cmd\":\"migrate\",\"name\":NAME,\"server\":S}      move application
     {\"cmd\":\"tick\"}  /  {\"cmd\":\"tick\",\"slots\":N}    advance time
     {\"cmd\":\"snapshot\"}                             live plan + queue
+    {\"cmd\":\"subscribe\"}                            stream telemetry
     {\"cmd\":\"shutdown\"}                             stats, then exit
 
 Admission probes every open server under the policy's CoS commitments
@@ -31,6 +32,13 @@ until a deadline, or rejects it. Failed queue retries back off
 exponentially. Migrations commit instantly by default; under
 --paced-migrations they drain, transfer, and health-check across ticks
 through the migration state machine.
+
+After a subscribe command, every response line is followed by the
+stream lines it produced: lifecycle events, SLO burn-rate alerts from
+the per-app attainment engine each tick feeds, and (when --obs enables
+a collector) per-tick metric snapshot deltas. Pipe the session through
+`ropus watch` to render the stream; use --obs det for a stream that is
+byte-identical across runs and --threads settings.
 
 OPTIONS:
     --policy <FILE>       policy JSON (required)
@@ -49,8 +57,10 @@ OPTIONS:
     --paced-migrations    drive 'migrate' commands through the paced
                           migration state machine instead of committing
                           instantly
-    --obs <MODE>          observability: 'off' (default), 'summary', or
-                          'json:PATH'
+    --obs <MODE>          observability: 'off' (default), 'summary',
+                          'json:PATH', 'det', or 'det:PATH' (det =
+                          deterministic: null clock, byte-identical
+                          snapshots and subscribe streams)
     --help                show this message";
 
 /// Runs the subcommand.

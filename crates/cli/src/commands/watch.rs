@@ -1,0 +1,166 @@
+//! `ropus watch` — render a `serve` subscribe telemetry stream as
+//! one-line human-readable entries.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+
+use ropus::daemon::protocol::StreamLine;
+use ropus_obs::{names, AlertKind};
+
+use crate::args::Args;
+
+const HELP: &str = "\
+ropus watch — render a `ropus serve` subscribe telemetry stream
+
+Reads line-delimited JSON from --file PATH (or stdin): the output of a
+serve session that issued {\"cmd\":\"subscribe\"}. Stream lines render
+as one-line entries; response lines (and anything else that is not a
+stream line) pass through unchanged unless --quiet drops them.
+
+    [slot 12] event  admitted \"a\" -> server 0
+    [slot 64] ALERT  fire slo.burn.fast on \"bursty\" (burn 33.3x/6.9x, budget 41%)
+    [slot 64] delta  3 counters, 1 histograms, 2 events
+
+Pipe a live session through it:
+
+    ropus serve --policy policy.json --obs det < script.jsonl | ropus watch
+
+OPTIONS:
+    --file <PATH>      read the stream from a file instead of stdin
+    --quiet            drop non-stream (response) lines
+    --help             show this message";
+
+/// Renders one stream line as a human-readable entry.
+fn render(line: &StreamLine) -> String {
+    let slot = line.slot;
+    if line.kind == names::WATCH_STREAM_EVENT {
+        let event = line.event.as_deref().unwrap_or("?");
+        let name = line.name.as_deref().unwrap_or("?");
+        match line.server {
+            Some(server) => format!("[slot {slot}] event  {event} {name:?} -> server {server}"),
+            None => format!("[slot {slot}] event  {event} {name:?}"),
+        }
+    } else if line.kind == names::WATCH_STREAM_ALERT {
+        match &line.alert {
+            Some(a) => {
+                let kind = match a.kind {
+                    AlertKind::Fire => "fire",
+                    AlertKind::Clear => "clear",
+                };
+                // A multi-slot tick drains its alerts at the end, so the
+                // transition's own slot is the one worth showing.
+                format!(
+                    "[slot {}] ALERT  {kind} {} on {:?} (burn {:.1}x/{:.1}x, budget {:.0}%)",
+                    a.slot,
+                    a.rule,
+                    a.app,
+                    a.short_burn,
+                    a.long_burn,
+                    a.budget_remaining * 100.0
+                )
+            }
+            None => format!("[slot {slot}] ALERT  (missing payload)"),
+        }
+    } else if line.kind == names::WATCH_STREAM_DELTA {
+        match &line.delta {
+            Some(d) => format!(
+                "[slot {slot}] delta  {} counters, {} gauges, {} histograms, {} spans, {} events",
+                d.counters.len(),
+                d.gauges.len(),
+                d.histograms.len(),
+                d.spans.len(),
+                d.events.len()
+            ),
+            None => format!("[slot {slot}] delta  (missing payload)"),
+        }
+    } else {
+        format!("[slot {slot}] {}", line.kind)
+    }
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns a usage or I/O error message; unparseable lines are not
+/// errors (they are echoed, or dropped under --quiet).
+pub fn run(tokens: &[String]) -> Result<(), String> {
+    if tokens.iter().any(|t| t == "--help") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let args = Args::parse(tokens, &["quiet"])?;
+    let quiet = args.has_switch("quiet");
+    let reader: Box<dyn BufRead> = match args.get("file") {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| format!("cannot open stream file {path}: {e}"))?;
+            Box::new(BufReader::new(file))
+        }
+        None => Box::new(BufReader::new(std::io::stdin())),
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("cannot read stream: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rendered = match serde_json::from_str::<StreamLine>(&line) {
+            Ok(stream) => render(&stream),
+            Err(_) if !quiet => line,
+            Err(_) => continue,
+        };
+        if let Err(e) = writeln!(out, "{rendered}") {
+            // A downstream reader (`head`, `grep -q`) closing the pipe
+            // is the normal way to stop watching, not an error.
+            if e.kind() == ErrorKind::BrokenPipe {
+                return Ok(());
+            }
+            return Err(format!("cannot write stream: {e}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_each_stream_line_kind() {
+        let mut event = StreamLine::new(names::WATCH_STREAM_EVENT, 12);
+        event.event = Some("admitted".to_string());
+        event.name = Some("a".to_string());
+        event.server = Some(0);
+        assert_eq!(
+            render(&event),
+            "[slot 12] event  admitted \"a\" -> server 0"
+        );
+
+        let mut alert = StreamLine::new(names::WATCH_STREAM_ALERT, 64);
+        let payload: ropus_obs::AlertEvent = serde_json::from_str(
+            r#"{"rule":"slo.burn.fast","app":"bursty","kind":"Fire","slot":64,
+                "short_window":12,"long_window":144,"short_bad":12,"long_bad":25,
+                "short_burn":33.33,"long_burn":6.9,"allowance":0.03,
+                "budget_remaining":0.41}"#,
+        )
+        .unwrap();
+        alert.alert = Some(payload);
+        assert_eq!(
+            render(&alert),
+            "[slot 64] ALERT  fire slo.burn.fast on \"bursty\" (burn 33.3x/6.9x, budget 41%)"
+        );
+
+        let mut delta = StreamLine::new(names::WATCH_STREAM_DELTA, 64);
+        delta.delta = Some(ropus_obs::ObsReport::default());
+        assert_eq!(
+            render(&delta),
+            "[slot 64] delta  0 counters, 0 gauges, 0 histograms, 0 spans, 0 events"
+        );
+    }
+
+    #[test]
+    fn responses_do_not_parse_as_stream_lines() {
+        assert!(serde_json::from_str::<StreamLine>(r#"{"ok":true,"cmd":"tick"}"#).is_err());
+    }
+}

@@ -12,7 +12,9 @@
 //! * `chaos`       — deterministic fault injection: replay demand over a
 //!   failure/repair timeline and measure delivered performability;
 //! * `serve`       — the online planner daemon: admit/depart demand
-//!   incrementally over line-delimited JSON on stdin.
+//!   incrementally over line-delimited JSON on stdin;
+//! * `watch`       — render a serve subscribe telemetry stream as
+//!   human-readable one-line entries.
 //!
 //! Run `ropus help` (or any subcommand with `--help`) for usage.
 
@@ -38,12 +40,15 @@ COMMANDS:
     validate     audit the delivered QoS of a consolidated placement
     chaos        replay demand over a failure/repair timeline
     serve        online planner daemon: JSON commands on stdin
+    watch        render a serve subscribe telemetry stream
     obs-report   pretty-print an observability snapshot (--obs json:PATH)
     help         show this message
 
 Run `ropus <COMMAND> --help` for command options. The plan, consolidate,
-validate, and chaos commands accept --obs <off|summary|json:PATH> to
-collect pipeline spans, events, and metrics while they run.";
+validate, chaos, and serve commands accept
+--obs <off|summary|json:PATH|det|det:PATH> to collect pipeline spans,
+events, and metrics while they run; the det modes make every snapshot
+(including serve's subscribe stream) byte-identical across runs.";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +65,7 @@ fn main() -> ExitCode {
         "validate" => commands::validate::run(rest),
         "chaos" => commands::chaos::run(rest),
         "serve" => commands::serve::run(rest),
+        "watch" => commands::watch::run(rest),
         "obs-report" => commands::obs_report::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -16,6 +16,13 @@ enum Sink {
     Summary,
     /// `--obs json:PATH`: full pretty-printed snapshot to a file.
     Json(String),
+    /// `--obs det`: deterministic collection (null clock, no
+    /// timing-dependent values), nothing emitted at exit. The collector
+    /// exists so in-band consumers — the `serve` subscribe stream — see
+    /// byte-identical snapshots across runs and thread counts.
+    Det,
+    /// `--obs det:PATH`: deterministic collection, snapshot to a file.
+    DetJson(String),
 }
 
 /// The collector a subcommand threads through the pipeline entry points
@@ -26,10 +33,13 @@ pub struct CliObs {
 }
 
 impl CliObs {
-    /// Parses `--obs off|summary|json:PATH`. Enabled modes collect with
-    /// the wall clock: CLI runs are for humans, so spans carry real
-    /// durations (tests wanting byte-identical output use the library's
-    /// `Obs::deterministic()` instead).
+    /// Parses `--obs off|summary|json:PATH|det|det:PATH`. The `summary`
+    /// and `json:` modes collect with the wall clock: CLI runs are for
+    /// humans, so spans carry real durations. The `det` modes collect
+    /// with `Obs::deterministic()` — a null clock with timing-dependent
+    /// values suppressed — so every snapshot (including the `serve`
+    /// subscribe stream's deltas) is byte-identical across runs and
+    /// `--threads` settings.
     ///
     /// # Errors
     ///
@@ -38,17 +48,28 @@ impl CliObs {
         let sink = match args.get("obs") {
             None | Some("off") => Sink::Off,
             Some("summary") => Sink::Summary,
-            Some(spec) => match spec.strip_prefix("json:") {
-                Some(path) if !path.is_empty() => Sink::Json(path.to_string()),
-                _ => {
+            Some("det") => Sink::Det,
+            Some(spec) => {
+                if let Some(path) = spec.strip_prefix("json:") {
+                    if path.is_empty() {
+                        return Err("--obs json: needs a path".to_string());
+                    }
+                    Sink::Json(path.to_string())
+                } else if let Some(path) = spec.strip_prefix("det:") {
+                    if path.is_empty() {
+                        return Err("--obs det: needs a path".to_string());
+                    }
+                    Sink::DetJson(path.to_string())
+                } else {
                     return Err(format!(
-                        "--obs must be 'off', 'summary', or 'json:PATH', got {spec:?}"
-                    ))
+                        "--obs must be 'off', 'summary', 'json:PATH', 'det', or 'det:PATH', got {spec:?}"
+                    ));
                 }
-            },
+            }
         };
         let obs = match sink {
             Sink::Off => Obs::off(),
+            Sink::Det | Sink::DetJson(_) => Obs::deterministic(),
             _ => Obs::wall(),
         };
         Ok(CliObs { sink, obs })
@@ -76,7 +97,7 @@ impl CliObs {
     /// Returns an I/O error message when the JSON file cannot be written.
     pub fn finish(self) -> Result<(), String> {
         match self.sink {
-            Sink::Off => Ok(()),
+            Sink::Off | Sink::Det => Ok(()),
             Sink::Summary => {
                 let mut out = Vec::new();
                 write_summary(&self.obs.report(), &mut out)
@@ -84,7 +105,7 @@ impl CliObs {
                 eprint!("{}", String::from_utf8_lossy(&out));
                 Ok(())
             }
-            Sink::Json(path) => {
+            Sink::Json(path) | Sink::DetJson(path) => {
                 let json = serde_json::to_string_pretty(&self.obs.report())
                     .map_err(|e| format!("cannot serialize obs report: {e}"))?;
                 std::fs::write(&path, json + "\n")
@@ -141,8 +162,12 @@ pub fn write_summary(report: &ObsReport, out: &mut impl Write) -> std::io::Resul
         }
     }
     if !report.histograms.is_empty() {
+        // Registry-name order keeps runs diffable even if the report was
+        // assembled (or absorbed from deltas) in another order.
+        let mut histograms: Vec<_> = report.histograms.iter().collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
         writeln!(out, "  histograms:")?;
-        for h in &report.histograms {
+        for h in histograms {
             let buckets: Vec<String> = h
                 .bounds
                 .iter()
@@ -160,6 +185,15 @@ pub fn write_summary(report: &ObsReport, out: &mut impl Write) -> std::io::Resul
                 buckets.join(", "),
                 overflow
             )?;
+            if let (Some(p50), Some(p95), Some(p99)) =
+                (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99))
+            {
+                writeln!(
+                    out,
+                    "    {:<40}         p50<={p50} p95<={p95} p99<={p99}",
+                    ""
+                )?;
+            }
         }
     }
     Ok(())
@@ -225,6 +259,36 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn det_modes_collect_deterministically() {
+        let cli = CliObs::from_args(&parse(&["--obs", "det"])).unwrap();
+        assert!(cli.collector().is_enabled());
+        assert!(cli.snapshot().is_some());
+        cli.finish().unwrap();
+        assert!(CliObs::from_args(&parse(&["--obs", "det:"])).is_err());
+    }
+
+    #[test]
+    fn summary_prints_histogram_percentiles_in_name_order() {
+        let obs = Obs::deterministic();
+        obs.histogram("zz.dist", &[1.0, 2.0], 1.5);
+        obs.histogram("aa.dist", &[1.0, 2.0], 0.5);
+        let mut out = Vec::new();
+        write_summary(&obs.report(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let aa = text.find("aa.dist").unwrap();
+        let zz = text.find("zz.dist").unwrap();
+        assert!(aa < zz, "histograms sort by name:\n{text}");
+        assert!(
+            text.contains("p50<=1 p95<=1 p99<=1"),
+            "percentiles:\n{text}"
+        );
+        assert!(
+            text.contains("p50<=2 p95<=2 p99<=2"),
+            "percentiles:\n{text}"
+        );
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! * `snapshot` emits the live plan — bit-identical to a cold batch
 //!   consolidation of the same assignment (see `tests/serve.rs` and the
 //!   ci.sh serve gate);
+//! * `subscribe` switches on telemetry streaming: every subsequent
+//!   response line is followed by the [`protocol::StreamLine`]s it
+//!   produced — lifecycle events, SLO burn-rate alerts from the
+//!   streaming [`SloEngine`] each tick feeds, and (when a collector is
+//!   attached) metric snapshot deltas that re-sum to the final report;
 //! * `shutdown` reports aggregate statistics and stops the loop.
 //!
 //! Every decision is a pure function of the command stream and the
@@ -27,10 +32,10 @@
 pub mod admission;
 pub mod protocol;
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, Write};
 
-use ropus_obs::ObsCtx;
+use ropus_obs::{names, BurnRateRule, ObsCtx, ObsReport, SloEngine};
 use ropus_placement::migration::{
     MigrationConfig, MigrationOrchestrator, MigrationPhase, Transition,
 };
@@ -40,11 +45,12 @@ use ropus_placement::workload::Workload;
 use ropus_qos::translation::translate;
 use ropus_qos::{AppQos, PoolCommitments};
 use ropus_trace::{Calendar, Trace};
+use ropus_wlm::metrics::slo_contract;
 
 use admission::{
     count_decision, AdmissionContext, AdmissionDecision, AdmissionPolicy, BestFit, ServerProbe,
 };
-use protocol::{parse_command, Command, DemandSpec, Response, ServeStats};
+use protocol::{parse_command, Command, DemandSpec, Response, ServeStats, StreamLine};
 
 /// Latency buckets for the `serve.tick.latency_ms` histogram.
 static TICK_LATENCY_BOUNDS_MS: [f64; 6] = [0.1, 1.0, 5.0, 25.0, 100.0, 500.0];
@@ -113,12 +119,28 @@ impl DaemonConfig {
 #[derive(Debug, Clone)]
 struct QueuedAdmission {
     workload: Workload,
+    /// The offered demand samples, retained so a late admission can still
+    /// register its SLO watch entry.
+    samples: Vec<f64>,
     /// Last slot (inclusive) at which a retry may still admit it.
     deadline: u64,
     /// Failed re-decides so far; drives the exponential backoff.
     attempts: u32,
     /// First slot at which the next retry may run.
     next_retry: u64,
+}
+
+/// Per-live-application SLO watch state: the contract's engine index plus
+/// the series needed to derive a per-slot utilization-of-allocation proxy
+/// `u(t) = demand(t) / (cos1(t) + cos2(t))`.
+#[derive(Debug, Clone)]
+struct WatchedApp {
+    /// Index of this app's contract in the daemon's [`SloEngine`].
+    slo_index: usize,
+    /// Offered demand, one sample per calendar slot (cycled past the end).
+    demand: Vec<f64>,
+    /// Translated total allocation (CoS1 + CoS2), aligned with `demand`.
+    alloc: Vec<f64>,
 }
 
 /// The online planner: an [`EngineSession`] plus admission queue, driven
@@ -136,6 +158,19 @@ pub struct Daemon {
     move_ids: Vec<WorkloadId>,
     slot: u64,
     stats: ServeStats,
+    /// Whether a `subscribe` command has switched on telemetry streaming.
+    subscribed: bool,
+    /// Streaming SLO engine: one contract per admitted application, fed
+    /// one utilization sample per live app per tick.
+    slo: SloEngine,
+    /// Live app name → SLO watch state. A `BTreeMap` so the per-tick
+    /// observation order is the deterministic name order.
+    watch: BTreeMap<String, WatchedApp>,
+    /// Stream lines produced since the last drain; [`run`](Self::run)
+    /// writes them after each response line once subscribed.
+    pending: Vec<StreamLine>,
+    /// Metric snapshot at the previous delta emission (delta baseline).
+    last_report: ObsReport,
 }
 
 impl std::fmt::Debug for Daemon {
@@ -170,6 +205,11 @@ impl Daemon {
             move_ids: Vec::new(),
             slot: 0,
             stats: ServeStats::default(),
+            subscribed: false,
+            slo: SloEngine::new(BurnRateRule::default_rules()),
+            watch: BTreeMap::new(),
+            pending: Vec::new(),
+            last_report: ObsReport::default(),
         }
     }
 
@@ -199,13 +239,14 @@ impl Daemon {
     }
 
     /// Translates an offered demand into a placeable workload under the
-    /// daemon's QoS and commitments.
+    /// daemon's QoS and commitments, returning the demand samples too so
+    /// admission can retain them for the SLO watch.
     fn translate_demand(
         &self,
         name: &str,
         demand: &DemandSpec,
         obs: ObsCtx<'_>,
-    ) -> Result<Workload, String> {
+    ) -> Result<(Workload, Vec<f64>), String> {
         let trace = match demand {
             DemandSpec::Level(level) => Trace::constant(
                 self.config.calendar,
@@ -219,9 +260,62 @@ impl Daemon {
             }
         }
         .map_err(|e| format!("bad demand: {e}"))?;
+        // lint:allow(needless-trace-clone): the daemon retains its own copy
+        // of the demand so the SLO watch can replay it every slot after the
+        // trace itself has been folded into the workload.
+        let samples = trace.samples().to_vec();
         let translation = translate(&trace, &self.config.qos, &self.config.commitments.cos2, obs)
             .map_err(|e| format!("translation failed: {e}"))?;
-        Ok(Workload::from_translation(name.to_string(), translation))
+        Ok((
+            Workload::from_translation(name.to_string(), translation),
+            samples,
+        ))
+    }
+
+    /// Registers an SLO contract and utilization watch for a newly placed
+    /// application. Re-admitting a departed name registers a fresh
+    /// contract; the old one stops receiving samples.
+    fn watch_admit(&mut self, workload: &Workload, samples: Vec<f64>) {
+        let contract = slo_contract(
+            workload.name(),
+            &self.config.qos,
+            self.config.calendar.slot_minutes(),
+        );
+        let slo_index = self.slo.register(contract);
+        let alloc: Vec<f64> = workload
+            .cos1()
+            .samples()
+            .iter()
+            .zip(workload.cos2().samples())
+            .map(|(a, b)| a + b)
+            .collect();
+        self.watch.insert(
+            workload.name().to_string(),
+            WatchedApp {
+                slo_index,
+                demand: samples,
+                alloc,
+            },
+        );
+    }
+
+    /// Queues a `watch.stream.event` line when subscribed.
+    fn push_event(&mut self, event: &str, name: Option<String>, server: Option<usize>) {
+        if !self.subscribed {
+            return;
+        }
+        let mut line = StreamLine::new(names::WATCH_STREAM_EVENT, self.slot);
+        line.event = Some(event.to_string());
+        line.name = name;
+        line.server = server;
+        self.pending.push(line);
+    }
+
+    /// Stream lines produced since the last drain, in emission order.
+    /// [`run`](Self::run) calls this after every response; tests and
+    /// embedders driving [`execute`](Self::execute) directly should too.
+    pub fn drain_stream(&mut self) -> Vec<StreamLine> {
+        std::mem::take(&mut self.pending)
     }
 
     /// Probes every touched server and asks the policy for a verdict.
@@ -286,7 +380,7 @@ impl Daemon {
         if self.queued_names().iter().any(|n| n == name) {
             return Response::error("admit", format!("{name:?} is already queued"));
         }
-        let workload = match self.translate_demand(name, demand, obs) {
+        let (workload, samples) = match self.translate_demand(name, demand, obs) {
             Ok(w) => w,
             Err(e) => return Response::error("admit", e),
         };
@@ -306,10 +400,13 @@ impl Daemon {
                     .find(|p| p.server == server)
                     .map(|p| p.required)
                     .unwrap_or_else(|| self.session.probe(&workload, server).ok().flatten());
+                self.watch_admit(&workload, samples);
                 if let Err(e) = self.session.admit(workload, server) {
+                    self.watch.remove(name);
                     return Response::error("admit", e.to_string());
                 }
                 obs.counter("serve.admit.accepted", 1);
+                self.push_event("admitted", Some(name.to_string()), Some(server));
                 response.decision = Some("accepted".to_string());
                 response.server = Some(server);
                 response.required = required;
@@ -318,16 +415,19 @@ impl Daemon {
                 let deadline = self.slot + self.config.queue_deadline_slots;
                 self.queue.push_back(QueuedAdmission {
                     workload,
+                    samples,
                     deadline,
                     attempts: 0,
                     next_retry: self.slot,
                 });
                 obs.counter("serve.admit.queued", 1);
+                self.push_event("queued", Some(name.to_string()), None);
                 response.decision = Some("queued".to_string());
                 response.deadline_slot = Some(deadline);
             }
             AdmissionDecision::Reject { reason } => {
                 obs.counter("serve.admit.rejected", 1);
+                self.push_event("rejected", Some(name.to_string()), None);
                 response.decision = Some("rejected".to_string());
                 response.reason = Some(reason);
             }
@@ -342,6 +442,7 @@ impl Daemon {
             self.queue.remove(at);
             self.stats.departed += 1;
             obs.counter("serve.depart.count", 1);
+            self.push_event("departed", Some(name.to_string()), None);
             let mut response = Response::ok("depart");
             response.name = Some(name.to_string());
             return response;
@@ -365,6 +466,8 @@ impl Daemon {
             Ok(_) => {
                 self.stats.departed += 1;
                 obs.counter("serve.depart.count", 1);
+                self.watch.remove(name);
+                self.push_event("departed", Some(name.to_string()), None);
                 let mut response = Response::ok("depart");
                 response.name = Some(name.to_string());
                 response
@@ -386,6 +489,7 @@ impl Daemon {
             self.stats.ticks += 1;
             self.drain_queue(&mut admitted_from_queue, &mut expired, obs);
             self.advance_migrations(&mut migrated, obs);
+            self.observe_slot(obs);
         }
         let delta = self.session.refresh();
         obs.counter("serve.tick.count", slots);
@@ -396,6 +500,30 @@ impl Daemon {
             &TICK_LATENCY_BOUNDS_MS,
             obs.now_ms() - started_ms,
         );
+        if self.subscribed {
+            for name in &admitted_from_queue {
+                self.push_event("queue.admitted", Some(name.clone()), None);
+            }
+            for name in &expired {
+                self.push_event("queue.expired", Some(name.clone()), None);
+            }
+            for name in &migrated {
+                self.push_event("migrated", Some(name.clone()), None);
+            }
+            for alert in self.slo.drain_alerts() {
+                let mut line = StreamLine::new(names::WATCH_STREAM_ALERT, self.slot);
+                line.name = Some(alert.app.clone());
+                line.alert = Some(alert);
+                self.pending.push(line);
+            }
+            if obs.is_enabled() {
+                let report = obs.obs().report();
+                let mut line = StreamLine::new(names::WATCH_STREAM_DELTA, self.slot);
+                line.delta = Some(report.delta_since(&self.last_report));
+                self.last_report = report;
+                self.pending.push(line);
+            }
+        }
         let mut response = Response::ok("tick");
         response.slot = Some(self.slot);
         response.recomputed = Some(delta.recomputed);
@@ -409,6 +537,35 @@ impl Daemon {
             response.migrated = Some(migrated);
         }
         response
+    }
+
+    /// One slot of the SLO watch: feed each live application's
+    /// utilization-of-allocation proxy for the slot just entered into the
+    /// streaming engine, in deterministic name order. Slot `n` (1-based
+    /// daemon time) observes calendar sample `n - 1`, cycling demands
+    /// shorter than the session.
+    fn observe_slot(&mut self, obs: ObsCtx<'_>) {
+        if self.watch.is_empty() {
+            return;
+        }
+        let t = (self.slot - 1) as usize;
+        let samples: Vec<(usize, f64)> = self
+            .watch
+            .values()
+            .filter(|app| !app.demand.is_empty() && !app.alloc.is_empty())
+            .map(|app| {
+                // lint:allow(panic-slice-index): index is taken modulo the
+                // length, and empty traces are filtered out above.
+                let demand = app.demand[t % app.demand.len()];
+                // lint:allow(panic-slice-index): same modulo bound as above.
+                let alloc = app.alloc[t % app.alloc.len()];
+                let u = if alloc > 0.0 { demand / alloc } else { 0.0 };
+                (app.slo_index, u)
+            })
+            .collect();
+        for (index, u) in samples {
+            self.slo.observe(index, t, u, obs);
+        }
     }
 
     /// One slot's queue pass: FIFO retry under exponential backoff, then
@@ -444,6 +601,7 @@ impl Daemon {
                     if self.session.admit(entry.workload.clone(), server).is_ok() =>
                 {
                     self.stats.admitted += 1;
+                    self.watch_admit(&entry.workload, entry.samples);
                     admitted.push(entry.workload.name().to_string());
                 }
                 _ if self.slot > entry.deadline
@@ -494,6 +652,7 @@ impl Daemon {
                 Ok(_) => {
                     self.stats.migrations += 1;
                     obs.counter("serve.migrations", 1);
+                    self.push_event("migrated", Some(name.to_string()), Some(server));
                     response.decision = Some("committed".to_string());
                     response
                 }
@@ -515,6 +674,7 @@ impl Daemon {
         self.orch
             .plan_move(idx, server, 1, self.slot as usize, None);
         obs.counter("migration.planned", 1);
+        self.push_event("migration.planned", Some(name.to_string()), Some(server));
         response.decision = Some("planned".to_string());
         response
     }
@@ -613,6 +773,19 @@ impl Daemon {
         response
     }
 
+    /// Handles `subscribe`: switch on telemetry streaming. Pre-subscribe
+    /// alerts and metrics are history — the alert cursor and the delta
+    /// baseline both reset here, so the stream covers exactly what
+    /// happens from this command on.
+    pub fn subscribe(&mut self, obs: ObsCtx<'_>) -> Response {
+        self.subscribed = true;
+        self.slo.drain_alerts();
+        self.last_report = obs.obs().report();
+        let mut response = Response::ok("subscribe");
+        response.slot = Some(self.slot);
+        response
+    }
+
     /// Handles `shutdown`: final statistics.
     pub fn shutdown(&mut self) -> Response {
         let mut response = Response::ok("shutdown");
@@ -630,6 +803,7 @@ impl Daemon {
             Command::Migrate { name, server } => self.migrate(name, *server, obs),
             Command::Tick { slots } => self.tick(*slots, obs),
             Command::Snapshot => self.snapshot(),
+            Command::Subscribe => self.subscribe(obs),
             Command::Shutdown => self.shutdown(),
         }
     }
@@ -659,6 +833,9 @@ impl Daemon {
                 Ok(command) => {
                     let response = self.execute(&command, obs);
                     writeln!(writer, "{}", response.to_line())?;
+                    for stream_line in self.drain_stream() {
+                        writeln!(writer, "{}", stream_line.to_line())?;
+                    }
                     if matches!(command, Command::Shutdown) {
                         writer.flush()?;
                         return Ok(self.stats());
@@ -942,6 +1119,78 @@ mod tests {
         assert!(lines[4].contains(r#""stats""#));
         assert_eq!(stats.admitted, 1);
         assert_eq!(stats.ticks, 1);
+    }
+
+    #[test]
+    fn subscribe_streams_events_alerts_and_deltas() {
+        let obs = ropus_obs::Obs::deterministic();
+        let mut d = Daemon::new(config());
+        // Nothing streams before the subscription.
+        admit_level(&mut d, "quiet", 4.0);
+        assert!(d.drain_stream().is_empty());
+        let r = d.subscribe(ObsCtx::from(&obs));
+        assert!(r.ok);
+        admit_level(&mut d, "a", 4.0);
+        let lines = d.drain_stream();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].kind, ropus_obs::names::WATCH_STREAM_EVENT);
+        assert_eq!(lines[0].event.as_deref(), Some("admitted"));
+        assert_eq!(lines[0].name.as_deref(), Some("a"));
+        // A tick with a collector attached emits a snapshot delta; the
+        // paper-default band keeps a constant demand inside (U_low,
+        // U_high], so no alert fires.
+        d.tick(1, ObsCtx::from(&obs));
+        let lines = d.drain_stream();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].kind, ropus_obs::names::WATCH_STREAM_DELTA);
+        let delta = lines[0].delta.as_ref().unwrap();
+        assert_eq!(delta.counter("serve.tick.count"), 1);
+        // Deltas re-sum: a second tick's delta holds only its own tick.
+        d.tick(1, ObsCtx::from(&obs));
+        let lines = d.drain_stream();
+        assert_eq!(
+            lines[0].delta.as_ref().unwrap().counter("serve.tick.count"),
+            1
+        );
+        d.depart("a", ObsCtx::from(&obs));
+        let lines = d.drain_stream();
+        assert_eq!(lines[0].event.as_deref(), Some("departed"));
+    }
+
+    #[test]
+    fn sustained_overload_streams_a_burn_rate_alert() {
+        let mut d = Daemon::new(config());
+        d.subscribe(ObsCtx::none());
+        // A contiguous burst covering < M_degr of the week: the M_degr
+        // percentile cap in translation excludes the burst from the
+        // allocation, so every burst slot runs degraded (u > U_high)
+        // while the weekly degraded fraction still honors the contract.
+        // Concentrated in one run, the fast-burn short window saturates
+        // and must fire — and clear once the burst passes.
+        let slots = Calendar::five_minute().slots_per_week();
+        let samples: Vec<f64> = (0..slots)
+            .map(|t| if (100..150).contains(&t) { 3.2 } else { 2.0 })
+            .collect();
+        let r = d.admit("bursty", &DemandSpec::Samples(samples), ObsCtx::none());
+        assert_eq!(r.decision.as_deref(), Some("accepted"));
+        d.drain_stream();
+        d.tick(200, ObsCtx::none());
+        let lines = d.drain_stream();
+        let alerts: Vec<_> = lines
+            .iter()
+            .filter(|l| l.kind == ropus_obs::names::WATCH_STREAM_ALERT)
+            .map(|l| l.alert.as_ref().unwrap())
+            .collect();
+        assert!(
+            alerts
+                .iter()
+                .any(|a| a.kind == ropus_obs::AlertKind::Fire && a.app == "bursty"),
+            "a concentrated degraded run must fire a burn-rate alert: {alerts:?}"
+        );
+        assert!(
+            alerts.iter().any(|a| a.kind == ropus_obs::AlertKind::Clear),
+            "the alert must clear once the burst passes: {alerts:?}"
+        );
     }
 
     #[test]

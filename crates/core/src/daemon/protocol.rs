@@ -12,14 +12,22 @@
 //! {"cmd":"tick"}
 //! {"cmd":"tick","slots":4}
 //! {"cmd":"snapshot"}
+//! {"cmd":"subscribe"}
 //! {"cmd":"shutdown"}
 //! ```
 //!
 //! Responses always carry `ok` and echo `cmd`; the remaining fields
 //! depend on the command (see [`Response`]).
+//!
+//! After a `subscribe`, the daemon interleaves [`StreamLine`] telemetry
+//! lines with the responses: each subsequent command's response line is
+//! followed by the stream lines it produced. Stream lines carry a `kind`
+//! field (never `ok`), so a reader splits the two shapes by looking at
+//! the first key.
 
 use serde::{Deserialize, Serialize};
 
+use ropus_obs::{AlertEvent, ObsReport};
 use ropus_placement::consolidate::PlacementReport;
 
 /// How an `admit` command describes its demand.
@@ -65,6 +73,10 @@ pub enum Command {
     },
     /// Emit the current plan, queue, and slot.
     Snapshot,
+    /// Start streaming [`StreamLine`] telemetry after every subsequent
+    /// response: lifecycle events, SLO burn-rate alerts, and (when a
+    /// collector is attached) per-tick metric snapshot deltas.
+    Subscribe,
     /// Emit final statistics and stop the daemon loop.
     Shutdown,
 }
@@ -131,6 +143,7 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             Ok(Command::Tick { slots })
         }
         "snapshot" => Ok(Command::Snapshot),
+        "subscribe" => Ok(Command::Subscribe),
         "shutdown" => Ok(Command::Shutdown),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -257,6 +270,61 @@ impl Response {
     }
 }
 
+/// One `subscribe` telemetry line. `kind` is a registry name
+/// ([`ropus_obs::names`]): `watch.stream.event` for lifecycle events
+/// (admissions, departures, migrations, queue activity), `watch.stream.alert`
+/// for SLO burn-rate alerts, and `watch.stream.delta` for per-tick metric
+/// snapshot deltas (the deltas [`ObsReport::absorb`] re-sums to the final
+/// report bit-exactly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamLine {
+    /// Stream line discriminator; always a `watch.stream.*` registry name.
+    pub kind: String,
+    /// The daemon's logical slot when the line was produced.
+    pub slot: u64,
+    /// Event verb for `watch.stream.event` lines (`"admitted"`,
+    /// `"queued"`, `"rejected"`, `"departed"`, `"migrated"`,
+    /// `"queue.admitted"`, `"queue.expired"`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub event: Option<String>,
+    /// Application the line concerns.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub name: Option<String>,
+    /// Server involved (admissions and migrations).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub server: Option<usize>,
+    /// The alert payload of a `watch.stream.alert` line.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub alert: Option<AlertEvent>,
+    /// The snapshot delta of a `watch.stream.delta` line.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub delta: Option<ObsReport>,
+}
+
+impl StreamLine {
+    /// A bare stream line of the given kind. `kind` must be a
+    /// `ropus_obs::names` constant (enforced by the `obs-name-registry`
+    /// lint).
+    pub fn new(kind: &'static str, slot: u64) -> StreamLine {
+        StreamLine {
+            kind: kind.to_string(),
+            slot,
+            event: None,
+            name: None,
+            server: None,
+            alert: None,
+            delta: None,
+        }
+    }
+
+    /// Serializes to one output line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        // lint:allow(panic-expect): StreamLine contains only
+        // always-serializable fields.
+        serde_json::to_string(self).expect("stream lines always serialize")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +371,10 @@ mod tests {
             Command::Snapshot
         );
         assert_eq!(
+            parse_command(r#"{"cmd":"subscribe"}"#).unwrap(),
+            Command::Subscribe
+        );
+        assert_eq!(
             parse_command(r#"{"cmd":"shutdown"}"#).unwrap(),
             Command::Shutdown
         );
@@ -327,6 +399,24 @@ mod tests {
             let err = parse_command(line).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");
         }
+    }
+
+    #[test]
+    fn stream_lines_serialize_sparse_and_round_trip() {
+        let mut line = StreamLine::new(ropus_obs::names::WATCH_STREAM_EVENT, 3);
+        line.event = Some("admitted".to_string());
+        line.name = Some("a".to_string());
+        line.server = Some(0);
+        let text = line.to_line();
+        assert_eq!(
+            text,
+            r#"{"kind":"watch.stream.event","slot":3,"event":"admitted","name":"a","server":0}"#
+        );
+        let back: StreamLine = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, line);
+        // The bare shapes never leak empty optional fields either.
+        let bare = StreamLine::new(ropus_obs::names::WATCH_STREAM_DELTA, 0).to_line();
+        assert_eq!(bare, r#"{"kind":"watch.stream.delta","slot":0}"#);
     }
 
     #[test]

@@ -90,7 +90,10 @@ pub mod prelude {
         AppChaosOutcome, ChaosApp, ChaosError, ChaosReport, DegradationPolicy, DegradedWindow,
         FailureEvent, FailureSchedule, ReplayOptions, StochasticProfile,
     };
-    pub use ropus_obs::{NullClock, Obs, ObsCtx, ObsReport, WallClock};
+    pub use ropus_obs::{
+        AlertEvent, AlertKind, BurnRateRule, NullClock, Obs, ObsCtx, ObsReport, SloAttainment,
+        SloContract, SloEngine, SloSummary, WallClock,
+    };
     pub use ropus_placement::consolidate::{ConsolidationOptions, Consolidator, PlacementReport};
     pub use ropus_placement::engine::{EngineStats, FitEngine};
     pub use ropus_placement::failure::{FailureAnalysis, FailureScope};

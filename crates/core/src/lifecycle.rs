@@ -16,7 +16,7 @@
 //! out-of-sample compliance and few migrations — exactly the regime the
 //! paper argues trace-based management is sound in.
 
-use ropus_obs::ObsCtx;
+use ropus_obs::{BurnRateRule, ObsCtx, SloEngine, SloSummary};
 use serde::{Deserialize, Serialize};
 
 use ropus_placement::migration::{
@@ -25,7 +25,7 @@ use ropus_placement::migration::{
 use ropus_trace::Trace;
 use ropus_wlm::host::{Host, HostedWorkload};
 use ropus_wlm::manager::WlmPolicy;
-use ropus_wlm::metrics::audit;
+use ropus_wlm::metrics::{audit, slo_contract};
 
 use crate::framework::{AppPlan, AppSpec, Framework};
 use crate::FrameworkError;
@@ -55,6 +55,10 @@ pub struct EpochOutcome {
     /// teleport config).
     #[serde(default)]
     pub failed: usize,
+    /// Burn-rate alert transitions (fires + clears) the streaming SLO
+    /// engine produced during this epoch's out-of-sample week.
+    #[serde(default)]
+    pub slo_alerts: usize,
 }
 
 /// Result of a lifecycle run.
@@ -64,6 +68,12 @@ pub struct LifecycleReport {
     pub window_weeks: usize,
     /// One outcome per replayed week.
     pub epochs: Vec<EpochOutcome>,
+    /// Whole-run SLO attainment and alert log from the streaming engine,
+    /// fed every epoch's out-of-sample utilization at global slot
+    /// offsets (`week × slots_per_week + t`). `None` only in reports
+    /// deserialized from older runs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub slo: Option<SloSummary>,
 }
 
 impl LifecycleReport {
@@ -142,6 +152,18 @@ impl Framework {
 
         let mut epochs = Vec::new();
         let mut previous_assignment: Option<Vec<usize>> = None;
+        let calendar = first.demand().calendar();
+
+        // One streaming SLO engine across the whole run, so burn-rate
+        // windows and error budgets carry over epoch boundaries.
+        let mut slo = SloEngine::new(BurnRateRule::default_rules());
+        for app in apps {
+            slo.register(slo_contract(
+                app.name(),
+                &app.policy().normal,
+                calendar.slot_minutes(),
+            ));
+        }
 
         for week in window_weeks..weeks {
             // Plan on the trailing window.
@@ -183,59 +205,80 @@ impl Framework {
                 _ => None,
             };
 
-            // Replay the unseen week through each placed host.
-            let mut violations = 0usize;
-            if let (Some(report), Some(prev)) = (&machine, &previous_assignment) {
-                violations = self.replay_week_with_moves(
-                    apps,
-                    &plans,
-                    &placement.assignment,
-                    prev,
-                    report,
-                    week,
-                    slots_per_week,
-                )?;
-            } else {
-                for server_placement in &placement.servers {
-                    let hosted: Vec<HostedWorkload> = server_placement
-                        .workloads
-                        .iter()
-                        .map(|&i| {
-                            // lint:allow(panic-slice-index): the consolidator
-                            // built this placement over these same apps and
-                            // plans, so every index is in range.
-                            let (app, plan) = (&apps[i], &plans[i]);
-                            let demand = app
-                                .demand()
-                                .weeks_range(week, week + 1)
-                                // lint:allow(panic-expect): `week` iterates
-                                // `window_weeks..weeks`, inside the trace.
-                                .expect("week bounds checked above");
-                            let policy =
-                                WlmPolicy::from_translation(&app.policy().normal, &plan.normal);
-                            HostedWorkload::new(app.name(), demand, policy)
-                        })
-                        .collect();
-                    let host = Host::new(self.server().capacity())?;
-                    let outcome = host.run(&hosted, ObsCtx::none())?;
-                    // Host outcomes are returned in hosted order, which is
-                    // the placement's workload order — pair them back up
-                    // by zip.
-                    for (wo, &app_index) in
-                        outcome.workloads.iter().zip(&server_placement.workloads)
-                    {
-                        let a = audit(
-                            &wo.utilization,
-                            // lint:allow(panic-slice-index): placement
-                            // indices are in range (see above).
-                            &apps[app_index].policy().normal,
-                        );
-                        if !a.is_compliant() {
-                            violations += 1;
+            // Replay the unseen week through each placed host, collecting
+            // every app's delivered utilization-of-allocation row.
+            let util: Vec<Vec<f64>> =
+                if let (Some(report), Some(prev)) = (&machine, &previous_assignment) {
+                    self.replay_week_with_moves(
+                        apps,
+                        &plans,
+                        &placement.assignment,
+                        prev,
+                        report,
+                        week,
+                        slots_per_week,
+                    )?
+                } else {
+                    let mut util: Vec<Vec<f64>> = vec![Vec::new(); apps.len()];
+                    for server_placement in &placement.servers {
+                        let hosted: Vec<HostedWorkload> = server_placement
+                            .workloads
+                            .iter()
+                            .map(|&i| {
+                                // lint:allow(panic-slice-index): the consolidator
+                                // built this placement over these same apps and
+                                // plans, so every index is in range.
+                                let (app, plan) = (&apps[i], &plans[i]);
+                                let demand = app
+                                    .demand()
+                                    .weeks_range(week, week + 1)
+                                    // lint:allow(panic-expect): `week` iterates
+                                    // `window_weeks..weeks`, inside the trace.
+                                    .expect("week bounds checked above");
+                                let policy =
+                                    WlmPolicy::from_translation(&app.policy().normal, &plan.normal);
+                                HostedWorkload::new(app.name(), demand, policy)
+                            })
+                            .collect();
+                        let host = Host::new(self.server().capacity())?;
+                        let outcome = host.run(&hosted, ObsCtx::none())?;
+                        // Host outcomes are returned in hosted order, which is
+                        // the placement's workload order — pair them back up
+                        // by zip.
+                        for (wo, &app_index) in
+                            outcome.workloads.iter().zip(&server_placement.workloads)
+                        {
+                            // lint:allow(panic-slice-index): placement indices
+                            // are in range (see above).
+                            // lint:allow(needless-trace-clone): the row is moved
+                            // into the shared util table, which outlives the
+                            // per-server outcome.
+                            util[app_index] = wo.utilization.samples().to_vec();
                         }
+                    }
+                    util
+                };
+
+            // Audit each stitched row against the normal contract and
+            // stream it through the SLO engine slot-major, so the alert
+            // log interleaves apps in global slot order.
+            let mut violations = 0usize;
+            for (row, app) in util.iter().zip(apps) {
+                let stitched =
+                    Trace::from_samples(calendar, row.clone()).map_err(FrameworkError::Trace)?;
+                if !audit(&stitched, &app.policy().normal).is_compliant() {
+                    violations += 1;
+                }
+            }
+            let base = week * slots_per_week;
+            for t in 0..slots_per_week {
+                for (i, row) in util.iter().enumerate() {
+                    if let Some(&u) = row.get(t) {
+                        slo.observe(i, base + t, u, ObsCtx::none());
                     }
                 }
             }
+            let slo_alerts = slo.drain_alerts().len();
 
             let (migrations, rolled_back, failed) = match (&machine, &previous_assignment) {
                 (Some(report), _) => (report.committed, report.rolled_back, report.failed),
@@ -258,19 +301,21 @@ impl Framework {
                 migrations,
                 rolled_back,
                 failed,
+                slo_alerts,
             });
         }
 
         Ok(LifecycleReport {
             window_weeks,
             epochs,
+            slo: Some(slo.summary()),
         })
     }
 
     /// Replays the unseen week with the epoch's committed moves modeled
     /// as residency windows and its in-flight phases as capacity
-    /// reservations, then audits every application's stitched
-    /// utilization. Returns the violation count.
+    /// reservations. Returns every application's stitched
+    /// utilization-of-allocation row for the week, in fleet order.
     #[allow(clippy::too_many_arguments)]
     fn replay_week_with_moves(
         &self,
@@ -281,7 +326,7 @@ impl Framework {
         report: &MigrationReport,
         week: usize,
         slots_per_week: usize,
-    ) -> Result<usize, FrameworkError> {
+    ) -> Result<Vec<Vec<f64>>, FrameworkError> {
         let server_count = prev
             .iter()
             .chain(assignment.iter())
@@ -311,11 +356,6 @@ impl Framework {
             }
         }
 
-        let calendar = apps
-            .first()
-            .ok_or(FrameworkError::NoApplications)?
-            .demand()
-            .calendar();
         let mut util: Vec<Vec<f64>> = vec![vec![0.0; slots_per_week]; apps.len()];
         for server in 0..server_count {
             // lint:allow(panic-slice-index): server < server_count.
@@ -359,16 +399,7 @@ impl Framework {
             }
         }
 
-        let mut violations = 0usize;
-        for (row, app) in util.iter().zip(apps) {
-            let stitched =
-                Trace::from_samples(calendar, row.clone()).map_err(FrameworkError::Trace)?;
-            let a = audit(&stitched, &app.policy().normal);
-            if !a.is_compliant() {
-                violations += 1;
-            }
-        }
-        Ok(violations)
+        Ok(util)
     }
 }
 
@@ -618,6 +649,27 @@ mod tests {
             .run_lifecycle_with(&apps, 1, MigrationConfig::paced().with_max_in_flight(1))
             .unwrap();
         assert_eq!(paced, again);
+    }
+
+    #[test]
+    fn lifecycle_reports_streaming_slo_attainment() {
+        let apps = fleet_specs(10, 15, 4);
+        let report = framework(2).run_lifecycle(&apps, 1).unwrap();
+        let slo = report.slo.as_ref().expect("replay always attaches slo");
+        assert_eq!(slo.apps.len(), apps.len());
+        let slots_per_week = 2016; // five-minute calendar
+        for a in &slo.apps {
+            assert_eq!(
+                a.samples,
+                report.epochs.len() * slots_per_week,
+                "every out-of-sample slot is observed"
+            );
+        }
+        assert_eq!(
+            report.epochs.iter().map(|e| e.slo_alerts).sum::<usize>(),
+            slo.alerts.len(),
+            "per-epoch alert counts partition the alert log"
+        );
     }
 
     #[test]

@@ -54,11 +54,15 @@ use std::thread::ThreadId;
 pub mod clock;
 pub mod names;
 pub mod report;
+pub mod slo;
 
 pub use clock::{Clock, NullClock, WallClock};
 pub use report::{
     CounterSnapshot, EventAttr, EventRecord, GaugeSnapshot, HistogramSnapshot, ObsReport,
-    SpanRecord,
+    SpanRecord, SpanTreeNode,
+};
+pub use slo::{
+    AlertEvent, AlertKind, BurnRateRule, SloAttainment, SloContract, SloEngine, SloSummary,
 };
 
 /// One buffered trace record, before thread ordinals are attached.
@@ -67,6 +71,7 @@ enum Record {
         name: &'static str,
         seq: u64,
         wall_ms: f64,
+        parent: Option<u64>,
     },
     Event {
         name: &'static str,
@@ -98,6 +103,9 @@ struct State {
     threads: Vec<ThreadId>,
     /// One record buffer per registered thread.
     buffers: Vec<Vec<Record>>,
+    /// Seqs of the spans currently open on each thread, innermost last;
+    /// the top of a thread's stack is the parent of its next span.
+    open_spans: Vec<Vec<u64>>,
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
     histograms: BTreeMap<&'static str, Hist>,
@@ -105,12 +113,16 @@ struct State {
 
 impl State {
     /// Ordinal of the calling thread, registering it on first contact.
+    // lint:allow(det-taint): the ordinal only selects a per-thread
+    // buffer; report() merges by (seq, ordinal) stable sort, so the
+    // emitted snapshot is identical for any thread interleaving.
     fn ordinal(&mut self, id: ThreadId) -> usize {
         match self.threads.iter().position(|t| *t == id) {
             Some(i) => i,
             None => {
                 self.threads.push(id);
                 self.buffers.push(Vec::new());
+                self.open_spans.push(Vec::new());
                 self.threads.len() - 1
             }
         }
@@ -140,6 +152,41 @@ impl Inner {
         let id = std::thread::current().id();
         let mut state = self.state();
         let ordinal = state.ordinal(id);
+        // lint:allow(panic-slice-index): ordinal() pushes a fresh buffer
+        // for an unseen thread id before returning its index.
+        state.buffers[ordinal].push(record);
+    }
+
+    /// Registers an opening span on the calling thread's open-span stack
+    /// and returns the seq of the span it nests under, if any.
+    fn open_span(&self, seq: u64) -> Option<u64> {
+        // lint:allow(det-taint): spans are emitted from serial code only
+        // (the crate contract), so the per-thread open-span stack cannot
+        // make parent links depend on thread interleaving.
+        let id = std::thread::current().id();
+        let mut state = self.state();
+        let ordinal = state.ordinal(id);
+        // lint:allow(panic-slice-index): ordinal() pushes a fresh stack
+        // for an unseen thread id before returning its index.
+        let stack = &mut state.open_spans[ordinal];
+        let parent = stack.last().copied();
+        stack.push(seq);
+        parent
+    }
+
+    /// Records a closing span, removing it from the calling thread's
+    /// open-span stack.
+    fn close_span(&self, record: Record) {
+        let id = std::thread::current().id();
+        let mut state = self.state();
+        let ordinal = state.ordinal(id);
+        let seq = record.seq();
+        // lint:allow(panic-slice-index): ordinal() pushes fresh buffers
+        // for an unseen thread id before returning its index.
+        let stack = &mut state.open_spans[ordinal];
+        if let Some(pos) = stack.iter().rposition(|open| *open == seq) {
+            stack.remove(pos);
+        }
         // lint:allow(panic-slice-index): ordinal() pushes a fresh buffer
         // for an unseen thread id before returning its index.
         state.buffers[ordinal].push(record);
@@ -234,12 +281,14 @@ impl Obs {
             return SpanGuard { active: None };
         };
         let seq = inner.next_seq();
+        let parent = inner.open_span(seq);
         let start = inner.clock.now_ms();
         SpanGuard {
             active: Some(ActiveSpan {
                 inner: Arc::clone(inner),
                 name,
                 seq,
+                parent,
                 start,
             }),
         }
@@ -346,11 +395,17 @@ impl Obs {
         let mut events = Vec::new();
         for (seq, thread, record) in merged {
             match record {
-                Record::Span { name, wall_ms, .. } => spans.push(SpanRecord {
+                Record::Span {
+                    name,
+                    wall_ms,
+                    parent,
+                    ..
+                } => spans.push(SpanRecord {
                     name: (*name).to_string(),
                     seq,
                     thread,
                     wall_ms: *wall_ms,
+                    parent: *parent,
                 }),
                 Record::Event { name, attrs, .. } => events.push(EventRecord {
                     name: (*name).to_string(),
@@ -468,6 +523,7 @@ struct ActiveSpan {
     inner: Arc<Inner>,
     name: &'static str,
     seq: u64,
+    parent: Option<u64>,
     start: f64,
 }
 
@@ -482,10 +538,11 @@ impl Drop for SpanGuard {
             return;
         };
         let wall_ms = (span.inner.clock.now_ms() - span.start).max(0.0);
-        span.inner.push(Record::Span {
+        span.inner.close_span(Record::Span {
             name: span.name,
             seq: span.seq,
             wall_ms,
+            parent: span.parent,
         });
     }
 }
@@ -595,6 +652,39 @@ mod tests {
         assert_eq!(report.events[1].attrs[0].key, "k");
         assert_eq!(report.events[1].attrs[0].value, "v");
         assert!(report.spans.iter().all(|s| s.wall_ms == 0.0));
+    }
+
+    #[test]
+    fn nested_spans_record_their_parent_seq() {
+        let obs = Obs::deterministic();
+        {
+            let _outer = obs.span("outer");
+            {
+                let _inner = obs.span("inner");
+                let _leaf = obs.span("leaf");
+            }
+            let _sibling = obs.span("sibling");
+        }
+        let report = obs.report();
+        let parent_of = |name: &str| {
+            report
+                .spans_named(name)
+                .next()
+                .and_then(|s| s.parent)
+                .map(|p| {
+                    report
+                        .spans
+                        .iter()
+                        .find(|s| s.seq == p)
+                        .unwrap()
+                        .name
+                        .clone()
+                })
+        };
+        assert_eq!(parent_of("outer"), None);
+        assert_eq!(parent_of("inner"), Some("outer".to_string()));
+        assert_eq!(parent_of("leaf"), Some("inner".to_string()));
+        assert_eq!(parent_of("sibling"), Some("outer".to_string()));
     }
 
     #[test]

@@ -126,6 +126,32 @@ pub const SERVE_RETRIES: &str = "serve.retries";
 /// Count of migrations committed by the daemon.
 pub const SERVE_MIGRATIONS: &str = "serve.migrations";
 
+// --- SLO attainment engine (obs::slo) ------------------------------------
+
+/// Count of utilization slots fed to the SLO engine.
+pub const SLO_SAMPLES: &str = "slo.samples";
+/// Count of slots degraded against the acceptable band (`U_alloc > U_high`).
+pub const SLO_DEGRADED_SLOTS: &str = "slo.degraded_slots";
+/// Count of slots breaching the degraded ceiling (`U_alloc > U_degr`).
+pub const SLO_BREACH_SLOTS: &str = "slo.breach_slots";
+/// Event: a burn-rate rule started firing.
+pub const SLO_ALERT_FIRE: &str = "slo.alert.fire";
+/// Event: a burn-rate rule stopped firing.
+pub const SLO_ALERT_CLEAR: &str = "slo.alert.clear";
+/// The fast-burn (page-worthy) alert rule.
+pub const SLO_BURN_FAST: &str = "slo.burn.fast";
+/// The slow-burn (ticket-worthy) alert rule.
+pub const SLO_BURN_SLOW: &str = "slo.burn.slow";
+
+// --- telemetry stream (ropus serve `subscribe` / ropus watch) -------------
+
+/// Stream line kind: an obs metric snapshot delta for one tick.
+pub const WATCH_STREAM_DELTA: &str = "watch.stream.delta";
+/// Stream line kind: a daemon lifecycle event (admit/depart/migrate).
+pub const WATCH_STREAM_EVENT: &str = "watch.stream.event";
+/// Stream line kind: an SLO alert transition.
+pub const WATCH_STREAM_ALERT: &str = "watch.stream.alert";
+
 #[cfg(test)]
 mod tests {
     /// The registry is a vocabulary: values must be unique, and every
@@ -171,6 +197,16 @@ mod tests {
             super::SERVE_TICK_LATENCY_MS,
             super::SERVE_RETRIES,
             super::SERVE_MIGRATIONS,
+            super::SLO_SAMPLES,
+            super::SLO_DEGRADED_SLOTS,
+            super::SLO_BREACH_SLOTS,
+            super::SLO_ALERT_FIRE,
+            super::SLO_ALERT_CLEAR,
+            super::SLO_BURN_FAST,
+            super::SLO_BURN_SLOW,
+            super::WATCH_STREAM_DELTA,
+            super::WATCH_STREAM_EVENT,
+            super::WATCH_STREAM_ALERT,
             super::MIGRATION_TRANSITION,
             super::MIGRATION_PLANNED,
             super::MIGRATION_COMMITTED,

@@ -40,6 +40,11 @@ pub struct SpanRecord {
     pub thread: u64,
     /// Duration in milliseconds; exactly `0.0` under the null clock.
     pub wall_ms: f64,
+    /// `seq` of the span that was open on the same thread when this one
+    /// opened (`None` for roots; omitted from JSON so pre-existing
+    /// reports round-trip unchanged).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub parent: Option<u64>,
 }
 
 /// One key/value annotation on an event.
@@ -99,6 +104,49 @@ pub struct HistogramSnapshot {
     pub total: u64,
 }
 
+impl HistogramSnapshot {
+    /// Bucket-resolution quantile estimate: the inclusive upper bound of
+    /// the bucket holding the sample of rank `ceil(q · total)` (rank 1
+    /// for `q = 0`). Samples in the overflow bucket clamp to the last
+    /// bound, so estimates are monotone in `q` and never exceed the
+    /// bucket edges. Returns `None` when the histogram is empty or has
+    /// no bounds.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 || self.bounds.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, count) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(*count);
+            if seen >= rank {
+                // lint:allow(panic-slice-index): min() clamps to the last
+                // index of bounds, checked non-empty at entry.
+                return Some(self.bounds[i.min(self.bounds.len() - 1)]);
+            }
+        }
+        self.bounds.last().copied()
+    }
+}
+
+/// One aggregated node of the span tree: all spans sharing the same
+/// root-to-node name path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanTreeNode {
+    /// Name path from root to this node, joined with `" / "`.
+    pub path: String,
+    /// Nesting depth (0 for roots).
+    pub depth: usize,
+    /// Spans aggregated into this node.
+    pub count: u64,
+    /// Total duration including children, milliseconds.
+    pub inclusive_ms: f64,
+    /// Total duration minus the children recorded in this report,
+    /// milliseconds (floored at 0 in case of clock skew).
+    pub exclusive_ms: f64,
+}
+
 /// A full observability snapshot: record streams plus metrics.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ObsReport {
@@ -156,6 +204,189 @@ impl ObsReport {
     pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
         self.spans.iter().filter(move |s| s.name == name)
     }
+
+    /// Aggregates the span stream into a tree keyed by root-to-node name
+    /// paths, with inclusive and exclusive time per node, sorted by path
+    /// (lexicographic, so parents precede their children).
+    ///
+    /// Spans whose `parent` seq is absent from this report (e.g. in a
+    /// delta) are treated as roots.
+    pub fn span_rollup(&self) -> Vec<SpanTreeNode> {
+        use std::collections::BTreeMap;
+
+        // Path of each span, memoized by seq (parents always have a
+        // smaller seq than their children, but the walk below does not
+        // rely on it).
+        let by_seq: BTreeMap<u64, &SpanRecord> = self.spans.iter().map(|s| (s.seq, s)).collect();
+        let mut paths: BTreeMap<u64, (String, usize)> = BTreeMap::new();
+        fn path_of(
+            seq: u64,
+            by_seq: &BTreeMap<u64, &SpanRecord>,
+            paths: &mut BTreeMap<u64, (String, usize)>,
+        ) -> (String, usize) {
+            if let Some(hit) = paths.get(&seq) {
+                return hit.clone();
+            }
+            // lint:allow(panic-expect): only called with seqs taken from
+            // by_seq keys.
+            let span = by_seq.get(&seq).expect("seq from by_seq");
+            let value = match span.parent.and_then(|p| by_seq.get(&p).map(|_| p)) {
+                Some(parent) => {
+                    let (parent_path, parent_depth) = path_of(parent, by_seq, paths);
+                    (format!("{parent_path} / {}", span.name), parent_depth + 1)
+                }
+                None => (span.name.clone(), 0),
+            };
+            paths.insert(seq, value.clone());
+            value
+        }
+
+        // Inclusive time of each node, plus the child time charged back
+        // to its parent for the exclusive figure.
+        let mut nodes: BTreeMap<String, SpanTreeNode> = BTreeMap::new();
+        let mut child_ms: BTreeMap<u64, f64> = BTreeMap::new();
+        for span in &self.spans {
+            if let Some(parent) = span.parent.filter(|p| by_seq.contains_key(p)) {
+                *child_ms.entry(parent).or_insert(0.0) += span.wall_ms;
+            }
+        }
+        for span in &self.spans {
+            let (path, depth) = path_of(span.seq, &by_seq, &mut paths);
+            let children = child_ms.get(&span.seq).copied().unwrap_or(0.0);
+            let node = nodes.entry(path.clone()).or_insert(SpanTreeNode {
+                path,
+                depth,
+                count: 0,
+                inclusive_ms: 0.0,
+                exclusive_ms: 0.0,
+            });
+            node.count += 1;
+            node.inclusive_ms += span.wall_ms;
+            node.exclusive_ms += (span.wall_ms - children).max(0.0);
+        }
+        nodes.into_values().collect()
+    }
+
+    /// Everything recorded in `self` but not in `earlier`, as a report:
+    /// trace records are filtered by seq membership (seqs are globally
+    /// unique across spans *and* events), counters and histogram buckets
+    /// carry the integer difference, and gauges appear only when new or
+    /// changed (bitwise). [`ObsReport::absorb`]-ing the delta into
+    /// `earlier` reproduces `self` bit-exactly.
+    ///
+    /// `earlier` must be a previous snapshot of the same collector.
+    pub fn delta_since(&self, earlier: &ObsReport) -> ObsReport {
+        use std::collections::BTreeSet;
+
+        let seen: BTreeSet<u64> = earlier
+            .spans
+            .iter()
+            .map(|s| s.seq)
+            .chain(earlier.events.iter().map(|e| e.seq))
+            .collect();
+        ObsReport {
+            spans: self
+                .spans
+                .iter()
+                .filter(|s| !seen.contains(&s.seq))
+                .cloned()
+                .collect(),
+            events: self
+                .events
+                .iter()
+                .filter(|e| !seen.contains(&e.seq))
+                .cloned()
+                .collect(),
+            counters: self
+                .counters
+                .iter()
+                .filter_map(|c| {
+                    // lint:allow(obs-static-name): a report *lookup*, not
+                    // a recording call — no vocabulary is minted here.
+                    let diff = c.value.saturating_sub(earlier.counter(&c.name));
+                    (diff > 0).then(|| CounterSnapshot {
+                        name: c.name.clone(),
+                        value: diff,
+                    })
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|g| {
+                    // lint:allow(obs-static-name): a report lookup, not a
+                    // recording call.
+                    let old = earlier.gauge(&g.name);
+                    old.is_none_or(|old| old.to_bits() != g.value.to_bits())
+                })
+                .cloned()
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter_map(|h| {
+                    // lint:allow(obs-static-name): a report lookup, not a
+                    // recording call.
+                    let old = earlier.histogram(&h.name);
+                    let counts: Vec<u64> = h
+                        .counts
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| {
+                            let before = old.and_then(|o| o.counts.get(i)).copied().unwrap_or(0);
+                            c.saturating_sub(before)
+                        })
+                        .collect();
+                    let total = h.total.saturating_sub(old.map_or(0, |o| o.total));
+                    counts.iter().any(|c| *c > 0).then(|| HistogramSnapshot {
+                        name: h.name.clone(),
+                        bounds: h.bounds.clone(),
+                        counts,
+                        total,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Merges a [`ObsReport::delta_since`] delta into this report,
+    /// reproducing the snapshot the delta was taken from bit-exactly:
+    /// trace records re-merge under the `(seq, thread)` sort, counters
+    /// and histogram buckets add, gauges overwrite.
+    pub fn absorb(&mut self, delta: &ObsReport) {
+        self.spans.extend(delta.spans.iter().cloned());
+        self.spans.sort_by_key(|s| (s.seq, s.thread));
+        self.events.extend(delta.events.iter().cloned());
+        self.events.sort_by_key(|e| (e.seq, e.thread));
+        for c in &delta.counters {
+            match self.counters.iter_mut().find(|mine| mine.name == c.name) {
+                Some(mine) => mine.value = mine.value.saturating_add(c.value),
+                None => self.counters.push(c.clone()),
+            }
+        }
+        self.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        for g in &delta.gauges {
+            match self.gauges.iter_mut().find(|mine| mine.name == g.name) {
+                Some(mine) => mine.value = g.value,
+                None => self.gauges.push(g.clone()),
+            }
+        }
+        self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        for h in &delta.histograms {
+            match self.histograms.iter_mut().find(|mine| mine.name == h.name) {
+                Some(mine) => {
+                    for (i, c) in h.counts.iter().enumerate() {
+                        if let Some(mine_c) = mine.counts.get_mut(i) {
+                            *mine_c = mine_c.saturating_add(*c);
+                        }
+                    }
+                    mine.total = mine.total.saturating_add(h.total);
+                }
+                None => self.histograms.push(h.clone()),
+            }
+        }
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    }
 }
 
 #[cfg(test)]
@@ -188,5 +419,131 @@ mod tests {
         assert_eq!(report.counter("missing"), 0);
         assert_eq!(report.gauge("g"), Some(0.25));
         assert_eq!(report.gauge("missing"), None);
+    }
+
+    fn hist(counts: Vec<u64>) -> HistogramSnapshot {
+        let total = counts.iter().sum();
+        HistogramSnapshot {
+            name: "h".to_string(),
+            bounds: vec![0.25, 0.5, 0.75, 1.0],
+            counts,
+            total,
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_counts() {
+        let h = hist(vec![10, 40, 30, 15, 5]);
+        assert_eq!(h.quantile(0.0), Some(0.25));
+        assert_eq!(h.quantile(0.5), Some(0.5));
+        assert_eq!(h.quantile(0.95), Some(1.0));
+        // Overflow bucket clamps to the last bound.
+        assert_eq!(h.quantile(1.0), Some(1.0));
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_none() {
+        assert_eq!(hist(vec![0, 0, 0, 0, 0]).quantile(0.5), None);
+    }
+
+    fn span(name: &str, seq: u64, wall_ms: f64, parent: Option<u64>) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            seq,
+            thread: 0,
+            wall_ms,
+            parent,
+        }
+    }
+
+    #[test]
+    fn span_rollup_charges_child_time_to_parents() {
+        let report = ObsReport {
+            spans: vec![
+                span("root", 0, 10.0, None),
+                span("child", 1, 4.0, Some(0)),
+                span("child", 2, 3.0, Some(0)),
+                span("leaf", 3, 1.0, Some(2)),
+            ],
+            ..ObsReport::default()
+        };
+        let rollup = report.span_rollup();
+        assert_eq!(rollup.len(), 3);
+        assert_eq!(rollup[0].path, "root");
+        assert_eq!(rollup[0].depth, 0);
+        assert_eq!(rollup[0].inclusive_ms, 10.0);
+        assert_eq!(rollup[0].exclusive_ms, 3.0);
+        assert_eq!(rollup[1].path, "root / child");
+        assert_eq!(rollup[1].count, 2);
+        assert_eq!(rollup[1].inclusive_ms, 7.0);
+        assert_eq!(rollup[1].exclusive_ms, 6.0);
+        assert_eq!(rollup[2].path, "root / child / leaf");
+        assert_eq!(rollup[2].depth, 2);
+    }
+
+    #[test]
+    fn span_rollup_treats_missing_parents_as_roots() {
+        let report = ObsReport {
+            spans: vec![span("orphan", 7, 2.0, Some(3))],
+            ..ObsReport::default()
+        };
+        let rollup = report.span_rollup();
+        assert_eq!(rollup[0].path, "orphan");
+        assert_eq!(rollup[0].depth, 0);
+        assert_eq!(rollup[0].exclusive_ms, 2.0);
+    }
+
+    #[test]
+    fn delta_then_absorb_reproduces_the_later_snapshot() {
+        use crate::Obs;
+
+        let obs = Obs::deterministic();
+        obs.counter("c", 2);
+        obs.gauge("g", 1.0);
+        obs.histogram("h", &[0.5], 0.2);
+        {
+            let _s = obs.span("phase.one");
+            obs.event("e.first").with_u64("n", 1).emit();
+        }
+        let first = obs.report();
+
+        obs.counter("c", 3);
+        obs.counter("fresh", 1);
+        obs.gauge("g", 2.0);
+        obs.histogram("h", &[0.5], 0.9);
+        {
+            let _s = obs.span("phase.two");
+            obs.event("e.second").emit();
+        }
+        let second = obs.report();
+
+        let delta = second.delta_since(&first);
+        assert_eq!(delta.counter("c"), 3);
+        assert_eq!(delta.counter("fresh"), 1);
+        assert_eq!(delta.gauge("g"), Some(2.0));
+        assert_eq!(delta.spans.len(), 1);
+        assert_eq!(delta.spans[0].name, "phase.two");
+        assert_eq!(delta.events.len(), 1);
+        assert_eq!(delta.histogram("h").unwrap().total, 1);
+
+        let mut rebuilt = first.clone();
+        rebuilt.absorb(&delta);
+        assert_eq!(rebuilt, second);
+        assert_eq!(
+            serde_json::to_string(&rebuilt).unwrap(),
+            serde_json::to_string(&second).unwrap()
+        );
+    }
+
+    #[test]
+    fn unchanged_snapshot_yields_an_empty_delta() {
+        use crate::Obs;
+
+        let obs = Obs::deterministic();
+        obs.counter("c", 1);
+        obs.gauge("g", 0.5);
+        let first = obs.report();
+        let second = obs.report();
+        assert!(second.delta_since(&first).is_empty());
     }
 }

@@ -1,0 +1,640 @@
+//! Deterministic per-app SLO attainment and multi-window burn-rate
+//! alerting, in slot-time.
+//!
+//! The engine consumes the same per-slot utilization-of-allocation
+//! signal the wlm/chaos replays already compute and measures it against
+//! the R-Opus contract: a slot is *degraded* when `U_alloc > U_high`
+//! and a *breach* when `U_alloc > U_degr`. The degradation allowance
+//! `M_degr` is the error budget; burn rate is the ratio of the observed
+//! degraded fraction in a window to that allowance. A rule fires when
+//! both its short and long windows burn at or above its factor (the
+//! classic multi-window guard against one-slot blips and stale alerts)
+//! and clears when the short window cools below the factor.
+//!
+//! Everything here is slot-indexed integer/f64 arithmetic over values
+//! the callers already compute deterministically, so the emitted
+//! [`AlertEvent`] stream serializes byte-identically across runs and
+//! thread counts (alerts are evaluated from serial per-slot loops only,
+//! per the crate-level determinism contract).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{names, ObsCtx};
+
+/// Comparison slack for utilization thresholds, matching the audit layer.
+const EPS: f64 = 1e-9;
+
+/// Floor for the allowance used in burn-rate division, so strict
+/// contracts (allowance 0) produce large finite burns instead of
+/// infinities that would not round-trip through JSON.
+const MIN_BURN_ALLOWANCE: f64 = 1e-6;
+
+/// One application's SLO contract, in slot-time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloContract {
+    /// Application name.
+    pub app: String,
+    /// Acceptable utilization-of-allocation ceiling (`U_high`).
+    pub u_high: f64,
+    /// Degraded-mode utilization ceiling (`U_degr`; equal to `u_high`
+    /// for strict contracts).
+    pub u_degr: f64,
+    /// Fraction of slots allowed above `u_high` (`M_degr`; the error
+    /// budget allowance, 0 for strict contracts).
+    pub allowance: f64,
+    /// Longest tolerated contiguous degraded run (`T_degr`), in slots.
+    pub t_degr_slots: Option<usize>,
+}
+
+impl SloContract {
+    /// A contract with the given thresholds.
+    pub fn new(
+        app: impl Into<String>,
+        u_high: f64,
+        u_degr: f64,
+        allowance: f64,
+        t_degr_slots: Option<usize>,
+    ) -> SloContract {
+        SloContract {
+            app: app.into(),
+            u_high,
+            u_degr,
+            allowance,
+            t_degr_slots,
+        }
+    }
+}
+
+/// A multi-window burn-rate alert rule.
+///
+/// `name` must resolve to a registry const in [`crate::names`] (the
+/// `obs-name-registry` lint checks constructor call sites).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnRateRule {
+    name: &'static str,
+    short_slots: usize,
+    long_slots: usize,
+    factor: f64,
+}
+
+impl BurnRateRule {
+    /// A rule firing when both the short and the long window burn the
+    /// error budget at `factor`× the sustainable rate.
+    pub fn new(name: &'static str, short_slots: usize, long_slots: usize, factor: f64) -> Self {
+        BurnRateRule {
+            name,
+            short_slots: short_slots.max(1),
+            long_slots: long_slots.max(short_slots.max(1)),
+            factor,
+        }
+    }
+
+    /// The page-worthy fast burn: 12-slot / 144-slot windows at 6×.
+    pub fn fast_burn() -> Self {
+        BurnRateRule::new(names::SLO_BURN_FAST, 12, 144, 6.0)
+    }
+
+    /// The ticket-worthy slow burn: 72-slot / 576-slot windows at 2×.
+    pub fn slow_burn() -> Self {
+        BurnRateRule::new(names::SLO_BURN_SLOW, 72, 576, 2.0)
+    }
+
+    /// The default rule pair (fast + slow burn).
+    pub fn default_rules() -> Vec<BurnRateRule> {
+        vec![BurnRateRule::fast_burn(), BurnRateRule::slow_burn()]
+    }
+
+    /// Rule name (a registry const value).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Short-window length, slots.
+    pub fn short_slots(&self) -> usize {
+        self.short_slots
+    }
+
+    /// Long-window length, slots.
+    pub fn long_slots(&self) -> usize {
+        self.long_slots
+    }
+
+    /// Burn-rate threshold.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+}
+
+/// Whether an alert fired or cleared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlertKind {
+    /// The rule started firing at this slot.
+    Fire,
+    /// The rule stopped firing at this slot.
+    Clear,
+}
+
+/// One typed, byte-stable alert transition with its evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertEvent {
+    /// Rule name (a registry const value, e.g. `slo.burn.fast`).
+    pub rule: String,
+    /// Application the rule evaluated.
+    pub app: String,
+    /// Fire or clear.
+    pub kind: AlertKind,
+    /// Slot index at which the transition happened.
+    pub slot: usize,
+    /// Effective short window (clamped to samples so far), slots.
+    pub short_window: usize,
+    /// Effective long window (clamped to samples so far), slots.
+    pub long_window: usize,
+    /// Degraded slots observed inside the short window.
+    pub short_bad: usize,
+    /// Degraded slots observed inside the long window.
+    pub long_bad: usize,
+    /// Short-window burn rate (degraded fraction / allowance).
+    pub short_burn: f64,
+    /// Long-window burn rate.
+    pub long_burn: f64,
+    /// Contracted allowance (`M_degr`).
+    pub allowance: f64,
+    /// Fraction of the whole-session error budget still unspent
+    /// (negative once overspent).
+    pub budget_remaining: f64,
+}
+
+/// Rolling attainment of one application against its contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloAttainment {
+    /// Application name.
+    pub app: String,
+    /// Slots observed.
+    pub samples: usize,
+    /// Slots with `U_alloc > U_high`.
+    pub degraded_slots: usize,
+    /// Slots with `U_alloc > U_degr`.
+    pub breach_slots: usize,
+    /// Fraction of slots within the acceptable band (`1` when idle).
+    pub attainment: f64,
+    /// Contracted allowance (`M_degr`).
+    pub allowance: f64,
+    /// Fraction of the error budget still unspent (negative once
+    /// overspent; `1` when nothing degraded).
+    pub budget_remaining: f64,
+    /// Longest contiguous degraded run observed, slots.
+    pub longest_degraded_run_slots: usize,
+    /// Contracted run limit (`T_degr`), slots.
+    pub t_degr_slots: Option<usize>,
+    /// Whether some degraded run exceeded `T_degr`.
+    pub t_degr_exceeded: bool,
+}
+
+impl SloAttainment {
+    /// Whether the application stayed inside every contract clause the
+    /// engine tracks (fraction allowance, breach ceiling, run limit).
+    pub fn is_attained(&self) -> bool {
+        let frac = if self.samples > 0 {
+            self.degraded_slots as f64 / self.samples as f64
+        } else {
+            0.0
+        };
+        frac <= self.allowance + EPS && self.breach_slots == 0 && !self.t_degr_exceeded
+    }
+}
+
+/// The SLO outcome of a whole run: per-app attainment plus the full
+/// alert transition log, in evaluation order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SloSummary {
+    /// Per-application attainment, in registration order.
+    pub apps: Vec<SloAttainment>,
+    /// Alert transitions, in slot order.
+    pub alerts: Vec<AlertEvent>,
+}
+
+impl SloSummary {
+    /// Whether any rule fired for any application.
+    pub fn any_fired(&self) -> bool {
+        self.alerts.iter().any(|a| a.kind == AlertKind::Fire)
+    }
+
+    /// Whether every application attained its contract.
+    pub fn all_attained(&self) -> bool {
+        self.apps.iter().all(SloAttainment::is_attained)
+    }
+}
+
+/// Per-(app, rule) incremental window state.
+#[derive(Debug, Clone, Default)]
+struct RuleState {
+    short_bad: usize,
+    long_bad: usize,
+    firing: bool,
+}
+
+/// Per-app rolling state.
+#[derive(Debug, Clone)]
+struct AppState {
+    contract: SloContract,
+    /// Degraded flags, newest at the back, trimmed to the longest rule
+    /// window.
+    history: VecDeque<bool>,
+    samples: usize,
+    degraded: usize,
+    breaches: usize,
+    current_run: usize,
+    longest_run: usize,
+    rules: Vec<RuleState>,
+}
+
+/// The deterministic SLO attainment engine.
+///
+/// Register one [`SloContract`] per application, then feed each app's
+/// per-slot utilization of allocation through [`SloEngine::observe`]
+/// from a *serial* loop. Alerts accumulate in evaluation order; drain
+/// them for streaming or take the whole [`SloSummary`] at the end.
+#[derive(Debug, Clone)]
+pub struct SloEngine {
+    rules: Vec<BurnRateRule>,
+    apps: Vec<AppState>,
+    alerts: Vec<AlertEvent>,
+    drained: usize,
+    max_window: usize,
+}
+
+impl SloEngine {
+    /// An engine evaluating the given rules (commonly
+    /// [`BurnRateRule::default_rules`]).
+    pub fn new(rules: Vec<BurnRateRule>) -> SloEngine {
+        let max_window = rules.iter().map(|r| r.long_slots).max().unwrap_or(1);
+        SloEngine {
+            rules,
+            apps: Vec::new(),
+            alerts: Vec::new(),
+            drained: 0,
+            max_window,
+        }
+    }
+
+    /// Registers an application contract; returns its index for
+    /// [`SloEngine::observe`].
+    pub fn register(&mut self, contract: SloContract) -> usize {
+        self.apps.push(AppState {
+            contract,
+            history: VecDeque::new(),
+            samples: 0,
+            degraded: 0,
+            breaches: 0,
+            current_run: 0,
+            longest_run: 0,
+            rules: vec![RuleState::default(); self.rules.len()],
+        });
+        self.apps.len() - 1
+    }
+
+    /// Number of registered applications.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Whether no application is registered.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Feeds one slot's utilization of allocation for app `app` and
+    /// evaluates every rule. Call from serial code only; `slot` must be
+    /// monotonically non-decreasing per app.
+    ///
+    /// Fire/clear transitions are appended to the alert log and echoed
+    /// as `slo.alert.fire` / `slo.alert.clear` obs events.
+    pub fn observe(&mut self, app: usize, slot: usize, u: f64, obs: ObsCtx<'_>) {
+        let Some(state) = self.apps.get_mut(app) else {
+            return;
+        };
+        let bad = u > state.contract.u_high + EPS;
+        let breach = u > state.contract.u_degr + EPS;
+        state.samples += 1;
+        if bad {
+            state.degraded += 1;
+            state.current_run += 1;
+            state.longest_run = state.longest_run.max(state.current_run);
+        } else {
+            state.current_run = 0;
+        }
+        if breach {
+            state.breaches += 1;
+        }
+        state.history.push_back(bad);
+
+        let allowance = state.contract.allowance.max(MIN_BURN_ALLOWANCE);
+        let budget_remaining =
+            budget_remaining(state.degraded, state.samples, state.contract.allowance);
+        for (rule, rs) in self.rules.iter().zip(state.rules.iter_mut()) {
+            if bad {
+                rs.short_bad += 1;
+                rs.long_bad += 1;
+            }
+            let len = state.history.len();
+            // lint:allow(panic-slice-index): history keeps max_window ≥
+            // long_slots ≥ short_slots entries, and samples > window
+            // implies len > window, so len - 1 - window is in range.
+            if state.samples > rule.short_slots && state.history[len - 1 - rule.short_slots] {
+                rs.short_bad -= 1;
+            }
+            // lint:allow(panic-slice-index): same bound as above for the
+            // long window.
+            if state.samples > rule.long_slots && state.history[len - 1 - rule.long_slots] {
+                rs.long_bad -= 1;
+            }
+
+            let short_window = rule.short_slots.min(state.samples);
+            let long_window = rule.long_slots.min(state.samples);
+            let short_burn = rs.short_bad as f64 / short_window as f64 / allowance;
+            let long_burn = rs.long_bad as f64 / long_window as f64 / allowance;
+
+            // Hold evaluation until the short window has filled once, so
+            // a single early sample cannot page.
+            let armed = state.samples >= rule.short_slots;
+            let transition =
+                if !rs.firing && armed && short_burn >= rule.factor && long_burn >= rule.factor {
+                    rs.firing = true;
+                    Some(AlertKind::Fire)
+                } else if rs.firing && short_burn < rule.factor {
+                    rs.firing = false;
+                    Some(AlertKind::Clear)
+                } else {
+                    None
+                };
+            if let Some(kind) = transition {
+                let alert = AlertEvent {
+                    rule: rule.name.to_string(),
+                    app: state.contract.app.clone(),
+                    kind,
+                    slot,
+                    short_window,
+                    long_window,
+                    short_bad: rs.short_bad,
+                    long_bad: rs.long_bad,
+                    short_burn,
+                    long_burn,
+                    allowance: state.contract.allowance,
+                    budget_remaining,
+                };
+                let event_name = match kind {
+                    AlertKind::Fire => names::SLO_ALERT_FIRE,
+                    AlertKind::Clear => names::SLO_ALERT_CLEAR,
+                };
+                // lint:allow(obs-static-name): selects between exactly two
+                // registry constants — no dynamic vocabulary.
+                obs.event(event_name)
+                    .with_str("rule", &alert.rule)
+                    .with_str("app", &alert.app)
+                    .with_u64("slot", slot as u64)
+                    .with_f64("short_burn", alert.short_burn)
+                    .emit();
+                self.alerts.push(alert);
+            }
+        }
+
+        if state.history.len() > self.max_window {
+            state.history.pop_front();
+        }
+    }
+
+    /// Alerts accumulated since the last drain (for streaming).
+    pub fn drain_alerts(&mut self) -> Vec<AlertEvent> {
+        // lint:allow(panic-slice-index): drained only ever advances to
+        // alerts.len(), which never shrinks.
+        let fresh = self.alerts[self.drained..].to_vec();
+        self.drained = self.alerts.len();
+        fresh
+    }
+
+    /// The full alert log, in evaluation order.
+    pub fn alerts(&self) -> &[AlertEvent] {
+        &self.alerts
+    }
+
+    /// Per-app attainment so far, in registration order.
+    pub fn attainment(&self) -> Vec<SloAttainment> {
+        self.apps
+            .iter()
+            .map(|s| SloAttainment {
+                app: s.contract.app.clone(),
+                samples: s.samples,
+                degraded_slots: s.degraded,
+                breach_slots: s.breaches,
+                attainment: if s.samples > 0 {
+                    1.0 - s.degraded as f64 / s.samples as f64
+                } else {
+                    1.0
+                },
+                allowance: s.contract.allowance,
+                budget_remaining: budget_remaining(s.degraded, s.samples, s.contract.allowance),
+                longest_degraded_run_slots: s.longest_run,
+                t_degr_slots: s.contract.t_degr_slots,
+                t_degr_exceeded: s
+                    .contract
+                    .t_degr_slots
+                    .is_some_and(|limit| s.longest_run > limit),
+            })
+            .collect()
+    }
+
+    /// Aggregate totals into the slo.* counters (one batch, not per
+    /// slot, to keep the observe path off the metrics mutex).
+    pub fn record_counters(&self, obs: ObsCtx<'_>) {
+        let (mut samples, mut degraded, mut breaches) = (0u64, 0u64, 0u64);
+        for s in &self.apps {
+            samples += s.samples as u64;
+            degraded += s.degraded as u64;
+            breaches += s.breaches as u64;
+        }
+        if samples > 0 {
+            obs.counter(names::SLO_SAMPLES, samples);
+        }
+        if degraded > 0 {
+            obs.counter(names::SLO_DEGRADED_SLOTS, degraded);
+        }
+        if breaches > 0 {
+            obs.counter(names::SLO_BREACH_SLOTS, breaches);
+        }
+    }
+
+    /// The final summary: attainment plus the full alert log.
+    pub fn summary(&self) -> SloSummary {
+        SloSummary {
+            apps: self.attainment(),
+            alerts: self.alerts.clone(),
+        }
+    }
+}
+
+/// Unspent fraction of the whole-session error budget.
+fn budget_remaining(degraded: usize, samples: usize, allowance: f64) -> f64 {
+    let budget = allowance * samples as f64;
+    if budget > 0.0 {
+        (budget - degraded as f64) / budget
+    } else if degraded == 0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn engine() -> SloEngine {
+        // Small windows so tests stay readable: fire at 4× over 4/16.
+        let mut e = SloEngine::new(vec![BurnRateRule::new("slo.burn.fast", 4, 16, 4.0)]);
+        e.register(SloContract::new("app", 0.66, 0.9, 0.05, Some(3)));
+        e
+    }
+
+    #[test]
+    fn clean_run_never_alerts_and_attains() {
+        let mut e = engine();
+        for slot in 0..32 {
+            e.observe(0, slot, 0.5, ObsCtx::none());
+        }
+        assert!(e.alerts().is_empty());
+        let a = &e.attainment()[0];
+        assert_eq!(a.samples, 32);
+        assert_eq!(a.degraded_slots, 0);
+        assert_eq!(a.attainment, 1.0);
+        assert_eq!(a.budget_remaining, 1.0);
+        assert!(a.is_attained());
+    }
+
+    #[test]
+    fn sustained_burst_fires_then_clears() {
+        let mut e = engine();
+        // 8 clean, 8 degraded, 12 clean.
+        for slot in 0..28 {
+            let u = if (8..16).contains(&slot) { 0.8 } else { 0.5 };
+            e.observe(0, slot, u, ObsCtx::none());
+        }
+        let alerts = e.alerts();
+        assert_eq!(alerts.len(), 2, "{alerts:?}");
+        assert_eq!(alerts[0].kind, AlertKind::Fire);
+        assert_eq!(alerts[1].kind, AlertKind::Clear);
+        // The short window burns past 4× on the first degraded slot, but
+        // the long window (clamped to the 10 samples seen) needs a second
+        // one: fire lands at slot 9.
+        assert_eq!(alerts[0].slot, 9);
+        assert!(alerts[0].short_burn >= 4.0);
+        assert!(alerts[0].long_burn >= 4.0);
+        // Clear when the short window cools: the burst ends after slot
+        // 15; 4 clean slots later (slot 19) the short window is empty.
+        assert_eq!(alerts[1].slot, 19);
+        let a = &e.attainment()[0];
+        assert_eq!(a.degraded_slots, 8);
+        assert_eq!(a.longest_degraded_run_slots, 8);
+        assert!(a.t_degr_exceeded);
+        assert!(!a.is_attained());
+        assert!(a.budget_remaining < 0.0, "budget overspent");
+    }
+
+    #[test]
+    fn single_blip_does_not_fire_once_windows_filled() {
+        let mut e = SloEngine::new(vec![BurnRateRule::new("slo.burn.fast", 4, 16, 4.0)]);
+        e.register(SloContract::new("app", 0.66, 0.9, 0.3, None));
+        // Allowance 0.3: one degraded slot in a full short window is a
+        // burn of (1/4)/0.3 < 1 < factor.
+        for slot in 0..8 {
+            let u = if slot == 6 { 0.8 } else { 0.5 };
+            e.observe(0, slot, u, ObsCtx::none());
+        }
+        assert!(e.alerts().is_empty());
+    }
+
+    #[test]
+    fn breaches_and_runs_are_tracked_separately() {
+        let mut e = engine();
+        for (slot, u) in [0.5, 0.95, 0.8, 0.5].into_iter().enumerate() {
+            e.observe(0, slot, u, ObsCtx::none());
+        }
+        let a = &e.attainment()[0];
+        assert_eq!(a.degraded_slots, 2);
+        assert_eq!(a.breach_slots, 1);
+        assert_eq!(a.longest_degraded_run_slots, 2);
+        assert!(!a.t_degr_exceeded, "run of 2 within the 3-slot limit");
+        assert!(!a.is_attained(), "a breach always fails attainment");
+    }
+
+    #[test]
+    fn drain_returns_each_alert_once() {
+        let mut e = engine();
+        for slot in 0..28 {
+            let u = if (8..16).contains(&slot) { 0.8 } else { 0.5 };
+            e.observe(0, slot, u, ObsCtx::none());
+        }
+        let first = e.drain_alerts();
+        assert_eq!(first.len(), 2);
+        assert!(e.drain_alerts().is_empty());
+        assert_eq!(e.alerts().len(), 2, "the full log is retained");
+    }
+
+    #[test]
+    fn alert_transitions_emit_obs_events() {
+        let obs = Obs::deterministic();
+        let mut e = engine();
+        for slot in 0..28 {
+            let u = if (8..16).contains(&slot) { 0.8 } else { 0.5 };
+            e.observe(0, slot, u, ObsCtx::from(&obs));
+        }
+        e.record_counters(ObsCtx::from(&obs));
+        let report = obs.report();
+        assert_eq!(report.events_named(names::SLO_ALERT_FIRE).count(), 1);
+        assert_eq!(report.events_named(names::SLO_ALERT_CLEAR).count(), 1);
+        assert_eq!(report.counter(names::SLO_SAMPLES), 28);
+        assert_eq!(report.counter(names::SLO_DEGRADED_SLOTS), 8);
+    }
+
+    #[test]
+    fn long_window_keeps_a_fast_clear_honest() {
+        // After a long outage the short window cools quickly but the
+        // long window still shows the spend; the rule must still clear
+        // (clears key on the short window alone).
+        let mut e = engine();
+        for slot in 0..40 {
+            let u = if (4..20).contains(&slot) { 0.8 } else { 0.5 };
+            e.observe(0, slot, u, ObsCtx::none());
+        }
+        let alerts = e.alerts();
+        assert_eq!(alerts.len(), 2);
+        assert_eq!(alerts[1].kind, AlertKind::Clear);
+        assert!(alerts[1].long_bad > 0, "long window still carries spend");
+    }
+
+    #[test]
+    fn summary_serializes_deterministically() {
+        let run = || {
+            let mut e = engine();
+            for slot in 0..28 {
+                let u = if (8..16).contains(&slot) { 0.8 } else { 0.5 };
+                e.observe(0, slot, u, ObsCtx::none());
+            }
+            serde_json::to_string(&e.summary()).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn strict_contract_fires_on_sustained_exceedance() {
+        let mut e = SloEngine::new(vec![BurnRateRule::new("slo.burn.fast", 4, 16, 4.0)]);
+        e.register(SloContract::new("strict", 0.66, 0.66, 0.0, None));
+        for slot in 0..8 {
+            e.observe(0, slot, 0.7, ObsCtx::none());
+        }
+        assert!(e.summary().any_fired(), "zero allowance burns instantly");
+        assert!(e.alerts()[0].short_burn.is_finite());
+    }
+}

@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use ropus_obs::{ObsCtx, SloContract, SloEngine};
 use ropus_qos::AppQos;
 use ropus_trace::runs::{longest_run, runs_where};
 use ropus_trace::Trace;
@@ -68,6 +69,45 @@ impl SloAudit {
     /// Whether every clause of the requirement held.
     pub fn is_compliant(&self) -> bool {
         self.violations.is_empty()
+    }
+}
+
+/// Converts an [`AppQos`] requirement into the slot-time terms of the
+/// streaming SLO engine: `U_high` is the degradation threshold, `U_degr`
+/// the breach ceiling (collapsing to `U_high` for strict contracts),
+/// `M_degr` the error-budget allowance, and `T_degr` is floored into
+/// whole slots (a run is over the limit once its slot count strictly
+/// exceeds `limit_minutes / slot_minutes`).
+pub fn slo_contract(app: impl Into<String>, qos: &AppQos, slot_minutes: u32) -> SloContract {
+    let band = qos.band();
+    match qos.degradation() {
+        Some(degr) => SloContract::new(
+            app,
+            band.high(),
+            degr.u_degr(),
+            degr.max_fraction(),
+            degr.time_limit_minutes()
+                .map(|m| (m / slot_minutes.max(1)) as usize),
+        ),
+        None => SloContract::new(app, band.high(), band.high(), 0.0, None),
+    }
+}
+
+/// Streams a replayed utilization-of-allocation trace into the SLO
+/// engine, one observation per slot starting at `start_slot`.
+///
+/// This is the bridge from [`crate::host::WorkloadOutcome::utilization`]
+/// (and any other audited utilization series) to the attainment /
+/// burn-rate layer; call it from serial code only, in fleet order.
+pub fn observe_utilization(
+    engine: &mut SloEngine,
+    app: usize,
+    utilization: &Trace,
+    start_slot: usize,
+    obs: ObsCtx<'_>,
+) {
+    for (t, u) in utilization.samples().iter().enumerate() {
+        engine.observe(app, start_slot + t, *u, obs);
     }
 }
 
@@ -266,5 +306,50 @@ mod tests {
         assert!(!a.is_compliant());
         let ok = audit(&trace(vec![0.5, 0.6]), &strict);
         assert!(ok.is_compliant());
+    }
+
+    #[test]
+    fn slo_contract_converts_qos_terms_into_slot_time() {
+        let c = slo_contract("app", &qos(Some(30)), 5);
+        assert_eq!(c.app, "app");
+        assert_eq!(c.u_high, 0.66);
+        assert_eq!(c.u_degr, 0.9);
+        assert_eq!(c.allowance, 0.03);
+        assert_eq!(c.t_degr_slots, Some(6));
+
+        let strict = AppQos::strict(UtilizationBand::new(0.5, 0.66).unwrap());
+        let c = slo_contract("s", &strict, 5);
+        assert_eq!(c.u_degr, 0.66);
+        assert_eq!(c.allowance, 0.0);
+        assert_eq!(c.t_degr_slots, None);
+    }
+
+    #[test]
+    fn observe_utilization_agrees_with_the_audit_on_degraded_slots() {
+        use ropus_obs::{BurnRateRule, SloEngine};
+
+        let mut samples = vec![0.6; 100];
+        for s in samples.iter_mut().skip(40).take(7) {
+            *s = 0.8;
+        }
+        let u = trace(samples);
+        let qos = qos(Some(30));
+        let audited = audit(&u, &qos);
+
+        let mut engine = SloEngine::new(BurnRateRule::default_rules());
+        let app = engine.register(slo_contract("app", &qos, 5));
+        observe_utilization(&mut engine, app, &u, 0, ropus_obs::ObsCtx::none());
+        let attainment = &engine.attainment()[0];
+        assert_eq!(attainment.samples, 100);
+        assert_eq!(
+            attainment.degraded_slots as f64 / attainment.samples as f64,
+            audited.degraded_fraction
+        );
+        assert_eq!(attainment.longest_degraded_run_slots, 7);
+        assert!(
+            attainment.t_degr_exceeded,
+            "35 min run over the 30 min limit"
+        );
+        assert!(!attainment.is_attained());
     }
 }

@@ -465,16 +465,29 @@ fn obs_name_registry(
         let sig = &sigs[f];
         let text = |k: usize| file.tokens[sig[k]].text(&file.source);
         for k in 1..sig.len() {
-            // Pattern: `. method (` followed by the name argument.
-            if file.tokens[sig[k]].kind != TokenKind::Ident
-                || !methods.contains(&text(k))
-                || text(k - 1) != "."
-                || k + 2 >= sig.len()
-                || text(k + 1) != "("
+            // Pattern A: `. method (` — the name is the next argument.
+            // Pattern B: `Ctor :: new (` for the named constructors
+            // (burn-rate rules, stream lines) — same position.
+            let arg_at = if file.tokens[sig[k]].kind == TokenKind::Ident
+                && methods.contains(&text(k))
+                && text(k - 1) == "."
+                && k + 2 < sig.len()
+                && text(k + 1) == "("
             {
+                k + 2
+            } else if file.tokens[sig[k]].kind == TokenKind::Ident
+                && rules::OBS_NAMED_CONSTRUCTORS.contains(&text(k))
+                && k + 5 < sig.len()
+                && text(k + 1) == ":"
+                && text(k + 2) == ":"
+                && text(k + 3) == "new"
+                && text(k + 4) == "("
+            {
+                k + 5
+            } else {
                 continue;
-            }
-            let arg = &file.tokens[sig[k + 2]];
+            };
+            let arg = &file.tokens[sig[arg_at]];
             if is_test_line(file, arg.line)
                 || site_allowed(file, arg.line, &[rule.id, "obs-static-name"], config)
             {
@@ -495,7 +508,7 @@ fn obs_name_registry(
                     // Walk the `a::b::CONST` path; only a pure path whose
                     // terminal segment looks like a constant is checked —
                     // computed expressions are obs-static-name's job.
-                    let mut j = k + 2;
+                    let mut j = arg_at;
                     while j + 3 < sig.len()
                         && text(j + 1) == ":"
                         && text(j + 2) == ":"

@@ -405,9 +405,10 @@ pub fn registry() -> Vec<Rule> {
             id: "obs-name-registry",
             family: Family::Observability,
             summary: "metric/span name not declared in the obs name registry \
-                      (crates/obs/src/names.rs): every recording site must use \
-                      a name the registry declares so the vocabulary cannot \
-                      drift silently",
+                      (crates/obs/src/names.rs): every recording site — and \
+                      every named constructor (burn-rate rules, subscribe \
+                      stream line kinds) — must use a name the registry \
+                      declares so the vocabulary cannot drift silently",
             hint: "add a `pub const` for the name to crates/obs/src/names.rs \
                    (grouped by layer) or reference an existing names:: constant; \
                    a deliberately unregistered name may be justified with \
@@ -645,6 +646,12 @@ pub(crate) const OBS_RECORDING_CALLS: [&str; 6] = [
     ".gauge(",
     ".histogram(",
 ];
+
+/// Types whose `::new` takes a registry name as its first argument:
+/// burn-rate alert rules and `serve` subscribe stream lines. The
+/// `obs-name-registry` token pass checks `Type::new(<name>, ...)` sites
+/// against the registry just like recording calls.
+pub(crate) const OBS_NAMED_CONSTRUCTORS: [&str; 2] = ["BurnRateRule", "StreamLine"];
 
 /// Whether an argument string starts with a constant-name path: the
 /// terminal `::` segment is SCREAMING_SNAKE (so plain variables and

@@ -6,4 +6,12 @@ pub fn record(ctx: &Ctx) {
     ctx.span(PIPELINE_TRANSLATE_TYPO);
 }
 
+pub fn rules() -> Vec<BurnRateRule> {
+    vec![BurnRateRule::new("slo.burn.typo", 12, 144, 6.0)]
+}
+
+pub fn stream() -> StreamLine {
+    StreamLine::new("watch.stream.typo", 0)
+}
+
 const PIPELINE_TRANSLATE_TYPO: &str = "pipeline.translate";

@@ -1,7 +1,15 @@
 //! Passing fixture: every recording site resolves to the registry, by
-//! literal value or by names:: constant.
+//! literal value or by names:: constant — named constructors included.
 
 pub fn record(ctx: &Ctx) {
     ctx.counter("placement.engine.evaluations", 1);
     ctx.span(names::PIPELINE_TRANSLATE);
+}
+
+pub fn rules() -> Vec<BurnRateRule> {
+    vec![BurnRateRule::new(names::SLO_BURN_FAST, 12, 144, 6.0)]
+}
+
+pub fn stream() -> StreamLine {
+    StreamLine::new(names::WATCH_STREAM_DELTA, 0)
 }

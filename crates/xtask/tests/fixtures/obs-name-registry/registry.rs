@@ -5,3 +5,8 @@
 pub const ENGINE_EVALUATIONS: &str = "placement.engine.evaluations";
 /// Translation pipeline span.
 pub const PIPELINE_TRANSLATE: &str = "pipeline.translate";
+
+/// Fast-burn alert rule.
+pub const SLO_BURN_FAST: &str = "slo.burn.fast";
+/// Subscribe stream snapshot-delta line kind.
+pub const WATCH_STREAM_DELTA: &str = "watch.stream.delta";

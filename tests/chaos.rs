@@ -278,3 +278,84 @@ fn carry_over_defers_and_recovers() {
         assert!(recovery <= report.deadline_slots);
     }
 }
+
+/// An engineered mid-week outage must surface in the replay's SLO
+/// summary: per-app attainment for the whole fleet, and at least one
+/// multi-window burn-rate alert that fires while planned degradation
+/// spends strict apps' (empty) error budgets, then clears after the
+/// windows cool.
+#[test]
+fn replay_surfaces_slo_attainment_and_burn_alerts() {
+    let apps = bursty_fleet(6);
+    let horizon = apps[0].demand().len();
+    let fw = Framework::builder()
+        .server(ServerSpec::sixteen_way())
+        .commitments(PoolCommitments::new(CosSpec::new(0.95, 60).unwrap()))
+        .options(ConsolidationOptions::fast(1))
+        .failure_scope(FailureScope::AllApplications)
+        .build();
+    let plan = fw.plan(&apps).unwrap();
+    // Six hours of outage starting at day two: every app's daily burst
+    // window falls inside it, so each one runs capped at least once.
+    let schedule = FailureSchedule::scripted(vec![FailureEvent {
+        server: plan.failure_analysis.cases[0].failed_server,
+        start: 288,
+        duration: 72,
+    }])
+    .unwrap();
+    let report = fw
+        .chaos_replay_on(
+            &apps,
+            &plan.normal_placement,
+            &schedule,
+            DegradationPolicy::shed_immediately(),
+        )
+        .unwrap();
+
+    let slo = report
+        .slo
+        .as_ref()
+        .expect("replay always attaches an SLO summary");
+    assert_eq!(slo.apps.len(), apps.len(), "attainment covers the fleet");
+    for app in &slo.apps {
+        assert_eq!(app.samples, horizon, "{}: whole-horizon coverage", app.app);
+        assert!(
+            app.degraded_slots <= 72,
+            "{}: degradation is outage-bound",
+            app.app
+        );
+    }
+    assert!(
+        !slo.all_attained(),
+        "strict contracts cannot attain through a capped burst: {:?}",
+        slo.apps
+    );
+
+    assert!(slo.any_fired(), "the outage must page: {:?}", slo.alerts);
+    let fire = slo
+        .alerts
+        .iter()
+        .find(|a| a.kind == AlertKind::Fire)
+        .unwrap();
+    assert!(
+        (288..360).contains(&fire.slot),
+        "first fire lands inside the outage, got slot {}",
+        fire.slot
+    );
+    assert!(
+        fire.rule == "slo.burn.fast" || fire.rule == "slo.burn.slow",
+        "unexpected rule {}",
+        fire.rule
+    );
+    assert!(fire.short_burn >= fire.long_burn.min(6.0) || fire.long_burn >= 2.0);
+    assert!(
+        slo.alerts
+            .iter()
+            .any(|a| a.kind == AlertKind::Clear && a.slot > fire.slot),
+        "windows must cool after the outage: {:?}",
+        slo.alerts
+    );
+    // The summary rides inside the report's JSON for archival.
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.contains("\"slo\"") && json.contains("\"alerts\""));
+}

@@ -137,3 +137,79 @@ proptest! {
         prop_assert_eq!(obs.report().counter("prop.total"), expected);
     }
 }
+
+/// Bounds for the quantile/delta proptests below.
+static PROP_BOUNDS: &[f64] = &[0.5, 1.0, 2.0, 4.0, 8.0];
+
+proptest! {
+    /// Bucket-resolution quantile estimates are monotone in `q` and
+    /// always land on a bucket edge, for any sample distribution —
+    /// including ones that overflow the last bound.
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded(
+        values in prop::collection::vec(0.0f64..20.0, 1..200),
+        qs in prop::collection::vec(0.0f64..=1.0, 2..8),
+    ) {
+        let mut qs = qs;
+        let obs = Obs::deterministic();
+        for &v in &values {
+            obs.histogram("prop.dist", PROP_BOUNDS, v);
+        }
+        let report = obs.report();
+        let hist = report.histogram("prop.dist").unwrap();
+        prop_assert_eq!(hist.total, values.len() as u64);
+
+        qs.sort_by(f64::total_cmp);
+        let estimates: Vec<f64> = qs
+            .iter()
+            .map(|&q| hist.quantile(q).unwrap())
+            .collect();
+        for pair in estimates.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantiles must be monotone: {estimates:?}");
+        }
+        for &e in &estimates {
+            prop_assert!(PROP_BOUNDS.contains(&e), "estimate {e} is not a bucket edge");
+        }
+        // The fixed percentile triple the CLI prints obeys the same order.
+        let (p50, p95, p99) = (
+            hist.quantile(0.50).unwrap(),
+            hist.quantile(0.95).unwrap(),
+            hist.quantile(0.99).unwrap(),
+        );
+        prop_assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    /// `delta_since` / `absorb` are exact inverses: absorbing a delta
+    /// into the earlier snapshot reproduces the later one bit-for-bit,
+    /// for arbitrary two-phase recording histories.
+    #[test]
+    fn snapshot_deltas_absorb_back_bit_exactly(
+        phase1 in prop::collection::vec((0u64..100, 0.0f64..10.0), 0..30),
+        phase2 in prop::collection::vec((0u64..100, 0.0f64..10.0), 0..30),
+    ) {
+        let obs = Obs::deterministic();
+        let record = |batch: &[(u64, f64)]| {
+            for &(c, v) in batch {
+                obs.counter("prop.count", c);
+                obs.gauge("prop.gauge", v);
+                obs.histogram("prop.dist", PROP_BOUNDS, v);
+                if c % 3 == 0 {
+                    obs.event("prop.event").with_u64("c", c).emit();
+                }
+            }
+        };
+        record(&phase1);
+        let earlier = obs.report();
+        record(&phase2);
+        let later = obs.report();
+
+        let delta = later.delta_since(&earlier);
+        let mut rebuilt = earlier.clone();
+        rebuilt.absorb(&delta);
+        prop_assert_eq!(
+            serde_json::to_string(&rebuilt).unwrap(),
+            serde_json::to_string(&later).unwrap(),
+            "absorb(delta_since) must reproduce the later snapshot bit-exactly"
+        );
+    }
+}

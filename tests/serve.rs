@@ -319,3 +319,87 @@ fn daemon_snapshot_matches_cold_session_of_same_assignment() {
         "the daemon's live plan is exactly a cold re-plan of its state"
     );
 }
+
+/// Like [`run_script`], but with a deterministic collector attached so
+/// subscribe telemetry (including `watch.stream.delta` lines) flows.
+fn run_script_observed(script: &str, threads: usize) -> Vec<String> {
+    let config = DaemonConfig {
+        threads,
+        weeks: 1,
+        ..DaemonConfig::new(
+            ServerSpec::sixteen_way(),
+            commitments(),
+            AppQos::paper_default(None),
+            hourly(),
+        )
+    };
+    let mut daemon = Daemon::new(config);
+    let obs = ropus_obs::Obs::deterministic();
+    let mut out = Vec::new();
+    daemon
+        .run(script.as_bytes(), &mut out, ropus_obs::ObsCtx::from(&obs))
+        .unwrap();
+    String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn subscribe_stream_is_byte_identical_across_runs_and_threads() {
+    let script = r#"{"cmd":"admit","name":"web","level":3.0}
+{"cmd":"subscribe"}
+{"cmd":"admit","name":"db","level":5.0}
+{"cmd":"tick","slots":3}
+{"cmd":"admit","name":"batch","level":4.0}
+{"cmd":"depart","name":"web"}
+{"cmd":"tick","slots":2}
+{"cmd":"snapshot"}
+{"cmd":"shutdown"}
+"#;
+    let first = run_script_observed(script, 1);
+    let second = run_script_observed(script, 1);
+    assert_eq!(first, second, "same script must stream identically");
+    let parallel = run_script_observed(script, 4);
+    assert_eq!(
+        first, parallel,
+        "subscribe telemetry must be byte-identical across --threads"
+    );
+
+    // Every line is either a response (first key `ok`) or a stream line
+    // (first key `kind`) — the shape split `ropus watch` relies on.
+    for line in &first {
+        assert!(
+            line.starts_with("{\"ok\":") || line.starts_with("{\"kind\":"),
+            "unexpected line shape: {line}"
+        );
+    }
+    let events: Vec<&String> = first
+        .iter()
+        .filter(|l| l.contains("\"kind\":\"watch.stream.event\""))
+        .collect();
+    assert!(
+        events
+            .iter()
+            .any(|l| l.contains("\"event\":\"admitted\"") && l.contains("\"name\":\"db\"")),
+        "post-subscribe admission must stream: {events:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|l| l.contains("\"event\":\"departed\"") && l.contains("\"name\":\"web\"")),
+        "departure must stream: {events:?}"
+    );
+    assert!(
+        !events
+            .iter()
+            .any(|l| l.contains("\"name\":\"web\"") && l.contains("\"event\":\"admitted\"")),
+        "pre-subscribe activity must not stream"
+    );
+    let deltas = first
+        .iter()
+        .filter(|l| l.contains("\"kind\":\"watch.stream.delta\""))
+        .count();
+    assert_eq!(deltas, 2, "one metric delta per tick command");
+}
